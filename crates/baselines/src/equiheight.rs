@@ -1,0 +1,268 @@
+//! SH-H: the equi-height static histogram.
+//!
+//! "The equi-height histogram method divides each dimension into intervals
+//! so that the same number of data points are kept in each interval."
+//! (paper §2.1). Boundaries are per-dimension training-set quantiles, so
+//! bucket resolution concentrates where the training workload is dense —
+//! which is why SH-H is the stronger static baseline in the paper's
+//! experiments.
+
+use crate::grid::{max_intervals_for_budget, BucketGrid, BOUNDARY_BYTES};
+use mlq_core::{CostModel, MlqError, Space, TrainableModel};
+use serde::{Deserialize, Serialize};
+
+/// The equi-height static histogram cost model (paper "SH-H").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EquiHeightHistogram {
+    space: Space,
+    grid: BucketGrid,
+    /// `dims × (intervals − 1)` interior boundaries; until `fit` runs they
+    /// are the equi-width boundaries.
+    boundaries: Vec<Vec<f64>>,
+}
+
+impl EquiHeightHistogram {
+    /// Builds an untrained histogram with the largest per-dimension
+    /// interval count whose buckets *and boundary tables* fit `budget`
+    /// bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`MlqError::BudgetTooSmall`] when a single bucket does not fit.
+    pub fn with_budget(space: Space, budget: usize) -> Result<Self, MlqError> {
+        let n = max_intervals_for_budget(&space, budget, true)?;
+        Ok(Self::with_intervals(space, n))
+    }
+
+    /// Builds an untrained histogram with exactly `intervals` cells per
+    /// dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intervals == 0` or `intervals^d` overflows.
+    #[must_use]
+    pub fn with_intervals(space: Space, intervals: usize) -> Self {
+        let grid = BucketGrid::new(space.dims(), intervals);
+        let boundaries = (0..space.dims())
+            .map(|i| equal_width_boundaries(space.low(i), space.high(i), intervals))
+            .collect();
+        EquiHeightHistogram { space, grid, boundaries }
+    }
+
+    /// Per-dimension interval count.
+    #[must_use]
+    pub fn intervals(&self) -> usize {
+        self.grid.intervals()
+    }
+
+    /// The trained interior boundaries of dimension `i`.
+    #[must_use]
+    pub fn boundaries(&self, i: usize) -> &[f64] {
+        &self.boundaries[i]
+    }
+
+    /// Number of training points absorbed by `fit`.
+    #[must_use]
+    pub fn trained_points(&self) -> u64 {
+        self.grid.total_count()
+    }
+
+    fn bucket_of(&self, point: &[f64]) -> Result<usize, MlqError> {
+        if point.len() != self.space.dims() {
+            return Err(MlqError::DimensionMismatch {
+                expected: self.space.dims(),
+                got: point.len(),
+            });
+        }
+        let mut per_dim = [0usize; mlq_core::MAX_DIMS];
+        for (i, &x) in point.iter().enumerate() {
+            if !x.is_finite() {
+                return Err(MlqError::NonFiniteValue { context: "point coordinate" });
+            }
+            // Interval = number of interior boundaries <= x.
+            per_dim[i] = self.boundaries[i].partition_point(|&b| b <= x);
+        }
+        Ok(self.grid.flat_index(&per_dim[..self.space.dims()]))
+    }
+}
+
+/// Interior boundaries splitting `[lo, hi]` into `n` equal-width pieces.
+fn equal_width_boundaries(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    (1..n).map(|k| lo + (hi - lo) * k as f64 / n as f64).collect()
+}
+
+/// Interior boundaries putting (as close as possible) `len/n` sorted
+/// values into each interval.
+fn quantile_boundaries(sorted: &[f64], n: usize) -> Vec<f64> {
+    debug_assert!(!sorted.is_empty());
+    (1..n)
+        .map(|k| {
+            let rank = (k * sorted.len()) / n;
+            sorted[rank.min(sorted.len() - 1)]
+        })
+        .collect()
+}
+
+impl CostModel for EquiHeightHistogram {
+    fn predict(&self, point: &[f64]) -> Result<Option<f64>, MlqError> {
+        Ok(self.grid.predict(self.bucket_of(point)?))
+    }
+
+    /// Static model: the observation is validated, then ignored (the
+    /// paper's central criticism of SH).
+    fn observe(&mut self, point: &[f64], actual: f64) -> Result<(), MlqError> {
+        self.bucket_of(point)?;
+        if !actual.is_finite() {
+            return Err(MlqError::NonFiniteValue { context: "cost value" });
+        }
+        Ok(())
+    }
+
+    fn memory_used(&self) -> usize {
+        self.grid.bucket_bytes()
+            + self.boundaries.iter().map(|b| b.len() * BOUNDARY_BYTES).sum::<usize>()
+    }
+
+    fn name(&self) -> String {
+        "SH-H".to_string()
+    }
+}
+
+impl TrainableModel for EquiHeightHistogram {
+    fn fit(&mut self, data: &[(Vec<f64>, f64)]) -> Result<(), MlqError> {
+        self.grid.clear();
+        if data.is_empty() {
+            return Ok(());
+        }
+        // Pass 1: per-dimension quantile boundaries from the training
+        // points' coordinate distribution.
+        let dims = self.space.dims();
+        let n = self.grid.intervals();
+        for (i, bounds) in self.boundaries.iter_mut().enumerate().take(dims) {
+            let mut coords: Vec<f64> = Vec::with_capacity(data.len());
+            for (point, _) in data {
+                if point.len() != dims {
+                    return Err(MlqError::DimensionMismatch { expected: dims, got: point.len() });
+                }
+                let x = point[i];
+                if !x.is_finite() {
+                    return Err(MlqError::NonFiniteValue { context: "training coordinate" });
+                }
+                coords.push(x);
+            }
+            coords.sort_by(f64::total_cmp);
+            *bounds = quantile_boundaries(&coords, n);
+        }
+        // Pass 2: fill the buckets.
+        for (point, value) in data {
+            if !value.is_finite() {
+                return Err(MlqError::NonFiniteValue { context: "training cost value" });
+            }
+            let flat = self.bucket_of(point)?;
+            self.grid.add(flat, *value);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn space() -> Space {
+        Space::cube(1, 0.0, 100.0).unwrap()
+    }
+
+    #[test]
+    fn untrained_uses_equal_width_boundaries() {
+        let h = EquiHeightHistogram::with_intervals(space(), 4);
+        assert_eq!(h.boundaries(0), &[25.0, 50.0, 75.0]);
+        assert_eq!(h.predict(&[10.0]).unwrap(), None);
+    }
+
+    #[test]
+    fn fit_moves_boundaries_to_quantiles() {
+        // 8 points clustered low: 1..=8 in [0, 10], none above.
+        let data: Vec<(Vec<f64>, f64)> =
+            (1..=8).map(|i| (vec![f64::from(i)], f64::from(i))).collect();
+        let mut h = EquiHeightHistogram::with_intervals(space(), 4);
+        h.fit(&data).unwrap();
+        // Quantile boundaries land inside the cluster, not at 25/50/75.
+        for &b in h.boundaries(0) {
+            assert!(b <= 10.0, "boundary {b} should follow the data");
+        }
+        // Every bucket holds 2 of the 8 points.
+        for q in [1.5, 3.5, 5.5, 7.5] {
+            let p = h.predict(&[q]).unwrap().unwrap();
+            assert!((p - (q - 0.0)).abs() <= 1.0, "bucket around {q} predicts {p}");
+        }
+    }
+
+    #[test]
+    fn equal_point_counts_per_interval() {
+        // Skewed coordinates; equi-height must balance counts.
+        let mut rng = StdRng::seed_from_u64(5);
+        let data: Vec<(Vec<f64>, f64)> = (0..4000)
+            .map(|_| {
+                let x: f64 = rng.random::<f64>();
+                (vec![x * x * 100.0], 1.0) // quadratic skew toward 0
+            })
+            .collect();
+        let mut h = EquiHeightHistogram::with_intervals(space(), 4);
+        h.fit(&data).unwrap();
+        // Count training points per interval using the trained boundaries.
+        let mut counts = [0usize; 4];
+        for (p, _) in &data {
+            let idx = h.boundaries(0).partition_point(|&b| b <= p[0]);
+            counts[idx] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (800..=1200).contains(&c),
+                "equi-height intervals should hold ~1000 points each: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn multidimensional_fit_and_lookup() {
+        let s = Space::cube(2, 0.0, 100.0).unwrap();
+        let mut h = EquiHeightHistogram::with_intervals(s, 2);
+        h.fit(&[
+            (vec![10.0, 10.0], 1.0),
+            (vec![20.0, 15.0], 3.0),
+            (vec![80.0, 90.0], 50.0),
+            (vec![90.0, 85.0], 70.0),
+        ])
+        .unwrap();
+        let low = h.predict(&[12.0, 12.0]).unwrap().unwrap();
+        let high = h.predict(&[85.0, 88.0]).unwrap().unwrap();
+        assert!(low < high, "low-cluster {low} must be below high-cluster {high}");
+    }
+
+    #[test]
+    fn budget_sizing_accounts_for_boundaries() {
+        let s = Space::cube(4, 0.0, 1000.0).unwrap();
+        let h = EquiHeightHistogram::with_budget(s, 1800).unwrap();
+        assert!(h.memory_used() <= 1800);
+        assert_eq!(h.name(), "SH-H");
+    }
+
+    #[test]
+    fn fit_empty_dataset_resets_model() {
+        let mut h = EquiHeightHistogram::with_intervals(space(), 4);
+        h.fit(&[(vec![5.0], 2.0)]).unwrap();
+        h.fit(&[]).unwrap();
+        assert_eq!(h.predict(&[5.0]).unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_malformed_training_data() {
+        let mut h = EquiHeightHistogram::with_intervals(space(), 4);
+        assert!(h.fit(&[(vec![1.0, 2.0], 1.0)]).is_err());
+        assert!(h.fit(&[(vec![f64::NAN], 1.0)]).is_err());
+        assert!(h.fit(&[(vec![1.0], f64::INFINITY)]).is_err());
+    }
+}

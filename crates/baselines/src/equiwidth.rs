@@ -1,0 +1,199 @@
+//! SH-W: the equi-width static histogram.
+//!
+//! "In the equi-width histogram method, each dimension is divided into `N`
+//! intervals of equal length. Then, `N^d` buckets are created, where `d` is
+//! the number of dimensions." (paper §2.1)
+
+use crate::grid::{max_intervals_for_budget, BucketGrid};
+use mlq_core::{CostModel, MlqError, Space, TrainableModel};
+use serde::{Deserialize, Serialize};
+
+/// The equi-width static histogram cost model (paper "SH-W").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EquiWidthHistogram {
+    space: Space,
+    grid: BucketGrid,
+}
+
+impl EquiWidthHistogram {
+    /// Builds an untrained histogram with the largest per-dimension
+    /// interval count that fits `budget` bytes — the memory-fair way the
+    /// paper sizes SH against MLQ.
+    ///
+    /// # Errors
+    ///
+    /// [`MlqError::BudgetTooSmall`] when a single bucket does not fit.
+    pub fn with_budget(space: Space, budget: usize) -> Result<Self, MlqError> {
+        let n = max_intervals_for_budget(&space, budget, false)?;
+        Ok(Self::with_intervals(space, n))
+    }
+
+    /// Builds an untrained histogram with exactly `intervals` cells per
+    /// dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intervals == 0` or `intervals^d` overflows.
+    #[must_use]
+    pub fn with_intervals(space: Space, intervals: usize) -> Self {
+        let grid = BucketGrid::new(space.dims(), intervals);
+        EquiWidthHistogram { space, grid }
+    }
+
+    /// Per-dimension interval count.
+    #[must_use]
+    pub fn intervals(&self) -> usize {
+        self.grid.intervals()
+    }
+
+    /// The model space.
+    #[must_use]
+    pub fn space(&self) -> &Space {
+        &self.space
+    }
+
+    /// Number of training points absorbed by `fit`.
+    #[must_use]
+    pub fn trained_points(&self) -> u64 {
+        self.grid.total_count()
+    }
+
+    fn bucket_of(&self, point: &[f64]) -> Result<usize, MlqError> {
+        if point.len() != self.space.dims() {
+            return Err(MlqError::DimensionMismatch {
+                expected: self.space.dims(),
+                got: point.len(),
+            });
+        }
+        let n = self.grid.intervals();
+        let mut per_dim = [0usize; mlq_core::MAX_DIMS];
+        for (i, &x) in point.iter().enumerate() {
+            if !x.is_finite() {
+                return Err(MlqError::NonFiniteValue { context: "point coordinate" });
+            }
+            let lo = self.space.low(i);
+            let hi = self.space.high(i);
+            let unit = ((x - lo) / (hi - lo)).clamp(0.0, 1.0);
+            per_dim[i] = ((unit * n as f64) as usize).min(n - 1);
+        }
+        Ok(self.grid.flat_index(&per_dim[..self.space.dims()]))
+    }
+}
+
+impl CostModel for EquiWidthHistogram {
+    fn predict(&self, point: &[f64]) -> Result<Option<f64>, MlqError> {
+        Ok(self.grid.predict(self.bucket_of(point)?))
+    }
+
+    /// Static model: the observation is validated, then ignored (the
+    /// paper's central criticism of SH).
+    fn observe(&mut self, point: &[f64], actual: f64) -> Result<(), MlqError> {
+        self.bucket_of(point)?;
+        if !actual.is_finite() {
+            return Err(MlqError::NonFiniteValue { context: "cost value" });
+        }
+        Ok(())
+    }
+
+    fn memory_used(&self) -> usize {
+        self.grid.bucket_bytes()
+    }
+
+    fn name(&self) -> String {
+        "SH-W".to_string()
+    }
+}
+
+impl TrainableModel for EquiWidthHistogram {
+    fn fit(&mut self, data: &[(Vec<f64>, f64)]) -> Result<(), MlqError> {
+        self.grid.clear();
+        for (point, value) in data {
+            if !value.is_finite() {
+                return Err(MlqError::NonFiniteValue { context: "training cost value" });
+            }
+            let flat = self.bucket_of(point)?;
+            self.grid.add(flat, *value);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> Space {
+        Space::cube(2, 0.0, 100.0).unwrap()
+    }
+
+    #[test]
+    fn untrained_histogram_predicts_none() {
+        let h = EquiWidthHistogram::with_intervals(space(), 4);
+        assert_eq!(h.predict(&[1.0, 1.0]).unwrap(), None);
+    }
+
+    #[test]
+    fn fit_then_predict_bucket_averages() {
+        let mut h = EquiWidthHistogram::with_intervals(space(), 2);
+        h.fit(&[
+            (vec![10.0, 10.0], 4.0),
+            (vec![20.0, 20.0], 6.0),  // same bucket (lower-left)
+            (vec![90.0, 90.0], 100.0), // upper-right bucket
+        ])
+        .unwrap();
+        assert_eq!(h.predict(&[5.0, 5.0]).unwrap(), Some(5.0));
+        assert_eq!(h.predict(&[99.0, 99.0]).unwrap(), Some(100.0));
+        // Empty bucket -> global average of 110/3.
+        let fallback = h.predict(&[90.0, 10.0]).unwrap().unwrap();
+        assert!((fallback - 110.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observe_is_a_no_op() {
+        let mut h = EquiWidthHistogram::with_intervals(space(), 2);
+        h.fit(&[(vec![10.0, 10.0], 4.0)]).unwrap();
+        h.observe(&[10.0, 10.0], 9999.0).unwrap();
+        assert_eq!(h.predict(&[10.0, 10.0]).unwrap(), Some(4.0));
+    }
+
+    #[test]
+    fn refit_replaces_previous_training() {
+        let mut h = EquiWidthHistogram::with_intervals(space(), 2);
+        h.fit(&[(vec![10.0, 10.0], 4.0)]).unwrap();
+        h.fit(&[(vec![10.0, 10.0], 8.0)]).unwrap();
+        assert_eq!(h.predict(&[10.0, 10.0]).unwrap(), Some(8.0));
+        assert_eq!(h.trained_points(), 1);
+    }
+
+    #[test]
+    fn budget_sized_histogram_reports_memory_within_budget() {
+        let h = EquiWidthHistogram::with_budget(Space::cube(4, 0.0, 1000.0).unwrap(), 1800)
+            .unwrap();
+        assert_eq!(h.intervals(), 3);
+        assert!(h.memory_used() <= 1800);
+        assert_eq!(h.name(), "SH-W");
+    }
+
+    #[test]
+    fn boundary_values_fall_in_last_bucket() {
+        let mut h = EquiWidthHistogram::with_intervals(space(), 4);
+        h.fit(&[(vec![100.0, 100.0], 7.0)]).unwrap();
+        assert_eq!(h.predict(&[100.0, 100.0]).unwrap(), Some(7.0));
+    }
+
+    #[test]
+    fn rejects_malformed_points() {
+        let h = EquiWidthHistogram::with_intervals(space(), 4);
+        assert!(h.predict(&[1.0]).is_err());
+        assert!(h.predict(&[f64::NAN, 1.0]).is_err());
+        let mut h = h;
+        assert!(h.fit(&[(vec![1.0, 1.0], f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_points_clamp_to_edge_buckets() {
+        let mut h = EquiWidthHistogram::with_intervals(space(), 2);
+        h.fit(&[(vec![-10.0, -10.0], 3.0)]).unwrap();
+        assert_eq!(h.predict(&[0.0, 0.0]).unwrap(), Some(3.0));
+    }
+}

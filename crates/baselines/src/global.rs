@@ -1,0 +1,94 @@
+//! A trivial reference model predicting the running global average.
+//!
+//! Not part of the paper — used by the experiment harness as a sanity
+//! floor: any real cost model must beat it wherever the cost surface has
+//! structure.
+
+use mlq_core::{CostModel, MlqError, Space, Summary, TrainableModel};
+use serde::{Deserialize, Serialize};
+
+/// Predicts the average of every cost observed so far (self-tuning in the
+/// most degenerate way possible).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GlobalAverage {
+    space: Space,
+    summary: Summary,
+}
+
+impl GlobalAverage {
+    /// Creates an empty model over `space`.
+    #[must_use]
+    pub fn new(space: Space) -> Self {
+        GlobalAverage { space, summary: Summary::empty() }
+    }
+
+    fn check(&self, point: &[f64]) -> Result<(), MlqError> {
+        // Reuse Space validation (dimension and finiteness checks).
+        self.space.grid_point(point).map(|_| ())
+    }
+}
+
+impl CostModel for GlobalAverage {
+    fn predict(&self, point: &[f64]) -> Result<Option<f64>, MlqError> {
+        self.check(point)?;
+        Ok((self.summary.count > 0).then(|| self.summary.avg()))
+    }
+
+    fn observe(&mut self, point: &[f64], actual: f64) -> Result<(), MlqError> {
+        self.check(point)?;
+        if !actual.is_finite() {
+            return Err(MlqError::NonFiniteValue { context: "cost value" });
+        }
+        self.summary.add(actual);
+        Ok(())
+    }
+
+    fn memory_used(&self) -> usize {
+        std::mem::size_of::<Summary>()
+    }
+
+    fn name(&self) -> String {
+        "GLOBAL-AVG".to_string()
+    }
+}
+
+impl TrainableModel for GlobalAverage {
+    fn fit(&mut self, data: &[(Vec<f64>, f64)]) -> Result<(), MlqError> {
+        self.summary = Summary::empty();
+        for (point, value) in data {
+            self.observe(point, *value)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_everything() {
+        let mut m = GlobalAverage::new(Space::unit(2).unwrap());
+        assert_eq!(m.predict(&[0.5, 0.5]).unwrap(), None);
+        m.observe(&[0.1, 0.1], 10.0).unwrap();
+        m.observe(&[0.9, 0.9], 20.0).unwrap();
+        assert_eq!(m.predict(&[0.5, 0.5]).unwrap(), Some(15.0));
+        assert_eq!(m.predict(&[0.0, 0.0]).unwrap(), Some(15.0));
+    }
+
+    #[test]
+    fn fit_replaces_state() {
+        let mut m = GlobalAverage::new(Space::unit(1).unwrap());
+        m.observe(&[0.5], 100.0).unwrap();
+        m.fit(&[(vec![0.1], 2.0), (vec![0.2], 4.0)]).unwrap();
+        assert_eq!(m.predict(&[0.9]).unwrap(), Some(3.0));
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let mut m = GlobalAverage::new(Space::unit(2).unwrap());
+        assert!(m.observe(&[0.1], 1.0).is_err());
+        assert!(m.observe(&[0.1, 0.2], f64::NAN).is_err());
+        assert!(m.predict(&[f64::NAN, 0.0]).is_err());
+    }
+}

@@ -1,0 +1,241 @@
+//! Shared bucket-grid plumbing for the two histogram variants.
+
+use mlq_core::{MlqError, Space};
+use serde::{Deserialize, Serialize};
+
+/// Accounted bytes per histogram bucket: an `f64` cost sum plus a `u32`
+/// count (the average is derived). Matches the granularity of the MLQ
+/// node accounting model.
+pub const BUCKET_BYTES: usize = 12;
+
+/// Accounted bytes per stored interval boundary (SH-H only).
+pub const BOUNDARY_BYTES: usize = 8;
+
+/// The largest per-dimension interval count `N` such that the histogram
+/// fits in `budget` bytes: `N^d` buckets of [`BUCKET_BYTES`], plus — when
+/// `with_boundaries` (SH-H) — `d·(N−1)` stored boundaries of
+/// `BOUNDARY_BYTES` (8).
+///
+/// # Errors
+///
+/// Returns [`MlqError::BudgetTooSmall`] when not even `N = 1` fits.
+pub fn max_intervals_for_budget(
+    space: &Space,
+    budget: usize,
+    with_boundaries: bool,
+) -> Result<usize, MlqError> {
+    let d = space.dims();
+    let bytes_for = |n: usize| -> Option<usize> {
+        let buckets = (n as u64).checked_pow(d as u32)?;
+        let bucket_bytes = usize::try_from(buckets).ok()?.checked_mul(BUCKET_BYTES)?;
+        let boundary_bytes = if with_boundaries { d * (n - 1) * BOUNDARY_BYTES } else { 0 };
+        bucket_bytes.checked_add(boundary_bytes)
+    };
+    if bytes_for(1).is_none_or(|b| b > budget) {
+        return Err(MlqError::BudgetTooSmall { budget, required: bytes_for(1).unwrap_or(usize::MAX) });
+    }
+    let mut n = 1usize;
+    while bytes_for(n + 1).is_some_and(|b| b <= budget) {
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// A dense `N^d` bucket grid storing per-bucket cost sums and counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BucketGrid {
+    intervals: usize,
+    dims: usize,
+    sums: Vec<f64>,
+    counts: Vec<u32>,
+    /// Global fallback for empty buckets.
+    global_sum: f64,
+    global_count: u64,
+}
+
+impl BucketGrid {
+    /// Creates an empty grid with `intervals` cells per dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intervals == 0` or the bucket count overflows.
+    #[must_use]
+    pub fn new(dims: usize, intervals: usize) -> Self {
+        assert!(intervals > 0, "a histogram needs at least one interval");
+        let buckets = intervals
+            .checked_pow(u32::try_from(dims).expect("dims fits u32"))
+            .expect("bucket count overflow");
+        BucketGrid {
+            intervals,
+            dims,
+            sums: vec![0.0; buckets],
+            counts: vec![0; buckets],
+            global_sum: 0.0,
+            global_count: 0,
+        }
+    }
+
+    /// Per-dimension interval count.
+    #[must_use]
+    pub fn intervals(&self) -> usize {
+        self.intervals
+    }
+
+    /// Total bucket count `N^d`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// True when the grid holds no buckets (impossible by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sums.is_empty()
+    }
+
+    /// Resets all buckets (used by `fit` on retrain).
+    pub fn clear(&mut self) {
+        debug_assert!(!self.is_empty(), "grids always hold at least one bucket");
+        self.sums.fill(0.0);
+        self.counts.fill(0);
+        self.global_sum = 0.0;
+        self.global_count = 0;
+    }
+
+    /// Flattens per-dimension interval indices into a bucket index.
+    #[must_use]
+    pub fn flat_index(&self, interval_per_dim: &[usize]) -> usize {
+        debug_assert_eq!(interval_per_dim.len(), self.dims);
+        let mut idx = 0usize;
+        for &i in interval_per_dim.iter().rev() {
+            debug_assert!(i < self.intervals);
+            idx = idx * self.intervals + i;
+        }
+        idx
+    }
+
+    /// Adds one training value into the bucket at `flat`.
+    pub fn add(&mut self, flat: usize, value: f64) {
+        self.sums[flat] += value;
+        self.counts[flat] += 1;
+        self.global_sum += value;
+        self.global_count += 1;
+    }
+
+    /// Predicted cost for the bucket at `flat`: the bucket average, or the
+    /// global training average for an empty bucket, or `None` for an
+    /// untrained grid.
+    #[must_use]
+    pub fn predict(&self, flat: usize) -> Option<f64> {
+        if self.counts[flat] > 0 {
+            Some(self.sums[flat] / f64::from(self.counts[flat]))
+        } else if self.global_count > 0 {
+            Some(self.global_sum / self.global_count as f64)
+        } else {
+            None
+        }
+    }
+
+    /// Average of the values recorded in bucket `flat` only — no global
+    /// fallback (used by the LEO adjustment table, where leaking another
+    /// region's correction ratio would be wrong).
+    #[must_use]
+    pub fn bucket_average(&self, flat: usize) -> Option<f64> {
+        (self.counts[flat] > 0).then(|| self.sums[flat] / f64::from(self.counts[flat]))
+    }
+
+    /// Number of training points absorbed.
+    #[must_use]
+    pub fn total_count(&self) -> u64 {
+        self.global_count
+    }
+
+    /// Accounted memory of the bucket array.
+    #[must_use]
+    pub fn bucket_bytes(&self) -> usize {
+        self.len() * BUCKET_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space(d: usize) -> Space {
+        Space::cube(d, 0.0, 1000.0).unwrap()
+    }
+
+    #[test]
+    fn budget_sizing_matches_paper_scale() {
+        // 1.8 KB, d = 4, 12-byte buckets: 3^4 = 81 buckets (972 B) fits,
+        // 4^4 = 256 buckets (3072 B) does not.
+        let n = max_intervals_for_budget(&space(4), 1800, false).unwrap();
+        assert_eq!(n, 3);
+        // SH-H additionally pays for boundaries but still fits N = 3:
+        // 972 + 4*2*8 = 1036.
+        let n = max_intervals_for_budget(&space(4), 1800, true).unwrap();
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn budget_sizing_grows_with_budget() {
+        let small = max_intervals_for_budget(&space(2), 1800, false).unwrap();
+        let large = max_intervals_for_budget(&space(2), 18_000, false).unwrap();
+        assert!(large > small);
+        assert_eq!(small, 12); // 12^2 * 12 = 1728 <= 1800 < 13^2 * 12
+    }
+
+    #[test]
+    fn budget_too_small_for_single_bucket() {
+        assert!(matches!(
+            max_intervals_for_budget(&space(2), BUCKET_BYTES - 1, false),
+            Err(MlqError::BudgetTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn grid_is_never_empty() {
+        let g = BucketGrid::new(2, 1);
+        assert!(!g.is_empty());
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn flat_index_is_bijective() {
+        let g = BucketGrid::new(3, 4);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..4 {
+            for j in 0..4 {
+                for k in 0..4 {
+                    let flat = g.flat_index(&[i, j, k]);
+                    assert!(flat < g.len());
+                    assert!(seen.insert(flat), "collision at ({i},{j},{k})");
+                }
+            }
+        }
+        assert_eq!(seen.len(), 64);
+    }
+
+    #[test]
+    fn predict_uses_bucket_then_global_then_none() {
+        let mut g = BucketGrid::new(1, 4);
+        assert_eq!(g.predict(0), None);
+        g.add(0, 10.0);
+        g.add(0, 20.0);
+        g.add(1, 100.0);
+        assert_eq!(g.predict(0), Some(15.0));
+        assert_eq!(g.predict(1), Some(100.0));
+        // Empty bucket falls back to the global average (130 / 3).
+        let global = g.predict(3).unwrap();
+        assert!((global - 130.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut g = BucketGrid::new(1, 2);
+        g.add(0, 5.0);
+        g.clear();
+        assert_eq!(g.predict(0), None);
+        assert_eq!(g.total_count(), 0);
+    }
+}

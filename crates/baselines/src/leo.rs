@@ -1,0 +1,216 @@
+//! A LEO-style feedback corrector (paper §2.2, related work).
+//!
+//! DB2's LEarning Optimizer "works by logging ... estimated statistics
+//! and actual observed statistics ... stores the difference in an
+//! adjustment table, then looks up the adjustment table during query
+//! execution and applies necessary adjustments". [`LeoCorrected`]
+//! reproduces that architecture over any base cost model: a coarse
+//! per-region table of observed `actual / predicted` ratios, applied
+//! multiplicatively at prediction time.
+//!
+//! The paper argues MLQ is more storage-efficient than LEO because MLQ
+//! folds feedback directly into its statistics instead of keeping a
+//! separate adjustment structure; having LEO in the harness makes that
+//! comparison executable.
+
+use crate::grid::BucketGrid;
+use mlq_core::{CostModel, MlqError, Space, TrainableModel};
+
+/// A base cost model plus a LEO-style adjustment table.
+pub struct LeoCorrected<M> {
+    base: M,
+    space: Space,
+    /// Per-region `actual / predicted` ratio sums and counts.
+    ratios: BucketGrid,
+    intervals: usize,
+}
+
+impl<M: CostModel> LeoCorrected<M> {
+    /// Wraps `base` with an adjustment table of `intervals` cells per
+    /// dimension over `space`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intervals == 0` or the table size overflows.
+    #[must_use]
+    pub fn new(base: M, space: Space, intervals: usize) -> Self {
+        let ratios = BucketGrid::new(space.dims(), intervals);
+        LeoCorrected { base, space, ratios, intervals }
+    }
+
+    /// The wrapped base model.
+    #[must_use]
+    pub fn base(&self) -> &M {
+        &self.base
+    }
+
+    fn region_of(&self, point: &[f64]) -> Result<usize, MlqError> {
+        if point.len() != self.space.dims() {
+            return Err(MlqError::DimensionMismatch {
+                expected: self.space.dims(),
+                got: point.len(),
+            });
+        }
+        let n = self.intervals;
+        let mut per_dim = [0usize; mlq_core::MAX_DIMS];
+        for (i, &x) in point.iter().enumerate() {
+            if !x.is_finite() {
+                return Err(MlqError::NonFiniteValue { context: "point coordinate" });
+            }
+            let lo = self.space.low(i);
+            let hi = self.space.high(i);
+            let unit = ((x - lo) / (hi - lo)).clamp(0.0, 1.0);
+            per_dim[i] = ((unit * n as f64) as usize).min(n - 1);
+        }
+        Ok(self.ratios.flat_index(&per_dim[..self.space.dims()]))
+    }
+}
+
+impl<M: CostModel> CostModel for LeoCorrected<M> {
+    fn predict(&self, point: &[f64]) -> Result<Option<f64>, MlqError> {
+        let region = self.region_of(point)?;
+        let Some(base) = self.base.predict(point)? else {
+            return Ok(None);
+        };
+        // Regions without feedback keep ratio 1 (no adjustment); the
+        // grid's global-average fallback would leak cross-region ratios,
+        // so consult the region's own statistics only.
+        let ratio = self.ratios.bucket_average(region).unwrap_or(1.0);
+        Ok(Some(base * ratio))
+    }
+
+    fn observe(&mut self, point: &[f64], actual: f64) -> Result<(), MlqError> {
+        let region = self.region_of(point)?;
+        if !actual.is_finite() {
+            return Err(MlqError::NonFiniteValue { context: "cost value" });
+        }
+        // LEO compares the estimate with the observation; without a base
+        // estimate (or with a zero estimate) there is no ratio to learn.
+        if let Some(base) = self.base.predict(point)? {
+            if base.abs() > f64::EPSILON {
+                self.ratios.add(region, actual / base);
+            }
+        }
+        Ok(())
+    }
+
+    fn memory_used(&self) -> usize {
+        self.base.memory_used() + self.ratios.bucket_bytes()
+    }
+
+    fn name(&self) -> String {
+        format!("LEO({})", self.base.name())
+    }
+}
+
+impl<M: TrainableModel> TrainableModel for LeoCorrected<M> {
+    /// Trains the base model a-priori and clears the adjustment table
+    /// (fresh estimates need fresh corrections).
+    fn fit(&mut self, data: &[(Vec<f64>, f64)]) -> Result<(), MlqError> {
+        self.ratios.clear();
+        self.base.fit(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiheight::EquiHeightHistogram;
+    use crate::global::GlobalAverage;
+
+    fn space() -> Space {
+        Space::cube(1, 0.0, 100.0).unwrap()
+    }
+
+    #[test]
+    fn no_feedback_means_no_adjustment() {
+        let mut base = GlobalAverage::new(space());
+        base.fit(&[(vec![10.0], 50.0)]).unwrap();
+        let leo = LeoCorrected::new(base, space(), 4);
+        assert_eq!(leo.predict(&[10.0]).unwrap(), Some(50.0));
+        assert_eq!(leo.name(), "LEO(GLOBAL-AVG)");
+    }
+
+    #[test]
+    fn corrects_a_systematically_biased_base() {
+        // Base always predicts 50; true cost in region [0, 25) is 100.
+        let mut base = GlobalAverage::new(space());
+        base.fit(&[(vec![50.0], 50.0)]).unwrap();
+        let mut leo = LeoCorrected::new(base, space(), 4);
+        for i in 0..10 {
+            leo.observe(&[f64::from(i)], 100.0).unwrap();
+        }
+        // Feedback never reaches the base (it stays at 50); the region's
+        // learned ratio of 2.0 corrects the prediction to ~100.
+        let corrected = leo.predict(&[5.0]).unwrap().unwrap();
+        assert!((corrected - 100.0).abs() < 1e-9, "corrected {corrected}");
+        assert_eq!(CostModel::predict(leo.base(), &[5.0]).unwrap(), Some(50.0));
+    }
+
+    #[test]
+    fn corrections_are_per_region() {
+        let mut base = GlobalAverage::new(space());
+        base.fit(&[(vec![50.0], 50.0)]).unwrap();
+        let mut leo = LeoCorrected::new(base, space(), 4);
+        // Region [0, 25): actual 100 (ratio 2). Region [75, 100): actual
+        // 25 (ratio 0.5). Region [25, 50): untouched.
+        for _ in 0..5 {
+            leo.observe(&[10.0], 100.0).unwrap();
+            leo.observe(&[90.0], 25.0).unwrap();
+        }
+        let lo = leo.predict(&[10.0]).unwrap().unwrap();
+        let hi = leo.predict(&[90.0]).unwrap().unwrap();
+        let untouched = leo.predict(&[30.0]).unwrap().unwrap();
+        assert!((lo - 100.0).abs() < 20.0, "lo {lo}");
+        assert!((hi - 25.0).abs() < 10.0, "hi {hi}");
+        assert!((untouched - 50.0).abs() < 1e-9, "untouched region keeps base: {untouched}");
+    }
+
+    #[test]
+    fn works_over_a_static_histogram() {
+        // The real LEO configuration: a trained-but-stale SH-H base.
+        let mut leo = LeoCorrected::new(
+            EquiHeightHistogram::with_intervals(space(), 4),
+            space(),
+            4,
+        );
+        // Trained when costs were low...
+        leo.fit(&[(vec![10.0], 10.0), (vec![90.0], 10.0)]).unwrap();
+        assert_eq!(leo.predict(&[10.0]).unwrap(), Some(10.0));
+        // ...then the world changed; LEO corrects where SH-H cannot.
+        for _ in 0..10 {
+            leo.observe(&[10.0], 40.0).unwrap();
+        }
+        let corrected = leo.predict(&[10.0]).unwrap().unwrap();
+        assert!((corrected - 40.0).abs() < 5.0, "corrected {corrected}");
+        // The bare histogram would still say 10.
+        assert_eq!(CostModel::predict(leo.base(), &[10.0]).unwrap(), Some(10.0));
+    }
+
+    #[test]
+    fn refit_clears_stale_adjustments() {
+        let mut leo = LeoCorrected::new(
+            EquiHeightHistogram::with_intervals(space(), 4),
+            space(),
+            4,
+        );
+        leo.fit(&[(vec![10.0], 10.0)]).unwrap();
+        for _ in 0..5 {
+            leo.observe(&[10.0], 40.0).unwrap();
+        }
+        leo.fit(&[(vec![10.0], 40.0)]).unwrap(); // retrain on current truth
+        let p = leo.predict(&[10.0]).unwrap().unwrap();
+        assert!((p - 40.0).abs() < 1e-9, "no double correction: {p}");
+    }
+
+    #[test]
+    fn validates_inputs_and_counts_memory() {
+        let base = GlobalAverage::new(space());
+        let base_mem = base.memory_used();
+        let mut leo = LeoCorrected::new(base, space(), 4);
+        assert!(leo.predict(&[1.0, 2.0]).is_err());
+        assert!(leo.observe(&[f64::NAN], 1.0).is_err());
+        assert!(leo.observe(&[1.0], f64::NAN).is_err());
+        assert!(leo.memory_used() > base_mem, "adjustment table is accounted");
+    }
+}

@@ -1,0 +1,55 @@
+//! # mlq-baselines — the static histogram (SH) cost models
+//!
+//! Implements the comparison methods of the MLQ paper: the *static
+//! histogram* approach of Jihad & Kinji ("Cost estimation of user-defined
+//! methods in object-relational database systems", SIGMOD Record 1999), in
+//! both variants evaluated by the paper:
+//!
+//! * **SH-W** ([`EquiWidthHistogram`]) — every dimension is divided into
+//!   `N` intervals of equal length, creating `N^d` buckets;
+//! * **SH-H** ([`EquiHeightHistogram`]) — every dimension is divided into
+//!   `N` intervals holding (approximately) the same number of training
+//!   points, so bucket resolution follows the data distribution.
+//!
+//! Both are **not self-tuning**: they are trained a-priori through
+//! [`mlq_core::TrainableModel::fit`] with a complete training set drawn
+//! from the *same* distribution as the test queries (the paper's most
+//! favourable setting for SH), and they ignore feedback offered through
+//! `observe`. Bucket counts are derived from the same byte budget the MLQ
+//! methods get, keeping the comparison memory-fair.
+//!
+//! Two extras round out the baseline zoo: a trivial [`GlobalAverage`]
+//! sanity floor, and [`LeoCorrected`] — a DB2-LEO-style feedback
+//! corrector (paper §2.2) that bolts an adjustment table onto any base
+//! model, making the paper's storage-efficiency comparison against LEO
+//! executable.
+
+//! ```
+//! use mlq_baselines::EquiHeightHistogram;
+//! use mlq_core::{CostModel, Space, TrainableModel};
+//!
+//! let space = Space::cube(2, 0.0, 1000.0)?;
+//! // Sized memory-fairly from the paper's 1.8 KB budget:
+//! let mut sh = EquiHeightHistogram::with_budget(space, 1800)?;
+//! sh.fit(&[(vec![10.0, 10.0], 5.0), (vec![900.0, 900.0], 50.0)])?;
+//! assert_eq!(sh.predict(&[12.0, 11.0])?, Some(5.0));
+//! // Static: feedback is validated but ignored.
+//! sh.observe(&[12.0, 11.0], 9999.0)?;
+//! assert_eq!(sh.predict(&[12.0, 11.0])?, Some(5.0));
+//! # Ok::<(), mlq_core::MlqError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod equiheight;
+mod equiwidth;
+mod global;
+mod grid;
+mod leo;
+
+pub use equiheight::EquiHeightHistogram;
+pub use equiwidth::EquiWidthHistogram;
+pub use global::GlobalAverage;
+pub use grid::{max_intervals_for_budget, BUCKET_BYTES};
+pub use leo::LeoCorrected;

@@ -1,0 +1,25 @@
+//! Benchmarks of the parameter-sweep harness (the design-choice ablations
+//! DESIGN.md calls out: α, β, γ, λ, memory budget).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlq_experiments::ablations::{
+    sweep_alpha, sweep_beta, sweep_gamma, sweep_lambda, sweep_memory, AblationConfig,
+};
+use std::hint::black_box;
+
+fn bench_sweeps(c: &mut Criterion) {
+    let config = AblationConfig::quick();
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("alpha", |b| b.iter(|| black_box(sweep_alpha(black_box(&config)))));
+    group.bench_function("beta", |b| b.iter(|| black_box(sweep_beta(black_box(&config)))));
+    group.bench_function("gamma", |b| b.iter(|| black_box(sweep_gamma(black_box(&config)))));
+    group.bench_function("lambda", |b| b.iter(|| black_box(sweep_lambda(black_box(&config)))));
+    group.bench_function("memory", |b| {
+        b.iter(|| black_box(sweep_memory(black_box(&config)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweeps);
+criterion_main!(benches);

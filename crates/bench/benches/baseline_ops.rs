@@ -1,0 +1,73 @@
+//! Microbenchmarks of the static-histogram baselines: a-priori training
+//! (`fit`) and prediction.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mlq_baselines::{EquiHeightHistogram, EquiWidthHistogram};
+use mlq_bench::standard_workload;
+use mlq_core::{CostModel, Space, TrainableModel};
+use std::hint::black_box;
+
+fn space() -> Space {
+    Space::cube(4, 0.0, 1000.0).expect("valid dims")
+}
+
+fn training(n: usize) -> Vec<(Vec<f64>, f64)> {
+    let (points, actuals) = standard_workload(n, 21);
+    points.into_iter().zip(actuals).collect()
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let data = training(5000);
+    let mut group = c.benchmark_group("sh_fit_5000");
+    group.bench_function("SH-W", |b| {
+        b.iter_batched(
+            || EquiWidthHistogram::with_budget(space(), 1800).unwrap(),
+            |mut h| {
+                h.fit(black_box(&data)).unwrap();
+                black_box(h.trained_points())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("SH-H", |b| {
+        b.iter_batched(
+            || EquiHeightHistogram::with_budget(space(), 1800).unwrap(),
+            |mut h| {
+                h.fit(black_box(&data)).unwrap();
+                black_box(h.trained_points())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let data = training(5000);
+    let (queries, _) = standard_workload(1000, 22);
+    let mut group = c.benchmark_group("sh_predict");
+
+    let mut shw = EquiWidthHistogram::with_budget(space(), 1800).unwrap();
+    shw.fit(&data).unwrap();
+    let mut i = 0usize;
+    group.bench_function("SH-W", |b| {
+        b.iter(|| {
+            i = (i + 1) % queries.len();
+            black_box(shw.predict(black_box(&queries[i])).unwrap())
+        })
+    });
+
+    let mut shh = EquiHeightHistogram::with_budget(space(), 1800).unwrap();
+    shh.fit(&data).unwrap();
+    let mut j = 0usize;
+    group.bench_function("SH-H", |b| {
+        b.iter(|| {
+            j = (j + 1) % queries.len();
+            black_box(shh.predict(black_box(&queries[j])).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_predict);
+criterion_main!(benches);

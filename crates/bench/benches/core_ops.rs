@@ -1,0 +1,71 @@
+//! Microbenchmarks of the three MLQ operations whose costs the paper's
+//! Experiment 2 reports: prediction (APC numerator), insertion, and
+//! compression (AUC numerators).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mlq_bench::{standard_model, standard_workload};
+use mlq_core::InsertionStrategy;
+use std::hint::black_box;
+
+fn bench_predict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mlq_predict");
+    for (label, budget) in [("1800B", 1800usize), ("16KB", 16 << 10)] {
+        let (points, actuals) = standard_workload(2000, 11);
+        let mut model = standard_model(budget, InsertionStrategy::Eager);
+        for (p, &a) in points.iter().zip(&actuals) {
+            model.insert(p, a).unwrap();
+        }
+        let mut i = 0usize;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                i = (i + 1) % points.len();
+                black_box(model.predict(black_box(&points[i])).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mlq_insert");
+    let (points, actuals) = standard_workload(2000, 12);
+    for (label, strategy) in [
+        ("eager", InsertionStrategy::Eager),
+        ("lazy", InsertionStrategy::Lazy { alpha: 0.05 }),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || standard_model(1800, strategy),
+                |mut model| {
+                    for (p, &a) in points.iter().zip(&actuals) {
+                        model.insert(p, a).unwrap();
+                    }
+                    black_box(model.node_count())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let (points, actuals) = standard_workload(2000, 13);
+    c.bench_function("mlq_compress_pass", |b| {
+        b.iter_batched(
+            || {
+                // A big tree about to be compressed.
+                let mut model = standard_model(1 << 20, InsertionStrategy::Eager);
+                for (p, &a) in points.iter().zip(&actuals) {
+                    model.insert(p, a).unwrap();
+                }
+                model
+            },
+            |mut model| black_box(model.compress()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_predict, bench_insert, bench_compress);
+criterion_main!(benches);

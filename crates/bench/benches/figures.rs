@@ -1,0 +1,72 @@
+//! One bench per paper figure: runs the exact harness code behind the
+//! `mlq-exp` binary at reduced scale, so regressions in any experiment
+//! path show up in `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlq_experiments::{fig10, fig11, fig12, fig8, fig9};
+use std::hint::black_box;
+
+fn bench_fig8(c: &mut Criterion) {
+    let config = fig8::Fig8Config::quick();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig8", |b| {
+        b.iter(|| black_box(fig8::run(black_box(&config)).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let config = fig9::Fig9Config::quick();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig9", |b| {
+        b.iter(|| black_box(fig9::run(black_box(&config)).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let config = fig10::Fig10Config::quick();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig10", |b| {
+        b.iter(|| {
+            let a = fig10::run_real(black_box(&config)).unwrap();
+            let s = fig10::run_synthetic(black_box(&config)).unwrap();
+            black_box((a, s))
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let config = fig11::Fig11Config::quick();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig11", |b| {
+        b.iter(|| {
+            let a = fig11::run_real(black_box(&config)).unwrap();
+            let s = fig11::run_synthetic(black_box(&config)).unwrap();
+            black_box((a, s))
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let config = fig12::Fig12Config::quick();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig12", |b| {
+        b.iter(|| {
+            let s = fig12::run_synthetic(black_box(&config)).unwrap();
+            let r = fig12::run_real(black_box(&config)).unwrap();
+            black_box((s, r))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8, bench_fig9, bench_fig10, bench_fig11, bench_fig12);
+criterion_main!(benches);

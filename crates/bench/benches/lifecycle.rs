@@ -1,0 +1,52 @@
+//! Benchmarks of the model-lifecycle features: snapshot/restore, tree
+//! merging, trace replay, and the drift experiment.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mlq_bench::{standard_model, standard_workload};
+use mlq_core::{InsertionStrategy, MemoryLimitedQuadtree};
+use mlq_experiments::drift::{run as run_drift, DriftConfig};
+use std::hint::black_box;
+
+fn trained(seed: u64) -> MemoryLimitedQuadtree {
+    let (points, actuals) = standard_workload(1500, seed);
+    let mut m = standard_model(16 << 10, InsertionStrategy::Eager);
+    for (p, &a) in points.iter().zip(&actuals) {
+        m.insert(p, a).unwrap();
+    }
+    m
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let model = trained(41);
+    let mut group = c.benchmark_group("lifecycle");
+    group.bench_function("snapshot", |b| b.iter(|| black_box(model.snapshot())));
+    let snap = model.snapshot();
+    group.bench_function("restore", |b| {
+        b.iter(|| black_box(MemoryLimitedQuadtree::from_snapshot(black_box(&snap)).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let other = trained(43);
+    c.bench_function("lifecycle/merge", |b| {
+        b.iter_batched(
+            || trained(42),
+            |mut m| black_box(m.merge_from(&other).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_drift(c: &mut Criterion) {
+    let config = DriftConfig::quick();
+    let mut group = c.benchmark_group("lifecycle");
+    group.sample_size(10);
+    group.bench_function("drift_experiment", |b| {
+        b.iter(|| black_box(run_drift(black_box(&config)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshot, bench_merge, bench_drift);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Benchmarks of the end-to-end predicate-ordering experiment (Fig. 1
+//! feedback loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlq_experiments::optimizer_exp::{run, OptimizerExpConfig};
+use std::hint::black_box;
+
+fn bench_optimizer(c: &mut Criterion) {
+    let config = OptimizerExpConfig::quick();
+    let mut group = c.benchmark_group("optimizer");
+    group.sample_size(10);
+    group.bench_function("all_policies", |b| b.iter(|| black_box(run(black_box(&config)))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizer);
+criterion_main!(benches);

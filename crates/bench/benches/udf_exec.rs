@@ -1,0 +1,27 @@
+//! Raw execution cost of the six "real" UDFs — the denominator against
+//! which Fig. 10 normalizes modeling overheads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlq_experiments::suite::real_udf_suite;
+use mlq_synth::QueryDistribution;
+use std::hint::black_box;
+
+fn bench_udfs(c: &mut Criterion) {
+    let udfs = real_udf_suite(0.25, 31).expect("substrates build");
+    let mut group = c.benchmark_group("udf_execute");
+    group.sample_size(30);
+    for udf in &udfs {
+        let points = QueryDistribution::Uniform.generate(udf.space(), 256, 32);
+        let mut i = 0usize;
+        group.bench_function(udf.name(), |b| {
+            b.iter(|| {
+                i = (i + 1) % points.len();
+                black_box(udf.execute(black_box(&points[i])).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_udfs);
+criterion_main!(benches);

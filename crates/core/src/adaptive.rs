@@ -1,0 +1,251 @@
+//! Ordinal arguments with *unknown ranges* — the second of the paper's
+//! deferred extensions (§3 assumes "their ranges are given").
+//!
+//! The quadtree partitions a fixed space, so a point far outside the
+//! assumed range would be clamped onto the boundary and poison the edge
+//! blocks. [`AutoRangeModel`] removes the assumption: it starts from a
+//! seed range, keeps a bounded replay reservoir of recent observations,
+//! and when a point lands outside the current space it *rebuilds* the
+//! tree over a doubled range and replays the reservoir. Rebuilds cost a
+//! bounded amount of work and become exponentially rare (the range at
+//! most doubles per rebuild), while old knowledge beyond the reservoir
+//! degrades gracefully — the price of never having been told the range.
+
+use crate::config::MlqConfig;
+use crate::error::MlqError;
+use crate::model::CostModel;
+use crate::space::Space;
+use crate::tree::MemoryLimitedQuadtree;
+use std::collections::VecDeque;
+
+/// A self-tuning cost model over dimensions whose ranges are unknown.
+pub struct AutoRangeModel {
+    tree: MemoryLimitedQuadtree,
+    /// Template configuration; `space` is replaced at every rebuild.
+    config: MlqConfig,
+    /// Replay reservoir of the most recent observations.
+    reservoir: VecDeque<(Vec<f64>, f64)>,
+    reservoir_capacity: usize,
+    rebuilds: u64,
+}
+
+impl AutoRangeModel {
+    /// Creates the model. `config.space` seeds the initial range guess;
+    /// `reservoir_capacity` bounds how many recent observations survive a
+    /// range rebuild.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reservoir_capacity == 0` (a rebuild would lose
+    /// everything).
+    pub fn new(config: MlqConfig, reservoir_capacity: usize) -> Result<Self, MlqError> {
+        assert!(reservoir_capacity > 0, "reservoir must hold at least one observation");
+        let tree = MemoryLimitedQuadtree::new(config.clone())?;
+        Ok(AutoRangeModel {
+            tree,
+            config,
+            reservoir: VecDeque::with_capacity(reservoir_capacity),
+            reservoir_capacity,
+            rebuilds: 0,
+        })
+    }
+
+    /// The current model space (grows over time).
+    #[must_use]
+    pub fn space(&self) -> &Space {
+        &self.config.space
+    }
+
+    /// How many range rebuilds have occurred.
+    #[must_use]
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// The wrapped tree (e.g. for diagnostics).
+    #[must_use]
+    pub fn tree(&self) -> &MemoryLimitedQuadtree {
+        &self.tree
+    }
+
+    fn out_of_range(&self, point: &[f64]) -> bool {
+        point
+            .iter()
+            .enumerate()
+            .any(|(i, &x)| x < self.config.space.low(i) || x > self.config.space.high(i))
+    }
+
+    /// Doubles the range in every violated direction until `point` fits.
+    fn grow_space(&self, point: &[f64]) -> Result<Space, MlqError> {
+        let d = self.config.space.dims();
+        let mut lows: Vec<f64> = (0..d).map(|i| self.config.space.low(i)).collect();
+        let mut highs: Vec<f64> = (0..d).map(|i| self.config.space.high(i)).collect();
+        for (i, &x) in point.iter().enumerate() {
+            while x < lows[i] {
+                let width = highs[i] - lows[i];
+                lows[i] -= width;
+            }
+            while x > highs[i] {
+                let width = highs[i] - lows[i];
+                highs[i] += width;
+            }
+        }
+        Space::new(lows, highs)
+    }
+
+    fn rebuild(&mut self, space: Space) -> Result<(), MlqError> {
+        self.config.space = space;
+        self.config.validate()?;
+        let mut tree = MemoryLimitedQuadtree::new(self.config.clone())?;
+        for (point, value) in &self.reservoir {
+            tree.insert(point, *value)?;
+        }
+        self.tree = tree;
+        self.rebuilds += 1;
+        Ok(())
+    }
+}
+
+impl CostModel for AutoRangeModel {
+    fn predict(&self, point: &[f64]) -> Result<Option<f64>, MlqError> {
+        // Out-of-range queries clamp, like the base model: the nearest
+        // edge block is the best available information.
+        self.tree.predict(point)
+    }
+
+    fn observe(&mut self, point: &[f64], actual: f64) -> Result<(), MlqError> {
+        if point.len() != self.config.space.dims() {
+            return Err(MlqError::DimensionMismatch {
+                expected: self.config.space.dims(),
+                got: point.len(),
+            });
+        }
+        if point.iter().any(|x| !x.is_finite()) {
+            return Err(MlqError::NonFiniteValue { context: "point coordinate" });
+        }
+        if !actual.is_finite() {
+            return Err(MlqError::NonFiniteValue { context: "cost value" });
+        }
+        if self.out_of_range(point) {
+            let grown = self.grow_space(point)?;
+            self.rebuild(grown)?;
+        }
+        if self.reservoir.len() == self.reservoir_capacity {
+            self.reservoir.pop_front();
+        }
+        self.reservoir.push_back((point.to_vec(), actual));
+        self.tree.insert(point, actual).map(|_| ())
+    }
+
+    fn memory_used(&self) -> usize {
+        // The tree plus the reservoir's accounted payload (point floats +
+        // value), since the reservoir is what makes rebuilds possible.
+        let per_entry = (self.config.space.dims() + 1) * std::mem::size_of::<f64>();
+        self.tree.bytes_used() + self.reservoir.len() * per_entry
+    }
+
+    fn name(&self) -> String {
+        format!("AUTO({})", self.tree.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InsertionStrategy;
+
+    fn model(reservoir: usize) -> AutoRangeModel {
+        let config = MlqConfig::builder(Space::unit(1).unwrap())
+            .memory_budget(4096)
+            .strategy(InsertionStrategy::Eager)
+            .build()
+            .unwrap();
+        AutoRangeModel::new(config, reservoir).unwrap()
+    }
+
+    #[test]
+    fn in_range_observations_do_not_rebuild() {
+        let mut m = model(100);
+        m.observe(&[0.5], 10.0).unwrap();
+        m.observe(&[0.9], 12.0).unwrap();
+        assert_eq!(m.rebuilds(), 0);
+        assert_eq!(m.space().high(0), 1.0);
+    }
+
+    #[test]
+    fn out_of_range_point_grows_the_space() {
+        let mut m = model(100);
+        m.observe(&[0.5], 10.0).unwrap();
+        m.observe(&[3.7], 99.0).unwrap(); // far above the seed range
+        assert_eq!(m.rebuilds(), 1);
+        assert!(m.space().high(0) >= 3.7, "high is now {}", m.space().high(0));
+        assert!(m.space().low(0) <= 0.0);
+        // Both observations are distinguishable afterwards.
+        let low = m.predict(&[0.5]).unwrap().unwrap();
+        let high = m.predict(&[3.7]).unwrap().unwrap();
+        assert_eq!(low, 10.0);
+        assert_eq!(high, 99.0);
+    }
+
+    #[test]
+    fn negative_growth_works_too() {
+        let mut m = model(100);
+        m.observe(&[-5.0], 7.0).unwrap();
+        assert_eq!(m.rebuilds(), 1);
+        assert!(m.space().low(0) <= -5.0);
+        assert_eq!(m.predict(&[-5.0]).unwrap(), Some(7.0));
+    }
+
+    #[test]
+    fn growth_doubles_so_rebuilds_are_logarithmic() {
+        let mut m = model(50);
+        // Points drifting geometrically upward: rebuild count stays small.
+        for k in 0..20 {
+            let x = 1.5f64.powi(k);
+            m.observe(&[x], f64::from(k)).unwrap();
+        }
+        assert!(m.rebuilds() <= 13, "{} rebuilds for 20 geometric points", m.rebuilds());
+        assert!(m.space().high(0) >= 1.5f64.powi(19));
+    }
+
+    #[test]
+    fn reservoir_bounds_replay_memory() {
+        let mut m = model(10);
+        for i in 0..100 {
+            m.observe(&[f64::from(i) / 100.0], 1.0).unwrap();
+        }
+        // Only 10 entries of reservoir are accounted.
+        let per_entry = 2 * std::mem::size_of::<f64>();
+        assert!(m.memory_used() <= m.tree().bytes_used() + 10 * per_entry);
+    }
+
+    #[test]
+    fn rebuild_replays_only_the_reservoir() {
+        let mut m = model(5);
+        for i in 0..20 {
+            m.observe(&[f64::from(i) / 20.0], 100.0).unwrap();
+        }
+        m.observe(&[10.0], 7.0).unwrap(); // triggers rebuild
+        // Count = 5 replayed + 1 new; older knowledge was forgotten.
+        assert_eq!(m.tree().root_summary().count, 6);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let mut m = model(10);
+        assert!(m.observe(&[0.1, 0.2], 1.0).is_err());
+        assert!(m.observe(&[f64::NAN], 1.0).is_err());
+        assert!(m.observe(&[f64::INFINITY], 1.0).is_err());
+        assert!(m.observe(&[0.5], f64::NAN).is_err());
+        assert_eq!(m.rebuilds(), 0, "invalid input must not trigger rebuilds");
+    }
+
+    #[test]
+    fn name_reflects_wrapping() {
+        assert_eq!(model(10).name(), "AUTO(MLQ-E)");
+    }
+}

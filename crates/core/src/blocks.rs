@@ -1,0 +1,153 @@
+//! Block-level views of the tree: each node with the region of space its
+//! block covers — the data a heatmap, debugger, or analysis notebook
+//! wants.
+
+use crate::node::NIL;
+use crate::summary::Summary;
+use crate::tree::MemoryLimitedQuadtree;
+use serde::{Deserialize, Serialize};
+
+/// One block of the partition, with its region in model coordinates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockView {
+    /// Lower corner of the block, per dimension.
+    pub lows: Vec<f64>,
+    /// Upper corner of the block, per dimension.
+    pub highs: Vec<f64>,
+    /// Depth in the tree (root = 0).
+    pub depth: u8,
+    /// True when the node has no children.
+    pub is_leaf: bool,
+    /// The block's summary statistics.
+    pub summary: Summary,
+}
+
+impl BlockView {
+    /// True when `point` lies inside the block (half-open on the upper
+    /// side except at the space boundary, matching the tree's geometry).
+    #[must_use]
+    pub fn contains(&self, point: &[f64]) -> bool {
+        point
+            .iter()
+            .zip(self.lows.iter().zip(&self.highs))
+            .all(|(&x, (&lo, &hi))| x >= lo && x < hi)
+    }
+}
+
+impl MemoryLimitedQuadtree {
+    /// Snapshots every live block with its region, in depth-first order
+    /// (parents before children). O(nodes · dims).
+    #[must_use]
+    pub fn blocks(&self) -> Vec<BlockView> {
+        let space = &self.config().space;
+        let d = space.dims();
+        let root_lows: Vec<f64> = (0..d).map(|i| space.low(i)).collect();
+        let root_highs: Vec<f64> = (0..d).map(|i| space.high(i)).collect();
+        let mut out = Vec::with_capacity(self.node_count());
+        let mut stack = vec![(self.root, root_lows, root_highs)];
+        while let Some((idx, lows, highs)) = stack.pop() {
+            let node = self.arena.get(idx);
+            out.push(BlockView {
+                lows: lows.clone(),
+                highs: highs.clone(),
+                depth: node.depth,
+                is_leaf: node.is_leaf(),
+                summary: node.summary,
+            });
+            if let Some(children) = &node.children {
+                for (slot, &child) in children.iter().enumerate() {
+                    if child == NIL {
+                        continue;
+                    }
+                    // Bit i of the slot selects the upper half in dim i.
+                    let mut clows = lows.clone();
+                    let mut chighs = highs.clone();
+                    for i in 0..d {
+                        let mid = (lows[i] + highs[i]) / 2.0;
+                        if slot >> i & 1 == 1 {
+                            clows[i] = mid;
+                        } else {
+                            chighs[i] = mid;
+                        }
+                    }
+                    stack.push((child, clows, chighs));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InsertionStrategy, MlqConfig, Space};
+
+    fn model(lambda: u8) -> MemoryLimitedQuadtree {
+        let config = MlqConfig::builder(Space::cube(2, 0.0, 1000.0).unwrap())
+            .memory_budget(1 << 16)
+            .strategy(InsertionStrategy::Eager)
+            .lambda(lambda)
+            .build()
+            .unwrap();
+        MemoryLimitedQuadtree::new(config).unwrap()
+    }
+
+    #[test]
+    fn root_block_covers_the_space() {
+        let m = model(4);
+        let blocks = m.blocks();
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].lows, vec![0.0, 0.0]);
+        assert_eq!(blocks[0].highs, vec![1000.0, 1000.0]);
+        assert!(blocks[0].is_leaf);
+    }
+
+    #[test]
+    fn block_regions_nest_and_contain_their_points() {
+        let mut m = model(6);
+        let points = [[3.0, 7.0], [912.0, 44.0], [499.0, 501.0]];
+        for (i, p) in points.iter().enumerate() {
+            m.insert(p, i as f64).unwrap();
+        }
+        let blocks = m.blocks();
+        assert_eq!(blocks.len(), m.node_count());
+        for p in &points {
+            // Every inserted point lies in exactly one block per depth it
+            // reached, and at least the root plus one leaf.
+            let covering: Vec<&BlockView> =
+                blocks.iter().filter(|b| b.contains(p)).collect();
+            assert!(covering.len() >= 2, "point {p:?} covered by {}", covering.len());
+            // Depths along a path are distinct.
+            let mut depths: Vec<u8> = covering.iter().map(|b| b.depth).collect();
+            depths.sort_unstable();
+            depths.dedup();
+            assert_eq!(depths.len(), covering.len(), "one block per depth on the path");
+        }
+    }
+
+    #[test]
+    fn child_regions_halve_each_dimension() {
+        let mut m = model(1);
+        m.insert(&[900.0, 100.0], 1.0).unwrap(); // quadrant x-high, y-low
+        let blocks = m.blocks();
+        let child = blocks.iter().find(|b| b.depth == 1).unwrap();
+        assert_eq!(child.lows, vec![500.0, 0.0]);
+        assert_eq!(child.highs, vec![1000.0, 500.0]);
+    }
+
+    #[test]
+    fn summaries_in_blocks_match_node_views() {
+        let mut m = model(3);
+        for i in 0..40u32 {
+            m.insert(&[f64::from(i * 23 % 1000), f64::from(i * 7 % 1000)], 1.0).unwrap();
+        }
+        let total_from_blocks: u64 = m
+            .blocks()
+            .iter()
+            .filter(|b| b.depth == 0)
+            .map(|b| b.summary.count)
+            .sum();
+        assert_eq!(total_from_blocks, 40);
+    }
+}

@@ -1,0 +1,249 @@
+//! Model configuration: the paper's tuning parameters.
+//!
+//! | Parameter | Paper meaning | Paper default |
+//! |---|---|---|
+//! | `β` (beta) | minimum points a block needs before its average is trusted for prediction | 1 (CPU), 10 (disk IO) |
+//! | `α` (alpha) | lazy-insertion threshold scale: partition when `SSE(b) ≥ α·SSE(root)` | 0.05 |
+//! | `γ` (gamma) | fraction of the memory budget freed per compression | 0.1 % |
+//! | `λ` (lambda) | maximum tree depth | 6 |
+//! | memory | byte budget for the whole tree | 1.8 KB |
+
+use crate::error::MlqError;
+use crate::space::Space;
+use crate::{child_array_bytes, NODE_BYTES};
+use serde::{Deserialize, Serialize};
+
+/// When a new data point triggers further partitioning (paper §4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum InsertionStrategy {
+    /// Partition down to the maximum depth `λ` on every insertion
+    /// (`th_SSE = 0`). Higher accuracy, more frequent compression.
+    Eager,
+    /// Partition a block only when its SSE reaches
+    /// `th_SSE = α·SSE(root)` (Eq. 7). The threshold is zero until the
+    /// first compression, mirroring the paper's "after the first
+    /// compression" bootstrap.
+    Lazy {
+        /// Scaling factor `α` applied to the root block's SSE.
+        alpha: f64,
+    },
+}
+
+impl InsertionStrategy {
+    /// Short display label used by the experiment harness ("MLQ-E"/"MLQ-L").
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            InsertionStrategy::Eager => "MLQ-E",
+            InsertionStrategy::Lazy { .. } => "MLQ-L",
+        }
+    }
+}
+
+/// Full configuration of a [`crate::MemoryLimitedQuadtree`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlqConfig {
+    /// The model space the tree partitions.
+    pub space: Space,
+    /// Byte budget; compression runs when the tree exceeds it.
+    pub memory_budget: usize,
+    /// Eager or lazy insertion.
+    pub strategy: InsertionStrategy,
+    /// Minimum block count `β` consulted at prediction time.
+    pub beta: u64,
+    /// Fraction `γ` of the budget freed per compression pass.
+    pub gamma: f64,
+    /// Maximum tree depth `λ`.
+    pub lambda: u8,
+}
+
+impl MlqConfig {
+    /// Starts a builder over the given model space with the paper's default
+    /// parameter values.
+    #[must_use]
+    pub fn builder(space: Space) -> MlqConfigBuilder {
+        MlqConfigBuilder {
+            space,
+            memory_budget: 1800,
+            strategy: InsertionStrategy::Eager,
+            beta: 1,
+            gamma: 0.001,
+            lambda: 6,
+        }
+    }
+
+    /// Smallest budget that admits a tree over this space: the root plus
+    /// one full root-to-`λ` path of children (so a single insertion cannot
+    /// dead-lock compression).
+    #[must_use]
+    pub fn min_budget(space: &Space, lambda: u8) -> usize {
+        let path = lambda as usize + 1;
+        path * (NODE_BYTES + child_array_bytes(space.dims()))
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), MlqError> {
+        if !(self.gamma > 0.0 && self.gamma <= 1.0) {
+            return Err(MlqError::InvalidConfig {
+                reason: format!("gamma must be in (0, 1], got {}", self.gamma),
+            });
+        }
+        if self.beta == 0 {
+            return Err(MlqError::InvalidConfig { reason: "beta must be at least 1".into() });
+        }
+        if self.lambda == 0 {
+            return Err(MlqError::InvalidConfig { reason: "lambda must be at least 1".into() });
+        }
+        if u32::from(self.lambda) >= crate::GRID_BITS {
+            return Err(MlqError::InvalidConfig {
+                reason: format!("lambda must be below GRID_BITS = {}", crate::GRID_BITS),
+            });
+        }
+        if let InsertionStrategy::Lazy { alpha } = self.strategy {
+            if !(alpha.is_finite() && alpha >= 0.0) {
+                return Err(MlqError::InvalidConfig {
+                    reason: format!("alpha must be finite and non-negative, got {alpha}"),
+                });
+            }
+        }
+        let required = Self::min_budget(&self.space, self.lambda);
+        if self.memory_budget < required {
+            return Err(MlqError::BudgetTooSmall { budget: self.memory_budget, required });
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`MlqConfig`]; every setter has the paper's default.
+#[derive(Debug, Clone)]
+pub struct MlqConfigBuilder {
+    space: Space,
+    memory_budget: usize,
+    strategy: InsertionStrategy,
+    beta: u64,
+    gamma: f64,
+    lambda: u8,
+}
+
+impl MlqConfigBuilder {
+    /// Sets the byte budget (paper: 1.8 KB).
+    #[must_use]
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = bytes;
+        self
+    }
+
+    /// Sets the insertion strategy (paper: both are evaluated).
+    #[must_use]
+    pub fn strategy(mut self, strategy: InsertionStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets `β` (paper: 1 for CPU costs, 10 for noisy disk-IO costs).
+    #[must_use]
+    pub fn beta(mut self, beta: u64) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Sets `γ` (paper: 0.1 %).
+    #[must_use]
+    pub fn gamma(mut self, gamma: f64) -> Self {
+        self.gamma = gamma;
+        self
+    }
+
+    /// Sets `λ` (paper: 6).
+    #[must_use]
+    pub fn lambda(mut self, lambda: u8) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`MlqError::InvalidConfig`] for out-of-range parameters and
+    /// [`MlqError::BudgetTooSmall`] when the budget cannot hold a
+    /// root-to-`λ` path.
+    pub fn build(self) -> Result<MlqConfig, MlqError> {
+        let config = MlqConfig {
+            space: self.space,
+            memory_budget: self.memory_budget,
+            strategy: self.strategy,
+            beta: self.beta,
+            gamma: self.gamma,
+            lambda: self.lambda,
+        };
+        config.validate()?;
+        Ok(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space2() -> Space {
+        Space::unit(2).unwrap()
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = MlqConfig::builder(space2()).build().unwrap();
+        assert_eq!(c.memory_budget, 1800);
+        assert_eq!(c.beta, 1);
+        assert_eq!(c.gamma, 0.001);
+        assert_eq!(c.lambda, 6);
+        assert_eq!(c.strategy, InsertionStrategy::Eager);
+    }
+
+    #[test]
+    fn strategy_labels() {
+        assert_eq!(InsertionStrategy::Eager.label(), "MLQ-E");
+        assert_eq!(InsertionStrategy::Lazy { alpha: 0.05 }.label(), "MLQ-L");
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(MlqConfig::builder(space2()).gamma(0.0).build().is_err());
+        assert!(MlqConfig::builder(space2()).gamma(1.5).build().is_err());
+        assert!(MlqConfig::builder(space2()).beta(0).build().is_err());
+        assert!(MlqConfig::builder(space2()).lambda(0).build().is_err());
+        assert!(MlqConfig::builder(space2())
+            .strategy(InsertionStrategy::Lazy { alpha: -1.0 })
+            .build()
+            .is_err());
+        assert!(MlqConfig::builder(space2())
+            .strategy(InsertionStrategy::Lazy { alpha: f64::NAN })
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_budget_below_one_path() {
+        let required = MlqConfig::min_budget(&space2(), 6);
+        assert!(MlqConfig::builder(space2()).memory_budget(required - 1).build().is_err());
+        assert!(MlqConfig::builder(space2()).memory_budget(required).build().is_ok());
+    }
+
+    #[test]
+    fn min_budget_scales_with_dims_and_lambda() {
+        let s2 = Space::unit(2).unwrap();
+        let s4 = Space::unit(4).unwrap();
+        assert!(MlqConfig::min_budget(&s4, 6) > MlqConfig::min_budget(&s2, 6));
+        assert!(MlqConfig::min_budget(&s2, 8) > MlqConfig::min_budget(&s2, 4));
+    }
+
+    #[test]
+    fn config_roundtrips_through_serde() {
+        let c = MlqConfig::builder(space2())
+            .strategy(InsertionStrategy::Lazy { alpha: 0.05 })
+            .build()
+            .unwrap();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: MlqConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

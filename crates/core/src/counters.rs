@@ -1,0 +1,112 @@
+//! Operation counters backing the paper's APC / AUC cost metrics.
+//!
+//! Section 3 defines the *average prediction cost*
+//! `APC = Σ P(i) / N_P` (Eq. 1) and the *average model update cost*
+//! `AUC = (Σ I(i) + Σ C(i)) / N_P` (Eq. 2), where `P`, `I`, `C` are the
+//! wall-clock times of individual predictions, insertions, and
+//! compressions. The tree records these internally; the experiment harness
+//! reads them out through [`ModelCounters`].
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Accumulated operation counts and wall-clock totals for one model.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelCounters {
+    /// Number of predictions served (`N_P`).
+    pub predictions: u64,
+    /// Total nanoseconds spent in prediction.
+    pub predict_nanos: u64,
+    /// Number of data points inserted (`N_I`).
+    pub insertions: u64,
+    /// Total nanoseconds spent in insertion (excluding compression).
+    pub insert_nanos: u64,
+    /// Number of compression passes (`N_C`).
+    pub compressions: u64,
+    /// Total nanoseconds spent compressing.
+    pub compress_nanos: u64,
+}
+
+impl ModelCounters {
+    /// Average prediction cost, paper Eq. 1. `None` before any prediction.
+    #[must_use]
+    pub fn apc(&self) -> Option<Duration> {
+        (self.predictions > 0)
+            .then(|| Duration::from_nanos(self.predict_nanos / self.predictions))
+    }
+
+    /// Average model update cost, paper Eq. 2: total insertion plus
+    /// compression time, amortized over the number of *predictions*.
+    /// `None` before any prediction.
+    #[must_use]
+    pub fn auc(&self) -> Option<Duration> {
+        (self.predictions > 0).then(|| {
+            Duration::from_nanos((self.insert_nanos + self.compress_nanos) / self.predictions)
+        })
+    }
+
+    /// Insertion component of AUC (the paper's "IC" bar in Fig. 10).
+    #[must_use]
+    pub fn insertion_cost(&self) -> Option<Duration> {
+        (self.predictions > 0).then(|| Duration::from_nanos(self.insert_nanos / self.predictions))
+    }
+
+    /// Compression component of AUC (the paper's "CC" bar in Fig. 10).
+    #[must_use]
+    pub fn compression_cost(&self) -> Option<Duration> {
+        (self.predictions > 0)
+            .then(|| Duration::from_nanos(self.compress_nanos / self.predictions))
+    }
+
+    /// Adds another counter set into this one (used when sharding work).
+    pub fn merge(&mut self, other: &ModelCounters) {
+        self.predictions += other.predictions;
+        self.predict_nanos += other.predict_nanos;
+        self.insertions += other.insertions;
+        self.insert_nanos += other.insert_nanos;
+        self.compressions += other.compressions;
+        self.compress_nanos += other.compress_nanos;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apc_and_auc_need_predictions() {
+        let c = ModelCounters::default();
+        assert_eq!(c.apc(), None);
+        assert_eq!(c.auc(), None);
+    }
+
+    #[test]
+    fn apc_averages_over_predictions() {
+        let c = ModelCounters { predictions: 4, predict_nanos: 4000, ..Default::default() };
+        assert_eq!(c.apc(), Some(Duration::from_nanos(1000)));
+    }
+
+    #[test]
+    fn auc_combines_insert_and_compress_normalized_by_predictions() {
+        let c = ModelCounters {
+            predictions: 2,
+            insertions: 10,
+            insert_nanos: 600,
+            compressions: 1,
+            compress_nanos: 400,
+            ..Default::default()
+        };
+        assert_eq!(c.auc(), Some(Duration::from_nanos(500)));
+        assert_eq!(c.insertion_cost(), Some(Duration::from_nanos(300)));
+        assert_eq!(c.compression_cost(), Some(Duration::from_nanos(200)));
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = ModelCounters { predictions: 1, predict_nanos: 10, ..Default::default() };
+        let b = ModelCounters { predictions: 2, predict_nanos: 30, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.predictions, 3);
+        assert_eq!(a.predict_nanos, 40);
+    }
+}

@@ -1,0 +1,187 @@
+//! Merging two quadtrees.
+//!
+//! Summaries are additive (`S`, `C`, `SS` all sum), so two models trained
+//! on disjoint observation streams merge exactly: the merged tree is
+//! identical in content to one trained on the concatenated stream routed
+//! through the union of both structures. This enables sharded training —
+//! e.g. per-connection cost models folded into a shared catalog model —
+//! which the paper does not discuss but its data structure supports for
+//! free.
+//!
+//! Structure is the union of both trees (capped at the destination's
+//! `λ`); if the union exceeds the destination's byte budget, a standard
+//! compression pass (paper Fig. 6) brings it back.
+
+use crate::compress::CompressionReport;
+use crate::error::MlqError;
+use crate::node::NIL;
+use crate::tree::MemoryLimitedQuadtree;
+
+impl MemoryLimitedQuadtree {
+    /// Folds `other`'s observations into `self`.
+    ///
+    /// Requirements: identical model spaces (the partitioning must line
+    /// up). `other`'s nodes deeper than `self`'s `λ` are skipped — their
+    /// points remain counted in every surviving ancestor, so no
+    /// observation is lost, only resolution.
+    ///
+    /// Returns the compression report if the merged tree had to be
+    /// shrunk back under budget.
+    ///
+    /// # Errors
+    ///
+    /// [`MlqError::InvalidConfig`] when the spaces differ.
+    pub fn merge_from(
+        &mut self,
+        other: &MemoryLimitedQuadtree,
+    ) -> Result<Option<CompressionReport>, MlqError> {
+        if self.config().space != other.config().space {
+            return Err(MlqError::InvalidConfig {
+                reason: "cannot merge models over different spaces".into(),
+            });
+        }
+        let lambda = self.config().lambda;
+        // Walk `other` pre-order, tracking the corresponding node in
+        // `self` (created on demand).
+        let mut stack: Vec<(u32, u32)> = vec![(other.root, self.root)];
+        while let Some((theirs, ours)) = stack.pop() {
+            let their_node = other.arena.get(theirs);
+            self.arena.get_mut(ours).summary.merge(&their_node.summary);
+            if their_node.depth >= lambda {
+                continue; // children would exceed our depth cap
+            }
+            if let Some(children) = &their_node.children {
+                for (slot, &child) in children.iter().enumerate() {
+                    if child == NIL {
+                        continue;
+                    }
+                    let our_child = match self.arena.get(ours).child(slot) {
+                        Some(c) => c,
+                        None => self.materialize_child(ours, slot),
+                    };
+                    stack.push((child, our_child));
+                }
+            }
+        }
+        let report = if self.bytes_used() > self.config().memory_budget {
+            Some(self.compress())
+        } else {
+            None
+        };
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InsertionStrategy, MlqConfig, Space};
+
+    fn model(budget: usize, lambda: u8) -> MemoryLimitedQuadtree {
+        let config = MlqConfig::builder(Space::cube(2, 0.0, 1000.0).unwrap())
+            .memory_budget(budget)
+            .strategy(InsertionStrategy::Eager)
+            .lambda(lambda)
+            .build()
+            .unwrap();
+        MemoryLimitedQuadtree::new(config).unwrap()
+    }
+
+    fn shard_a() -> Vec<(Vec<f64>, f64)> {
+        (0..150u32)
+            .map(|i| {
+                (vec![f64::from(i * 7 % 1000), f64::from(i * 13 % 1000)], f64::from(i % 11))
+            })
+            .collect()
+    }
+
+    fn shard_b() -> Vec<(Vec<f64>, f64)> {
+        (0..150u32)
+            .map(|i| {
+                (vec![f64::from(i * 17 % 1000), f64::from(i * 29 % 1000)], f64::from(i % 7))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merge_equals_sequential_training() {
+        // Train a and b on two shards, merge; compare with one model that
+        // saw both shards. Large budgets so no compression interferes.
+        let mut a = model(1 << 20, 6);
+        let mut b = model(1 << 20, 6);
+        let mut whole = model(1 << 20, 6);
+        for (p, v) in shard_a() {
+            a.insert(&p, v).unwrap();
+            whole.insert(&p, v).unwrap();
+        }
+        for (p, v) in shard_b() {
+            b.insert(&p, v).unwrap();
+            whole.insert(&p, v).unwrap();
+        }
+        let report = a.merge_from(&b).unwrap();
+        assert!(report.is_none(), "no compression needed at this budget");
+        a.check_invariants().unwrap();
+        assert_eq!(a.root_summary(), whole.root_summary());
+        assert_eq!(a.node_count(), whole.node_count());
+        for i in 0..200u32 {
+            let p = [f64::from(i * 3 % 1000), f64::from(i * 5 % 1000)];
+            assert_eq!(a.predict(&p).unwrap(), whole.predict(&p).unwrap());
+        }
+    }
+
+    #[test]
+    fn merge_over_budget_compresses() {
+        let mut a = model(1200, 6);
+        let mut b = model(1200, 6);
+        for (p, v) in shard_a() {
+            a.insert(&p, v).unwrap();
+        }
+        for (p, v) in shard_b() {
+            b.insert(&p, v).unwrap();
+        }
+        let report = a.merge_from(&b).unwrap();
+        assert!(report.is_some(), "tight budget forces compression");
+        assert!(a.bytes_used() <= a.memory_budget());
+        a.check_invariants().unwrap();
+        assert_eq!(a.root_summary().count, 300);
+    }
+
+    #[test]
+    fn merge_caps_at_destination_lambda() {
+        let mut shallow = model(1 << 20, 2);
+        let mut deep = model(1 << 20, 6);
+        for (p, v) in shard_a() {
+            deep.insert(&p, v).unwrap();
+        }
+        shallow.merge_from(&deep).unwrap();
+        shallow.check_invariants().unwrap();
+        assert!(shallow.max_depth() <= 2);
+        // No observations lost: counts match.
+        assert_eq!(shallow.root_summary().count, deep.root_summary().count);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_spaces() {
+        let mut a = model(4096, 6);
+        let config = MlqConfig::builder(Space::cube(2, 0.0, 500.0).unwrap())
+            .memory_budget(4096)
+            .build()
+            .unwrap();
+        let b = MemoryLimitedQuadtree::new(config).unwrap();
+        assert!(a.merge_from(&b).is_err());
+    }
+
+    #[test]
+    fn merging_empty_model_is_identity() {
+        let mut a = model(1 << 16, 6);
+        for (p, v) in shard_a() {
+            a.insert(&p, v).unwrap();
+        }
+        let before_nodes = a.node_count();
+        let before_root = a.root_summary();
+        let empty = model(1 << 16, 6);
+        a.merge_from(&empty).unwrap();
+        assert_eq!(a.node_count(), before_nodes);
+        assert_eq!(a.root_summary(), before_root);
+    }
+}

@@ -1,0 +1,102 @@
+//! The common cost-model interface shared by MLQ and the static baselines.
+//!
+//! The experiment harness (Fig. 1 in the paper) treats every modeling
+//! method uniformly: the optimizer asks for a *prediction* at a query
+//! point; after executing the UDF, the *observed* actual cost is offered
+//! back. Self-tuning models (MLQ) learn from observations; static models
+//! (SH-W / SH-H) ignore them and rely on a-priori training through
+//! [`TrainableModel`].
+
+use crate::error::MlqError;
+use crate::tree::MemoryLimitedQuadtree;
+
+/// A UDF execution-cost model over a fixed multi-dimensional model space.
+pub trait CostModel {
+    /// Predicts the cost at `point`; `Ok(None)` while the model has no
+    /// information at all.
+    ///
+    /// # Errors
+    ///
+    /// Implementations reject malformed points (wrong dimensionality,
+    /// non-finite coordinates).
+    fn predict(&self, point: &[f64]) -> Result<Option<f64>, MlqError>;
+
+    /// Offers the observed actual cost at `point` as feedback.
+    /// Self-tuning models update themselves; static models ignore it.
+    ///
+    /// # Errors
+    ///
+    /// Implementations reject malformed points or non-finite costs.
+    fn observe(&mut self, point: &[f64], actual: f64) -> Result<(), MlqError>;
+
+    /// Accounted bytes of memory the model currently occupies.
+    fn memory_used(&self) -> usize;
+
+    /// Display name used in result tables ("MLQ-E", "SH-H", ...).
+    fn name(&self) -> String;
+}
+
+/// A model trained once, a-priori, from a complete data set — the paper's
+/// static histogram baselines.
+pub trait TrainableModel: CostModel {
+    /// Builds the model from `(point, cost)` training pairs.
+    ///
+    /// # Errors
+    ///
+    /// Implementations reject malformed training data.
+    fn fit(&mut self, data: &[(Vec<f64>, f64)]) -> Result<(), MlqError>;
+}
+
+/// MLQ normally learns online, but "alternatively, MLQ can be trained with
+/// some a-priori training data before making the first prediction"
+/// (paper §1); `fit` inserts the training set without resetting prior
+/// state.
+impl TrainableModel for MemoryLimitedQuadtree {
+    fn fit(&mut self, data: &[(Vec<f64>, f64)]) -> Result<(), MlqError> {
+        for (point, value) in data {
+            self.insert(point, *value)?;
+        }
+        Ok(())
+    }
+}
+
+impl CostModel for MemoryLimitedQuadtree {
+    fn predict(&self, point: &[f64]) -> Result<Option<f64>, MlqError> {
+        MemoryLimitedQuadtree::predict(self, point)
+    }
+
+    fn observe(&mut self, point: &[f64], actual: f64) -> Result<(), MlqError> {
+        self.insert(point, actual).map(|_| ())
+    }
+
+    fn memory_used(&self) -> usize {
+        self.bytes_used()
+    }
+
+    fn name(&self) -> String {
+        self.config().strategy.label().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InsertionStrategy, MlqConfig, Space};
+
+    #[test]
+    fn mlq_implements_cost_model() {
+        let space = Space::cube(2, 0.0, 1000.0).unwrap();
+        let config = MlqConfig::builder(space)
+            .memory_budget(1 << 16)
+            .strategy(InsertionStrategy::Lazy { alpha: 0.05 })
+            .build()
+            .unwrap();
+        let mut model: Box<dyn CostModel> =
+            Box::new(MemoryLimitedQuadtree::new(config).unwrap());
+        assert_eq!(model.name(), "MLQ-L");
+        assert_eq!(model.predict(&[1.0, 1.0]).unwrap(), None);
+        model.observe(&[1.0, 1.0], 10.0).unwrap();
+        assert_eq!(model.predict(&[1.0, 1.0]).unwrap(), Some(10.0));
+        assert!(model.memory_used() > 0);
+    }
+}

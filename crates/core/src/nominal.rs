@@ -1,0 +1,148 @@
+//! Nominal (categorical) arguments — the first of the paper's two
+//! deferred extensions ("we assume the input arguments are ordinal...,
+//! while leaving it to future work to incorporate nominal arguments").
+//!
+//! A quadtree needs ordinal coordinates; a categorical argument (a
+//! keyword, a table name, an enum) has none. [`NominalDimension`] gives
+//! each distinct category a stable integer coordinate in first-seen
+//! order. Two caveats are inherent and documented rather than hidden:
+//!
+//! * *Locality is arbitrary*: adjacent codes need not have similar costs,
+//!   so blocks mixing categories average unrelated values. With `β = 1`
+//!   and enough memory each category settles into its own fine block;
+//!   under pressure, accuracy degrades gracefully to coarser mixtures.
+//! * *The range must be bounded*: the encoder reserves `capacity` codes
+//!   up front (the model space needs a fixed range); encoding more
+//!   distinct categories than that fails.
+
+use crate::error::MlqError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Dictionary encoder mapping category strings to model coordinates.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NominalDimension {
+    codes: HashMap<String, u32>,
+    capacity: u32,
+}
+
+impl NominalDimension {
+    /// Creates an encoder for up to `capacity` distinct categories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: u32) -> Self {
+        assert!(capacity > 0, "need room for at least one category");
+        NominalDimension { codes: HashMap::new(), capacity }
+    }
+
+    /// The coordinate range this dimension occupies: `[0, capacity)`.
+    /// Use these as the dimension's bounds in [`crate::Space::new`].
+    #[must_use]
+    pub fn bounds(&self) -> (f64, f64) {
+        (0.0, f64::from(self.capacity))
+    }
+
+    /// Number of categories seen so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True when no category has been encoded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Encodes a category, assigning a fresh code on first sight.
+    ///
+    /// # Errors
+    ///
+    /// [`MlqError::InvalidConfig`] once `capacity` distinct categories
+    /// exist and a new one arrives.
+    pub fn encode(&mut self, category: &str) -> Result<f64, MlqError> {
+        if let Some(&code) = self.codes.get(category) {
+            return Ok(f64::from(code));
+        }
+        let next = u32::try_from(self.codes.len()).unwrap_or(u32::MAX);
+        if next >= self.capacity {
+            return Err(MlqError::InvalidConfig {
+                reason: format!(
+                    "nominal dimension is full ({} categories); raise its capacity",
+                    self.capacity
+                ),
+            });
+        }
+        self.codes.insert(category.to_string(), next);
+        Ok(f64::from(next))
+    }
+
+    /// The code of an already-seen category (prediction-time lookups must
+    /// not allocate codes: an unseen category has no statistics anyway).
+    #[must_use]
+    pub fn lookup(&self, category: &str) -> Option<f64> {
+        self.codes.get(category).map(|&c| f64::from(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemoryLimitedQuadtree, MlqConfig, Space};
+
+    #[test]
+    fn codes_are_stable_and_dense() {
+        let mut d = NominalDimension::new(10);
+        assert!(d.is_empty());
+        assert_eq!(d.encode("jpeg").unwrap(), 0.0);
+        assert_eq!(d.encode("png").unwrap(), 1.0);
+        assert_eq!(d.encode("jpeg").unwrap(), 0.0, "repeat gets the same code");
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.lookup("png"), Some(1.0));
+        assert_eq!(d.lookup("gif"), None, "lookup never allocates");
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut d = NominalDimension::new(2);
+        d.encode("a").unwrap();
+        d.encode("b").unwrap();
+        assert!(d.encode("c").is_err());
+        // Existing categories still encode fine.
+        assert_eq!(d.encode("a").unwrap(), 0.0);
+    }
+
+    #[test]
+    fn drives_a_model_over_a_categorical_argument() {
+        // UDF cost depends on an image format argument.
+        let mut formats = NominalDimension::new(8);
+        let (lo, hi) = formats.bounds();
+        let space = Space::new(vec![lo], vec![hi]).unwrap();
+        let config = MlqConfig::builder(space).memory_budget(4096).build().unwrap();
+        let mut model = MemoryLimitedQuadtree::new(config).unwrap();
+
+        for _ in 0..5 {
+            let c = formats.encode("jpeg").unwrap();
+            model.insert(&[c], 120.0).unwrap();
+            let c = formats.encode("tiff").unwrap();
+            model.insert(&[c], 900.0).unwrap();
+        }
+        let jpeg = model.predict(&[formats.lookup("jpeg").unwrap()]).unwrap().unwrap();
+        let tiff = model.predict(&[formats.lookup("tiff").unwrap()]).unwrap().unwrap();
+        assert!((jpeg - 120.0).abs() < 1e-9);
+        assert!((tiff - 900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roundtrips_through_serde() {
+        let mut d = NominalDimension::new(4);
+        d.encode("x").unwrap();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: NominalDimension = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.lookup("x"), Some(0.0));
+    }
+}

@@ -1,0 +1,243 @@
+//! Model persistence: snapshot and restore.
+//!
+//! A query optimizer keeps its statistics in the catalog so they survive
+//! restarts; a self-tuning cost model is only useful if what it learned
+//! does too. [`TreeSnapshot`] is a compact, serde-serializable image of a
+//! model — configuration plus the live nodes in depth-first order — that
+//! rebuilds into an identical tree.
+
+use crate::config::MlqConfig;
+use crate::error::MlqError;
+use crate::node::NIL;
+use crate::summary::Summary;
+use crate::tree::MemoryLimitedQuadtree;
+use serde::{Deserialize, Serialize};
+
+/// One node in a snapshot. `parent` indexes into the snapshot's node list
+/// (`None` for the root); nodes appear in an order where parents precede
+/// children.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct SnapshotNode {
+    summary: Summary,
+    depth: u8,
+    slot_in_parent: u16,
+    parent: Option<u32>,
+}
+
+/// A serializable image of a [`MemoryLimitedQuadtree`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeSnapshot {
+    config: MlqConfig,
+    nodes: Vec<SnapshotNode>,
+    had_compression: bool,
+}
+
+impl TreeSnapshot {
+    /// Number of nodes captured.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The captured configuration.
+    #[must_use]
+    pub fn config(&self) -> &MlqConfig {
+        &self.config
+    }
+}
+
+impl MemoryLimitedQuadtree {
+    /// Captures the model into a serializable snapshot. Operation
+    /// counters (APC/AUC bookkeeping) are not part of the model state and
+    /// are not captured.
+    #[must_use]
+    pub fn snapshot(&self) -> TreeSnapshot {
+        let mut nodes = Vec::with_capacity(self.node_count());
+        // Pre-order DFS so parents always precede children.
+        let mut stack: Vec<(u32, Option<u32>)> = vec![(self.root, None)];
+        while let Some((idx, parent)) = stack.pop() {
+            let node = self.arena.get(idx);
+            let my_index = u32::try_from(nodes.len()).expect("node count fits u32");
+            nodes.push(SnapshotNode {
+                summary: node.summary,
+                depth: node.depth,
+                slot_in_parent: node.slot_in_parent,
+                parent,
+            });
+            if let Some(children) = &node.children {
+                for &child in children.iter() {
+                    if child != NIL {
+                        stack.push((child, Some(my_index)));
+                    }
+                }
+            }
+        }
+        TreeSnapshot {
+            config: self.config().clone(),
+            nodes,
+            had_compression: self.has_compressed(),
+        }
+    }
+
+    /// Rebuilds a model from a snapshot. The result is structurally
+    /// identical to the captured tree (verified against the full
+    /// invariant checker).
+    ///
+    /// # Errors
+    ///
+    /// [`MlqError::InvalidConfig`] when the snapshot is malformed
+    /// (dangling parents, children out of order, duplicate slots) or its
+    /// configuration no longer validates.
+    pub fn from_snapshot(snapshot: &TreeSnapshot) -> Result<Self, MlqError> {
+        let mut tree = MemoryLimitedQuadtree::new(snapshot.config.clone())?;
+        let malformed = |reason: &str| MlqError::InvalidConfig {
+            reason: format!("malformed snapshot: {reason}"),
+        };
+        if snapshot.nodes.is_empty() {
+            return Err(malformed("no root node"));
+        }
+        // arena index of each snapshot node, filled as we materialize.
+        let mut arena_index: Vec<u32> = Vec::with_capacity(snapshot.nodes.len());
+        for (i, snode) in snapshot.nodes.iter().enumerate() {
+            match snode.parent {
+                None => {
+                    if i != 0 {
+                        return Err(malformed("multiple roots"));
+                    }
+                    if snode.depth != 0 {
+                        return Err(malformed("root at non-zero depth"));
+                    }
+                    tree.arena.get_mut(tree.root).summary = snode.summary;
+                    arena_index.push(tree.root);
+                }
+                Some(p) => {
+                    let p = p as usize;
+                    if p >= i {
+                        return Err(malformed("child precedes its parent"));
+                    }
+                    let parent_arena = arena_index[p];
+                    if snode.depth != snapshot.nodes[p].depth + 1 {
+                        return Err(malformed("depth does not match parent"));
+                    }
+                    if usize::from(snode.slot_in_parent) >= tree.fanout {
+                        return Err(malformed("slot outside fanout"));
+                    }
+                    if tree
+                        .arena
+                        .get(parent_arena)
+                        .child(usize::from(snode.slot_in_parent))
+                        .is_some()
+                    {
+                        return Err(malformed("duplicate child slot"));
+                    }
+                    let child =
+                        tree.materialize_child(parent_arena, usize::from(snode.slot_in_parent));
+                    tree.arena.get_mut(child).summary = snode.summary;
+                    arena_index.push(child);
+                }
+            }
+        }
+        tree.set_had_compression(snapshot.had_compression);
+        tree.check_invariants().map_err(|reason| MlqError::InvalidConfig {
+            reason: format!("snapshot failed invariants: {reason}"),
+        })?;
+        Ok(tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InsertionStrategy, Space};
+
+    fn trained_model() -> MemoryLimitedQuadtree {
+        let config = MlqConfig::builder(Space::cube(2, 0.0, 1000.0).unwrap())
+            .memory_budget(2048)
+            .strategy(InsertionStrategy::Lazy { alpha: 0.05 })
+            .build()
+            .unwrap();
+        let mut m = MemoryLimitedQuadtree::new(config).unwrap();
+        for i in 0..300u32 {
+            let x = f64::from(i.wrapping_mul(97) % 1000);
+            let y = f64::from(i.wrapping_mul(31) % 1000);
+            m.insert(&[x, y], f64::from(i % 17)).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_structure_and_predictions() {
+        let original = trained_model();
+        let snapshot = original.snapshot();
+        assert_eq!(snapshot.node_count(), original.node_count());
+
+        let restored = MemoryLimitedQuadtree::from_snapshot(&snapshot).unwrap();
+        restored.check_invariants().unwrap();
+        assert_eq!(restored.node_count(), original.node_count());
+        assert_eq!(restored.bytes_used(), original.bytes_used());
+        assert_eq!(restored.root_summary(), original.root_summary());
+        assert_eq!(restored.has_compressed(), original.has_compressed());
+        for i in 0..100u32 {
+            let p = [f64::from(i * 7 % 1000), f64::from(i * 13 % 1000)];
+            assert_eq!(restored.predict(&p).unwrap(), original.predict(&p).unwrap());
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let original = trained_model();
+        let json = serde_json::to_string(&original.snapshot()).unwrap();
+        let back: TreeSnapshot = serde_json::from_str(&json).unwrap();
+        let restored = MemoryLimitedQuadtree::from_snapshot(&back).unwrap();
+        assert_eq!(restored.node_count(), original.node_count());
+    }
+
+    #[test]
+    fn restored_model_keeps_learning() {
+        let original = trained_model();
+        let mut restored = MemoryLimitedQuadtree::from_snapshot(&original.snapshot()).unwrap();
+        restored.insert(&[500.0, 500.0], 42.0).unwrap();
+        assert_eq!(restored.root_summary().count, original.root_summary().count + 1);
+        restored.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn malformed_snapshots_are_rejected() {
+        let good = trained_model().snapshot();
+
+        let mut empty = good.clone();
+        empty.nodes.clear();
+        assert!(MemoryLimitedQuadtree::from_snapshot(&empty).is_err());
+
+        let mut dangling = good.clone();
+        let n = dangling.nodes.len() as u32;
+        if let Some(last) = dangling.nodes.last_mut() {
+            last.parent = Some(n + 5);
+        }
+        assert!(MemoryLimitedQuadtree::from_snapshot(&dangling).is_err());
+
+        let mut bad_depth = good.clone();
+        if bad_depth.nodes.len() > 1 {
+            bad_depth.nodes[1].depth = 7;
+            assert!(MemoryLimitedQuadtree::from_snapshot(&bad_depth).is_err());
+        }
+
+        let mut two_roots = good;
+        if two_roots.nodes.len() > 1 {
+            two_roots.nodes[1].parent = None;
+            assert!(MemoryLimitedQuadtree::from_snapshot(&two_roots).is_err());
+        }
+    }
+
+    #[test]
+    fn empty_model_roundtrips() {
+        let config = MlqConfig::builder(Space::unit(1).unwrap())
+            .memory_budget(1024)
+            .build()
+            .unwrap();
+        let m = MemoryLimitedQuadtree::new(config).unwrap();
+        let restored = MemoryLimitedQuadtree::from_snapshot(&m.snapshot()).unwrap();
+        assert_eq!(restored.node_count(), 1);
+        assert_eq!(restored.predict(&[0.5]).unwrap(), None);
+    }
+}

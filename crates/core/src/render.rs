@@ -1,0 +1,83 @@
+//! ASCII rendering of the tree structure, for diagnostics and for
+//! understanding what the compression policy kept.
+
+use crate::node::NIL;
+use crate::tree::MemoryLimitedQuadtree;
+use std::fmt::Write as _;
+
+impl MemoryLimitedQuadtree {
+    /// Renders the tree as an indented ASCII outline. Each line shows the
+    /// block's child slot, depth, count, average, and SSE — the values
+    /// driving prediction (Fig. 3) and compression (Fig. 6). Intended for
+    /// debugging and documentation, not parsing.
+    #[must_use]
+    pub fn render_ascii(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "MLQ tree: {} nodes, {} / {} bytes, th_SSE = {:.3}",
+            self.node_count(),
+            self.bytes_used(),
+            self.memory_budget(),
+            self.current_threshold(),
+        );
+        self.render_node(self.root, 0, &mut out);
+        out
+    }
+
+    fn render_node(&self, idx: u32, slot: usize, out: &mut String) {
+        let node = self.arena.get(idx);
+        let indent = "  ".repeat(usize::from(node.depth));
+        let s = node.summary;
+        let _ = writeln!(
+            out,
+            "{indent}[{slot:>2}] d{} count={} avg={:.2} sse={:.2}",
+            node.depth,
+            s.count,
+            s.avg(),
+            s.sse(),
+        );
+        if let Some(children) = &node.children {
+            for (child_slot, &child) in children.iter().enumerate() {
+                if child != NIL {
+                    self.render_node(child, child_slot, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{InsertionStrategy, MemoryLimitedQuadtree, MlqConfig, Space};
+
+    #[test]
+    fn renders_every_node_once() {
+        let config = MlqConfig::builder(Space::cube(2, 0.0, 1000.0).unwrap())
+            .memory_budget(1 << 16)
+            .strategy(InsertionStrategy::Eager)
+            .lambda(3)
+            .build()
+            .unwrap();
+        let mut m = MemoryLimitedQuadtree::new(config).unwrap();
+        m.insert(&[1.0, 1.0], 5.0).unwrap();
+        m.insert(&[999.0, 999.0], 7.0).unwrap();
+        let rendered = m.render_ascii();
+        // Header + one line per node.
+        assert_eq!(rendered.lines().count(), 1 + m.node_count());
+        assert!(rendered.contains("MLQ tree"));
+        assert!(rendered.contains("count=2"), "root line shows both points:\n{rendered}");
+        assert!(rendered.contains("avg=5.00"));
+        assert!(rendered.contains("avg=7.00"));
+    }
+
+    #[test]
+    fn empty_tree_renders_root_only() {
+        let config = MlqConfig::builder(Space::unit(1).unwrap())
+            .memory_budget(1024)
+            .build()
+            .unwrap();
+        let m = MemoryLimitedQuadtree::new(config).unwrap();
+        assert_eq!(m.render_ascii().lines().count(), 2);
+    }
+}

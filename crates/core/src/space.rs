@@ -1,0 +1,305 @@
+//! The model space and dyadic grid geometry.
+//!
+//! The quadtree fully partitions a `d`-dimensional axis-aligned box by
+//! recursively halving every dimension. Because every block boundary is a
+//! dyadic fraction of the space, a point's root-to-leaf path is determined
+//! entirely by the binary expansion of its normalized coordinates. We
+//! therefore quantize each coordinate once, on entry, to a [`GridPoint`] of
+//! `GRID_BITS`-bit integers; the child slot at depth `t` is read directly
+//! from bit `GRID_BITS - 1 - t` of each coordinate. Descents allocate
+//! nothing and perform no floating-point comparisons.
+
+use crate::error::MlqError;
+use serde::{Deserialize, Serialize};
+
+/// Maximum supported dimensionality of the model space.
+///
+/// The paper's experiments use up to four dimensions; 16 leaves generous
+/// headroom while letting [`GridPoint`] live on the stack.
+pub const MAX_DIMS: usize = 16;
+
+/// Bits of dyadic resolution per dimension.
+///
+/// Tree depth is bounded by the `λ` parameter, which is far below this, so
+/// quantization never limits partitioning in practice.
+pub const GRID_BITS: u32 = 30;
+
+/// A rectangular `d`-dimensional model space with known per-dimension ranges.
+///
+/// Section 3 of the paper assumes "the input arguments are ordinal and their
+/// ranges are given"; `Space` captures those ranges. Points inserted or
+/// queried outside the range are clamped onto the boundary (a UDF cost model
+/// must answer every query the optimizer asks).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Space {
+    lows: Vec<f64>,
+    highs: Vec<f64>,
+}
+
+impl Space {
+    /// Creates a space from explicit per-dimension bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlqError::InvalidSpace`] if the bounds differ in length,
+    /// are empty, exceed [`MAX_DIMS`], contain non-finite values, or have
+    /// `low >= high` in any dimension.
+    pub fn new(lows: Vec<f64>, highs: Vec<f64>) -> Result<Self, MlqError> {
+        if lows.len() != highs.len() {
+            return Err(MlqError::InvalidSpace {
+                reason: format!("{} lows vs {} highs", lows.len(), highs.len()),
+            });
+        }
+        if lows.is_empty() {
+            return Err(MlqError::InvalidSpace { reason: "zero dimensions".into() });
+        }
+        if lows.len() > MAX_DIMS {
+            return Err(MlqError::InvalidSpace {
+                reason: format!("{} dimensions exceeds MAX_DIMS = {MAX_DIMS}", lows.len()),
+            });
+        }
+        for (i, (&lo, &hi)) in lows.iter().zip(&highs).enumerate() {
+            if !lo.is_finite() || !hi.is_finite() {
+                return Err(MlqError::InvalidSpace {
+                    reason: format!("non-finite bound in dimension {i}"),
+                });
+            }
+            if lo >= hi {
+                return Err(MlqError::InvalidSpace {
+                    reason: format!("dimension {i} has low {lo} >= high {hi}"),
+                });
+            }
+        }
+        Ok(Space { lows, highs })
+    }
+
+    /// The `[0, 1]^d` unit cube.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlqError::InvalidSpace`] if `dims` is zero or above
+    /// [`MAX_DIMS`].
+    pub fn unit(dims: usize) -> Result<Self, MlqError> {
+        Self::cube(dims, 0.0, 1.0)
+    }
+
+    /// A cube `[low, high]^d` — the paper uses `[0, 1000]^4`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Space::new`].
+    pub fn cube(dims: usize, low: f64, high: f64) -> Result<Self, MlqError> {
+        Self::new(vec![low; dims], vec![high; dims])
+    }
+
+    /// Number of dimensions.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.lows.len()
+    }
+
+    /// Quadtree fanout, `2^d`.
+    #[must_use]
+    pub fn fanout(&self) -> usize {
+        1 << self.dims()
+    }
+
+    /// Lower bound of dimension `i`.
+    #[must_use]
+    pub fn low(&self, i: usize) -> f64 {
+        self.lows[i]
+    }
+
+    /// Upper bound of dimension `i`.
+    #[must_use]
+    pub fn high(&self, i: usize) -> f64 {
+        self.highs[i]
+    }
+
+    /// Euclidean length of the space's main diagonal.
+    ///
+    /// The paper expresses the decay-region radius `D` as a percentage of
+    /// this diagonal.
+    #[must_use]
+    pub fn diagonal(&self) -> f64 {
+        self.lows
+            .iter()
+            .zip(&self.highs)
+            .map(|(lo, hi)| (hi - lo) * (hi - lo))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Quantizes a point onto the dyadic grid.
+    ///
+    /// Coordinates outside the range are clamped to the nearest boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlqError::DimensionMismatch`] for a wrong-length point and
+    /// [`MlqError::NonFiniteValue`] for NaN or infinite coordinates.
+    pub fn grid_point(&self, point: &[f64]) -> Result<GridPoint, MlqError> {
+        if point.len() != self.dims() {
+            return Err(MlqError::DimensionMismatch { expected: self.dims(), got: point.len() });
+        }
+        let mut coords = [0u32; MAX_DIMS];
+        let max_cell = (1u64 << GRID_BITS) - 1;
+        for (i, &x) in point.iter().enumerate() {
+            if !x.is_finite() {
+                return Err(MlqError::NonFiniteValue { context: "point coordinate" });
+            }
+            let lo = self.lows[i];
+            let hi = self.highs[i];
+            let unit = ((x - lo) / (hi - lo)).clamp(0.0, 1.0);
+            // `unit == 1.0` maps onto the last cell rather than one past it.
+            let cell = ((unit * (1u64 << GRID_BITS) as f64) as u64).min(max_cell);
+            coords[i] = cell as u32;
+        }
+        Ok(GridPoint { coords, dims: self.dims() as u8 })
+    }
+}
+
+/// A point quantized onto the `2^GRID_BITS` dyadic grid of a [`Space`].
+///
+/// Descending the quadtree reads one bit per dimension per level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridPoint {
+    coords: [u32; MAX_DIMS],
+    dims: u8,
+}
+
+impl GridPoint {
+    /// Child slot (`0 .. 2^d`) that this point maps into at tree depth
+    /// `depth` (the root is depth 0, so `depth` here is the depth of the
+    /// *child* level minus one).
+    ///
+    /// Bit `i` of the slot is set when the point lies in the upper half of
+    /// dimension `i` within the current block.
+    #[must_use]
+    pub fn child_slot(&self, depth: u32) -> usize {
+        debug_assert!(depth < GRID_BITS, "tree deeper than grid resolution");
+        let bit = GRID_BITS - 1 - depth;
+        let mut slot = 0usize;
+        for i in 0..self.dims as usize {
+            slot |= (((self.coords[i] >> bit) & 1) as usize) << i;
+        }
+        slot
+    }
+
+    /// Number of dimensions.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.dims as usize
+    }
+
+    /// Raw grid coordinate of dimension `i` (mostly useful in tests).
+    #[must_use]
+    pub fn coord(&self, i: usize) -> u32 {
+        self.coords[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_spaces() {
+        assert!(Space::new(vec![], vec![]).is_err());
+        assert!(Space::new(vec![0.0], vec![0.0, 1.0]).is_err());
+        assert!(Space::new(vec![0.0], vec![0.0]).is_err());
+        assert!(Space::new(vec![1.0], vec![0.0]).is_err());
+        assert!(Space::new(vec![f64::NAN], vec![1.0]).is_err());
+        assert!(Space::new(vec![0.0], vec![f64::INFINITY]).is_err());
+        assert!(Space::unit(MAX_DIMS + 1).is_err());
+        assert!(Space::unit(MAX_DIMS).is_ok());
+    }
+
+    #[test]
+    fn dims_and_fanout() {
+        let s = Space::cube(4, 0.0, 1000.0).unwrap();
+        assert_eq!(s.dims(), 4);
+        assert_eq!(s.fanout(), 16);
+        assert_eq!(s.low(0), 0.0);
+        assert_eq!(s.high(3), 1000.0);
+    }
+
+    #[test]
+    fn diagonal_of_unit_square() {
+        let s = Space::unit(2).unwrap();
+        assert!((s.diagonal() - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_point_validates_input() {
+        let s = Space::unit(2).unwrap();
+        assert!(matches!(
+            s.grid_point(&[0.5]),
+            Err(MlqError::DimensionMismatch { expected: 2, got: 1 })
+        ));
+        assert!(matches!(
+            s.grid_point(&[f64::NAN, 0.5]),
+            Err(MlqError::NonFiniteValue { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_points_clamp() {
+        let s = Space::unit(1).unwrap();
+        let below = s.grid_point(&[-3.0]).unwrap();
+        let above = s.grid_point(&[7.0]).unwrap();
+        assert_eq!(below.coord(0), 0);
+        assert_eq!(above.coord(0), (1 << GRID_BITS) - 1);
+    }
+
+    #[test]
+    fn high_boundary_maps_to_last_cell() {
+        let s = Space::unit(1).unwrap();
+        let g = s.grid_point(&[1.0]).unwrap();
+        assert_eq!(g.coord(0), (1 << GRID_BITS) - 1);
+        // The last cell is in the upper half at every depth.
+        for depth in 0..8 {
+            assert_eq!(g.child_slot(depth), 1);
+        }
+    }
+
+    #[test]
+    fn child_slots_match_quadrants_in_2d() {
+        let s = Space::cube(2, 0.0, 100.0).unwrap();
+        // Quadrant layout at depth 0: slot bit 0 = x-high, bit 1 = y-high.
+        let cases = [
+            ([10.0, 10.0], 0b00),
+            ([90.0, 10.0], 0b01),
+            ([10.0, 90.0], 0b10),
+            ([90.0, 90.0], 0b11),
+        ];
+        for (p, want) in cases {
+            assert_eq!(s.grid_point(&p).unwrap().child_slot(0), want, "point {p:?}");
+        }
+    }
+
+    #[test]
+    fn child_slots_refine_with_depth() {
+        let s = Space::unit(1).unwrap();
+        // 0.3 lies in [0, 0.5) then [0.25, 0.5) then [0.25, 0.375)
+        let g = s.grid_point(&[0.3]).unwrap();
+        assert_eq!(g.child_slot(0), 0); // [0.0, 0.5)
+        assert_eq!(g.child_slot(1), 1); // [0.25, 0.5)
+        assert_eq!(g.child_slot(2), 0); // [0.25, 0.375)
+    }
+
+    #[test]
+    fn midpoint_goes_to_upper_half() {
+        // Consistent half-open [lo, mid) / [mid, hi) convention.
+        let s = Space::unit(1).unwrap();
+        let g = s.grid_point(&[0.5]).unwrap();
+        assert_eq!(g.child_slot(0), 1);
+    }
+
+    #[test]
+    fn non_cubic_space_normalizes_each_dimension() {
+        let s = Space::new(vec![-10.0, 0.0], vec![10.0, 1.0]).unwrap();
+        let g = s.grid_point(&[0.0, 0.75]).unwrap();
+        assert_eq!(g.child_slot(0), 0b01 | 0b10); // x at midpoint -> upper; y upper
+    }
+}

@@ -1,0 +1,298 @@
+//! Per-block summary statistics and the paper's error measures.
+//!
+//! Every quadtree node stores, for the cost values of the data points that
+//! map into its block `b`: the sum `S(b)`, the count `C(b)`, and the sum of
+//! squares `SS(b)`. From these three running sums the paper derives
+//!
+//! * the prediction `AVG(b) = S(b) / C(b)` (Eq. 3),
+//! * the within-block error `SSE(b) = SS(b) − C(b)·AVG(b)²` (Eq. 4),
+//! * the uncovered error `SSENC(b)` (Eq. 5) used by the optimality
+//!   criterion TSSENC (Eq. 6), and
+//! * the eviction priority `SSEG(b) = C(b)·(AVG(p) − AVG(b))²` (Eq. 9).
+
+use serde::{Deserialize, Serialize};
+
+/// Running summary of the cost values observed in one block.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sum of observed cost values, `S(b)`.
+    pub sum: f64,
+    /// Number of observed data points, `C(b)`.
+    pub count: u64,
+    /// Sum of squared cost values, `SS(b)`.
+    pub sum_sq: f64,
+}
+
+impl Summary {
+    /// The empty summary of a freshly created block.
+    #[must_use]
+    pub fn empty() -> Self {
+        Summary::default()
+    }
+
+    /// Summary of a block that has seen the given values.
+    #[must_use]
+    pub fn from_values(values: &[f64]) -> Self {
+        let mut s = Summary::empty();
+        for &v in values {
+            s.add(v);
+        }
+        s
+    }
+
+    /// Records one observed cost value.
+    #[inline]
+    pub fn add(&mut self, value: f64) {
+        self.sum += value;
+        self.count += 1;
+        self.sum_sq += value * value;
+    }
+
+    /// Merges another block's summary into this one.
+    #[inline]
+    pub fn merge(&mut self, other: &Summary) {
+        self.sum += other.sum;
+        self.count += other.count;
+        self.sum_sq += other.sum_sq;
+    }
+
+    /// `AVG(b)` — the model's prediction for this block (paper Eq. 3).
+    ///
+    /// Zero for an empty block; callers treat empty blocks separately.
+    #[inline]
+    #[must_use]
+    pub fn avg(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// `SSE(b) = SS(b) − C(b)·AVG(b)²` (paper Eq. 4).
+    ///
+    /// Mathematically non-negative; clamped at zero against floating-point
+    /// cancellation.
+    #[inline]
+    #[must_use]
+    pub fn sse(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let avg = self.avg();
+        (self.sum_sq - self.count as f64 * avg * avg).max(0.0)
+    }
+
+    /// `SSEG(b) = C(b)·(AVG(p) − AVG(b))²` (paper Eq. 9) — the increase in
+    /// TSSENC caused by evicting this block, given its parent's average.
+    #[inline]
+    #[must_use]
+    pub fn sseg(&self, parent_avg: f64) -> f64 {
+        let d = parent_avg - self.avg();
+        self.count as f64 * d * d
+    }
+}
+
+/// `SSENC(b)` (paper Eq. 5): the sum of squared errors — relative to the
+/// *block's* average — of the data points in `b` that do not map into any of
+/// its children.
+///
+/// Derived from stored summaries without reconstructing points: for each
+/// child `c`, the points inside `c` contribute
+/// `SSE(c) + C(c)·(AVG(c) − AVG(b))²` to `SSE(b)`, so the uncovered
+/// remainder is `SSE(b) − Σ_c [SSE(c) + C(c)·(AVG(c) − AVG(b))²]`.
+#[must_use]
+pub fn ssenc(block: &Summary, children: &[Summary]) -> f64 {
+    let avg_b = block.avg();
+    let covered: f64 = children
+        .iter()
+        .map(|c| {
+            let d = c.avg() - avg_b;
+            c.sse() + c.count as f64 * d * d
+        })
+        .sum();
+    (block.sse() - covered).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn naive_sse(values: &[f64]) -> f64 {
+        if values.is_empty() {
+            return 0.0;
+        }
+        let avg = values.iter().sum::<f64>() / values.len() as f64;
+        values.iter().map(|v| (v - avg) * (v - avg)).sum()
+    }
+
+    #[test]
+    fn empty_summary_is_all_zero() {
+        let s = Summary::empty();
+        assert_eq!(s.avg(), 0.0);
+        assert_eq!(s.sse(), 0.0);
+        assert_eq!(s.count, 0);
+    }
+
+    #[test]
+    fn add_accumulates_all_three_statistics() {
+        let mut s = Summary::empty();
+        s.add(3.0);
+        s.add(5.0);
+        assert_eq!(s.sum, 8.0);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum_sq, 34.0);
+        assert_eq!(s.avg(), 4.0);
+        assert_eq!(s.sse(), 2.0); // (3-4)^2 + (5-4)^2
+    }
+
+    #[test]
+    fn paper_figure5_single_point_block() {
+        // Fig. 5: after inserting P1(5) into fresh block B13,
+        // B(s, c, ss, sse) = (5, 1, 25, 0).
+        let s = Summary::from_values(&[5.0]);
+        assert_eq!(s.sum, 5.0);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.sum_sq, 25.0);
+        assert_eq!(s.sse(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let mut a = Summary::from_values(&[1.0, 2.0]);
+        let b = Summary::from_values(&[10.0]);
+        a.merge(&b);
+        let whole = Summary::from_values(&[1.0, 2.0, 10.0]);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn ssenc_with_no_children_equals_sse() {
+        let s = Summary::from_values(&[1.0, 4.0, 7.0]);
+        assert!((ssenc(&s, &[]) - s.sse()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ssenc_fully_covered_block_is_zero() {
+        // All parent points fall in children -> uncovered error ~ 0.
+        let c1 = Summary::from_values(&[1.0, 2.0]);
+        let c2 = Summary::from_values(&[10.0]);
+        let mut parent = c1;
+        parent.merge(&c2);
+        assert!(ssenc(&parent, &[c1, c2]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ssenc_matches_direct_computation() {
+        // Parent holds {1, 2, 10, 6}; child covers {1, 2}; uncovered {10, 6}.
+        let child = Summary::from_values(&[1.0, 2.0]);
+        let parent = Summary::from_values(&[1.0, 2.0, 10.0, 6.0]);
+        let avg_p = parent.avg(); // 4.75
+        let direct: f64 = [10.0f64, 6.0]
+            .iter()
+            .map(|v| (v - avg_p) * (v - avg_p))
+            .sum();
+        assert!((ssenc(&parent, &[child]) - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sseg_zero_when_child_matches_parent_average() {
+        let child = Summary::from_values(&[4.0, 4.0]);
+        assert_eq!(child.sseg(4.0), 0.0);
+    }
+
+    #[test]
+    fn sseg_grows_with_count_and_divergence() {
+        let one = Summary::from_values(&[10.0]);
+        let many = Summary::from_values(&[10.0, 10.0, 10.0]);
+        assert!(many.sseg(0.0) > one.sseg(0.0));
+        assert!(one.sseg(0.0) > one.sseg(5.0));
+    }
+
+    /// Paper Eq. 8 == Eq. 9 — the derivation the paper defers to its tech
+    /// report. Removing leaf `b` from parent `p` turns `b`'s points into
+    /// uncovered points of `p`, so
+    /// `SSEG = SSENC(p_after) − (SSENC(b) + SSENC(p_before))`.
+    #[test]
+    fn eq8_equals_eq9_on_example() {
+        let b = Summary::from_values(&[8.0, 9.0]);
+        let sibling = Summary::from_values(&[1.0]);
+        let mut p = b;
+        p.merge(&sibling);
+        p.add(3.0); // one uncovered point in the parent
+
+        let ssenc_before = ssenc(&p, &[b, sibling]);
+        let ssenc_after = ssenc(&p, &[sibling]);
+        let eq8 = ssenc_after - (ssenc(&b, &[]) + ssenc_before);
+        let eq9 = b.sseg(p.avg());
+        assert!((eq8 - eq9).abs() < 1e-9, "eq8 {eq8} vs eq9 {eq9}");
+    }
+
+    proptest! {
+        #[test]
+        fn sse_matches_naive_definition(values in prop::collection::vec(-1e3..1e3f64, 0..40)) {
+            let s = Summary::from_values(&values);
+            let naive = naive_sse(&values);
+            prop_assert!((s.sse() - naive).abs() < 1e-6 * (1.0 + naive));
+        }
+
+        #[test]
+        fn sse_is_nonnegative(values in prop::collection::vec(-1e6..1e6f64, 0..40)) {
+            prop_assert!(Summary::from_values(&values).sse() >= 0.0);
+        }
+
+        #[test]
+        fn merge_is_commutative_and_matches_concat(
+            a in prop::collection::vec(-1e3..1e3f64, 0..20),
+            b in prop::collection::vec(-1e3..1e3f64, 0..20),
+        ) {
+            let mut ab = Summary::from_values(&a);
+            ab.merge(&Summary::from_values(&b));
+            let mut ba = Summary::from_values(&b);
+            ba.merge(&Summary::from_values(&a));
+            prop_assert!((ab.sum - ba.sum).abs() < 1e-9);
+            prop_assert_eq!(ab.count, ba.count);
+            let concat: Vec<f64> = a.iter().chain(&b).copied().collect();
+            let whole = Summary::from_values(&concat);
+            prop_assert!((ab.sum - whole.sum).abs() < 1e-9);
+            prop_assert!((ab.sum_sq - whole.sum_sq).abs() < 1e-6);
+        }
+
+        /// Eq. 8 == Eq. 9 in general: build a random parent with a random
+        /// child partition and check the two SSEG formulations agree.
+        #[test]
+        fn eq8_equals_eq9_randomized(
+            child_vals in prop::collection::vec(0.0..1e3f64, 1..20),
+            sibling_vals in prop::collection::vec(0.0..1e3f64, 0..20),
+            uncovered in prop::collection::vec(0.0..1e3f64, 0..20),
+        ) {
+            let b = Summary::from_values(&child_vals);
+            let sib = Summary::from_values(&sibling_vals);
+            let mut p = b;
+            p.merge(&sib);
+            for &v in &uncovered { p.add(v); }
+
+            let children_before = if sibling_vals.is_empty() { vec![b] } else { vec![b, sib] };
+            let children_after: Vec<Summary> =
+                if sibling_vals.is_empty() { vec![] } else { vec![sib] };
+            let eq8 = ssenc(&p, &children_after)
+                - (ssenc(&b, &[]) + ssenc(&p, &children_before));
+            let eq9 = b.sseg(p.avg());
+            let scale = 1.0 + eq9.abs() + p.sse();
+            prop_assert!((eq8 - eq9).abs() < 1e-6 * scale, "eq8 {} vs eq9 {}", eq8, eq9);
+        }
+
+        #[test]
+        fn ssenc_never_negative(
+            child_vals in prop::collection::vec(-1e3..1e3f64, 0..20),
+            uncovered in prop::collection::vec(-1e3..1e3f64, 0..20),
+        ) {
+            let c = Summary::from_values(&child_vals);
+            let mut p = c;
+            for &v in &uncovered { p.add(v); }
+            let children = if child_vals.is_empty() { vec![] } else { vec![c] };
+            prop_assert!(ssenc(&p, &children) >= 0.0);
+        }
+    }
+}

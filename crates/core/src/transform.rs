@@ -1,0 +1,217 @@
+//! The paper's transformation `T` (§3): mapping raw UDF input arguments
+//! `a_1..a_n` to the model's cost variables `c_1..c_k` (`k ≤ n`).
+//!
+//! "T allows the users to use their knowledge of the relationship between
+//! input arguments and the execution costs to produce cost variables that
+//! can be used in the model more efficiently than the input arguments
+//! themselves." The paper's example maps `(start_time, end_time)` to
+//! `elapsed_time = end_time − start_time`; [`Projection`] covers simple
+//! argument selection, [`FnTransform`] covers arbitrary user mappings, and
+//! [`TransformedModel`] plugs any transform in front of any [`CostModel`]
+//! so optimizer code can keep working in raw argument space.
+
+use crate::error::MlqError;
+use crate::model::CostModel;
+
+/// Maps raw UDF arguments to model variables.
+pub trait ArgumentTransform {
+    /// Number of raw arguments consumed (`n`).
+    fn input_arity(&self) -> usize;
+
+    /// Number of model variables produced (`k ≤ n` in the paper; not
+    /// enforced, some useful transforms expand).
+    fn output_dims(&self) -> usize;
+
+    /// Computes the model variables for one invocation.
+    ///
+    /// # Errors
+    ///
+    /// [`MlqError::DimensionMismatch`] for a wrong argument count;
+    /// implementations may also reject non-finite arguments.
+    fn transform(&self, args: &[f64]) -> Result<Vec<f64>, MlqError>;
+}
+
+/// Selects a subset of the raw arguments, in order — the "some or all of
+/// `a_1..a_n`" case of §3.
+#[derive(Debug, Clone)]
+pub struct Projection {
+    input_arity: usize,
+    keep: Vec<usize>,
+}
+
+impl Projection {
+    /// Keeps the arguments at `keep` (indices into the raw argument list).
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of range or `keep` is empty.
+    #[must_use]
+    pub fn new(input_arity: usize, keep: Vec<usize>) -> Self {
+        assert!(!keep.is_empty(), "projection must keep at least one argument");
+        assert!(keep.iter().all(|&i| i < input_arity), "projection index out of range");
+        Projection { input_arity, keep }
+    }
+}
+
+impl ArgumentTransform for Projection {
+    fn input_arity(&self) -> usize {
+        self.input_arity
+    }
+
+    fn output_dims(&self) -> usize {
+        self.keep.len()
+    }
+
+    fn transform(&self, args: &[f64]) -> Result<Vec<f64>, MlqError> {
+        if args.len() != self.input_arity {
+            return Err(MlqError::DimensionMismatch {
+                expected: self.input_arity,
+                got: args.len(),
+            });
+        }
+        Ok(self.keep.iter().map(|&i| args[i]).collect())
+    }
+}
+
+/// A user-supplied transformation function — the general form of `T`.
+pub struct FnTransform<F> {
+    input_arity: usize,
+    output_dims: usize,
+    f: F,
+}
+
+impl<F: Fn(&[f64]) -> Vec<f64>> FnTransform<F> {
+    /// Wraps `f`, which must map `input_arity` arguments to `output_dims`
+    /// model variables.
+    #[must_use]
+    pub fn new(input_arity: usize, output_dims: usize, f: F) -> Self {
+        FnTransform { input_arity, output_dims, f }
+    }
+}
+
+impl<F: Fn(&[f64]) -> Vec<f64>> ArgumentTransform for FnTransform<F> {
+    fn input_arity(&self) -> usize {
+        self.input_arity
+    }
+
+    fn output_dims(&self) -> usize {
+        self.output_dims
+    }
+
+    fn transform(&self, args: &[f64]) -> Result<Vec<f64>, MlqError> {
+        if args.len() != self.input_arity {
+            return Err(MlqError::DimensionMismatch {
+                expected: self.input_arity,
+                got: args.len(),
+            });
+        }
+        let out = (self.f)(args);
+        debug_assert_eq!(out.len(), self.output_dims, "transform arity mismatch");
+        Ok(out)
+    }
+}
+
+/// The paper's worked example: `elapsed_time = end_time − start_time`.
+#[must_use]
+pub fn elapsed_time_transform() -> FnTransform<impl Fn(&[f64]) -> Vec<f64>> {
+    FnTransform::new(2, 1, |args: &[f64]| vec![args[1] - args[0]])
+}
+
+/// A cost model addressed in raw argument space: every call runs the
+/// transform, then delegates to the inner model over the cost variables.
+pub struct TransformedModel<T, M> {
+    transform: T,
+    inner: M,
+}
+
+impl<T: ArgumentTransform, M: CostModel> TransformedModel<T, M> {
+    /// Composes `transform` with `inner`. The inner model's space must
+    /// have `transform.output_dims()` dimensions — checked on first use.
+    #[must_use]
+    pub fn new(transform: T, inner: M) -> Self {
+        TransformedModel { transform, inner }
+    }
+
+    /// The wrapped model.
+    #[must_use]
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<T: ArgumentTransform, M: CostModel> CostModel for TransformedModel<T, M> {
+    fn predict(&self, point: &[f64]) -> Result<Option<f64>, MlqError> {
+        self.inner.predict(&self.transform.transform(point)?)
+    }
+
+    fn observe(&mut self, point: &[f64], actual: f64) -> Result<(), MlqError> {
+        let vars = self.transform.transform(point)?;
+        self.inner.observe(&vars, actual)
+    }
+
+    fn memory_used(&self) -> usize {
+        self.inner.memory_used()
+    }
+
+    fn name(&self) -> String {
+        format!("T({})", self.inner.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InsertionStrategy, MemoryLimitedQuadtree, MlqConfig, Space};
+
+    #[test]
+    fn projection_selects_arguments() {
+        let p = Projection::new(3, vec![2, 0]);
+        assert_eq!(p.transform(&[1.0, 2.0, 3.0]).unwrap(), vec![3.0, 1.0]);
+        assert!(p.transform(&[1.0]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn projection_rejects_bad_index() {
+        let _ = Projection::new(2, vec![5]);
+    }
+
+    #[test]
+    fn elapsed_time_matches_paper_example() {
+        let t = elapsed_time_transform();
+        assert_eq!(t.transform(&[100.0, 130.0]).unwrap(), vec![30.0]);
+        assert_eq!(t.input_arity(), 2);
+        assert_eq!(t.output_dims(), 1);
+    }
+
+    #[test]
+    fn transformed_model_learns_in_variable_space() {
+        // Cost depends only on elapsed time; the raw space is 2-D but the
+        // model is 1-D.
+        let space = Space::cube(1, 0.0, 100.0).unwrap();
+        let config = MlqConfig::builder(space).memory_budget(4096).build().unwrap();
+        let inner = MemoryLimitedQuadtree::new(config).unwrap();
+        let mut model = TransformedModel::new(elapsed_time_transform(), inner);
+        assert_eq!(model.name(), "T(MLQ-E)");
+
+        // Two raw invocations with the same elapsed time share one block.
+        model.observe(&[0.0, 30.0], 300.0).unwrap();
+        model.observe(&[50.0, 80.0], 320.0).unwrap();
+        let p = model.predict(&[10.0, 40.0]).unwrap().unwrap();
+        assert!((p - 310.0).abs() < 1e-9, "both observations pooled: {p}");
+    }
+
+    #[test]
+    fn transformed_model_validates_raw_arity() {
+        let space = Space::cube(1, 0.0, 100.0).unwrap();
+        let config = MlqConfig::builder(space)
+            .memory_budget(4096)
+            .strategy(InsertionStrategy::Lazy { alpha: 0.05 })
+            .build()
+            .unwrap();
+        let inner = MemoryLimitedQuadtree::new(config).unwrap();
+        let model = TransformedModel::new(elapsed_time_transform(), inner);
+        assert!(model.predict(&[1.0]).is_err());
+        assert!(model.predict(&[1.0, 2.0, 3.0]).is_err());
+    }
+}

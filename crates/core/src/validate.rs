@@ -1,0 +1,243 @@
+//! Structural invariant checking, used heavily by tests (including
+//! property-based tests in dependent crates) and available to callers that
+//! want to assert model health in debug builds.
+
+use crate::node::NIL;
+use crate::tree::MemoryLimitedQuadtree;
+use crate::{child_array_bytes, NODE_BYTES};
+use std::collections::HashSet;
+
+impl MemoryLimitedQuadtree {
+    /// Verifies every structural invariant of the tree.
+    ///
+    /// Checked invariants:
+    /// 1. all live nodes are reachable from the root, and nothing else is;
+    /// 2. child/parent links agree (slot back-pointers, depth = parent + 1);
+    /// 3. `n_children` matches the number of non-`NIL` slots;
+    /// 4. no node exceeds depth `λ`;
+    /// 5. a child's count never exceeds its parent's count, and summaries
+    ///    are consistent (children's sums/counts/squares sum to at most the
+    ///    parent's);
+    /// 6. the accounted `bytes_used` equals a from-scratch recomputation;
+    /// 7. the tree respects its byte budget (compression ran when needed).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let lambda = self.config().lambda;
+
+        // Walk from the root.
+        let mut reachable: HashSet<u32> = HashSet::new();
+        let mut stack = vec![self.root];
+        let mut recomputed_bytes = 0usize;
+        while let Some(idx) = stack.pop() {
+            if !reachable.insert(idx) {
+                return Err(format!("node {idx} reachable twice (cycle or shared child)"));
+            }
+            let node = self.arena.get(idx);
+            recomputed_bytes += NODE_BYTES;
+            if node.depth > lambda {
+                return Err(format!("node {idx} at depth {} exceeds lambda {lambda}", node.depth));
+            }
+            let Some(slots) = &node.children else {
+                if node.n_children != 0 {
+                    return Err(format!(
+                        "node {idx} claims {} children but has no child array",
+                        node.n_children
+                    ));
+                }
+                continue;
+            };
+            recomputed_bytes += child_array_bytes(self.config().space.dims());
+            if slots.len() != self.fanout {
+                return Err(format!(
+                    "node {idx} child array has {} slots, fanout is {}",
+                    slots.len(),
+                    self.fanout
+                ));
+            }
+            let live_slots = slots.iter().filter(|&&c| c != NIL).count();
+            if live_slots != node.n_children as usize {
+                return Err(format!(
+                    "node {idx} n_children {} but {live_slots} live slots",
+                    node.n_children
+                ));
+            }
+            if live_slots == 0 {
+                return Err(format!("node {idx} holds an empty child array (wastes budget)"));
+            }
+            let mut child_sum = 0.0;
+            let mut child_count = 0u64;
+            let mut child_sum_sq = 0.0;
+            for (slot, &child_idx) in slots.iter().enumerate() {
+                if child_idx == NIL {
+                    continue;
+                }
+                let child = self.arena.get(child_idx);
+                if child.parent != idx {
+                    return Err(format!(
+                        "child {child_idx} of {idx} points back to {}",
+                        child.parent
+                    ));
+                }
+                if child.slot_in_parent as usize != slot {
+                    return Err(format!(
+                        "child {child_idx} in slot {slot} records slot {}",
+                        child.slot_in_parent
+                    ));
+                }
+                if child.depth != node.depth + 1 {
+                    return Err(format!(
+                        "child {child_idx} depth {} under parent depth {}",
+                        child.depth, node.depth
+                    ));
+                }
+                if child.summary.count > node.summary.count {
+                    return Err(format!(
+                        "child {child_idx} count {} exceeds parent count {}",
+                        child.summary.count, node.summary.count
+                    ));
+                }
+                child_sum += child.summary.sum;
+                child_count += child.summary.count;
+                child_sum_sq += child.summary.sum_sq;
+                stack.push(child_idx);
+            }
+            // Children partition a subset of the parent's points.
+            let eps = 1e-6 * (1.0 + node.summary.sum_sq.abs());
+            if child_count > node.summary.count {
+                return Err(format!(
+                    "node {idx}: children count {child_count} > parent {}",
+                    node.summary.count
+                ));
+            }
+            if child_sum_sq > node.summary.sum_sq + eps {
+                return Err(format!(
+                    "node {idx}: children sum_sq {child_sum_sq} > parent {}",
+                    node.summary.sum_sq
+                ));
+            }
+            let _ = child_sum; // sums can be negative-valued in principle; no bound checked
+        }
+
+        if reachable.len() != self.arena.live() {
+            return Err(format!(
+                "{} live arena nodes but {} reachable from the root",
+                self.arena.live(),
+                reachable.len()
+            ));
+        }
+        if recomputed_bytes != self.bytes_used {
+            return Err(format!(
+                "bytes_used {} but recomputation gives {recomputed_bytes}",
+                self.bytes_used
+            ));
+        }
+        // The budget may be exceeded only transiently inside insert();
+        // externally observable states always fit.
+        if self.bytes_used > self.config().memory_budget {
+            return Err(format!(
+                "bytes_used {} exceeds budget {}",
+                self.bytes_used,
+                self.config().memory_budget
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{InsertionStrategy, MemoryLimitedQuadtree, MlqConfig, Space};
+    use proptest::prelude::*;
+
+    fn arb_strategy() -> impl Strategy<Value = InsertionStrategy> {
+        prop_oneof![
+            Just(InsertionStrategy::Eager),
+            (0.001..0.5f64).prop_map(|alpha| InsertionStrategy::Lazy { alpha }),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The flagship property: any sequence of insertions in any
+        /// dimensionality, strategy, and (tight) budget leaves the tree
+        /// structurally sound and inside its budget.
+        #[test]
+        fn invariants_hold_after_arbitrary_insertions(
+            dims in 1usize..4,
+            strategy in arb_strategy(),
+            budget_slack in 0usize..4096,
+            lambda in 2u8..8,
+            points in prop::collection::vec(
+                (prop::collection::vec(0.0..1000.0f64, 3), 0.0..1e4f64), 1..300),
+        ) {
+            let space = Space::cube(dims, 0.0, 1000.0).unwrap();
+            let budget = MlqConfig::min_budget(&space, lambda) + budget_slack;
+            let config = MlqConfig::builder(space)
+                .memory_budget(budget)
+                .strategy(strategy)
+                .lambda(lambda)
+                .build()
+                .unwrap();
+            let mut m = MemoryLimitedQuadtree::new(config).unwrap();
+            for (coords, value) in &points {
+                m.insert(&coords[..dims], *value).unwrap();
+            }
+            m.check_invariants().map_err(TestCaseError::fail)?;
+            prop_assert_eq!(m.root_summary().count, points.len() as u64);
+        }
+
+        /// Predictions always fall inside the observed value range: block
+        /// averages cannot extrapolate.
+        #[test]
+        fn predictions_bounded_by_observed_values(
+            points in prop::collection::vec(
+                (prop::collection::vec(0.0..1000.0f64, 2), 0.0..1e4f64), 1..100),
+            query in prop::collection::vec(0.0..1000.0f64, 2),
+            beta in 1u64..20,
+        ) {
+            let space = Space::cube(2, 0.0, 1000.0).unwrap();
+            let config = MlqConfig::builder(space)
+                .memory_budget(1 << 16)
+                .beta(beta)
+                .build()
+                .unwrap();
+            let mut m = MemoryLimitedQuadtree::new(config).unwrap();
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for (coords, value) in &points {
+                m.insert(coords, *value).unwrap();
+                lo = lo.min(*value);
+                hi = hi.max(*value);
+            }
+            let p = m.predict(&query).unwrap().expect("model has data");
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+        }
+
+        /// Compression preserves the root summary (total knowledge of the
+        /// data distribution is never lost, only resolution).
+        #[test]
+        fn compression_preserves_root_summary(
+            points in prop::collection::vec(
+                (prop::collection::vec(0.0..1000.0f64, 2), 0.0..1e4f64), 1..200),
+        ) {
+            let space = Space::cube(2, 0.0, 1000.0).unwrap();
+            let config = MlqConfig::builder(space)
+                .memory_budget(1 << 16)
+                .build()
+                .unwrap();
+            let mut m = MemoryLimitedQuadtree::new(config).unwrap();
+            for (coords, value) in &points {
+                m.insert(coords, *value).unwrap();
+            }
+            let before = m.root_summary();
+            m.compress();
+            prop_assert_eq!(m.root_summary(), before);
+            m.check_invariants().map_err(TestCaseError::fail)?;
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Line-by-line conformance with the paper's Fig. 4 insertion algorithm:
+//! the whole tree state after a hand-traced insertion sequence is
+//! compared block-by-block against manually computed summaries.
+
+use mlq_core::{
+    InsertionStrategy, MemoryLimitedQuadtree, MlqConfig, Space, Summary,
+};
+
+fn tree(strategy: InsertionStrategy, lambda: u8) -> MemoryLimitedQuadtree {
+    let config = MlqConfig::builder(Space::cube(2, 0.0, 100.0).unwrap())
+        .memory_budget(1 << 16)
+        .strategy(strategy)
+        .lambda(lambda)
+        .build()
+        .unwrap();
+    MemoryLimitedQuadtree::new(config).unwrap()
+}
+
+/// Finds the unique block at `depth` containing `point`.
+fn block_at(m: &MemoryLimitedQuadtree, point: &[f64], depth: u8) -> Option<Summary> {
+    m.blocks()
+        .into_iter()
+        .find(|b| b.depth == depth && b.contains(point))
+        .map(|b| b.summary)
+}
+
+/// Hand trace, eager, λ = 2, space [0,100]².
+///
+/// Insert (10,10)=4, (30,30)=8, (80,80)=6:
+/// * depth-0 root gets all three: S=18, C=3, SS=116.
+/// * depth-1 block [0,50)² gets the first two: S=12, C=2, SS=80.
+/// * depth-1 block [50,100)² gets the third: S=6, C=1, SS=36.
+/// * depth-2 [0,25)² gets (10,10): S=4; depth-2 [25,50)² gets (30,30): S=8;
+///   depth-2 [75,100)² gets (80,80): S=6.
+#[test]
+fn eager_insertion_matches_hand_trace() {
+    let mut m = tree(InsertionStrategy::Eager, 2);
+    m.insert(&[10.0, 10.0], 4.0).unwrap();
+    m.insert(&[30.0, 30.0], 8.0).unwrap();
+    m.insert(&[80.0, 80.0], 6.0).unwrap();
+    m.check_invariants().unwrap();
+
+    // Fig. 4 line 2: the root is always updated.
+    let root = block_at(&m, &[10.0, 10.0], 0).unwrap();
+    assert_eq!((root.sum, root.count, root.sum_sq), (18.0, 3, 116.0));
+
+    let low_quad = block_at(&m, &[10.0, 10.0], 1).unwrap();
+    assert_eq!((low_quad.sum, low_quad.count, low_quad.sum_sq), (12.0, 2, 80.0));
+    assert_eq!(low_quad.sse(), 80.0 - 12.0 * 12.0 / 2.0); // = 8
+
+    let high_quad = block_at(&m, &[80.0, 80.0], 1).unwrap();
+    assert_eq!((high_quad.sum, high_quad.count, high_quad.sum_sq), (6.0, 1, 36.0));
+
+    let b00 = block_at(&m, &[10.0, 10.0], 2).unwrap();
+    assert_eq!((b00.sum, b00.count), (4.0, 1));
+    let b11 = block_at(&m, &[30.0, 30.0], 2).unwrap();
+    assert_eq!((b11.sum, b11.count), (8.0, 1));
+    let b_far = block_at(&m, &[80.0, 80.0], 2).unwrap();
+    assert_eq!((b_far.sum, b_far.count), (6.0, 1));
+
+    // Exactly 6 nodes: root + 2 depth-1 + 3 depth-2.
+    assert_eq!(m.node_count(), 6);
+}
+
+/// Fig. 4's while-condition, second disjunct: even when SSE < th_SSE, a
+/// point must still be routed through *existing* internal nodes so their
+/// summaries stay exact — but no new node may be created.
+#[test]
+fn lazy_routes_through_existing_subtrees_without_growing_them() {
+    let mut m = tree(InsertionStrategy::Lazy { alpha: 1_000_000.0 }, 3);
+    // Bootstrap phase (th = 0 before the first compression): build a path.
+    m.insert(&[10.0, 10.0], 5.0).unwrap();
+    assert_eq!(m.node_count(), 4, "eager-like bootstrap builds the full path");
+
+    // Force a compression so the (astronomical) lazy threshold activates;
+    // a huge alpha makes th_SSE unreachable afterwards.
+    m.compress();
+    assert!(m.has_compressed());
+    let nodes_after_compress = m.node_count();
+
+    // Same-block insert: must update every surviving node on the path
+    // (root included) but create nothing.
+    let root_before = m.root_summary();
+    m.insert(&[11.0, 11.0], 7.0).unwrap();
+    assert_eq!(m.node_count(), nodes_after_compress, "no growth beyond threshold");
+    let root_after = m.root_summary();
+    assert_eq!(root_after.count, root_before.count + 1);
+    assert_eq!(root_after.sum, root_before.sum + 7.0);
+
+    // Every surviving ancestor of the point sees the new value.
+    for b in m.blocks() {
+        if b.contains(&[11.0, 11.0]) {
+            assert!(b.summary.count >= 1);
+            // The path blocks hold both points or just the new one never
+            // less than their children.
+        }
+    }
+    m.check_invariants().unwrap();
+}
+
+/// λ is a hard depth cap for both strategies (Fig. 4 loop guard).
+#[test]
+fn lambda_caps_depth_for_both_strategies() {
+    for strategy in [InsertionStrategy::Eager, InsertionStrategy::Lazy { alpha: 0.0 }] {
+        let mut m = tree(strategy, 2);
+        for i in 0..50u32 {
+            let x = f64::from(i % 10) * 10.0 + 0.5;
+            let y = f64::from(i / 10) * 10.0 + 0.5;
+            m.insert(&[x, y], f64::from(i)).unwrap();
+        }
+        assert!(m.max_depth() <= 2, "{strategy:?}");
+        m.check_invariants().unwrap();
+    }
+}

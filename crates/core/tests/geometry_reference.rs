@@ -1,0 +1,91 @@
+//! The dyadic grid geometry checked against an independent reference:
+//! explicit floating-point bisection of the space, the way the paper's
+//! Fig. 2 pictures the partition.
+
+use mlq_core::{Space, GRID_BITS};
+use proptest::prelude::*;
+
+/// Reference: compute the child slot at each depth by bisecting the cell
+/// bounds with f64 midpoints (the textbook construction).
+fn reference_slots(space: &Space, point: &[f64], depths: u32) -> Vec<usize> {
+    let d = space.dims();
+    let mut lows: Vec<f64> = (0..d).map(|i| space.low(i)).collect();
+    let mut highs: Vec<f64> = (0..d).map(|i| space.high(i)).collect();
+    let mut slots = Vec::with_capacity(depths as usize);
+    for _ in 0..depths {
+        let mut slot = 0usize;
+        for i in 0..d {
+            let mid = (lows[i] + highs[i]) / 2.0;
+            let x = point[i].clamp(space.low(i), space.high(i));
+            if x >= mid {
+                slot |= 1 << i;
+                lows[i] = mid;
+            } else {
+                highs[i] = mid;
+            }
+        }
+        slots.push(slot);
+    }
+    slots
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The integer-grid child slots agree with f64 bisection down to the
+    /// depths the tree actually uses, over cubic spaces.
+    #[test]
+    fn grid_slots_match_bisection_on_cubes(
+        point in prop::collection::vec(0.0..1000.0f64, 1..4),
+        depths in 1u32..10,
+    ) {
+        let space = Space::cube(point.len(), 0.0, 1000.0).unwrap();
+        let g = space.grid_point(&point).unwrap();
+        let expected = reference_slots(&space, &point, depths);
+        for (depth, want) in expected.iter().enumerate() {
+            let got = g.child_slot(depth as u32);
+            prop_assert_eq!(
+                got, *want,
+                "depth {}: grid {} vs bisection {} at {:?}",
+                depth, got, want, point
+            );
+        }
+    }
+
+    /// Agreement also on non-cubic spaces with negative and asymmetric
+    /// bounds.
+    #[test]
+    fn grid_slots_match_bisection_on_skewed_spaces(
+        xs in prop::collection::vec(-500.0..1500.0f64, 2),
+        depths in 1u32..8,
+    ) {
+        let space = Space::new(vec![-500.0, 10.0], vec![1500.0, 11.0]).unwrap();
+        let point = vec![xs[0], 10.0 + (xs[1] + 500.0) / 2000.0];
+        let g = space.grid_point(&point).unwrap();
+        let expected = reference_slots(&space, &point, depths);
+        for (depth, want) in expected.iter().enumerate() {
+            prop_assert_eq!(g.child_slot(depth as u32), *want, "depth {}", depth);
+        }
+    }
+
+    /// Quantization is monotone per dimension: a larger coordinate never
+    /// gets a smaller grid cell.
+    #[test]
+    fn quantization_is_monotone(a in 0.0..1000.0f64, b in 0.0..1000.0f64) {
+        let space = Space::cube(1, 0.0, 1000.0).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let glo = space.grid_point(&[lo]).unwrap();
+        let ghi = space.grid_point(&[hi]).unwrap();
+        prop_assert!(glo.coord(0) <= ghi.coord(0));
+    }
+
+    /// Every grid coordinate stays within GRID_BITS bits.
+    #[test]
+    fn coordinates_fit_grid_bits(point in prop::collection::vec(-1e6..1e6f64, 1..4)) {
+        let space = Space::cube(point.len(), 0.0, 1000.0).unwrap();
+        let g = space.grid_point(&point).unwrap();
+        for i in 0..point.len() {
+            prop_assert!(g.coord(i) < (1 << GRID_BITS));
+        }
+    }
+}

@@ -1,0 +1,489 @@
+//! Parameter ablations — the sweeps the paper defers to its technical
+//! report (reference 18: "We show the effect of varying the MLQ
+//! parameters in \[18\] due to space constraints"): `α`, `β`, `γ`, `λ`,
+//! and the memory budget, plus surface-complexity and access-method
+//! sweeps.
+//!
+//! Each sweep reports NAE plus the tuning-relevant side effect (number of
+//! compressions, model update cost), exposing the accuracy/overhead
+//! trade-offs §4.4 describes.
+
+use crate::harness::{evaluate_self_tuning, evaluate_static};
+use crate::methods::{build_model, PAPER_METHODS};
+use crate::table::ResultTable;
+use crate::{PAPER_BUDGET, ROOT_SEED, SYNTHETIC_BASE_COST};
+use mlq_core::{InsertionStrategy, MemoryLimitedQuadtree, MlqConfig, Space};
+use mlq_metrics::OnlineNae;
+use mlq_synth::decay::ALL_DECAY_KINDS;
+use mlq_synth::{CostSurface, NoisyUdf, QueryDistribution, SyntheticUdf};
+use serde::{Deserialize, Serialize};
+
+/// Configuration shared by all sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AblationConfig {
+    /// Query points per cell.
+    pub queries: usize,
+    /// Model-space dimensionality.
+    pub dims: usize,
+    /// Byte budget (except in the memory sweep itself).
+    pub budget: usize,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for AblationConfig {
+    fn default() -> Self {
+        AblationConfig { queries: 5000, dims: 4, budget: PAPER_BUDGET, seed: ROOT_SEED ^ 0xAB }
+    }
+}
+
+impl AblationConfig {
+    /// A reduced configuration for tests and fast benches.
+    #[must_use]
+    pub fn quick() -> Self {
+        AblationConfig { queries: 500, dims: 2, ..AblationConfig::default() }
+    }
+}
+
+struct SweepOutcome {
+    nae: Option<f64>,
+    compressions: u64,
+    nodes: usize,
+}
+
+/// Runs one MLQ variant over the standard synthetic workload.
+fn run_mlq(
+    config: &AblationConfig,
+    strategy: InsertionStrategy,
+    beta: u64,
+    gamma: f64,
+    lambda: u8,
+    budget: usize,
+    noise_probability: f64,
+) -> SweepOutcome {
+    let space = Space::cube(config.dims, 0.0, 1000.0).expect("valid dims");
+    let base = SyntheticUdf::builder(space.clone()).peaks(50).base_cost(SYNTHETIC_BASE_COST).seed(config.seed).build();
+    let udf = NoisyUdf::new(base, noise_probability, config.seed ^ 0x99);
+    let points = QueryDistribution::Uniform.generate(&space, config.queries, config.seed ^ 0x77);
+
+    let floor = MlqConfig::min_budget(&space, lambda);
+    let mlq_config = MlqConfig::builder(space)
+        .memory_budget(budget.max(floor))
+        .strategy(strategy)
+        .beta(beta)
+        .gamma(gamma)
+        .lambda(lambda)
+        .build()
+        .expect("valid config");
+    let mut model = MemoryLimitedQuadtree::new(mlq_config).expect("valid model");
+    let mut nae = OnlineNae::new();
+    for p in &points {
+        let predicted = model.predict(p).expect("valid point").unwrap_or(0.0);
+        let actual = udf.cost(p);
+        nae.record(predicted, actual);
+        model.insert(p, actual).expect("valid observation");
+    }
+    SweepOutcome {
+        nae: nae.value(),
+        compressions: model.counters().compressions,
+        nodes: model.node_count(),
+    }
+}
+
+/// Sweeps the lazy-insertion threshold scale `α` (paper Eq. 7): smaller α
+/// ⇒ deeper storage ⇒ better accuracy but more compressions.
+#[must_use]
+pub fn sweep_alpha(config: &AblationConfig) -> ResultTable {
+    let mut table = ResultTable::new(
+        "Ablation — alpha sweep (MLQ-L, synthetic, uniform queries)",
+        "alpha",
+        vec!["NAE".into(), "compressions".into(), "nodes".into()],
+    );
+    for alpha in [0.0125, 0.025, 0.05, 0.1, 0.2, 0.4, 0.8] {
+        let o = run_mlq(
+            config,
+            InsertionStrategy::Lazy { alpha },
+            1,
+            0.001,
+            6,
+            config.budget,
+            0.0,
+        );
+        table.push_row(
+            format!("{alpha}"),
+            vec![o.nae, Some(o.compressions as f64), Some(o.nodes as f64)],
+        );
+    }
+    table
+}
+
+/// Sweeps the prediction parameter `β` under noise (§4.3): larger β
+/// averages over more points and absorbs noise.
+#[must_use]
+pub fn sweep_beta(config: &AblationConfig) -> ResultTable {
+    let mut table = ResultTable::new(
+        "Ablation — beta sweep (MLQ-E, synthetic with noise p = 0.2)",
+        "beta",
+        vec!["NAE".into()],
+    );
+    for beta in [1u64, 2, 5, 10, 20, 50] {
+        let o = run_mlq(config, InsertionStrategy::Eager, beta, 0.001, 6, config.budget, 0.2);
+        table.push_row(beta.to_string(), vec![o.nae]);
+    }
+    table
+}
+
+/// Sweeps the compression batch fraction `γ` (§4.4): larger γ frees more
+/// per pass, compressing less often but discarding more resolution.
+#[must_use]
+pub fn sweep_gamma(config: &AblationConfig) -> ResultTable {
+    let mut table = ResultTable::new(
+        "Ablation — gamma sweep (MLQ-E, synthetic, uniform queries)",
+        "gamma",
+        vec!["NAE".into(), "compressions".into()],
+    );
+    for gamma in [0.001, 0.01, 0.05, 0.1, 0.25, 0.5] {
+        let o = run_mlq(config, InsertionStrategy::Eager, 1, gamma, 6, config.budget, 0.0);
+        table.push_row(format!("{gamma}"), vec![o.nae, Some(o.compressions as f64)]);
+    }
+    table
+}
+
+/// Sweeps the maximum depth `λ`: deeper trees resolve finer cost structure
+/// until the memory budget becomes the binding constraint.
+#[must_use]
+pub fn sweep_lambda(config: &AblationConfig) -> ResultTable {
+    let mut table = ResultTable::new(
+        "Ablation — lambda sweep (MLQ-E, synthetic, uniform queries)",
+        "lambda",
+        vec!["NAE".into(), "nodes".into()],
+    );
+    for lambda in [2u8, 3, 4, 5, 6, 8] {
+        let o = run_mlq(config, InsertionStrategy::Eager, 1, 0.001, lambda, config.budget, 0.0);
+        table.push_row(lambda.to_string(), vec![o.nae, Some(o.nodes as f64)]);
+    }
+    table
+}
+
+/// Sweeps the decay radius `D` (as a fraction of the space diagonal) —
+/// the paper's *other* surface-complexity knob: "As N and D increase, we
+/// see more overlaps among the resulting decay regions" (§5.1). Fig. 8
+/// sweeps N; this sweeps D.
+#[must_use]
+pub fn sweep_radius(config: &AblationConfig) -> ResultTable {
+    let space = Space::cube(config.dims, 0.0, 1000.0).expect("valid dims");
+    let mut table = ResultTable::new(
+        "Ablation — decay-radius sweep (MLQ-E vs SH-H, synthetic, uniform queries, NAE)",
+        "D-frac",
+        vec!["MLQ-E".into(), "SH-H".into()],
+    );
+    for radius_frac in [0.05, 0.10, 0.20, 0.30, 0.50] {
+        let udf = SyntheticUdf::builder(space.clone())
+            .peaks(50)
+            .radius_frac(radius_frac)
+            .base_cost(SYNTHETIC_BASE_COST)
+            .seed(config.seed)
+            .build();
+        let points =
+            QueryDistribution::Uniform.generate(&space, config.queries, config.seed ^ 0x44);
+        let actuals: Vec<f64> = points.iter().map(|p| udf.cost(p)).collect();
+        let training: Vec<(Vec<f64>, f64)> =
+            QueryDistribution::Uniform
+                .generate(&space, config.queries, config.seed ^ 0x45)
+                .into_iter()
+                .map(|p| {
+                    let c = udf.cost(&p);
+                    (p, c)
+                })
+                .collect();
+        let mut row = Vec::new();
+        for method in [crate::Method::MlqE, crate::Method::ShH] {
+            let mut model = build_model(method, &space, config.budget, 1).expect("builds");
+            let outcome = if method.is_self_tuning() {
+                crate::evaluate_self_tuning(model.as_mut(), &points, &actuals).expect("runs")
+            } else {
+                crate::evaluate_static(model.as_mut(), &training, &points, &actuals)
+                    .expect("runs")
+            };
+            row.push(outcome.nae);
+        }
+        table.push_row(format!("{radius_frac}"), row);
+    }
+    table
+}
+
+/// Per-decay-function learnability: a surface built from a single decay
+/// shape per run shows which cost profiles (the paper's "computational
+/// complexities common to UDFs") are hardest for a block-average model.
+#[must_use]
+pub fn sweep_decay(config: &AblationConfig) -> ResultTable {
+    let space = Space::cube(config.dims, 0.0, 1000.0).expect("valid dims");
+    let mut table = ResultTable::new(
+        "Ablation — per-decay-function NAE (MLQ-E, synthetic, uniform queries)",
+        "decay",
+        vec!["NAE".into()],
+    );
+    for kind in ALL_DECAY_KINDS {
+        // A surface whose every peak uses `kind`: generate, then rebuild
+        // peaks with the forced decay.
+        let base = SyntheticUdf::builder(space.clone())
+            .peaks(50)
+            .base_cost(SYNTHETIC_BASE_COST)
+            .seed(config.seed)
+            .build();
+        let peaks: Vec<mlq_synth::Peak> = base
+            .peaks()
+            .iter()
+            .map(|p| mlq_synth::Peak { decay: kind, ..p.clone() })
+            .collect();
+        let udf = SyntheticUdf::from_parts(space.clone(), peaks, 10_000.0, SYNTHETIC_BASE_COST);
+        let points =
+            QueryDistribution::Uniform.generate(&space, config.queries, config.seed ^ 0x46);
+        let mut model =
+            build_model(crate::Method::MlqE, &space, config.budget, 1).expect("builds");
+        let actuals: Vec<f64> = points.iter().map(|p| udf.cost(p)).collect();
+        let outcome =
+            crate::evaluate_self_tuning(model.as_mut(), &points, &actuals).expect("runs");
+        table.push_row(kind.label(), vec![outcome.nae]);
+    }
+    table
+}
+
+/// Training-size ablation: how much a-priori training data does the
+/// static SH-H need before it matches a self-tuning MLQ that only ever
+/// sees the live stream? This quantifies the paper's core operational
+/// objection to SH: someone has to *collect* that training set by
+/// executing the UDF offline, and the answer here is "about as many
+/// executions as the whole evaluation workload".
+///
+/// # Errors
+///
+/// Propagates model failures.
+pub fn sweep_training_size(
+    config: &AblationConfig,
+) -> Result<ResultTable, Box<dyn std::error::Error>> {
+    let space = Space::cube(config.dims, 0.0, 1000.0).expect("valid dims");
+    let udf = SyntheticUdf::builder(space.clone())
+        .peaks(50)
+        .base_cost(SYNTHETIC_BASE_COST)
+        .seed(config.seed)
+        .build();
+    let dist = QueryDistribution::paper_gaussian_random();
+    let points = dist.generate(&space, config.queries, config.seed ^ 0x51);
+    let actuals: Vec<f64> = points.iter().map(|p| udf.cost(p)).collect();
+
+    // The self-tuning reference: one number, independent of training size.
+    let mut mlq = build_model(crate::Method::MlqE, &space, config.budget, 1)?;
+    let mlq_nae = crate::evaluate_self_tuning(mlq.as_mut(), &points, &actuals)?
+        .nae
+        .expect("positive costs");
+
+    let full_training = dist.generate(&space, config.queries, config.seed ^ 0x52);
+    let mut table = ResultTable::new(
+        format!(
+            "Ablation — SH-H NAE vs a-priori training-set size (self-tuning MLQ-E reference: {mlq_nae:.4})"
+        ),
+        "train-n",
+        vec!["SH-H".into()],
+    );
+    for frac in [0.01, 0.05, 0.1, 0.25, 0.5, 1.0] {
+        let n = ((config.queries as f64 * frac) as usize).max(1);
+        let training: Vec<(Vec<f64>, f64)> = full_training[..n]
+            .iter()
+            .map(|p| (p.clone(), udf.cost(p)))
+            .collect();
+        let mut sh = build_model(crate::Method::ShH, &space, config.budget, 1)?;
+        let outcome = crate::evaluate_static(sh.as_mut(), &training, &points, &actuals)?;
+        table.push_row(n.to_string(), vec![outcome.nae]);
+    }
+    Ok(table)
+}
+
+/// Access-method ablation: the same WIN semantics over two different
+/// spatial indexes (grid file vs STR R-tree) produce two different cost
+/// surfaces; the self-tuning model learns both without being told which
+/// access method is underneath — the property that makes automated cost
+/// modeling viable at all.
+///
+/// # Errors
+///
+/// Propagates substrate and model failures.
+pub fn sweep_access_method(
+    config: &AblationConfig,
+) -> Result<ResultTable, Box<dyn std::error::Error>> {
+    use mlq_udfs::spatial::{
+        MapConfig, RTreeDatabase, SpatialDatabase, WindowSearch, WindowSearchRTree,
+    };
+    use mlq_udfs::{CostKind, Udf};
+    use std::sync::Arc;
+
+    let map = MapConfig {
+        objects: 4000,
+        clusters: 8,
+        seed: config.seed,
+        pool_pages: 16,
+        ..MapConfig::default()
+    };
+    let grid = WindowSearch::new(Arc::new(SpatialDatabase::generate(map)?));
+    let rtree = WindowSearchRTree::new(Arc::new(RTreeDatabase::generate(map)?));
+    let udfs: [&dyn Udf; 2] = [&grid, &rtree];
+
+    let mut table = ResultTable::new(
+        "Ablation — access-method: MLQ-E NAE for WIN over grid file vs R-tree (gauss-random queries)",
+        "index",
+        vec!["cpu-NAE".into(), "io-NAE".into()],
+    );
+    for udf in udfs {
+        // The paper's skewed workload: repeated regions are where a
+        // self-tuning model's resolution actually concentrates.
+        let points = QueryDistribution::paper_gaussian_random()
+            .generate(udf.space(), config.queries, config.seed ^ 0x47);
+        let mut row = Vec::new();
+        for (kind, beta) in [(CostKind::Cpu, 1u64), (CostKind::DiskIo, 10u64)] {
+            udf.reset_io_state();
+            let mut model =
+                build_model(crate::Method::MlqE, udf.space(), config.budget, beta)?;
+            let mut nae = OnlineNae::new();
+            for p in &points {
+                let predicted = model.predict(p)?.unwrap_or(0.0);
+                let actual = udf.execute(p)?.get(kind);
+                nae.record(predicted, actual);
+                model.observe(p, actual)?;
+            }
+            row.push(nae.value());
+        }
+        table.push_row(udf.name(), row);
+    }
+    Ok(table)
+}
+
+/// Sweeps the memory budget for all four paper methods.
+///
+/// # Errors
+///
+/// Propagates model failures.
+pub fn sweep_memory(config: &AblationConfig) -> Result<ResultTable, Box<dyn std::error::Error>> {
+    let space = Space::cube(config.dims, 0.0, 1000.0).expect("valid dims");
+    let udf = SyntheticUdf::builder(space.clone()).peaks(50).base_cost(SYNTHETIC_BASE_COST).seed(config.seed).build();
+    let points = QueryDistribution::Uniform.generate(&space, config.queries, config.seed ^ 0x55);
+    let actuals: Vec<f64> = points.iter().map(|p| udf.cost(p)).collect();
+    let train_points =
+        QueryDistribution::Uniform.generate(&space, config.queries, config.seed ^ 0x66);
+    let training: Vec<(Vec<f64>, f64)> = train_points
+        .into_iter()
+        .map(|p| {
+            let c = udf.cost(&p);
+            (p, c)
+        })
+        .collect();
+
+    let columns: Vec<String> = PAPER_METHODS.iter().map(|m| m.label().to_string()).collect();
+    let mut table = ResultTable::new(
+        "Ablation — memory-budget sweep (synthetic, uniform queries, NAE)",
+        "bytes",
+        columns,
+    );
+    for budget in [900usize, 1800, 3600, 7200, 14400, 28800] {
+        let mut row = Vec::new();
+        for method in PAPER_METHODS {
+            let mut model = build_model(method, &space, budget, 1)?;
+            let outcome = if method.is_self_tuning() {
+                evaluate_self_tuning(model.as_mut(), &points, &actuals)?
+            } else {
+                evaluate_static(model.as_mut(), &training, &points, &actuals)?
+            };
+            row.push(outcome.nae);
+        }
+        table.push_row(budget.to_string(), row);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_sweep_shows_compression_tradeoff() {
+        let t = sweep_alpha(&AblationConfig { queries: 2000, ..AblationConfig::quick() });
+        assert_eq!(t.rows.len(), 7);
+        // Smaller alpha partitions more eagerly -> at least as many
+        // compressions as the largest alpha.
+        let small = t.get("0.0125", "compressions").unwrap();
+        let large = t.get("0.8", "compressions").unwrap();
+        assert!(small >= large, "alpha 0.0125: {small} vs alpha 0.8: {large}");
+    }
+
+    #[test]
+    fn beta_sweep_improves_under_noise_then_saturates() {
+        let t = sweep_beta(&AblationConfig { queries: 3000, ..AblationConfig::quick() });
+        let b1 = t.get("1", "NAE").unwrap();
+        let b10 = t.get("10", "NAE").unwrap();
+        assert!(b10 < b1, "beta 10 ({b10}) must absorb noise better than beta 1 ({b1})");
+    }
+
+    #[test]
+    fn gamma_sweep_reduces_compression_count() {
+        let t = sweep_gamma(&AblationConfig::quick());
+        let tiny = t.get("0.001", "compressions").unwrap();
+        let huge = t.get("0.5", "compressions").unwrap();
+        assert!(huge <= tiny, "gamma 0.5 ({huge}) compresses no more often than 0.001 ({tiny})");
+    }
+
+    #[test]
+    fn radius_sweep_completes_with_defined_cells() {
+        let t = sweep_radius(&AblationConfig::quick());
+        assert_eq!(t.rows.len(), 5);
+        for row in &t.values {
+            for v in row {
+                assert!(v.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn decay_sweep_covers_all_five_shapes() {
+        let t = sweep_decay(&AblationConfig::quick());
+        assert_eq!(t.rows, vec!["uniform", "linear", "gaussian", "log2", "quadratic"]);
+        for row in &t.values {
+            assert!(row[0].is_some());
+        }
+    }
+
+    #[test]
+    fn training_size_sweep_shows_sh_needs_data() {
+        let t = sweep_training_size(&AblationConfig { queries: 2000, ..AblationConfig::quick() })
+            .unwrap();
+        assert_eq!(t.rows.len(), 6);
+        // More training monotonically-ish helps; tiny training is bad.
+        let tiny = t.values[0][0].unwrap();
+        let full = t.values[5][0].unwrap();
+        assert!(full < tiny, "tiny {tiny} vs full {full}");
+    }
+
+    #[test]
+    fn access_method_ablation_learns_both_indexes() {
+        let t = sweep_access_method(&AblationConfig {
+            queries: 1200,
+            ..AblationConfig::quick()
+        })
+        .unwrap();
+        assert_eq!(t.rows, vec!["WIN", "WIN-R"]);
+        for index in ["WIN", "WIN-R"] {
+            let cpu = t.get(index, "cpu-NAE").unwrap();
+            assert!(cpu < 1.0, "{index} cpu NAE {cpu} beats the predict-zero floor");
+        }
+    }
+
+    #[test]
+    fn lambda_and_memory_sweeps_complete() {
+        let t = sweep_lambda(&AblationConfig::quick());
+        assert_eq!(t.rows.len(), 6);
+        let t = sweep_memory(&AblationConfig::quick()).unwrap();
+        assert_eq!(t.rows.len(), 6);
+        // More memory never hurts MLQ-E materially.
+        let small = t.get("900", "MLQ-E").unwrap();
+        let large = t.get("28800", "MLQ-E").unwrap();
+        assert!(large <= small * 1.2, "900B: {small} vs 28.8KB: {large}");
+    }
+}

@@ -1,0 +1,197 @@
+//! Workload-drift experiment — the paper's §1 motivation made
+//! quantitative: "approaches that do not self-tune degrade in prediction
+//! accuracy as the pattern of UDF execution varies greatly from the
+//! pattern used to train the model."
+//!
+//! A clustered workload runs for one phase, then jumps to a different
+//! region of the model space. Methods compared:
+//!
+//! * **MLQ-E / MLQ-L** — pure feedback learners (no a-priori training);
+//! * **SH-H** — statically trained on the phase-1 workload, then frozen;
+//! * **LEO(SH-H)** — the same stale histogram wrapped in a DB2-LEO-style
+//!   adjustment table (related work, §2.2), which corrects coarsely from
+//!   feedback.
+//!
+//! Reported: NAE per phase (warm-up windows excluded), so the table shows
+//! who survives the drift and at what granularity.
+
+use crate::methods::{build_model, Method};
+use crate::table::ResultTable;
+use crate::{PAPER_BUDGET, ROOT_SEED};
+use mlq_baselines::{EquiHeightHistogram, LeoCorrected};
+use mlq_core::{CostModel, Space, TrainableModel};
+use mlq_metrics::OnlineNae;
+use mlq_synth::dist::Gaussian;
+use mlq_synth::{CostSurface, SyntheticUdf};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the drift experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Queries per phase.
+    pub queries_per_phase: usize,
+    /// Warm-up queries excluded from each phase's NAE (re-learning
+    /// window).
+    pub warmup: usize,
+    /// Per-model byte budget.
+    pub budget: usize,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            queries_per_phase: 2500,
+            warmup: 500,
+            budget: PAPER_BUDGET,
+            seed: ROOT_SEED ^ 0xD1,
+        }
+    }
+}
+
+impl DriftConfig {
+    /// A reduced configuration for tests and fast benches.
+    #[must_use]
+    pub fn quick() -> Self {
+        DriftConfig { queries_per_phase: 800, warmup: 200, ..DriftConfig::default() }
+    }
+}
+
+/// A Gaussian query cluster around an explicit centroid (σ = 5 % of the
+/// range, the paper's skew setting).
+fn cluster(space: &Space, center: &[f64], n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gaussians: Vec<Gaussian> = (0..space.dims())
+        .map(|i| Gaussian::new(0.0, 0.05 * (space.high(i) - space.low(i))))
+        .collect();
+    (0..n)
+        .map(|_| {
+            center
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (c + gaussians[i].sample(&mut rng)).clamp(space.low(i), space.high(i)))
+                .collect()
+        })
+        .collect()
+}
+
+/// Picks structurally different phase centroids: phase 1 sits on the
+/// tallest peak (high-cost region); phase 2 on the lowest-cost of 200
+/// uniform probes (low-cost region). A model trained on phase 1 then
+/// carries a large systematic bias into phase 2 regardless of seed luck.
+fn phase_centroids(udf: &SyntheticUdf, space: &Space, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let high = udf
+        .peaks()
+        .iter()
+        .max_by(|a, b| a.height.total_cmp(&b.height))
+        .expect("surface has peaks")
+        .center
+        .clone();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let low = (0..200)
+        .map(|_| {
+            let p: Vec<f64> = (0..space.dims())
+                .map(|i| rng.random_range(space.low(i)..space.high(i)))
+                .collect();
+            let c = udf.cost(&p);
+            (p, c)
+        })
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("probes generated")
+        .0;
+    (high, low)
+}
+
+/// Runs the drift experiment; rows = method, columns = per-phase NAE.
+///
+/// # Errors
+///
+/// Propagates model failures.
+pub fn run(config: &DriftConfig) -> Result<ResultTable, Box<dyn std::error::Error>> {
+    let space = Space::cube(2, 0.0, 1000.0).expect("valid dims");
+    // Dense surface (heavily overlapping decay regions): cost structure
+    // everywhere, so stale statistics hurt, and no cell of the space is
+    // degenerate — the drift experiment therefore uses the paper's literal
+    // zero-floor construction.
+    let udf = SyntheticUdf::builder(space.clone())
+        .peaks(300)
+        .radius_frac(0.15)
+        .seed(config.seed)
+        .build();
+    let (high_center, low_center) = phase_centroids(&udf, &space, config.seed ^ 0xC0);
+    let phase1 = cluster(&space, &high_center, config.queries_per_phase, config.seed ^ 0x0100);
+    let phase2 = cluster(&space, &low_center, config.queries_per_phase, config.seed ^ 0x0200);
+    let training: Vec<(Vec<f64>, f64)> =
+        phase1.iter().map(|q| (q.clone(), udf.cost(q))).collect();
+
+    let mut table = ResultTable::new(
+        "Drift — NAE per phase (phase 2 = workload jumps to a new region)",
+        "method",
+        vec!["phase-1".into(), "phase-2".into()],
+    );
+
+    // The four contenders, built uniformly as boxed models.
+    let mut contenders: Vec<(String, Box<dyn CostModel>)> = Vec::new();
+    for m in [Method::MlqE, Method::MlqL] {
+        contenders.push((m.label().to_string(), build_model(m, &space, config.budget, 1)?));
+    }
+    let mut shh = EquiHeightHistogram::with_budget(space.clone(), config.budget)?;
+    shh.fit(&training)?;
+    contenders.push(("SH-H (stale)".into(), Box::new(shh)));
+    let mut leo_base = EquiHeightHistogram::with_budget(space.clone(), config.budget / 2)?;
+    leo_base.fit(&training)?;
+    // Give LEO's adjustment table the other half of the budget.
+    let leo_intervals =
+        mlq_baselines::max_intervals_for_budget(&space, config.budget / 2, false)?;
+    let mut leo = LeoCorrected::new(leo_base, space.clone(), leo_intervals);
+    // Seed LEO's base with the same stale training (already fit above).
+    let _ = &mut leo;
+    contenders.push(("LEO(SH-H)".into(), Box::new(leo)));
+
+    for (name, mut model) in contenders {
+        let mut row = Vec::new();
+        for queries in [&phase1, &phase2] {
+            let mut nae = OnlineNae::new();
+            for (i, q) in queries.iter().enumerate() {
+                let predicted = model.predict(q)?.unwrap_or(0.0);
+                let actual = udf.cost(q);
+                if i >= config.warmup {
+                    nae.record(predicted, actual);
+                }
+                model.observe(q, actual)?; // static SH-H validates + ignores
+            }
+            row.push(nae.value());
+        }
+        table.push_row(name, row);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drift_table_shows_the_papers_story() {
+        let t = run(&DriftConfig::quick()).unwrap();
+        assert_eq!(t.rows.len(), 4);
+
+        // Phase 1: the stale histogram is fine on its training workload.
+        let shh_p1 = t.get("SH-H (stale)", "phase-1").unwrap();
+        assert!(shh_p1 < 0.5, "SH-H on its own distribution: {shh_p1}");
+
+        // Phase 2: self-tuning recovers, the frozen model degrades badly.
+        let mlq_p2 = t.get("MLQ-E", "phase-2").unwrap();
+        let shh_p2 = t.get("SH-H (stale)", "phase-2").unwrap();
+        assert!(mlq_p2 < 1.0, "MLQ re-learns: {mlq_p2}");
+        assert!(shh_p2 > 2.0 * mlq_p2, "stale SH-H {shh_p2} vs MLQ {mlq_p2}");
+
+        // LEO corrects part of the damage: better than frozen SH-H,
+        // coarser than MLQ.
+        let leo_p2 = t.get("LEO(SH-H)", "phase-2").unwrap();
+        assert!(leo_p2 < shh_p2, "LEO {leo_p2} must improve on frozen {shh_p2}");
+    }
+}

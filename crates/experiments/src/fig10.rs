@@ -1,0 +1,187 @@
+//! Experiment 2 (paper Fig. 10): modeling costs — prediction (PC),
+//! insertion (IC), compression (CC), and total model update (MUC = IC +
+//! CC) — as a percentage of total UDF execution cost, for the two MLQ
+//! variants. "This experiment is not applicable to SH due to its static
+//! nature."
+
+use crate::suite::real_udf_suite;
+use crate::table::ResultTable;
+use crate::{PAPER_BUDGET, ROOT_SEED, SYNTHETIC_BASE_COST};
+use mlq_core::{
+    InsertionStrategy, MemoryLimitedQuadtree, MlqConfig, ModelCounters, Space,
+};
+use mlq_synth::{CostSurface, QueryDistribution, SyntheticUdf};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Configuration of the Fig. 10 run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig10Config {
+    /// Query points per run (paper: uniform distribution).
+    pub queries: usize,
+    /// Dataset scale for the real (WIN) part.
+    pub scale: f64,
+    /// Per-model byte budget.
+    pub budget: usize,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for Fig10Config {
+    fn default() -> Self {
+        Fig10Config { queries: 2500, scale: 1.0, budget: PAPER_BUDGET, seed: ROOT_SEED ^ 0x10 }
+    }
+}
+
+impl Fig10Config {
+    /// A reduced configuration for tests and fast benches.
+    #[must_use]
+    pub fn quick() -> Self {
+        Fig10Config { queries: 300, scale: 0.05, ..Fig10Config::default() }
+    }
+}
+
+/// Builds an MLQ model with the paper's tuned parameters.
+fn mlq(space: &Space, budget: usize, strategy: InsertionStrategy) -> MemoryLimitedQuadtree {
+    let floor = MlqConfig::min_budget(space, 6);
+    let config = MlqConfig::builder(space.clone())
+        .memory_budget(budget.max(floor))
+        .strategy(strategy)
+        .build()
+        .expect("valid config");
+    MemoryLimitedQuadtree::new(config).expect("valid model")
+}
+
+/// Drives the feedback loop and returns `(counters, total_udf_exec_time)`.
+fn drive<F: FnMut(&[f64]) -> f64>(
+    model: &mut MemoryLimitedQuadtree,
+    points: &[Vec<f64>],
+    mut execute: F,
+) -> DrivenRun {
+    let mut exec_total = Duration::ZERO;
+    for p in points {
+        let _ = model.predict(p).expect("valid point");
+        let start = Instant::now();
+        let actual = execute(p);
+        exec_total += start.elapsed();
+        model.insert(p, actual).expect("valid observation");
+    }
+    (model.counters(), exec_total)
+}
+
+/// One driven run: the model's operation counters plus the total UDF
+/// execution time they are normalized against.
+type DrivenRun = (ModelCounters, Duration);
+
+fn breakdown_rows(table: &mut ResultTable, label_prefix: &str, runs: &[DrivenRun]) {
+    let pct = |nanos: u64, exec: Duration| -> Option<f64> {
+        let total = exec.as_nanos() as f64;
+        (total > 0.0).then(|| 100.0 * nanos as f64 / total)
+    };
+    type CounterSelector = fn(&ModelCounters) -> u64;
+    let rows: [(&str, CounterSelector); 4] = [
+        ("PC", |c| c.predict_nanos),
+        ("IC", |c| c.insert_nanos),
+        ("CC", |c| c.compress_nanos),
+        ("MUC", |c| c.insert_nanos + c.compress_nanos),
+    ];
+    for (name, f) in rows {
+        let values = runs.iter().map(|(c, exec)| pct(f(c), *exec)).collect();
+        table.push_row(format!("{label_prefix}{name} (%)"), values);
+    }
+}
+
+/// Runs Fig. 10(a): modeling-cost breakdown for the real WIN UDF.
+///
+/// # Errors
+///
+/// Propagates substrate failures.
+pub fn run_real(config: &Fig10Config) -> Result<ResultTable, Box<dyn std::error::Error>> {
+    let udfs = real_udf_suite(config.scale, config.seed)?;
+    let win = udfs
+        .iter()
+        .find(|u| u.name() == "WIN")
+        .expect("suite contains WIN");
+    let points = QueryDistribution::Uniform.generate(win.space(), config.queries, config.seed);
+
+    let mut table = ResultTable::new(
+        "Fig. 10(a) — modeling costs as % of UDF execution cost (real WIN, uniform queries)",
+        "cost",
+        vec!["MLQ-E".into(), "MLQ-L".into()],
+    );
+    let mut runs = Vec::new();
+    for strategy in [InsertionStrategy::Eager, InsertionStrategy::Lazy { alpha: 0.05 }] {
+        let mut model = mlq(win.space(), config.budget, strategy);
+        let run = drive(&mut model, &points, |p| {
+            win.execute(p).expect("in-space point").cpu
+        });
+        runs.push(run);
+    }
+    breakdown_rows(&mut table, "", &runs);
+    Ok(table)
+}
+
+/// Runs Fig. 10(b): the synthetic counterpart. The synthetic UDF's
+/// "execution time" is simulated as 1 µs per cost unit (its cost *is* an
+/// execution time in the paper's setup); the same simulated total is used
+/// for both variants, so only the numerators differ.
+///
+/// # Errors
+///
+/// Propagates model failures.
+pub fn run_synthetic(config: &Fig10Config) -> Result<ResultTable, Box<dyn std::error::Error>> {
+    let space = Space::cube(4, 0.0, 1000.0).expect("valid dims");
+    let udf = SyntheticUdf::builder(space.clone()).peaks(50).base_cost(SYNTHETIC_BASE_COST).seed(config.seed).build();
+    let points = QueryDistribution::Uniform.generate(&space, config.queries, config.seed ^ 1);
+
+    let mut table = ResultTable::new(
+        "Fig. 10(b) — modeling costs as % of simulated UDF execution cost (synthetic, uniform queries)",
+        "cost",
+        vec!["MLQ-E".into(), "MLQ-L".into()],
+    );
+    let mut runs = Vec::new();
+    for strategy in [InsertionStrategy::Eager, InsertionStrategy::Lazy { alpha: 0.05 }] {
+        let mut model = mlq(&space, config.budget, strategy);
+        let mut simulated_micros = 0.0f64;
+        let (counters, _) = drive(&mut model, &points, |p| {
+            let c = udf.cost(p);
+            simulated_micros += c;
+            c
+        });
+        runs.push((counters, Duration::from_nanos((simulated_micros * 1000.0) as u64)));
+    }
+    breakdown_rows(&mut table, "", &runs);
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_breakdown_has_expected_shape() {
+        let t = run_real(&Fig10Config::quick()).unwrap();
+        assert_eq!(t.rows, vec!["PC (%)", "IC (%)", "CC (%)", "MUC (%)"]);
+        // MUC = IC + CC for each method.
+        for col in ["MLQ-E", "MLQ-L"] {
+            let ic = t.get("IC (%)", col).unwrap();
+            let cc = t.get("CC (%)", col).unwrap();
+            let muc = t.get("MUC (%)", col).unwrap();
+            assert!((muc - (ic + cc)).abs() < 1e-6);
+            assert!(t.get("PC (%)", col).unwrap() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn lazy_updates_cost_no_more_than_eager_synthetic() {
+        // The paper's headline from Experiment 2: MLQ-L outperforms MLQ-E
+        // for model update (it compresses less often).
+        let t = run_synthetic(&Fig10Config { queries: 2000, ..Fig10Config::quick() }).unwrap();
+        let muc_e = t.get("MUC (%)", "MLQ-E").unwrap();
+        let muc_l = t.get("MUC (%)", "MLQ-L").unwrap();
+        assert!(
+            muc_l <= muc_e * 1.5,
+            "lazy MUC {muc_l} should not exceed eager MUC {muc_e} materially"
+        );
+    }
+}

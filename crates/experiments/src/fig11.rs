@@ -1,0 +1,183 @@
+//! Experiment 3 (paper Fig. 11): the effect of noise on prediction
+//! accuracy. (a) Disk-IO costs of the real UDFs, whose noise comes from
+//! the buffer cache; (b) synthetic UDFs under an explicit noise
+//! probability. Both use `β = 10` for the MLQ methods ("a larger value of
+//! β allows for averaging over more data points when a higher level of
+//! noise is expected").
+
+use crate::fig9::{eval_udf_method, UdfEval};
+use crate::harness::{evaluate_self_tuning_vs_truth, evaluate_static};
+use crate::methods::{build_model, Method};
+use crate::suite::real_udf_suite;
+use crate::table::ResultTable;
+use crate::{PAPER_BUDGET, ROOT_SEED, SYNTHETIC_BASE_COST};
+use mlq_core::Space;
+use mlq_synth::{CostSurface, NoisyUdf, QueryDistribution, SyntheticUdf};
+use mlq_udfs::CostKind;
+use serde::{Deserialize, Serialize};
+
+/// Methods compared in the noise experiment (the paper's Fig. 11 plots
+/// MLQ-E, MLQ-L, and SH-H).
+const NOISE_METHODS: [Method; 3] = [Method::MlqE, Method::MlqL, Method::ShH];
+
+/// Configuration of the Fig. 11 run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig11Config {
+    /// Query points per case.
+    pub queries: usize,
+    /// Dataset scale for the real part.
+    pub scale: f64,
+    /// Per-model byte budget.
+    pub budget: usize,
+    /// `β` for MLQ under noise (paper: 10).
+    pub beta: u64,
+    /// Noise probabilities swept in the synthetic part.
+    pub noise_probabilities: Vec<f64>,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for Fig11Config {
+    fn default() -> Self {
+        Fig11Config {
+            queries: 2500,
+            scale: 1.0,
+            budget: PAPER_BUDGET,
+            beta: 10,
+            noise_probabilities: vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5],
+            seed: ROOT_SEED ^ 0x11,
+        }
+    }
+}
+
+impl Fig11Config {
+    /// A reduced configuration for tests and fast benches.
+    #[must_use]
+    pub fn quick() -> Self {
+        Fig11Config {
+            queries: 300,
+            scale: 0.05,
+            noise_probabilities: vec![0.0, 0.3],
+            ..Fig11Config::default()
+        }
+    }
+}
+
+/// Runs Fig. 11(a): disk-IO NAE for the six real UDFs under uniform
+/// queries; rows = UDFs, columns = methods.
+///
+/// # Errors
+///
+/// Propagates substrate and model failures.
+pub fn run_real(config: &Fig11Config) -> Result<ResultTable, Box<dyn std::error::Error>> {
+    let udfs = real_udf_suite(config.scale, config.seed)?;
+    let columns: Vec<String> = NOISE_METHODS.iter().map(|m| m.label().to_string()).collect();
+    let mut table = ResultTable::new(
+        "Fig. 11(a) — NAE of disk-IO cost, real UDFs (uniform queries, beta = 10)",
+        "udf",
+        columns,
+    );
+    for (u, udf) in udfs.iter().enumerate() {
+        let seed = config.seed.wrapping_add(u as u64);
+        let mut row = Vec::new();
+        for method in NOISE_METHODS {
+            let params = UdfEval {
+                dist: QueryDistribution::Uniform,
+                method,
+                kind: CostKind::DiskIo,
+                queries: config.queries,
+                budget: config.budget,
+                beta: config.beta,
+                seed,
+            };
+            row.push(eval_udf_method(udf.as_ref(), &params)?);
+        }
+        table.push_row(udf.name().to_string(), row);
+    }
+    Ok(table)
+}
+
+/// Runs Fig. 11(b): NAE vs noise probability on synthetic UDFs; rows =
+/// noise probability, columns = methods.
+///
+/// Every model trains on the *noisy* observed costs; the prediction error
+/// is charged against the *true* surface — noise corrupts what the model
+/// sees, and the question is how well each method sees through it.
+///
+/// # Errors
+///
+/// Propagates model failures.
+pub fn run_synthetic(config: &Fig11Config) -> Result<ResultTable, Box<dyn std::error::Error>> {
+    let space = Space::cube(4, 0.0, 1000.0).expect("valid dims");
+    let columns: Vec<String> = NOISE_METHODS.iter().map(|m| m.label().to_string()).collect();
+    let mut table = ResultTable::new(
+        "Fig. 11(b) — NAE vs noise probability, synthetic UDFs (uniform queries, beta = 10)",
+        "noise-p",
+        columns,
+    );
+    for (i, &p) in config.noise_probabilities.iter().enumerate() {
+        let seed = config.seed.wrapping_add(i as u64 * 101);
+        let base = SyntheticUdf::builder(space.clone())
+            .peaks(50)
+            .base_cost(SYNTHETIC_BASE_COST)
+            .seed(seed)
+            .build();
+        let udf = NoisyUdf::new(base, p, seed ^ 0xEE);
+        let points = QueryDistribution::Uniform.generate(&space, config.queries, seed ^ 0xAB);
+        let observed: Vec<f64> = points.iter().map(|q| udf.cost(q)).collect();
+        let truth: Vec<f64> = points.iter().map(|q| udf.true_cost(q)).collect();
+        let train_points = QueryDistribution::Uniform.generate(&space, config.queries, seed ^ 0xCD);
+        let training: Vec<(Vec<f64>, f64)> = train_points
+            .into_iter()
+            .map(|pt| {
+                let c = udf.cost(&pt); // the static model also trains on noisy data
+                (pt, c)
+            })
+            .collect();
+
+        let mut row = Vec::new();
+        for method in NOISE_METHODS {
+            let mut model = build_model(method, &space, config.budget, config.beta)?;
+            let outcome = if method.is_self_tuning() {
+                evaluate_self_tuning_vs_truth(model.as_mut(), &points, &observed, &truth)?
+            } else {
+                evaluate_static(model.as_mut(), &training, &points, &truth)?
+            };
+            row.push(outcome.nae);
+        }
+        table.push_row(format!("{p:.1}"), row);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_io_table_covers_all_udfs() {
+        let t = run_real(&Fig11Config::quick()).unwrap();
+        assert_eq!(t.rows, vec!["SIMPLE", "THRESH", "PROX", "NN", "WIN", "RANGE"]);
+        for row in &t.values {
+            for v in row {
+                assert!(v.is_some(), "every cell defined: {t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_noise_degrades_accuracy() {
+        let t = run_synthetic(&Fig11Config {
+            queries: 1500,
+            noise_probabilities: vec![0.0, 0.5],
+            ..Fig11Config::quick()
+        })
+        .unwrap();
+        // Heavy noise must hurt every method.
+        for method in ["MLQ-E", "SH-H"] {
+            let clean = t.get("0.0", method).unwrap();
+            let noisy = t.get("0.5", method).unwrap();
+            assert!(noisy > clean, "{method}: clean {clean} vs noisy {noisy}");
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Experiment 1, synthetic part (paper Fig. 8): prediction accuracy for a
+//! varying number of peaks, under the three query distributions.
+
+use crate::harness::{evaluate_self_tuning, evaluate_static};
+use crate::methods::{build_model, PAPER_METHODS};
+use crate::table::ResultTable;
+use crate::{PAPER_BUDGET, ROOT_SEED, SYNTHETIC_BASE_COST};
+use mlq_core::{MlqError, Space};
+use mlq_synth::{CostSurface, QueryDistribution, SyntheticUdf};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the Fig. 8 run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig8Config {
+    /// Peak counts forming the x-axis.
+    pub peaks: Vec<usize>,
+    /// Query points per cell (paper: 5000).
+    pub queries: usize,
+    /// Model-space dimensionality (paper: 4).
+    pub dims: usize,
+    /// Per-model byte budget (paper: 1.8 KB).
+    pub budget: usize,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for Fig8Config {
+    fn default() -> Self {
+        Fig8Config {
+            peaks: vec![10, 25, 50, 100, 200],
+            queries: 5000,
+            dims: 4,
+            budget: PAPER_BUDGET,
+            seed: ROOT_SEED ^ 0x08,
+        }
+    }
+}
+
+impl Fig8Config {
+    /// A reduced configuration for tests and fast benches.
+    #[must_use]
+    pub fn quick() -> Self {
+        Fig8Config { peaks: vec![10, 50], queries: 600, dims: 2, ..Fig8Config::default() }
+    }
+}
+
+/// The three query distributions of §5.1.
+fn distributions() -> [QueryDistribution; 3] {
+    [
+        QueryDistribution::Uniform,
+        QueryDistribution::paper_gaussian_random(),
+        QueryDistribution::paper_gaussian_sequential(),
+    ]
+}
+
+/// Runs Fig. 8: one table per query distribution, rows = number of peaks,
+/// columns = methods, cells = NAE.
+///
+/// # Errors
+///
+/// Propagates model failures.
+pub fn run(config: &Fig8Config) -> Result<Vec<ResultTable>, MlqError> {
+    let space = Space::cube(config.dims, 0.0, 1000.0).expect("valid dims");
+    let columns: Vec<String> = PAPER_METHODS.iter().map(|m| m.label().to_string()).collect();
+    let mut tables = Vec::new();
+
+    for (d, dist) in distributions().into_iter().enumerate() {
+        let mut table = ResultTable::new(
+            format!("Fig. 8 — NAE vs number of peaks ({} queries)", dist.label()),
+            "peaks",
+            columns.clone(),
+        );
+        for (p, &peaks) in config.peaks.iter().enumerate() {
+            let seed = config.seed.wrapping_add((d * 1000 + p) as u64);
+            let udf = SyntheticUdf::builder(space.clone())
+                .peaks(peaks)
+                .base_cost(SYNTHETIC_BASE_COST)
+                .seed(seed)
+                .build();
+            let queries = dist.generate(&space, config.queries, seed ^ 0xABCD);
+            let actuals: Vec<f64> = queries.iter().map(|q| udf.cost(q)).collect();
+            // Independent a-priori training sample, same distribution.
+            let train_points = dist.generate(&space, config.queries, seed ^ 0x1234);
+            let training: Vec<(Vec<f64>, f64)> = train_points
+                .into_iter()
+                .map(|pt| {
+                    let c = udf.cost(&pt);
+                    (pt, c)
+                })
+                .collect();
+
+            let mut row = Vec::with_capacity(PAPER_METHODS.len());
+            for method in PAPER_METHODS {
+                let mut model = build_model(method, &space, config.budget, 1)?;
+                let outcome = if method.is_self_tuning() {
+                    evaluate_self_tuning(model.as_mut(), &queries, &actuals)?
+                } else {
+                    evaluate_static(model.as_mut(), &training, &queries, &actuals)?
+                };
+                row.push(outcome.nae);
+            }
+            table.push_row(peaks.to_string(), row);
+        }
+        tables.push(table);
+    }
+    Ok(tables)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_three_full_tables() {
+        let tables = run(&Fig8Config::quick()).unwrap();
+        assert_eq!(tables.len(), 3);
+        for t in &tables {
+            assert_eq!(t.rows.len(), 2);
+            assert_eq!(t.columns.len(), 4);
+            for row in &t.values {
+                for v in row {
+                    let nae = v.expect("NAE defined");
+                    assert!(nae.is_finite() && nae >= 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn methods_all_beat_predicting_zero() {
+        // NAE of predicting zero is exactly 1; trained models must do
+        // noticeably better on a smooth 2-D surface.
+        let tables = run(&Fig8Config::quick()).unwrap();
+        let uniform = &tables[0];
+        for method in ["MLQ-E", "SH-H", "SH-W"] {
+            let v = uniform.get("50", method).unwrap();
+            assert!(v < 1.0, "{method} NAE {v}");
+        }
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let a = run(&Fig8Config::quick()).unwrap();
+        let b = run(&Fig8Config::quick()).unwrap();
+        assert_eq!(a, b);
+    }
+}

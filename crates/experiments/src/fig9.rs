@@ -1,0 +1,155 @@
+//! Experiment 1, real part (paper Fig. 9): CPU-cost prediction accuracy
+//! for the six real UDFs under two query distributions — the paper's "12
+//! test cases".
+
+use crate::harness::{evaluate_self_tuning, evaluate_static};
+use crate::methods::{build_model, Method, PAPER_METHODS};
+use crate::suite::real_udf_suite;
+use crate::table::ResultTable;
+use crate::{PAPER_BUDGET, ROOT_SEED};
+use mlq_synth::QueryDistribution;
+use mlq_udfs::{CostKind, Udf};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the Fig. 9 run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig9Config {
+    /// Query points per test case (paper: 2500).
+    pub queries: usize,
+    /// Dataset scale (1.0 = full harness size).
+    pub scale: f64,
+    /// Per-model byte budget.
+    pub budget: usize,
+    /// `β` for the MLQ methods (paper: 1 for CPU costs).
+    pub beta: u64,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for Fig9Config {
+    fn default() -> Self {
+        Fig9Config {
+            queries: 2500,
+            scale: 1.0,
+            budget: PAPER_BUDGET,
+            beta: 1,
+            seed: ROOT_SEED ^ 0x09,
+        }
+    }
+}
+
+impl Fig9Config {
+    /// A reduced configuration for tests and fast benches.
+    #[must_use]
+    pub fn quick() -> Self {
+        Fig9Config { queries: 300, scale: 0.05, ..Fig9Config::default() }
+    }
+}
+
+/// Parameters of one UDF × distribution × method evaluation, shared with
+/// the Fig. 11 (disk IO) runner.
+pub(crate) struct UdfEval {
+    pub dist: QueryDistribution,
+    pub method: Method,
+    pub kind: CostKind,
+    pub queries: usize,
+    pub budget: usize,
+    pub beta: u64,
+    pub seed: u64,
+}
+
+/// Runs one evaluation and returns NAE on the chosen cost component.
+pub(crate) fn eval_udf_method(
+    udf: &dyn Udf,
+    params: &UdfEval,
+) -> Result<Option<f64>, Box<dyn std::error::Error>> {
+    let UdfEval { dist, method, kind, queries, budget, beta, seed } = *params;
+    let space = udf.space().clone();
+    let points = dist.generate(&space, queries, seed);
+    udf.reset_io_state(); // every method starts from a cold buffer cache
+    let mut actuals = Vec::with_capacity(points.len());
+    for p in &points {
+        actuals.push(udf.execute(p)?.get(kind));
+    }
+    let mut model = build_model(method, &space, budget, beta)?;
+    let outcome = if method.is_self_tuning() {
+        evaluate_self_tuning(model.as_mut(), &points, &actuals)?
+    } else {
+        // A-priori training set: an independent sample from the same
+        // distribution, with the UDF actually executed on every point.
+        let train_points = dist.generate(&space, queries, seed ^ 0xFFFF);
+        udf.reset_io_state();
+        let mut training = Vec::with_capacity(train_points.len());
+        for p in train_points {
+            let c = udf.execute(&p)?.get(kind);
+            training.push((p, c));
+        }
+        evaluate_static(model.as_mut(), &training, &points, &actuals)?
+    };
+    Ok(outcome.nae)
+}
+
+/// Runs Fig. 9: rows = UDF × query distribution (12 cases), columns =
+/// methods, cells = NAE of CPU-cost prediction.
+///
+/// # Errors
+///
+/// Propagates substrate and model failures.
+pub fn run(config: &Fig9Config) -> Result<ResultTable, Box<dyn std::error::Error>> {
+    let udfs = real_udf_suite(config.scale, config.seed)?;
+    let columns: Vec<String> = PAPER_METHODS.iter().map(|m| m.label().to_string()).collect();
+    let mut table = ResultTable::new(
+        "Fig. 9 — NAE for real UDFs, CPU cost (rows: UDF / query distribution)",
+        "case",
+        columns,
+    );
+    let dists = [QueryDistribution::Uniform, QueryDistribution::paper_gaussian_random()];
+    for (u, udf) in udfs.iter().enumerate() {
+        for (d, dist) in dists.into_iter().enumerate() {
+            let seed = config.seed.wrapping_add((u * 10 + d) as u64);
+            let mut row = Vec::new();
+            for method in PAPER_METHODS {
+                let params = UdfEval {
+                    dist,
+                    method,
+                    kind: CostKind::Cpu,
+                    queries: config.queries,
+                    budget: config.budget,
+                    beta: config.beta,
+                    seed,
+                };
+                row.push(eval_udf_method(udf.as_ref(), &params)?);
+            }
+            table.push_row(format!("{}/{}", udf.name(), dist.label()), row);
+        }
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_twelve_cases() {
+        let table = run(&Fig9Config::quick()).unwrap();
+        assert_eq!(table.rows.len(), 12);
+        assert_eq!(table.columns.len(), 4);
+        for row in &table.values {
+            for v in row {
+                let nae = v.expect("NAE defined");
+                assert!(nae.is_finite() && nae >= 0.0, "NAE {nae}");
+            }
+        }
+    }
+
+    #[test]
+    fn mlq_learns_the_text_cost_surface() {
+        // SIMPLE's CPU cost is a smooth function of rank; a self-tuning
+        // model over 300 queries must get well below the predict-zero
+        // floor of 1.0.
+        let table = run(&Fig9Config::quick()).unwrap();
+        let v = table.get("SIMPLE/uniform", "MLQ-E").unwrap();
+        assert!(v < 0.8, "MLQ-E on SIMPLE/uniform: {v}");
+    }
+}

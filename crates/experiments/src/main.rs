@@ -1,0 +1,248 @@
+//! `mlq-exp` — regenerate the paper's figures from the command line.
+//!
+//! ```text
+//! mlq-exp <fig8|fig9|fig10|fig11|fig12|ablations|drift|optimizer|all> [--quick] [--json DIR]
+//! ```
+//!
+//! `--quick` runs the reduced configurations (seconds instead of minutes);
+//! `--json DIR` additionally writes every table as JSON into `DIR`.
+
+use mlq_experiments::{ablations, drift, fig10, fig11, fig12, fig8, fig9, optimizer_exp, ResultTable};
+use mlq_experiments::{ROOT_SEED, SYNTHETIC_BASE_COST};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    command: String,
+    quick: bool,
+    json_dir: Option<PathBuf>,
+    csv_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(usage)?;
+    let mut quick = false;
+    let mut json_dir = None;
+    let mut csv_dir = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--json" => {
+                let dir = args.next().ok_or("--json requires a directory".to_string())?;
+                json_dir = Some(PathBuf::from(dir));
+            }
+            "--csv" => {
+                let dir = args.next().ok_or("--csv requires a directory".to_string())?;
+                csv_dir = Some(PathBuf::from(dir));
+            }
+            other => return Err(format!("unknown argument: {other}\n{}", usage())),
+        }
+    }
+    Ok(Options { command, quick, json_dir, csv_dir })
+}
+
+fn usage() -> String {
+    "usage: mlq-exp <fig8|fig9|fig10|fig11|fig12|ablations|drift|optimizer|render|all> [--quick] [--json DIR] [--csv DIR]"
+        .to_string()
+}
+
+fn slug_of(title: &str) -> String {
+    title
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect::<String>()
+        .split('_')
+        .filter(|s| !s.is_empty())
+        .collect::<Vec<_>>()
+        .join("_")
+}
+
+fn emit(opts: &Options, tables: &[ResultTable]) -> Result<(), String> {
+    for t in tables {
+        println!("{}", t.render());
+    }
+    if let Some(dir) = &opts.json_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        for t in tables {
+            let path = dir.join(format!("{}.json", slug_of(&t.title)));
+            let json = serde_json::to_string_pretty(t).map_err(|e| e.to_string())?;
+            std::fs::write(&path, json).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        }
+    }
+    if let Some(dir) = &opts.csv_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        for t in tables {
+            let path = dir.join(format!("{}.csv", slug_of(&t.title)));
+            std::fs::write(&path, t.to_csv())
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        }
+    }
+    Ok(())
+}
+
+type AnyError = Box<dyn std::error::Error>;
+
+fn run_fig8(quick: bool) -> Result<Vec<ResultTable>, AnyError> {
+    let config = if quick { fig8::Fig8Config::quick() } else { fig8::Fig8Config::default() };
+    Ok(fig8::run(&config)?)
+}
+
+fn run_fig9(quick: bool) -> Result<Vec<ResultTable>, AnyError> {
+    let config = if quick { fig9::Fig9Config::quick() } else { fig9::Fig9Config::default() };
+    Ok(vec![fig9::run(&config)?])
+}
+
+fn run_fig10(quick: bool) -> Result<Vec<ResultTable>, AnyError> {
+    let config = if quick { fig10::Fig10Config::quick() } else { fig10::Fig10Config::default() };
+    Ok(vec![fig10::run_real(&config)?, fig10::run_synthetic(&config)?])
+}
+
+fn run_fig11(quick: bool) -> Result<Vec<ResultTable>, AnyError> {
+    let config = if quick { fig11::Fig11Config::quick() } else { fig11::Fig11Config::default() };
+    Ok(vec![fig11::run_real(&config)?, fig11::run_synthetic(&config)?])
+}
+
+fn run_fig12(quick: bool) -> Result<Vec<ResultTable>, AnyError> {
+    let config = if quick { fig12::Fig12Config::quick() } else { fig12::Fig12Config::default() };
+    Ok(vec![fig12::run_synthetic(&config)?, fig12::run_real(&config)?])
+}
+
+fn run_ablations(quick: bool) -> Result<Vec<ResultTable>, AnyError> {
+    let config = if quick {
+        ablations::AblationConfig::quick()
+    } else {
+        ablations::AblationConfig::default()
+    };
+    Ok(vec![
+        ablations::sweep_alpha(&config),
+        ablations::sweep_beta(&config),
+        ablations::sweep_gamma(&config),
+        ablations::sweep_lambda(&config),
+        ablations::sweep_radius(&config),
+        ablations::sweep_decay(&config),
+        ablations::sweep_access_method(&config)?,
+        ablations::sweep_training_size(&config)?,
+        ablations::sweep_memory(&config)?,
+    ])
+}
+
+fn run_drift(quick: bool) -> Result<Vec<ResultTable>, AnyError> {
+    let config = if quick { drift::DriftConfig::quick() } else { drift::DriftConfig::default() };
+    Ok(vec![drift::run(&config)?])
+}
+
+fn run_optimizer(quick: bool) -> Result<Vec<ResultTable>, AnyError> {
+    let config = if quick {
+        optimizer_exp::OptimizerExpConfig::quick()
+    } else {
+        optimizer_exp::OptimizerExpConfig::default()
+    };
+    Ok(vec![optimizer_exp::run(&config)])
+}
+
+/// `mlq-exp render`: train a 2-D model on a skewed workload and print the
+/// tree structure plus learned-vs-true cost heatmaps — a direct look at
+/// where the memory-limited tree spends its resolution.
+fn run_render() -> Result<(), Box<dyn std::error::Error>> {
+    use mlq_core::{MemoryLimitedQuadtree, MlqConfig, Space};
+    use mlq_synth::{CostSurface, QueryDistribution, SyntheticUdf};
+
+    let space = Space::cube(2, 0.0, 1000.0)?;
+    let udf = SyntheticUdf::builder(space.clone())
+        .peaks(30)
+        .base_cost(SYNTHETIC_BASE_COST)
+        .seed(ROOT_SEED)
+        .build();
+    let config = MlqConfig::builder(space.clone()).memory_budget(1800).build()?;
+    let mut model = MemoryLimitedQuadtree::new(config)?;
+    for q in QueryDistribution::paper_gaussian_random().generate(&space, 4000, ROOT_SEED ^ 1) {
+        let c = udf.cost(&q);
+        model.insert(&q, c)?;
+    }
+
+    println!("{}", model.render_ascii());
+
+    let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let shade = |v: f64, max: f64| shades[((v / max * 9.0) as usize).min(9)];
+    let (w, h) = (48usize, 20usize);
+    let max = udf.max_cost();
+    println!("learned surface (left) vs true surface (right); darker = costlier
+");
+    for row in 0..h {
+        let mut learned = String::with_capacity(w);
+        let mut truth = String::with_capacity(w);
+        for col in 0..w {
+            let x = (col as f64 + 0.5) / w as f64 * 1000.0;
+            let y = 1000.0 - (row as f64 + 0.5) / h as f64 * 1000.0;
+            learned.push(shade(model.predict(&[x, y])?.unwrap_or(0.0), max));
+            truth.push(shade(udf.cost(&[x, y]), max));
+        }
+        println!("{learned}  |  {truth}");
+    }
+    println!(
+        "
+({} nodes in {} bytes; resolution concentrates where the Gaussian          workload actually queried)",
+        model.node_count(),
+        model.bytes_used(),
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result: Result<Vec<ResultTable>, AnyError> = match opts.command.as_str() {
+        "fig8" => run_fig8(opts.quick),
+        "fig9" => run_fig9(opts.quick),
+        "fig10" => run_fig10(opts.quick),
+        "fig11" => run_fig11(opts.quick),
+        "fig12" => run_fig12(opts.quick),
+        "ablations" => run_ablations(opts.quick),
+        "drift" => run_drift(opts.quick),
+        "render" => {
+            return match run_render() {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("render failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "optimizer" => run_optimizer(opts.quick),
+        "all" => (|| {
+            let mut all = Vec::new();
+            all.extend(run_fig8(opts.quick)?);
+            all.extend(run_fig9(opts.quick)?);
+            all.extend(run_fig10(opts.quick)?);
+            all.extend(run_fig11(opts.quick)?);
+            all.extend(run_fig12(opts.quick)?);
+            all.extend(run_ablations(opts.quick)?);
+            all.extend(run_drift(opts.quick)?);
+            all.extend(run_optimizer(opts.quick)?);
+            Ok(all)
+        })(),
+        _ => {
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(tables) => match emit(&opts, &tables) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! End-to-end experiment: the Fig.-1 feedback loop inside a query
+//! executor. Compares the total cost of evaluating a 3-predicate UDF
+//! conjunction under (a) the worst fixed order, (b) a random fixed order,
+//! (c) self-tuning rank ordering (MLQ estimators + observed
+//! selectivities), and (d) the oracle rank ordering. Not a figure in the
+//! paper, but the motivating scenario of its introduction.
+
+use crate::table::ResultTable;
+use crate::ROOT_SEED;
+use mlq_core::{CostModel, InsertionStrategy, MemoryLimitedQuadtree, MlqConfig, Space};
+use mlq_optimizer::{
+    CostEstimator, ExecutionReport, FeedbackExecutor, OrderingPolicy, RowPredicate,
+    SyntheticPredicate,
+};
+use mlq_synth::{QueryDistribution, SyntheticUdf};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the optimizer experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OptimizerExpConfig {
+    /// Rows streamed through the executor.
+    pub rows: usize,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for OptimizerExpConfig {
+    fn default() -> Self {
+        OptimizerExpConfig { rows: 4000, seed: ROOT_SEED ^ 0x0E }
+    }
+}
+
+impl OptimizerExpConfig {
+    /// A reduced configuration for tests and fast benches.
+    #[must_use]
+    pub fn quick() -> Self {
+        OptimizerExpConfig { rows: 600, ..OptimizerExpConfig::default() }
+    }
+}
+
+fn space() -> Space {
+    Space::cube(2, 0.0, 1000.0).expect("valid dims")
+}
+
+/// The experiment's three predicates: expensive-but-weak, cheap-and-strong,
+/// and middling — the configuration where ordering matters most.
+fn predicates(seed: u64) -> (Vec<Box<dyn RowPredicate>>, Vec<Option<f64>>) {
+    let mk = |s: u64, max_cost: f64, sel: f64, name: &str| -> Box<dyn RowPredicate> {
+        let surface = SyntheticUdf::builder(space())
+            .peaks(5)
+            .max_cost(max_cost)
+            .seed(seed ^ s)
+            .build();
+        Box::new(SyntheticPredicate::new(name, surface, sel, seed ^ s))
+    };
+    (
+        vec![
+            mk(1, 10_000.0, 0.9, "expensive-weak"),
+            mk(2, 100.0, 0.2, "cheap-strong"),
+            mk(3, 1_000.0, 0.5, "middling"),
+        ],
+        vec![Some(0.9), Some(0.2), Some(0.5)],
+    )
+}
+
+fn mlq_estimator() -> CostEstimator {
+    let model = || -> Box<dyn CostModel> {
+        let config = MlqConfig::builder(space())
+            .memory_budget(4096)
+            .strategy(InsertionStrategy::Eager)
+            .build()
+            .expect("valid config");
+        Box::new(MemoryLimitedQuadtree::new(config).expect("valid model"))
+    };
+    CostEstimator::new(model(), model(), 0.0)
+}
+
+fn rows(config: &OptimizerExpConfig) -> Vec<Vec<Vec<f64>>> {
+    let points =
+        QueryDistribution::Uniform.generate(&space(), config.rows * 3, config.seed ^ 0x30);
+    points.chunks_exact(3).map(<[Vec<f64>]>::to_vec).collect()
+}
+
+fn execute(config: &OptimizerExpConfig, policy: &OrderingPolicy) -> ExecutionReport {
+    let (preds, sels) = predicates(config.seed);
+    let estimators = (0..preds.len()).map(|_| mlq_estimator()).collect();
+    let mut exec = FeedbackExecutor::new(preds, estimators);
+    exec.set_true_selectivities(sels);
+    exec.run(&rows(config), policy)
+}
+
+/// Runs the experiment; rows = ordering policy, columns = total cost /
+/// evaluations / qualified.
+#[must_use]
+pub fn run(config: &OptimizerExpConfig) -> ResultTable {
+    let mut table = ResultTable::new(
+        "Optimizer end-to-end — 3-predicate conjunction, total evaluation cost by ordering policy",
+        "policy",
+        vec!["total-cost".into(), "evaluations".into(), "qualified".into()],
+    );
+    let cases: Vec<(&str, OrderingPolicy)> = vec![
+        ("worst-fixed", OrderingPolicy::Fixed(vec![0, 2, 1])),
+        ("naive-fixed", OrderingPolicy::Fixed(vec![0, 1, 2])),
+        ("self-tuning", OrderingPolicy::EstimatedRank),
+        ("self-tuning-local", OrderingPolicy::LocalSelectivityRank),
+        ("oracle", OrderingPolicy::OracleRank),
+    ];
+    for (name, policy) in cases {
+        let report = execute(config, &policy);
+        table.push_row(
+            name,
+            vec![
+                Some(report.total_cost),
+                Some(report.evaluations as f64),
+                Some(report.qualified as f64),
+            ],
+        );
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_tuning_between_worst_and_oracle() {
+        let t = run(&OptimizerExpConfig::quick());
+        assert_eq!(t.rows.len(), 5);
+        let worst = t.get("worst-fixed", "total-cost").unwrap();
+        let learned = t.get("self-tuning", "total-cost").unwrap();
+        let oracle = t.get("oracle", "total-cost").unwrap();
+        assert!(learned < worst, "learned {learned} vs worst {worst}");
+        assert!(oracle <= learned, "oracle {oracle} vs learned {learned}");
+    }
+
+    #[test]
+    fn qualified_rows_agree_across_policies() {
+        let t = run(&OptimizerExpConfig::quick());
+        let q: Vec<f64> = t
+            .rows
+            .iter()
+            .map(|r| t.get(r, "qualified").unwrap())
+            .collect();
+        assert!(q.windows(2).all(|w| w[0] == w[1]), "qualified counts {q:?}");
+    }
+}

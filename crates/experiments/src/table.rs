@@ -1,0 +1,205 @@
+//! Plain-text result tables, mirroring the rows/series the paper plots.
+
+use serde::{Deserialize, Serialize};
+
+/// A labelled grid of optional numeric results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResultTable {
+    /// Table caption, e.g. `"Fig. 8 — NAE vs peaks (uniform queries)"`.
+    pub title: String,
+    /// Header of the row-label column, e.g. `"peaks"`.
+    pub row_header: String,
+    /// Column labels, e.g. method names.
+    pub columns: Vec<String>,
+    /// Row labels.
+    pub rows: Vec<String>,
+    /// `values[row][col]`; `None` renders as `-`.
+    pub values: Vec<Vec<Option<f64>>>,
+}
+
+impl ResultTable {
+    /// Creates an empty table with the given columns.
+    #[must_use]
+    pub fn new(
+        title: impl Into<String>,
+        row_header: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        ResultTable {
+            title: title.into(),
+            row_header: row_header.into(),
+            columns,
+            rows: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value count does not match the column count.
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<Option<f64>>) {
+        assert_eq!(values.len(), self.columns.len(), "one value per column");
+        self.rows.push(label.into());
+        self.values.push(values);
+    }
+
+    /// Looks up a cell by labels.
+    #[must_use]
+    pub fn get(&self, row: &str, column: &str) -> Option<f64> {
+        let r = self.rows.iter().position(|x| x == row)?;
+        let c = self.columns.iter().position(|x| x == column)?;
+        self.values[r][c]
+    }
+
+    /// Renders the table as CSV (first column = row labels; empty cells
+    /// for `None`).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let escape = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&escape(&self.row_header));
+        for col in &self.columns {
+            out.push(',');
+            out.push_str(&escape(col));
+        }
+        out.push('\n');
+        for (label, row) in self.rows.iter().zip(&self.values) {
+            out.push_str(&escape(label));
+            for v in row {
+                out.push(',');
+                if let Some(x) = v {
+                    out.push_str(&format!("{x}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders an aligned plain-text table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let fmt = |v: &Option<f64>| match v {
+            Some(x) if x.abs() >= 1000.0 => format!("{x:.1}"),
+            Some(x) => format!("{x:.4}"),
+            None => "-".to_string(),
+        };
+        let mut widths: Vec<usize> = Vec::with_capacity(self.columns.len() + 1);
+        let label_w = self
+            .rows
+            .iter()
+            .map(String::len)
+            .chain([self.row_header.len()])
+            .max()
+            .unwrap_or(0);
+        widths.push(label_w);
+        for (c, col) in self.columns.iter().enumerate() {
+            let w = self
+                .values
+                .iter()
+                .map(|row| fmt(&row[c]).len())
+                .chain([col.len()])
+                .max()
+                .unwrap_or(0);
+            widths.push(w);
+        }
+
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        out.push_str(&format!("{:<w$}", self.row_header, w = widths[0]));
+        for (c, col) in self.columns.iter().enumerate() {
+            out.push_str(&format!("  {:>w$}", col, w = widths[c + 1]));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * self.columns.len()));
+        out.push('\n');
+        for (r, label) in self.rows.iter().enumerate() {
+            out.push_str(&format!("{:<w$}", label, w = widths[0]));
+            for (c, v) in self.values[r].iter().enumerate() {
+                out.push_str(&format!("  {:>w$}", fmt(v), w = widths[c + 1]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ResultTable {
+        let mut t = ResultTable::new("T", "x", vec!["a".into(), "b".into()]);
+        t.push_row("r1", vec![Some(0.5), None]);
+        t.push_row("r2", vec![Some(1234.5), Some(0.125)]);
+        t
+    }
+
+    #[test]
+    fn get_by_labels() {
+        let t = sample();
+        assert_eq!(t.get("r1", "a"), Some(0.5));
+        assert_eq!(t.get("r1", "b"), None);
+        assert_eq!(t.get("r2", "b"), Some(0.125));
+        assert_eq!(t.get("zz", "a"), None);
+        assert_eq!(t.get("r1", "zz"), None);
+    }
+
+    #[test]
+    fn render_contains_all_labels_and_values() {
+        let s = sample().render();
+        for needle in ["T", "x", "a", "b", "r1", "r2", "0.5000", "1234.5", "0.1250", "-"] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn rows_align() {
+        let s = sample().render();
+        let lines: Vec<&str> = s.lines().collect();
+        // Header + separator + two data rows + title.
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[2].len(), lines[3].len().max(lines[2].len()));
+    }
+
+    #[test]
+    fn csv_renders_header_rows_and_empty_cells() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,a,b");
+        assert_eq!(lines[1], "r1,0.5,");
+        assert_eq!(lines[2], "r2,1234.5,0.125");
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = ResultTable::new("T", "k,ey", vec!["a\"b".into()]);
+        t.push_row("r,1", vec![Some(1.0)]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("\"k,ey\",\"a\"\"b\""), "{csv}");
+        assert!(csv.contains("\"r,1\",1"), "{csv}");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = sample();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: ResultTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per column")]
+    fn mismatched_row_panics() {
+        sample().push_row("r3", vec![Some(1.0)]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Workload traces: record a stream of `(query point, actual cost)`
+//! observations to JSON and replay it later.
+//!
+//! Traces decouple workload capture from model evaluation — the harness
+//! can snapshot the exact feedback stream a production system saw (the
+//! paper's Fig. 1 loop produces exactly this data) and replay it against
+//! any model configuration offline, reproducibly.
+
+use mlq_core::{CostModel, MlqError};
+use mlq_metrics::OnlineNae;
+use serde::{Deserialize, Serialize};
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+/// One recorded UDF execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Model-variable coordinates of the execution.
+    pub point: Vec<f64>,
+    /// Observed actual cost.
+    pub actual: f64,
+}
+
+/// A recorded feedback stream.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadTrace {
+    /// Free-form description (UDF name, cost kind, workload, seed...).
+    pub description: String,
+    /// The observations, in execution order.
+    pub entries: Vec<TraceEntry>,
+}
+
+impl WorkloadTrace {
+    /// An empty trace with a description.
+    #[must_use]
+    pub fn new(description: impl Into<String>) -> Self {
+        WorkloadTrace { description: description.into(), entries: Vec::new() }
+    }
+
+    /// Appends one observation.
+    pub fn record(&mut self, point: &[f64], actual: f64) {
+        self.entries.push(TraceEntry { point: point.to_vec(), actual });
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Writes the trace as JSON.
+    ///
+    /// # Errors
+    ///
+    /// IO and serialization failures.
+    pub fn save(&self, path: &Path) -> Result<(), Box<dyn std::error::Error>> {
+        let file = std::fs::File::create(path)?;
+        serde_json::to_writer(BufWriter::new(file), self)?;
+        Ok(())
+    }
+
+    /// Reads a trace back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// IO and deserialization failures.
+    pub fn load(path: &Path) -> Result<Self, Box<dyn std::error::Error>> {
+        let file = std::fs::File::open(path)?;
+        Ok(serde_json::from_reader(BufReader::new(file))?)
+    }
+
+    /// Replays the trace through a model in the standard
+    /// predict-then-observe loop, returning the stream NAE.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors (e.g. a trace recorded over a different
+    /// dimensionality).
+    pub fn replay(&self, model: &mut dyn CostModel) -> Result<Option<f64>, MlqError> {
+        let mut nae = OnlineNae::new();
+        for entry in &self.entries {
+            let predicted = model.predict(&entry.point)?.unwrap_or(0.0);
+            nae.record(predicted, entry.actual);
+            model.observe(&entry.point, entry.actual)?;
+        }
+        Ok(nae.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::{build_model, Method};
+    use mlq_core::Space;
+    use mlq_synth::{CostSurface, QueryDistribution, SyntheticUdf};
+
+    fn sample_trace(n: usize) -> WorkloadTrace {
+        let space = Space::cube(2, 0.0, 1000.0).unwrap();
+        let udf = SyntheticUdf::builder(space.clone()).peaks(10).seed(3).build();
+        let mut trace = WorkloadTrace::new("synthetic 2-D, uniform, seed 3");
+        for q in QueryDistribution::Uniform.generate(&space, n, 9) {
+            let c = udf.cost(&q);
+            trace.record(&q, c);
+        }
+        trace
+    }
+
+    #[test]
+    fn record_and_replay() {
+        let trace = sample_trace(400);
+        assert_eq!(trace.len(), 400);
+        let space = Space::cube(2, 0.0, 1000.0).unwrap();
+        let mut model = build_model(Method::MlqE, &space, 8192, 1).unwrap();
+        let nae = trace.replay(model.as_mut()).unwrap().unwrap();
+        assert!(nae < 1.0, "replayed stream learns: {nae}");
+    }
+
+    #[test]
+    fn replay_is_deterministic_across_models() {
+        let trace = sample_trace(200);
+        let space = Space::cube(2, 0.0, 1000.0).unwrap();
+        let run = || {
+            let mut model = build_model(Method::MlqL, &space, 4096, 1).unwrap();
+            trace.replay(model.as_mut()).unwrap().unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let trace = sample_trace(50);
+        let dir = std::env::temp_dir().join("mlq-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        trace.save(&path).unwrap();
+        let back = WorkloadTrace::load(&path).unwrap();
+        assert_eq!(back, trace);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_rejects_mismatched_dimensions() {
+        let trace = sample_trace(5);
+        let space = Space::cube(3, 0.0, 1000.0).unwrap();
+        let mut model = build_model(Method::MlqE, &space, 4096, 1).unwrap();
+        assert!(trace.replay(model.as_mut()).is_err());
+    }
+
+    #[test]
+    fn empty_trace_replays_to_none() {
+        let trace = WorkloadTrace::new("empty");
+        assert!(trace.is_empty());
+        let space = Space::cube(2, 0.0, 1000.0).unwrap();
+        let mut model = build_model(Method::MlqE, &space, 4096, 1).unwrap();
+        assert_eq!(trace.replay(model.as_mut()).unwrap(), None);
+    }
+}

@@ -1,0 +1,78 @@
+//! End-to-end tests of the `mlq-exp` binary itself: argument handling,
+//! table emission, and JSON/CSV export.
+
+use std::process::Command;
+
+fn mlq_exp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mlq-exp"))
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let out = mlq_exp().output().expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = mlq_exp().arg("fig99").output().expect("binary runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn unknown_flag_fails() {
+    let out = mlq_exp().args(["fig8", "--bogus"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown argument"));
+}
+
+#[test]
+fn quick_fig8_prints_three_tables() {
+    let out = mlq_exp().args(["fig8", "--quick"]).output().expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.matches("Fig. 8").count(), 3, "{stdout}");
+    for method in ["MLQ-E", "MLQ-L", "SH-H", "SH-W"] {
+        assert!(stdout.contains(method), "missing {method}");
+    }
+}
+
+#[test]
+fn json_and_csv_exports_land_in_the_directory() {
+    let dir = std::env::temp_dir().join(format!("mlq-exp-cli-{}", std::process::id()));
+    let out = mlq_exp()
+        .args([
+            "optimizer",
+            "--quick",
+            "--json",
+            dir.to_str().unwrap(),
+            "--csv",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let entries: Vec<String> = std::fs::read_dir(&dir)
+        .expect("export dir exists")
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(entries.iter().any(|f| f.ends_with(".json")), "{entries:?}");
+    assert!(entries.iter().any(|f| f.ends_with(".csv")), "{entries:?}");
+    // The JSON deserializes back into a table.
+    let json_file = entries.iter().find(|f| f.ends_with(".json")).unwrap();
+    let body = std::fs::read_to_string(dir.join(json_file)).unwrap();
+    let table: mlq_experiments::ResultTable = serde_json::from_str(&body).unwrap();
+    assert_eq!(table.rows.len(), 5, "five ordering policies");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn render_subcommand_draws_heatmaps() {
+    let out = mlq_exp().arg("render").output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("MLQ tree"), "tree dump present");
+    assert!(stdout.contains("learned surface"), "heatmap header present");
+}

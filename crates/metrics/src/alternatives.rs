@@ -1,0 +1,91 @@
+//! The error metrics the paper *rejected*, and why (§5.1, "Error
+//! Metric").
+//!
+//! "We do not use the relative error because it is not robust to
+//! situations where the execution costs are low. We do not use the
+//! (unnormalized) absolute error either because it varies greatly across
+//! different UDFs/datasets while, in our experiments, we do compare
+//! errors across different UDFs/datasets." Both are implemented here so
+//! harness users can see those failure modes on their own data — the
+//! tests demonstrate each one.
+
+/// Mean relative error `mean(|predicted − actual| / actual)`.
+///
+/// `None` when empty or when any actual cost is zero (where the measure
+/// is undefined — the first half of the paper's objection).
+#[must_use]
+pub fn mean_relative_error(pairs: &[(f64, f64)]) -> Option<f64> {
+    if pairs.is_empty() || pairs.iter().any(|&(_, a)| a == 0.0) {
+        return None;
+    }
+    Some(
+        pairs.iter().map(|&(p, a)| ((p - a) / a).abs()).sum::<f64>() / pairs.len() as f64,
+    )
+}
+
+/// Mean absolute error `mean(|predicted − actual|)` — in the *units of
+/// the cost*, hence incomparable across UDFs (the paper's second
+/// objection).
+#[must_use]
+pub fn mean_absolute_error(pairs: &[(f64, f64)]) -> Option<f64> {
+    (!pairs.is_empty())
+        .then(|| pairs.iter().map(|&(p, a)| (p - a).abs()).sum::<f64>() / pairs.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nae::nae;
+
+    #[test]
+    fn definitions() {
+        let pairs = [(8.0, 10.0), (6.0, 5.0)];
+        assert!((mean_relative_error(&pairs).unwrap() - (0.2 + 0.2) / 2.0).abs() < 1e-12);
+        assert!((mean_absolute_error(&pairs).unwrap() - 1.5).abs() < 1e-12);
+    }
+
+    /// The paper's first objection, demonstrated: one near-zero actual
+    /// cost blows the relative error up even though the model is
+    /// excellent, while NAE barely moves.
+    #[test]
+    fn relative_error_is_not_robust_to_low_costs() {
+        // 99 perfect predictions at cost 100, one off-by-one at cost 0.01.
+        let mut pairs: Vec<(f64, f64)> = (0..99).map(|_| (100.0, 100.0)).collect();
+        pairs.push((1.01, 0.01));
+        let rel = mean_relative_error(&pairs).unwrap();
+        let n = nae(&pairs).unwrap();
+        assert!(rel > 0.9, "one cheap query dominates: relative error {rel}");
+        assert!(n < 0.001, "NAE is unfazed: {n}");
+        // And at exactly zero cost, relative error is undefined entirely.
+        assert_eq!(mean_relative_error(&[(1.0, 0.0)]), None);
+        assert!(nae(&[(1.0, 0.0), (5.0, 5.0)]).is_some());
+    }
+
+    /// The paper's second objection, demonstrated: the same model quality
+    /// on two UDFs whose costs differ by 1000x gives absolute errors that
+    /// cannot be compared, while NAE is identical.
+    #[test]
+    fn absolute_error_is_not_comparable_across_udfs() {
+        let cheap_udf: Vec<(f64, f64)> = (1..=10).map(|i| {
+            let a = f64::from(i);
+            (a * 1.1, a) // 10% over-prediction
+        }).collect();
+        let expensive_udf: Vec<(f64, f64)> = (1..=10).map(|i| {
+            let a = f64::from(i) * 1000.0;
+            (a * 1.1, a)
+        }).collect();
+        let abs_cheap = mean_absolute_error(&cheap_udf).unwrap();
+        let abs_exp = mean_absolute_error(&expensive_udf).unwrap();
+        assert!(abs_exp > 500.0 * abs_cheap, "absolute errors differ by the cost scale");
+        let nae_cheap = nae(&cheap_udf).unwrap();
+        let nae_exp = nae(&expensive_udf).unwrap();
+        assert!((nae_cheap - nae_exp).abs() < 1e-12, "NAE sees the same 10% model error");
+        assert!((nae_cheap - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(mean_relative_error(&[]), None);
+        assert_eq!(mean_absolute_error(&[]), None);
+    }
+}

@@ -1,0 +1,138 @@
+//! Learning curves: windowed NAE versus number of query points processed
+//! (paper Experiment 4 / Fig. 12).
+
+use crate::nae::OnlineNae;
+use serde::{Deserialize, Serialize};
+
+/// One sample of a learning curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LearningPoint {
+    /// Total number of query points processed when the window closed.
+    pub processed: u64,
+    /// NAE over the points inside the window; `None` when undefined
+    /// (window of zero-cost actuals).
+    pub nae: Option<f64>,
+}
+
+/// Accumulates `(predicted, actual)` pairs and emits one NAE sample per
+/// fixed-size window, reproducing the x-axis of the paper's Fig. 12
+/// ("prediction error with an increasing number of data points processed").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LearningCurve {
+    window: u64,
+    current: OnlineNae,
+    total: u64,
+    points: Vec<LearningPoint>,
+}
+
+impl LearningCurve {
+    /// Creates a curve sampling every `window` observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    #[must_use]
+    pub fn new(window: u64) -> Self {
+        assert!(window > 0, "window must be positive");
+        LearningCurve { window, current: OnlineNae::new(), total: 0, points: Vec::new() }
+    }
+
+    /// Records one observation; closes the window when full.
+    pub fn record(&mut self, predicted: f64, actual: f64) {
+        self.current.record(predicted, actual);
+        self.total += 1;
+        if self.current.count() == self.window {
+            self.points.push(LearningPoint { processed: self.total, nae: self.current.value() });
+            self.current = OnlineNae::new();
+        }
+    }
+
+    /// Completed window samples.
+    #[must_use]
+    pub fn points(&self) -> &[LearningPoint] {
+        &self.points
+    }
+
+    /// Flushes a final, possibly partial window.
+    pub fn finish(&mut self) {
+        if self.current.count() > 0 {
+            self.points.push(LearningPoint { processed: self.total, nae: self.current.value() });
+            self.current = OnlineNae::new();
+        }
+    }
+
+    /// Number of observations recorded so far.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Index of the first window whose NAE is within `tolerance` of the
+    /// minimum across the curve — how quickly the model reached its best
+    /// accuracy (the paper's Experiment 4 question).
+    #[must_use]
+    pub fn convergence_window(&self, tolerance: f64) -> Option<usize> {
+        let min = self
+            .points
+            .iter()
+            .filter_map(|p| p.nae)
+            .min_by(f64::total_cmp)?;
+        self.points
+            .iter()
+            .position(|p| p.nae.is_some_and(|v| v <= min + tolerance))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_close_at_exact_boundaries() {
+        let mut c = LearningCurve::new(2);
+        c.record(1.0, 1.0);
+        assert!(c.points().is_empty());
+        c.record(2.0, 1.0);
+        assert_eq!(c.points().len(), 1);
+        assert_eq!(c.points()[0].processed, 2);
+        // Window NAE: (0 + 1) / 2 = 0.5
+        assert!((c.points()[0].nae.unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finish_flushes_partial_window() {
+        let mut c = LearningCurve::new(10);
+        c.record(0.0, 1.0);
+        c.finish();
+        assert_eq!(c.points().len(), 1);
+        assert_eq!(c.points()[0].processed, 1);
+        assert_eq!(c.points()[0].nae, Some(1.0));
+        // Double finish does not duplicate.
+        c.finish();
+        assert_eq!(c.points().len(), 1);
+    }
+
+    #[test]
+    fn convergence_window_finds_first_near_minimum() {
+        let mut c = LearningCurve::new(1);
+        for (p, a) in [(0.0, 10.0), (5.0, 10.0), (9.0, 10.0), (9.5, 10.0)] {
+            c.record(p, a);
+        }
+        // NAE per window: 1.0, 0.5, 0.1, 0.05
+        assert_eq!(c.convergence_window(0.0), Some(3));
+        assert_eq!(c.convergence_window(0.06), Some(2));
+        assert_eq!(c.convergence_window(1.0), Some(0));
+    }
+
+    #[test]
+    fn convergence_on_empty_curve_is_none() {
+        let c = LearningCurve::new(5);
+        assert_eq!(c.convergence_window(0.1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        let _ = LearningCurve::new(0);
+    }
+}

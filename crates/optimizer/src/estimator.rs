@@ -1,0 +1,124 @@
+//! Per-UDF cost estimators: a CPU model and a disk-IO model behind one
+//! interface.
+
+use mlq_core::{CostModel, MlqError};
+use mlq_udfs::ExecutionCost;
+
+/// The optimizer's per-UDF estimator: "the query optimizer needs to keep
+/// two cost estimators for each UDF in order to model both CPU and disk IO
+/// costs" (paper §1). Predictions combine both components with a
+/// configurable weight converting page reads into CPU-unit equivalents.
+pub struct CostEstimator {
+    cpu: Box<dyn CostModel>,
+    io: Box<dyn CostModel>,
+    io_weight: f64,
+}
+
+impl std::fmt::Debug for CostEstimator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CostEstimator")
+            .field("cpu_model", &self.cpu.name())
+            .field("io_model", &self.io.name())
+            .field("io_weight", &self.io_weight)
+            .finish()
+    }
+}
+
+impl CostEstimator {
+    /// Pairs a CPU model with a disk-IO model. `io_weight` is the CPU-unit
+    /// cost of one page read (a DBMS would calibrate this; 100 is a
+    /// reasonable analogue of random-read latency vs. a scan step).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `io_weight` is negative or non-finite.
+    #[must_use]
+    pub fn new(cpu: Box<dyn CostModel>, io: Box<dyn CostModel>, io_weight: f64) -> Self {
+        assert!(io_weight.is_finite() && io_weight >= 0.0, "io_weight must be non-negative");
+        CostEstimator { cpu, io, io_weight }
+    }
+
+    /// Predicted combined cost at `point`; `None` while both models are
+    /// uninformed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates malformed-point errors.
+    pub fn predict(&self, point: &[f64]) -> Result<Option<f64>, MlqError> {
+        let cpu = self.cpu.predict(point)?;
+        let io = self.io.predict(point)?;
+        Ok(match (cpu, io) {
+            (None, None) => None,
+            (c, i) => Some(c.unwrap_or(0.0) + self.io_weight * i.unwrap_or(0.0)),
+        })
+    }
+
+    /// Offers an observed execution back to both models (self-tuning
+    /// models learn; static models ignore it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates malformed-input errors.
+    pub fn observe(&mut self, point: &[f64], cost: ExecutionCost) -> Result<(), MlqError> {
+        self.cpu.observe(point, cost.cpu)?;
+        self.io.observe(point, cost.io)?;
+        Ok(())
+    }
+
+    /// The combined cost of an observed execution under this estimator's
+    /// weighting (for comparing predictions to actuals).
+    #[must_use]
+    pub fn combine(&self, cost: ExecutionCost) -> f64 {
+        cost.cpu + self.io_weight * cost.io
+    }
+
+    /// Total accounted memory of both models.
+    #[must_use]
+    pub fn memory_used(&self) -> usize {
+        self.cpu.memory_used() + self.io.memory_used()
+    }
+
+    /// Display name, e.g. `"MLQ-E+MLQ-E"`.
+    #[must_use]
+    pub fn name(&self) -> String {
+        format!("{}+{}", self.cpu.name(), self.io.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlq_core::{InsertionStrategy, MemoryLimitedQuadtree, MlqConfig, Space};
+
+    fn mlq() -> Box<dyn CostModel> {
+        let config = MlqConfig::builder(Space::cube(2, 0.0, 1000.0).unwrap())
+            .memory_budget(1 << 16)
+            .strategy(InsertionStrategy::Eager)
+            .build()
+            .unwrap();
+        Box::new(MemoryLimitedQuadtree::new(config).unwrap())
+    }
+
+    #[test]
+    fn combines_cpu_and_io_predictions() {
+        let mut e = CostEstimator::new(mlq(), mlq(), 100.0);
+        assert_eq!(e.predict(&[1.0, 1.0]).unwrap(), None);
+        e.observe(&[1.0, 1.0], ExecutionCost { cpu: 50.0, io: 2.0, results: 0 }).unwrap();
+        let p = e.predict(&[1.0, 1.0]).unwrap().unwrap();
+        assert!((p - 250.0).abs() < 1e-9, "50 + 100*2 = 250, got {p}");
+        assert!((e.combine(ExecutionCost { cpu: 50.0, io: 2.0, results: 0 }) - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn name_and_memory() {
+        let e = CostEstimator::new(mlq(), mlq(), 1.0);
+        assert_eq!(e.name(), "MLQ-E+MLQ-E");
+        assert!(e.memory_used() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "io_weight")]
+    fn rejects_negative_weight() {
+        let _ = CostEstimator::new(mlq(), mlq(), -1.0);
+    }
+}

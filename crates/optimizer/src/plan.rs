@@ -1,0 +1,258 @@
+//! Predicate pull-up vs. push-down around a join — the *other* decision
+//! the paper's introduction motivates: "whether a join should be
+//! performed before UDF execution depends on the cost of the UDFs and
+//! the selectivity of the UDF predicates".
+//!
+//! Two plans for `σ_UDF(R) ⋈ S`:
+//!
+//! * **push-down** — run the UDF predicate on every `R` row first, join
+//!   the survivors: `|R|·c_udf + |σ(R)|·|S|·c_probe`;
+//! * **pull-up** — join first, run the UDF only on rows that found a
+//!   join partner: `|R|·|S|·c_probe + |R ⋈ S|·c_udf` (with the UDF
+//!   evaluated once per distinct `R` row that joined).
+//!
+//! With a cheap, selective UDF push-down wins; with an expensive UDF and
+//! a selective join pull-up wins. [`JoinUdfPlanner`] makes the call from
+//! a [`CostEstimator`]'s *predicted* per-tuple cost and observed
+//! selectivities — no developer-provided constants — and the executor
+//! verifies the decision against both plans' actual costs.
+
+use crate::estimator::CostEstimator;
+use crate::predicate::RowPredicate;
+use mlq_core::MlqError;
+use serde::{Deserialize, Serialize};
+
+/// The two plan shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlanShape {
+    /// Evaluate the UDF predicate before the join.
+    PushDown,
+    /// Join first; evaluate the UDF only on joining rows.
+    PullUp,
+}
+
+/// Cardinality statistics the planner needs (a real optimizer reads these
+/// from the catalog).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JoinStats {
+    /// Rows in the UDF-side relation `R`.
+    pub outer_rows: u64,
+    /// Rows in the joined relation `S`.
+    pub inner_rows: u64,
+    /// Fraction of `R` rows with at least one join partner.
+    pub join_selectivity: f64,
+    /// Estimated selectivity of the UDF predicate.
+    pub udf_selectivity: f64,
+    /// Per-probe cost of the join in the same units as UDF cost
+    /// (hash-probe work per outer row).
+    pub probe_cost: f64,
+}
+
+/// Estimated costs of the two plans at a representative model point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlanEstimate {
+    /// Estimated total cost of the push-down plan.
+    pub push_down: f64,
+    /// Estimated total cost of the pull-up plan.
+    pub pull_up: f64,
+    /// The cheaper shape.
+    pub choice: PlanShape,
+}
+
+/// Chooses between UDF-before-join and join-before-UDF from predicted
+/// per-tuple UDF cost.
+#[derive(Debug)]
+pub struct JoinUdfPlanner {
+    stats: JoinStats,
+}
+
+impl JoinUdfPlanner {
+    /// Creates the planner over the given catalog statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics when selectivities are outside `[0, 1]` or costs negative.
+    #[must_use]
+    pub fn new(stats: JoinStats) -> Self {
+        assert!((0.0..=1.0).contains(&stats.join_selectivity), "join selectivity in [0,1]");
+        assert!((0.0..=1.0).contains(&stats.udf_selectivity), "udf selectivity in [0,1]");
+        assert!(stats.probe_cost >= 0.0, "probe cost must be non-negative");
+        JoinUdfPlanner { stats }
+    }
+
+    /// Estimates both plans using the estimator's predicted per-tuple UDF
+    /// cost at `representative_point` (e.g. the centroid of the incoming
+    /// batch). Falls back to a unit cost while the estimator is cold.
+    ///
+    /// # Errors
+    ///
+    /// Propagates malformed-point errors.
+    pub fn estimate(
+        &self,
+        estimator: &CostEstimator,
+        representative_point: &[f64],
+    ) -> Result<PlanEstimate, MlqError> {
+        let udf_cost = estimator.predict(representative_point)?.unwrap_or(1.0);
+        let s = &self.stats;
+        let outer = s.outer_rows as f64;
+        let probe_total = outer * s.probe_cost;
+        // Push-down: UDF on all of R, join on the survivors.
+        let push_down = outer * udf_cost + s.udf_selectivity * probe_total;
+        // Pull-up: join on all of R, UDF on rows that found a partner.
+        let pull_up = probe_total + s.join_selectivity * outer * udf_cost;
+        let choice =
+            if push_down <= pull_up { PlanShape::PushDown } else { PlanShape::PullUp };
+        Ok(PlanEstimate { push_down, pull_up, choice })
+    }
+
+    /// Executes one batch of `R` rows under `shape`, returning the actual
+    /// total cost, and feeds every UDF execution back into the estimator
+    /// (the Fig. 1 loop). `joins[i]` says whether row `i` has a join
+    /// partner; `points[i]` is row `i`'s UDF model point.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices differ in length.
+    pub fn execute(
+        &self,
+        shape: PlanShape,
+        predicate: &dyn RowPredicate,
+        estimator: &mut CostEstimator,
+        points: &[Vec<f64>],
+        joins: &[bool],
+    ) -> f64 {
+        assert_eq!(points.len(), joins.len(), "one join flag per row");
+        let mut total = 0.0;
+        for (point, &has_partner) in points.iter().zip(joins) {
+            match shape {
+                PlanShape::PushDown => {
+                    let (pass, cost) = predicate.evaluate(point);
+                    estimator.observe(point, cost).expect("well-formed row");
+                    total += estimator.combine(cost);
+                    if pass {
+                        total += self.stats.probe_cost;
+                    }
+                }
+                PlanShape::PullUp => {
+                    total += self.stats.probe_cost;
+                    if has_partner {
+                        let (_, cost) = predicate.evaluate(point);
+                        estimator.observe(point, cost).expect("well-formed row");
+                        total += estimator.combine(cost);
+                    }
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::SyntheticPredicate;
+    use mlq_core::{CostModel, InsertionStrategy, MemoryLimitedQuadtree, MlqConfig, Space};
+    use mlq_synth::{QueryDistribution, SyntheticUdf};
+
+    fn space() -> Space {
+        Space::cube(2, 0.0, 1000.0).unwrap()
+    }
+
+    fn estimator() -> CostEstimator {
+        let model = || -> Box<dyn CostModel> {
+            let config = MlqConfig::builder(space())
+                .memory_budget(4096)
+                .strategy(InsertionStrategy::Eager)
+                .build()
+                .unwrap();
+            Box::new(MemoryLimitedQuadtree::new(config).unwrap())
+        };
+        CostEstimator::new(model(), model(), 0.0)
+    }
+
+    fn stats(join_selectivity: f64, probe_cost: f64) -> JoinStats {
+        JoinStats {
+            outer_rows: 1000,
+            inner_rows: 1000,
+            join_selectivity,
+            udf_selectivity: 0.5,
+            probe_cost,
+        }
+    }
+
+    /// Trains an estimator so its prediction reflects a flat cost.
+    fn trained_estimator(flat_cost: f64) -> CostEstimator {
+        let mut e = estimator();
+        for i in 0..50 {
+            let p = [f64::from(i * 20 % 1000), f64::from(i * 13 % 1000)];
+            e.observe(&p, mlq_udfs::ExecutionCost { cpu: flat_cost, io: 0.0, results: 0 })
+                .unwrap();
+        }
+        e
+    }
+
+    #[test]
+    fn cheap_udf_pushes_down() {
+        let planner = JoinUdfPlanner::new(stats(0.9, 100.0));
+        let e = trained_estimator(1.0); // UDF nearly free
+        let est = planner.estimate(&e, &[500.0, 500.0]).unwrap();
+        assert_eq!(est.choice, PlanShape::PushDown);
+        assert!(est.push_down < est.pull_up);
+    }
+
+    #[test]
+    fn expensive_udf_with_selective_join_pulls_up() {
+        // Join keeps 5% of rows; UDF costs 1000/tuple, probe costs 10.
+        let planner = JoinUdfPlanner::new(stats(0.05, 10.0));
+        let e = trained_estimator(1000.0);
+        let est = planner.estimate(&e, &[500.0, 500.0]).unwrap();
+        assert_eq!(est.choice, PlanShape::PullUp);
+    }
+
+    #[test]
+    fn cold_estimator_defaults_to_push_down_for_cheap_probe() {
+        let planner = JoinUdfPlanner::new(stats(0.9, 100.0));
+        let est = planner.estimate(&estimator(), &[1.0, 1.0]).unwrap();
+        // With the unit fallback cost and an unselective join, push-down
+        // is the safe default the formula yields.
+        assert_eq!(est.choice, PlanShape::PushDown);
+    }
+
+    #[test]
+    fn estimated_choice_matches_actual_cheaper_plan() {
+        // End to end: an expensive UDF and a selective join.
+        let surface = SyntheticUdf::builder(space())
+            .peaks(5)
+            .max_cost(5000.0)
+            .base_cost(500.0)
+            .seed(9)
+            .build();
+        let predicate = SyntheticPredicate::new("expensive", surface, 0.5, 9);
+        let planner = JoinUdfPlanner::new(stats(0.05, 10.0));
+
+        let points = QueryDistribution::Uniform.generate(&space(), 1000, 33);
+        let joins: Vec<bool> = (0..points.len()).map(|i| i % 20 == 0).collect(); // 5%
+
+        // Warm the estimator through a push-down batch (it observes every
+        // row), then ask for the plan.
+        let mut e = estimator();
+        let actual_push =
+            planner.execute(PlanShape::PushDown, &predicate, &mut e, &points, &joins);
+        let est = planner.estimate(&e, &points[0]).unwrap();
+        assert_eq!(est.choice, PlanShape::PullUp, "expensive UDF + selective join");
+
+        let mut e2 = estimator();
+        let actual_pull =
+            planner.execute(PlanShape::PullUp, &predicate, &mut e2, &points, &joins);
+        assert!(
+            actual_pull < actual_push,
+            "the chosen plan is actually cheaper: pull {actual_pull} vs push {actual_push}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "join selectivity")]
+    fn rejects_bad_stats() {
+        let _ = JoinUdfPlanner::new(stats(1.5, 1.0));
+    }
+}

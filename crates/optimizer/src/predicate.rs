@@ -1,0 +1,155 @@
+//! Boolean UDF predicates over row-derived model points.
+
+use mlq_core::Space;
+use mlq_synth::{CostSurface, SyntheticUdf};
+use mlq_udfs::ExecutionCost;
+
+/// A boolean UDF predicate as the optimizer sees it: evaluating it on a
+/// row costs something and yields pass/fail.
+pub trait RowPredicate {
+    /// Display name.
+    fn name(&self) -> &str;
+
+    /// The model-variable space of the predicate's UDF.
+    fn space(&self) -> &Space;
+
+    /// Evaluates the predicate at the row's model point, returning whether
+    /// the row passes and what the evaluation cost.
+    fn evaluate(&self, point: &[f64]) -> (bool, ExecutionCost);
+}
+
+/// A synthetic predicate: cost follows a [`SyntheticUdf`] surface, and
+/// pass/fail is a deterministic pseudo-random function of the point with a
+/// configured selectivity — so experiments are reproducible while rows
+/// still pass "randomly" and independently across predicates (different
+/// salts).
+#[derive(Debug, Clone)]
+pub struct SyntheticPredicate {
+    name: String,
+    surface: SyntheticUdf,
+    selectivity: f64,
+    salt: u64,
+}
+
+impl SyntheticPredicate {
+    /// Builds a predicate with the given cost surface and selectivity
+    /// (fraction of rows that pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= selectivity <= 1.0`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, surface: SyntheticUdf, selectivity: f64, salt: u64) -> Self {
+        assert!((0.0..=1.0).contains(&selectivity), "selectivity must be within [0, 1]");
+        SyntheticPredicate { name: name.into(), surface, selectivity, salt }
+    }
+
+    /// The configured selectivity.
+    #[must_use]
+    pub fn selectivity(&self) -> f64 {
+        self.selectivity
+    }
+
+    /// The cost surface (e.g. for oracle comparisons).
+    #[must_use]
+    pub fn surface(&self) -> &SyntheticUdf {
+        &self.surface
+    }
+}
+
+/// FNV-1a over the point bits and salt: a deterministic uniform-ish hash
+/// for pass/fail draws.
+fn point_hash(point: &[f64], salt: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ salt;
+    for &x in point {
+        for b in x.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+impl RowPredicate for SyntheticPredicate {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn space(&self) -> &Space {
+        self.surface.space()
+    }
+
+    fn evaluate(&self, point: &[f64]) -> (bool, ExecutionCost) {
+        let cost = self.surface.cost(point);
+        let draw = point_hash(point, self.salt) as f64 / u64::MAX as f64;
+        // CPU-only synthetic UDFs (the paper's synthetic experiments model
+        // CPU cost); IO is zero.
+        (draw < self.selectivity, ExecutionCost { cpu: cost, io: 0.0, results: 0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlq_core::Space;
+
+    fn surface(seed: u64) -> SyntheticUdf {
+        SyntheticUdf::builder(Space::cube(2, 0.0, 1000.0).unwrap())
+            .peaks(10)
+            .seed(seed)
+            .build()
+    }
+
+    #[test]
+    fn selectivity_is_respected_empirically() {
+        let p = SyntheticPredicate::new("p", surface(1), 0.3, 42);
+        let n = 20_000;
+        let mut passes = 0;
+        for i in 0..n {
+            let point = [f64::from(i % 1000), f64::from((i * 7) % 1000)];
+            if p.evaluate(&point).0 {
+                passes += 1;
+            }
+        }
+        let rate = f64::from(passes) / f64::from(n);
+        assert!((rate - 0.3).abs() < 0.02, "pass rate {rate}");
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let p = SyntheticPredicate::new("p", surface(1), 0.5, 7);
+        let a = p.evaluate(&[10.0, 20.0]);
+        let b = p.evaluate(&[10.0, 20.0]);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn different_salts_decorrelate_predicates() {
+        let a = SyntheticPredicate::new("a", surface(1), 0.5, 1);
+        let b = SyntheticPredicate::new("b", surface(1), 0.5, 2);
+        let mut differ = false;
+        for i in 0..100 {
+            let point = [f64::from(i * 10 % 1000), 5.0];
+            if a.evaluate(&point).0 != b.evaluate(&point).0 {
+                differ = true;
+                break;
+            }
+        }
+        assert!(differ, "independent predicates must disagree somewhere");
+    }
+
+    #[test]
+    fn cost_comes_from_the_surface() {
+        let s = surface(3);
+        let p = SyntheticPredicate::new("p", s.clone(), 1.0, 0);
+        let point = [500.0, 500.0];
+        assert_eq!(p.evaluate(&point).1.cpu, s.cost(&point));
+    }
+
+    #[test]
+    #[should_panic(expected = "selectivity")]
+    fn rejects_bad_selectivity() {
+        let _ = SyntheticPredicate::new("p", surface(1), 1.5, 0);
+    }
+}

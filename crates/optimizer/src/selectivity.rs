@@ -1,0 +1,140 @@
+//! Feedback-driven *selectivity* estimation with the same quadtree.
+//!
+//! The paper models execution cost and leaves selectivity to the
+//! literature it cites (STGrid / STHoles, §2.2, use cardinality feedback
+//! the way MLQ uses cost feedback). The MLQ data structure handles that
+//! case unchanged: record `1.0` for a row that passed a predicate and
+//! `0.0` for one that failed, and the block average *is* the region's
+//! observed pass rate. [`SelectivityModel`] packages that, giving the
+//! predicate-ordering rank a per-row selectivity instead of one global
+//! number.
+
+use mlq_core::{
+    InsertionStrategy, MemoryLimitedQuadtree, MlqConfig, MlqError, Space,
+};
+
+/// A self-tuning, region-aware selectivity estimator for one predicate.
+pub struct SelectivityModel {
+    tree: MemoryLimitedQuadtree,
+    /// Laplace-style prior weight toward 0.5 while evidence is thin.
+    prior_weight: f64,
+}
+
+impl SelectivityModel {
+    /// Creates the estimator over the predicate's model space with the
+    /// given byte budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation failures.
+    pub fn new(space: Space, budget: usize) -> Result<Self, MlqError> {
+        let floor = MlqConfig::min_budget(&space, 6);
+        // Pass/fail observations are the noisiest feedback possible
+        // (variance 0.25 at s = 0.5), so use a high beta exactly as the
+        // paper prescribes for noisy costs (section 4.3): only trust a
+        // block once it has seen a crowd.
+        let config = MlqConfig::builder(space)
+            .memory_budget(budget.max(floor))
+            .strategy(InsertionStrategy::Eager)
+            .beta(10)
+            .build()?;
+        Ok(SelectivityModel {
+            tree: MemoryLimitedQuadtree::new(config)?,
+            prior_weight: 2.0,
+        })
+    }
+
+    /// Records one evaluation outcome at `point`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates malformed-point errors.
+    pub fn observe(&mut self, point: &[f64], passed: bool) -> Result<(), MlqError> {
+        self.tree.insert(point, if passed { 1.0 } else { 0.0 }).map(|_| ())
+    }
+
+    /// Estimated pass probability at `point`, shrunk toward 0.5 by a weak
+    /// prior while the answering block holds little evidence. Always in
+    /// `[0, 1]`; exactly 0.5 with no evidence at all.
+    ///
+    /// # Errors
+    ///
+    /// Propagates malformed-point errors.
+    pub fn selectivity(&self, point: &[f64]) -> Result<f64, MlqError> {
+        let Some(detail) = self.tree.predict_detail(point)? else {
+            return Ok(0.5);
+        };
+        let n = detail.count as f64;
+        let shrunk =
+            (detail.value * n + 0.5 * self.prior_weight) / (n + self.prior_weight);
+        Ok(shrunk.clamp(0.0, 1.0))
+    }
+
+    /// Accounted bytes used.
+    #[must_use]
+    pub fn memory_used(&self) -> usize {
+        self.tree.bytes_used()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> Space {
+        Space::cube(2, 0.0, 1000.0).unwrap()
+    }
+
+    #[test]
+    fn empty_model_says_half() {
+        let m = SelectivityModel::new(space(), 4096).unwrap();
+        assert_eq!(m.selectivity(&[1.0, 1.0]).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn learns_region_dependent_pass_rates() {
+        let mut m = SelectivityModel::new(space(), 1 << 15).unwrap();
+        // Left half passes 90 %, right half passes 10 %.
+        for i in 0..400u32 {
+            let y = f64::from(i * 13 % 1000);
+            let left = [f64::from(i * 7 % 490), y];
+            m.observe(&left, i % 10 != 0).unwrap();
+            let right = [510.0 + f64::from(i * 7 % 490), y];
+            m.observe(&right, i % 10 == 0).unwrap();
+        }
+        let left = m.selectivity(&[200.0, 500.0]).unwrap();
+        let right = m.selectivity(&[800.0, 500.0]).unwrap();
+        assert!(left > 0.75, "left region {left}");
+        assert!(right < 0.25, "right region {right}");
+    }
+
+    #[test]
+    fn estimates_stay_in_unit_interval() {
+        let mut m = SelectivityModel::new(space(), 2048).unwrap();
+        for i in 0..500u32 {
+            let p = [f64::from(i * 31 % 1000), f64::from(i * 17 % 1000)];
+            m.observe(&p, true).unwrap();
+        }
+        for i in 0..50u32 {
+            let p = [f64::from(i * 97 % 1000), f64::from(i * 3 % 1000)];
+            let s = m.selectivity(&p).unwrap();
+            assert!((0.0..=1.0).contains(&s), "{s}");
+        }
+    }
+
+    #[test]
+    fn prior_shrinks_single_observations() {
+        let mut m = SelectivityModel::new(space(), 4096).unwrap();
+        m.observe(&[100.0, 100.0], true).unwrap();
+        let s = m.selectivity(&[100.0, 100.0]).unwrap();
+        // One pass with prior weight 2: (1 + 1) / (1 + 2) = 2/3, not 1.0.
+        assert!((s - 2.0 / 3.0).abs() < 1e-9, "{s}");
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let mut m = SelectivityModel::new(space(), 4096).unwrap();
+        assert!(m.observe(&[1.0], true).is_err());
+        assert!(m.selectivity(&[f64::NAN, 1.0]).is_err());
+    }
+}

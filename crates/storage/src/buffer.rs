@@ -1,0 +1,319 @@
+//! The LRU buffer pool.
+//!
+//! A UDF's disk-IO cost in the experiments is the number of buffer-pool
+//! *misses* its execution causes. Because a miss depends on everything the
+//! pool served earlier, repeated executions at the same query point see
+//! different IO costs — the buffer-cache "noise" that the paper's
+//! Experiment 3 studies and that motivates the `β` prediction parameter.
+//!
+//! The eviction structure is a textbook O(1) LRU: a slot arena forming a
+//! doubly-linked recency list plus a page-id → slot map. Interior
+//! mutability (a `parking_lot::Mutex`) lets many readers share the pool —
+//! mirroring a DBMS buffer manager, and the reason this workspace pulls
+//! `parking_lot` in.
+
+use crate::disk::DiskSim;
+use crate::error::StorageError;
+use crate::page::PageId;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Snapshot of buffer-pool traffic counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoStats {
+    /// Page requests served (hits + misses).
+    pub logical_reads: u64,
+    /// Requests served from the cache.
+    pub hits: u64,
+    /// Requests that had to touch the disk — the experiments' IO cost.
+    pub misses: u64,
+}
+
+impl IoStats {
+    /// Traffic between an `earlier` snapshot and this one — the IO cost of
+    /// whatever ran in between.
+    #[must_use]
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            logical_reads: self.logical_reads - earlier.logical_reads,
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+        }
+    }
+
+    /// Hit ratio in `[0, 1]`; `None` before any traffic.
+    #[must_use]
+    pub fn hit_ratio(&self) -> Option<f64> {
+        (self.logical_reads > 0).then(|| self.hits as f64 / self.logical_reads as f64)
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+struct Slot {
+    id: PageId,
+    data: Arc<[u8]>,
+    prev: usize,
+    next: usize,
+}
+
+/// LRU state guarded by the pool's mutex.
+struct Lru {
+    slots: Vec<Slot>,
+    map: HashMap<PageId, usize>,
+    head: usize, // most recent
+    tail: usize, // least recent
+    stats: IoStats,
+}
+
+impl Lru {
+    fn detach(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+}
+
+/// An LRU page cache in front of a [`DiskSim`].
+pub struct BufferPool {
+    disk: DiskSim,
+    capacity: usize,
+    lru: Mutex<Lru>,
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl BufferPool {
+    /// Wraps `disk` with a cache of `capacity` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(disk: DiskSim, capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        BufferPool {
+            disk,
+            capacity,
+            lru: Mutex::new(Lru {
+                slots: Vec::new(),
+                map: HashMap::new(),
+                head: NIL,
+                tail: NIL,
+                stats: IoStats::default(),
+            }),
+        }
+    }
+
+    /// Cache capacity in pages.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The underlying disk (for dataset loading and physical-read totals).
+    #[must_use]
+    pub fn disk(&self) -> &DiskSim {
+        &self.disk
+    }
+
+    /// Mutable access to the disk for bulk loading. Loading does not go
+    /// through the cache.
+    pub fn disk_mut(&mut self) -> &mut DiskSim {
+        &mut self.disk
+    }
+
+    /// Reads a page, serving from cache when possible.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::PageOutOfBounds`] for unallocated pages (the error
+    /// is not cached and counts as neither hit nor miss).
+    pub fn read(&self, id: PageId) -> Result<Arc<[u8]>, StorageError> {
+        let mut lru = self.lru.lock();
+        if let Some(&slot) = lru.map.get(&id) {
+            lru.stats.logical_reads += 1;
+            lru.stats.hits += 1;
+            lru.detach(slot);
+            lru.push_front(slot);
+            return Ok(Arc::clone(&lru.slots[slot].data));
+        }
+        // Miss: fetch from disk (may fail; fail before touching state).
+        let data = self.disk.read(id)?;
+        lru.stats.logical_reads += 1;
+        lru.stats.misses += 1;
+        let slot = if lru.slots.len() < self.capacity {
+            lru.slots.push(Slot { id, data: Arc::clone(&data), prev: NIL, next: NIL });
+            lru.slots.len() - 1
+        } else {
+            // Evict the least-recently-used page and reuse its slot.
+            let victim = lru.tail;
+            lru.detach(victim);
+            let old = lru.slots[victim].id;
+            lru.map.remove(&old);
+            lru.slots[victim].id = id;
+            lru.slots[victim].data = Arc::clone(&data);
+            victim
+        };
+        lru.map.insert(id, slot);
+        lru.push_front(slot);
+        Ok(data)
+    }
+
+    /// Current traffic counters.
+    #[must_use]
+    pub fn stats(&self) -> IoStats {
+        self.lru.lock().stats
+    }
+
+    /// Empties the cache (cold-start) without resetting counters.
+    pub fn clear(&self) {
+        let mut lru = self.lru.lock();
+        lru.slots.clear();
+        lru.map.clear();
+        lru.head = NIL;
+        lru.tail = NIL;
+    }
+
+    /// Number of pages currently cached.
+    #[must_use]
+    pub fn cached_pages(&self) -> usize {
+        self.lru.lock().map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PAGE_SIZE;
+
+    fn pool(pages: u8, capacity: usize) -> BufferPool {
+        let mut disk = DiskSim::new();
+        for i in 0..pages {
+            disk.alloc(vec![i; PAGE_SIZE]);
+        }
+        BufferPool::new(disk, capacity)
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let p = pool(2, 2);
+        p.read(PageId(0)).unwrap();
+        p.read(PageId(0)).unwrap();
+        let s = p.stats();
+        assert_eq!(s, IoStats { logical_reads: 2, hits: 1, misses: 1 });
+        assert_eq!(s.hit_ratio(), Some(0.5));
+    }
+
+    #[test]
+    fn returns_correct_page_content() {
+        let p = pool(3, 2);
+        assert_eq!(p.read(PageId(2)).unwrap()[0], 2);
+        assert_eq!(p.read(PageId(0)).unwrap()[0], 0);
+        // Cached copy is identical.
+        assert_eq!(p.read(PageId(2)).unwrap()[0], 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let p = pool(3, 2);
+        p.read(PageId(0)).unwrap(); // cache: [0]
+        p.read(PageId(1)).unwrap(); // cache: [1, 0]
+        p.read(PageId(0)).unwrap(); // cache: [0, 1] (hit)
+        p.read(PageId(2)).unwrap(); // evicts 1 -> cache: [2, 0]
+        assert_eq!(p.stats().misses, 3);
+        p.read(PageId(0)).unwrap(); // hit
+        assert_eq!(p.stats().hits, 2);
+        p.read(PageId(1)).unwrap(); // miss again (was evicted)
+        assert_eq!(p.stats().misses, 4);
+        assert_eq!(p.cached_pages(), 2);
+    }
+
+    #[test]
+    fn capacity_one_pool_thrashes() {
+        let p = pool(2, 1);
+        for _ in 0..3 {
+            p.read(PageId(0)).unwrap();
+            p.read(PageId(1)).unwrap();
+        }
+        assert_eq!(p.stats().misses, 6);
+        assert_eq!(p.stats().hits, 0);
+    }
+
+    #[test]
+    fn repeated_scans_within_capacity_hit() {
+        let p = pool(4, 4);
+        for _ in 0..3 {
+            for i in 0..4 {
+                p.read(PageId(i)).unwrap();
+            }
+        }
+        let s = p.stats();
+        assert_eq!(s.misses, 4);
+        assert_eq!(s.hits, 8);
+    }
+
+    #[test]
+    fn stats_since_isolates_a_window() {
+        let p = pool(4, 4);
+        p.read(PageId(0)).unwrap();
+        let before = p.stats();
+        p.read(PageId(0)).unwrap(); // hit
+        p.read(PageId(1)).unwrap(); // miss
+        let cost = p.stats().since(&before);
+        assert_eq!(cost, IoStats { logical_reads: 2, hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn clear_forces_cold_cache() {
+        let p = pool(2, 2);
+        p.read(PageId(0)).unwrap();
+        p.clear();
+        assert_eq!(p.cached_pages(), 0);
+        p.read(PageId(0)).unwrap();
+        assert_eq!(p.stats().misses, 2);
+    }
+
+    #[test]
+    fn out_of_bounds_read_does_not_poison_pool() {
+        let p = pool(1, 1);
+        assert!(p.read(PageId(9)).is_err());
+        assert_eq!(p.stats(), IoStats::default());
+        assert_eq!(p.read(PageId(0)).unwrap()[0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_capacity_panics() {
+        let _ = BufferPool::new(DiskSim::new(), 0);
+    }
+}

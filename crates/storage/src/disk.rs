@@ -1,0 +1,110 @@
+//! The simulated disk: a flat array of pages with physical-IO accounting.
+
+use crate::error::StorageError;
+use crate::page::{PageId, PAGE_SIZE};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A disk of fixed-size pages kept in memory, counting every physical read
+/// — the denominator of the experiments' IO-cost measurements.
+///
+/// Pages are shared as `Arc<[u8]>` so the buffer pool can cache them
+/// without copying.
+#[derive(Debug, Default)]
+pub struct DiskSim {
+    pages: Vec<Arc<[u8]>>,
+    physical_reads: AtomicU64,
+}
+
+impl DiskSim {
+    /// An empty disk.
+    #[must_use]
+    pub fn new() -> Self {
+        DiskSim::default()
+    }
+
+    /// Number of allocated pages.
+    #[must_use]
+    pub fn page_count(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    /// Total physical reads since construction.
+    #[must_use]
+    pub fn physical_reads(&self) -> u64 {
+        self.physical_reads.load(Ordering::Relaxed)
+    }
+
+    /// Appends a page image and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data` is not exactly [`PAGE_SIZE`] bytes — pages are
+    /// produced by [`crate::SlottedPage::encode`], which always pads.
+    pub fn alloc(&mut self, data: Vec<u8>) -> PageId {
+        assert_eq!(data.len(), PAGE_SIZE, "pages are exactly PAGE_SIZE bytes");
+        let id = PageId(self.pages.len() as u64);
+        self.pages.push(data.into());
+        id
+    }
+
+    /// Reads a page from "disk", incrementing the physical-read counter.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::PageOutOfBounds`] for unallocated ids.
+    pub fn read(&self, id: PageId) -> Result<Arc<[u8]>, StorageError> {
+        let page = self
+            .pages
+            .get(usize::try_from(id.0).unwrap_or(usize::MAX))
+            .ok_or(StorageError::PageOutOfBounds { page: id.0, allocated: self.page_count() })?;
+        self.physical_reads.fetch_add(1, Ordering::Relaxed);
+        Ok(Arc::clone(page))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page_of(byte: u8) -> Vec<u8> {
+        vec![byte; PAGE_SIZE]
+    }
+
+    #[test]
+    fn alloc_assigns_sequential_ids() {
+        let mut d = DiskSim::new();
+        assert_eq!(d.alloc(page_of(1)), PageId(0));
+        assert_eq!(d.alloc(page_of(2)), PageId(1));
+        assert_eq!(d.page_count(), 2);
+    }
+
+    #[test]
+    fn read_returns_stored_bytes_and_counts() {
+        let mut d = DiskSim::new();
+        let id = d.alloc(page_of(7));
+        assert_eq!(d.physical_reads(), 0);
+        let p = d.read(id).unwrap();
+        assert_eq!(p[0], 7);
+        assert_eq!(p.len(), PAGE_SIZE);
+        assert_eq!(d.physical_reads(), 1);
+        d.read(id).unwrap();
+        assert_eq!(d.physical_reads(), 2);
+    }
+
+    #[test]
+    fn out_of_bounds_read_fails_without_counting() {
+        let d = DiskSim::new();
+        assert!(matches!(
+            d.read(PageId(0)),
+            Err(StorageError::PageOutOfBounds { page: 0, allocated: 0 })
+        ));
+        assert_eq!(d.physical_reads(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "PAGE_SIZE")]
+    fn wrong_sized_page_panics() {
+        DiskSim::new().alloc(vec![0u8; 100]);
+    }
+}

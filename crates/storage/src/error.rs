@@ -1,0 +1,74 @@
+//! Storage-layer errors.
+
+use std::fmt;
+
+/// Errors from the simulated disk, buffer pool, and heap files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A page id beyond the allocated disk.
+    PageOutOfBounds {
+        /// The requested page.
+        page: u64,
+        /// Number of allocated pages.
+        allocated: u64,
+    },
+    /// A record larger than a page's payload capacity.
+    RecordTooLarge {
+        /// Size of the offending record in bytes.
+        size: usize,
+        /// Maximum payload a page can hold.
+        max: usize,
+    },
+    /// A slot index beyond the page's record count.
+    SlotOutOfBounds {
+        /// The requested slot.
+        slot: u16,
+        /// Records actually on the page.
+        count: u16,
+    },
+    /// Page bytes that do not parse as a slotted page.
+    CorruptPage {
+        /// What failed to parse.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::PageOutOfBounds { page, allocated } => {
+                write!(f, "page {page} out of bounds ({allocated} allocated)")
+            }
+            StorageError::RecordTooLarge { size, max } => {
+                write!(f, "record of {size} bytes exceeds page payload of {max}")
+            }
+            StorageError::SlotOutOfBounds { slot, count } => {
+                write!(f, "slot {slot} out of bounds (page has {count} records)")
+            }
+            StorageError::CorruptPage { reason } => write!(f, "corrupt page: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(StorageError::PageOutOfBounds { page: 9, allocated: 3 }
+            .to_string()
+            .contains("page 9"));
+        assert!(StorageError::RecordTooLarge { size: 9000, max: 4090 }
+            .to_string()
+            .contains("9000"));
+        assert!(StorageError::SlotOutOfBounds { slot: 5, count: 2 }
+            .to_string()
+            .contains("slot 5"));
+        assert!(StorageError::CorruptPage { reason: "truncated header" }
+            .to_string()
+            .contains("truncated"));
+    }
+}

@@ -1,0 +1,54 @@
+//! # mlq-storage — the ORDBMS-lite storage substrate
+//!
+//! The MLQ paper measures "real" UDFs inside Oracle 9i: their CPU cost is
+//! the work of index scans, and their disk-IO cost is the number of pages
+//! fetched — a quantity made *noisy* by the database buffer cache ("the
+//! database buffer caching has a noise-like effect on the disk IO cost",
+//! §5.2 Experiment 3). This crate rebuilds exactly that substrate so the
+//! `mlq-udfs` crate can execute genuine paged index scans:
+//!
+//! * [`DiskSim`] — a simulated disk of fixed-size pages with physical-read
+//!   accounting;
+//! * [`BufferPool`] — an O(1) LRU page cache over the disk, with hit/miss
+//!   statistics; a UDF's IO cost is the number of pool misses its
+//!   execution causes, which depends on cache state and is therefore noisy
+//!   across repetitions — the behaviour Experiment 3 needs;
+//! * [`SlottedPage`] / [`HeapFile`] — record storage within pages, so
+//!   datasets (posting lists, spatial buckets) live in pages like real
+//!   table data.
+//!
+//! All counters are deterministic: experiments measure IO cost in page
+//! reads, not wall-clock.
+
+//! ```
+//! use mlq_storage::{BufferPool, DiskSim, HeapFileBuilder};
+//!
+//! let mut disk = DiskSim::new();
+//! let mut builder = HeapFileBuilder::new(&mut disk);
+//! let rid = builder.append(b"a record")?;
+//! let file = builder.finish()?;
+//!
+//! let pool = BufferPool::new(disk, 8);
+//! assert_eq!(file.read(&pool, rid)?, b"a record");
+//! // The second read hits the cache: that miss/hit split IS the
+//! // experiments' disk-IO cost signal.
+//! file.read(&pool, rid)?;
+//! assert_eq!(pool.stats().misses, 1);
+//! assert_eq!(pool.stats().hits, 1);
+//! # Ok::<(), mlq_storage::StorageError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod buffer;
+mod disk;
+mod error;
+mod heap;
+mod page;
+
+pub use buffer::{BufferPool, IoStats};
+pub use disk::DiskSim;
+pub use error::StorageError;
+pub use heap::{HeapFile, HeapFileBuilder, RecordId};
+pub use page::{PageId, SlottedPage, PAGE_SIZE};

@@ -1,0 +1,196 @@
+//! Fixed-size pages and the slotted-page record layout.
+//!
+//! Layout of a slotted page (little-endian):
+//!
+//! ```text
+//! [u16 record_count] [u16 end_0] [u16 end_1] ... [record bytes...]
+//! ```
+//!
+//! `end_i` is the exclusive end offset of record `i`'s bytes within the
+//! payload area (which begins right after the slot directory); record `i`
+//! spans `[end_{i-1}, end_i)` with `end_{-1} = 0`. Records are packed in
+//! insertion order; pages are immutable once built (datasets in the MLQ
+//! experiments are bulk-loaded, then only read).
+
+use crate::error::StorageError;
+use serde::{Deserialize, Serialize};
+
+/// Bytes per page — 4 KiB, a typical DBMS page size.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Identifier of one page on the simulated disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PageId(pub u64);
+
+/// Encoder/decoder for the slotted-page layout.
+#[derive(Debug)]
+pub struct SlottedPage;
+
+impl SlottedPage {
+    /// Maximum payload one record may occupy (one record, one slot entry).
+    pub const MAX_RECORD: usize = PAGE_SIZE - 4;
+
+    /// Bytes a page with `records` records totalling `payload` bytes
+    /// occupies: header + slot directory + payload.
+    #[must_use]
+    pub fn used_bytes(records: usize, payload: usize) -> usize {
+        2 + 2 * records + payload
+    }
+
+    /// Encodes records into one page image.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::RecordTooLarge`] when the records do not fit a page.
+    pub fn encode(records: &[&[u8]]) -> Result<Vec<u8>, StorageError> {
+        let payload: usize = records.iter().map(|r| r.len()).sum();
+        let used = Self::used_bytes(records.len(), payload);
+        if used > PAGE_SIZE {
+            return Err(StorageError::RecordTooLarge { size: used, max: PAGE_SIZE });
+        }
+        let count = u16::try_from(records.len())
+            .map_err(|_| StorageError::RecordTooLarge { size: records.len(), max: PAGE_SIZE })?;
+        let mut page = Vec::with_capacity(PAGE_SIZE);
+        page.extend_from_slice(&count.to_le_bytes());
+        let mut end = 0u16;
+        for r in records {
+            end += u16::try_from(r.len()).expect("record fits a page");
+            page.extend_from_slice(&end.to_le_bytes());
+        }
+        for r in records {
+            page.extend_from_slice(r);
+        }
+        page.resize(PAGE_SIZE, 0);
+        Ok(page)
+    }
+
+    /// Number of records on the page.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::CorruptPage`] for a truncated header.
+    pub fn record_count(page: &[u8]) -> Result<u16, StorageError> {
+        let header: [u8; 2] = page
+            .get(..2)
+            .and_then(|s| s.try_into().ok())
+            .ok_or(StorageError::CorruptPage { reason: "truncated header" })?;
+        Ok(u16::from_le_bytes(header))
+    }
+
+    /// Borrows record `slot` from the page image.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::SlotOutOfBounds`] or [`StorageError::CorruptPage`].
+    pub fn record(page: &[u8], slot: u16) -> Result<&[u8], StorageError> {
+        let count = Self::record_count(page)?;
+        if slot >= count {
+            return Err(StorageError::SlotOutOfBounds { slot, count });
+        }
+        let dir_end = 2 + 2 * count as usize;
+        let read_end = |i: usize| -> Result<usize, StorageError> {
+            let off = 2 + 2 * i;
+            let raw: [u8; 2] = page
+                .get(off..off + 2)
+                .and_then(|s| s.try_into().ok())
+                .ok_or(StorageError::CorruptPage { reason: "truncated slot directory" })?;
+            Ok(u16::from_le_bytes(raw) as usize)
+        };
+        let start = if slot == 0 { 0 } else { read_end(slot as usize - 1)? };
+        let end = read_end(slot as usize)?;
+        if start > end || dir_end + end > page.len() {
+            return Err(StorageError::CorruptPage { reason: "slot offsets out of order" });
+        }
+        Ok(&page[dir_end + start..dir_end + end])
+    }
+
+    /// Iterates all records on the page.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::CorruptPage`] for malformed images.
+    pub fn records(page: &[u8]) -> Result<Vec<&[u8]>, StorageError> {
+        let count = Self::record_count(page)?;
+        (0..count).map(|slot| Self::record(page, slot)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_simple_records() {
+        let records: Vec<&[u8]> = vec![b"hello", b"", b"world!"];
+        let page = SlottedPage::encode(&records).unwrap();
+        assert_eq!(page.len(), PAGE_SIZE);
+        assert_eq!(SlottedPage::record_count(&page).unwrap(), 3);
+        assert_eq!(SlottedPage::record(&page, 0).unwrap(), b"hello");
+        assert_eq!(SlottedPage::record(&page, 1).unwrap(), b"");
+        assert_eq!(SlottedPage::record(&page, 2).unwrap(), b"world!");
+    }
+
+    #[test]
+    fn empty_page_has_zero_records() {
+        let page = SlottedPage::encode(&[]).unwrap();
+        assert_eq!(SlottedPage::record_count(&page).unwrap(), 0);
+        assert!(SlottedPage::records(&page).unwrap().is_empty());
+    }
+
+    #[test]
+    fn slot_out_of_bounds() {
+        let page = SlottedPage::encode(&[b"x"]).unwrap();
+        assert!(matches!(
+            SlottedPage::record(&page, 1),
+            Err(StorageError::SlotOutOfBounds { slot: 1, count: 1 })
+        ));
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let big = vec![0u8; PAGE_SIZE];
+        assert!(matches!(
+            SlottedPage::encode(&[&big]),
+            Err(StorageError::RecordTooLarge { .. })
+        ));
+        let exactly = vec![7u8; SlottedPage::MAX_RECORD];
+        let page = SlottedPage::encode(&[&exactly]).unwrap();
+        assert_eq!(SlottedPage::record(&page, 0).unwrap(), exactly.as_slice());
+    }
+
+    #[test]
+    fn truncated_page_is_corrupt() {
+        assert!(matches!(
+            SlottedPage::record_count(&[1]),
+            Err(StorageError::CorruptPage { .. })
+        ));
+        // Header claims 5 records but directory is missing.
+        let mut bad = vec![0u8; 4];
+        bad[0] = 5;
+        assert!(SlottedPage::record(&bad, 4).is_err());
+    }
+
+    #[test]
+    fn used_bytes_formula() {
+        assert_eq!(SlottedPage::used_bytes(0, 0), 2);
+        assert_eq!(SlottedPage::used_bytes(3, 11), 2 + 6 + 11);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary_records(
+            records in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..200), 0..30)
+        ) {
+            let refs: Vec<&[u8]> = records.iter().map(|r| r.as_slice()).collect();
+            let payload: usize = records.iter().map(|r| r.len()).sum();
+            prop_assume!(SlottedPage::used_bytes(records.len(), payload) <= PAGE_SIZE);
+            let page = SlottedPage::encode(&refs).unwrap();
+            let decoded = SlottedPage::records(&page).unwrap();
+            prop_assert_eq!(decoded.len(), records.len());
+            for (got, want) in decoded.iter().zip(&records) {
+                prop_assert_eq!(*got, want.as_slice());
+            }
+        }
+    }
+}

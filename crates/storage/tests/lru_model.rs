@@ -1,0 +1,66 @@
+//! Model-based test: the buffer pool's O(1) LRU must make exactly the
+//! same hit/miss decisions as a trivially correct reference
+//! implementation, for arbitrary access sequences.
+
+use mlq_storage::{BufferPool, DiskSim, PageId, PAGE_SIZE};
+use proptest::prelude::*;
+
+/// The obviously-correct reference: a vector ordered most-recent-first.
+struct ReferenceLru {
+    capacity: usize,
+    order: Vec<u64>,
+}
+
+impl ReferenceLru {
+    fn new(capacity: usize) -> Self {
+        ReferenceLru { capacity, order: Vec::new() }
+    }
+
+    /// Returns true on a hit.
+    fn access(&mut self, id: u64) -> bool {
+        if let Some(pos) = self.order.iter().position(|&x| x == id) {
+            self.order.remove(pos);
+            self.order.insert(0, id);
+            true
+        } else {
+            if self.order.len() == self.capacity {
+                self.order.pop();
+            }
+            self.order.insert(0, id);
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pool_matches_reference_lru(
+        capacity in 1usize..12,
+        accesses in prop::collection::vec(0u64..24, 1..400),
+    ) {
+        let mut disk = DiskSim::new();
+        for i in 0..24u8 {
+            disk.alloc(vec![i; PAGE_SIZE]);
+        }
+        let pool = BufferPool::new(disk, capacity);
+        let mut reference = ReferenceLru::new(capacity);
+
+        for (step, &id) in accesses.iter().enumerate() {
+            let hits_before = pool.stats().hits;
+            let page = pool.read(PageId(id)).unwrap();
+            prop_assert_eq!(page[0], id as u8, "content correct at step {}", step);
+            let was_hit = pool.stats().hits > hits_before;
+            let expected = reference.access(id);
+            prop_assert_eq!(
+                was_hit, expected,
+                "step {}: access {} disagreed with the reference", step, id
+            );
+        }
+        prop_assert_eq!(pool.cached_pages(), reference.order.len());
+        let s = pool.stats();
+        prop_assert_eq!(s.logical_reads as usize, accesses.len());
+        prop_assert_eq!(s.hits + s.misses, s.logical_reads);
+    }
+}

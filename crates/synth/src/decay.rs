@@ -1,0 +1,130 @@
+//! The paper's five decay functions (§5.1).
+//!
+//! Each synthetic peak is assigned a decay function specifying "how the
+//! execution cost decreases as a function of the Euclidean distance from
+//! the peak", normalized so the factor is 1 at the peak and 0 at distance
+//! `D`. The suite "reflects the various computational complexities common
+//! to UDFs": constant, linear, Gaussian, logarithmic, quadratic.
+
+use serde::{Deserialize, Serialize};
+
+/// Standard deviation of the Gaussian decay, as used by the paper
+/// ("a standard deviation of 0.2 for the Gaussian decay function", on the
+/// unit-normalized distance scale).
+pub const GAUSSIAN_DECAY_STD: f64 = 0.2;
+
+/// Shape of one peak's cost fall-off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DecayKind {
+    /// Constant height over the whole decay region, zero outside.
+    Uniform,
+    /// `1 − u`: straight line down to zero at the region boundary.
+    Linear,
+    /// Renormalized Gaussian bell with σ = [`GAUSSIAN_DECAY_STD`],
+    /// shifted so it reaches exactly zero at the boundary.
+    Gaussian,
+    /// `1 − log₂(1 + u)`: steep near the boundary, flat near the peak.
+    Log2,
+    /// `1 − u²`: flat near the peak, steep near the boundary.
+    Quadratic,
+}
+
+/// All five kinds, in the paper's order, for round-robin assignment.
+pub const ALL_DECAY_KINDS: [DecayKind; 5] = [
+    DecayKind::Uniform,
+    DecayKind::Linear,
+    DecayKind::Gaussian,
+    DecayKind::Log2,
+    DecayKind::Quadratic,
+];
+
+impl DecayKind {
+    /// The decay factor in `[0, 1]` at normalized distance `u = dist / D`.
+    ///
+    /// Returns 1 at `u = 0`, 0 for `u >= 1`, and is monotonically
+    /// non-increasing in between. Negative `u` (impossible for a distance)
+    /// is clamped to 0.
+    #[must_use]
+    pub fn factor(self, u: f64) -> f64 {
+        let u = u.max(0.0);
+        if u >= 1.0 {
+            return 0.0;
+        }
+        match self {
+            DecayKind::Uniform => 1.0,
+            DecayKind::Linear => 1.0 - u,
+            DecayKind::Gaussian => {
+                let s2 = 2.0 * GAUSSIAN_DECAY_STD * GAUSSIAN_DECAY_STD;
+                let g = (-u * u / s2).exp();
+                let g1 = (-1.0 / s2).exp();
+                ((g - g1) / (1.0 - g1)).max(0.0)
+            }
+            DecayKind::Log2 => 1.0 - (1.0 + u).log2(),
+            DecayKind::Quadratic => 1.0 - u * u,
+        }
+    }
+
+    /// Short label used in experiment tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            DecayKind::Uniform => "uniform",
+            DecayKind::Linear => "linear",
+            DecayKind::Gaussian => "gaussian",
+            DecayKind::Log2 => "log2",
+            DecayKind::Quadratic => "quadratic",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn one_at_peak_zero_at_boundary() {
+        for kind in ALL_DECAY_KINDS {
+            assert!((kind.factor(0.0) - 1.0).abs() < 1e-12, "{kind:?} at 0");
+            assert!(kind.factor(1.0).abs() < 1e-9, "{kind:?} at 1");
+            assert_eq!(kind.factor(5.0), 0.0, "{kind:?} beyond D");
+        }
+    }
+
+    #[test]
+    fn uniform_is_flat_inside() {
+        assert_eq!(DecayKind::Uniform.factor(0.99), 1.0);
+    }
+
+    #[test]
+    fn known_midpoint_values() {
+        assert!((DecayKind::Linear.factor(0.5) - 0.5).abs() < 1e-12);
+        assert!((DecayKind::Quadratic.factor(0.5) - 0.75).abs() < 1e-12);
+        assert!((DecayKind::Log2.factor(0.5) - (1.0 - 1.5f64.log2())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            ALL_DECAY_KINDS.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), ALL_DECAY_KINDS.len());
+    }
+
+    proptest! {
+        #[test]
+        fn factor_stays_in_unit_interval(u in -1.0..3.0f64) {
+            for kind in ALL_DECAY_KINDS {
+                let f = kind.factor(u);
+                prop_assert!((0.0..=1.0).contains(&f), "{:?}({}) = {}", kind, u, f);
+            }
+        }
+
+        #[test]
+        fn factor_is_monotone_nonincreasing(a in 0.0..1.0f64, b in 0.0..1.0f64) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            for kind in ALL_DECAY_KINDS {
+                prop_assert!(kind.factor(lo) >= kind.factor(hi) - 1e-12, "{:?}", kind);
+            }
+        }
+    }
+}

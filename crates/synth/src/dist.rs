@@ -1,0 +1,210 @@
+//! Random variates needed by the paper's generators: Zipf-distributed
+//! ranks/weights [Zipf 1949] and Gaussian deviates (Box–Muller).
+//!
+//! Implemented here rather than pulling `rand_distr`, keeping the workspace
+//! on the minimal approved dependency set; both samplers are a dozen lines
+//! and fully tested.
+
+use rand::{Rng, RngExt};
+
+/// The normalized Zipf weight vector `w_i ∝ 1 / i^z` for ranks `1..=n`.
+///
+/// The paper draws peak heights and vocabulary frequencies from this
+/// distribution with exponent `z = 1`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `z` is not finite.
+#[must_use]
+pub fn zipf_weights(n: usize, z: f64) -> Vec<f64> {
+    assert!(n > 0, "zipf distribution needs at least one rank");
+    assert!(z.is_finite(), "zipf exponent must be finite");
+    let mut weights: Vec<f64> = (1..=n).map(|i| (i as f64).powf(-z)).collect();
+    let total: f64 = weights.iter().sum();
+    for w in &mut weights {
+        *w /= total;
+    }
+    weights
+}
+
+/// Inverse-CDF sampler over the Zipf distribution on ranks `0..n`
+/// (0-indexed; rank 0 is the most probable).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` ranks with exponent `z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `z` is not finite.
+    #[must_use]
+    pub fn new(n: usize, z: f64) -> Self {
+        let weights = zipf_weights(n, z);
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for w in weights {
+            acc += w;
+            cumulative.push(acc);
+        }
+        // Guard against rounding keeping the last entry below 1.0.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when the distribution has no ranks (never, by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        match self.cumulative.binary_search_by(|c| c.partial_cmp(&u).expect("finite cdf")) {
+            Ok(i) | Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+/// Gaussian sampler via the Box–Muller transform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian {
+    /// Mean of the distribution.
+    pub mean: f64,
+    /// Standard deviation (non-negative).
+    pub std_dev: f64,
+}
+
+impl Gaussian {
+    /// Creates the sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite parameters or negative `std_dev`.
+    #[must_use]
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(mean.is_finite() && std_dev.is_finite(), "gaussian parameters must be finite");
+        assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+        Gaussian { mean, std_dev }
+    }
+
+    /// Draws one deviate.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: u1 in (0, 1] avoids ln(0).
+        let u1: f64 = 1.0 - rng.random::<f64>();
+        let u2: f64 = rng.random();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.mean + self.std_dev * r * theta.cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_weights_are_normalized_and_decreasing() {
+        let w = zipf_weights(100, 1.0);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        for pair in w.windows(2) {
+            assert!(pair[0] > pair[1]);
+        }
+        // z = 1: w_1 / w_2 = 2.
+        assert!((w[0] / w[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let w = zipf_weights(4, 0.0);
+        for &x in &w {
+            assert!((x - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_rejects_empty() {
+        let _ = zipf_weights(0, 1.0);
+    }
+
+    #[test]
+    fn zipf_sampler_matches_weights_empirically() {
+        let z = Zipf::new(10, 1.0);
+        let w = zipf_weights(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let mut counts = [0usize; 10];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / n as f64;
+            assert!(
+                (freq - w[i]).abs() < 0.01,
+                "rank {i}: empirical {freq:.4} vs expected {:.4}",
+                w[i]
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_sample_always_in_range() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    fn gaussian_moments_are_close() {
+        let g = Gaussian::new(5.0, 2.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.02, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn gaussian_zero_std_is_constant() {
+        let g = Gaussian::new(3.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(g.sample(&mut rng), 3.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn gaussian_rejects_negative_std() {
+        let _ = Gaussian::new(0.0, -1.0);
+    }
+
+    #[test]
+    fn samplers_are_deterministic_under_seed() {
+        let z = Zipf::new(50, 1.0);
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..20).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10));
+    }
+}

@@ -1,0 +1,44 @@
+//! # mlq-synth — synthetic UDFs, query distributions, and noise
+//!
+//! Implements Section 5.1 of the EDBT 2004 MLQ paper:
+//!
+//! * **Synthetic UDFs/datasets** — `N` peaks with uniformly distributed
+//!   coordinates and Zipf-distributed heights; each peak carries one of
+//!   five decay functions (uniform, linear, Gaussian, log base 2,
+//!   quadratic) that brings its cost to zero at a distance `D` from the
+//!   peak. See [`SyntheticUdf`].
+//! * **Query distributions** — uniform, Gaussian-random, and
+//!   Gaussian-sequential query point generators. See [`QueryDistribution`].
+//! * **Noise** — the "noise probability" model of Experiment 3: with
+//!   probability `p` an execution returns a random cost instead of the
+//!   true one. See [`NoisyUdf`].
+//! * **Random variates** — the Zipf and Gaussian samplers these need,
+//!   implemented here (Box–Muller; inverse-CDF Zipf) so the workspace's
+//!   only RNG dependency is `rand` itself. See [`dist`].
+
+//! ```
+//! use mlq_core::Space;
+//! use mlq_synth::{CostSurface, QueryDistribution, SyntheticUdf};
+//!
+//! let space = Space::cube(4, 0.0, 1000.0)?;
+//! // The paper's synthetic setup: N peaks, Zipf heights, D = 10% diagonal.
+//! let udf = SyntheticUdf::builder(space.clone()).peaks(50).seed(7).build();
+//! let queries = QueryDistribution::paper_gaussian_random().generate(&space, 100, 7);
+//! let costs: Vec<f64> = queries.iter().map(|q| udf.cost(q)).collect();
+//! assert!(costs.iter().all(|c| (0.0..=udf.max_cost()).contains(c)));
+//! # Ok::<(), mlq_core::MlqError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod decay;
+pub mod dist;
+mod noise;
+mod query;
+mod surface;
+
+pub use decay::DecayKind;
+pub use noise::NoisyUdf;
+pub use query::QueryDistribution;
+pub use surface::{CostSurface, Peak, SyntheticUdf, SyntheticUdfBuilder};

@@ -1,0 +1,219 @@
+//! The noise model of Experiment 3 (paper §5.2).
+//!
+//! Disk-IO costs fluctuate at a fixed query point because of database
+//! buffer caching. For synthetic UDFs the paper simulates this with a
+//! *noise probability*: "the probability that a query point returns a
+//! random value instead of the true value". [`NoisyUdf`] wraps any
+//! [`CostSurface`] with exactly that behaviour.
+
+use crate::dist::Gaussian;
+use crate::surface::CostSurface;
+use mlq_core::Space;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::cell::RefCell;
+
+/// How observations are corrupted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum NoiseModel {
+    /// With probability `p`, replace the cost by a uniform draw from
+    /// `[0, max_cost]` — the paper's synthetic noise model.
+    RandomReplace { probability: f64 },
+    /// Multiply every cost by `max(0, 1 + σ·Z)`, `Z ~ N(0, 1)` — a
+    /// smoother, always-on corruption closer to timing jitter.
+    Multiplicative { sigma: f64 },
+}
+
+/// A cost surface that, with probability `p`, reports a uniformly random
+/// cost in `[0, max_cost]` instead of the true cost (the paper's
+/// Experiment 3 model); a multiplicative-jitter variant is available via
+/// [`NoisyUdf::multiplicative`].
+///
+/// Holds its RNG behind a `RefCell` so it can implement the shared
+/// [`CostSurface::cost`] signature; consequently it is not `Sync`, and two
+/// calls at the same point may disagree — which is the point.
+#[derive(Debug)]
+pub struct NoisyUdf<S> {
+    inner: S,
+    model: NoiseModel,
+    rng: RefCell<StdRng>,
+}
+
+impl<S: CostSurface> NoisyUdf<S> {
+    /// Wraps `inner` with the given noise probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= noise_probability <= 1.0`.
+    #[must_use]
+    pub fn new(inner: S, noise_probability: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&noise_probability),
+            "noise probability must be within [0, 1]"
+        );
+        NoisyUdf {
+            inner,
+            model: NoiseModel::RandomReplace { probability: noise_probability },
+            rng: RefCell::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// Wraps `inner` with multiplicative Gaussian jitter of relative
+    /// standard deviation `sigma` (clamped at zero so costs stay
+    /// non-negative).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sigma` is negative or non-finite.
+    #[must_use]
+    pub fn multiplicative(inner: S, sigma: f64, seed: u64) -> Self {
+        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be non-negative");
+        NoisyUdf {
+            inner,
+            model: NoiseModel::Multiplicative { sigma },
+            rng: RefCell::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// The wrapped noiseless surface.
+    #[must_use]
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The configured noise probability (0 for the multiplicative model,
+    /// which corrupts every observation).
+    #[must_use]
+    pub fn noise_probability(&self) -> f64 {
+        match self.model {
+            NoiseModel::RandomReplace { probability } => probability,
+            NoiseModel::Multiplicative { .. } => 0.0,
+        }
+    }
+
+    /// The true (noise-free) cost, for computing prediction errors against
+    /// ground truth.
+    #[must_use]
+    pub fn true_cost(&self, point: &[f64]) -> f64 {
+        self.inner.cost(point)
+    }
+}
+
+impl<S: CostSurface> CostSurface for NoisyUdf<S> {
+    fn space(&self) -> &Space {
+        self.inner.space()
+    }
+
+    fn cost(&self, point: &[f64]) -> f64 {
+        let mut rng = self.rng.borrow_mut();
+        match self.model {
+            NoiseModel::RandomReplace { probability } => {
+                if rng.random::<f64>() < probability {
+                    rng.random_range(0.0..self.inner.max_cost())
+                } else {
+                    self.inner.cost(point)
+                }
+            }
+            NoiseModel::Multiplicative { sigma } => {
+                let z = Gaussian::new(1.0, sigma).sample(&mut *rng);
+                self.inner.cost(point) * z.max(0.0)
+            }
+        }
+    }
+
+    fn max_cost(&self) -> f64 {
+        self.inner.max_cost()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::surface::SyntheticUdf;
+    use mlq_core::Space;
+
+    fn surface() -> SyntheticUdf {
+        SyntheticUdf::builder(Space::cube(2, 0.0, 1000.0).unwrap())
+            .peaks(5)
+            .seed(1)
+            .build()
+    }
+
+    #[test]
+    fn zero_probability_is_transparent() {
+        let s = surface();
+        let noisy = NoisyUdf::new(s.clone(), 0.0, 42);
+        for p in [[1.0, 2.0], [500.0, 500.0], [999.0, 3.0]] {
+            assert_eq!(noisy.cost(&p), s.cost(&p));
+        }
+    }
+
+    #[test]
+    fn full_probability_never_returns_truth_dependent_values() {
+        let s = surface();
+        let noisy = NoisyUdf::new(s, 1.0, 42);
+        let p = [500.0, 500.0];
+        // Two calls at the same point disagree (random draws).
+        let a = noisy.cost(&p);
+        let b = noisy.cost(&p);
+        assert_ne!(a, b);
+        assert!((0.0..=noisy.max_cost()).contains(&a));
+    }
+
+    #[test]
+    fn noise_rate_is_close_to_probability() {
+        let s = surface();
+        let truth = s.clone();
+        let noisy = NoisyUdf::new(s, 0.3, 7);
+        let p = [10.0, 10.0];
+        let expected = truth.cost(&p);
+        let n = 20_000;
+        let noisy_count = (0..n).filter(|_| noisy.cost(&p) != expected).count();
+        let rate = noisy_count as f64 / f64::from(n);
+        assert!((rate - 0.3).abs() < 0.02, "observed noise rate {rate}");
+    }
+
+    #[test]
+    fn true_cost_bypasses_noise() {
+        let s = surface();
+        let expected = s.cost(&[77.0, 88.0]);
+        let noisy = NoisyUdf::new(s, 1.0, 3);
+        assert_eq!(noisy.true_cost(&[77.0, 88.0]), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise probability")]
+    fn rejects_invalid_probability() {
+        let _ = NoisyUdf::new(surface(), 1.5, 0);
+    }
+
+    #[test]
+    fn multiplicative_jitter_is_unbiased_and_scales_with_truth() {
+        let s = surface();
+        let p = [500.0, 500.0];
+        let truth = s.cost(&p);
+        let noisy = NoisyUdf::multiplicative(s, 0.2, 5);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| noisy.cost(&p)).sum::<f64>() / f64::from(n);
+        // E[max(0, 1 + 0.2 Z)] ~ 1 (clipping is negligible at sigma 0.2).
+        assert!(
+            (mean - truth).abs() < 0.01 * truth.max(1.0),
+            "mean {mean} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn multiplicative_zero_sigma_is_transparent() {
+        let s = surface();
+        let truth = s.cost(&[10.0, 20.0]);
+        let noisy = NoisyUdf::multiplicative(s, 0.0, 5);
+        assert_eq!(noisy.cost(&[10.0, 20.0]), truth);
+        assert_eq!(noisy.noise_probability(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn rejects_negative_sigma() {
+        let _ = NoisyUdf::multiplicative(surface(), -0.1, 0);
+    }
+}

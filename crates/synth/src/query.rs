@@ -1,0 +1,234 @@
+//! Query-point distributions (paper §5.1, "Query distributions").
+//!
+//! Three generators over a [`Space`]:
+//!
+//! * **Uniform** — points uniform over the whole space;
+//! * **Gaussian-random** — `c` uniformly placed centroids; every query
+//!   picks a centroid at random and draws from a Gaussian around it;
+//! * **Gaussian-sequential** — the same `c` clusters, but visited one
+//!   after another (`n/c` queries per centroid) — the drifting workload
+//!   that exercises MLQ's self-tuning.
+//!
+//! The paper sets `c = 3` and a (range-relative) standard deviation of
+//! 0.05 to "simulate skewed query distribution".
+
+use crate::dist::Gaussian;
+use mlq_core::Space;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Which query workload to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum QueryDistribution {
+    /// Uniform over the entire model space.
+    Uniform,
+    /// Random draws from `centroids` Gaussian clusters.
+    GaussianRandom {
+        /// Number of cluster centroids (paper: 3).
+        centroids: usize,
+        /// Standard deviation relative to each dimension's range
+        /// (paper: 0.05).
+        std_frac: f64,
+    },
+    /// The same clusters visited sequentially, one block of `n / centroids`
+    /// queries per centroid.
+    GaussianSequential {
+        /// Number of cluster centroids (paper: 3).
+        centroids: usize,
+        /// Standard deviation relative to each dimension's range
+        /// (paper: 0.05).
+        std_frac: f64,
+    },
+}
+
+impl QueryDistribution {
+    /// The paper's Gaussian-random setting (`c = 3`, σ = 0.05).
+    #[must_use]
+    pub fn paper_gaussian_random() -> Self {
+        QueryDistribution::GaussianRandom { centroids: 3, std_frac: 0.05 }
+    }
+
+    /// The paper's Gaussian-sequential setting (`c = 3`, σ = 0.05).
+    #[must_use]
+    pub fn paper_gaussian_sequential() -> Self {
+        QueryDistribution::GaussianSequential { centroids: 3, std_frac: 0.05 }
+    }
+
+    /// Label used in result tables.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueryDistribution::Uniform => "uniform",
+            QueryDistribution::GaussianRandom { .. } => "gauss-random",
+            QueryDistribution::GaussianSequential { .. } => "gauss-seq",
+        }
+    }
+
+    /// Generates `n` query points over `space`, deterministically in
+    /// `seed`. Gaussian draws falling outside the space are clamped onto
+    /// the boundary (matching how the models treat all points).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a Gaussian variant has zero centroids or a non-positive
+    /// `std_frac`.
+    #[must_use]
+    pub fn generate(&self, space: &Space, n: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match *self {
+            QueryDistribution::Uniform => (0..n).map(|_| uniform_point(space, &mut rng)).collect(),
+            QueryDistribution::GaussianRandom { centroids, std_frac } => {
+                let (centers, gaussians) = clusters(space, centroids, std_frac, &mut rng);
+                (0..n)
+                    .map(|_| {
+                        let k = rng.random_range(0..centers.len());
+                        cluster_point(space, &centers[k], &gaussians, &mut rng)
+                    })
+                    .collect()
+            }
+            QueryDistribution::GaussianSequential { centroids, std_frac } => {
+                let (centers, gaussians) = clusters(space, centroids, std_frac, &mut rng);
+                let per = n.div_ceil(centroids);
+                let mut points = Vec::with_capacity(n);
+                'outer: for center in &centers {
+                    for _ in 0..per {
+                        if points.len() == n {
+                            break 'outer;
+                        }
+                        points.push(cluster_point(space, center, &gaussians, &mut rng));
+                    }
+                }
+                points
+            }
+        }
+    }
+}
+
+fn uniform_point(space: &Space, rng: &mut StdRng) -> Vec<f64> {
+    (0..space.dims())
+        .map(|i| rng.random_range(space.low(i)..space.high(i)))
+        .collect()
+}
+
+/// Centroids (uniform) plus one per-dimension Gaussian shape.
+fn clusters(
+    space: &Space,
+    centroids: usize,
+    std_frac: f64,
+    rng: &mut StdRng,
+) -> (Vec<Vec<f64>>, Vec<Gaussian>) {
+    assert!(centroids > 0, "gaussian query distribution needs centroids");
+    assert!(std_frac > 0.0, "std_frac must be positive");
+    let centers: Vec<Vec<f64>> = (0..centroids).map(|_| uniform_point(space, rng)).collect();
+    let gaussians: Vec<Gaussian> = (0..space.dims())
+        .map(|i| Gaussian::new(0.0, std_frac * (space.high(i) - space.low(i))))
+        .collect();
+    (centers, gaussians)
+}
+
+fn cluster_point(
+    space: &Space,
+    center: &[f64],
+    gaussians: &[Gaussian],
+    rng: &mut StdRng,
+) -> Vec<f64> {
+    center
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c + gaussians[i].sample(rng)).clamp(space.low(i), space.high(i)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> Space {
+        Space::cube(2, 0.0, 1000.0).unwrap()
+    }
+
+    #[test]
+    fn generates_requested_count_in_space() {
+        for dist in [
+            QueryDistribution::Uniform,
+            QueryDistribution::paper_gaussian_random(),
+            QueryDistribution::paper_gaussian_sequential(),
+        ] {
+            let pts = dist.generate(&space(), 500, 7);
+            assert_eq!(pts.len(), 500, "{}", dist.label());
+            for p in &pts {
+                assert_eq!(p.len(), 2);
+                for (i, &x) in p.iter().enumerate() {
+                    assert!(x >= space().low(i) && x <= space().high(i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let d = QueryDistribution::paper_gaussian_random();
+        assert_eq!(d.generate(&space(), 50, 1), d.generate(&space(), 50, 1));
+        assert_ne!(d.generate(&space(), 50, 1), d.generate(&space(), 50, 2));
+    }
+
+    #[test]
+    fn uniform_covers_the_space() {
+        let pts = QueryDistribution::Uniform.generate(&space(), 4000, 3);
+        // Count points per quadrant; each should hold roughly a quarter.
+        let mut quads = [0usize; 4];
+        for p in &pts {
+            let q = usize::from(p[0] >= 500.0) + 2 * usize::from(p[1] >= 500.0);
+            quads[q] += 1;
+        }
+        for q in quads {
+            assert!((800..1200).contains(&q), "quadrant counts {quads:?}");
+        }
+    }
+
+    #[test]
+    fn gaussian_random_concentrates_near_centroids() {
+        let d = QueryDistribution::GaussianRandom { centroids: 3, std_frac: 0.05 };
+        let pts = d.generate(&space(), 3000, 11);
+        // With sigma = 50, points belonging to a cluster are within ~200 of
+        // its centroid; verify spread is far below uniform by checking the
+        // number of distinct 100x100 grid cells touched.
+        let cells: std::collections::HashSet<(i64, i64)> = pts
+            .iter()
+            .map(|p| ((p[0] / 100.0) as i64, (p[1] / 100.0) as i64))
+            .collect();
+        assert!(cells.len() < 40, "clustered workload touched {} cells", cells.len());
+    }
+
+    #[test]
+    fn gaussian_sequential_visits_clusters_in_blocks() {
+        let d = QueryDistribution::GaussianSequential { centroids: 3, std_frac: 0.01 };
+        let pts = d.generate(&space(), 300, 13);
+        // Consecutive points within a block are near each other; block
+        // transitions jump. Count large jumps: exactly centroids-1 = 2.
+        let mut jumps = 0;
+        for w in pts.windows(2) {
+            let dx = w[0][0] - w[1][0];
+            let dy = w[0][1] - w[1][1];
+            if (dx * dx + dy * dy).sqrt() > 200.0 {
+                jumps += 1;
+            }
+        }
+        assert_eq!(jumps, 2, "sequential workload must shift exactly twice");
+    }
+
+    #[test]
+    fn sequential_handles_n_not_divisible_by_centroids() {
+        let d = QueryDistribution::GaussianSequential { centroids: 3, std_frac: 0.05 };
+        assert_eq!(d.generate(&space(), 100, 1).len(), 100);
+        assert_eq!(d.generate(&space(), 2, 1).len(), 2);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(QueryDistribution::Uniform.label(), "uniform");
+        assert_eq!(QueryDistribution::paper_gaussian_random().label(), "gauss-random");
+        assert_eq!(QueryDistribution::paper_gaussian_sequential().label(), "gauss-seq");
+    }
+}

@@ -1,0 +1,376 @@
+//! Synthetic UDF cost surfaces (paper §5.1, "Synthetic UDFs/datasets").
+//!
+//! A surface is generated in two steps exactly as in the paper: first `N`
+//! peaks are drawn — coordinates uniform over the space, heights Zipf with
+//! exponent `z`, scaled so the highest peak costs `max_cost` — then each
+//! peak receives a randomly selected decay function that brings its
+//! contribution to zero at Euclidean distance `D` from the peak (the paper
+//! sets `D` to 10 % of the space diagonal). Varying `N` and `D` varies the
+//! complexity of the surface through the amount of decay-region overlap.
+
+use crate::decay::{DecayKind, ALL_DECAY_KINDS};
+use crate::dist::zipf_weights;
+use mlq_core::Space;
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A deterministic ground-truth cost function over a model space.
+///
+/// Implemented by [`SyntheticUdf`] (pure) and [`crate::NoisyUdf`]
+/// (stochastic; uses interior mutability for its RNG).
+pub trait CostSurface {
+    /// The model space the surface is defined over.
+    fn space(&self) -> &Space;
+
+    /// The (possibly noisy) execution cost at `point`.
+    fn cost(&self, point: &[f64]) -> f64;
+
+    /// Upper bound on the cost anywhere in the space.
+    fn max_cost(&self) -> f64;
+}
+
+/// One generated peak.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Peak {
+    /// Peak coordinates (uniform over the space).
+    pub center: Vec<f64>,
+    /// Cost at the peak (Zipf-distributed across peaks).
+    pub height: f64,
+    /// Fall-off shape.
+    pub decay: DecayKind,
+    /// Euclidean radius at which the contribution reaches zero.
+    pub radius: f64,
+}
+
+impl Peak {
+    /// This peak's cost contribution at `point`.
+    #[must_use]
+    pub fn contribution(&self, point: &[f64]) -> f64 {
+        let dist2: f64 = self
+            .center
+            .iter()
+            .zip(point)
+            .map(|(c, p)| (c - p) * (c - p))
+            .sum();
+        self.height * self.decay.factor(dist2.sqrt() / self.radius)
+    }
+}
+
+/// A synthetic UDF: the pointwise maximum of its peaks' contributions.
+///
+/// The maximum (rather than the sum) keeps each peak's height equal to its
+/// drawn Zipf height even when decay regions overlap, so the surface's
+/// dynamic range is exactly `[0, max_cost]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticUdf {
+    space: Space,
+    peaks: Vec<Peak>,
+    max_cost: f64,
+    base_cost: f64,
+}
+
+impl SyntheticUdf {
+    /// Starts a builder with the paper's default parameters over `space`.
+    #[must_use]
+    pub fn builder(space: Space) -> SyntheticUdfBuilder {
+        SyntheticUdfBuilder {
+            space,
+            peaks: 50,
+            zipf_z: 1.0,
+            max_cost: 10_000.0,
+            base_cost: 0.0,
+            radius_frac: 0.10,
+            seed: 0,
+        }
+    }
+
+    /// The generated peaks.
+    #[must_use]
+    pub fn peaks(&self) -> &[Peak] {
+        &self.peaks
+    }
+
+    /// Assembles a surface from explicit parts — for ablations that force
+    /// particular peak sets or decay shapes rather than sampling them.
+    #[must_use]
+    pub fn from_parts(space: Space, peaks: Vec<Peak>, max_cost: f64, base_cost: f64) -> Self {
+        assert!(!peaks.is_empty(), "a surface needs at least one peak");
+        assert!(max_cost > 0.0 && base_cost >= 0.0);
+        SyntheticUdf { space, peaks, max_cost, base_cost }
+    }
+}
+
+impl CostSurface for SyntheticUdf {
+    fn space(&self) -> &Space {
+        &self.space
+    }
+
+    fn cost(&self, point: &[f64]) -> f64 {
+        self.base_cost
+            + self
+                .peaks
+                .iter()
+                .map(|p| p.contribution(point))
+                .fold(0.0, f64::max)
+    }
+
+    fn max_cost(&self) -> f64 {
+        self.base_cost + self.max_cost
+    }
+}
+
+/// Builder for [`SyntheticUdf`] — defaults follow §5.1: 4-dimensional
+/// `[0, 1000]` ranges are supplied by the caller's `space`; `z = 1`,
+/// maximum cost 10 000, `D` = 10 % of the space diagonal.
+#[derive(Debug, Clone)]
+pub struct SyntheticUdfBuilder {
+    space: Space,
+    peaks: usize,
+    zipf_z: f64,
+    max_cost: f64,
+    base_cost: f64,
+    radius_frac: f64,
+    seed: u64,
+}
+
+impl SyntheticUdfBuilder {
+    /// Number of peaks `N` (the paper's Fig. 8 x-axis).
+    #[must_use]
+    pub fn peaks(mut self, n: usize) -> Self {
+        self.peaks = n;
+        self
+    }
+
+    /// Zipf exponent `z` for peak heights (paper: 1).
+    #[must_use]
+    pub fn zipf_z(mut self, z: f64) -> Self {
+        self.zipf_z = z;
+        self
+    }
+
+    /// Cost of the highest peak (paper: 10 000).
+    #[must_use]
+    pub fn max_cost(mut self, c: f64) -> Self {
+        self.max_cost = c;
+        self
+    }
+
+    /// Fixed cost floor added everywhere (default 0, matching the paper's
+    /// construction literally). Real UDFs never cost zero — invocation
+    /// overhead, argument marshalling — so the experiment harness sets a
+    /// small floor to keep the NAE denominator well conditioned in the
+    /// regions no decay region covers.
+    ///
+    /// # Panics
+    ///
+    /// Panics at `build` time via the `max_cost` check if negative.
+    #[must_use]
+    pub fn base_cost(mut self, c: f64) -> Self {
+        self.base_cost = c;
+        self
+    }
+
+    /// Decay radius `D` as a fraction of the space diagonal (paper: 0.10).
+    #[must_use]
+    pub fn radius_frac(mut self, f: f64) -> Self {
+        self.radius_frac = f;
+        self
+    }
+
+    /// RNG seed; equal seeds generate identical surfaces.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the surface.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peaks == 0`, `max_cost <= 0`, or `radius_frac <= 0`.
+    #[must_use]
+    pub fn build(self) -> SyntheticUdf {
+        assert!(self.peaks > 0, "a surface needs at least one peak");
+        assert!(self.max_cost > 0.0, "max_cost must be positive");
+        assert!(self.base_cost >= 0.0 && self.base_cost.is_finite(), "base_cost must be >= 0");
+        assert!(self.radius_frac > 0.0, "radius_frac must be positive");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let dims = self.space.dims();
+        let radius = self.radius_frac * self.space.diagonal();
+
+        // Step 1: peak coordinates uniform, heights Zipf (scaled so the
+        // tallest peak reaches max_cost).
+        let weights = zipf_weights(self.peaks, self.zipf_z);
+        let scale = self.max_cost / weights[0];
+        // Random rank order: which peak location gets which height.
+        let mut heights: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        shuffle(&mut heights, &mut rng);
+
+        // Step 2: a randomly selected decay function per peak.
+        let peaks = heights
+            .into_iter()
+            .map(|height| {
+                let center: Vec<f64> = (0..dims)
+                    .map(|i| rng.random_range(self.space.low(i)..self.space.high(i)))
+                    .collect();
+                let decay = ALL_DECAY_KINDS[rng.random_range(0..ALL_DECAY_KINDS.len())];
+                Peak { center, height, decay, radius }
+            })
+            .collect();
+
+        SyntheticUdf {
+            space: self.space,
+            peaks,
+            max_cost: self.max_cost,
+            base_cost: self.base_cost,
+        }
+    }
+}
+
+/// Fisher–Yates shuffle (kept local; `rand`'s shuffle lives behind an
+/// optional feature of the `rand` prelude in some versions).
+fn shuffle<T, R: Rng + ?Sized>(items: &mut [T], rng: &mut R) {
+    for i in (1..items.len()).rev() {
+        let j = rng.random_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> Space {
+        Space::cube(4, 0.0, 1000.0).unwrap()
+    }
+
+    #[test]
+    fn builder_defaults_match_paper() {
+        let udf = SyntheticUdf::builder(space()).build();
+        assert_eq!(udf.peaks().len(), 50);
+        assert_eq!(udf.max_cost(), 10_000.0);
+        let expected_radius = 0.10 * space().diagonal();
+        assert!((udf.peaks()[0].radius - expected_radius).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_seed_same_surface() {
+        let a = SyntheticUdf::builder(space()).seed(3).build();
+        let b = SyntheticUdf::builder(space()).seed(3).build();
+        assert_eq!(a, b);
+        let c = SyntheticUdf::builder(space()).seed(4).build();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn tallest_peak_reaches_max_cost() {
+        let udf = SyntheticUdf::builder(space()).peaks(10).seed(1).build();
+        let tallest = udf
+            .peaks()
+            .iter()
+            .max_by(|a, b| a.height.total_cmp(&b.height))
+            .unwrap();
+        assert!((tallest.height - udf.max_cost()).abs() < 1e-9);
+        assert!((udf.cost(&tallest.center) - udf.max_cost()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heights_follow_zipf_ratios() {
+        let udf = SyntheticUdf::builder(space()).peaks(5).zipf_z(1.0).seed(2).build();
+        let mut heights: Vec<f64> = udf.peaks().iter().map(|p| p.height).collect();
+        heights.sort_by(|a, b| b.total_cmp(a));
+        // With z = 1: h_k = max / (k+1).
+        for (k, h) in heights.iter().enumerate() {
+            assert!((h - 10_000.0 / (k as f64 + 1.0)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cost_is_zero_far_from_all_peaks() {
+        // One peak in a corner; query the opposite corner (distance is the
+        // full diagonal, far beyond a 10% radius).
+        let s = Space::cube(2, 0.0, 1000.0).unwrap();
+        let udf = SyntheticUdf {
+            space: s,
+            peaks: vec![Peak {
+                center: vec![0.0, 0.0],
+                height: 100.0,
+                decay: DecayKind::Linear,
+                radius: 100.0,
+            }],
+            max_cost: 100.0,
+            base_cost: 0.0,
+        };
+        assert_eq!(udf.cost(&[1000.0, 1000.0]), 0.0);
+        assert_eq!(udf.cost(&[0.0, 0.0]), 100.0);
+        // Half-radius away in x: linear decay -> half height.
+        assert!((udf.cost(&[50.0, 0.0]) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlapping_peaks_take_the_maximum() {
+        let s = Space::cube(1, 0.0, 100.0).unwrap();
+        let udf = SyntheticUdf {
+            space: s,
+            peaks: vec![
+                Peak {
+                    center: vec![50.0],
+                    height: 10.0,
+                    decay: DecayKind::Uniform,
+                    radius: 60.0,
+                },
+                Peak {
+                    center: vec![50.0],
+                    height: 70.0,
+                    decay: DecayKind::Uniform,
+                    radius: 60.0,
+                },
+            ],
+            max_cost: 70.0,
+            base_cost: 0.0,
+        };
+        assert_eq!(udf.cost(&[50.0]), 70.0);
+    }
+
+    #[test]
+    fn costs_bounded_by_max_cost() {
+        let udf = SyntheticUdf::builder(space()).peaks(100).seed(9).build();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let p: Vec<f64> = (0..4).map(|_| rng.random_range(0.0..1000.0)).collect();
+            let c = udf.cost(&p);
+            assert!((0.0..=udf.max_cost()).contains(&c));
+        }
+    }
+
+    #[test]
+    fn base_cost_lifts_the_whole_surface() {
+        let s = Space::cube(2, 0.0, 1000.0).unwrap();
+        let flat = SyntheticUdf::builder(s.clone()).peaks(3).seed(4).build();
+        let lifted = SyntheticUdf::builder(s).peaks(3).seed(4).base_cost(100.0).build();
+        for p in [[0.0, 0.0], [500.0, 500.0], [999.0, 999.0]] {
+            assert!((lifted.cost(&p) - flat.cost(&p) - 100.0).abs() < 1e-9);
+        }
+        assert_eq!(lifted.max_cost(), flat.max_cost() + 100.0);
+    }
+
+    #[test]
+    fn peak_centers_inside_space() {
+        let udf = SyntheticUdf::builder(space()).peaks(200).seed(5).build();
+        for p in udf.peaks() {
+            for (i, &x) in p.center.iter().enumerate() {
+                assert!(x >= udf.space().low(i) && x <= udf.space().high(i));
+            }
+        }
+    }
+
+    #[test]
+    fn all_decay_kinds_appear_in_large_surfaces() {
+        let udf = SyntheticUdf::builder(space()).peaks(200).seed(6).build();
+        let kinds: std::collections::HashSet<_> =
+            udf.peaks().iter().map(|p| p.decay).collect();
+        assert_eq!(kinds.len(), ALL_DECAY_KINDS.len());
+    }
+}

@@ -1,0 +1,68 @@
+//! Execution-cost records reported by UDF executions.
+
+use serde::{Deserialize, Serialize};
+
+/// Which cost component a model is being trained to predict — the paper
+/// keeps "two cost estimators for each UDF in order to model both CPU and
+/// disk IO costs" (§1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CostKind {
+    /// CPU work units (`ec_CPU`).
+    Cpu,
+    /// Buffer-pool misses (`ec_IO`, "the number of disk pages fetched").
+    DiskIo,
+}
+
+impl CostKind {
+    /// Label used in experiment tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            CostKind::Cpu => "cpu",
+            CostKind::DiskIo => "io",
+        }
+    }
+}
+
+/// The observed cost of one UDF execution.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionCost {
+    /// Deterministic CPU work units consumed.
+    pub cpu: f64,
+    /// Disk pages fetched (buffer-pool misses).
+    pub io: f64,
+    /// Result cardinality (matching documents / objects) — the
+    /// selectivity signal a feedback-driven optimizer also wants
+    /// (§2.2 contrasts MLQ's cost feedback with STGrid/STHoles'
+    /// cardinality feedback; our UDFs report both).
+    pub results: u64,
+}
+
+impl ExecutionCost {
+    /// Selects one component.
+    #[must_use]
+    pub fn get(&self, kind: CostKind) -> f64 {
+        match kind {
+            CostKind::Cpu => self.cpu,
+            CostKind::DiskIo => self.io,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_selects_component() {
+        let c = ExecutionCost { cpu: 10.0, io: 3.0, results: 7 };
+        assert_eq!(c.get(CostKind::Cpu), 10.0);
+        assert_eq!(c.get(CostKind::DiskIo), 3.0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(CostKind::Cpu.label(), "cpu");
+        assert_eq!(CostKind::DiskIo.label(), "io");
+    }
+}

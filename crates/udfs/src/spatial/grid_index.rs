@@ -1,0 +1,235 @@
+//! The paged grid (fixed-grid) spatial index.
+//!
+//! The world is divided into `G × G` equal cells; each cell's object list
+//! (every rectangle whose bounding box overlaps the cell) is serialized
+//! into ≤[`CHUNK_BYTES`] heap-file records. The cell → chunk directory is
+//! in-memory metadata; object bytes are always read through the buffer
+//! pool, so query cost is real page traffic.
+//!
+//! Entry wire format (little-endian): `u32 id, 4 × f32 edges` = 20 bytes.
+
+use crate::spatial::map::{Rect, WORLD};
+use mlq_storage::{BufferPool, DiskSim, HeapFile, HeapFileBuilder, RecordId, StorageError};
+
+/// Maximum cell-chunk payload in bytes (51 entries per chunk).
+pub(crate) const CHUNK_BYTES: usize = 1020;
+
+const ENTRY_BYTES: usize = 20;
+
+/// A paged fixed-grid spatial index.
+#[derive(Debug)]
+pub struct GridIndex {
+    file: HeapFile,
+    /// `directory[cy * grid + cx]` = chunk addresses of that cell.
+    directory: Vec<Vec<RecordId>>,
+    /// Objects per cell (dictionary metadata, no IO).
+    counts: Vec<u32>,
+    grid: usize,
+}
+
+impl GridIndex {
+    /// Builds the index for `rects` at `grid × grid` resolution on `disk`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates page-encoding failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid == 0`.
+    pub fn build(disk: &mut DiskSim, grid: usize, rects: &[Rect]) -> Result<Self, StorageError> {
+        assert!(grid > 0, "grid needs at least one cell");
+        let mut cells: Vec<Vec<&Rect>> = vec![Vec::new(); grid * grid];
+        for r in rects {
+            let (cx0, cy0) = Self::cell_of_static(grid, f64::from(r.x0), f64::from(r.y0));
+            let (cx1, cy1) = Self::cell_of_static(grid, f64::from(r.x1), f64::from(r.y1));
+            for cy in cy0..=cy1 {
+                for cx in cx0..=cx1 {
+                    cells[cy * grid + cx].push(r);
+                }
+            }
+        }
+
+        let mut builder = HeapFileBuilder::new(disk);
+        let mut directory = Vec::with_capacity(cells.len());
+        let mut counts = Vec::with_capacity(cells.len());
+        let mut chunk: Vec<u8> = Vec::with_capacity(CHUNK_BYTES);
+        for cell in &cells {
+            let mut addrs = Vec::new();
+            chunk.clear();
+            for r in cell {
+                if chunk.len() + ENTRY_BYTES > CHUNK_BYTES {
+                    addrs.push(builder.append(&chunk)?);
+                    chunk.clear();
+                }
+                chunk.extend_from_slice(&r.id.to_le_bytes());
+                for v in [r.x0, r.y0, r.x1, r.y1] {
+                    chunk.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            if !chunk.is_empty() {
+                addrs.push(builder.append(&chunk)?);
+                chunk.clear();
+            }
+            directory.push(addrs);
+            counts.push(cell.len() as u32);
+        }
+        let file = builder.finish()?;
+        Ok(GridIndex { file, directory, counts, grid })
+    }
+
+    /// Grid resolution (cells per side).
+    #[must_use]
+    pub fn grid(&self) -> usize {
+        self.grid
+    }
+
+    /// Side length of one cell in world units.
+    #[must_use]
+    pub fn cell_size(&self) -> f64 {
+        WORLD / self.grid as f64
+    }
+
+    /// The cell containing world point `(x, y)` (clamped to the world).
+    #[must_use]
+    pub fn cell_of(&self, x: f64, y: f64) -> (usize, usize) {
+        Self::cell_of_static(self.grid, x, y)
+    }
+
+    fn cell_of_static(grid: usize, x: f64, y: f64) -> (usize, usize) {
+        let clamp = |v: f64| -> usize {
+            let cell = (v.clamp(0.0, WORLD) / WORLD * grid as f64) as usize;
+            cell.min(grid - 1)
+        };
+        (clamp(x), clamp(y))
+    }
+
+    /// Per-cell object counts (diagnostics, no IO).
+    #[must_use]
+    pub fn cell_object_counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Reads every object overlapping cell `(cx, cy)` through `pool`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates page-read and decode failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell coordinates are outside the grid.
+    pub fn objects_in_cell(
+        &self,
+        pool: &BufferPool,
+        cx: usize,
+        cy: usize,
+    ) -> Result<Vec<Rect>, StorageError> {
+        assert!(cx < self.grid && cy < self.grid, "cell out of bounds");
+        let mut out = Vec::with_capacity(self.counts[cy * self.grid + cx] as usize);
+        for &addr in &self.directory[cy * self.grid + cx] {
+            let chunk = self.file.read(pool, addr)?;
+            decode_chunk(&chunk, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    /// The heap file backing the index (diagnostics).
+    #[must_use]
+    pub fn file(&self) -> &HeapFile {
+        &self.file
+    }
+}
+
+fn decode_chunk(chunk: &[u8], out: &mut Vec<Rect>) -> Result<(), StorageError> {
+    if !chunk.len().is_multiple_of(ENTRY_BYTES) {
+        return Err(StorageError::CorruptPage { reason: "grid chunk not entry-aligned" });
+    }
+    for entry in chunk.chunks_exact(ENTRY_BYTES) {
+        let id = u32::from_le_bytes(entry[0..4].try_into().expect("sized"));
+        let f = |i: usize| {
+            f32::from_le_bytes(entry[4 + 4 * i..8 + 4 * i].try_into().expect("sized"))
+        };
+        out.push(Rect { id, x0: f(0), y0: f(1), x1: f(2), y1: f(3) });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect(id: u32, x0: f32, y0: f32, x1: f32, y1: f32) -> Rect {
+        Rect { id, x0, y0, x1, y1 }
+    }
+
+    fn build(grid: usize, rects: &[Rect]) -> (GridIndex, BufferPool) {
+        let mut disk = DiskSim::new();
+        let index = GridIndex::build(&mut disk, grid, rects).unwrap();
+        (index, BufferPool::new(disk, 16))
+    }
+
+    #[test]
+    fn cell_of_maps_world_to_grid() {
+        let (index, _) = build(4, &[]);
+        assert_eq!(index.cell_of(0.0, 0.0), (0, 0));
+        assert_eq!(index.cell_of(999.0, 999.0), (3, 3));
+        assert_eq!(index.cell_of(1000.0, 1000.0), (3, 3)); // boundary clamps
+        assert_eq!(index.cell_of(-5.0, 2000.0), (0, 3)); // out-of-world clamps
+        assert_eq!(index.cell_of(250.0, 499.0), (1, 1));
+    }
+
+    #[test]
+    fn objects_land_in_their_cells() {
+        let rects = vec![
+            rect(0, 10.0, 10.0, 20.0, 20.0),   // cell (0,0) only
+            rect(1, 900.0, 900.0, 910.0, 910.0), // cell (3,3) only
+        ];
+        let (index, pool) = build(4, &rects);
+        let c00 = index.objects_in_cell(&pool, 0, 0).unwrap();
+        assert_eq!(c00.len(), 1);
+        assert_eq!(c00[0], rects[0]);
+        let c33 = index.objects_in_cell(&pool, 3, 3).unwrap();
+        assert_eq!(c33, vec![rects[1]]);
+        assert!(index.objects_in_cell(&pool, 2, 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn spanning_objects_appear_in_all_overlapped_cells() {
+        // Crosses the 250-boundary in x: cells (0,0) and (1,0).
+        let r = rect(7, 240.0, 10.0, 260.0, 20.0);
+        let (index, pool) = build(4, &[r]);
+        assert_eq!(index.objects_in_cell(&pool, 0, 0).unwrap(), vec![r]);
+        assert_eq!(index.objects_in_cell(&pool, 1, 0).unwrap(), vec![r]);
+        assert_eq!(index.cell_object_counts()[0], 1);
+        assert_eq!(index.cell_object_counts()[1], 1);
+    }
+
+    #[test]
+    fn dense_cells_chunk_across_records() {
+        // 200 rects in one cell: 200 * 20 B = 4000 B > one chunk.
+        let rects: Vec<Rect> =
+            (0..200).map(|i| rect(i, 10.0, 10.0, 12.0, 12.0)).collect();
+        let (index, pool) = build(4, &rects);
+        let got = index.objects_in_cell(&pool, 0, 0).unwrap();
+        assert_eq!(got.len(), 200);
+        assert_eq!(got, rects);
+    }
+
+    #[test]
+    fn io_cost_scales_with_cell_density() {
+        let mut rects: Vec<Rect> =
+            (0..800).map(|i| rect(i, 10.0, 10.0, 12.0, 12.0)).collect();
+        rects.push(rect(9999, 900.0, 900.0, 901.0, 901.0));
+        let (index, pool) = build(4, &rects);
+        pool.clear();
+        let before = pool.stats();
+        index.objects_in_cell(&pool, 0, 0).unwrap();
+        let dense = pool.stats().since(&before).misses;
+        pool.clear();
+        let before = pool.stats();
+        index.objects_in_cell(&pool, 3, 3).unwrap();
+        let sparse = pool.stats().since(&before).misses;
+        assert!(dense > sparse, "dense {dense} vs sparse {sparse}");
+    }
+}

@@ -1,0 +1,211 @@
+//! Synthetic clustered rectangle maps and the spatial database bundle.
+
+use crate::spatial::grid_index::GridIndex;
+use mlq_storage::{BufferPool, DiskSim, StorageError};
+use mlq_synth::dist::Gaussian;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Side length of the (square) world, matching the paper's `[0, 1000]`
+/// model-variable ranges.
+pub(crate) const WORLD: f64 = 1000.0;
+
+/// One map object: an axis-aligned rectangle ("urban area" polygon
+/// bounding box).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Object id (unique within the map).
+    pub id: u32,
+    /// Left edge.
+    pub x0: f32,
+    /// Bottom edge.
+    pub y0: f32,
+    /// Right edge.
+    pub x1: f32,
+    /// Top edge.
+    pub y1: f32,
+}
+
+impl Rect {
+    /// True when this rectangle intersects the closed window
+    /// `[wx0, wx1] × [wy0, wy1]`.
+    #[must_use]
+    pub fn intersects_window(&self, wx0: f64, wy0: f64, wx1: f64, wy1: f64) -> bool {
+        f64::from(self.x0) <= wx1
+            && wx0 <= f64::from(self.x1)
+            && f64::from(self.y0) <= wy1
+            && wy0 <= f64::from(self.y1)
+    }
+
+    /// Euclidean distance from `(px, py)` to the nearest point of the
+    /// rectangle (zero inside).
+    #[must_use]
+    pub fn distance_to(&self, px: f64, py: f64) -> f64 {
+        let dx = (f64::from(self.x0) - px).max(0.0).max(px - f64::from(self.x1)).max(0.0);
+        let dy = (f64::from(self.y0) - py).max(0.0).max(py - f64::from(self.y1)).max(0.0);
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// Map shape parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MapConfig {
+    /// Number of rectangles.
+    pub objects: u32,
+    /// Number of population-center clusters.
+    pub clusters: u32,
+    /// Cluster standard deviation as a fraction of the world side.
+    pub cluster_std_frac: f64,
+    /// Rectangle side lengths, uniform in `[min_size, max_size]`.
+    pub min_size: f64,
+    /// Upper bound of rectangle side lengths.
+    pub max_size: f64,
+    /// Grid-index resolution (cells per side).
+    pub grid: usize,
+    /// Generation seed.
+    pub seed: u64,
+    /// Buffer-pool capacity in pages.
+    pub pool_pages: usize,
+}
+
+impl Default for MapConfig {
+    fn default() -> Self {
+        MapConfig {
+            objects: 4000,
+            clusters: 8,
+            cluster_std_frac: 0.06,
+            min_size: 2.0,
+            max_size: 12.0,
+            grid: 16,
+            seed: 0,
+            pool_pages: 64,
+        }
+    }
+}
+
+/// Generates the clustered rectangle map described by `config` — shared
+/// by the grid-file and R-tree databases so both index the identical map.
+///
+/// # Panics
+///
+/// Panics on degenerate configurations.
+#[must_use]
+pub fn generate_rects(config: &MapConfig) -> Vec<Rect> {
+    assert!(config.objects > 0 && config.clusters > 0 && config.grid > 0);
+    assert!(0.0 < config.min_size && config.min_size <= config.max_size);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let centers: Vec<(f64, f64)> = (0..config.clusters)
+        .map(|_| (rng.random_range(0.0..WORLD), rng.random_range(0.0..WORLD)))
+        .collect();
+    let spread = Gaussian::new(0.0, config.cluster_std_frac * WORLD);
+
+    (0..config.objects)
+        .map(|id| {
+            let (cx, cy) = centers[rng.random_range(0..centers.len())];
+            let x = (cx + spread.sample(&mut rng)).clamp(0.0, WORLD);
+            let y = (cy + spread.sample(&mut rng)).clamp(0.0, WORLD);
+            let w = rng.random_range(config.min_size..=config.max_size);
+            let h = rng.random_range(config.min_size..=config.max_size);
+            Rect {
+                id,
+                x0: x as f32,
+                y0: y as f32,
+                x1: (x + w).min(WORLD) as f32,
+                y1: (y + h).min(WORLD) as f32,
+            }
+        })
+        .collect()
+}
+
+/// The spatial substrate: a paged grid index over a synthetic map, served
+/// through an LRU buffer pool.
+#[derive(Debug)]
+pub struct SpatialDatabase {
+    pool: BufferPool,
+    index: GridIndex,
+    config: MapConfig,
+}
+
+impl SpatialDatabase {
+    /// Generates a map per `config`, builds the grid index into paged
+    /// storage, and wraps it in a buffer pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates page-encoding failures from index construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configurations (no objects/clusters/grid, or
+    /// an empty size range).
+    pub fn generate(config: MapConfig) -> Result<Self, StorageError> {
+        let rects = generate_rects(&config);
+        let mut disk = DiskSim::new();
+        let index = GridIndex::build(&mut disk, config.grid, &rects)?;
+        let pool = BufferPool::new(disk, config.pool_pages);
+        Ok(SpatialDatabase { pool, index, config })
+    }
+
+    /// The buffer pool (IO-cost measurements read its stats).
+    #[must_use]
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// The grid index.
+    #[must_use]
+    pub fn index(&self) -> &GridIndex {
+        &self.index
+    }
+
+    /// The generation parameters.
+    #[must_use]
+    pub fn config(&self) -> &MapConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_window_intersection() {
+        let r = Rect { id: 0, x0: 10.0, y0: 10.0, x1: 20.0, y1: 20.0 };
+        assert!(r.intersects_window(0.0, 0.0, 15.0, 15.0));
+        assert!(r.intersects_window(20.0, 20.0, 30.0, 30.0)); // touching corner
+        assert!(!r.intersects_window(21.0, 0.0, 30.0, 30.0));
+        assert!(r.intersects_window(12.0, 12.0, 13.0, 13.0)); // window inside rect
+    }
+
+    #[test]
+    fn rect_distance() {
+        let r = Rect { id: 0, x0: 10.0, y0: 10.0, x1: 20.0, y1: 20.0 };
+        assert_eq!(r.distance_to(15.0, 15.0), 0.0); // inside
+        assert_eq!(r.distance_to(25.0, 15.0), 5.0); // right of
+        assert_eq!(r.distance_to(15.0, 5.0), 5.0); // below
+        let d = r.distance_to(23.0, 24.0); // diagonal from corner (20,20)
+        assert!((d - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_in_bounds() {
+        let cfg = MapConfig { objects: 500, ..MapConfig::default() };
+        let a = SpatialDatabase::generate(cfg).unwrap();
+        let b = SpatialDatabase::generate(cfg).unwrap();
+        assert_eq!(a.index().cell_object_counts(), b.index().cell_object_counts());
+        assert!(a.pool().disk().page_count() > 0);
+    }
+
+    #[test]
+    fn clusters_create_density_skew() {
+        let cfg = MapConfig { objects: 2000, clusters: 3, ..MapConfig::default() };
+        let db = SpatialDatabase::generate(cfg).unwrap();
+        let counts = db.index().cell_object_counts();
+        let max = counts.iter().copied().max().unwrap();
+        let empty = counts.iter().filter(|&&c| c == 0).count();
+        assert!(max > 100, "densest cell {max}");
+        assert!(empty > counts.len() / 4, "{empty} empty cells of {}", counts.len());
+    }
+}

@@ -1,0 +1,19 @@
+//! Spatial search UDFs.
+//!
+//! The paper's three spatial UDFs (K-nearest-neighbors, window, range
+//! search) ran on Oracle Spatial over the urban areas of all Pennsylvania
+//! counties (PASDA). This module substitutes a synthetic map of clustered
+//! rectangles — urban areas cluster around population centers, which is
+//! what makes spatial-search cost depend so strongly on location — indexed
+//! by a paged grid file, so executing a search performs real paged cell
+//! scans.
+
+mod grid_index;
+mod map;
+mod rtree;
+mod search;
+
+pub use grid_index::GridIndex;
+pub use map::{MapConfig, Rect, SpatialDatabase};
+pub use rtree::{RTreeDatabase, RTreeIndex, WindowSearchRTree};
+pub use search::{KnnSearch, RangeSearch, WindowSearch};

@@ -1,0 +1,519 @@
+//! A paged R-tree spatial index, bulk-loaded with the Sort-Tile-Recursive
+//! (STR) algorithm.
+//!
+//! Oracle Spatial — the engine behind the paper's real spatial UDFs — is
+//! R-tree based; the grid file in [`crate::spatial::GridIndex`] is the
+//! simpler substrate. Having both lets the harness show that the cost
+//! model learns whatever cost surface the access method induces: the same
+//! UDF over a different index is simply a different surface.
+//!
+//! Every tree node is one heap-file record; traversals read node records
+//! through the buffer pool, so query cost is real page traffic exactly as
+//! with the grid index.
+//!
+//! Node wire format (little-endian):
+//! `u8 is_leaf, u16 n, n × entry` where a leaf entry is
+//! `u32 object_id, 4 × f32 mbr` (20 B) and an internal entry is
+//! `u64 child_page, u16 child_slot, 4 × f32 mbr` (26 B).
+
+use crate::cost::ExecutionCost;
+use crate::spatial::map::{generate_rects, MapConfig, Rect};
+use crate::udf::{Udf, UdfError};
+use mlq_core::Space;
+use mlq_storage::{BufferPool, DiskSim, HeapFile, HeapFileBuilder, PageId, RecordId, StorageError};
+use std::sync::Arc;
+
+/// Entries per node. 38 leaf entries (or 30 internal) stay within one
+/// ~800-byte record, several records per page.
+const NODE_CAPACITY: usize = 38;
+
+/// A bounding box in f32, as stored.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Mbr {
+    x0: f32,
+    y0: f32,
+    x1: f32,
+    y1: f32,
+}
+
+impl Mbr {
+    fn of_rect(r: &Rect) -> Mbr {
+        Mbr { x0: r.x0, y0: r.y0, x1: r.x1, y1: r.y1 }
+    }
+
+    fn union(&self, other: &Mbr) -> Mbr {
+        Mbr {
+            x0: self.x0.min(other.x0),
+            y0: self.y0.min(other.y0),
+            x1: self.x1.max(other.x1),
+            y1: self.y1.max(other.y1),
+        }
+    }
+
+    fn intersects(&self, wx0: f64, wy0: f64, wx1: f64, wy1: f64) -> bool {
+        f64::from(self.x0) <= wx1
+            && wx0 <= f64::from(self.x1)
+            && f64::from(self.y0) <= wy1
+            && wy0 <= f64::from(self.y1)
+    }
+
+    fn write(&self, out: &mut Vec<u8>) {
+        for v in [self.x0, self.y0, self.x1, self.y1] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    fn read(buf: &[u8]) -> Mbr {
+        let f = |i: usize| f32::from_le_bytes(buf[4 * i..4 * i + 4].try_into().expect("sized"));
+        Mbr { x0: f(0), y0: f(1), x1: f(2), y1: f(3) }
+    }
+}
+
+enum NodeEntry {
+    Leaf { id: u32, mbr: Mbr },
+    Internal { child: RecordId, mbr: Mbr },
+}
+
+fn encode_node(is_leaf: bool, entries: &[NodeEntry]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(3 + entries.len() * 26);
+    out.push(u8::from(is_leaf));
+    out.extend_from_slice(&(entries.len() as u16).to_le_bytes());
+    for e in entries {
+        match e {
+            NodeEntry::Leaf { id, mbr } => {
+                out.extend_from_slice(&id.to_le_bytes());
+                mbr.write(&mut out);
+            }
+            NodeEntry::Internal { child, mbr } => {
+                out.extend_from_slice(&child.page.0.to_le_bytes());
+                out.extend_from_slice(&child.slot.to_le_bytes());
+                mbr.write(&mut out);
+            }
+        }
+    }
+    out
+}
+
+/// The paged R-tree.
+#[derive(Debug)]
+pub struct RTreeIndex {
+    file: HeapFile,
+    root: Option<RecordId>,
+    height: usize,
+    objects: usize,
+}
+
+impl RTreeIndex {
+    /// STR bulk load: sort by x into vertical slabs, sort each slab by y,
+    /// pack leaves of `NODE_CAPACITY` (38) entries, then build parent levels the same
+    /// way over node MBR centers until one root remains.
+    ///
+    /// # Errors
+    ///
+    /// Propagates page-encoding failures.
+    pub fn build(disk: &mut DiskSim, rects: &[Rect]) -> Result<Self, StorageError> {
+        let mut builder = HeapFileBuilder::new(disk);
+
+        if rects.is_empty() {
+            let file = builder.finish()?;
+            return Ok(RTreeIndex { file, root: None, height: 0, objects: 0 });
+        }
+
+        // --- Leaf level.
+        let mut sorted: Vec<&Rect> = rects.iter().collect();
+        let leaf_count = rects.len().div_ceil(NODE_CAPACITY);
+        let slabs = (leaf_count as f64).sqrt().ceil() as usize;
+        let per_slab = rects.len().div_ceil(slabs);
+        sorted.sort_by(|a, b| (a.x0 + a.x1).total_cmp(&(b.x0 + b.x1)));
+        let mut level: Vec<(RecordId, Mbr)> = Vec::new();
+        for slab in sorted.chunks(per_slab.max(1)) {
+            let mut slab: Vec<&Rect> = slab.to_vec();
+            slab.sort_by(|a, b| (a.y0 + a.y1).total_cmp(&(b.y0 + b.y1)));
+            for group in slab.chunks(NODE_CAPACITY) {
+                let entries: Vec<NodeEntry> = group
+                    .iter()
+                    .map(|r| NodeEntry::Leaf { id: r.id, mbr: Mbr::of_rect(r) })
+                    .collect();
+                let mbr = group
+                    .iter()
+                    .map(|r| Mbr::of_rect(r))
+                    .reduce(|a, b| a.union(&b))
+                    .expect("non-empty group");
+                let rid = builder.append(&encode_node(true, &entries))?;
+                level.push((rid, mbr));
+            }
+        }
+
+        // --- Internal levels.
+        let mut height = 1usize;
+        while level.len() > 1 {
+            height += 1;
+            let node_count = level.len().div_ceil(NODE_CAPACITY);
+            let slabs = (node_count as f64).sqrt().ceil() as usize;
+            let per_slab = level.len().div_ceil(slabs);
+            level.sort_by(|a, b| (a.1.x0 + a.1.x1).total_cmp(&(b.1.x0 + b.1.x1)));
+            let mut next: Vec<(RecordId, Mbr)> = Vec::new();
+            // chunks() needs an owned snapshot since we rebuild `level`.
+            let snapshot: Vec<(RecordId, Mbr)> = level.clone();
+            for slab in snapshot.chunks(per_slab.max(1)) {
+                let mut slab: Vec<&(RecordId, Mbr)> = slab.iter().collect();
+                slab.sort_by(|a, b| (a.1.y0 + a.1.y1).total_cmp(&(b.1.y0 + b.1.y1)));
+                for group in slab.chunks(NODE_CAPACITY) {
+                    let entries: Vec<NodeEntry> = group
+                        .iter()
+                        .map(|(rid, mbr)| NodeEntry::Internal { child: *rid, mbr: *mbr })
+                        .collect();
+                    let mbr = group
+                        .iter()
+                        .map(|(_, m)| *m)
+                        .reduce(|a, b| a.union(&b))
+                        .expect("non-empty group");
+                    let rid = builder.append(&encode_node(false, &entries))?;
+                    next.push((rid, mbr));
+                }
+            }
+            level = next;
+        }
+
+        let root = Some(level[0].0);
+        let file = builder.finish()?;
+        Ok(RTreeIndex { file, root, height, objects: rects.len() })
+    }
+
+    /// Number of indexed objects.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.objects
+    }
+
+    /// True when the index holds nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.objects == 0
+    }
+
+    /// Tree height in levels (0 for an empty index).
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The heap file backing the index (diagnostics).
+    #[must_use]
+    pub fn file(&self) -> &HeapFile {
+        &self.file
+    }
+
+    /// Window query: ids of objects whose MBR intersects the closed
+    /// window, plus the CPU work (entries tested). IO cost is observable
+    /// through the pool's stats, as everywhere else.
+    ///
+    /// # Errors
+    ///
+    /// Propagates page-read and decode failures.
+    pub fn window(
+        &self,
+        pool: &BufferPool,
+        wx0: f64,
+        wy0: f64,
+        wx1: f64,
+        wy1: f64,
+    ) -> Result<(Vec<u32>, f64), StorageError> {
+        let mut out = Vec::new();
+        let mut cpu = 1.0;
+        let Some(root) = self.root else {
+            return Ok((out, cpu));
+        };
+        let mut stack = vec![root];
+        while let Some(rid) = stack.pop() {
+            let record = self.file.read(pool, rid)?;
+            let (is_leaf, n) = decode_header(&record)?;
+            for i in 0..n {
+                cpu += 1.0;
+                if is_leaf {
+                    let (id, mbr) = decode_leaf_entry(&record, i)?;
+                    if mbr.intersects(wx0, wy0, wx1, wy1) {
+                        out.push(id);
+                    }
+                } else {
+                    let (child, mbr) = decode_internal_entry(&record, i)?;
+                    if mbr.intersects(wx0, wy0, wx1, wy1) {
+                        stack.push(child);
+                    }
+                }
+            }
+        }
+        Ok((out, cpu))
+    }
+}
+
+const LEAF_ENTRY: usize = 20;
+const INTERNAL_ENTRY: usize = 26;
+
+fn decode_header(record: &[u8]) -> Result<(bool, usize), StorageError> {
+    if record.len() < 3 {
+        return Err(StorageError::CorruptPage { reason: "truncated r-tree node" });
+    }
+    let is_leaf = record[0] == 1;
+    let n = u16::from_le_bytes(record[1..3].try_into().expect("sized")) as usize;
+    let entry = if is_leaf { LEAF_ENTRY } else { INTERNAL_ENTRY };
+    if record.len() < 3 + n * entry {
+        return Err(StorageError::CorruptPage { reason: "r-tree node shorter than header claims" });
+    }
+    Ok((is_leaf, n))
+}
+
+fn decode_leaf_entry(record: &[u8], i: usize) -> Result<(u32, Mbr), StorageError> {
+    let at = 3 + i * LEAF_ENTRY;
+    let id = u32::from_le_bytes(record[at..at + 4].try_into().expect("sized"));
+    Ok((id, Mbr::read(&record[at + 4..at + 20])))
+}
+
+fn decode_internal_entry(record: &[u8], i: usize) -> Result<(RecordId, Mbr), StorageError> {
+    let at = 3 + i * INTERNAL_ENTRY;
+    let page = u64::from_le_bytes(record[at..at + 8].try_into().expect("sized"));
+    let slot = u16::from_le_bytes(record[at + 8..at + 10].try_into().expect("sized"));
+    Ok((RecordId { page: PageId(page), slot }, Mbr::read(&record[at + 10..at + 26])))
+}
+
+/// The R-tree spatial substrate: the same synthetic map as
+/// [`crate::spatial::SpatialDatabase`], indexed by an STR-bulk-loaded
+/// R-tree instead of a grid file.
+#[derive(Debug)]
+pub struct RTreeDatabase {
+    pool: BufferPool,
+    index: RTreeIndex,
+}
+
+impl RTreeDatabase {
+    /// Generates the map (identical to the grid database for the same
+    /// `config`) and bulk-loads the R-tree.
+    ///
+    /// # Errors
+    ///
+    /// Propagates page-encoding failures.
+    pub fn generate(config: MapConfig) -> Result<Self, StorageError> {
+        let rects = generate_rects(&config);
+        let mut disk = DiskSim::new();
+        let index = RTreeIndex::build(&mut disk, &rects)?;
+        let pool = BufferPool::new(disk, config.pool_pages);
+        Ok(RTreeDatabase { pool, index })
+    }
+
+    /// The buffer pool.
+    #[must_use]
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// The R-tree index.
+    #[must_use]
+    pub fn index(&self) -> &RTreeIndex {
+        &self.index
+    }
+}
+
+/// WIN over the R-tree: the same UDF semantics as
+/// [`crate::spatial::WindowSearch`], a different access method — and
+/// therefore a different cost surface for the model to learn.
+#[derive(Debug, Clone)]
+pub struct WindowSearchRTree {
+    db: Arc<RTreeDatabase>,
+    space: Space,
+}
+
+impl WindowSearchRTree {
+    /// Builds the UDF over a shared R-tree database.
+    #[must_use]
+    pub fn new(db: Arc<RTreeDatabase>) -> Self {
+        let space = Space::new(
+            vec![0.0, 0.0, 0.0, 0.0],
+            vec![1000.0, 1000.0, 200.0, 200.0],
+        )
+        .expect("bounds are valid");
+        WindowSearchRTree { db, space }
+    }
+}
+
+impl Udf for WindowSearchRTree {
+    fn name(&self) -> &'static str {
+        "WIN-R"
+    }
+
+    fn space(&self) -> &Space {
+        &self.space
+    }
+
+    fn reset_io_state(&self) {
+        self.db.pool().clear();
+    }
+
+    fn execute(&self, point: &[f64]) -> Result<ExecutionCost, UdfError> {
+        self.space.grid_point(point)?;
+        let (x, y) = (point[0].clamp(0.0, 1000.0), point[1].clamp(0.0, 1000.0));
+        let w = point[2].clamp(0.0, 200.0);
+        let h = point[3].clamp(0.0, 200.0);
+        let pool = self.db.pool();
+        let before = pool.stats();
+        let (ids, cpu) = self.db.index().window(
+            pool,
+            x - w / 2.0,
+            y - h / 2.0,
+            x + w / 2.0,
+            y + h / 2.0,
+        )?;
+        let io = pool.stats().since(&before).misses as f64;
+        Ok(ExecutionCost { cpu, io, results: ids.len() as u64 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spatial::map::{MapConfig, SpatialDatabase};
+
+    fn rect(id: u32, x0: f32, y0: f32, x1: f32, y1: f32) -> Rect {
+        Rect { id, x0, y0, x1, y1 }
+    }
+
+    fn build(rects: &[Rect]) -> (RTreeIndex, BufferPool) {
+        let mut disk = DiskSim::new();
+        let index = RTreeIndex::build(&mut disk, rects).unwrap();
+        (index, BufferPool::new(disk, 16))
+    }
+
+    #[test]
+    fn empty_index_answers_empty() {
+        let (index, pool) = build(&[]);
+        assert!(index.is_empty());
+        assert_eq!(index.height(), 0);
+        let (ids, _) = index.window(&pool, 0.0, 0.0, 1000.0, 1000.0).unwrap();
+        assert!(ids.is_empty());
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let rects: Vec<Rect> = (0..10).map(|i| {
+            let base = i as f32 * 50.0;
+            rect(i, base, base, base + 10.0, base + 10.0)
+        }).collect();
+        let (index, pool) = build(&rects);
+        assert_eq!(index.height(), 1);
+        let (mut ids, cpu) = index.window(&pool, 0.0, 0.0, 120.0, 120.0).unwrap();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2]); // bases 0, 50, 100 intersect
+        assert!(cpu > 1.0);
+    }
+
+    #[test]
+    fn multi_level_tree_builds_and_prunes() {
+        // 2000 objects force at least two levels (38 per leaf).
+        let rects: Vec<Rect> = (0..2000).map(|i| {
+            let x = (i % 50) as f32 * 20.0;
+            let y = (i / 50) as f32 * 25.0;
+            rect(i, x, y, x + 5.0, y + 5.0)
+        }).collect();
+        let (index, pool) = build(&rects);
+        assert!(index.height() >= 2, "height {}", index.height());
+
+        // A tiny window must touch far fewer entries than the whole tree.
+        let (_, small_cpu) = index.window(&pool, 100.0, 100.0, 140.0, 140.0).unwrap();
+        let (all, full_cpu) = index.window(&pool, 0.0, 0.0, 1000.0, 1000.0).unwrap();
+        assert_eq!(all.len(), 2000);
+        assert!(
+            small_cpu * 4.0 < full_cpu,
+            "pruning must pay: small {small_cpu} vs full {full_cpu}"
+        );
+    }
+
+    #[test]
+    fn rtree_udf_matches_grid_udf_semantics() {
+        use crate::spatial::map::SpatialDatabase;
+        use crate::spatial::search::WindowSearch;
+        let config = MapConfig { objects: 800, clusters: 3, seed: 4, ..MapConfig::default() };
+        let grid_db = Arc::new(SpatialDatabase::generate(config).unwrap());
+        let rtree_db = Arc::new(RTreeDatabase::generate(config).unwrap());
+        let grid_win = WindowSearch::new(grid_db);
+        let rtree_win = WindowSearchRTree::new(rtree_db);
+        for p in [
+            [100.0, 100.0, 150.0, 150.0],
+            [500.0, 500.0, 200.0, 50.0],
+            [900.0, 50.0, 80.0, 120.0],
+        ] {
+            let a = grid_win.execute(&p).unwrap();
+            let b = rtree_win.execute(&p).unwrap();
+            assert_eq!(a.results, b.results, "same map, same window, same answer: {p:?}");
+        }
+    }
+
+    /// Cross-validation: the R-tree and the grid index answer every window
+    /// query identically over the same generated map.
+    #[test]
+    fn rtree_agrees_with_grid_index() {
+        let db = SpatialDatabase::generate(MapConfig {
+            objects: 1200,
+            clusters: 5,
+            seed: 9,
+            ..MapConfig::default()
+        })
+        .unwrap();
+        // Rebuild the same rectangles into an R-tree: collect them from
+        // the grid (deduplicated).
+        let mut rects: Vec<Rect> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let grid = db.index().grid();
+        for cy in 0..grid {
+            for cx in 0..grid {
+                for r in db.index().objects_in_cell(db.pool(), cx, cy).unwrap() {
+                    if seen.insert(r.id) {
+                        rects.push(r);
+                    }
+                }
+            }
+        }
+        let (rtree, pool) = build(&rects);
+
+        for (wx, wy, w, h) in [
+            (100.0, 100.0, 150.0, 150.0),
+            (500.0, 500.0, 300.0, 50.0),
+            (0.0, 0.0, 1000.0, 1000.0),
+            (900.0, 10.0, 90.0, 400.0),
+        ] {
+            let (wx0, wy0, wx1, wy1) = (wx, wy, wx + w, wy + h);
+            let mut from_rtree = rtree.window(&pool, wx0, wy0, wx1, wy1).unwrap().0;
+            from_rtree.sort_unstable();
+            let mut from_grid: Vec<u32> = Vec::new();
+            let mut dedup = std::collections::HashSet::new();
+            let (cx0, cy0) = db.index().cell_of(wx0, wy0);
+            let (cx1, cy1) = db.index().cell_of(wx1, wy1);
+            for cy in cy0..=cy1 {
+                for cx in cx0..=cx1 {
+                    for r in db.index().objects_in_cell(db.pool(), cx, cy).unwrap() {
+                        if dedup.insert(r.id) && r.intersects_window(wx0, wy0, wx1, wy1) {
+                            from_grid.push(r.id);
+                        }
+                    }
+                }
+            }
+            from_grid.sort_unstable();
+            assert_eq!(from_rtree, from_grid, "window ({wx},{wy},{w},{h})");
+        }
+    }
+
+    #[test]
+    fn io_cost_flows_through_the_pool() {
+        let rects: Vec<Rect> = (0..3000).map(|i| {
+            let x = (i % 60) as f32 * 16.0;
+            let y = (i / 60) as f32 * 20.0;
+            rect(i, x, y, x + 4.0, y + 4.0)
+        }).collect();
+        let mut disk = DiskSim::new();
+        let index = RTreeIndex::build(&mut disk, &rects).unwrap();
+        let pool = BufferPool::new(disk, 2); // tiny cache
+        pool.clear();
+        let before = pool.stats();
+        index.window(&pool, 0.0, 0.0, 1000.0, 1000.0).unwrap();
+        let cost = pool.stats().since(&before);
+        assert!(cost.misses > 0, "full scan must fetch pages");
+    }
+}

@@ -1,0 +1,158 @@
+//! Synthetic document corpus generation and the text database bundle.
+
+use crate::text::index::InvertedIndex;
+use mlq_storage::{BufferPool, DiskSim, StorageError};
+use mlq_synth::dist::Zipf;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Corpus shape parameters.
+///
+/// Defaults give a corpus small enough for tests yet large enough that
+/// posting lists span many pages for frequent terms (the property that
+/// makes cost depend strongly on term rank).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// Number of documents (paper: 36,422 Reuters articles).
+    pub docs: u32,
+    /// Vocabulary size.
+    pub vocab: u32,
+    /// Average tokens per document; actual lengths are uniform in
+    /// `[avg/2, 3·avg/2]`.
+    pub avg_doc_len: u32,
+    /// Zipf exponent of term frequencies (news text is close to 1).
+    pub zipf_z: f64,
+    /// Generation seed.
+    pub seed: u64,
+    /// Buffer-pool capacity in pages.
+    pub pool_pages: usize,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            docs: 2000,
+            vocab: 1000,
+            avg_doc_len: 120,
+            zipf_z: 1.0,
+            seed: 0,
+            pool_pages: 64,
+        }
+    }
+}
+
+/// The text substrate: a positional inverted index over a synthetic corpus,
+/// served through an LRU buffer pool.
+#[derive(Debug)]
+pub struct TextDatabase {
+    pool: BufferPool,
+    index: InvertedIndex,
+    config: CorpusConfig,
+}
+
+impl TextDatabase {
+    /// Generates a corpus per `config`, builds the inverted index into
+    /// paged storage, and wraps it in a buffer pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates page-encoding failures from index construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-document, zero-vocabulary, or zero-length
+    /// configuration.
+    pub fn generate(config: CorpusConfig) -> Result<Self, StorageError> {
+        assert!(config.docs > 0 && config.vocab > 0 && config.avg_doc_len > 0);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let zipf = Zipf::new(config.vocab as usize, config.zipf_z);
+
+        // positions[term] = (doc, positions-within-doc) pairs, doc-ordered.
+        let mut postings: Vec<Vec<(u32, Vec<u16>)>> = vec![Vec::new(); config.vocab as usize];
+        let lo = config.avg_doc_len / 2;
+        let hi = config.avg_doc_len + config.avg_doc_len / 2;
+        for doc in 0..config.docs {
+            let len = rng.random_range(lo..=hi);
+            for pos in 0..len.min(u32::from(u16::MAX)) {
+                let term = zipf.sample(&mut rng);
+                match postings[term].last_mut() {
+                    Some((d, positions)) if *d == doc => positions.push(pos as u16),
+                    _ => postings[term].push((doc, vec![pos as u16])),
+                }
+            }
+        }
+
+        let mut disk = DiskSim::new();
+        let index = InvertedIndex::build(&mut disk, &postings)?;
+        let pool = BufferPool::new(disk, config.pool_pages);
+        Ok(TextDatabase { pool, index, config })
+    }
+
+    /// The buffer pool (IO-cost measurements read its stats).
+    #[must_use]
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// The inverted index.
+    #[must_use]
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// The generation parameters.
+    #[must_use]
+    pub fn config(&self) -> &CorpusConfig {
+        &self.config
+    }
+
+    /// Vocabulary size (the range of the rank model variable).
+    #[must_use]
+    pub fn vocab(&self) -> u32 {
+        self.config.vocab
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CorpusConfig {
+        CorpusConfig { docs: 200, vocab: 100, avg_doc_len: 40, ..CorpusConfig::default() }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TextDatabase::generate(tiny()).unwrap();
+        let b = TextDatabase::generate(tiny()).unwrap();
+        for term in 0..100 {
+            assert_eq!(a.index().doc_freq(term), b.index().doc_freq(term));
+        }
+    }
+
+    #[test]
+    fn frequent_terms_have_longer_postings() {
+        let db = TextDatabase::generate(tiny()).unwrap();
+        // Rank 0 (most frequent) must dominate a deep tail rank.
+        let head = db.index().doc_freq(0);
+        let tail = db.index().doc_freq(99);
+        assert!(head > tail, "head df {head} vs tail df {tail}");
+        // And the head term should appear in most documents.
+        assert!(head > 100, "head term df {head} of 200 docs");
+    }
+
+    #[test]
+    fn document_frequencies_bounded_by_corpus() {
+        let db = TextDatabase::generate(tiny()).unwrap();
+        for term in 0..db.vocab() as usize {
+            assert!(db.index().doc_freq(term) <= 200);
+        }
+    }
+
+    #[test]
+    fn index_pages_are_materialized_on_disk() {
+        let db = TextDatabase::generate(tiny()).unwrap();
+        assert!(db.pool().disk().page_count() > 0);
+    }
+}

@@ -1,0 +1,20 @@
+//! Keyword-based text search UDFs.
+//!
+//! The paper's three text UDFs (simple, threshold, proximity keyword
+//! search) ran on Oracle Text over 36,422 Reuters news articles. This
+//! module substitutes a synthetic corpus whose statistics mirror real news
+//! text — Zipfian term frequencies, variable document lengths — stored as a
+//! positional inverted index in slotted pages, so executing a search
+//! performs real paged posting-list scans.
+//!
+//! The UDFs' raw input argument is a keyword; the *transformation* `T`
+//! (paper §3) maps it to its frequency rank, the cost variable the models
+//! are trained over.
+
+mod corpus;
+mod index;
+mod search;
+
+pub use corpus::{CorpusConfig, TextDatabase};
+pub use index::{InvertedIndex, PostingEntry};
+pub use search::{ProximitySearch, SimpleSearch, ThresholdSearch};

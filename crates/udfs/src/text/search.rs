@@ -1,0 +1,349 @@
+//! The three keyword-search UDFs (paper §5.1: "simple, threshold,
+//! proximity" text search).
+//!
+//! Model-variable conventions (the transformation `T` of paper §3):
+//! keyword arguments are mapped to their frequency *rank* in the
+//! vocabulary (rank 0 = most frequent), because posting-list length — and
+//! therefore cost — is a function of rank, not of the keyword's spelling.
+
+use crate::cost::ExecutionCost;
+use crate::text::corpus::TextDatabase;
+use crate::udf::{Udf, UdfError};
+use mlq_core::Space;
+use std::sync::Arc;
+
+/// Clamps a model coordinate onto an integer in `[0, max]`.
+fn as_index(x: f64, max: usize) -> usize {
+    if x.is_nan() {
+        return 0;
+    }
+    (x.max(0.0) as usize).min(max)
+}
+
+/// SIMPLE: how many documents contain the keyword?
+///
+/// Model space: 1-D, the keyword's frequency rank.
+#[derive(Debug, Clone)]
+pub struct SimpleSearch {
+    db: Arc<TextDatabase>,
+    space: Space,
+}
+
+impl SimpleSearch {
+    /// Builds the UDF over a shared text database.
+    #[must_use]
+    pub fn new(db: Arc<TextDatabase>) -> Self {
+        let space = Space::new(vec![0.0], vec![f64::from(db.vocab())])
+            .expect("vocab bounds are valid");
+        SimpleSearch { db, space }
+    }
+}
+
+impl Udf for SimpleSearch {
+    fn name(&self) -> &'static str {
+        "SIMPLE"
+    }
+
+    fn space(&self) -> &Space {
+        &self.space
+    }
+
+    fn reset_io_state(&self) {
+        self.db.pool().clear();
+    }
+
+    fn execute(&self, point: &[f64]) -> Result<ExecutionCost, UdfError> {
+        self.space.grid_point(point)?; // validates dimensionality/finiteness
+        let term = as_index(point[0], self.db.vocab() as usize - 1);
+        let before = self.db.pool().stats();
+        let postings = self.db.index().postings(self.db.pool(), term)?;
+        let mut cpu = 1.0;
+        let mut matches = 0u64;
+        for entry in &postings {
+            cpu += 1.0;
+            if !entry.positions.is_empty() {
+                matches += 1;
+            }
+        }
+        let io = self.db.pool().stats().since(&before).misses as f64;
+        Ok(ExecutionCost { cpu, io, results: matches })
+    }
+}
+
+/// THRESHOLD: how many documents contain the keyword at least `t` times?
+///
+/// Model space: 2-D, (keyword rank, occurrence threshold `t ∈ [1, 16]`).
+#[derive(Debug, Clone)]
+pub struct ThresholdSearch {
+    db: Arc<TextDatabase>,
+    space: Space,
+}
+
+impl ThresholdSearch {
+    /// Largest threshold in the model space.
+    pub const MAX_THRESHOLD: f64 = 16.0;
+
+    /// Builds the UDF over a shared text database.
+    #[must_use]
+    pub fn new(db: Arc<TextDatabase>) -> Self {
+        let space = Space::new(
+            vec![0.0, 1.0],
+            vec![f64::from(db.vocab()), Self::MAX_THRESHOLD],
+        )
+        .expect("bounds are valid");
+        ThresholdSearch { db, space }
+    }
+}
+
+impl Udf for ThresholdSearch {
+    fn name(&self) -> &'static str {
+        "THRESH"
+    }
+
+    fn space(&self) -> &Space {
+        &self.space
+    }
+
+    fn reset_io_state(&self) {
+        self.db.pool().clear();
+    }
+
+    fn execute(&self, point: &[f64]) -> Result<ExecutionCost, UdfError> {
+        self.space.grid_point(point)?;
+        let term = as_index(point[0], self.db.vocab() as usize - 1);
+        let threshold = as_index(point[1], Self::MAX_THRESHOLD as usize).max(1);
+        let before = self.db.pool().stats();
+        let postings = self.db.index().postings(self.db.pool(), term)?;
+        let mut cpu = 1.0;
+        let mut matches = 0u64;
+        for entry in &postings {
+            // Term frequency is counted by walking positions — the work a
+            // real scorer does — so CPU cost grows with total occurrences.
+            cpu += 1.0 + entry.positions.len() as f64;
+            if entry.positions.len() >= threshold {
+                matches += 1;
+            }
+        }
+        let io = self.db.pool().stats().since(&before).misses as f64;
+        Ok(ExecutionCost { cpu, io, results: matches })
+    }
+}
+
+/// PROXIMITY: how many documents contain both keywords within a window of
+/// `w` token positions?
+///
+/// Model space: 3-D, (rank of keyword A, rank of keyword B, window
+/// `w ∈ [1, 50]`).
+#[derive(Debug, Clone)]
+pub struct ProximitySearch {
+    db: Arc<TextDatabase>,
+    space: Space,
+}
+
+impl ProximitySearch {
+    /// Largest window in the model space.
+    pub const MAX_WINDOW: f64 = 50.0;
+
+    /// Builds the UDF over a shared text database.
+    #[must_use]
+    pub fn new(db: Arc<TextDatabase>) -> Self {
+        let v = f64::from(db.vocab());
+        let space = Space::new(vec![0.0, 0.0, 1.0], vec![v, v, Self::MAX_WINDOW])
+            .expect("bounds are valid");
+        ProximitySearch { db, space }
+    }
+}
+
+impl Udf for ProximitySearch {
+    fn name(&self) -> &'static str {
+        "PROX"
+    }
+
+    fn space(&self) -> &Space {
+        &self.space
+    }
+
+    fn reset_io_state(&self) {
+        self.db.pool().clear();
+    }
+
+    fn execute(&self, point: &[f64]) -> Result<ExecutionCost, UdfError> {
+        self.space.grid_point(point)?;
+        let max_rank = self.db.vocab() as usize - 1;
+        let term_a = as_index(point[0], max_rank);
+        let term_b = as_index(point[1], max_rank);
+        let window = as_index(point[2], Self::MAX_WINDOW as usize).max(1) as i32;
+
+        let before = self.db.pool().stats();
+        let list_a = self.db.index().postings(self.db.pool(), term_a)?;
+        let list_b = self.db.index().postings(self.db.pool(), term_b)?;
+        let mut cpu = 1.0 + list_a.len() as f64 + list_b.len() as f64;
+        let mut matches = 0u64;
+        // Doc-ordered merge join of the two posting lists.
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < list_a.len() && j < list_b.len() {
+            cpu += 1.0;
+            match list_a[i].doc.cmp(&list_b[j].doc) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    // Two-pointer position merge within the document.
+                    let (pa, pb) = (&list_a[i].positions, &list_b[j].positions);
+                    cpu += (pa.len() + pb.len()) as f64;
+                    if within_window(pa, pb, window) {
+                        matches += 1;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let io = self.db.pool().stats().since(&before).misses as f64;
+        Ok(ExecutionCost { cpu, io, results: matches })
+    }
+}
+
+/// True when some position of `a` and some position of `b` differ by at
+/// most `window`. Both inputs ascending.
+fn within_window(a: &[u16], b: &[u16], window: i32) -> bool {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let d = i32::from(a[i]) - i32::from(b[j]);
+        if d.abs() <= window {
+            return true;
+        }
+        if d < 0 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::text::corpus::CorpusConfig;
+
+    fn db() -> Arc<TextDatabase> {
+        Arc::new(
+            TextDatabase::generate(CorpusConfig {
+                docs: 300,
+                vocab: 200,
+                avg_doc_len: 60,
+                ..CorpusConfig::default()
+            })
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn within_window_logic() {
+        assert!(within_window(&[5], &[8], 3));
+        assert!(!within_window(&[5], &[9], 3));
+        assert!(within_window(&[1, 100], &[98], 2));
+        assert!(!within_window(&[], &[1], 10));
+        assert!(within_window(&[7], &[7], 0));
+    }
+
+    #[test]
+    fn simple_cost_decreases_with_rank() {
+        let db = db();
+        let udf = SimpleSearch::new(Arc::clone(&db));
+        let head = udf.execute(&[0.0]).unwrap();
+        let tail = udf.execute(&[199.0]).unwrap();
+        assert!(
+            head.cpu > tail.cpu,
+            "frequent term must cost more: head {} vs tail {}",
+            head.cpu,
+            tail.cpu
+        );
+    }
+
+    #[test]
+    fn simple_cpu_cost_is_deterministic() {
+        let db = db();
+        let udf = SimpleSearch::new(db);
+        let a = udf.execute(&[10.0]).unwrap();
+        let b = udf.execute(&[10.0]).unwrap();
+        assert_eq!(a.cpu, b.cpu, "CPU cost is a pure function of the point");
+    }
+
+    #[test]
+    fn simple_io_cost_is_noisy_but_cpu_is_not() {
+        // First execution on a cold cache misses; re-execution hits.
+        let db = db();
+        let udf = SimpleSearch::new(Arc::clone(&db));
+        db.pool().clear();
+        let cold = udf.execute(&[0.0]).unwrap();
+        let warm = udf.execute(&[0.0]).unwrap();
+        assert!(cold.io > warm.io, "cold {} vs warm {}", cold.io, warm.io);
+        assert_eq!(cold.cpu, warm.cpu);
+    }
+
+    #[test]
+    fn threshold_counts_fewer_docs_at_higher_thresholds() {
+        let db = db();
+        let udf = ThresholdSearch::new(db);
+        // Cost is driven by the scan, so CPU should be ~equal across t for
+        // the same term; both must execute fine.
+        let c1 = udf.execute(&[0.0, 1.0]).unwrap();
+        let c9 = udf.execute(&[0.0, 9.0]).unwrap();
+        assert_eq!(c1.cpu, c9.cpu);
+        assert!(c1.cpu > 1.0);
+    }
+
+    #[test]
+    fn proximity_cost_tracks_both_lists() {
+        let db = db();
+        let udf = ProximitySearch::new(db);
+        let both_frequent = udf.execute(&[0.0, 1.0, 10.0]).unwrap();
+        let both_rare = udf.execute(&[198.0, 199.0, 10.0]).unwrap();
+        assert!(both_frequent.cpu > both_rare.cpu);
+    }
+
+    #[test]
+    fn simple_result_cardinality_equals_document_frequency() {
+        let db = db();
+        let udf = SimpleSearch::new(Arc::clone(&db));
+        for rank in [0usize, 10, 150] {
+            let out = udf.execute(&[rank as f64]).unwrap();
+            assert_eq!(out.results as usize, db.index().doc_freq(rank), "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn threshold_results_shrink_as_threshold_rises() {
+        let db = db();
+        let udf = ThresholdSearch::new(db);
+        let loose = udf.execute(&[0.0, 1.0]).unwrap().results;
+        let strict = udf.execute(&[0.0, 9.0]).unwrap().results;
+        assert!(strict <= loose, "strict {strict} vs loose {loose}");
+    }
+
+    #[test]
+    fn udfs_report_model_spaces() {
+        let db = db();
+        assert_eq!(SimpleSearch::new(Arc::clone(&db)).space().dims(), 1);
+        assert_eq!(ThresholdSearch::new(Arc::clone(&db)).space().dims(), 2);
+        assert_eq!(ProximitySearch::new(db).space().dims(), 3);
+    }
+
+    #[test]
+    fn execute_rejects_malformed_points() {
+        let db = db();
+        let udf = SimpleSearch::new(db);
+        assert!(udf.execute(&[1.0, 2.0]).is_err());
+        assert!(udf.execute(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_points_clamp() {
+        let db = db();
+        let udf = SimpleSearch::new(db);
+        let a = udf.execute(&[1e9]).unwrap();
+        let b = udf.execute(&[199.0]).unwrap();
+        assert_eq!(a.cpu, b.cpu);
+    }
+}

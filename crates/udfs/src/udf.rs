@@ -1,0 +1,86 @@
+//! The executable-UDF interface.
+
+use crate::cost::ExecutionCost;
+use mlq_core::{MlqError, Space};
+use mlq_storage::StorageError;
+use std::fmt;
+
+/// Errors raised by UDF execution.
+#[derive(Debug)]
+pub enum UdfError {
+    /// The query point does not match the UDF's model space.
+    BadPoint(MlqError),
+    /// The underlying storage failed.
+    Storage(StorageError),
+}
+
+impl fmt::Display for UdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UdfError::BadPoint(e) => write!(f, "bad query point: {e}"),
+            UdfError::Storage(e) => write!(f, "storage failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for UdfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            UdfError::BadPoint(e) => Some(e),
+            UdfError::Storage(e) => Some(e),
+        }
+    }
+}
+
+impl From<MlqError> for UdfError {
+    fn from(e: MlqError) -> Self {
+        UdfError::BadPoint(e)
+    }
+}
+
+impl From<StorageError> for UdfError {
+    fn from(e: StorageError) -> Self {
+        UdfError::Storage(e)
+    }
+}
+
+/// An executable user-defined function whose cost is being modeled.
+///
+/// `execute` takes the UDF's *model variables* (the paper's cost variables
+/// `c_1..c_k`, produced by the transformation `T` from the raw input
+/// arguments — e.g. a keyword is transformed to its frequency rank) and
+/// performs the real work against paged storage, reporting what it cost.
+pub trait Udf {
+    /// Display name ("SIMPLE", "WIN", ...).
+    fn name(&self) -> &'static str;
+
+    /// The model-variable space (dimensionality and ranges).
+    fn space(&self) -> &Space;
+
+    /// Executes the UDF at `point` and reports the observed cost.
+    ///
+    /// # Errors
+    ///
+    /// [`UdfError::BadPoint`] for malformed points, [`UdfError::Storage`]
+    /// when the substrate fails.
+    fn execute(&self, point: &[f64]) -> Result<ExecutionCost, UdfError>;
+
+    /// Resets any cached IO state (cold buffer cache), so an experiment
+    /// can measure every modeling method from the same starting point.
+    /// Default: nothing to reset.
+    fn reset_io_state(&self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_source() {
+        let e = UdfError::BadPoint(MlqError::NonFiniteValue { context: "x" });
+        assert!(e.to_string().contains("bad query point"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = UdfError::Storage(StorageError::CorruptPage { reason: "r" });
+        assert!(e.to_string().contains("storage failure"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Semantic property tests of the six UDFs: the search results must obey
+//! the relationships their definitions imply, for arbitrary query points.
+
+use mlq_udfs::spatial::{KnnSearch, MapConfig, RangeSearch, SpatialDatabase, WindowSearch};
+use mlq_udfs::text::{CorpusConfig, ProximitySearch, SimpleSearch, TextDatabase, ThresholdSearch};
+use mlq_udfs::Udf;
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+fn text_db() -> Arc<TextDatabase> {
+    static DB: OnceLock<Arc<TextDatabase>> = OnceLock::new();
+    Arc::clone(DB.get_or_init(|| {
+        Arc::new(
+            TextDatabase::generate(CorpusConfig {
+                docs: 400,
+                vocab: 200,
+                avg_doc_len: 60,
+                ..CorpusConfig::default()
+            })
+            .unwrap(),
+        )
+    }))
+}
+
+fn spatial_db() -> Arc<SpatialDatabase> {
+    static DB: OnceLock<Arc<SpatialDatabase>> = OnceLock::new();
+    Arc::clone(DB.get_or_init(|| {
+        Arc::new(
+            SpatialDatabase::generate(MapConfig {
+                objects: 1500,
+                clusters: 4,
+                seed: 77,
+                ..MapConfig::default()
+            })
+            .unwrap(),
+        )
+    }))
+}
+
+/// Brute-force k nearest distances over every object in the map.
+fn brute_force_knn(db: &SpatialDatabase, x: f64, y: f64, k: usize) -> Vec<f64> {
+    let grid = db.index().grid();
+    let mut seen = std::collections::HashSet::new();
+    let mut dists = Vec::new();
+    for cy in 0..grid {
+        for cx in 0..grid {
+            for rect in db.index().objects_in_cell(db.pool(), cx, cy).unwrap() {
+                if seen.insert(rect.id) {
+                    dists.push(rect.distance_to(x, y));
+                }
+            }
+        }
+    }
+    dists.sort_by(f64::total_cmp);
+    dists.truncate(k);
+    dists
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// THRESH at t = 1 answers exactly what SIMPLE answers: "appears at
+    /// least once" is "appears".
+    #[test]
+    fn threshold_one_equals_simple(rank in 0.0..200.0f64) {
+        let simple = SimpleSearch::new(text_db());
+        let thresh = ThresholdSearch::new(text_db());
+        let a = simple.execute(&[rank]).unwrap().results;
+        let b = thresh.execute(&[rank, 1.0]).unwrap().results;
+        prop_assert_eq!(a, b);
+    }
+
+    /// THRESH results are monotone non-increasing in the threshold.
+    #[test]
+    fn threshold_results_monotone(rank in 0.0..200.0f64, t in 1.0..15.0f64) {
+        let thresh = ThresholdSearch::new(text_db());
+        let loose = thresh.execute(&[rank, t]).unwrap().results;
+        let strict = thresh.execute(&[rank, t + 1.0]).unwrap().results;
+        prop_assert!(strict <= loose, "t {t}: {strict} > {loose}");
+    }
+
+    /// PROX is symmetric in its two keywords and monotone in the window.
+    #[test]
+    fn proximity_symmetric_and_window_monotone(
+        a in 0.0..200.0f64,
+        b in 0.0..200.0f64,
+        w in 1.0..49.0f64,
+    ) {
+        let prox = ProximitySearch::new(text_db());
+        let ab = prox.execute(&[a, b, w]).unwrap().results;
+        let ba = prox.execute(&[b, a, w]).unwrap().results;
+        prop_assert_eq!(ab, ba, "order of keywords cannot matter");
+        let wider = prox.execute(&[a, b, w + 1.0]).unwrap().results;
+        prop_assert!(wider >= ab, "wider window finds at least as much");
+    }
+
+    /// PROX with a term and itself at any window finds exactly the
+    /// documents containing the term (positions coincide).
+    #[test]
+    fn proximity_with_self_equals_simple(rank in 0.0..200.0f64, w in 1.0..50.0f64) {
+        let prox = ProximitySearch::new(text_db());
+        let simple = SimpleSearch::new(text_db());
+        let self_matches = prox.execute(&[rank, rank, w]).unwrap().results;
+        let docs = simple.execute(&[rank]).unwrap().results;
+        prop_assert_eq!(self_matches, docs);
+    }
+
+    /// WIN results are monotone in the window extent.
+    #[test]
+    fn window_monotone_in_extent(
+        x in 0.0..1000.0f64,
+        y in 0.0..1000.0f64,
+        w in 0.0..190.0f64,
+        h in 0.0..190.0f64,
+    ) {
+        let win = WindowSearch::new(spatial_db());
+        let small = win.execute(&[x, y, w, h]).unwrap().results;
+        let large = win.execute(&[x, y, w + 10.0, h + 10.0]).unwrap().results;
+        prop_assert!(large >= small);
+    }
+
+    /// RANGE results are monotone in the radius, and a circle of radius r
+    /// finds no more than the circumscribing window.
+    #[test]
+    fn range_monotone_and_bounded_by_window(
+        x in 0.0..1000.0f64,
+        y in 0.0..1000.0f64,
+        r in 0.0..90.0f64,
+    ) {
+        let range = RangeSearch::new(spatial_db());
+        let win = WindowSearch::new(spatial_db());
+        let inner = range.execute(&[x, y, r]).unwrap().results;
+        let outer = range.execute(&[x, y, r + 10.0]).unwrap().results;
+        prop_assert!(outer >= inner);
+        // Circumscribing square window (side 2r) contains the circle.
+        let boxed = win.execute(&[x, y, 2.0 * r, 2.0 * r]).unwrap().results;
+        prop_assert!(boxed >= inner, "window {boxed} < circle {inner}");
+    }
+
+    /// The expanding-ring kNN finds exactly the same k distances as brute
+    /// force over the whole map — the ring pruning bound is correct.
+    #[test]
+    fn knn_matches_brute_force(
+        x in 0.0..1000.0f64,
+        y in 0.0..1000.0f64,
+        k in 1usize..30,
+    ) {
+        let db = spatial_db();
+        let nn = KnnSearch::new(Arc::clone(&db));
+        let fast = nn.nearest_distances(x, y, k).unwrap();
+        let slow = brute_force_knn(&db, x, y, k);
+        prop_assert_eq!(fast.len(), slow.len());
+        for (i, (a, b)) in fast.iter().zip(&slow).enumerate() {
+            prop_assert!((a - b).abs() < 1e-9, "rank {}: ring {} vs brute {}", i, a, b);
+        }
+    }
+
+    /// NN returns min(k, objects) results, monotone in k, and CPU cost is
+    /// deterministic per point.
+    #[test]
+    fn knn_cardinality_and_determinism(
+        x in 0.0..1000.0f64,
+        y in 0.0..1000.0f64,
+        k in 1.0..49.0f64,
+    ) {
+        let nn = KnnSearch::new(spatial_db());
+        let a = nn.execute(&[x, y, k]).unwrap();
+        let b = nn.execute(&[x, y, k]).unwrap();
+        prop_assert_eq!(a.cpu, b.cpu, "CPU cost is pure");
+        prop_assert_eq!(a.results, b.results);
+        prop_assert_eq!(a.results, k as u64, "1500 objects always cover k <= 49");
+        let more = nn.execute(&[x, y, k + 1.0]).unwrap();
+        prop_assert!(more.results >= a.results);
+    }
+}

@@ -1,0 +1,97 @@
+//! Tuning `β` for noisy cost observations (paper §4.3 and Experiment 3).
+//!
+//! "We define noise as the magnitude by which the cost fluctuates at the
+//! same data point coordinate." MLQ's `β` parameter trades resolution for
+//! noise absorption: a prediction only trusts a block once it holds at
+//! least `β` points, so larger `β` averages over more observations.
+//!
+//! Part 1 reproduces the paper's synthetic noise model — with probability
+//! `p` an execution reports a random cost instead of the true one — and
+//! sweeps `β`: under noise, `β ≈ 10` (the paper's disk-IO setting) beats
+//! `β = 1` (the paper's CPU setting). Part 2 measures the real WIN UDF's
+//! buffer-cache-noised disk-IO cost for comparison.
+//!
+//! Run with: `cargo run --release --example noise_tuning`
+
+use mlq_core::{InsertionStrategy, MemoryLimitedQuadtree, MlqConfig, Space};
+use mlq_metrics::OnlineNae;
+use mlq_synth::{CostSurface, NoisyUdf, QueryDistribution, SyntheticUdf};
+use mlq_udfs::spatial::{MapConfig, SpatialDatabase, WindowSearch};
+use mlq_udfs::Udf;
+use std::sync::Arc;
+
+const BETAS: [u64; 6] = [1, 2, 5, 10, 20, 50];
+
+fn model(space: &Space, beta: u64) -> MemoryLimitedQuadtree {
+    let config = MlqConfig::builder(space.clone())
+        .memory_budget(4096)
+        .strategy(InsertionStrategy::Eager)
+        .beta(beta)
+        .build()
+        .expect("valid config");
+    MemoryLimitedQuadtree::new(config).expect("valid model")
+}
+
+/// Part 1: the paper's noise-probability model. Error is charged against
+/// the *true* cost; the model only ever sees the noisy observations.
+fn synthetic_noise() -> Result<(), Box<dyn std::error::Error>> {
+    let space = Space::cube(2, 0.0, 1000.0)?;
+    let base = SyntheticUdf::builder(space.clone()).peaks(100).radius_frac(0.15).seed(5).build();
+    let udf = NoisyUdf::new(base, 0.3, 17);
+    let queries = QueryDistribution::Uniform.generate(&space, 6000, 19);
+
+    println!("part 1 — synthetic UDF, noise probability 0.3, NAE vs true cost\n");
+    println!("{:>6}  {:>10}", "beta", "NAE");
+    for beta in BETAS {
+        let mut m = model(&space, beta);
+        let mut nae = OnlineNae::new();
+        for q in &queries {
+            let predicted = m.predict(q)?.unwrap_or(0.0);
+            nae.record(predicted, udf.true_cost(q));
+            m.insert(q, udf.cost(q))?; // feedback is the noisy observation
+        }
+        println!("{:>6}  {:>10.3}", beta, nae.value().unwrap_or(f64::NAN));
+    }
+    println!();
+    Ok(())
+}
+
+/// Part 2: the real WIN UDF's disk-IO cost, noisy because of the LRU
+/// buffer cache.
+fn real_io_noise() -> Result<(), Box<dyn std::error::Error>> {
+    let db = Arc::new(SpatialDatabase::generate(MapConfig {
+        objects: 4000,
+        clusters: 6,
+        pool_pages: 8, // small cache => real misses => noisy IO cost
+        seed: 11,
+        ..MapConfig::default()
+    })?);
+    let win = WindowSearch::new(db);
+    let queries = QueryDistribution::Uniform.generate(win.space(), 4000, 13);
+
+    println!("part 2 — real WIN UDF disk-IO cost (buffer-cache noise), NAE vs observed cost\n");
+    println!("{:>6}  {:>10}", "beta", "NAE");
+    for beta in BETAS {
+        win.reset_io_state();
+        let mut m = model(win.space(), beta);
+        let mut nae = OnlineNae::new();
+        for q in &queries {
+            let predicted = m.predict(q)?.unwrap_or(0.0);
+            let actual = win.execute(q)?.io;
+            nae.record(predicted, actual);
+            m.insert(q, actual)?;
+        }
+        println!("{:>6}  {:>10.3}", beta, nae.value().unwrap_or(f64::NAN));
+    }
+    println!(
+        "\nthe paper uses beta = 1 for (deterministic) CPU costs and beta = 10 \
+         for disk-IO costs — larger beta absorbs noise by averaging over more \
+         observations, at the price of coarser resolution."
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    synthetic_noise()?;
+    real_io_noise()
+}

@@ -1,0 +1,60 @@
+//! Quickstart: the self-tuning feedback loop in a dozen lines.
+//!
+//! A memory-limited quadtree models the execution cost of a (synthetic)
+//! UDF over a 2-D model space: predict before each execution, feed the
+//! actual cost back after, and watch the error fall while memory stays
+//! inside the 1.8 KB budget the paper allots.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mlq_core::{InsertionStrategy, MemoryLimitedQuadtree, MlqConfig, Space};
+use mlq_metrics::OnlineNae;
+use mlq_synth::{CostSurface, QueryDistribution, SyntheticUdf};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The model space: two ordinal arguments, each in [0, 1000].
+    let space = Space::cube(2, 0.0, 1000.0)?;
+
+    // A UDF whose cost surface we pretend not to know.
+    let udf = SyntheticUdf::builder(space.clone()).peaks(30).seed(7).build();
+
+    // An MLQ cost model at the paper's defaults: 1.8 KB budget, lazy
+    // insertion with alpha = 0.05, beta = 1, gamma = 0.1 %, lambda = 6.
+    let config = MlqConfig::builder(space.clone())
+        .memory_budget(1800)
+        .strategy(InsertionStrategy::Lazy { alpha: 0.05 })
+        .build()?;
+    let mut model = MemoryLimitedQuadtree::new(config)?;
+
+    // The feedback loop of the paper's Fig. 1, 3000 queries long.
+    let queries = QueryDistribution::Uniform.generate(&space, 3000, 42);
+    let mut window = OnlineNae::new();
+    for (i, q) in queries.iter().enumerate() {
+        let predicted = model.predict(q)?.unwrap_or(0.0); // optimizer asks
+        let actual = udf.cost(q); //                         engine executes
+        model.insert(q, actual)?; //                         model learns
+        window.record(predicted, actual);
+        if (i + 1) % 500 == 0 {
+            println!(
+                "after {:>4} queries: windowed NAE = {:.3}   ({} nodes, {} / {} bytes, {} compressions)",
+                i + 1,
+                window.value().unwrap_or(f64::NAN),
+                model.node_count(),
+                model.bytes_used(),
+                model.memory_budget(),
+                model.counters().compressions,
+            );
+            window = OnlineNae::new();
+        }
+    }
+
+    let c = model.counters();
+    println!(
+        "\naverage prediction cost (APC): {:?}\naverage update cost (AUC):     {:?}",
+        c.apc().expect("predictions happened"),
+        c.auc().expect("updates happened"),
+    );
+    assert!(model.bytes_used() <= model.memory_budget());
+    println!("model stayed within its {} byte budget the whole time", model.memory_budget());
+    Ok(())
+}

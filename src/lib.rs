@@ -1,0 +1,28 @@
+//! # mlq — facade crate
+//!
+//! Re-exports the public APIs of the MLQ workspace so applications can
+//! depend on a single crate. See the individual crates for details:
+//! [`mlq_core`] (re-exported as `core`), [`mlq_baselines`], [`mlq_synth`],
+//! [`mlq_storage`], [`mlq_udfs`], [`mlq_metrics`], [`mlq_optimizer`], and
+//! [`mlq_experiments`].
+
+//! ```
+//! use mlq::core::{MemoryLimitedQuadtree, MlqConfig, Space};
+//!
+//! let config = MlqConfig::builder(Space::cube(2, 0.0, 1000.0)?)
+//!     .memory_budget(1800)
+//!     .build()?;
+//! let mut model = MemoryLimitedQuadtree::new(config)?;
+//! model.insert(&[10.0, 20.0], 42.0)?;
+//! assert_eq!(model.predict(&[10.0, 20.0])?, Some(42.0));
+//! # Ok::<(), mlq::core::MlqError>(())
+//! ```
+
+pub use mlq_baselines as baselines;
+pub use mlq_core as core;
+pub use mlq_experiments as experiments;
+pub use mlq_metrics as metrics;
+pub use mlq_optimizer as optimizer;
+pub use mlq_storage as storage;
+pub use mlq_synth as synth;
+pub use mlq_udfs as udfs;

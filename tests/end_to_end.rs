@@ -1,0 +1,117 @@
+//! Cross-crate smoke tests: the full stack from paged storage up through
+//! UDF execution, cost models, and the experiment runners.
+
+use mlq_experiments::suite::real_udf_suite;
+use mlq_experiments::{build_model, Method};
+use mlq_metrics::OnlineNae;
+use mlq_synth::QueryDistribution;
+use mlq_udfs::CostKind;
+
+/// Every real UDF's CPU cost can be learned online by every self-tuning
+/// method to below the predict-zero floor.
+#[test]
+fn all_udfs_learnable_by_all_self_tuning_methods() {
+    let udfs = real_udf_suite(0.05, 42).unwrap();
+    for udf in &udfs {
+        let queries = QueryDistribution::Uniform.generate(udf.space(), 250, 7);
+        for method in [Method::MlqE, Method::MlqL] {
+            let mut model = build_model(method, udf.space(), 4096, 1).unwrap();
+            let mut nae = OnlineNae::new();
+            for q in &queries {
+                let predicted = model.predict(q).unwrap().unwrap_or(0.0);
+                let actual = udf.execute(q).unwrap().get(CostKind::Cpu);
+                nae.record(predicted, actual);
+                model.observe(q, actual).unwrap();
+            }
+            let v = nae.value().expect("CPU costs are positive");
+            // A learning model must beat the predict-zero floor; on skewed
+            // surfaces (e.g. WIN) a flat mean predictor cannot, which is
+            // why GLOBAL-AVG is only a sanity floor, not a contender.
+            assert!(
+                v < 1.0,
+                "{} with {}: NAE {v} not below predict-zero floor",
+                udf.name(),
+                method.label()
+            );
+        }
+    }
+}
+
+/// MLQ beats the degenerate global-average model wherever the cost
+/// surface has structure (here: SIMPLE, whose cost spans two orders of
+/// magnitude across term ranks).
+#[test]
+fn mlq_beats_global_average_on_structured_surfaces() {
+    let udfs = real_udf_suite(0.05, 43).unwrap();
+    let simple = &udfs[0];
+    assert_eq!(simple.name(), "SIMPLE");
+    let queries = QueryDistribution::Uniform.generate(simple.space(), 600, 9);
+
+    let run = |method: Method| -> f64 {
+        let mut model = build_model(method, simple.space(), 8192, 1).unwrap();
+        let mut nae = OnlineNae::new();
+        for q in &queries {
+            let predicted = model.predict(q).unwrap().unwrap_or(0.0);
+            let actual = simple.execute(q).unwrap().get(CostKind::Cpu);
+            nae.record(predicted, actual);
+            model.observe(q, actual).unwrap();
+        }
+        nae.value().unwrap()
+    };
+    let mlq = run(Method::MlqE);
+    let global = run(Method::GlobalAvg);
+    assert!(mlq < global, "MLQ {mlq} must beat global average {global}");
+}
+
+/// The figure runners execute end to end at quick scale and produce fully
+/// populated tables (regression net over the whole experiment surface).
+#[test]
+fn all_figure_runners_complete() {
+    use mlq_experiments::{fig10, fig11, fig12, fig8, fig9, optimizer_exp};
+
+    let t8 = fig8::run(&fig8::Fig8Config::quick()).unwrap();
+    assert_eq!(t8.len(), 3);
+
+    let t9 = fig9::run(&fig9::Fig9Config::quick()).unwrap();
+    assert_eq!(t9.rows.len(), 12);
+
+    let t10a = fig10::run_real(&fig10::Fig10Config::quick()).unwrap();
+    let t10b = fig10::run_synthetic(&fig10::Fig10Config::quick()).unwrap();
+    assert_eq!(t10a.rows.len(), 4);
+    assert_eq!(t10b.rows.len(), 4);
+
+    let t11a = fig11::run_real(&fig11::Fig11Config::quick()).unwrap();
+    let t11b = fig11::run_synthetic(&fig11::Fig11Config::quick()).unwrap();
+    assert_eq!(t11a.rows.len(), 6);
+    assert_eq!(t11b.rows.len(), 2);
+
+    let t12 = fig12::run_synthetic(&fig12::Fig12Config::quick()).unwrap();
+    assert!(!t12.rows.is_empty());
+
+    let topt = optimizer_exp::run(&optimizer_exp::OptimizerExpConfig::quick());
+    assert_eq!(topt.rows.len(), 5);
+}
+
+/// Memory fairness across the method zoo: at the paper budget, no method
+/// reports more memory than the budget.
+#[test]
+fn methods_respect_the_byte_budget() {
+    let udfs = real_udf_suite(0.05, 44).unwrap();
+    let win = udfs.iter().find(|u| u.name() == "WIN").unwrap();
+    let queries = QueryDistribution::Uniform.generate(win.space(), 400, 3);
+    for method in [Method::MlqE, Method::MlqL, Method::ShH, Method::ShW] {
+        let mut model = build_model(method, win.space(), 1800, 1).unwrap();
+        for q in &queries {
+            let actual = win.execute(q).unwrap().get(CostKind::Cpu);
+            model.observe(q, actual).unwrap();
+        }
+        // MLQ at d=4 gets the documented min-budget floor; everything
+        // stays within a small constant of the nominal budget.
+        assert!(
+            model.memory_used() <= 1800,
+            "{}: {} bytes",
+            method.label(),
+            model.memory_used()
+        );
+    }
+}

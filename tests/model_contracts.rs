@@ -1,0 +1,119 @@
+//! Property-based contracts every cost model must honour, checked across
+//! the whole model zoo through the shared `CostModel` interface.
+
+use mlq_core::Space;
+use mlq_experiments::{build_model, Method};
+use proptest::prelude::*;
+
+const ALL_METHODS: [Method; 5] =
+    [Method::MlqE, Method::MlqL, Method::ShH, Method::ShW, Method::GlobalAvg];
+
+fn arb_points(n: usize) -> impl Strategy<Value = Vec<(Vec<f64>, f64)>> {
+    prop::collection::vec(
+        (prop::collection::vec(0.0..1000.0f64, 2), 0.0..1e4f64),
+        1..n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Contract 1: malformed points are rejected by every model, never
+    /// silently absorbed.
+    #[test]
+    fn models_reject_malformed_points(value in 0.0..1e4f64) {
+        let space = Space::cube(2, 0.0, 1000.0).unwrap();
+        for method in ALL_METHODS {
+            let mut model = build_model(method, &space, 4096, 1).unwrap();
+            prop_assert!(model.predict(&[1.0]).is_err(), "{}", method.label());
+            prop_assert!(model.predict(&[f64::NAN, 1.0]).is_err(), "{}", method.label());
+            prop_assert!(model.observe(&[1.0], value).is_err(), "{}", method.label());
+            prop_assert!(
+                model.observe(&[1.0, 1.0, 1.0], value).is_err(),
+                "{}",
+                method.label()
+            );
+        }
+    }
+
+    /// Contract 2: after any observation stream, self-tuning models
+    /// predict inside the observed value range (block averages cannot
+    /// extrapolate), and memory stays within the configured budget.
+    #[test]
+    fn self_tuning_predictions_bounded_and_within_budget(
+        data in arb_points(150),
+        query in prop::collection::vec(0.0..1000.0f64, 2),
+    ) {
+        let space = Space::cube(2, 0.0, 1000.0).unwrap();
+        let budget = 2048usize;
+        let lo = data.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
+        let hi = data.iter().map(|(_, v)| *v).fold(f64::NEG_INFINITY, f64::max);
+        for method in [Method::MlqE, Method::MlqL, Method::GlobalAvg] {
+            let mut model = build_model(method, &space, budget, 1).unwrap();
+            for (p, v) in &data {
+                model.observe(p, *v).unwrap();
+            }
+            let predicted = model
+                .predict(&query)
+                .unwrap()
+                .expect("model has observations");
+            prop_assert!(
+                predicted >= lo - 1e-9 && predicted <= hi + 1e-9,
+                "{}: {predicted} outside [{lo}, {hi}]",
+                method.label()
+            );
+            prop_assert!(
+                model.memory_used() <= budget,
+                "{}: {} bytes over budget {budget}",
+                method.label(),
+                model.memory_used()
+            );
+        }
+    }
+
+    /// Contract 3: a model trained on constant data predicts that constant
+    /// everywhere it has information.
+    #[test]
+    fn constant_surfaces_are_learned_exactly(
+        points in prop::collection::vec(prop::collection::vec(0.0..1000.0f64, 2), 1..60),
+        value in 0.1..1e4f64,
+    ) {
+        let space = Space::cube(2, 0.0, 1000.0).unwrap();
+        for method in [Method::MlqE, Method::MlqL, Method::GlobalAvg] {
+            let mut model = build_model(method, &space, 4096, 1).unwrap();
+            for p in &points {
+                model.observe(p, value).unwrap();
+            }
+            for p in &points {
+                let predicted = model.predict(p).unwrap().unwrap();
+                prop_assert!(
+                    (predicted - value).abs() < 1e-9,
+                    "{}: {predicted} != {value}",
+                    method.label()
+                );
+            }
+        }
+    }
+
+    /// Contract 4: static models honour fit-then-predict with bucket
+    /// averages bounded by the training range.
+    #[test]
+    fn static_models_bounded_by_training_range(
+        data in arb_points(150),
+        query in prop::collection::vec(0.0..1000.0f64, 2),
+    ) {
+        let space = Space::cube(2, 0.0, 1000.0).unwrap();
+        let lo = data.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
+        let hi = data.iter().map(|(_, v)| *v).fold(f64::NEG_INFINITY, f64::max);
+        for method in [Method::ShH, Method::ShW] {
+            let mut model = build_model(method, &space, 2048, 1).unwrap();
+            model.fit(&data).unwrap();
+            let predicted = model.predict(&query).unwrap().expect("trained model");
+            prop_assert!(
+                predicted >= lo - 1e-9 && predicted <= hi + 1e-9,
+                "{}: {predicted} outside [{lo}, {hi}]",
+                method.label()
+            );
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! The paper's worked examples (Figures 2, 5, and 7), encoded end to end
+//! against the public API.
+
+use mlq_core::{
+    ssenc, InsertionStrategy, MemoryLimitedQuadtree, MlqConfig, Space, Summary,
+};
+
+/// Fig. 2: the quadtree fully partitions the space into `2^d` blocks per
+/// level; in 2-D each node has up to four children, and a node with all
+/// four is "full".
+#[test]
+fn figure2_node_fanout_and_fullness() {
+    let space = Space::cube(2, 0.0, 1000.0).unwrap();
+    assert_eq!(space.fanout(), 4);
+    let config = MlqConfig::builder(space).memory_budget(1 << 16).lambda(1).build().unwrap();
+    let mut tree = MemoryLimitedQuadtree::new(config).unwrap();
+    // One point per quadrant makes the root a full node.
+    for (x, y) in [(1.0, 1.0), (999.0, 1.0), (1.0, 999.0), (999.0, 999.0)] {
+        tree.insert(&[x, y], 1.0).unwrap();
+    }
+    assert_eq!(tree.node_count(), 5);
+    let root = tree
+        .nodes()
+        .into_iter()
+        .find(|n| n.depth == 0)
+        .expect("root exists");
+    assert_eq!(root.n_children, 4, "root is a full node");
+    // TSSENC sums SSENC over non-full blocks only; the (full) root is
+    // excluded and every leaf holds one point, so TSSENC = 0.
+    assert_eq!(tree.tssenc(), 0.0);
+}
+
+/// Fig. 5, first insertion: P1 with value 5 lands in a fresh block B13;
+/// its summary becomes (sum 5, count 1, sum-of-squares 25, SSE 0), and
+/// with `th_SSE = 8` the block is not partitioned further.
+#[test]
+fn figure5_insert_p1_into_b13() {
+    let b13 = Summary::from_values(&[5.0]);
+    assert_eq!((b13.sum, b13.count, b13.sum_sq), (5.0, 1, 25.0));
+    assert_eq!(b13.sse(), 0.0);
+    assert!(b13.sse() < 8.0, "B13 stays a leaf under th_SSE = 8");
+}
+
+/// Fig. 5, second insertion: B14's updated SSE of 67 exceeds th_SSE = 8,
+/// so B14 is partitioned. We reconstruct a value set with that exact SSE:
+/// {1, 4, 12.2195...} has mean 5.7398 and SSE 67.
+#[test]
+fn figure5_insert_p2_partitions_b14() {
+    // Find v such that SSE({1, 4, v}) = 67 (the updated B14 of the figure).
+    // SSE = ss - s^2/c with s = 5 + v, ss = 17 + v^2, c = 3.
+    // => 17 + v^2 - (5 + v)^2 / 3 = 67  =>  2v^2 - 10v - 175 = 0.
+    let v = (10.0 + (100.0f64 + 8.0 * 175.0).sqrt()) / 4.0;
+    let mut b14 = Summary::from_values(&[1.0, 4.0]);
+    assert!(b14.sse() < 8.0, "B14 is a leaf before P2 arrives");
+    b14.add(v);
+    assert!((b14.sse() - 67.0).abs() < 1e-9, "updated SSE is 67");
+    assert!(b14.sse() > 8.0, "so B14 must be partitioned");
+}
+
+/// The same dynamics through the real tree: a lazy tree whose threshold
+/// is in force partitions a block exactly when its SSE crosses th_SSE.
+#[test]
+fn figure5_lazy_partitioning_through_the_tree() {
+    let space = Space::cube(2, 0.0, 1000.0).unwrap();
+    // alpha chosen so th_SSE is large; identical values never split,
+    // divergent values do.
+    let config = MlqConfig::builder(space)
+        .memory_budget(1 << 16)
+        .strategy(InsertionStrategy::Lazy { alpha: 0.5 })
+        .build()
+        .unwrap();
+    let mut tree = MemoryLimitedQuadtree::new(config).unwrap();
+    // Force one compression so the lazy threshold activates (Fig. 4
+    // caption: Eq. 7 applies "after the first compression").
+    for i in 0..2000 {
+        let x = f64::from(i % 64) * 15.0;
+        let y = f64::from(i / 64) * 15.0;
+        tree.insert(&[x, y], f64::from(i % 23)).unwrap();
+        if tree.has_compressed() {
+            break;
+        }
+    }
+    assert!(tree.has_compressed());
+    assert!(tree.current_threshold() > 0.0);
+
+    // A same-valued stream into one corner must not deepen the tree
+    // (its SSE contribution is zero, below any positive threshold).
+    let depth_before = tree.max_depth();
+    let n_before = tree.node_count();
+    for _ in 0..50 {
+        tree.insert(&[2.0, 2.0], 11.0).unwrap();
+    }
+    assert_eq!(tree.max_depth(), depth_before);
+    assert!(tree.node_count() <= n_before, "no new nodes for zero-SSE data");
+}
+
+/// Fig. 7: under block B14 (holding values 4 and 6, average 5), the two
+/// leaves B141 = {4} and B144 = {6} both have SSEG = 1 — the tie the
+/// paper breaks arbitrarily — and removing both raises TSSENC by exactly
+/// their summed SSEG of 2.
+#[test]
+fn figure7_sseg_tie_and_tssenc_increase() {
+    let b141 = Summary::from_values(&[4.0]);
+    let b144 = Summary::from_values(&[6.0]);
+    let mut b14 = b141;
+    b14.merge(&b144);
+    assert_eq!(b14.avg(), 5.0);
+    assert_eq!(b141.sseg(b14.avg()), 1.0);
+    assert_eq!(b144.sseg(b14.avg()), 1.0);
+
+    // TSSENC contribution of the B14 subtree before removal: children
+    // cover everything, so SSENC(B14) = 0 and the leaves are pure.
+    let before = ssenc(&b14, &[b141, b144]) + ssenc(&b141, &[]) + ssenc(&b144, &[]);
+    assert_eq!(before, 0.0);
+    // After removing both leaves, B14's own SSE becomes uncovered error.
+    let after = ssenc(&b14, &[]);
+    assert_eq!(after - before, 2.0, "TSSENC increases by exactly 2");
+}
+
+/// Fig. 7 through the real tree: compression under equal SSEG evicts
+/// leaves before subtrees whose removal costs more.
+#[test]
+fn figure7_compression_prefers_low_sseg_leaves() {
+    let space = Space::cube(2, 0.0, 1000.0).unwrap();
+    let config = MlqConfig::builder(space)
+        .memory_budget(1 << 16)
+        .lambda(2)
+        .gamma(0.000_001)
+        .build()
+        .unwrap();
+    let mut tree = MemoryLimitedQuadtree::new(config).unwrap();
+    // Quadrant (0,0): two sub-blocks with values 4 and 6 (SSEG 1 each).
+    tree.insert(&[100.0, 100.0], 4.0).unwrap();
+    tree.insert(&[400.0, 400.0], 6.0).unwrap();
+    // Quadrant (1,1): a leaf whose value diverges hard from the root
+    // average (root avg of {4, 6, 100} = 36.67; SSEG >> 1).
+    tree.insert(&[900.0, 900.0], 100.0).unwrap();
+
+    let report = tree.compress();
+    assert!(report.nodes_freed >= 1);
+    // The divergent block survives: predicting at it stays exact.
+    assert_eq!(tree.predict(&[900.0, 900.0]).unwrap(), Some(100.0));
+    tree.check_invariants().unwrap();
+}
