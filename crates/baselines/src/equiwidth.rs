@@ -137,7 +137,7 @@ mod tests {
         let mut h = EquiWidthHistogram::with_intervals(space(), 2);
         h.fit(&[
             (vec![10.0, 10.0], 4.0),
-            (vec![20.0, 20.0], 6.0),  // same bucket (lower-left)
+            (vec![20.0, 20.0], 6.0),   // same bucket (lower-left)
             (vec![90.0, 90.0], 100.0), // upper-right bucket
         ])
         .unwrap();
@@ -167,8 +167,8 @@ mod tests {
 
     #[test]
     fn budget_sized_histogram_reports_memory_within_budget() {
-        let h = EquiWidthHistogram::with_budget(Space::cube(4, 0.0, 1000.0).unwrap(), 1800)
-            .unwrap();
+        let h =
+            EquiWidthHistogram::with_budget(Space::cube(4, 0.0, 1000.0).unwrap(), 1800).unwrap();
         assert_eq!(h.intervals(), 3);
         assert!(h.memory_used() <= 1800);
         assert_eq!(h.name(), "SH-W");

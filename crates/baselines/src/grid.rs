@@ -32,7 +32,10 @@ pub fn max_intervals_for_budget(
         bucket_bytes.checked_add(boundary_bytes)
     };
     if bytes_for(1).is_none_or(|b| b > budget) {
-        return Err(MlqError::BudgetTooSmall { budget, required: bytes_for(1).unwrap_or(usize::MAX) });
+        return Err(MlqError::BudgetTooSmall {
+            budget,
+            required: bytes_for(1).unwrap_or(usize::MAX),
+        });
     }
     let mut n = 1usize;
     while bytes_for(n + 1).is_some_and(|b| b <= budget) {

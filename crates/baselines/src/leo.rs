@@ -169,11 +169,8 @@ mod tests {
     #[test]
     fn works_over_a_static_histogram() {
         // The real LEO configuration: a trained-but-stale SH-H base.
-        let mut leo = LeoCorrected::new(
-            EquiHeightHistogram::with_intervals(space(), 4),
-            space(),
-            4,
-        );
+        let mut leo =
+            LeoCorrected::new(EquiHeightHistogram::with_intervals(space(), 4), space(), 4);
         // Trained when costs were low...
         leo.fit(&[(vec![10.0], 10.0), (vec![90.0], 10.0)]).unwrap();
         assert_eq!(leo.predict(&[10.0]).unwrap(), Some(10.0));
@@ -189,11 +186,8 @@ mod tests {
 
     #[test]
     fn refit_clears_stale_adjustments() {
-        let mut leo = LeoCorrected::new(
-            EquiHeightHistogram::with_intervals(space(), 4),
-            space(),
-            4,
-        );
+        let mut leo =
+            LeoCorrected::new(EquiHeightHistogram::with_intervals(space(), 4), space(), 4);
         leo.fit(&[(vec![10.0], 10.0)]).unwrap();
         for _ in 0..5 {
             leo.observe(&[10.0], 40.0).unwrap();

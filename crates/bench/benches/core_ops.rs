@@ -29,10 +29,9 @@ fn bench_predict(c: &mut Criterion) {
 fn bench_insert(c: &mut Criterion) {
     let mut group = c.benchmark_group("mlq_insert");
     let (points, actuals) = standard_workload(2000, 12);
-    for (label, strategy) in [
-        ("eager", InsertionStrategy::Eager),
-        ("lazy", InsertionStrategy::Lazy { alpha: 0.05 }),
-    ] {
+    for (label, strategy) in
+        [("eager", InsertionStrategy::Eager), ("lazy", InsertionStrategy::Lazy { alpha: 0.05 })]
+    {
         group.bench_function(label, |b| {
             b.iter_batched(
                 || standard_model(1800, strategy),

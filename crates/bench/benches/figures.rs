@@ -10,9 +10,7 @@ fn bench_fig8(c: &mut Criterion) {
     let config = fig8::Fig8Config::quick();
     let mut group = c.benchmark_group("figures");
     group.sample_size(10);
-    group.bench_function("fig8", |b| {
-        b.iter(|| black_box(fig8::run(black_box(&config)).unwrap()))
-    });
+    group.bench_function("fig8", |b| b.iter(|| black_box(fig8::run(black_box(&config)).unwrap())));
     group.finish();
 }
 
@@ -20,9 +18,7 @@ fn bench_fig9(c: &mut Criterion) {
     let config = fig9::Fig9Config::quick();
     let mut group = c.benchmark_group("figures");
     group.sample_size(10);
-    group.bench_function("fig9", |b| {
-        b.iter(|| black_box(fig9::run(black_box(&config)).unwrap()))
-    });
+    group.bench_function("fig9", |b| b.iter(|| black_box(fig9::run(black_box(&config)).unwrap())));
     group.finish();
 }
 

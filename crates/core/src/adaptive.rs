@@ -36,14 +36,15 @@ impl AutoRangeModel {
     ///
     /// # Errors
     ///
-    /// Propagates configuration validation failures.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `reservoir_capacity == 0` (a rebuild would lose
-    /// everything).
+    /// Propagates configuration validation failures;
+    /// [`MlqError::InvalidConfig`] when `reservoir_capacity == 0` (a
+    /// range rebuild would lose everything).
     pub fn new(config: MlqConfig, reservoir_capacity: usize) -> Result<Self, MlqError> {
-        assert!(reservoir_capacity > 0, "reservoir must hold at least one observation");
+        if reservoir_capacity == 0 {
+            return Err(MlqError::InvalidConfig {
+                reason: "reservoir must hold at least one observation".into(),
+            });
+        }
         let tree = MemoryLimitedQuadtree::new(config.clone())?;
         Ok(AutoRangeModel {
             tree,
@@ -230,7 +231,7 @@ mod tests {
             m.observe(&[f64::from(i) / 20.0], 100.0).unwrap();
         }
         m.observe(&[10.0], 7.0).unwrap(); // triggers rebuild
-        // Count = 5 replayed + 1 new; older knowledge was forgotten.
+                                          // Count = 5 replayed + 1 new; older knowledge was forgotten.
         assert_eq!(m.tree().root_summary().count, 6);
     }
 

@@ -115,8 +115,7 @@ mod tests {
         for p in &points {
             // Every inserted point lies in exactly one block per depth it
             // reached, and at least the root plus one leaf.
-            let covering: Vec<&BlockView> =
-                blocks.iter().filter(|b| b.contains(p)).collect();
+            let covering: Vec<&BlockView> = blocks.iter().filter(|b| b.contains(p)).collect();
             assert!(covering.len() >= 2, "point {p:?} covered by {}", covering.len());
             // Depths along a path are distinct.
             let mut depths: Vec<u8> = covering.iter().map(|b| b.depth).collect();
@@ -142,12 +141,8 @@ mod tests {
         for i in 0..40u32 {
             m.insert(&[f64::from(i * 23 % 1000), f64::from(i * 7 % 1000)], 1.0).unwrap();
         }
-        let total_from_blocks: u64 = m
-            .blocks()
-            .iter()
-            .filter(|b| b.depth == 0)
-            .map(|b| b.summary.count)
-            .sum();
+        let total_from_blocks: u64 =
+            m.blocks().iter().filter(|b| b.depth == 0).map(|b| b.summary.count).sum();
         assert_eq!(total_from_blocks, 40);
     }
 }

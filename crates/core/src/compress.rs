@@ -228,11 +228,8 @@ mod tests {
                 m.insert(&[x, y], 5.0).unwrap(); // all equal -> all SSEG ties
             }
             m.compress();
-            let mut views: Vec<_> = m
-                .nodes()
-                .iter()
-                .map(|v| (v.depth, v.slot_in_parent, v.summary.count))
-                .collect();
+            let mut views: Vec<_> =
+                m.nodes().iter().map(|v| (v.depth, v.slot_in_parent, v.summary.count)).collect();
             views.sort_unstable();
             views
         };

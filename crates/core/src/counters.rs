@@ -31,8 +31,7 @@ impl ModelCounters {
     /// Average prediction cost, paper Eq. 1. `None` before any prediction.
     #[must_use]
     pub fn apc(&self) -> Option<Duration> {
-        (self.predictions > 0)
-            .then(|| Duration::from_nanos(self.predict_nanos / self.predictions))
+        (self.predictions > 0).then(|| Duration::from_nanos(self.predict_nanos / self.predictions))
     }
 
     /// Average model update cost, paper Eq. 2: total insertion plus
@@ -54,8 +53,7 @@ impl ModelCounters {
     /// Compression component of AUC (the paper's "CC" bar in Fig. 10).
     #[must_use]
     pub fn compression_cost(&self) -> Option<Duration> {
-        (self.predictions > 0)
-            .then(|| Duration::from_nanos(self.compress_nanos / self.predictions))
+        (self.predictions > 0).then(|| Duration::from_nanos(self.compress_nanos / self.predictions))
     }
 
     /// Adds another counter set into this one (used when sharding work).

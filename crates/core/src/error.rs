@@ -4,6 +4,7 @@ use std::fmt;
 
 /// Errors returned by model construction, insertion, and prediction.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum MlqError {
     /// The number of coordinates in a point does not match the model space.
     DimensionMismatch {
@@ -34,6 +35,28 @@ pub enum MlqError {
         /// Minimum bytes required (root node plus one expansion).
         required: usize,
     },
+    /// A feedback point was rejected by a [`GuardedModel`]'s outlier
+    /// quarantine rather than applied to the inner model.
+    ///
+    /// [`GuardedModel`]: crate::GuardedModel
+    FeedbackQuarantined {
+        /// The observed cost that tripped the quarantine.
+        cost: f64,
+        /// The robust-window bound it violated.
+        threshold: f64,
+    },
+    /// A persisted snapshot failed validation (bad magic, checksum
+    /// mismatch, truncation, or structural invariant violations).
+    SnapshotCorrupt {
+        /// Explanation of what check failed.
+        reason: String,
+    },
+    /// An underlying I/O operation failed (storage fault or filesystem
+    /// error).
+    IoFault {
+        /// Explanation of the failed operation.
+        reason: String,
+    },
 }
 
 impl fmt::Display for MlqError {
@@ -47,10 +70,14 @@ impl fmt::Display for MlqError {
             }
             MlqError::InvalidSpace { reason } => write!(f, "invalid model space: {reason}"),
             MlqError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
-            MlqError::BudgetTooSmall { budget, required } => write!(
-                f,
-                "memory budget of {budget} bytes is below the {required}-byte minimum"
-            ),
+            MlqError::BudgetTooSmall { budget, required } => {
+                write!(f, "memory budget of {budget} bytes is below the {required}-byte minimum")
+            }
+            MlqError::FeedbackQuarantined { cost, threshold } => {
+                write!(f, "feedback cost {cost} quarantined (robust bound {threshold})")
+            }
+            MlqError::SnapshotCorrupt { reason } => write!(f, "snapshot corrupt: {reason}"),
+            MlqError::IoFault { reason } => write!(f, "i/o fault: {reason}"),
         }
     }
 }

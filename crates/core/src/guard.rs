@@ -1,0 +1,718 @@
+//! Feedback guarding: validation, outlier quarantine, and a circuit
+//! breaker around any [`CostModel`].
+//!
+//! The feedback loop of a self-tuning cost model runs inside a query
+//! optimizer, where a malformed observation must never take the optimizer
+//! down and a corrupted model must never silently poison plan choices.
+//! [`GuardedModel`] hardens any inner [`CostModel`] in three layers:
+//!
+//! 1. **Point validation** — feedback points are checked against the
+//!    model [`Space`]; out-of-range coordinates are clamped onto the
+//!    boundary or rejected, per [`PointPolicy`]. Non-finite coordinates
+//!    and costs are always rejected.
+//! 2. **Outlier quarantine** — observed costs are screened against a
+//!    sliding window of recently accepted costs using the median/MAD
+//!    robust statistic. A cost deviating from the window median by more
+//!    than `mad_k` scaled MADs is quarantined: counted, reported as
+//!    [`MlqError::FeedbackQuarantined`], and never shown to the inner
+//!    model. (A window of honest costs is immune to a burst of 100×
+//!    outliers — unlike mean/stddev screening, which the outliers
+//!    themselves would inflate.)
+//! 3. **Circuit breaker** — repeated inner-model failures on *valid*
+//!    input, or a failed structural-invariant check, trip the guard
+//!    [`BreakerState::Open`]. While open, predictions degrade to a cheap
+//!    running-average fallback (the global mean of every accepted cost)
+//!    and the inner model is left untouched. After `probe_after` guarded
+//!    operations the breaker goes [`BreakerState::HalfOpen`] and probes
+//!    the inner model again; `probe_successes` consecutive successes
+//!    (plus a passing invariant check) close it.
+//!
+//! The guard's own state — breaker state and per-layer counters — is
+//! observable through [`GuardedModel::state`] and
+//! [`GuardedModel::counters`], so operators can distinguish "healthy",
+//! "degraded but serving", and "rejecting hostile feedback".
+
+use crate::error::MlqError;
+use crate::model::CostModel;
+use crate::space::Space;
+use crate::summary::Summary;
+use crate::tree::MemoryLimitedQuadtree;
+use std::cell::Cell;
+use std::collections::VecDeque;
+
+/// Signature of a structural-invariant check over the inner model.
+type InvariantCheck<M> = fn(&M) -> Result<(), String>;
+
+/// What to do with a feedback point whose coordinates fall outside the
+/// model space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PointPolicy {
+    /// Clamp the offending coordinates onto the space boundary (the
+    /// inner quadtree's own convention for queries).
+    #[default]
+    Clamp,
+    /// Reject the observation with [`MlqError::InvalidSpace`].
+    Reject,
+}
+
+/// Tuning knobs of a [`GuardedModel`]. Start from `GuardConfig::default()`
+/// and override fields as needed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardConfig {
+    /// Policy for out-of-space feedback points.
+    pub point_policy: PointPolicy,
+    /// Sliding-window length for the outlier quarantine.
+    pub window: usize,
+    /// Observations required in the window before quarantine screening
+    /// activates (below this, every finite cost is accepted).
+    pub min_window: usize,
+    /// Quarantine threshold in scaled MADs from the window median.
+    pub mad_k: f64,
+    /// Consecutive inner-model failures that trip the breaker open.
+    pub trip_threshold: u32,
+    /// Guarded operations to wait, while open, before half-opening.
+    pub probe_after: u32,
+    /// Consecutive successful probes required to close again.
+    pub probe_successes: u32,
+    /// Run the invariant check every this many accepted observations
+    /// (0 disables periodic checks; the half-open → closed transition
+    /// still checks).
+    pub check_every: u64,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig {
+            point_policy: PointPolicy::Clamp,
+            window: 64,
+            min_window: 16,
+            mad_k: 8.0,
+            trip_threshold: 3,
+            probe_after: 16,
+            probe_successes: 3,
+            check_every: 64,
+        }
+    }
+}
+
+impl GuardConfig {
+    fn validate(&self) -> Result<(), MlqError> {
+        if self.window == 0 || self.min_window == 0 || self.min_window > self.window {
+            return Err(MlqError::InvalidConfig {
+                reason: format!(
+                    "guard window must satisfy 0 < min_window ({}) <= window ({})",
+                    self.min_window, self.window
+                ),
+            });
+        }
+        if !self.mad_k.is_finite() || self.mad_k <= 0.0 {
+            return Err(MlqError::InvalidConfig {
+                reason: format!("guard mad_k must be finite and positive, got {}", self.mad_k),
+            });
+        }
+        if self.trip_threshold == 0 || self.probe_after == 0 || self.probe_successes == 0 {
+            return Err(MlqError::InvalidConfig {
+                reason: "guard trip_threshold, probe_after, and probe_successes must be nonzero"
+                    .into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Circuit-breaker state of a [`GuardedModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: the inner model serves predictions and feedback.
+    Closed,
+    /// Tripped: the fallback serves; the inner model is quiesced.
+    Open,
+    /// Probing: feedback is offered to the inner model again; predictions
+    /// still come from the fallback until the probe succeeds.
+    HalfOpen,
+}
+
+/// Monotonic counters exposed by [`GuardedModel::counters`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct GuardCounters {
+    /// Costs rejected by the median/MAD quarantine.
+    pub quarantined: u64,
+    /// Feedback points with out-of-space coordinates that were clamped.
+    pub clamped_points: u64,
+    /// Feedback points rejected under [`PointPolicy::Reject`].
+    pub rejected_points: u64,
+    /// Errors returned by the inner model on validated input.
+    pub inner_errors: u64,
+    /// Times the breaker tripped open (including re-trips from half-open).
+    pub trips: u64,
+    /// Probe observations offered to the inner model while half-open.
+    pub probes: u64,
+    /// Predictions answered by the running-average fallback.
+    pub fallback_predictions: u64,
+    /// Invariant-check failures observed.
+    pub invariant_failures: u64,
+}
+
+/// A [`CostModel`] wrapper adding feedback validation, outlier
+/// quarantine, and a circuit breaker with a running-average fallback.
+///
+/// See the [module documentation](self) for the full failure model.
+#[derive(Debug)]
+pub struct GuardedModel<M: CostModel> {
+    inner: M,
+    space: Space,
+    config: GuardConfig,
+    check: Option<InvariantCheck<M>>,
+    state: BreakerState,
+    /// Recently accepted costs, oldest first.
+    window: VecDeque<f64>,
+    /// Running average of every accepted cost (the degraded-mode model).
+    fallback: Summary,
+    consecutive_failures: u32,
+    open_ops: u32,
+    half_open_successes: u32,
+    accepted: u64,
+    counters: GuardCounters,
+    // Prediction runs through `&self`; failures observed there are folded
+    // into the breaker at the next `observe`.
+    pending_predict_failures: Cell<u32>,
+    fallback_predictions: Cell<u64>,
+}
+
+impl<M: CostModel> GuardedModel<M> {
+    /// Wraps `inner`, guarding feedback against `space`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlqError::InvalidConfig`] for nonsensical guard settings.
+    pub fn new(inner: M, space: Space, config: GuardConfig) -> Result<Self, MlqError> {
+        config.validate()?;
+        Ok(GuardedModel {
+            inner,
+            space,
+            config,
+            check: None,
+            state: BreakerState::Closed,
+            window: VecDeque::with_capacity(config.window),
+            fallback: Summary::empty(),
+            consecutive_failures: 0,
+            open_ops: 0,
+            half_open_successes: 0,
+            accepted: 0,
+            counters: GuardCounters::default(),
+            pending_predict_failures: Cell::new(0),
+            fallback_predictions: Cell::new(0),
+        })
+    }
+
+    /// Registers a structural-invariant check, run periodically (per
+    /// [`GuardConfig::check_every`]) and before closing a half-open
+    /// breaker. A failing check trips the breaker like an inner error.
+    #[must_use]
+    pub fn with_invariant_check(mut self, check: fn(&M) -> Result<(), String>) -> Self {
+        self.check = Some(check);
+        self
+    }
+
+    /// Current breaker state.
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Snapshot of the guard's counters.
+    #[must_use]
+    pub fn counters(&self) -> GuardCounters {
+        let mut c = self.counters;
+        c.fallback_predictions += self.fallback_predictions.get();
+        c
+    }
+
+    /// True when predictions are currently served by the inner model.
+    #[must_use]
+    pub fn is_healthy(&self) -> bool {
+        self.state == BreakerState::Closed
+    }
+
+    /// Read access to the wrapped model.
+    #[must_use]
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped model. The guard's breaker state and
+    /// counters are preserved; use this to service the inner model (e.g.
+    /// repair its backing storage) without resetting the guard's memory
+    /// of past failures. Feedback applied directly through this reference
+    /// bypasses validation and quarantine.
+    pub fn inner_mut(&mut self) -> &mut M {
+        &mut self.inner
+    }
+
+    /// Unwraps the guard, returning the inner model.
+    #[must_use]
+    pub fn into_inner(self) -> M {
+        self.inner
+    }
+
+    /// The running-average fallback's current prediction.
+    #[must_use]
+    pub fn fallback_prediction(&self) -> Option<f64> {
+        (self.fallback.count > 0).then(|| self.fallback.avg())
+    }
+
+    /// Validates `point`, clamping or rejecting out-of-space coordinates.
+    /// `enforce_policy` is false on the prediction path: a cost model must
+    /// answer every query the optimizer asks, so queries always clamp.
+    fn sanitize_point(
+        &mut self,
+        point: &[f64],
+        enforce_policy: bool,
+    ) -> Result<Vec<f64>, MlqError> {
+        if point.len() != self.space.dims() {
+            return Err(MlqError::DimensionMismatch {
+                expected: self.space.dims(),
+                got: point.len(),
+            });
+        }
+        let mut sanitized = Vec::with_capacity(point.len());
+        let mut clamped = false;
+        for (i, &x) in point.iter().enumerate() {
+            if !x.is_finite() {
+                return Err(MlqError::NonFiniteValue { context: "point coordinate" });
+            }
+            let (lo, hi) = (self.space.low(i), self.space.high(i));
+            if x < lo || x > hi {
+                if enforce_policy && self.config.point_policy == PointPolicy::Reject {
+                    self.counters.rejected_points += 1;
+                    return Err(MlqError::InvalidSpace {
+                        reason: format!(
+                            "feedback point outside space: dimension {i} is {x}, range [{lo}, {hi}]"
+                        ),
+                    });
+                }
+                clamped = true;
+            }
+            sanitized.push(x.clamp(lo, hi));
+        }
+        if clamped && enforce_policy {
+            self.counters.clamped_points += 1;
+        }
+        Ok(sanitized)
+    }
+
+    /// Median/MAD screen. Returns the violated threshold when `cost` is
+    /// an outlier with respect to the current window.
+    fn quarantine_threshold(&self, cost: f64) -> Option<f64> {
+        if self.window.len() < self.config.min_window {
+            return None;
+        }
+        let mut sorted: Vec<f64> = self.window.iter().copied().collect();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[sorted.len() / 2];
+        let mut deviations: Vec<f64> = sorted.iter().map(|&x| (x - median).abs()).collect();
+        deviations.sort_by(f64::total_cmp);
+        let mad = deviations[deviations.len() / 2];
+        // 1.4826 scales MAD to the stddev of a Gaussian; the relative and
+        // absolute floors keep a near-constant window (MAD ≈ 0) from
+        // quarantining routine jitter.
+        let scale = (1.4826 * mad).max(0.05 * median.abs()).max(1e-9);
+        let distance = (cost - median).abs();
+        (distance > self.config.mad_k * scale).then_some(self.config.mad_k * scale)
+    }
+
+    /// Runs the registered invariant check, counting failures.
+    fn invariants_ok(&mut self) -> bool {
+        match self.check {
+            None => true,
+            Some(f) => match f(&self.inner) {
+                Ok(()) => true,
+                Err(_) => {
+                    self.counters.invariant_failures += 1;
+                    false
+                }
+            },
+        }
+    }
+
+    fn trip(&mut self) {
+        self.state = BreakerState::Open;
+        self.counters.trips += 1;
+        self.consecutive_failures = 0;
+        self.open_ops = 0;
+        self.half_open_successes = 0;
+    }
+
+    /// Folds failures recorded on the `&self` prediction path into the
+    /// breaker accounting.
+    fn absorb_predict_failures(&mut self) {
+        let pending = self.pending_predict_failures.replace(0);
+        if pending > 0 {
+            self.counters.inner_errors += u64::from(pending);
+            self.consecutive_failures += pending;
+            if self.state == BreakerState::Closed
+                && self.consecutive_failures >= self.config.trip_threshold
+            {
+                self.trip();
+            }
+        }
+    }
+}
+
+impl<M: CostModel> CostModel for GuardedModel<M> {
+    fn predict(&self, point: &[f64]) -> Result<Option<f64>, MlqError> {
+        // Queries always clamp: the optimizer deserves an answer even for
+        // an out-of-range probe. Malformed points are still the caller's
+        // error.
+        if point.len() != self.space.dims() {
+            return Err(MlqError::DimensionMismatch {
+                expected: self.space.dims(),
+                got: point.len(),
+            });
+        }
+        let mut sanitized = Vec::with_capacity(point.len());
+        for (i, &x) in point.iter().enumerate() {
+            if !x.is_finite() {
+                return Err(MlqError::NonFiniteValue { context: "point coordinate" });
+            }
+            sanitized.push(x.clamp(self.space.low(i), self.space.high(i)));
+        }
+
+        if self.state == BreakerState::Closed {
+            match self.inner.predict(&sanitized) {
+                Ok(Some(v)) => return Ok(Some(v)),
+                Ok(None) => {
+                    // The inner model has no information here; the running
+                    // average is still a better answer than nothing.
+                }
+                Err(_) => {
+                    self.pending_predict_failures
+                        .set(self.pending_predict_failures.get().saturating_add(1));
+                }
+            }
+        }
+        self.fallback_predictions.set(self.fallback_predictions.get() + 1);
+        Ok(self.fallback_prediction())
+    }
+
+    fn observe(&mut self, point: &[f64], actual: f64) -> Result<(), MlqError> {
+        self.absorb_predict_failures();
+
+        let sanitized = self.sanitize_point(point, true)?;
+        if !actual.is_finite() {
+            return Err(MlqError::NonFiniteValue { context: "cost value" });
+        }
+        if let Some(threshold) = self.quarantine_threshold(actual) {
+            self.counters.quarantined += 1;
+            return Err(MlqError::FeedbackQuarantined { cost: actual, threshold });
+        }
+
+        // Accepted: the fallback learns every cost the guard lets through,
+        // so degradation is instant and warm.
+        if self.window.len() == self.config.window {
+            self.window.pop_front();
+        }
+        self.window.push_back(actual);
+        self.fallback.add(actual);
+        self.accepted += 1;
+
+        match self.state {
+            BreakerState::Closed => {
+                match self.inner.observe(&sanitized, actual) {
+                    Ok(()) => {
+                        self.consecutive_failures = 0;
+                        let every = self.config.check_every;
+                        if every > 0 && self.accepted.is_multiple_of(every) && !self.invariants_ok()
+                        {
+                            self.trip();
+                        }
+                    }
+                    Err(_) => {
+                        self.counters.inner_errors += 1;
+                        self.consecutive_failures += 1;
+                        if self.consecutive_failures >= self.config.trip_threshold {
+                            self.trip();
+                        }
+                    }
+                }
+                Ok(())
+            }
+            BreakerState::Open => {
+                self.open_ops += 1;
+                if self.open_ops >= self.config.probe_after {
+                    self.state = BreakerState::HalfOpen;
+                    self.half_open_successes = 0;
+                }
+                Ok(())
+            }
+            BreakerState::HalfOpen => {
+                self.counters.probes += 1;
+                match self.inner.observe(&sanitized, actual) {
+                    Ok(()) => {
+                        self.half_open_successes += 1;
+                        if self.half_open_successes >= self.config.probe_successes {
+                            if self.invariants_ok() {
+                                self.state = BreakerState::Closed;
+                                self.consecutive_failures = 0;
+                            } else {
+                                self.trip();
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        self.counters.inner_errors += 1;
+                        self.trip();
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn memory_used(&self) -> usize {
+        // The guard charges itself for the quarantine window on top of the
+        // inner model's accounted bytes; counters and breaker state are
+        // constant-size bookkeeping.
+        self.inner.memory_used() + self.window.capacity() * std::mem::size_of::<f64>()
+    }
+
+    fn name(&self) -> String {
+        format!("guarded({})", self.inner.name())
+    }
+}
+
+impl GuardedModel<MemoryLimitedQuadtree> {
+    /// Wraps a quadtree with its structural invariant check pre-wired.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlqError::InvalidConfig`] for nonsensical guard settings.
+    pub fn for_quadtree(
+        inner: MemoryLimitedQuadtree,
+        config: GuardConfig,
+    ) -> Result<Self, MlqError> {
+        let space = inner.config().space.clone();
+        Ok(GuardedModel::new(inner, space, config)?
+            .with_invariant_check(MemoryLimitedQuadtree::check_invariants))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InsertionStrategy, MlqConfig};
+
+    /// A scriptable inner model: fails observe/predict while `broken`.
+    struct FlakyModel {
+        broken: bool,
+        observed: u64,
+    }
+
+    impl CostModel for FlakyModel {
+        fn predict(&self, _point: &[f64]) -> Result<Option<f64>, MlqError> {
+            if self.broken {
+                Err(MlqError::InvalidConfig { reason: "simulated".into() })
+            } else {
+                Ok(Some(42.0))
+            }
+        }
+
+        fn observe(&mut self, _point: &[f64], _actual: f64) -> Result<(), MlqError> {
+            if self.broken {
+                Err(MlqError::InvalidConfig { reason: "simulated".into() })
+            } else {
+                self.observed += 1;
+                Ok(())
+            }
+        }
+
+        fn memory_used(&self) -> usize {
+            0
+        }
+
+        fn name(&self) -> String {
+            "flaky".into()
+        }
+    }
+
+    fn space2() -> Space {
+        Space::cube(2, 0.0, 100.0).unwrap()
+    }
+
+    fn guarded_flaky(config: GuardConfig) -> GuardedModel<FlakyModel> {
+        GuardedModel::new(FlakyModel { broken: false, observed: 0 }, space2(), config).unwrap()
+    }
+
+    #[test]
+    fn config_is_validated() {
+        let m = FlakyModel { broken: false, observed: 0 };
+        let bad = GuardConfig { window: 0, ..GuardConfig::default() };
+        assert!(matches!(GuardedModel::new(m, space2(), bad), Err(MlqError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn rejects_malformed_feedback() {
+        let mut g = guarded_flaky(GuardConfig::default());
+        assert!(matches!(
+            g.observe(&[1.0], 5.0),
+            Err(MlqError::DimensionMismatch { expected: 2, got: 1 })
+        ));
+        assert!(matches!(g.observe(&[1.0, f64::NAN], 5.0), Err(MlqError::NonFiniteValue { .. })));
+        assert!(matches!(
+            g.observe(&[1.0, 2.0], f64::INFINITY),
+            Err(MlqError::NonFiniteValue { .. })
+        ));
+        assert_eq!(g.inner().observed, 0);
+    }
+
+    #[test]
+    fn clamp_policy_clamps_and_counts() {
+        let mut g = guarded_flaky(GuardConfig::default());
+        g.observe(&[150.0, -3.0], 5.0).unwrap();
+        assert_eq!(g.counters().clamped_points, 1);
+        assert_eq!(g.inner().observed, 1);
+    }
+
+    #[test]
+    fn reject_policy_refuses_out_of_space_points() {
+        let config = GuardConfig { point_policy: PointPolicy::Reject, ..GuardConfig::default() };
+        let mut g = guarded_flaky(config);
+        assert!(matches!(g.observe(&[150.0, 3.0], 5.0), Err(MlqError::InvalidSpace { .. })));
+        assert_eq!(g.counters().rejected_points, 1);
+        assert_eq!(g.inner().observed, 0);
+    }
+
+    #[test]
+    fn quarantines_outliers_after_warmup() {
+        let mut g = guarded_flaky(GuardConfig::default());
+        for i in 0..32 {
+            g.observe(&[i as f64, i as f64], 10.0 + (i % 3) as f64).unwrap();
+        }
+        let err = g.observe(&[1.0, 1.0], 1000.0).unwrap_err();
+        assert!(matches!(err, MlqError::FeedbackQuarantined { cost, .. } if cost == 1000.0));
+        assert_eq!(g.counters().quarantined, 1);
+        // The outlier never reached the inner model.
+        assert_eq!(g.inner().observed, 32);
+        // Honest feedback is still accepted afterwards.
+        g.observe(&[1.0, 1.0], 11.0).unwrap();
+        assert_eq!(g.inner().observed, 33);
+    }
+
+    #[test]
+    fn small_windows_accept_everything() {
+        let mut g = guarded_flaky(GuardConfig::default());
+        for v in [1.0, 1e6, 3.0] {
+            g.observe(&[1.0, 1.0], v).unwrap();
+        }
+        assert_eq!(g.counters().quarantined, 0);
+    }
+
+    #[test]
+    fn breaker_trips_and_recovers() {
+        let config = GuardConfig {
+            trip_threshold: 3,
+            probe_after: 4,
+            probe_successes: 2,
+            ..GuardConfig::default()
+        };
+        let mut g = guarded_flaky(config);
+        g.observe(&[1.0, 1.0], 10.0).unwrap();
+        assert_eq!(g.state(), BreakerState::Closed);
+
+        // Break the inner model: three failures trip the breaker.
+        g.inner.broken = true;
+        for _ in 0..3 {
+            g.observe(&[1.0, 1.0], 10.0).unwrap();
+        }
+        assert_eq!(g.state(), BreakerState::Open);
+        assert_eq!(g.counters().trips, 1);
+
+        // While open, the fallback keeps serving predictions.
+        assert_eq!(g.predict(&[1.0, 1.0]).unwrap(), Some(10.0));
+
+        // After probe_after guarded operations the breaker half-opens, and
+        // with the model healed, two probes close it.
+        g.inner.broken = false;
+        for _ in 0..4 {
+            g.observe(&[1.0, 1.0], 10.0).unwrap();
+        }
+        assert_eq!(g.state(), BreakerState::HalfOpen);
+        g.observe(&[1.0, 1.0], 10.0).unwrap();
+        g.observe(&[1.0, 1.0], 10.0).unwrap();
+        assert_eq!(g.state(), BreakerState::Closed);
+        assert!(g.counters().probes >= 2);
+
+        // Healthy again: inner predictions flow through.
+        assert_eq!(g.predict(&[1.0, 1.0]).unwrap(), Some(42.0));
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let config = GuardConfig {
+            trip_threshold: 1,
+            probe_after: 2,
+            probe_successes: 2,
+            ..GuardConfig::default()
+        };
+        let mut g = guarded_flaky(config);
+        g.inner.broken = true;
+        g.observe(&[1.0, 1.0], 10.0).unwrap();
+        assert_eq!(g.state(), BreakerState::Open);
+        g.observe(&[1.0, 1.0], 10.0).unwrap();
+        g.observe(&[1.0, 1.0], 10.0).unwrap();
+        assert_eq!(g.state(), BreakerState::HalfOpen);
+        // Probe fails: straight back to open.
+        g.observe(&[1.0, 1.0], 10.0).unwrap();
+        assert_eq!(g.state(), BreakerState::Open);
+        assert_eq!(g.counters().trips, 2);
+    }
+
+    #[test]
+    fn predict_failures_feed_the_breaker() {
+        let config = GuardConfig { trip_threshold: 2, ..GuardConfig::default() };
+        let mut g = guarded_flaky(config);
+        g.observe(&[1.0, 1.0], 10.0).unwrap();
+        g.inner.broken = true;
+        // Failing predictions are absorbed without panicking or erroring...
+        assert_eq!(g.predict(&[1.0, 1.0]).unwrap(), Some(10.0));
+        assert_eq!(g.predict(&[1.0, 1.0]).unwrap(), Some(10.0));
+        // ...and fold into the breaker at the next observation.
+        g.inner.broken = false;
+        g.observe(&[1.0, 1.0], 10.0).unwrap();
+        assert_eq!(g.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn fallback_prediction_is_running_average() {
+        let mut g = guarded_flaky(GuardConfig::default());
+        assert_eq!(g.predict(&[1.0, 1.0]).unwrap(), Some(42.0)); // inner
+        g.inner.broken = true;
+        assert_eq!(g.fallback_prediction(), None);
+        g.inner.broken = false;
+        for v in [10.0, 20.0, 30.0] {
+            g.observe(&[1.0, 1.0], v).unwrap();
+        }
+        assert_eq!(g.fallback_prediction(), Some(20.0));
+    }
+
+    #[test]
+    fn guarded_quadtree_wires_invariant_check() {
+        let space = space2();
+        let config = MlqConfig::builder(space)
+            .memory_budget(1 << 14)
+            .strategy(InsertionStrategy::Lazy { alpha: 0.05 })
+            .build()
+            .unwrap();
+        let tree = MemoryLimitedQuadtree::new(config).unwrap();
+        let mut g = GuardedModel::for_quadtree(tree, GuardConfig::default()).unwrap();
+        for i in 0..100 {
+            let x = (i % 10) as f64 * 10.0;
+            g.observe(&[x, x], 5.0 + (i % 4) as f64).unwrap();
+        }
+        assert!(g.is_healthy());
+        assert_eq!(g.counters().invariant_failures, 0);
+        assert!(g.predict(&[55.0, 55.0]).unwrap().is_some());
+        assert!(g.name().starts_with("guarded("));
+        assert!(g.memory_used() > g.inner().memory_used());
+    }
+}

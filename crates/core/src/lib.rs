@@ -55,6 +55,7 @@ mod config;
 mod counters;
 mod detail;
 mod error;
+mod guard;
 mod merge;
 mod model;
 mod node;
@@ -74,10 +75,11 @@ pub use config::{InsertionStrategy, MlqConfig, MlqConfigBuilder};
 pub use counters::ModelCounters;
 pub use detail::PredictionDetail;
 pub use error::MlqError;
+pub use guard::{BreakerState, GuardConfig, GuardCounters, GuardedModel, PointPolicy};
 pub use model::{CostModel, TrainableModel};
 pub use node::NodeView;
 pub use nominal::NominalDimension;
-pub use persist::TreeSnapshot;
+pub use persist::{RestoreOutcome, TreeSnapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use space::{GridPoint, Space, GRID_BITS, MAX_DIMS};
 pub use summary::{ssenc, Summary};
 pub use transform::{

@@ -89,17 +89,13 @@ mod tests {
 
     fn shard_a() -> Vec<(Vec<f64>, f64)> {
         (0..150u32)
-            .map(|i| {
-                (vec![f64::from(i * 7 % 1000), f64::from(i * 13 % 1000)], f64::from(i % 11))
-            })
+            .map(|i| (vec![f64::from(i * 7 % 1000), f64::from(i * 13 % 1000)], f64::from(i % 11)))
             .collect()
     }
 
     fn shard_b() -> Vec<(Vec<f64>, f64)> {
         (0..150u32)
-            .map(|i| {
-                (vec![f64::from(i * 17 % 1000), f64::from(i * 29 % 1000)], f64::from(i % 7))
-            })
+            .map(|i| (vec![f64::from(i * 17 % 1000), f64::from(i * 29 % 1000)], f64::from(i % 7)))
             .collect()
     }
 

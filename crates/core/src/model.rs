@@ -36,6 +36,27 @@ pub trait CostModel {
     fn name(&self) -> String;
 }
 
+/// Boxed models are models too, so wrappers like
+/// [`GuardedModel`](crate::GuardedModel) can guard a `Box<dyn CostModel>`
+/// chosen at runtime.
+impl<M: CostModel + ?Sized> CostModel for Box<M> {
+    fn predict(&self, point: &[f64]) -> Result<Option<f64>, MlqError> {
+        (**self).predict(point)
+    }
+
+    fn observe(&mut self, point: &[f64], actual: f64) -> Result<(), MlqError> {
+        (**self).observe(point, actual)
+    }
+
+    fn memory_used(&self) -> usize {
+        (**self).memory_used()
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
 /// A model trained once, a-priori, from a complete data set — the paper's
 /// static histogram baselines.
 pub trait TrainableModel: CostModel {
@@ -91,8 +112,7 @@ mod tests {
             .strategy(InsertionStrategy::Lazy { alpha: 0.05 })
             .build()
             .unwrap();
-        let mut model: Box<dyn CostModel> =
-            Box::new(MemoryLimitedQuadtree::new(config).unwrap());
+        let mut model: Box<dyn CostModel> = Box::new(MemoryLimitedQuadtree::new(config).unwrap());
         assert_eq!(model.name(), "MLQ-L");
         assert_eq!(model.predict(&[1.0, 1.0]).unwrap(), None);
         model.observe(&[1.0, 1.0], 10.0).unwrap();

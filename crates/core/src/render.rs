@@ -73,10 +73,8 @@ mod tests {
 
     #[test]
     fn empty_tree_renders_root_only() {
-        let config = MlqConfig::builder(Space::unit(1).unwrap())
-            .memory_budget(1024)
-            .build()
-            .unwrap();
+        let config =
+            MlqConfig::builder(Space::unit(1).unwrap()).memory_budget(1024).build().unwrap();
         let m = MemoryLimitedQuadtree::new(config).unwrap();
         assert_eq!(m.render_ascii().lines().count(), 2);
     }

@@ -122,12 +122,7 @@ impl Space {
     /// this diagonal.
     #[must_use]
     pub fn diagonal(&self) -> f64 {
-        self.lows
-            .iter()
-            .zip(&self.highs)
-            .map(|(lo, hi)| (hi - lo) * (hi - lo))
-            .sum::<f64>()
-            .sqrt()
+        self.lows.iter().zip(&self.highs).map(|(lo, hi)| (hi - lo) * (hi - lo)).sum::<f64>().sqrt()
     }
 
     /// Quantizes a point onto the dyadic grid.
@@ -237,10 +232,7 @@ mod tests {
             s.grid_point(&[0.5]),
             Err(MlqError::DimensionMismatch { expected: 2, got: 1 })
         ));
-        assert!(matches!(
-            s.grid_point(&[f64::NAN, 0.5]),
-            Err(MlqError::NonFiniteValue { .. })
-        ));
+        assert!(matches!(s.grid_point(&[f64::NAN, 0.5]), Err(MlqError::NonFiniteValue { .. })));
     }
 
     #[test]

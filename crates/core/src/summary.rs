@@ -189,10 +189,7 @@ mod tests {
         let child = Summary::from_values(&[1.0, 2.0]);
         let parent = Summary::from_values(&[1.0, 2.0, 10.0, 6.0]);
         let avg_p = parent.avg(); // 4.75
-        let direct: f64 = [10.0f64, 6.0]
-            .iter()
-            .map(|v| (v - avg_p) * (v - avg_p))
-            .sum();
+        let direct: f64 = [10.0f64, 6.0].iter().map(|v| (v - avg_p) * (v - avg_p)).sum();
         assert!((ssenc(&parent, &[child]) - direct).abs() < 1e-9);
     }
 

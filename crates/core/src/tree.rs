@@ -469,7 +469,7 @@ mod tests {
         let mut m = model(1 << 20, InsertionStrategy::Eager, 6);
         m.insert(&[1.0, 1.0], 2.0).unwrap();
         m.insert(&[400.0, 400.0], 10.0).unwrap(); // same root quadrant, different leaf
-        // beta = 1: deepest block holding the query point -> exact value.
+                                                  // beta = 1: deepest block holding the query point -> exact value.
         assert_eq!(m.predict_with_beta(&[1.0, 1.0], 1).unwrap(), Some(2.0));
         // beta = 2: must climb to the first ancestor with >= 2 points.
         assert_eq!(m.predict_with_beta(&[1.0, 1.0], 2).unwrap(), Some(6.0));

@@ -2,9 +2,7 @@
 //! the whole tree state after a hand-traced insertion sequence is
 //! compared block-by-block against manually computed summaries.
 
-use mlq_core::{
-    InsertionStrategy, MemoryLimitedQuadtree, MlqConfig, Space, Summary,
-};
+use mlq_core::{InsertionStrategy, MemoryLimitedQuadtree, MlqConfig, Space, Summary};
 
 fn tree(strategy: InsertionStrategy, lambda: u8) -> MemoryLimitedQuadtree {
     let config = MlqConfig::builder(Space::cube(2, 0.0, 100.0).unwrap())
@@ -18,10 +16,7 @@ fn tree(strategy: InsertionStrategy, lambda: u8) -> MemoryLimitedQuadtree {
 
 /// Finds the unique block at `depth` containing `point`.
 fn block_at(m: &MemoryLimitedQuadtree, point: &[f64], depth: u8) -> Option<Summary> {
-    m.blocks()
-        .into_iter()
-        .find(|b| b.depth == depth && b.contains(point))
-        .map(|b| b.summary)
+    m.blocks().into_iter().find(|b| b.depth == depth && b.contains(point)).map(|b| b.summary)
 }
 
 /// Hand trace, eager, λ = 2, space [0,100]².

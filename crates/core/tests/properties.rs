@@ -2,9 +2,7 @@
 //! checked against brute-force TSSENC minimization, and the persistence /
 //! merge features are fuzzed against reference behaviour.
 
-use mlq_core::{
-    InsertionStrategy, MemoryLimitedQuadtree, MlqConfig, Space, Summary,
-};
+use mlq_core::{InsertionStrategy, MemoryLimitedQuadtree, MlqConfig, Space, Summary};
 use proptest::prelude::*;
 
 fn tree(budget: usize, lambda: u8, strategy: InsertionStrategy) -> MemoryLimitedQuadtree {

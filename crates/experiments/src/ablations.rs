@@ -62,7 +62,11 @@ fn run_mlq(
     noise_probability: f64,
 ) -> SweepOutcome {
     let space = Space::cube(config.dims, 0.0, 1000.0).expect("valid dims");
-    let base = SyntheticUdf::builder(space.clone()).peaks(50).base_cost(SYNTHETIC_BASE_COST).seed(config.seed).build();
+    let base = SyntheticUdf::builder(space.clone())
+        .peaks(50)
+        .base_cost(SYNTHETIC_BASE_COST)
+        .seed(config.seed)
+        .build();
     let udf = NoisyUdf::new(base, noise_probability, config.seed ^ 0x99);
     let points = QueryDistribution::Uniform.generate(&space, config.queries, config.seed ^ 0x77);
 
@@ -100,15 +104,7 @@ pub fn sweep_alpha(config: &AblationConfig) -> ResultTable {
         vec!["NAE".into(), "compressions".into(), "nodes".into()],
     );
     for alpha in [0.0125, 0.025, 0.05, 0.1, 0.2, 0.4, 0.8] {
-        let o = run_mlq(
-            config,
-            InsertionStrategy::Lazy { alpha },
-            1,
-            0.001,
-            6,
-            config.budget,
-            0.0,
-        );
+        let o = run_mlq(config, InsertionStrategy::Lazy { alpha }, 1, 0.001, 6, config.budget, 0.0);
         table.push_row(
             format!("{alpha}"),
             vec![o.nae, Some(o.compressions as f64), Some(o.nodes as f64)],
@@ -187,23 +183,21 @@ pub fn sweep_radius(config: &AblationConfig) -> ResultTable {
         let points =
             QueryDistribution::Uniform.generate(&space, config.queries, config.seed ^ 0x44);
         let actuals: Vec<f64> = points.iter().map(|p| udf.cost(p)).collect();
-        let training: Vec<(Vec<f64>, f64)> =
-            QueryDistribution::Uniform
-                .generate(&space, config.queries, config.seed ^ 0x45)
-                .into_iter()
-                .map(|p| {
-                    let c = udf.cost(&p);
-                    (p, c)
-                })
-                .collect();
+        let training: Vec<(Vec<f64>, f64)> = QueryDistribution::Uniform
+            .generate(&space, config.queries, config.seed ^ 0x45)
+            .into_iter()
+            .map(|p| {
+                let c = udf.cost(&p);
+                (p, c)
+            })
+            .collect();
         let mut row = Vec::new();
         for method in [crate::Method::MlqE, crate::Method::ShH] {
             let mut model = build_model(method, &space, config.budget, 1).expect("builds");
             let outcome = if method.is_self_tuning() {
                 crate::evaluate_self_tuning(model.as_mut(), &points, &actuals).expect("runs")
             } else {
-                crate::evaluate_static(model.as_mut(), &training, &points, &actuals)
-                    .expect("runs")
+                crate::evaluate_static(model.as_mut(), &training, &points, &actuals).expect("runs")
             };
             row.push(outcome.nae);
         }
@@ -231,19 +225,14 @@ pub fn sweep_decay(config: &AblationConfig) -> ResultTable {
             .base_cost(SYNTHETIC_BASE_COST)
             .seed(config.seed)
             .build();
-        let peaks: Vec<mlq_synth::Peak> = base
-            .peaks()
-            .iter()
-            .map(|p| mlq_synth::Peak { decay: kind, ..p.clone() })
-            .collect();
+        let peaks: Vec<mlq_synth::Peak> =
+            base.peaks().iter().map(|p| mlq_synth::Peak { decay: kind, ..p.clone() }).collect();
         let udf = SyntheticUdf::from_parts(space.clone(), peaks, 10_000.0, SYNTHETIC_BASE_COST);
         let points =
             QueryDistribution::Uniform.generate(&space, config.queries, config.seed ^ 0x46);
-        let mut model =
-            build_model(crate::Method::MlqE, &space, config.budget, 1).expect("builds");
+        let mut model = build_model(crate::Method::MlqE, &space, config.budget, 1).expect("builds");
         let actuals: Vec<f64> = points.iter().map(|p| udf.cost(p)).collect();
-        let outcome =
-            crate::evaluate_self_tuning(model.as_mut(), &points, &actuals).expect("runs");
+        let outcome = crate::evaluate_self_tuning(model.as_mut(), &points, &actuals).expect("runs");
         table.push_row(kind.label(), vec![outcome.nae]);
     }
     table
@@ -274,9 +263,8 @@ pub fn sweep_training_size(
 
     // The self-tuning reference: one number, independent of training size.
     let mut mlq = build_model(crate::Method::MlqE, &space, config.budget, 1)?;
-    let mlq_nae = crate::evaluate_self_tuning(mlq.as_mut(), &points, &actuals)?
-        .nae
-        .expect("positive costs");
+    let mlq_nae =
+        crate::evaluate_self_tuning(mlq.as_mut(), &points, &actuals)?.nae.expect("positive costs");
 
     let full_training = dist.generate(&space, config.queries, config.seed ^ 0x52);
     let mut table = ResultTable::new(
@@ -288,10 +276,8 @@ pub fn sweep_training_size(
     );
     for frac in [0.01, 0.05, 0.1, 0.25, 0.5, 1.0] {
         let n = ((config.queries as f64 * frac) as usize).max(1);
-        let training: Vec<(Vec<f64>, f64)> = full_training[..n]
-            .iter()
-            .map(|p| (p.clone(), udf.cost(p)))
-            .collect();
+        let training: Vec<(Vec<f64>, f64)> =
+            full_training[..n].iter().map(|p| (p.clone(), udf.cost(p))).collect();
         let mut sh = build_model(crate::Method::ShH, &space, config.budget, 1)?;
         let outcome = crate::evaluate_static(sh.as_mut(), &training, &points, &actuals)?;
         table.push_row(n.to_string(), vec![outcome.nae]);
@@ -336,13 +322,15 @@ pub fn sweep_access_method(
     for udf in udfs {
         // The paper's skewed workload: repeated regions are where a
         // self-tuning model's resolution actually concentrates.
-        let points = QueryDistribution::paper_gaussian_random()
-            .generate(udf.space(), config.queries, config.seed ^ 0x47);
+        let points = QueryDistribution::paper_gaussian_random().generate(
+            udf.space(),
+            config.queries,
+            config.seed ^ 0x47,
+        );
         let mut row = Vec::new();
         for (kind, beta) in [(CostKind::Cpu, 1u64), (CostKind::DiskIo, 10u64)] {
             udf.reset_io_state();
-            let mut model =
-                build_model(crate::Method::MlqE, udf.space(), config.budget, beta)?;
+            let mut model = build_model(crate::Method::MlqE, udf.space(), config.budget, beta)?;
             let mut nae = OnlineNae::new();
             for p in &points {
                 let predicted = model.predict(p)?.unwrap_or(0.0);
@@ -364,7 +352,11 @@ pub fn sweep_access_method(
 /// Propagates model failures.
 pub fn sweep_memory(config: &AblationConfig) -> Result<ResultTable, Box<dyn std::error::Error>> {
     let space = Space::cube(config.dims, 0.0, 1000.0).expect("valid dims");
-    let udf = SyntheticUdf::builder(space.clone()).peaks(50).base_cost(SYNTHETIC_BASE_COST).seed(config.seed).build();
+    let udf = SyntheticUdf::builder(space.clone())
+        .peaks(50)
+        .base_cost(SYNTHETIC_BASE_COST)
+        .seed(config.seed)
+        .build();
     let points = QueryDistribution::Uniform.generate(&space, config.queries, config.seed ^ 0x55);
     let actuals: Vec<f64> = points.iter().map(|p| udf.cost(p)).collect();
     let train_points =
@@ -463,11 +455,8 @@ mod tests {
 
     #[test]
     fn access_method_ablation_learns_both_indexes() {
-        let t = sweep_access_method(&AblationConfig {
-            queries: 1200,
-            ..AblationConfig::quick()
-        })
-        .unwrap();
+        let t = sweep_access_method(&AblationConfig { queries: 1200, ..AblationConfig::quick() })
+            .unwrap();
         assert_eq!(t.rows, vec!["WIN", "WIN-R"]);
         for index in ["WIN", "WIN-R"] {
             let cpu = t.get(index, "cpu-NAE").unwrap();

@@ -7,9 +7,7 @@
 use crate::suite::real_udf_suite;
 use crate::table::ResultTable;
 use crate::{PAPER_BUDGET, ROOT_SEED, SYNTHETIC_BASE_COST};
-use mlq_core::{
-    InsertionStrategy, MemoryLimitedQuadtree, MlqConfig, ModelCounters, Space,
-};
+use mlq_core::{InsertionStrategy, MemoryLimitedQuadtree, MlqConfig, ModelCounters, Space};
 use mlq_synth::{CostSurface, QueryDistribution, SyntheticUdf};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
@@ -98,10 +96,7 @@ fn breakdown_rows(table: &mut ResultTable, label_prefix: &str, runs: &[DrivenRun
 /// Propagates substrate failures.
 pub fn run_real(config: &Fig10Config) -> Result<ResultTable, Box<dyn std::error::Error>> {
     let udfs = real_udf_suite(config.scale, config.seed)?;
-    let win = udfs
-        .iter()
-        .find(|u| u.name() == "WIN")
-        .expect("suite contains WIN");
+    let win = udfs.iter().find(|u| u.name() == "WIN").expect("suite contains WIN");
     let points = QueryDistribution::Uniform.generate(win.space(), config.queries, config.seed);
 
     let mut table = ResultTable::new(
@@ -112,9 +107,7 @@ pub fn run_real(config: &Fig10Config) -> Result<ResultTable, Box<dyn std::error:
     let mut runs = Vec::new();
     for strategy in [InsertionStrategy::Eager, InsertionStrategy::Lazy { alpha: 0.05 }] {
         let mut model = mlq(win.space(), config.budget, strategy);
-        let run = drive(&mut model, &points, |p| {
-            win.execute(p).expect("in-space point").cpu
-        });
+        let run = drive(&mut model, &points, |p| win.execute(p).expect("in-space point").cpu);
         runs.push(run);
     }
     breakdown_rows(&mut table, "", &runs);
@@ -131,7 +124,11 @@ pub fn run_real(config: &Fig10Config) -> Result<ResultTable, Box<dyn std::error:
 /// Propagates model failures.
 pub fn run_synthetic(config: &Fig10Config) -> Result<ResultTable, Box<dyn std::error::Error>> {
     let space = Space::cube(4, 0.0, 1000.0).expect("valid dims");
-    let udf = SyntheticUdf::builder(space.clone()).peaks(50).base_cost(SYNTHETIC_BASE_COST).seed(config.seed).build();
+    let udf = SyntheticUdf::builder(space.clone())
+        .peaks(50)
+        .base_cost(SYNTHETIC_BASE_COST)
+        .seed(config.seed)
+        .build();
     let points = QueryDistribution::Uniform.generate(&space, config.queries, config.seed ^ 1);
 
     let mut table = ResultTable::new(

@@ -97,16 +97,16 @@ fn curves_to_table(title: &str, curves: [(&str, LearningCurve); 2]) -> ResultTab
 /// Propagates model failures.
 pub fn run_synthetic(config: &Fig12Config) -> Result<ResultTable, Box<dyn std::error::Error>> {
     let space = Space::cube(config.dims, 0.0, 1000.0).expect("valid dims");
-    let udf = SyntheticUdf::builder(space.clone()).peaks(50).base_cost(SYNTHETIC_BASE_COST).seed(config.seed).build();
+    let udf = SyntheticUdf::builder(space.clone())
+        .peaks(50)
+        .base_cost(SYNTHETIC_BASE_COST)
+        .seed(config.seed)
+        .build();
     let points = QueryDistribution::Uniform.generate(&space, config.queries, config.seed ^ 2);
-    let eager = curve_for(
-        &space,
-        config.budget,
-        InsertionStrategy::Eager,
-        &points,
-        config.window,
-        |p| udf.cost(p),
-    );
+    let eager =
+        curve_for(&space, config.budget, InsertionStrategy::Eager, &points, config.window, |p| {
+            udf.cost(p)
+        });
     let lazy = curve_for(
         &space,
         config.budget,

@@ -137,12 +137,8 @@ mod tests {
         let (queries, actuals, _) = workload(2000);
         let space = Space::cube(2, 0.0, 1000.0).unwrap();
         let mut model = build_model(Method::MlqE, &space, 1 << 15, 1).unwrap();
-        let early =
-            evaluate_self_tuning(model.as_mut(), &queries[..200], &actuals[..200])
-                .unwrap();
-        let late =
-            evaluate_self_tuning(model.as_mut(), &queries[200..], &actuals[200..])
-                .unwrap();
+        let early = evaluate_self_tuning(model.as_mut(), &queries[..200], &actuals[..200]).unwrap();
+        let late = evaluate_self_tuning(model.as_mut(), &queries[200..], &actuals[200..]).unwrap();
         assert!(
             late.nae.unwrap() < early.nae.unwrap(),
             "late {:?} must improve on early {:?}",
@@ -157,8 +153,13 @@ mod tests {
         let space = Space::cube(2, 0.0, 1000.0).unwrap();
         // Train on an independent sample of the same distribution.
         let train_points = QueryDistribution::Uniform.generate(&space, 600, 78);
-        let training: Vec<(Vec<f64>, f64)> =
-            train_points.into_iter().map(|p| { let c = udf.cost(&p); (p, c) }).collect();
+        let training: Vec<(Vec<f64>, f64)> = train_points
+            .into_iter()
+            .map(|p| {
+                let c = udf.cost(&p);
+                (p, c)
+            })
+            .collect();
 
         let mut sh = build_model(Method::ShH, &space, 1 << 14, 1).unwrap();
         let trained =
@@ -181,13 +182,9 @@ mod tests {
         let queries = vec![vec![1.0, 1.0], vec![2.0, 2.0]];
         // Observed feedback is garbage (99), truth is 10. First prediction
         // is 0 (cold); second predicts the observed 99.
-        let outcome = evaluate_self_tuning_vs_truth(
-            model.as_mut(),
-            &queries,
-            &[99.0, 99.0],
-            &[10.0, 10.0],
-        )
-        .unwrap();
+        let outcome =
+            evaluate_self_tuning_vs_truth(model.as_mut(), &queries, &[99.0, 99.0], &[10.0, 10.0])
+                .unwrap();
         // |0-10| + |99-10| = 99, over truth sum 20.
         assert!((outcome.nae.unwrap() - 99.0 / 20.0).abs() < 1e-12);
     }

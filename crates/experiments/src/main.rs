@@ -7,7 +7,9 @@
 //! `--quick` runs the reduced configurations (seconds instead of minutes);
 //! `--json DIR` additionally writes every table as JSON into `DIR`.
 
-use mlq_experiments::{ablations, drift, fig10, fig11, fig12, fig8, fig9, optimizer_exp, ResultTable};
+use mlq_experiments::{
+    ablations, drift, fig10, fig11, fig12, fig8, fig9, optimizer_exp, ResultTable,
+};
 use mlq_experiments::{ROOT_SEED, SYNTHETIC_BASE_COST};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -167,8 +169,10 @@ fn run_render() -> Result<(), Box<dyn std::error::Error>> {
     let shade = |v: f64, max: f64| shades[((v / max * 9.0) as usize).min(9)];
     let (w, h) = (48usize, 20usize);
     let max = udf.max_cost();
-    println!("learned surface (left) vs true surface (right); darker = costlier
-");
+    println!(
+        "learned surface (left) vs true surface (right); darker = costlier
+"
+    );
     for row in 0..h {
         let mut learned = String::with_capacity(w);
         let mut truth = String::with_capacity(w);

@@ -46,11 +46,8 @@ fn space() -> Space {
 /// and middling — the configuration where ordering matters most.
 fn predicates(seed: u64) -> (Vec<Box<dyn RowPredicate>>, Vec<Option<f64>>) {
     let mk = |s: u64, max_cost: f64, sel: f64, name: &str| -> Box<dyn RowPredicate> {
-        let surface = SyntheticUdf::builder(space())
-            .peaks(5)
-            .max_cost(max_cost)
-            .seed(seed ^ s)
-            .build();
+        let surface =
+            SyntheticUdf::builder(space()).peaks(5).max_cost(max_cost).seed(seed ^ s).build();
         Box::new(SyntheticPredicate::new(name, surface, sel, seed ^ s))
     };
     (
@@ -72,12 +69,11 @@ fn mlq_estimator() -> CostEstimator {
             .expect("valid config");
         Box::new(MemoryLimitedQuadtree::new(config).expect("valid model"))
     };
-    CostEstimator::new(model(), model(), 0.0)
+    CostEstimator::new(model(), model(), 0.0).expect("non-negative weight")
 }
 
 fn rows(config: &OptimizerExpConfig) -> Vec<Vec<Vec<f64>>> {
-    let points =
-        QueryDistribution::Uniform.generate(&space(), config.rows * 3, config.seed ^ 0x30);
+    let points = QueryDistribution::Uniform.generate(&space(), config.rows * 3, config.seed ^ 0x30);
     points.chunks_exact(3).map(<[Vec<f64>]>::to_vec).collect()
 }
 
@@ -137,11 +133,7 @@ mod tests {
     #[test]
     fn qualified_rows_agree_across_policies() {
         let t = run(&OptimizerExpConfig::quick());
-        let q: Vec<f64> = t
-            .rows
-            .iter()
-            .map(|r| t.get(r, "qualified").unwrap())
-            .collect();
+        let q: Vec<f64> = t.rows.iter().map(|r| t.get(r, "qualified").unwrap()).collect();
         assert!(q.windows(2).all(|w| w[0] == w[1]), "qualified counts {q:?}");
     }
 }

@@ -68,9 +68,8 @@ mod tests {
     fn every_udf_executes_at_space_center() {
         for udf in real_udf_suite(0.05, 2).unwrap() {
             let space = udf.space();
-            let center: Vec<f64> = (0..space.dims())
-                .map(|i| (space.low(i) + space.high(i)) / 2.0)
-                .collect();
+            let center: Vec<f64> =
+                (0..space.dims()).map(|i| (space.low(i) + space.high(i)) / 2.0).collect();
             let cost = udf.execute(&center).unwrap();
             assert!(cost.cpu >= 1.0, "{}: cpu {}", udf.name(), cost.cpu);
         }

@@ -93,13 +93,8 @@ impl ResultTable {
             None => "-".to_string(),
         };
         let mut widths: Vec<usize> = Vec::with_capacity(self.columns.len() + 1);
-        let label_w = self
-            .rows
-            .iter()
-            .map(String::len)
-            .chain([self.row_header.len()])
-            .max()
-            .unwrap_or(0);
+        let label_w =
+            self.rows.iter().map(String::len).chain([self.row_header.len()]).max().unwrap_or(0);
         widths.push(label_w);
         for (c, col) in self.columns.iter().enumerate() {
             let w = self

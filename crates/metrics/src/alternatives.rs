@@ -18,9 +18,7 @@ pub fn mean_relative_error(pairs: &[(f64, f64)]) -> Option<f64> {
     if pairs.is_empty() || pairs.iter().any(|&(_, a)| a == 0.0) {
         return None;
     }
-    Some(
-        pairs.iter().map(|&(p, a)| ((p - a) / a).abs()).sum::<f64>() / pairs.len() as f64,
-    )
+    Some(pairs.iter().map(|&(p, a)| ((p - a) / a).abs()).sum::<f64>() / pairs.len() as f64)
 }
 
 /// Mean absolute error `mean(|predicted − actual|)` — in the *units of
@@ -66,14 +64,18 @@ mod tests {
     /// cannot be compared, while NAE is identical.
     #[test]
     fn absolute_error_is_not_comparable_across_udfs() {
-        let cheap_udf: Vec<(f64, f64)> = (1..=10).map(|i| {
-            let a = f64::from(i);
-            (a * 1.1, a) // 10% over-prediction
-        }).collect();
-        let expensive_udf: Vec<(f64, f64)> = (1..=10).map(|i| {
-            let a = f64::from(i) * 1000.0;
-            (a * 1.1, a)
-        }).collect();
+        let cheap_udf: Vec<(f64, f64)> = (1..=10)
+            .map(|i| {
+                let a = f64::from(i);
+                (a * 1.1, a) // 10% over-prediction
+            })
+            .collect();
+        let expensive_udf: Vec<(f64, f64)> = (1..=10)
+            .map(|i| {
+                let a = f64::from(i) * 1000.0;
+                (a * 1.1, a)
+            })
+            .collect();
         let abs_cheap = mean_absolute_error(&cheap_udf).unwrap();
         let abs_exp = mean_absolute_error(&expensive_udf).unwrap();
         assert!(abs_exp > 500.0 * abs_cheap, "absolute errors differ by the cost scale");

@@ -72,14 +72,8 @@ impl LearningCurve {
     /// accuracy (the paper's Experiment 4 question).
     #[must_use]
     pub fn convergence_window(&self, tolerance: f64) -> Option<usize> {
-        let min = self
-            .points
-            .iter()
-            .filter_map(|p| p.nae)
-            .min_by(f64::total_cmp)?;
-        self.points
-            .iter()
-            .position(|p| p.nae.is_some_and(|v| v <= min + tolerance))
+        let min = self.points.iter().filter_map(|p| p.nae).min_by(f64::total_cmp)?;
+        self.points.iter().position(|p| p.nae.is_some_and(|v| v <= min + tolerance))
     }
 }
 

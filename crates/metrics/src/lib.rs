@@ -43,4 +43,4 @@ mod stats;
 pub use alternatives::{mean_absolute_error, mean_relative_error};
 pub use learning::{LearningCurve, LearningPoint};
 pub use nae::{nae, OnlineNae};
-pub use stats::{mean, population_std_dev, percentile};
+pub use stats::{mean, percentile, population_std_dev};

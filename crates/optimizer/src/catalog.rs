@@ -103,10 +103,7 @@ impl UdfCatalog {
         point: &[f64],
         cost: ExecutionCost,
     ) -> Result<(), MlqError> {
-        let entry = self
-            .entries
-            .get_mut(name)
-            .ok_or_else(|| unknown(name))?;
+        let entry = self.entries.get_mut(name).ok_or_else(|| unknown(name))?;
         entry.cpu.insert(point, cost.cpu)?;
         entry.io.insert(point, cost.io)?;
         Ok(())
@@ -197,8 +194,7 @@ mod tests {
         assert_eq!(cat.names(), vec!["SIMPLE", "WIN"]);
 
         assert_eq!(cat.predict("WIN", &[1.0; 4], CostKind::Cpu).unwrap(), None);
-        cat.observe("WIN", &[1.0; 4], ExecutionCost { cpu: 50.0, io: 3.0, results: 7 })
-            .unwrap();
+        cat.observe("WIN", &[1.0; 4], ExecutionCost { cpu: 50.0, io: 3.0, results: 7 }).unwrap();
         assert_eq!(cat.predict("WIN", &[1.0; 4], CostKind::Cpu).unwrap(), Some(50.0));
         assert_eq!(cat.predict("WIN", &[1.0; 4], CostKind::DiskIo).unwrap(), Some(3.0));
         let combined = cat.predict_combined("WIN", &[1.0; 4], 100.0).unwrap().unwrap();
@@ -212,9 +208,7 @@ mod tests {
         cat.register("F", &space(2)).unwrap();
         assert!(cat.register("F", &space(2)).is_err());
         assert!(cat.predict("G", &[1.0, 1.0], CostKind::Cpu).is_err());
-        assert!(cat
-            .observe("G", &[1.0, 1.0], ExecutionCost::default())
-            .is_err());
+        assert!(cat.observe("G", &[1.0, 1.0], ExecutionCost::default()).is_err());
     }
 
     #[test]
@@ -223,8 +217,7 @@ mod tests {
         cat.register("F", &space(2)).unwrap();
         for i in 0..50u32 {
             let p = [f64::from(i * 19 % 1000), f64::from(i * 7 % 1000)];
-            cat.observe("F", &p, ExecutionCost { cpu: f64::from(i), io: 1.0, results: 0 })
-                .unwrap();
+            cat.observe("F", &p, ExecutionCost { cpu: f64::from(i), io: 1.0, results: 0 }).unwrap();
         }
         let json = serde_json::to_string(&cat.snapshot()).unwrap();
         let back: CatalogSnapshot = serde_json::from_str(&json).unwrap();
@@ -246,8 +239,7 @@ mod tests {
         // below the root; the CPU model (beta = 1) localizes immediately.
         let mut cat = UdfCatalog::new(1 << 15);
         cat.register("F", &space(2)).unwrap();
-        cat.observe("F", &[1.0, 1.0], ExecutionCost { cpu: 10.0, io: 10.0, results: 0 })
-            .unwrap();
+        cat.observe("F", &[1.0, 1.0], ExecutionCost { cpu: 10.0, io: 10.0, results: 0 }).unwrap();
         cat.observe("F", &[999.0, 999.0], ExecutionCost { cpu: 90.0, io: 90.0, results: 0 })
             .unwrap();
         // CPU localizes: different corners give different answers.

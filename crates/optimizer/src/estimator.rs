@@ -1,7 +1,7 @@
 //! Per-UDF cost estimators: a CPU model and a disk-IO model behind one
 //! interface.
 
-use mlq_core::{CostModel, MlqError};
+use mlq_core::{CostModel, GuardConfig, GuardedModel, MlqError, Space};
 use mlq_udfs::ExecutionCost;
 
 /// The optimizer's per-UDF estimator: "the query optimizer needs to keep
@@ -29,13 +29,45 @@ impl CostEstimator {
     /// cost of one page read (a DBMS would calibrate this; 100 is a
     /// reasonable analogue of random-read latency vs. a scan step).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `io_weight` is negative or non-finite.
-    #[must_use]
-    pub fn new(cpu: Box<dyn CostModel>, io: Box<dyn CostModel>, io_weight: f64) -> Self {
-        assert!(io_weight.is_finite() && io_weight >= 0.0, "io_weight must be non-negative");
-        CostEstimator { cpu, io, io_weight }
+    /// [`MlqError::InvalidConfig`] when `io_weight` is negative or
+    /// non-finite — an optimizer must refuse a nonsensical calibration,
+    /// not crash on it.
+    pub fn new(
+        cpu: Box<dyn CostModel>,
+        io: Box<dyn CostModel>,
+        io_weight: f64,
+    ) -> Result<Self, MlqError> {
+        if !io_weight.is_finite() || io_weight < 0.0 {
+            return Err(MlqError::InvalidConfig {
+                reason: format!("io_weight must be finite and non-negative, got {io_weight}"),
+            });
+        }
+        Ok(CostEstimator { cpu, io, io_weight })
+    }
+
+    /// Pairs the two models with each wrapped in a [`GuardedModel`]: both
+    /// feedback streams are validated and quarantined against `space`,
+    /// and either model failing repeatedly degrades that component to its
+    /// running-average fallback instead of poisoning plan choices. For
+    /// observable guard state, hold the `GuardedModel`s yourself; this
+    /// constructor is the turnkey wiring.
+    ///
+    /// # Errors
+    ///
+    /// [`MlqError::InvalidConfig`] for a bad `io_weight` or guard
+    /// configuration.
+    pub fn guarded(
+        cpu: Box<dyn CostModel>,
+        io: Box<dyn CostModel>,
+        io_weight: f64,
+        space: &Space,
+        guard: GuardConfig,
+    ) -> Result<Self, MlqError> {
+        let cpu = Box::new(GuardedModel::new(cpu, space.clone(), guard)?);
+        let io = Box::new(GuardedModel::new(io, space.clone(), guard)?);
+        CostEstimator::new(cpu, io, io_weight)
     }
 
     /// Predicted combined cost at `point`; `None` while both models are
@@ -54,15 +86,18 @@ impl CostEstimator {
     }
 
     /// Offers an observed execution back to both models (self-tuning
-    /// models learn; static models ignore it).
+    /// models learn; static models ignore it). Both models are always
+    /// fed: one component's rejection (e.g. a guarded model quarantining
+    /// its cost) must not starve the other of feedback.
     ///
     /// # Errors
     ///
-    /// Propagates malformed-input errors.
+    /// The CPU model's error when it rejected the observation, otherwise
+    /// the IO model's.
     pub fn observe(&mut self, point: &[f64], cost: ExecutionCost) -> Result<(), MlqError> {
-        self.cpu.observe(point, cost.cpu)?;
-        self.io.observe(point, cost.io)?;
-        Ok(())
+        let cpu = self.cpu.observe(point, cost.cpu);
+        let io = self.io.observe(point, cost.io);
+        cpu.and(io)
     }
 
     /// The combined cost of an observed execution under this estimator's
@@ -101,7 +136,7 @@ mod tests {
 
     #[test]
     fn combines_cpu_and_io_predictions() {
-        let mut e = CostEstimator::new(mlq(), mlq(), 100.0);
+        let mut e = CostEstimator::new(mlq(), mlq(), 100.0).unwrap();
         assert_eq!(e.predict(&[1.0, 1.0]).unwrap(), None);
         e.observe(&[1.0, 1.0], ExecutionCost { cpu: 50.0, io: 2.0, results: 0 }).unwrap();
         let p = e.predict(&[1.0, 1.0]).unwrap().unwrap();
@@ -111,14 +146,45 @@ mod tests {
 
     #[test]
     fn name_and_memory() {
-        let e = CostEstimator::new(mlq(), mlq(), 1.0);
+        let e = CostEstimator::new(mlq(), mlq(), 1.0).unwrap();
         assert_eq!(e.name(), "MLQ-E+MLQ-E");
         assert!(e.memory_used() > 0);
     }
 
     #[test]
-    #[should_panic(expected = "io_weight")]
-    fn rejects_negative_weight() {
-        let _ = CostEstimator::new(mlq(), mlq(), -1.0);
+    fn rejects_bad_weights_without_panicking() {
+        for bad in [-1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                CostEstimator::new(mlq(), mlq(), bad),
+                Err(MlqError::InvalidConfig { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn guarded_estimator_survives_hostile_feedback() {
+        let space = Space::cube(2, 0.0, 1000.0).unwrap();
+        let mut e =
+            CostEstimator::guarded(mlq(), mlq(), 100.0, &space, GuardConfig::default()).unwrap();
+        assert_eq!(e.name(), "guarded(MLQ-E)+guarded(MLQ-E)");
+
+        for i in 0..40 {
+            let p = [f64::from(i % 10) * 100.0, f64::from(i % 7) * 140.0];
+            e.observe(&p, ExecutionCost { cpu: 50.0 + f64::from(i % 5), io: 2.0, results: 0 })
+                .unwrap();
+        }
+        // A 100x CPU outlier is quarantined (reported, not applied), and
+        // the IO model still got its component.
+        let io_before = e.predict(&[0.0, 0.0]).unwrap();
+        let err =
+            e.observe(&[0.0, 0.0], ExecutionCost { cpu: 5000.0, io: 2.0, results: 0 }).unwrap_err();
+        assert!(matches!(err, MlqError::FeedbackQuarantined { .. }));
+        // Predictions keep flowing and stay sane.
+        let p = e.predict(&[0.0, 0.0]).unwrap().unwrap();
+        assert!(p < 1000.0, "outlier leaked into predictions: {p} (before: {io_before:?})");
+        // NaN feedback is rejected, not learned.
+        assert!(e
+            .observe(&[1.0, 1.0], ExecutionCost { cpu: f64::NAN, io: 1.0, results: 0 })
+            .is_err());
     }
 }

@@ -165,9 +165,9 @@ impl FeedbackExecutor {
                                 .expect("row points are well-formed")
                                 .unwrap_or(1.0);
                             let sel = match &self.selectivity_models[i] {
-                                Some(m) => m
-                                    .selectivity(&row[i])
-                                    .expect("row points are well-formed"),
+                                Some(m) => {
+                                    m.selectivity(&row[i]).expect("row points are well-formed")
+                                }
                                 None => self.stats[i].selectivity(),
                             };
                             rank(cost, sel)
@@ -197,9 +197,7 @@ impl FeedbackExecutor {
                     self.stats[i].passes += 1;
                 }
                 if self.feedback {
-                    self.estimators[i]
-                        .observe(&row[i], cost)
-                        .expect("row points are well-formed");
+                    self.estimators[i].observe(&row[i], cost).expect("row points are well-formed");
                     if let Some(m) = &mut self.selectivity_models[i] {
                         m.observe(&row[i], pass).expect("row points are well-formed");
                     }
@@ -245,17 +243,14 @@ mod tests {
     }
 
     fn estimator() -> CostEstimator {
-        CostEstimator::new(mlq_model(), mlq_model(), 0.0)
+        CostEstimator::new(mlq_model(), mlq_model(), 0.0).unwrap()
     }
 
     /// Three predicates with very different cost scales and selectivities.
     fn setup() -> (FeedbackExecutor, Vec<Vec<Vec<f64>>>) {
         let mk = |seed: u64, max_cost: f64, sel: f64, name: &str| {
-            let surface = SyntheticUdf::builder(space())
-                .peaks(5)
-                .max_cost(max_cost)
-                .seed(seed)
-                .build();
+            let surface =
+                SyntheticUdf::builder(space()).peaks(5).max_cost(max_cost).seed(seed).build();
             SyntheticPredicate::new(name, surface, sel, seed)
         };
         let preds: Vec<Box<dyn RowPredicate>> = vec![
@@ -268,8 +263,7 @@ mod tests {
         exec.set_true_selectivities(vec![Some(0.9), Some(0.2), Some(0.5)]);
 
         let points = QueryDistribution::Uniform.generate(&space(), 600, 9);
-        let rows: Vec<Vec<Vec<f64>>> =
-            points.chunks_exact(3).map(|c| c.to_vec()).collect();
+        let rows: Vec<Vec<Vec<f64>>> = points.chunks_exact(3).map(|c| c.to_vec()).collect();
         (exec, rows)
     }
 

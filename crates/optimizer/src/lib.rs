@@ -47,7 +47,7 @@
 //!     Box::new(MemoryLimitedQuadtree::new(config).unwrap())
 //! };
 //! // One estimator per UDF, modeling CPU and IO separately (paper §1).
-//! let mut est = CostEstimator::new(mlq(), mlq(), 100.0);
+//! let mut est = CostEstimator::new(mlq(), mlq(), 100.0)?;
 //! est.observe(&[5.0, 5.0], ExecutionCost { cpu: 30.0, io: 2.0, results: 9 })?;
 //! assert_eq!(est.predict(&[5.0, 5.0])?, Some(30.0 + 100.0 * 2.0));
 //! # Ok::<(), mlq_core::MlqError>(())

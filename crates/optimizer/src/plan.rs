@@ -100,8 +100,7 @@ impl JoinUdfPlanner {
         let push_down = outer * udf_cost + s.udf_selectivity * probe_total;
         // Pull-up: join on all of R, UDF on rows that found a partner.
         let pull_up = probe_total + s.join_selectivity * outer * udf_cost;
-        let choice =
-            if push_down <= pull_up { PlanShape::PushDown } else { PlanShape::PullUp };
+        let choice = if push_down <= pull_up { PlanShape::PushDown } else { PlanShape::PullUp };
         Ok(PlanEstimate { push_down, pull_up, choice })
     }
 
@@ -167,7 +166,7 @@ mod tests {
                 .unwrap();
             Box::new(MemoryLimitedQuadtree::new(config).unwrap())
         };
-        CostEstimator::new(model(), model(), 0.0)
+        CostEstimator::new(model(), model(), 0.0).unwrap()
     }
 
     fn stats(join_selectivity: f64, probe_cost: f64) -> JoinStats {
@@ -185,8 +184,7 @@ mod tests {
         let mut e = estimator();
         for i in 0..50 {
             let p = [f64::from(i * 20 % 1000), f64::from(i * 13 % 1000)];
-            e.observe(&p, mlq_udfs::ExecutionCost { cpu: flat_cost, io: 0.0, results: 0 })
-                .unwrap();
+            e.observe(&p, mlq_udfs::ExecutionCost { cpu: flat_cost, io: 0.0, results: 0 }).unwrap();
         }
         e
     }
@@ -236,14 +234,12 @@ mod tests {
         // Warm the estimator through a push-down batch (it observes every
         // row), then ask for the plan.
         let mut e = estimator();
-        let actual_push =
-            planner.execute(PlanShape::PushDown, &predicate, &mut e, &points, &joins);
+        let actual_push = planner.execute(PlanShape::PushDown, &predicate, &mut e, &points, &joins);
         let est = planner.estimate(&e, &points[0]).unwrap();
         assert_eq!(est.choice, PlanShape::PullUp, "expensive UDF + selective join");
 
         let mut e2 = estimator();
-        let actual_pull =
-            planner.execute(PlanShape::PullUp, &predicate, &mut e2, &points, &joins);
+        let actual_pull = planner.execute(PlanShape::PullUp, &predicate, &mut e2, &points, &joins);
         assert!(
             actual_pull < actual_push,
             "the chosen plan is actually cheaper: pull {actual_pull} vs push {actual_push}"

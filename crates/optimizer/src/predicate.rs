@@ -39,7 +39,12 @@ impl SyntheticPredicate {
     ///
     /// Panics unless `0.0 <= selectivity <= 1.0`.
     #[must_use]
-    pub fn new(name: impl Into<String>, surface: SyntheticUdf, selectivity: f64, salt: u64) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        surface: SyntheticUdf,
+        selectivity: f64,
+        salt: u64,
+    ) -> Self {
         assert!((0.0..=1.0).contains(&selectivity), "selectivity must be within [0, 1]");
         SyntheticPredicate { name: name.into(), surface, selectivity, salt }
     }
@@ -94,10 +99,7 @@ mod tests {
     use mlq_core::Space;
 
     fn surface(seed: u64) -> SyntheticUdf {
-        SyntheticUdf::builder(Space::cube(2, 0.0, 1000.0).unwrap())
-            .peaks(10)
-            .seed(seed)
-            .build()
+        SyntheticUdf::builder(Space::cube(2, 0.0, 1000.0).unwrap()).peaks(10).seed(seed).build()
     }
 
     #[test]

@@ -9,9 +9,7 @@
 //! predicate-ordering rank a per-row selectivity instead of one global
 //! number.
 
-use mlq_core::{
-    InsertionStrategy, MemoryLimitedQuadtree, MlqConfig, MlqError, Space,
-};
+use mlq_core::{InsertionStrategy, MemoryLimitedQuadtree, MlqConfig, MlqError, Space};
 
 /// A self-tuning, region-aware selectivity estimator for one predicate.
 pub struct SelectivityModel {
@@ -38,10 +36,7 @@ impl SelectivityModel {
             .strategy(InsertionStrategy::Eager)
             .beta(10)
             .build()?;
-        Ok(SelectivityModel {
-            tree: MemoryLimitedQuadtree::new(config)?,
-            prior_weight: 2.0,
-        })
+        Ok(SelectivityModel { tree: MemoryLimitedQuadtree::new(config)?, prior_weight: 2.0 })
     }
 
     /// Records one evaluation outcome at `point`.
@@ -65,8 +60,7 @@ impl SelectivityModel {
             return Ok(0.5);
         };
         let n = detail.count as f64;
-        let shrunk =
-            (detail.value * n + 0.5 * self.prior_weight) / (n + self.prior_weight);
+        let shrunk = (detail.value * n + 0.5 * self.prior_weight) / (n + self.prior_weight);
         Ok(shrunk.clamp(0.0, 1.0))
     }
 

@@ -50,6 +50,39 @@ impl IoStats {
     }
 }
 
+/// Bounded retry-with-backoff for transient disk faults.
+///
+/// A read that fails with [`StorageError::IoFault`] is retried up to
+/// `max_attempts` times total, sleeping `base_delay × 2^(attempt−1)`
+/// between attempts. The default backs off 3 attempts with zero delay —
+/// pure retry, deterministic test time — since [`crate::DiskSim`]
+/// faults are schedule-driven, not time-driven. Permanent errors
+/// (out-of-bounds pages) are never retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per read, including the first (min 1).
+    pub max_attempts: u32,
+    /// Base backoff delay, doubled after each failed attempt.
+    pub base_delay: std::time::Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 3, base_delay: std::time::Duration::ZERO }
+    }
+}
+
+/// Counters for the pool's retry machinery.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Extra disk attempts made beyond the first, across all reads.
+    pub retries: u64,
+    /// Reads that failed every attempt and surfaced an error.
+    pub exhausted: u64,
+    /// Reads rescued by a retry after at least one failed attempt.
+    pub recovered: u64,
+}
+
 const NIL: usize = usize::MAX;
 
 struct Slot {
@@ -100,6 +133,8 @@ impl Lru {
 pub struct BufferPool {
     disk: DiskSim,
     capacity: usize,
+    retry: RetryPolicy,
+    retry_stats: Mutex<RetryStats>,
     lru: Mutex<Lru>,
 }
 
@@ -117,13 +152,32 @@ impl BufferPool {
     ///
     /// # Panics
     ///
-    /// Panics if `capacity == 0`.
+    /// Panics if `capacity == 0`. Use [`BufferPool::try_new`] for a
+    /// non-panicking variant.
     #[must_use]
     pub fn new(disk: DiskSim, capacity: usize) -> Self {
-        assert!(capacity > 0, "buffer pool needs at least one frame");
-        BufferPool {
+        match BufferPool::try_new(disk, capacity) {
+            Ok(pool) => pool,
+            Err(e) => panic!("buffer pool needs at least one frame: {e}"),
+        }
+    }
+
+    /// Wraps `disk` with a cache of `capacity` pages.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::InvalidConfig`] when `capacity == 0`.
+    pub fn try_new(disk: DiskSim, capacity: usize) -> Result<Self, StorageError> {
+        if capacity == 0 {
+            return Err(StorageError::InvalidConfig {
+                reason: "buffer pool needs at least one frame",
+            });
+        }
+        Ok(BufferPool {
             disk,
             capacity,
+            retry: RetryPolicy::default(),
+            retry_stats: Mutex::new(RetryStats::default()),
             lru: Mutex::new(Lru {
                 slots: Vec::new(),
                 map: HashMap::new(),
@@ -131,7 +185,26 @@ impl BufferPool {
                 tail: NIL,
                 stats: IoStats::default(),
             }),
-        }
+        })
+    }
+
+    /// Sets the retry policy for transient disk faults.
+    #[must_use]
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = RetryPolicy { max_attempts: policy.max_attempts.max(1), ..policy };
+        self
+    }
+
+    /// The active retry policy.
+    #[must_use]
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Retry counters so far.
+    #[must_use]
+    pub fn retry_stats(&self) -> RetryStats {
+        *self.retry_stats.lock()
     }
 
     /// Cache capacity in pages.
@@ -152,12 +225,47 @@ impl BufferPool {
         &mut self.disk
     }
 
+    /// Fetches a page from disk, absorbing transient [`StorageError::IoFault`]s
+    /// with the pool's bounded retry-with-backoff. Permanent errors
+    /// propagate immediately; exhausted retries surface an `IoFault`
+    /// carrying the total attempt count.
+    fn read_with_retry(&self, id: PageId) -> Result<Arc<[u8]>, StorageError> {
+        let mut attempt = 1;
+        loop {
+            match self.disk.read(id) {
+                Ok(data) => {
+                    if attempt > 1 {
+                        self.retry_stats.lock().recovered += 1;
+                    }
+                    return Ok(data);
+                }
+                Err(StorageError::IoFault { op, page, .. }) => {
+                    if attempt >= self.retry.max_attempts {
+                        self.retry_stats.lock().exhausted += 1;
+                        return Err(StorageError::IoFault { op, page, attempts: attempt });
+                    }
+                    if !self.retry.base_delay.is_zero() {
+                        std::thread::sleep(self.retry.base_delay * (1 << (attempt - 1).min(16)));
+                    }
+                    self.retry_stats.lock().retries += 1;
+                    attempt += 1;
+                }
+                Err(permanent) => return Err(permanent),
+            }
+        }
+    }
+
     /// Reads a page, serving from cache when possible.
+    ///
+    /// Disk-level transient faults are retried per the pool's
+    /// [`RetryPolicy`]; see [`BufferPool::retry_stats`] for how often
+    /// that machinery fired.
     ///
     /// # Errors
     ///
-    /// [`StorageError::PageOutOfBounds`] for unallocated pages (the error
-    /// is not cached and counts as neither hit nor miss).
+    /// [`StorageError::PageOutOfBounds`] for unallocated pages and
+    /// [`StorageError::IoFault`] when retries are exhausted (errors are
+    /// not cached and count as neither hit nor miss).
     pub fn read(&self, id: PageId) -> Result<Arc<[u8]>, StorageError> {
         let mut lru = self.lru.lock();
         if let Some(&slot) = lru.map.get(&id) {
@@ -168,7 +276,7 @@ impl BufferPool {
             return Ok(Arc::clone(&lru.slots[slot].data));
         }
         // Miss: fetch from disk (may fail; fail before touching state).
-        let data = self.disk.read(id)?;
+        let data = self.read_with_retry(id)?;
         lru.stats.logical_reads += 1;
         lru.stats.misses += 1;
         let slot = if lru.slots.len() < self.capacity {
@@ -315,5 +423,84 @@ mod tests {
     #[should_panic(expected = "at least one frame")]
     fn zero_capacity_panics() {
         let _ = BufferPool::new(DiskSim::new(), 0);
+    }
+
+    #[test]
+    fn try_new_rejects_zero_capacity() {
+        assert!(matches!(
+            BufferPool::try_new(DiskSim::new(), 0),
+            Err(StorageError::InvalidConfig { .. })
+        ));
+        assert_eq!(BufferPool::try_new(DiskSim::new(), 4).unwrap().capacity(), 4);
+    }
+
+    fn faulty_pool(pages: u8, capacity: usize, seed: u64, rate: f64) -> BufferPool {
+        use crate::fault::{FaultConfig, FaultInjector};
+        let mut disk = DiskSim::new();
+        for i in 0..pages {
+            disk.alloc(vec![i; PAGE_SIZE]);
+        }
+        let config = FaultConfig { seed, read_error_rate: rate, ..FaultConfig::none() };
+        disk.set_fault_injector(FaultInjector::new(config).unwrap());
+        BufferPool::new(disk, capacity)
+    }
+
+    #[test]
+    fn transient_faults_are_retried_away() {
+        // 30 % read-error rate, 8 attempts: per-read failure odds are
+        // 0.3^8 ≈ 0.0066 %, so all 200 cold reads succeed with
+        // probability ≈ 99.99 %.
+        let p = faulty_pool(4, 1, 99, 0.3)
+            .with_retry_policy(RetryPolicy { max_attempts: 8, ..RetryPolicy::default() });
+        for round in 0..50 {
+            for i in 0..4 {
+                let page = p.read(PageId(i)).unwrap();
+                assert_eq!(page[0], i as u8, "round {round}");
+            }
+        }
+        let rs = p.retry_stats();
+        assert!(rs.retries > 0, "0.3 fault rate never fired");
+        assert!(rs.recovered > 0);
+        assert_eq!(rs.exhausted, 0);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_with_attempt_count() {
+        use crate::fault::{FaultConfig, FaultInjector};
+        let mut disk = DiskSim::new();
+        disk.alloc(vec![1; PAGE_SIZE]);
+        let config = FaultConfig { seed: 1, read_error_rate: 1.0, ..FaultConfig::none() };
+        disk.set_fault_injector(FaultInjector::new(config).unwrap());
+        let p = BufferPool::new(disk, 1)
+            .with_retry_policy(RetryPolicy { max_attempts: 3, ..RetryPolicy::default() });
+        match p.read(PageId(0)) {
+            Err(StorageError::IoFault { op: "read", page: 0, attempts: 3 }) => {}
+            other => panic!("expected exhausted IoFault, got {other:?}"),
+        }
+        assert_eq!(p.retry_stats().exhausted, 1);
+        // The failed read polluted neither the cache nor the hit/miss split.
+        assert_eq!(p.stats(), IoStats::default());
+        assert_eq!(p.cached_pages(), 0);
+    }
+
+    #[test]
+    fn permanent_errors_are_not_retried() {
+        let p = faulty_pool(1, 1, 1, 1.0)
+            .with_retry_policy(RetryPolicy { max_attempts: 10, ..RetryPolicy::default() });
+        assert!(matches!(p.read(PageId(9)), Err(StorageError::PageOutOfBounds { .. })));
+        assert_eq!(p.retry_stats().retries, 0);
+    }
+
+    #[test]
+    fn cache_hits_bypass_the_faulty_disk() {
+        // Retry until page 0 is cached, then a 100 %-error disk is
+        // irrelevant: hits never touch it.
+        let p = faulty_pool(1, 1, 7, 0.5)
+            .with_retry_policy(RetryPolicy { max_attempts: 20, ..RetryPolicy::default() });
+        p.read(PageId(0)).unwrap();
+        for _ in 0..100 {
+            p.read(PageId(0)).unwrap();
+        }
+        assert_eq!(p.stats().hits, 100);
     }
 }

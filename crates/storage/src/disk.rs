@@ -1,7 +1,9 @@
 //! The simulated disk: a flat array of pages with physical-IO accounting.
 
 use crate::error::StorageError;
+use crate::fault::{FaultInjector, FaultStats, ReadFault, WriteFault};
 use crate::page::{PageId, PAGE_SIZE};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -10,10 +12,16 @@ use std::sync::Arc;
 ///
 /// Pages are shared as `Arc<[u8]>` so the buffer pool can cache them
 /// without copying.
+///
+/// An optional [`FaultInjector`] perturbs reads and writes with a
+/// deterministic, seeded fault schedule (see [`crate::fault`]); without
+/// one installed, the disk is perfectly reliable and the fast path pays
+/// nothing.
 #[derive(Debug, Default)]
 pub struct DiskSim {
     pages: Vec<Arc<[u8]>>,
     physical_reads: AtomicU64,
+    faults: Option<Mutex<FaultInjector>>,
 }
 
 impl DiskSim {
@@ -35,31 +43,138 @@ impl DiskSim {
         self.physical_reads.load(Ordering::Relaxed)
     }
 
+    /// Installs a fault injector; every subsequent read and write is
+    /// screened against its schedule. Replaces any previous injector.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.faults = Some(Mutex::new(injector));
+    }
+
+    /// Removes the fault injector, restoring a perfectly reliable disk.
+    pub fn clear_fault_injector(&mut self) {
+        self.faults = None;
+    }
+
+    /// Fault counts so far; `None` when no injector is installed.
+    #[must_use]
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(|f| f.lock().stats())
+    }
+
     /// Appends a page image and returns its id.
     ///
     /// # Panics
     ///
     /// Panics when `data` is not exactly [`PAGE_SIZE`] bytes — pages are
     /// produced by [`crate::SlottedPage::encode`], which always pads.
+    /// Use [`DiskSim::try_alloc`] for a non-panicking variant.
     pub fn alloc(&mut self, data: Vec<u8>) -> PageId {
-        assert_eq!(data.len(), PAGE_SIZE, "pages are exactly PAGE_SIZE bytes");
+        match self.try_alloc(data) {
+            Ok(id) => id,
+            Err(e) => panic!("pages are exactly PAGE_SIZE bytes: {e}"),
+        }
+    }
+
+    /// Appends a page image and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::InvalidConfig`] when `data` is not exactly
+    /// [`PAGE_SIZE`] bytes. Allocation is not screened by the fault
+    /// injector: it models catalog growth, not data-path traffic.
+    pub fn try_alloc(&mut self, data: Vec<u8>) -> Result<PageId, StorageError> {
+        if data.len() != PAGE_SIZE {
+            return Err(StorageError::InvalidConfig {
+                reason: "page image must be exactly PAGE_SIZE bytes",
+            });
+        }
         let id = PageId(self.pages.len() as u64);
         self.pages.push(data.into());
-        id
+        Ok(id)
+    }
+
+    /// Overwrites an allocated page in place.
+    ///
+    /// With a fault injector installed the write may fail cleanly (old
+    /// image intact) or tear — a prefix of the new image persists, the
+    /// rest of the page keeps its old bytes, and the error is reported.
+    /// A bounded retry that rewrites the full page recovers from a tear.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::PageOutOfBounds`] for unallocated ids,
+    /// [`StorageError::InvalidConfig`] for a wrong-sized image, and
+    /// [`StorageError::IoFault`] for injected device failures.
+    pub fn write(&mut self, id: PageId, data: &[u8]) -> Result<(), StorageError> {
+        if data.len() != PAGE_SIZE {
+            return Err(StorageError::InvalidConfig {
+                reason: "page image must be exactly PAGE_SIZE bytes",
+            });
+        }
+        let allocated = self.page_count();
+        let slot = self
+            .pages
+            .get_mut(usize::try_from(id.0).unwrap_or(usize::MAX))
+            .ok_or(StorageError::PageOutOfBounds { page: id.0, allocated })?;
+        let fault = match &self.faults {
+            Some(f) => f.lock().on_write(data.len()),
+            None => WriteFault::None,
+        };
+        match fault {
+            WriteFault::None => {
+                *slot = data.to_vec().into();
+                Ok(())
+            }
+            WriteFault::Error => {
+                Err(StorageError::IoFault { op: "write", page: id.0, attempts: 1 })
+            }
+            WriteFault::Torn { keep } => {
+                let keep = keep.min(data.len());
+                let mut torn = slot.to_vec();
+                torn[..keep].copy_from_slice(&data[..keep]);
+                *slot = torn.into();
+                Err(StorageError::IoFault { op: "write", page: id.0, attempts: 1 })
+            }
+        }
     }
 
     /// Reads a page from "disk", incrementing the physical-read counter.
     ///
+    /// With a fault injector installed the read may fail transiently
+    /// ([`StorageError::IoFault`]; the page is intact, a retry may
+    /// succeed) or return a copy with one bit flipped while the stored
+    /// page stays clean.
+    ///
     /// # Errors
     ///
-    /// [`StorageError::PageOutOfBounds`] for unallocated ids.
+    /// [`StorageError::PageOutOfBounds`] for unallocated ids,
+    /// [`StorageError::IoFault`] for injected device failures.
     pub fn read(&self, id: PageId) -> Result<Arc<[u8]>, StorageError> {
         let page = self
             .pages
             .get(usize::try_from(id.0).unwrap_or(usize::MAX))
             .ok_or(StorageError::PageOutOfBounds { page: id.0, allocated: self.page_count() })?;
-        self.physical_reads.fetch_add(1, Ordering::Relaxed);
-        Ok(Arc::clone(page))
+        let fault = match &self.faults {
+            Some(f) => f.lock().on_read(),
+            None => ReadFault::None,
+        };
+        match fault {
+            ReadFault::None => {
+                self.physical_reads.fetch_add(1, Ordering::Relaxed);
+                Ok(Arc::clone(page))
+            }
+            // Failed reads do not count as physical IO: the transfer
+            // never completed.
+            ReadFault::Error => Err(StorageError::IoFault { op: "read", page: id.0, attempts: 1 }),
+            ReadFault::BitFlip { byte, bit } => {
+                self.physical_reads.fetch_add(1, Ordering::Relaxed);
+                let mut copy = page.to_vec();
+                if !copy.is_empty() {
+                    let idx = byte % copy.len();
+                    copy[idx] ^= 1 << (bit % 8);
+                }
+                Ok(copy.into())
+            }
+        }
     }
 }
 
@@ -106,5 +221,84 @@ mod tests {
     #[should_panic(expected = "PAGE_SIZE")]
     fn wrong_sized_page_panics() {
         DiskSim::new().alloc(vec![0u8; 100]);
+    }
+
+    #[test]
+    fn try_alloc_rejects_wrong_sizes_without_panicking() {
+        let mut d = DiskSim::new();
+        assert!(matches!(d.try_alloc(vec![0u8; 100]), Err(StorageError::InvalidConfig { .. })));
+        assert_eq!(d.try_alloc(page_of(3)).unwrap(), PageId(0));
+    }
+
+    #[test]
+    fn write_overwrites_in_place() {
+        let mut d = DiskSim::new();
+        let id = d.alloc(page_of(1));
+        d.write(id, &page_of(9)).unwrap();
+        assert_eq!(d.read(id).unwrap()[0], 9);
+        assert!(matches!(
+            d.write(PageId(5), &page_of(0)),
+            Err(StorageError::PageOutOfBounds { .. })
+        ));
+        assert!(matches!(d.write(id, &[0u8; 10]), Err(StorageError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn injected_read_errors_are_transient() {
+        use crate::fault::{FaultConfig, FaultInjector};
+        let mut d = DiskSim::new();
+        let id = d.alloc(page_of(7));
+        let config = FaultConfig { seed: 3, read_error_rate: 0.5, ..FaultConfig::none() };
+        d.set_fault_injector(FaultInjector::new(config).unwrap());
+        let mut errors = 0;
+        for _ in 0..200 {
+            match d.read(id) {
+                Ok(p) => assert_eq!(p[0], 7),
+                Err(StorageError::IoFault { op: "read", page: 0, attempts: 1 }) => errors += 1,
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+        assert!(errors > 0, "0.5 rate never fired in 200 reads");
+        assert_eq!(d.fault_stats().unwrap().read_errors, errors);
+        // Faulty reads never counted as physical IO.
+        assert_eq!(d.physical_reads(), 200 - errors);
+        d.clear_fault_injector();
+        assert!(d.fault_stats().is_none());
+        for _ in 0..50 {
+            d.read(id).unwrap();
+        }
+    }
+
+    #[test]
+    fn bit_flips_corrupt_the_copy_not_the_page() {
+        use crate::fault::{FaultConfig, FaultInjector};
+        let mut d = DiskSim::new();
+        let id = d.alloc(page_of(0));
+        let config = FaultConfig { seed: 11, bit_flip_rate: 1.0, ..FaultConfig::none() };
+        d.set_fault_injector(FaultInjector::new(config).unwrap());
+        let corrupted = d.read(id).unwrap();
+        assert_eq!(corrupted.iter().filter(|&&b| b != 0).count(), 1, "exactly one byte flipped");
+        d.clear_fault_injector();
+        // The stored page was never touched.
+        assert!(d.read(id).unwrap().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn torn_writes_persist_a_prefix_and_report() {
+        use crate::fault::{FaultConfig, FaultInjector};
+        let mut d = DiskSim::new();
+        let id = d.alloc(page_of(1));
+        let config = FaultConfig { seed: 5, torn_write_rate: 1.0, ..FaultConfig::none() };
+        d.set_fault_injector(FaultInjector::new(config).unwrap());
+        assert!(matches!(d.write(id, &page_of(9)), Err(StorageError::IoFault { op: "write", .. })));
+        d.clear_fault_injector();
+        let page = d.read(id).unwrap();
+        // The page is a prefix of the new image followed by old bytes.
+        let split = page.iter().position(|&b| b == 1).unwrap_or(PAGE_SIZE);
+        assert!(page[..split].iter().all(|&b| b == 9));
+        assert!(page[split..].iter().all(|&b| b == 1));
+        // A clean retry rewrites the full page.
+        d.write(id, &page_of(9)).unwrap();
+        assert!(d.read(id).unwrap().iter().all(|&b| b == 9));
     }
 }

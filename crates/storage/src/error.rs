@@ -4,6 +4,7 @@ use std::fmt;
 
 /// Errors from the simulated disk, buffer pool, and heap files.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum StorageError {
     /// A page id beyond the allocated disk.
     PageOutOfBounds {
@@ -31,6 +32,21 @@ pub enum StorageError {
         /// What failed to parse.
         reason: &'static str,
     },
+    /// A device-level read or write failure (injected or real), surfaced
+    /// after retries were exhausted.
+    IoFault {
+        /// The failed operation (`"read"` or `"write"`).
+        op: &'static str,
+        /// The page the operation targeted.
+        page: u64,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// The pool or disk was constructed with an invalid parameter.
+    InvalidConfig {
+        /// Explanation of the violated requirement.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -46,11 +62,23 @@ impl fmt::Display for StorageError {
                 write!(f, "slot {slot} out of bounds (page has {count} records)")
             }
             StorageError::CorruptPage { reason } => write!(f, "corrupt page: {reason}"),
+            StorageError::IoFault { op, page, attempts } => {
+                write!(f, "i/o fault: {op} of page {page} failed after {attempts} attempts")
+            }
+            StorageError::InvalidConfig { reason } => {
+                write!(f, "invalid storage configuration: {reason}")
+            }
         }
     }
 }
 
 impl std::error::Error for StorageError {}
+
+impl From<StorageError> for mlq_core::MlqError {
+    fn from(e: StorageError) -> Self {
+        mlq_core::MlqError::IoFault { reason: e.to_string() }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -64,9 +92,7 @@ mod tests {
         assert!(StorageError::RecordTooLarge { size: 9000, max: 4090 }
             .to_string()
             .contains("9000"));
-        assert!(StorageError::SlotOutOfBounds { slot: 5, count: 2 }
-            .to_string()
-            .contains("slot 5"));
+        assert!(StorageError::SlotOutOfBounds { slot: 5, count: 2 }.to_string().contains("slot 5"));
         assert!(StorageError::CorruptPage { reason: "truncated header" }
             .to_string()
             .contains("truncated"));

@@ -1,0 +1,303 @@
+//! Deterministic storage fault injection.
+//!
+//! The experiments treat the storage substrate as reliable; real devices
+//! are not. This module injects the classic failure taxonomy into
+//! [`DiskSim`](crate::DiskSim) so the layers above can be tested against
+//! it:
+//!
+//! * **read errors** — the device refuses a read
+//!   ([`StorageError::IoFault`], transient: a retry may succeed);
+//! * **write errors** — the device refuses a write, leaving the old page
+//!   intact;
+//! * **torn writes** — a write is interrupted after persisting only a
+//!   prefix of the new image (the rest of the page keeps its old bytes)
+//!   and the device reports the failure, as after a power cut;
+//! * **bit flips** — a read *succeeds* but the returned copy has one bit
+//!   flipped (bus/DMA corruption; the stored page is intact, so a retry
+//!   returns clean bytes).
+//!
+//! Faults are drawn from a seed-driven [SplitMix64] generator, so a fault
+//! schedule is a pure function of `(seed, operation sequence)`: the same
+//! test run sees the same faults every time, on every platform. The
+//! injector never panics and never fabricates out-of-bounds state — it
+//! only perturbs operations the disk would otherwise perform.
+//!
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+
+use crate::error::StorageError;
+
+/// Probabilities of each fault class, applied per operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Seed of the deterministic fault schedule.
+    pub seed: u64,
+    /// Probability a physical read fails with [`StorageError::IoFault`].
+    pub read_error_rate: f64,
+    /// Probability a write fails, leaving the page untouched.
+    pub write_error_rate: f64,
+    /// Probability a write tears: a prefix persists, the write errors.
+    pub torn_write_rate: f64,
+    /// Probability a successful read returns a copy with one flipped bit.
+    pub bit_flip_rate: f64,
+}
+
+impl FaultConfig {
+    /// A schedule that injects nothing (rates all zero).
+    #[must_use]
+    pub fn none() -> Self {
+        FaultConfig {
+            seed: 0,
+            read_error_rate: 0.0,
+            write_error_rate: 0.0,
+            torn_write_rate: 0.0,
+            bit_flip_rate: 0.0,
+        }
+    }
+
+    /// A uniform schedule: every fault class at `rate`, from `seed`.
+    #[must_use]
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        FaultConfig {
+            seed,
+            read_error_rate: rate,
+            write_error_rate: rate,
+            torn_write_rate: rate,
+            bit_flip_rate: rate,
+        }
+    }
+
+    /// Validates that every rate is a probability.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::InvalidConfig`] when any rate is outside `[0, 1]`
+    /// or not finite.
+    pub fn validate(&self) -> Result<(), StorageError> {
+        let rates =
+            [self.read_error_rate, self.write_error_rate, self.torn_write_rate, self.bit_flip_rate];
+        if rates.iter().any(|r| !r.is_finite() || !(0.0..=1.0).contains(r)) {
+            return Err(StorageError::InvalidConfig {
+                reason: "fault rates must be probabilities in [0, 1]",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Counts of injected faults, by class, plus the operations screened.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Physical reads the injector screened.
+    pub reads_seen: u64,
+    /// Writes the injector screened.
+    pub writes_seen: u64,
+    /// Reads failed with an injected error.
+    pub read_errors: u64,
+    /// Writes failed cleanly (old page intact).
+    pub write_errors: u64,
+    /// Writes torn (prefix persisted, error reported).
+    pub torn_writes: u64,
+    /// Reads that returned a bit-flipped copy.
+    pub bit_flips: u64,
+}
+
+/// What the injector decided for one read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadFault {
+    /// Read proceeds untouched.
+    None,
+    /// Read fails with [`StorageError::IoFault`].
+    Error,
+    /// Read succeeds but the copy has this bit of this byte flipped
+    /// (indices taken modulo the page length by the applier).
+    BitFlip {
+        /// Byte offset to corrupt.
+        byte: usize,
+        /// Bit within the byte, `0..8`.
+        bit: u8,
+    },
+}
+
+/// What the injector decided for one write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Write proceeds untouched.
+    None,
+    /// Write fails; the old page remains intact.
+    Error,
+    /// Write tears after `keep` bytes of the new image (taken modulo the
+    /// page length by the applier); the device reports failure.
+    Torn {
+        /// New-image bytes that reached the platter.
+        keep: usize,
+    },
+}
+
+/// Seed-driven fault source for [`DiskSim`](crate::DiskSim).
+///
+/// Construct with [`FaultInjector::new`], install with
+/// [`DiskSim::set_fault_injector`](crate::DiskSim::set_fault_injector).
+///
+/// Decisions consume the generator in a fixed order (fault class, then
+/// position draws), so schedules are reproducible run-to-run.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    state: u64,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Builds an injector from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::InvalidConfig`] when a rate is not a probability.
+    pub fn new(config: FaultConfig) -> Result<Self, StorageError> {
+        config.validate()?;
+        Ok(FaultInjector { config, state: config.seed, stats: FaultStats::default() })
+    }
+
+    /// The installed configuration.
+    #[must_use]
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Fault counts so far.
+    #[must_use]
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// SplitMix64 step: the full-period 64-bit mixer.
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Decides the fate of one read.
+    pub fn on_read(&mut self) -> ReadFault {
+        self.stats.reads_seen += 1;
+        // One draw picks the class: [0, err) -> error, [err, err+flip) ->
+        // bit flip. Disjoint intervals keep the classes mutually
+        // exclusive per operation.
+        let draw = self.next_f64();
+        if draw < self.config.read_error_rate {
+            self.stats.read_errors += 1;
+            return ReadFault::Error;
+        }
+        if draw < self.config.read_error_rate + self.config.bit_flip_rate {
+            self.stats.bit_flips += 1;
+            let byte = usize::try_from(self.next_u64() % u64::from(u32::MAX)).unwrap_or(0);
+            let bit = (self.next_u64() % 8) as u8;
+            return ReadFault::BitFlip { byte, bit };
+        }
+        ReadFault::None
+    }
+
+    /// Decides the fate of one write of `len` bytes.
+    pub fn on_write(&mut self, len: usize) -> WriteFault {
+        self.stats.writes_seen += 1;
+        let draw = self.next_f64();
+        if draw < self.config.write_error_rate {
+            self.stats.write_errors += 1;
+            return WriteFault::Error;
+        }
+        if draw < self.config.write_error_rate + self.config.torn_write_rate {
+            self.stats.torn_writes += 1;
+            let keep =
+                if len == 0 { 0 } else { usize::try_from(self.next_u64()).unwrap_or(0) % len };
+            return WriteFault::Torn { keep };
+        }
+        WriteFault::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_are_validated() {
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let config = FaultConfig { read_error_rate: bad, ..FaultConfig::none() };
+            assert!(FaultInjector::new(config).is_err(), "accepted rate {bad}");
+        }
+        assert!(FaultInjector::new(FaultConfig::none()).is_ok());
+        assert!(FaultInjector::new(FaultConfig::uniform(1, 1.0)).is_ok());
+    }
+
+    #[test]
+    fn zero_rates_inject_nothing() {
+        let mut inj = FaultInjector::new(FaultConfig::none()).unwrap();
+        for _ in 0..1000 {
+            assert_eq!(inj.on_read(), ReadFault::None);
+            assert_eq!(inj.on_write(4096), WriteFault::None);
+        }
+        let s = inj.stats();
+        assert_eq!(s.reads_seen, 1000);
+        assert_eq!(s.writes_seen, 1000);
+        assert_eq!(s.read_errors + s.bit_flips + s.write_errors + s.torn_writes, 0);
+    }
+
+    #[test]
+    fn schedules_are_deterministic() {
+        let config = FaultConfig::uniform(42, 0.3);
+        let mut a = FaultInjector::new(config).unwrap();
+        let mut b = FaultInjector::new(config).unwrap();
+        for _ in 0..500 {
+            assert_eq!(a.on_read(), b.on_read());
+            assert_eq!(a.on_write(4096), b.on_write(4096));
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let mut a = FaultInjector::new(FaultConfig::uniform(1, 0.5)).unwrap();
+        let mut b = FaultInjector::new(FaultConfig::uniform(2, 0.5)).unwrap();
+        let same = (0..200).filter(|_| a.on_read() == b.on_read()).count();
+        assert!(same < 200, "seeds 1 and 2 produced identical schedules");
+    }
+
+    #[test]
+    fn rates_are_roughly_honored() {
+        let config = FaultConfig {
+            seed: 7,
+            read_error_rate: 0.1,
+            bit_flip_rate: 0.1,
+            write_error_rate: 0.0,
+            torn_write_rate: 0.0,
+        };
+        let mut inj = FaultInjector::new(config).unwrap();
+        for _ in 0..10_000 {
+            inj.on_read();
+        }
+        let s = inj.stats();
+        // 10 % ± generous slack on 10k draws.
+        assert!((700..1300).contains(&s.read_errors), "read errors: {}", s.read_errors);
+        assert!((700..1300).contains(&s.bit_flips), "bit flips: {}", s.bit_flips);
+    }
+
+    #[test]
+    fn torn_writes_keep_a_strict_prefix() {
+        let config = FaultConfig { torn_write_rate: 1.0, ..FaultConfig::none() };
+        let mut inj = FaultInjector::new(config).unwrap();
+        for _ in 0..100 {
+            match inj.on_write(4096) {
+                WriteFault::Torn { keep } => assert!(keep < 4096),
+                other => panic!("expected torn write, got {other:?}"),
+            }
+        }
+        assert_eq!(inj.on_write(0), WriteFault::Torn { keep: 0 });
+    }
+}

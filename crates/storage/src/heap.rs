@@ -28,7 +28,13 @@ pub struct HeapFileBuilder<'d> {
 impl<'d> HeapFileBuilder<'d> {
     /// Starts a new heap file on `disk`.
     pub fn new(disk: &'d mut DiskSim) -> Self {
-        HeapFileBuilder { disk, pages: Vec::new(), pending: Vec::new(), pending_payload: 0, records: 0 }
+        HeapFileBuilder {
+            disk,
+            pages: Vec::new(),
+            pending: Vec::new(),
+            pending_payload: 0,
+            records: 0,
+        }
     }
 
     /// Appends one record, returning its future address.
@@ -175,8 +181,7 @@ mod tests {
     fn record_ids_are_stable_addresses() {
         let mut disk = DiskSim::new();
         let mut b = HeapFileBuilder::new(&mut disk);
-        let ids: Vec<RecordId> =
-            (0..100u32).map(|i| b.append(&i.to_le_bytes()).unwrap()).collect();
+        let ids: Vec<RecordId> = (0..100u32).map(|i| b.append(&i.to_le_bytes()).unwrap()).collect();
         let file = b.finish().unwrap();
         let pool = BufferPool::new(disk, 16);
         for (i, id) in ids.iter().enumerate() {

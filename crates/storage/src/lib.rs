@@ -44,11 +44,13 @@
 mod buffer;
 mod disk;
 mod error;
+pub mod fault;
 mod heap;
 mod page;
 
-pub use buffer::{BufferPool, IoStats};
+pub use buffer::{BufferPool, IoStats, RetryPolicy, RetryStats};
 pub use disk::DiskSim;
 pub use error::StorageError;
+pub use fault::{FaultConfig, FaultInjector, FaultStats};
 pub use heap::{HeapFile, HeapFileBuilder, RecordId};
 pub use page::{PageId, SlottedPage, PAGE_SIZE};

@@ -150,10 +150,7 @@ mod tests {
     #[test]
     fn oversized_record_rejected() {
         let big = vec![0u8; PAGE_SIZE];
-        assert!(matches!(
-            SlottedPage::encode(&[&big]),
-            Err(StorageError::RecordTooLarge { .. })
-        ));
+        assert!(matches!(SlottedPage::encode(&[&big]), Err(StorageError::RecordTooLarge { .. })));
         let exactly = vec![7u8; SlottedPage::MAX_RECORD];
         let page = SlottedPage::encode(&[&exactly]).unwrap();
         assert_eq!(SlottedPage::record(&page, 0).unwrap(), exactly.as_slice());
@@ -161,10 +158,7 @@ mod tests {
 
     #[test]
     fn truncated_page_is_corrupt() {
-        assert!(matches!(
-            SlottedPage::record_count(&[1]),
-            Err(StorageError::CorruptPage { .. })
-        ));
+        assert!(matches!(SlottedPage::record_count(&[1]), Err(StorageError::CorruptPage { .. })));
         // Header claims 5 records but directory is missing.
         let mut bad = vec![0u8; 4];
         bad[0] = 5;

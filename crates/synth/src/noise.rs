@@ -133,10 +133,7 @@ mod tests {
     use mlq_core::Space;
 
     fn surface() -> SyntheticUdf {
-        SyntheticUdf::builder(Space::cube(2, 0.0, 1000.0).unwrap())
-            .peaks(5)
-            .seed(1)
-            .build()
+        SyntheticUdf::builder(Space::cube(2, 0.0, 1000.0).unwrap()).peaks(5).seed(1).build()
     }
 
     #[test]
@@ -196,10 +193,7 @@ mod tests {
         let n = 20_000;
         let mean: f64 = (0..n).map(|_| noisy.cost(&p)).sum::<f64>() / f64::from(n);
         // E[max(0, 1 + 0.2 Z)] ~ 1 (clipping is negligible at sigma 0.2).
-        assert!(
-            (mean - truth).abs() < 0.01 * truth.max(1.0),
-            "mean {mean} vs truth {truth}"
-        );
+        assert!((mean - truth).abs() < 0.01 * truth.max(1.0), "mean {mean} vs truth {truth}");
     }
 
     #[test]

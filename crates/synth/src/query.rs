@@ -106,9 +106,7 @@ impl QueryDistribution {
 }
 
 fn uniform_point(space: &Space, rng: &mut StdRng) -> Vec<f64> {
-    (0..space.dims())
-        .map(|i| rng.random_range(space.low(i)..space.high(i)))
-        .collect()
+    (0..space.dims()).map(|i| rng.random_range(space.low(i)..space.high(i))).collect()
 }
 
 /// Centroids (uniform) plus one per-dimension Gaussian shape.
@@ -194,10 +192,8 @@ mod tests {
         // With sigma = 50, points belonging to a cluster are within ~200 of
         // its centroid; verify spread is far below uniform by checking the
         // number of distinct 100x100 grid cells touched.
-        let cells: std::collections::HashSet<(i64, i64)> = pts
-            .iter()
-            .map(|p| ((p[0] / 100.0) as i64, (p[1] / 100.0) as i64))
-            .collect();
+        let cells: std::collections::HashSet<(i64, i64)> =
+            pts.iter().map(|p| ((p[0] / 100.0) as i64, (p[1] / 100.0) as i64)).collect();
         assert!(cells.len() < 40, "clustered workload touched {} cells", cells.len());
     }
 

@@ -47,12 +47,7 @@ impl Peak {
     /// This peak's cost contribution at `point`.
     #[must_use]
     pub fn contribution(&self, point: &[f64]) -> f64 {
-        let dist2: f64 = self
-            .center
-            .iter()
-            .zip(point)
-            .map(|(c, p)| (c - p) * (c - p))
-            .sum();
+        let dist2: f64 = self.center.iter().zip(point).map(|(c, p)| (c - p) * (c - p)).sum();
         self.height * self.decay.factor(dist2.sqrt() / self.radius)
     }
 }
@@ -107,12 +102,7 @@ impl CostSurface for SyntheticUdf {
     }
 
     fn cost(&self, point: &[f64]) -> f64 {
-        self.base_cost
-            + self
-                .peaks
-                .iter()
-                .map(|p| p.contribution(point))
-                .fold(0.0, f64::max)
+        self.base_cost + self.peaks.iter().map(|p| p.contribution(point)).fold(0.0, f64::max)
     }
 
     fn max_cost(&self) -> f64 {
@@ -267,11 +257,7 @@ mod tests {
     #[test]
     fn tallest_peak_reaches_max_cost() {
         let udf = SyntheticUdf::builder(space()).peaks(10).seed(1).build();
-        let tallest = udf
-            .peaks()
-            .iter()
-            .max_by(|a, b| a.height.total_cmp(&b.height))
-            .unwrap();
+        let tallest = udf.peaks().iter().max_by(|a, b| a.height.total_cmp(&b.height)).unwrap();
         assert!((tallest.height - udf.max_cost()).abs() < 1e-9);
         assert!((udf.cost(&tallest.center) - udf.max_cost()).abs() < 1e-9);
     }
@@ -315,18 +301,8 @@ mod tests {
         let udf = SyntheticUdf {
             space: s,
             peaks: vec![
-                Peak {
-                    center: vec![50.0],
-                    height: 10.0,
-                    decay: DecayKind::Uniform,
-                    radius: 60.0,
-                },
-                Peak {
-                    center: vec![50.0],
-                    height: 70.0,
-                    decay: DecayKind::Uniform,
-                    radius: 60.0,
-                },
+                Peak { center: vec![50.0], height: 10.0, decay: DecayKind::Uniform, radius: 60.0 },
+                Peak { center: vec![50.0], height: 70.0, decay: DecayKind::Uniform, radius: 60.0 },
             ],
             max_cost: 70.0,
             base_cost: 0.0,
@@ -369,8 +345,7 @@ mod tests {
     #[test]
     fn all_decay_kinds_appear_in_large_surfaces() {
         let udf = SyntheticUdf::builder(space()).peaks(200).seed(6).build();
-        let kinds: std::collections::HashSet<_> =
-            udf.peaks().iter().map(|p| p.decay).collect();
+        let kinds: std::collections::HashSet<_> = udf.peaks().iter().map(|p| p.decay).collect();
         assert_eq!(kinds.len(), ALL_DECAY_KINDS.len());
     }
 }

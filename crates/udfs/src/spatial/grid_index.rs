@@ -147,9 +147,8 @@ fn decode_chunk(chunk: &[u8], out: &mut Vec<Rect>) -> Result<(), StorageError> {
     }
     for entry in chunk.chunks_exact(ENTRY_BYTES) {
         let id = u32::from_le_bytes(entry[0..4].try_into().expect("sized"));
-        let f = |i: usize| {
-            f32::from_le_bytes(entry[4 + 4 * i..8 + 4 * i].try_into().expect("sized"))
-        };
+        let f =
+            |i: usize| f32::from_le_bytes(entry[4 + 4 * i..8 + 4 * i].try_into().expect("sized"));
         out.push(Rect { id, x0: f(0), y0: f(1), x1: f(2), y1: f(3) });
     }
     Ok(())
@@ -182,7 +181,7 @@ mod tests {
     #[test]
     fn objects_land_in_their_cells() {
         let rects = vec![
-            rect(0, 10.0, 10.0, 20.0, 20.0),   // cell (0,0) only
+            rect(0, 10.0, 10.0, 20.0, 20.0),     // cell (0,0) only
             rect(1, 900.0, 900.0, 910.0, 910.0), // cell (3,3) only
         ];
         let (index, pool) = build(4, &rects);
@@ -208,8 +207,7 @@ mod tests {
     #[test]
     fn dense_cells_chunk_across_records() {
         // 200 rects in one cell: 200 * 20 B = 4000 B > one chunk.
-        let rects: Vec<Rect> =
-            (0..200).map(|i| rect(i, 10.0, 10.0, 12.0, 12.0)).collect();
+        let rects: Vec<Rect> = (0..200).map(|i| rect(i, 10.0, 10.0, 12.0, 12.0)).collect();
         let (index, pool) = build(4, &rects);
         let got = index.objects_in_cell(&pool, 0, 0).unwrap();
         assert_eq!(got.len(), 200);
@@ -218,8 +216,7 @@ mod tests {
 
     #[test]
     fn io_cost_scales_with_cell_density() {
-        let mut rects: Vec<Rect> =
-            (0..800).map(|i| rect(i, 10.0, 10.0, 12.0, 12.0)).collect();
+        let mut rects: Vec<Rect> = (0..800).map(|i| rect(i, 10.0, 10.0, 12.0, 12.0)).collect();
         rects.push(rect(9999, 900.0, 900.0, 901.0, 901.0));
         let (index, pool) = build(4, &rects);
         pool.clear();

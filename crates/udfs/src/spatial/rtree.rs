@@ -326,11 +326,8 @@ impl WindowSearchRTree {
     /// Builds the UDF over a shared R-tree database.
     #[must_use]
     pub fn new(db: Arc<RTreeDatabase>) -> Self {
-        let space = Space::new(
-            vec![0.0, 0.0, 0.0, 0.0],
-            vec![1000.0, 1000.0, 200.0, 200.0],
-        )
-        .expect("bounds are valid");
+        let space = Space::new(vec![0.0, 0.0, 0.0, 0.0], vec![1000.0, 1000.0, 200.0, 200.0])
+            .expect("bounds are valid");
         WindowSearchRTree { db, space }
     }
 }
@@ -355,13 +352,8 @@ impl Udf for WindowSearchRTree {
         let h = point[3].clamp(0.0, 200.0);
         let pool = self.db.pool();
         let before = pool.stats();
-        let (ids, cpu) = self.db.index().window(
-            pool,
-            x - w / 2.0,
-            y - h / 2.0,
-            x + w / 2.0,
-            y + h / 2.0,
-        )?;
+        let (ids, cpu) =
+            self.db.index().window(pool, x - w / 2.0, y - h / 2.0, x + w / 2.0, y + h / 2.0)?;
         let io = pool.stats().since(&before).misses as f64;
         Ok(ExecutionCost { cpu, io, results: ids.len() as u64 })
     }
@@ -393,10 +385,12 @@ mod tests {
 
     #[test]
     fn single_node_tree() {
-        let rects: Vec<Rect> = (0..10).map(|i| {
-            let base = i as f32 * 50.0;
-            rect(i, base, base, base + 10.0, base + 10.0)
-        }).collect();
+        let rects: Vec<Rect> = (0..10)
+            .map(|i| {
+                let base = i as f32 * 50.0;
+                rect(i, base, base, base + 10.0, base + 10.0)
+            })
+            .collect();
         let (index, pool) = build(&rects);
         assert_eq!(index.height(), 1);
         let (mut ids, cpu) = index.window(&pool, 0.0, 0.0, 120.0, 120.0).unwrap();
@@ -408,11 +402,13 @@ mod tests {
     #[test]
     fn multi_level_tree_builds_and_prunes() {
         // 2000 objects force at least two levels (38 per leaf).
-        let rects: Vec<Rect> = (0..2000).map(|i| {
-            let x = (i % 50) as f32 * 20.0;
-            let y = (i / 50) as f32 * 25.0;
-            rect(i, x, y, x + 5.0, y + 5.0)
-        }).collect();
+        let rects: Vec<Rect> = (0..2000)
+            .map(|i| {
+                let x = (i % 50) as f32 * 20.0;
+                let y = (i / 50) as f32 * 25.0;
+                rect(i, x, y, x + 5.0, y + 5.0)
+            })
+            .collect();
         let (index, pool) = build(&rects);
         assert!(index.height() >= 2, "height {}", index.height());
 
@@ -435,11 +431,9 @@ mod tests {
         let rtree_db = Arc::new(RTreeDatabase::generate(config).unwrap());
         let grid_win = WindowSearch::new(grid_db);
         let rtree_win = WindowSearchRTree::new(rtree_db);
-        for p in [
-            [100.0, 100.0, 150.0, 150.0],
-            [500.0, 500.0, 200.0, 50.0],
-            [900.0, 50.0, 80.0, 120.0],
-        ] {
+        for p in
+            [[100.0, 100.0, 150.0, 150.0], [500.0, 500.0, 200.0, 50.0], [900.0, 50.0, 80.0, 120.0]]
+        {
             let a = grid_win.execute(&p).unwrap();
             let b = rtree_win.execute(&p).unwrap();
             assert_eq!(a.results, b.results, "same map, same window, same answer: {p:?}");
@@ -502,11 +496,13 @@ mod tests {
 
     #[test]
     fn io_cost_flows_through_the_pool() {
-        let rects: Vec<Rect> = (0..3000).map(|i| {
-            let x = (i % 60) as f32 * 16.0;
-            let y = (i / 60) as f32 * 20.0;
-            rect(i, x, y, x + 4.0, y + 4.0)
-        }).collect();
+        let rects: Vec<Rect> = (0..3000)
+            .map(|i| {
+                let x = (i % 60) as f32 * 16.0;
+                let y = (i / 60) as f32 * 20.0;
+                rect(i, x, y, x + 4.0, y + 4.0)
+            })
+            .collect();
         let mut disk = DiskSim::new();
         let index = RTreeIndex::build(&mut disk, &rects).unwrap();
         let pool = BufferPool::new(disk, 2); // tiny cache

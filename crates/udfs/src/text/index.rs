@@ -138,8 +138,7 @@ fn decode_chunk(chunk: &[u8], out: &mut Vec<PostingEntry>) -> Result<(), Storage
         let raw = chunk
             .get(at..end)
             .ok_or(StorageError::CorruptPage { reason: "truncated positions" })?;
-        let positions =
-            raw.chunks_exact(2).map(|b| u16::from_le_bytes([b[0], b[1]])).collect();
+        let positions = raw.chunks_exact(2).map(|b| u16::from_le_bytes([b[0], b[1]])).collect();
         out.push(PostingEntry { doc, positions });
         at = end;
     }
@@ -158,11 +157,7 @@ mod tests {
 
     #[test]
     fn roundtrip_small_index() {
-        let postings = vec![
-            vec![(0, vec![1, 5]), (3, vec![0])],
-            vec![],
-            vec![(1, vec![2])],
-        ];
+        let postings = vec![vec![(0, vec![1, 5]), (3, vec![0])], vec![], vec![(1, vec![2])]];
         let (index, pool) = build(&postings);
         assert_eq!(index.terms(), 3);
         assert_eq!(index.doc_freq(0), 2);

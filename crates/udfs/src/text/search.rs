@@ -33,8 +33,8 @@ impl SimpleSearch {
     /// Builds the UDF over a shared text database.
     #[must_use]
     pub fn new(db: Arc<TextDatabase>) -> Self {
-        let space = Space::new(vec![0.0], vec![f64::from(db.vocab())])
-            .expect("vocab bounds are valid");
+        let space =
+            Space::new(vec![0.0], vec![f64::from(db.vocab())]).expect("vocab bounds are valid");
         SimpleSearch { db, space }
     }
 }
@@ -86,11 +86,8 @@ impl ThresholdSearch {
     /// Builds the UDF over a shared text database.
     #[must_use]
     pub fn new(db: Arc<TextDatabase>) -> Self {
-        let space = Space::new(
-            vec![0.0, 1.0],
-            vec![f64::from(db.vocab()), Self::MAX_THRESHOLD],
-        )
-        .expect("bounds are valid");
+        let space = Space::new(vec![0.0, 1.0], vec![f64::from(db.vocab()), Self::MAX_THRESHOLD])
+            .expect("bounds are valid");
         ThresholdSearch { db, space }
     }
 }

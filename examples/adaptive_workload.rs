@@ -27,19 +27,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let space = Space::cube(2, 0.0, 1000.0)?;
     // A dense surface (heavily overlapping decay regions) so that every
     // region of the space has real cost structure to mislearn.
-    let udf = SyntheticUdf::builder(space.clone())
-        .peaks(300)
-        .radius_frac(0.15)
-        .seed(3)
-        .build();
+    let udf = SyntheticUdf::builder(space.clone()).peaks(300).radius_frac(0.15).seed(3).build();
 
     let phase1 = phase_queries(&space, 100);
     let phase2 = phase_queries(&space, 200);
 
     // Static baseline: trained once, on phase-1 data only.
     let mut shh = EquiHeightHistogram::with_budget(space.clone(), 1800)?;
-    let training: Vec<(Vec<f64>, f64)> =
-        phase1.iter().map(|q| (q.clone(), udf.cost(q))).collect();
+    let training: Vec<(Vec<f64>, f64)> = phase1.iter().map(|q| (q.clone(), udf.cost(q))).collect();
     shh.fit(&training)?;
 
     // Self-tuning model: learns only from the live feedback stream.

@@ -19,8 +19,7 @@ fn build_executor() -> FeedbackExecutor {
     // SnowCoverage(...) < 20% (expensive, passes most rows),
     // Contained(...) (cheap, very selective), Contains(...) (middling).
     let mk = |seed: u64, max_cost: f64, sel: f64, name: &str| -> Box<dyn RowPredicate> {
-        let surface =
-            SyntheticUdf::builder(space()).peaks(5).max_cost(max_cost).seed(seed).build();
+        let surface = SyntheticUdf::builder(space()).peaks(5).max_cost(max_cost).seed(seed).build();
         Box::new(SyntheticPredicate::new(name, surface, sel, seed))
     };
     let predicates = vec![
@@ -37,7 +36,7 @@ fn build_executor() -> FeedbackExecutor {
                 .expect("valid config");
             Box::new(MemoryLimitedQuadtree::new(config).expect("valid model"))
         };
-        CostEstimator::new(model(), model(), 0.0)
+        CostEstimator::new(model(), model(), 0.0).expect("non-negative weight")
     };
     let mut exec = FeedbackExecutor::new(predicates, vec![estimator(), estimator(), estimator()]);
     exec.set_true_selectivities(vec![Some(0.9), Some(0.2), Some(0.5)]);

@@ -5,9 +5,7 @@
 //!
 //! Run with: `cargo run --release --example persistence_and_sharding`
 
-use mlq_core::{
-    InsertionStrategy, MemoryLimitedQuadtree, MlqConfig, Space, TreeSnapshot,
-};
+use mlq_core::{InsertionStrategy, MemoryLimitedQuadtree, MlqConfig, Space, TreeSnapshot};
 use mlq_experiments::trace::WorkloadTrace;
 use mlq_synth::{CostSurface, QueryDistribution, SyntheticUdf};
 
@@ -57,7 +55,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 3. Persist to JSON and restore ("optimizer restart").
     let snapshot: TreeSnapshot = shard_a.snapshot();
     let json = serde_json::to_string(&snapshot)?;
-    println!("snapshot: {} nodes serialized to {} bytes of JSON", snapshot.node_count(), json.len());
+    println!(
+        "snapshot: {} nodes serialized to {} bytes of JSON",
+        snapshot.node_count(),
+        json.len()
+    );
     let restored = MemoryLimitedQuadtree::from_snapshot(&serde_json::from_str(&json)?)?;
     let probe = &workload[17];
     assert_eq!(restored.predict(probe)?, shard_a.predict(probe)?);
@@ -65,19 +67,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- 4. Replay the recorded trace against a different configuration
     //        (what-if tuning without re-running the workload).
-    for (label, strategy) in [
-        ("eager", InsertionStrategy::Eager),
-        ("lazy ", InsertionStrategy::Lazy { alpha: 0.05 }),
-    ] {
+    for (label, strategy) in
+        [("eager", InsertionStrategy::Eager), ("lazy ", InsertionStrategy::Lazy { alpha: 0.05 })]
+    {
         let mut what_if = MemoryLimitedQuadtree::new(
-            MlqConfig::builder(space.clone())
-                .memory_budget(1800)
-                .strategy(strategy)
-                .build()?,
+            MlqConfig::builder(space.clone()).memory_budget(1800).strategy(strategy).build()?,
         )?;
-        let nae = trace
-            .replay(&mut what_if)?
-            .expect("trace has positive costs");
+        let nae = trace.replay(&mut what_if)?.expect("trace has positive costs");
         println!(
             "replayed {} observations against a 1.8 KB {} model: NAE {:.3}, {} compressions",
             trace.len(),

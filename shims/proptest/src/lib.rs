@@ -1,0 +1,380 @@
+//! Offline stand-in for `proptest`, covering the macro and strategy
+//! surface this workspace's property tests use: `proptest!` with an
+//! optional `#![proptest_config(...)]` header, range and tuple
+//! strategies, `prop::collection::vec`, `Just`, `prop_oneof!`,
+//! `.prop_map`, `any::<T>()`, `prop_assert*!`, and `prop_assume!`.
+//!
+//! Differences from real proptest: cases are generated from a seed
+//! derived deterministically from the test's module path (override with
+//! `PROPTEST_SEED`), and failing cases are reported with their generated
+//! inputs but are **not shrunk**. `.proptest-regressions` files are
+//! ignored.
+
+#![warn(clippy::all)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive-exclusive bounds for a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy producing a `Vec` of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` strategy with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.size.lo + 1 >= self.size.hi {
+                self.size.lo
+            } else {
+                rng.rng.random_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! The `any::<T>()` entry point.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized + Debug {
+        /// Generates an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.rng.random::<$t>()
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.rng.random::<bool>()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Finite floats over a wide range (uniform in sign/exponent
+            // feel is unnecessary for these tests; uniform [-1e9, 1e9]).
+            rng.rng.random_range(-1e9..1e9)
+        }
+    }
+
+    /// Strategy form of [`Arbitrary`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<A>(PhantomData<A>);
+
+    /// The whole-domain strategy for `A`.
+    #[must_use]
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+
+        fn generate(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property test needs, via `use proptest::prelude::*`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Module-style access (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::arbitrary;
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a plain function that generates inputs from the strategies and
+/// runs the body for `cases` iterations. Captured attributes (`#[test]`,
+/// doc comments) are re-emitted verbatim; the macro adds none of its own.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                #[allow(unused_imports)]
+                use $crate::strategy::Strategy as _;
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::rng_for_test(concat!(module_path!(), "::", stringify!($name)));
+                let __strategy = ($($strat,)+);
+                let __max_attempts = __config.cases.saturating_mul(10).saturating_add(100);
+                let mut __passed: u32 = 0;
+                let mut __attempts: u32 = 0;
+                while __passed < __config.cases {
+                    assert!(
+                        __attempts < __max_attempts,
+                        "proptest: too many rejected cases ({} attempts, {} passed)",
+                        __attempts,
+                        __passed,
+                    );
+                    __attempts += 1;
+                    let __vals = __strategy.generate(&mut __rng);
+                    let __vals_desc = format!("{:?}", __vals);
+                    let __result = {
+                        let ($($arg,)+) = __vals;
+                        (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })()
+                    };
+                    match __result {
+                        ::std::result::Result::Ok(()) => __passed += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                            panic!(
+                                "proptest case failed: {}\n    inputs: {}\n    (re-run with PROPTEST_SEED to vary cases)",
+                                __msg, __vals_desc,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Uniform choice between the listed strategies (all must generate the
+/// same value type). Weighted arms are not supported by this shim.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Like `assert!` but fails only the current case, reporting its inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Like `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = &$left;
+        let __right = &$right;
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            __left,
+            __right,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __left = &$left;
+        let __right = &$right;
+        $crate::prop_assert!(*__left == *__right, $($fmt)+);
+    }};
+}
+
+/// Like `assert_ne!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = &$left;
+        let __right = &$right;
+        $crate::prop_assert!(
+            *__left != *__right,
+            "assertion failed: `left != right`\n  left: `{:?}`\n right: `{:?}`",
+            __left,
+            __right,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __left = &$left;
+        let __right = &$right;
+        $crate::prop_assert!(*__left != *__right, $($fmt)+);
+    }};
+}
+
+/// Rejects the current case (retried with fresh inputs) when `cond` is
+/// false, without failing the test.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+/// Derives the deterministic per-test RNG. Seeded from the test's name
+/// unless `PROPTEST_SEED` is set.
+#[must_use]
+pub fn rng_for_test(test_name: &str) -> test_runner::TestRng {
+    let seed = match std::env::var("PROPTEST_SEED") {
+        Ok(v) => v.parse::<u64>().unwrap_or(0xC0FF_EE11),
+        Err(_) => {
+            // FNV-1a over the test path: stable across runs and platforms.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1_0000_01b3);
+            }
+            h
+        }
+    };
+    test_runner::TestRng::new(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn parity(n: u64) -> u64 {
+        n % 2
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 10u64..20, f in -1.5..2.5f64) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-1.5..2.5).contains(&f));
+        }
+
+        #[test]
+        fn vec_sizes_respect_bounds(v in prop::collection::vec(0u8..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&b| b < 5));
+        }
+
+        #[test]
+        fn tuples_and_map_compose(
+            (a, b) in (0u64..100, 0u64..100),
+            c in (0u64..10).prop_map(|x| x * 2),
+        ) {
+            prop_assert!(a < 100 && b < 100);
+            prop_assert_eq!(parity(c), 0);
+        }
+
+        #[test]
+        fn oneof_picks_each_arm(x in prop_oneof![Just(1u64), Just(2u64)]) {
+            prop_assert!(x == 1 || x == 2);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u64..50) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(parity(n), 0);
+        }
+    }
+
+    #[test]
+    fn question_mark_propagates_failures() {
+        let result: Result<(), TestCaseError> = (|| {
+            Err("boom".to_string()).map_err(TestCaseError::fail)?;
+            Ok(())
+        })();
+        assert!(matches!(result, Err(TestCaseError::Fail(msg)) if msg == "boom"));
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

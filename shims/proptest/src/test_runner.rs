@@ -1,0 +1,70 @@
+//! Test-loop configuration and control flow.
+
+/// How many cases each property runs, etc.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property is false for this input: the whole test fails.
+    Fail(String),
+    /// The input is outside the property's domain: retry with a new one.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a [`TestCaseError::Fail`] from anything stringly.
+    pub fn fail<S: Into<String>>(reason: S) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Builds a [`TestCaseError::Reject`] from anything stringly.
+    pub fn reject<S: Into<String>>(reason: S) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic RNG handed to strategies during generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    /// The underlying PRNG; strategies draw from it directly.
+    pub rng: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    /// Seeds a fresh generator.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        use rand::SeedableRng;
+        TestRng { rng: rand::rngs::StdRng::seed_from_u64(seed) }
+    }
+}

@@ -1,0 +1,431 @@
+//! Hand-written `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline `serde` shim. Parses the derive input token stream directly
+//! (no `syn`/`quote`, which are unavailable offline) and emits impls of
+//! the shim's value-tree traits.
+//!
+//! Supported shapes — exactly what this workspace declares:
+//! * structs with named fields,
+//! * tuple structs (arity 1 serializes transparently, like serde newtypes),
+//! * unit structs,
+//! * enums with unit, named-field, and tuple variants (externally tagged).
+//!
+//! Generics, lifetimes, and `#[serde(...)]` attributes are rejected with a
+//! compile error rather than silently mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+enum Input {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+/// Derives the shim's `Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(parsed) => gen_serialize(&parsed).parse().expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives the shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(parsed) => gen_deserialize(&parsed).parse().expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("error tokens parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let mut trees = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match trees.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                trees.next();
+                trees.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                trees.next();
+                if let Some(TokenTree::Group(g)) = trees.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        trees.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match trees.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match trees.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = trees.peek() {
+        if p.as_char() == '<' {
+            return Err(format!("derive shim does not support generics on `{name}`"));
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match trees.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unsupported struct body: {other:?}")),
+            };
+            Ok(Input::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match trees.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, got {other:?}")),
+            };
+            Ok(Input::Enum { name, variants: parse_variants(body)? })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Field names from `a: T, b: U, ...`, skipping attributes, visibility,
+/// and type tokens (commas inside `<...>` do not split fields).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut trees = stream.into_iter().peekable();
+    loop {
+        // Skip field attributes and visibility.
+        loop {
+            match trees.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    trees.next();
+                    trees.next();
+                }
+                Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                    trees.next();
+                    if let Some(TokenTree::Group(g)) = trees.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            trees.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tree) = trees.next() else { break };
+        let TokenTree::Ident(field) = tree else {
+            return Err(format!("expected field name, got {tree:?}"));
+        };
+        match trees.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field, got {other:?}")),
+        }
+        fields.push(field.to_string());
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        for tree in trees.by_ref() {
+            match &tree {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Arity of `(T, U, ...)`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut saw_any = false;
+    for tree in stream {
+        saw_any = true;
+        match &tree {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut variants = Vec::new();
+    let mut trees = stream.into_iter().peekable();
+    loop {
+        // Skip variant attributes (doc comments expand to #[doc = ...]).
+        while let Some(TokenTree::Punct(p)) = trees.peek() {
+            if p.as_char() == '#' {
+                trees.next();
+                trees.next();
+            } else {
+                break;
+            }
+        }
+        let Some(tree) = trees.next() else { break };
+        let TokenTree::Ident(variant) = tree else {
+            return Err(format!("expected variant name, got {tree:?}"));
+        };
+        let fields = match trees.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream())?);
+                trees.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                trees.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((variant.to_string(), fields));
+        match trees.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(other) => return Err(format!("expected `,` after variant, got {other:?}")),
+            None => break,
+        }
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::to_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from({v:?})),"
+                    ),
+                    Fields::Named(names) => {
+                        let binds = names.join(", ");
+                        let entries: Vec<String> = names
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), \
+                                     ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Map(vec![(\
+                             ::std::string::String::from({v:?}), \
+                             ::serde::Value::Map(vec![{}]))]),",
+                            entries.join(", ")
+                        )
+                    }
+                    Fields::Tuple(1) => format!(
+                        "{name}::{v}(x0) => ::serde::Value::Map(vec![(\
+                         ::std::string::String::from({v:?}), \
+                         ::serde::Serialize::to_value(x0))]),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Map(vec![(\
+                             ::std::string::String::from({v:?}), \
+                             ::serde::Value::Seq(vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    match input {
+        Input::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::field(map, {f:?})?,"))
+                        .collect();
+                    format!(
+                        "let map = v.as_map().ok_or_else(|| ::serde::DeError::custom(\
+                         format!(\"expected map for struct {name}, got {{v:?}}\")))?;\n\
+                         Ok({name} {{ {} }})",
+                        inits.join(" ")
+                    )
+                }
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?"))
+                        .collect();
+                    format!(
+                        "let seq = v.as_seq().ok_or_else(|| ::serde::DeError::custom(\
+                         \"expected tuple for struct {name}\"))?;\n\
+                         if seq.len() != {n} {{ return Err(::serde::DeError::custom(\
+                         format!(\"expected {n} elements, got {{}}\", seq.len()))); }}\n\
+                         Ok({name}({}))",
+                        items.join(", ")
+                    )
+                }
+                Fields::Unit => format!("let _ = v; Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| format!("{v:?} => return Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, fields)| match fields {
+                    Fields::Unit => None,
+                    Fields::Named(names) => {
+                        let inits: Vec<String> = names
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::field(inner_map, {f:?})?,"))
+                            .collect();
+                        Some(format!(
+                            "{v:?} => {{\n\
+                             let inner_map = inner.as_map().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected map for variant {v}\"))?;\n\
+                             return Ok({name}::{v} {{ {} }});\n\
+                             }}",
+                            inits.join(" ")
+                        ))
+                    }
+                    Fields::Tuple(1) => Some(format!(
+                        "{v:?} => return Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(inner)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&inner_seq[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "{v:?} => {{\n\
+                             let inner_seq = inner.as_seq().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected seq for variant {v}\"))?;\n\
+                             if inner_seq.len() != {n} {{ return Err(\
+                             ::serde::DeError::custom(\"wrong tuple arity\")); }}\n\
+                             return Ok({name}::{v}({}));\n\
+                             }}",
+                            items.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         if let ::std::option::Option::Some(s) = v.as_str() {{\n\
+                             match s {{ {} _ => {{}} }}\n\
+                             return Err(::serde::DeError::custom(format!(\
+                                 \"unknown unit variant {{s}} for enum {name}\")));\n\
+                         }}\n\
+                         if let ::std::option::Option::Some(entries) = v.as_map() {{\n\
+                             if entries.len() == 1 {{\n\
+                                 let (tag, inner) = (&entries[0].0, &entries[0].1);\n\
+                                 let _ = inner;\n\
+                                 match tag.as_str() {{ {} _ => {{}} }}\n\
+                                 return Err(::serde::DeError::custom(format!(\
+                                     \"unknown variant {{tag}} for enum {name}\")));\n\
+                             }}\n\
+                         }}\n\
+                         Err(::serde::DeError::custom(format!(\
+                             \"expected enum {name}, got {{v:?}}\")))\n\
+                     }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    }
+}

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adaptivity-0b7ef12f83eaefe7.d: tests/adaptivity.rs
+
+/root/repo/target/debug/deps/adaptivity-0b7ef12f83eaefe7: tests/adaptivity.rs
+
+tests/adaptivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adaptivity-c3ba58aa9408837f.d: tests/adaptivity.rs
+
+/root/repo/target/debug/deps/adaptivity-c3ba58aa9408837f: tests/adaptivity.rs
+
+tests/adaptivity.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-d1df89e7512f807a.d: crates/experiments/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-d1df89e7512f807a: crates/experiments/tests/cli.rs
+
+crates/experiments/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_mlq-exp=/root/repo/target/debug/mlq-exp

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-e1821706e9ab14a9.d: crates/experiments/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-e1821706e9ab14a9: crates/experiments/tests/cli.rs
+
+crates/experiments/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_mlq-exp=/root/repo/target/debug/mlq-exp

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-4c7244c088c93664.d: crates/storage/tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-4c7244c088c93664: crates/storage/tests/concurrency.rs
+
+crates/storage/tests/concurrency.rs:

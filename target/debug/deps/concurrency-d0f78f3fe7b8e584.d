@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-d0f78f3fe7b8e584.d: crates/storage/tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-d0f78f3fe7b8e584: crates/storage/tests/concurrency.rs
+
+crates/storage/tests/concurrency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-95aa49e9160dc6f0.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-95aa49e9160dc6f0: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-d314484c6d9bb8cb.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-d314484c6d9bb8cb: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_conformance-558ccaf5aa5d80d2.d: crates/core/tests/fig4_conformance.rs
+
+/root/repo/target/debug/deps/fig4_conformance-558ccaf5aa5d80d2: crates/core/tests/fig4_conformance.rs
+
+crates/core/tests/fig4_conformance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_conformance-b4602c39e6d62052.d: crates/core/tests/fig4_conformance.rs
+
+/root/repo/target/debug/deps/fig4_conformance-b4602c39e6d62052: crates/core/tests/fig4_conformance.rs
+
+crates/core/tests/fig4_conformance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geometry_reference-50ce85bbca10c54d.d: crates/core/tests/geometry_reference.rs
+
+/root/repo/target/debug/deps/geometry_reference-50ce85bbca10c54d: crates/core/tests/geometry_reference.rs
+
+crates/core/tests/geometry_reference.rs:

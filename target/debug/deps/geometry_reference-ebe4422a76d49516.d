@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geometry_reference-ebe4422a76d49516.d: crates/core/tests/geometry_reference.rs
+
+/root/repo/target/debug/deps/geometry_reference-ebe4422a76d49516: crates/core/tests/geometry_reference.rs
+
+crates/core/tests/geometry_reference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lru_model-abbd92e612c67be8.d: crates/storage/tests/lru_model.rs
+
+/root/repo/target/debug/deps/lru_model-abbd92e612c67be8: crates/storage/tests/lru_model.rs
+
+crates/storage/tests/lru_model.rs:

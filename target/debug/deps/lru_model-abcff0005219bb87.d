@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lru_model-abcff0005219bb87.d: crates/storage/tests/lru_model.rs
+
+/root/repo/target/debug/deps/lru_model-abcff0005219bb87: crates/storage/tests/lru_model.rs
+
+crates/storage/tests/lru_model.rs:

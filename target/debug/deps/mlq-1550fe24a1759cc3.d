@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mlq-1550fe24a1759cc3.d: src/lib.rs
+
+/root/repo/target/debug/deps/mlq-1550fe24a1759cc3: src/lib.rs
+
+src/lib.rs:

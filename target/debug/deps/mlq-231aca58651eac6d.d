@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mlq-231aca58651eac6d.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmlq-231aca58651eac6d.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

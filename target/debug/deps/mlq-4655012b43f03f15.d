@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mlq-4655012b43f03f15.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmlq-4655012b43f03f15.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmlq-4655012b43f03f15.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mlq-6bcc438214fe4483.d: src/lib.rs
+
+/root/repo/target/debug/deps/mlq-6bcc438214fe4483: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mlq-aff2ce25a86fe184.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmlq-aff2ce25a86fe184.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmlq-aff2ce25a86fe184.rmeta: src/lib.rs
+
+src/lib.rs:

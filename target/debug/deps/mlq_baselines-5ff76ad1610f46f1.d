@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mlq_baselines-5ff76ad1610f46f1.d: crates/baselines/src/lib.rs crates/baselines/src/equiheight.rs crates/baselines/src/equiwidth.rs crates/baselines/src/global.rs crates/baselines/src/grid.rs crates/baselines/src/leo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmlq_baselines-5ff76ad1610f46f1.rmeta: crates/baselines/src/lib.rs crates/baselines/src/equiheight.rs crates/baselines/src/equiwidth.rs crates/baselines/src/global.rs crates/baselines/src/grid.rs crates/baselines/src/leo.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/equiheight.rs:
+crates/baselines/src/equiwidth.rs:
+crates/baselines/src/global.rs:
+crates/baselines/src/grid.rs:
+crates/baselines/src/leo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mlq_baselines-d3396bbdb12b0380.d: crates/baselines/src/lib.rs crates/baselines/src/equiheight.rs crates/baselines/src/equiwidth.rs crates/baselines/src/global.rs crates/baselines/src/grid.rs crates/baselines/src/leo.rs
+
+/root/repo/target/debug/deps/libmlq_baselines-d3396bbdb12b0380.rlib: crates/baselines/src/lib.rs crates/baselines/src/equiheight.rs crates/baselines/src/equiwidth.rs crates/baselines/src/global.rs crates/baselines/src/grid.rs crates/baselines/src/leo.rs
+
+/root/repo/target/debug/deps/libmlq_baselines-d3396bbdb12b0380.rmeta: crates/baselines/src/lib.rs crates/baselines/src/equiheight.rs crates/baselines/src/equiwidth.rs crates/baselines/src/global.rs crates/baselines/src/grid.rs crates/baselines/src/leo.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/equiheight.rs:
+crates/baselines/src/equiwidth.rs:
+crates/baselines/src/global.rs:
+crates/baselines/src/grid.rs:
+crates/baselines/src/leo.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mlq_baselines-d57e5f26eade4e08.d: crates/baselines/src/lib.rs crates/baselines/src/equiheight.rs crates/baselines/src/equiwidth.rs crates/baselines/src/global.rs crates/baselines/src/grid.rs crates/baselines/src/leo.rs
+
+/root/repo/target/debug/deps/mlq_baselines-d57e5f26eade4e08: crates/baselines/src/lib.rs crates/baselines/src/equiheight.rs crates/baselines/src/equiwidth.rs crates/baselines/src/global.rs crates/baselines/src/grid.rs crates/baselines/src/leo.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/equiheight.rs:
+crates/baselines/src/equiwidth.rs:
+crates/baselines/src/global.rs:
+crates/baselines/src/grid.rs:
+crates/baselines/src/leo.rs:

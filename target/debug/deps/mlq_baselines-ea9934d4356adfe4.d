@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mlq_baselines-ea9934d4356adfe4.d: crates/baselines/src/lib.rs crates/baselines/src/equiheight.rs crates/baselines/src/equiwidth.rs crates/baselines/src/global.rs crates/baselines/src/grid.rs crates/baselines/src/leo.rs
+
+/root/repo/target/debug/deps/mlq_baselines-ea9934d4356adfe4: crates/baselines/src/lib.rs crates/baselines/src/equiheight.rs crates/baselines/src/equiwidth.rs crates/baselines/src/global.rs crates/baselines/src/grid.rs crates/baselines/src/leo.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/equiheight.rs:
+crates/baselines/src/equiwidth.rs:
+crates/baselines/src/global.rs:
+crates/baselines/src/grid.rs:
+crates/baselines/src/leo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mlq_bench-098960c66473d088.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mlq_bench-098960c66473d088: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mlq_bench-147c5b8645dea98c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmlq_bench-147c5b8645dea98c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmlq_bench-147c5b8645dea98c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mlq_bench-7b42dec8093a7fe7.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmlq_bench-7b42dec8093a7fe7.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmlq_bench-7b42dec8093a7fe7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

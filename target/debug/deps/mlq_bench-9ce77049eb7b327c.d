@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mlq_bench-9ce77049eb7b327c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mlq_bench-9ce77049eb7b327c: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

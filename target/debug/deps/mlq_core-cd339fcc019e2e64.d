@@ -1,0 +1,28 @@
+/root/repo/target/debug/deps/mlq_core-cd339fcc019e2e64.d: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/blocks.rs crates/core/src/compress.rs crates/core/src/config.rs crates/core/src/counters.rs crates/core/src/detail.rs crates/core/src/error.rs crates/core/src/guard.rs crates/core/src/merge.rs crates/core/src/model.rs crates/core/src/node.rs crates/core/src/nominal.rs crates/core/src/persist.rs crates/core/src/render.rs crates/core/src/space.rs crates/core/src/summary.rs crates/core/src/transform.rs crates/core/src/tree.rs crates/core/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmlq_core-cd339fcc019e2e64.rmeta: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/blocks.rs crates/core/src/compress.rs crates/core/src/config.rs crates/core/src/counters.rs crates/core/src/detail.rs crates/core/src/error.rs crates/core/src/guard.rs crates/core/src/merge.rs crates/core/src/model.rs crates/core/src/node.rs crates/core/src/nominal.rs crates/core/src/persist.rs crates/core/src/render.rs crates/core/src/space.rs crates/core/src/summary.rs crates/core/src/transform.rs crates/core/src/tree.rs crates/core/src/validate.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/adaptive.rs:
+crates/core/src/blocks.rs:
+crates/core/src/compress.rs:
+crates/core/src/config.rs:
+crates/core/src/counters.rs:
+crates/core/src/detail.rs:
+crates/core/src/error.rs:
+crates/core/src/guard.rs:
+crates/core/src/merge.rs:
+crates/core/src/model.rs:
+crates/core/src/node.rs:
+crates/core/src/nominal.rs:
+crates/core/src/persist.rs:
+crates/core/src/render.rs:
+crates/core/src/space.rs:
+crates/core/src/summary.rs:
+crates/core/src/transform.rs:
+crates/core/src/tree.rs:
+crates/core/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/mlq_core-f5b5295ede58ee58.d: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/blocks.rs crates/core/src/compress.rs crates/core/src/config.rs crates/core/src/counters.rs crates/core/src/detail.rs crates/core/src/error.rs crates/core/src/guard.rs crates/core/src/merge.rs crates/core/src/model.rs crates/core/src/node.rs crates/core/src/nominal.rs crates/core/src/persist.rs crates/core/src/render.rs crates/core/src/space.rs crates/core/src/summary.rs crates/core/src/transform.rs crates/core/src/tree.rs crates/core/src/validate.rs
+
+/root/repo/target/debug/deps/libmlq_core-f5b5295ede58ee58.rlib: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/blocks.rs crates/core/src/compress.rs crates/core/src/config.rs crates/core/src/counters.rs crates/core/src/detail.rs crates/core/src/error.rs crates/core/src/guard.rs crates/core/src/merge.rs crates/core/src/model.rs crates/core/src/node.rs crates/core/src/nominal.rs crates/core/src/persist.rs crates/core/src/render.rs crates/core/src/space.rs crates/core/src/summary.rs crates/core/src/transform.rs crates/core/src/tree.rs crates/core/src/validate.rs
+
+/root/repo/target/debug/deps/libmlq_core-f5b5295ede58ee58.rmeta: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/blocks.rs crates/core/src/compress.rs crates/core/src/config.rs crates/core/src/counters.rs crates/core/src/detail.rs crates/core/src/error.rs crates/core/src/guard.rs crates/core/src/merge.rs crates/core/src/model.rs crates/core/src/node.rs crates/core/src/nominal.rs crates/core/src/persist.rs crates/core/src/render.rs crates/core/src/space.rs crates/core/src/summary.rs crates/core/src/transform.rs crates/core/src/tree.rs crates/core/src/validate.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adaptive.rs:
+crates/core/src/blocks.rs:
+crates/core/src/compress.rs:
+crates/core/src/config.rs:
+crates/core/src/counters.rs:
+crates/core/src/detail.rs:
+crates/core/src/error.rs:
+crates/core/src/guard.rs:
+crates/core/src/merge.rs:
+crates/core/src/model.rs:
+crates/core/src/node.rs:
+crates/core/src/nominal.rs:
+crates/core/src/persist.rs:
+crates/core/src/render.rs:
+crates/core/src/space.rs:
+crates/core/src/summary.rs:
+crates/core/src/transform.rs:
+crates/core/src/tree.rs:
+crates/core/src/validate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mlq_exp-077460d99ffcc59a.d: crates/experiments/src/main.rs
+
+/root/repo/target/debug/deps/mlq_exp-077460d99ffcc59a: crates/experiments/src/main.rs
+
+crates/experiments/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mlq_exp-32a95df1cbc6e1d2.d: crates/experiments/src/main.rs
+
+/root/repo/target/debug/deps/mlq_exp-32a95df1cbc6e1d2: crates/experiments/src/main.rs
+
+crates/experiments/src/main.rs:

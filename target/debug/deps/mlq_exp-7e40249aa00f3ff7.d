@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mlq_exp-7e40249aa00f3ff7.d: crates/experiments/src/main.rs
+
+/root/repo/target/debug/deps/mlq_exp-7e40249aa00f3ff7: crates/experiments/src/main.rs
+
+crates/experiments/src/main.rs:

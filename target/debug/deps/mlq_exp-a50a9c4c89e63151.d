@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mlq_exp-a50a9c4c89e63151.d: crates/experiments/src/main.rs
+
+/root/repo/target/debug/deps/mlq_exp-a50a9c4c89e63151: crates/experiments/src/main.rs
+
+crates/experiments/src/main.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/mlq_experiments-0330cdef0927d654.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/drift.rs crates/experiments/src/fig10.rs crates/experiments/src/fig11.rs crates/experiments/src/fig12.rs crates/experiments/src/fig8.rs crates/experiments/src/fig9.rs crates/experiments/src/harness.rs crates/experiments/src/methods.rs crates/experiments/src/optimizer_exp.rs crates/experiments/src/suite.rs crates/experiments/src/table.rs crates/experiments/src/trace.rs
+
+/root/repo/target/debug/deps/mlq_experiments-0330cdef0927d654: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/drift.rs crates/experiments/src/fig10.rs crates/experiments/src/fig11.rs crates/experiments/src/fig12.rs crates/experiments/src/fig8.rs crates/experiments/src/fig9.rs crates/experiments/src/harness.rs crates/experiments/src/methods.rs crates/experiments/src/optimizer_exp.rs crates/experiments/src/suite.rs crates/experiments/src/table.rs crates/experiments/src/trace.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablations.rs:
+crates/experiments/src/drift.rs:
+crates/experiments/src/fig10.rs:
+crates/experiments/src/fig11.rs:
+crates/experiments/src/fig12.rs:
+crates/experiments/src/fig8.rs:
+crates/experiments/src/fig9.rs:
+crates/experiments/src/harness.rs:
+crates/experiments/src/methods.rs:
+crates/experiments/src/optimizer_exp.rs:
+crates/experiments/src/suite.rs:
+crates/experiments/src/table.rs:
+crates/experiments/src/trace.rs:

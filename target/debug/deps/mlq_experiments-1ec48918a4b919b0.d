@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/mlq_experiments-1ec48918a4b919b0.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/drift.rs crates/experiments/src/fig10.rs crates/experiments/src/fig11.rs crates/experiments/src/fig12.rs crates/experiments/src/fig8.rs crates/experiments/src/fig9.rs crates/experiments/src/harness.rs crates/experiments/src/methods.rs crates/experiments/src/optimizer_exp.rs crates/experiments/src/suite.rs crates/experiments/src/table.rs crates/experiments/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmlq_experiments-1ec48918a4b919b0.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/drift.rs crates/experiments/src/fig10.rs crates/experiments/src/fig11.rs crates/experiments/src/fig12.rs crates/experiments/src/fig8.rs crates/experiments/src/fig9.rs crates/experiments/src/harness.rs crates/experiments/src/methods.rs crates/experiments/src/optimizer_exp.rs crates/experiments/src/suite.rs crates/experiments/src/table.rs crates/experiments/src/trace.rs Cargo.toml
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablations.rs:
+crates/experiments/src/drift.rs:
+crates/experiments/src/fig10.rs:
+crates/experiments/src/fig11.rs:
+crates/experiments/src/fig12.rs:
+crates/experiments/src/fig8.rs:
+crates/experiments/src/fig9.rs:
+crates/experiments/src/harness.rs:
+crates/experiments/src/methods.rs:
+crates/experiments/src/optimizer_exp.rs:
+crates/experiments/src/suite.rs:
+crates/experiments/src/table.rs:
+crates/experiments/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mlq_metrics-3608dab32a7c5734.d: crates/metrics/src/lib.rs crates/metrics/src/alternatives.rs crates/metrics/src/learning.rs crates/metrics/src/nae.rs crates/metrics/src/stats.rs
+
+/root/repo/target/debug/deps/libmlq_metrics-3608dab32a7c5734.rlib: crates/metrics/src/lib.rs crates/metrics/src/alternatives.rs crates/metrics/src/learning.rs crates/metrics/src/nae.rs crates/metrics/src/stats.rs
+
+/root/repo/target/debug/deps/libmlq_metrics-3608dab32a7c5734.rmeta: crates/metrics/src/lib.rs crates/metrics/src/alternatives.rs crates/metrics/src/learning.rs crates/metrics/src/nae.rs crates/metrics/src/stats.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/alternatives.rs:
+crates/metrics/src/learning.rs:
+crates/metrics/src/nae.rs:
+crates/metrics/src/stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mlq_metrics-8f8734b95a51d120.d: crates/metrics/src/lib.rs crates/metrics/src/alternatives.rs crates/metrics/src/learning.rs crates/metrics/src/nae.rs crates/metrics/src/stats.rs
+
+/root/repo/target/debug/deps/mlq_metrics-8f8734b95a51d120: crates/metrics/src/lib.rs crates/metrics/src/alternatives.rs crates/metrics/src/learning.rs crates/metrics/src/nae.rs crates/metrics/src/stats.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/alternatives.rs:
+crates/metrics/src/learning.rs:
+crates/metrics/src/nae.rs:
+crates/metrics/src/stats.rs:

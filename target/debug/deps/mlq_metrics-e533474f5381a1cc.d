@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mlq_metrics-e533474f5381a1cc.d: crates/metrics/src/lib.rs crates/metrics/src/alternatives.rs crates/metrics/src/learning.rs crates/metrics/src/nae.rs crates/metrics/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmlq_metrics-e533474f5381a1cc.rmeta: crates/metrics/src/lib.rs crates/metrics/src/alternatives.rs crates/metrics/src/learning.rs crates/metrics/src/nae.rs crates/metrics/src/stats.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/alternatives.rs:
+crates/metrics/src/learning.rs:
+crates/metrics/src/nae.rs:
+crates/metrics/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mlq_optimizer-22a41d9d61796c39.d: crates/optimizer/src/lib.rs crates/optimizer/src/catalog.rs crates/optimizer/src/estimator.rs crates/optimizer/src/executor.rs crates/optimizer/src/plan.rs crates/optimizer/src/predicate.rs crates/optimizer/src/selectivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmlq_optimizer-22a41d9d61796c39.rmeta: crates/optimizer/src/lib.rs crates/optimizer/src/catalog.rs crates/optimizer/src/estimator.rs crates/optimizer/src/executor.rs crates/optimizer/src/plan.rs crates/optimizer/src/predicate.rs crates/optimizer/src/selectivity.rs Cargo.toml
+
+crates/optimizer/src/lib.rs:
+crates/optimizer/src/catalog.rs:
+crates/optimizer/src/estimator.rs:
+crates/optimizer/src/executor.rs:
+crates/optimizer/src/plan.rs:
+crates/optimizer/src/predicate.rs:
+crates/optimizer/src/selectivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

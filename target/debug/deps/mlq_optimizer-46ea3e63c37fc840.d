@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mlq_optimizer-46ea3e63c37fc840.d: crates/optimizer/src/lib.rs crates/optimizer/src/catalog.rs crates/optimizer/src/estimator.rs crates/optimizer/src/executor.rs crates/optimizer/src/plan.rs crates/optimizer/src/predicate.rs crates/optimizer/src/selectivity.rs
+
+/root/repo/target/debug/deps/libmlq_optimizer-46ea3e63c37fc840.rlib: crates/optimizer/src/lib.rs crates/optimizer/src/catalog.rs crates/optimizer/src/estimator.rs crates/optimizer/src/executor.rs crates/optimizer/src/plan.rs crates/optimizer/src/predicate.rs crates/optimizer/src/selectivity.rs
+
+/root/repo/target/debug/deps/libmlq_optimizer-46ea3e63c37fc840.rmeta: crates/optimizer/src/lib.rs crates/optimizer/src/catalog.rs crates/optimizer/src/estimator.rs crates/optimizer/src/executor.rs crates/optimizer/src/plan.rs crates/optimizer/src/predicate.rs crates/optimizer/src/selectivity.rs
+
+crates/optimizer/src/lib.rs:
+crates/optimizer/src/catalog.rs:
+crates/optimizer/src/estimator.rs:
+crates/optimizer/src/executor.rs:
+crates/optimizer/src/plan.rs:
+crates/optimizer/src/predicate.rs:
+crates/optimizer/src/selectivity.rs:

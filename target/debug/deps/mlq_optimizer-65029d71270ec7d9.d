@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mlq_optimizer-65029d71270ec7d9.d: crates/optimizer/src/lib.rs crates/optimizer/src/catalog.rs crates/optimizer/src/estimator.rs crates/optimizer/src/executor.rs crates/optimizer/src/plan.rs crates/optimizer/src/predicate.rs crates/optimizer/src/selectivity.rs
+
+/root/repo/target/debug/deps/mlq_optimizer-65029d71270ec7d9: crates/optimizer/src/lib.rs crates/optimizer/src/catalog.rs crates/optimizer/src/estimator.rs crates/optimizer/src/executor.rs crates/optimizer/src/plan.rs crates/optimizer/src/predicate.rs crates/optimizer/src/selectivity.rs
+
+crates/optimizer/src/lib.rs:
+crates/optimizer/src/catalog.rs:
+crates/optimizer/src/estimator.rs:
+crates/optimizer/src/executor.rs:
+crates/optimizer/src/plan.rs:
+crates/optimizer/src/predicate.rs:
+crates/optimizer/src/selectivity.rs:

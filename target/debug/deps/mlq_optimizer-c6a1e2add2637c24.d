@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mlq_optimizer-c6a1e2add2637c24.d: crates/optimizer/src/lib.rs crates/optimizer/src/catalog.rs crates/optimizer/src/estimator.rs crates/optimizer/src/executor.rs crates/optimizer/src/plan.rs crates/optimizer/src/predicate.rs crates/optimizer/src/selectivity.rs
+
+/root/repo/target/debug/deps/libmlq_optimizer-c6a1e2add2637c24.rlib: crates/optimizer/src/lib.rs crates/optimizer/src/catalog.rs crates/optimizer/src/estimator.rs crates/optimizer/src/executor.rs crates/optimizer/src/plan.rs crates/optimizer/src/predicate.rs crates/optimizer/src/selectivity.rs
+
+/root/repo/target/debug/deps/libmlq_optimizer-c6a1e2add2637c24.rmeta: crates/optimizer/src/lib.rs crates/optimizer/src/catalog.rs crates/optimizer/src/estimator.rs crates/optimizer/src/executor.rs crates/optimizer/src/plan.rs crates/optimizer/src/predicate.rs crates/optimizer/src/selectivity.rs
+
+crates/optimizer/src/lib.rs:
+crates/optimizer/src/catalog.rs:
+crates/optimizer/src/estimator.rs:
+crates/optimizer/src/executor.rs:
+crates/optimizer/src/plan.rs:
+crates/optimizer/src/predicate.rs:
+crates/optimizer/src/selectivity.rs:

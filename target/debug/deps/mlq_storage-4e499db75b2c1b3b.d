@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mlq_storage-4e499db75b2c1b3b.d: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/disk.rs crates/storage/src/error.rs crates/storage/src/fault.rs crates/storage/src/heap.rs crates/storage/src/page.rs
+
+/root/repo/target/debug/deps/mlq_storage-4e499db75b2c1b3b: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/disk.rs crates/storage/src/error.rs crates/storage/src/fault.rs crates/storage/src/heap.rs crates/storage/src/page.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/disk.rs:
+crates/storage/src/error.rs:
+crates/storage/src/fault.rs:
+crates/storage/src/heap.rs:
+crates/storage/src/page.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mlq_storage-7c355f3f50b01666.d: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/disk.rs crates/storage/src/error.rs crates/storage/src/fault.rs crates/storage/src/heap.rs crates/storage/src/page.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmlq_storage-7c355f3f50b01666.rmeta: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/disk.rs crates/storage/src/error.rs crates/storage/src/fault.rs crates/storage/src/heap.rs crates/storage/src/page.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/disk.rs:
+crates/storage/src/error.rs:
+crates/storage/src/fault.rs:
+crates/storage/src/heap.rs:
+crates/storage/src/page.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mlq_storage-97b277d6345f7054.d: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/disk.rs crates/storage/src/error.rs crates/storage/src/fault.rs crates/storage/src/heap.rs crates/storage/src/page.rs
+
+/root/repo/target/debug/deps/libmlq_storage-97b277d6345f7054.rlib: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/disk.rs crates/storage/src/error.rs crates/storage/src/fault.rs crates/storage/src/heap.rs crates/storage/src/page.rs
+
+/root/repo/target/debug/deps/libmlq_storage-97b277d6345f7054.rmeta: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/disk.rs crates/storage/src/error.rs crates/storage/src/fault.rs crates/storage/src/heap.rs crates/storage/src/page.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/disk.rs:
+crates/storage/src/error.rs:
+crates/storage/src/fault.rs:
+crates/storage/src/heap.rs:
+crates/storage/src/page.rs:

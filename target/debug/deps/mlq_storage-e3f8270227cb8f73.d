@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mlq_storage-e3f8270227cb8f73.d: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/disk.rs crates/storage/src/error.rs crates/storage/src/heap.rs crates/storage/src/page.rs
+
+/root/repo/target/debug/deps/mlq_storage-e3f8270227cb8f73: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/disk.rs crates/storage/src/error.rs crates/storage/src/heap.rs crates/storage/src/page.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/disk.rs:
+crates/storage/src/error.rs:
+crates/storage/src/heap.rs:
+crates/storage/src/page.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mlq_synth-245589f66fcc88ab.d: crates/synth/src/lib.rs crates/synth/src/decay.rs crates/synth/src/dist.rs crates/synth/src/noise.rs crates/synth/src/query.rs crates/synth/src/surface.rs
+
+/root/repo/target/debug/deps/libmlq_synth-245589f66fcc88ab.rlib: crates/synth/src/lib.rs crates/synth/src/decay.rs crates/synth/src/dist.rs crates/synth/src/noise.rs crates/synth/src/query.rs crates/synth/src/surface.rs
+
+/root/repo/target/debug/deps/libmlq_synth-245589f66fcc88ab.rmeta: crates/synth/src/lib.rs crates/synth/src/decay.rs crates/synth/src/dist.rs crates/synth/src/noise.rs crates/synth/src/query.rs crates/synth/src/surface.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/decay.rs:
+crates/synth/src/dist.rs:
+crates/synth/src/noise.rs:
+crates/synth/src/query.rs:
+crates/synth/src/surface.rs:

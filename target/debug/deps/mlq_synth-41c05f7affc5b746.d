@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mlq_synth-41c05f7affc5b746.d: crates/synth/src/lib.rs crates/synth/src/decay.rs crates/synth/src/dist.rs crates/synth/src/noise.rs crates/synth/src/query.rs crates/synth/src/surface.rs
+
+/root/repo/target/debug/deps/mlq_synth-41c05f7affc5b746: crates/synth/src/lib.rs crates/synth/src/decay.rs crates/synth/src/dist.rs crates/synth/src/noise.rs crates/synth/src/query.rs crates/synth/src/surface.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/decay.rs:
+crates/synth/src/dist.rs:
+crates/synth/src/noise.rs:
+crates/synth/src/query.rs:
+crates/synth/src/surface.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mlq_synth-4f40879b2bb06e39.d: crates/synth/src/lib.rs crates/synth/src/decay.rs crates/synth/src/dist.rs crates/synth/src/noise.rs crates/synth/src/query.rs crates/synth/src/surface.rs
+
+/root/repo/target/debug/deps/mlq_synth-4f40879b2bb06e39: crates/synth/src/lib.rs crates/synth/src/decay.rs crates/synth/src/dist.rs crates/synth/src/noise.rs crates/synth/src/query.rs crates/synth/src/surface.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/decay.rs:
+crates/synth/src/dist.rs:
+crates/synth/src/noise.rs:
+crates/synth/src/query.rs:
+crates/synth/src/surface.rs:

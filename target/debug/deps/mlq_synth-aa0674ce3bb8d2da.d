@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mlq_synth-aa0674ce3bb8d2da.d: crates/synth/src/lib.rs crates/synth/src/decay.rs crates/synth/src/dist.rs crates/synth/src/noise.rs crates/synth/src/query.rs crates/synth/src/surface.rs
+
+/root/repo/target/debug/deps/libmlq_synth-aa0674ce3bb8d2da.rlib: crates/synth/src/lib.rs crates/synth/src/decay.rs crates/synth/src/dist.rs crates/synth/src/noise.rs crates/synth/src/query.rs crates/synth/src/surface.rs
+
+/root/repo/target/debug/deps/libmlq_synth-aa0674ce3bb8d2da.rmeta: crates/synth/src/lib.rs crates/synth/src/decay.rs crates/synth/src/dist.rs crates/synth/src/noise.rs crates/synth/src/query.rs crates/synth/src/surface.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/decay.rs:
+crates/synth/src/dist.rs:
+crates/synth/src/noise.rs:
+crates/synth/src/query.rs:
+crates/synth/src/surface.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/mlq_udfs-32b8643927ff5590.d: crates/udfs/src/lib.rs crates/udfs/src/cost.rs crates/udfs/src/spatial/mod.rs crates/udfs/src/spatial/grid_index.rs crates/udfs/src/spatial/map.rs crates/udfs/src/spatial/rtree.rs crates/udfs/src/spatial/search.rs crates/udfs/src/text/mod.rs crates/udfs/src/text/corpus.rs crates/udfs/src/text/index.rs crates/udfs/src/text/search.rs crates/udfs/src/udf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmlq_udfs-32b8643927ff5590.rmeta: crates/udfs/src/lib.rs crates/udfs/src/cost.rs crates/udfs/src/spatial/mod.rs crates/udfs/src/spatial/grid_index.rs crates/udfs/src/spatial/map.rs crates/udfs/src/spatial/rtree.rs crates/udfs/src/spatial/search.rs crates/udfs/src/text/mod.rs crates/udfs/src/text/corpus.rs crates/udfs/src/text/index.rs crates/udfs/src/text/search.rs crates/udfs/src/udf.rs Cargo.toml
+
+crates/udfs/src/lib.rs:
+crates/udfs/src/cost.rs:
+crates/udfs/src/spatial/mod.rs:
+crates/udfs/src/spatial/grid_index.rs:
+crates/udfs/src/spatial/map.rs:
+crates/udfs/src/spatial/rtree.rs:
+crates/udfs/src/spatial/search.rs:
+crates/udfs/src/text/mod.rs:
+crates/udfs/src/text/corpus.rs:
+crates/udfs/src/text/index.rs:
+crates/udfs/src/text/search.rs:
+crates/udfs/src/udf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

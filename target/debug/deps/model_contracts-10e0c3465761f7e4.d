@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_contracts-10e0c3465761f7e4.d: tests/model_contracts.rs
+
+/root/repo/target/debug/deps/model_contracts-10e0c3465761f7e4: tests/model_contracts.rs
+
+tests/model_contracts.rs:

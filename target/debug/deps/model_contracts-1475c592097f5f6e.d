@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_contracts-1475c592097f5f6e.d: tests/model_contracts.rs
+
+/root/repo/target/debug/deps/model_contracts-1475c592097f5f6e: tests/model_contracts.rs
+
+tests/model_contracts.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_contracts-576e66279cc2cd3a.d: tests/model_contracts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_contracts-576e66279cc2cd3a.rmeta: tests/model_contracts.rs Cargo.toml
+
+tests/model_contracts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-15e84edd82f03548.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-15e84edd82f03548: tests/paper_examples.rs
+
+tests/paper_examples.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-318c48b81b2df8cc.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-318c48b81b2df8cc: tests/paper_examples.rs
+
+tests/paper_examples.rs:

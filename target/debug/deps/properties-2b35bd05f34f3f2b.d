@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2b35bd05f34f3f2b.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-2b35bd05f34f3f2b: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-933271a5a916bafb.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-933271a5a916bafb: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-1fe92456e39161d6.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-1fe92456e39161d6: tests/robustness.rs
+
+tests/robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semantics-2f4a3c39cc04d078.d: crates/udfs/tests/semantics.rs
+
+/root/repo/target/debug/deps/semantics-2f4a3c39cc04d078: crates/udfs/tests/semantics.rs
+
+crates/udfs/tests/semantics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semantics-b27b1f7e00396baf.d: crates/udfs/tests/semantics.rs
+
+/root/repo/target/debug/deps/semantics-b27b1f7e00396baf: crates/udfs/tests/semantics.rs
+
+crates/udfs/tests/semantics.rs:

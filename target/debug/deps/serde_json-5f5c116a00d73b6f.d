@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-5f5c116a00d73b6f.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-5f5c116a00d73b6f: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

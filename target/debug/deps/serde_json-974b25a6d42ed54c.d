@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-974b25a6d42ed54c.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-974b25a6d42ed54c.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-974b25a6d42ed54c.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_workload-6ee5084cc54f659f.d: examples/adaptive_workload.rs
+
+/root/repo/target/debug/examples/adaptive_workload-6ee5084cc54f659f: examples/adaptive_workload.rs
+
+examples/adaptive_workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adaptive_workload-85447e112bcaa42a.d: examples/adaptive_workload.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadaptive_workload-85447e112bcaa42a.rmeta: examples/adaptive_workload.rs Cargo.toml
+
+examples/adaptive_workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

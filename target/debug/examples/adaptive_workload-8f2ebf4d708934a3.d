@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_workload-8f2ebf4d708934a3.d: examples/adaptive_workload.rs
+
+/root/repo/target/debug/examples/adaptive_workload-8f2ebf4d708934a3: examples/adaptive_workload.rs
+
+examples/adaptive_workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/noise_tuning-3752e37989c9854f.d: examples/noise_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnoise_tuning-3752e37989c9854f.rmeta: examples/noise_tuning.rs Cargo.toml
+
+examples/noise_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

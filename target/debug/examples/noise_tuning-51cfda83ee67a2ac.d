@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/noise_tuning-51cfda83ee67a2ac.d: examples/noise_tuning.rs
+
+/root/repo/target/debug/examples/noise_tuning-51cfda83ee67a2ac: examples/noise_tuning.rs
+
+examples/noise_tuning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/noise_tuning-c740e302a54f7aab.d: examples/noise_tuning.rs
+
+/root/repo/target/debug/examples/noise_tuning-c740e302a54f7aab: examples/noise_tuning.rs
+
+examples/noise_tuning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/optimizer_integration-06326196b2e92f00.d: examples/optimizer_integration.rs
+
+/root/repo/target/debug/examples/optimizer_integration-06326196b2e92f00: examples/optimizer_integration.rs
+
+examples/optimizer_integration.rs:

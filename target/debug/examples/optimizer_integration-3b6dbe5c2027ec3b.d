@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/optimizer_integration-3b6dbe5c2027ec3b.d: examples/optimizer_integration.rs
+
+/root/repo/target/debug/examples/optimizer_integration-3b6dbe5c2027ec3b: examples/optimizer_integration.rs
+
+examples/optimizer_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/optimizer_integration-cd1f68bd92e7e48b.d: examples/optimizer_integration.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboptimizer_integration-cd1f68bd92e7e48b.rmeta: examples/optimizer_integration.rs Cargo.toml
+
+examples/optimizer_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

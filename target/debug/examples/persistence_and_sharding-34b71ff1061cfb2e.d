@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/persistence_and_sharding-34b71ff1061cfb2e.d: examples/persistence_and_sharding.rs
+
+/root/repo/target/debug/examples/persistence_and_sharding-34b71ff1061cfb2e: examples/persistence_and_sharding.rs
+
+examples/persistence_and_sharding.rs:

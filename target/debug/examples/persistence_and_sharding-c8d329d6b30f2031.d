@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/persistence_and_sharding-c8d329d6b30f2031.d: examples/persistence_and_sharding.rs
+
+/root/repo/target/debug/examples/persistence_and_sharding-c8d329d6b30f2031: examples/persistence_and_sharding.rs
+
+examples/persistence_and_sharding.rs:

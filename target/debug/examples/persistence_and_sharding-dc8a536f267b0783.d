@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/persistence_and_sharding-dc8a536f267b0783.d: examples/persistence_and_sharding.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpersistence_and_sharding-dc8a536f267b0783.rmeta: examples/persistence_and_sharding.rs Cargo.toml
+
+examples/persistence_and_sharding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

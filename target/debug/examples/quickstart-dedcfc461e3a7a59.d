@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-dedcfc461e3a7a59.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-dedcfc461e3a7a59: examples/quickstart.rs
+
+examples/quickstart.rs:

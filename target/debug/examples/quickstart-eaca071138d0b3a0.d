@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-eaca071138d0b3a0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-eaca071138d0b3a0: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mlq-4251f8e20ce90cb3.d: src/lib.rs
+
+/root/repo/target/release/deps/libmlq-4251f8e20ce90cb3.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmlq-4251f8e20ce90cb3.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mlq-44f2f98e883bb3b7.d: src/lib.rs
+
+/root/repo/target/release/deps/libmlq-44f2f98e883bb3b7.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmlq-44f2f98e883bb3b7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mlq_baselines-946ac5879a4046ea.d: crates/baselines/src/lib.rs crates/baselines/src/equiheight.rs crates/baselines/src/equiwidth.rs crates/baselines/src/global.rs crates/baselines/src/grid.rs crates/baselines/src/leo.rs
+
+/root/repo/target/release/deps/libmlq_baselines-946ac5879a4046ea.rlib: crates/baselines/src/lib.rs crates/baselines/src/equiheight.rs crates/baselines/src/equiwidth.rs crates/baselines/src/global.rs crates/baselines/src/grid.rs crates/baselines/src/leo.rs
+
+/root/repo/target/release/deps/libmlq_baselines-946ac5879a4046ea.rmeta: crates/baselines/src/lib.rs crates/baselines/src/equiheight.rs crates/baselines/src/equiwidth.rs crates/baselines/src/global.rs crates/baselines/src/grid.rs crates/baselines/src/leo.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/equiheight.rs:
+crates/baselines/src/equiwidth.rs:
+crates/baselines/src/global.rs:
+crates/baselines/src/grid.rs:
+crates/baselines/src/leo.rs:

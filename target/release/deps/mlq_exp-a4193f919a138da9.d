@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mlq_exp-a4193f919a138da9.d: crates/experiments/src/main.rs
+
+/root/repo/target/release/deps/mlq_exp-a4193f919a138da9: crates/experiments/src/main.rs
+
+crates/experiments/src/main.rs:

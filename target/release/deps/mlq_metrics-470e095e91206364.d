@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mlq_metrics-470e095e91206364.d: crates/metrics/src/lib.rs crates/metrics/src/alternatives.rs crates/metrics/src/learning.rs crates/metrics/src/nae.rs crates/metrics/src/stats.rs
+
+/root/repo/target/release/deps/libmlq_metrics-470e095e91206364.rlib: crates/metrics/src/lib.rs crates/metrics/src/alternatives.rs crates/metrics/src/learning.rs crates/metrics/src/nae.rs crates/metrics/src/stats.rs
+
+/root/repo/target/release/deps/libmlq_metrics-470e095e91206364.rmeta: crates/metrics/src/lib.rs crates/metrics/src/alternatives.rs crates/metrics/src/learning.rs crates/metrics/src/nae.rs crates/metrics/src/stats.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/alternatives.rs:
+crates/metrics/src/learning.rs:
+crates/metrics/src/nae.rs:
+crates/metrics/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mlq_optimizer-edf73e6ba366ac35.d: crates/optimizer/src/lib.rs crates/optimizer/src/catalog.rs crates/optimizer/src/estimator.rs crates/optimizer/src/executor.rs crates/optimizer/src/plan.rs crates/optimizer/src/predicate.rs crates/optimizer/src/selectivity.rs
+
+/root/repo/target/release/deps/libmlq_optimizer-edf73e6ba366ac35.rlib: crates/optimizer/src/lib.rs crates/optimizer/src/catalog.rs crates/optimizer/src/estimator.rs crates/optimizer/src/executor.rs crates/optimizer/src/plan.rs crates/optimizer/src/predicate.rs crates/optimizer/src/selectivity.rs
+
+/root/repo/target/release/deps/libmlq_optimizer-edf73e6ba366ac35.rmeta: crates/optimizer/src/lib.rs crates/optimizer/src/catalog.rs crates/optimizer/src/estimator.rs crates/optimizer/src/executor.rs crates/optimizer/src/plan.rs crates/optimizer/src/predicate.rs crates/optimizer/src/selectivity.rs
+
+crates/optimizer/src/lib.rs:
+crates/optimizer/src/catalog.rs:
+crates/optimizer/src/estimator.rs:
+crates/optimizer/src/executor.rs:
+crates/optimizer/src/plan.rs:
+crates/optimizer/src/predicate.rs:
+crates/optimizer/src/selectivity.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mlq_storage-1d42d4a985254e89.d: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/disk.rs crates/storage/src/error.rs crates/storage/src/fault.rs crates/storage/src/heap.rs crates/storage/src/page.rs
+
+/root/repo/target/release/deps/libmlq_storage-1d42d4a985254e89.rlib: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/disk.rs crates/storage/src/error.rs crates/storage/src/fault.rs crates/storage/src/heap.rs crates/storage/src/page.rs
+
+/root/repo/target/release/deps/libmlq_storage-1d42d4a985254e89.rmeta: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/disk.rs crates/storage/src/error.rs crates/storage/src/fault.rs crates/storage/src/heap.rs crates/storage/src/page.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/disk.rs:
+crates/storage/src/error.rs:
+crates/storage/src/fault.rs:
+crates/storage/src/heap.rs:
+crates/storage/src/page.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mlq_synth-d54c2452c68c5d78.d: crates/synth/src/lib.rs crates/synth/src/decay.rs crates/synth/src/dist.rs crates/synth/src/noise.rs crates/synth/src/query.rs crates/synth/src/surface.rs
+
+/root/repo/target/release/deps/libmlq_synth-d54c2452c68c5d78.rlib: crates/synth/src/lib.rs crates/synth/src/decay.rs crates/synth/src/dist.rs crates/synth/src/noise.rs crates/synth/src/query.rs crates/synth/src/surface.rs
+
+/root/repo/target/release/deps/libmlq_synth-d54c2452c68c5d78.rmeta: crates/synth/src/lib.rs crates/synth/src/decay.rs crates/synth/src/dist.rs crates/synth/src/noise.rs crates/synth/src/query.rs crates/synth/src/surface.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/decay.rs:
+crates/synth/src/dist.rs:
+crates/synth/src/noise.rs:
+crates/synth/src/query.rs:
+crates/synth/src/surface.rs:

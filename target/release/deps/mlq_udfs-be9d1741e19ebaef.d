@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/mlq_udfs-be9d1741e19ebaef.d: crates/udfs/src/lib.rs crates/udfs/src/cost.rs crates/udfs/src/spatial/mod.rs crates/udfs/src/spatial/grid_index.rs crates/udfs/src/spatial/map.rs crates/udfs/src/spatial/rtree.rs crates/udfs/src/spatial/search.rs crates/udfs/src/text/mod.rs crates/udfs/src/text/corpus.rs crates/udfs/src/text/index.rs crates/udfs/src/text/search.rs crates/udfs/src/udf.rs
+
+/root/repo/target/release/deps/libmlq_udfs-be9d1741e19ebaef.rlib: crates/udfs/src/lib.rs crates/udfs/src/cost.rs crates/udfs/src/spatial/mod.rs crates/udfs/src/spatial/grid_index.rs crates/udfs/src/spatial/map.rs crates/udfs/src/spatial/rtree.rs crates/udfs/src/spatial/search.rs crates/udfs/src/text/mod.rs crates/udfs/src/text/corpus.rs crates/udfs/src/text/index.rs crates/udfs/src/text/search.rs crates/udfs/src/udf.rs
+
+/root/repo/target/release/deps/libmlq_udfs-be9d1741e19ebaef.rmeta: crates/udfs/src/lib.rs crates/udfs/src/cost.rs crates/udfs/src/spatial/mod.rs crates/udfs/src/spatial/grid_index.rs crates/udfs/src/spatial/map.rs crates/udfs/src/spatial/rtree.rs crates/udfs/src/spatial/search.rs crates/udfs/src/text/mod.rs crates/udfs/src/text/corpus.rs crates/udfs/src/text/index.rs crates/udfs/src/text/search.rs crates/udfs/src/udf.rs
+
+crates/udfs/src/lib.rs:
+crates/udfs/src/cost.rs:
+crates/udfs/src/spatial/mod.rs:
+crates/udfs/src/spatial/grid_index.rs:
+crates/udfs/src/spatial/map.rs:
+crates/udfs/src/spatial/rtree.rs:
+crates/udfs/src/spatial/search.rs:
+crates/udfs/src/text/mod.rs:
+crates/udfs/src/text/corpus.rs:
+crates/udfs/src/text/index.rs:
+crates/udfs/src/text/search.rs:
+crates/udfs/src/udf.rs:

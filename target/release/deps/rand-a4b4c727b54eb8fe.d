@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-a4b4c727b54eb8fe.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-a4b4c727b54eb8fe.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-a4b4c727b54eb8fe.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-b208d02824f5888b.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-b208d02824f5888b.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-b208d02824f5888b.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-868ad5dbcc5df3e4.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-868ad5dbcc5df3e4.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-868ad5dbcc5df3e4.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_verify_drive-6e2cd180d1a7337f.d: examples/_verify_drive.rs
+
+/root/repo/target/release/examples/_verify_drive-6e2cd180d1a7337f: examples/_verify_drive.rs
+
+examples/_verify_drive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/drift_probe-350c740220b13fbe.d: examples/drift_probe.rs
+
+/root/repo/target/release/examples/drift_probe-350c740220b13fbe: examples/drift_probe.rs
+
+examples/drift_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/nae_probe-c94ca9915251ddaf.d: examples/nae_probe.rs
+
+/root/repo/target/release/examples/nae_probe-c94ca9915251ddaf: examples/nae_probe.rs
+
+examples/nae_probe.rs:

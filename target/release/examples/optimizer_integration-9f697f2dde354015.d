@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/optimizer_integration-9f697f2dde354015.d: examples/optimizer_integration.rs
+
+/root/repo/target/release/examples/optimizer_integration-9f697f2dde354015: examples/optimizer_integration.rs
+
+examples/optimizer_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/persistence_and_sharding-19a421d3005526ad.d: examples/persistence_and_sharding.rs
+
+/root/repo/target/release/examples/persistence_and_sharding-19a421d3005526ad: examples/persistence_and_sharding.rs
+
+examples/persistence_and_sharding.rs:

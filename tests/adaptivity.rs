@@ -12,19 +12,14 @@ use mlq_metrics::OnlineNae;
 use mlq_synth::{CostSurface, QueryDistribution, SyntheticUdf};
 
 fn cluster(space: &Space, n: usize, seed: u64) -> Vec<Vec<f64>> {
-    QueryDistribution::GaussianSequential { centroids: 1, std_frac: 0.05 }
-        .generate(space, n, seed)
+    QueryDistribution::GaussianSequential { centroids: 1, std_frac: 0.05 }.generate(space, n, seed)
 }
 
 #[test]
 fn mlq_recovers_from_workload_drift_static_does_not() {
     let space = Space::cube(2, 0.0, 1000.0).unwrap();
     // Dense surface: cost structure everywhere, so stale statistics hurt.
-    let udf = SyntheticUdf::builder(space.clone())
-        .peaks(300)
-        .radius_frac(0.15)
-        .seed(3)
-        .build();
+    let udf = SyntheticUdf::builder(space.clone()).peaks(300).radius_frac(0.15).seed(3).build();
 
     let phase1 = cluster(&space, 2000, 100);
     let phase2 = cluster(&space, 2000, 200);
@@ -32,8 +27,7 @@ fn mlq_recovers_from_workload_drift_static_does_not() {
     // Static SH-H: trained a-priori on the phase-1 workload (the paper's
     // own most-favourable protocol — same distribution as its test set).
     let mut shh = EquiHeightHistogram::with_budget(space.clone(), 1800).unwrap();
-    let training: Vec<(Vec<f64>, f64)> =
-        phase1.iter().map(|q| (q.clone(), udf.cost(q))).collect();
+    let training: Vec<(Vec<f64>, f64)> = phase1.iter().map(|q| (q.clone(), udf.cost(q))).collect();
     shh.fit(&training).unwrap();
 
     // Self-tuning MLQ: no a-priori training at all.
@@ -81,11 +75,7 @@ fn mlq_recovers_from_workload_drift_static_does_not() {
 #[test]
 fn gaussian_sequential_spikes_then_recovers() {
     let space = Space::cube(2, 0.0, 1000.0).unwrap();
-    let udf = SyntheticUdf::builder(space.clone())
-        .peaks(300)
-        .radius_frac(0.15)
-        .seed(8)
-        .build();
+    let udf = SyntheticUdf::builder(space.clone()).peaks(300).radius_frac(0.15).seed(8).build();
     let queries = QueryDistribution::paper_gaussian_sequential().generate(&space, 3000, 55);
 
     let config = MlqConfig::builder(space)

@@ -9,10 +9,7 @@ const ALL_METHODS: [Method; 5] =
     [Method::MlqE, Method::MlqL, Method::ShH, Method::ShW, Method::GlobalAvg];
 
 fn arb_points(n: usize) -> impl Strategy<Value = Vec<(Vec<f64>, f64)>> {
-    prop::collection::vec(
-        (prop::collection::vec(0.0..1000.0f64, 2), 0.0..1e4f64),
-        1..n,
-    )
+    prop::collection::vec((prop::collection::vec(0.0..1000.0f64, 2), 0.0..1e4f64), 1..n)
 }
 
 proptest! {

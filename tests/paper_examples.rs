@@ -1,9 +1,7 @@
 //! The paper's worked examples (Figures 2, 5, and 7), encoded end to end
 //! against the public API.
 
-use mlq_core::{
-    ssenc, InsertionStrategy, MemoryLimitedQuadtree, MlqConfig, Space, Summary,
-};
+use mlq_core::{ssenc, InsertionStrategy, MemoryLimitedQuadtree, MlqConfig, Space, Summary};
 
 /// Fig. 2: the quadtree fully partitions the space into `2^d` blocks per
 /// level; in 2-D each node has up to four children, and a node with all
@@ -19,11 +17,7 @@ fn figure2_node_fanout_and_fullness() {
         tree.insert(&[x, y], 1.0).unwrap();
     }
     assert_eq!(tree.node_count(), 5);
-    let root = tree
-        .nodes()
-        .into_iter()
-        .find(|n| n.depth == 0)
-        .expect("root exists");
+    let root = tree.nodes().into_iter().find(|n| n.depth == 0).expect("root exists");
     assert_eq!(root.n_children, 4, "root is a full node");
     // TSSENC sums SSENC over non-full blocks only; the (full) root is
     // excluded and every leaf holds one point, so TSSENC = 0.
