@@ -1,0 +1,68 @@
+//! Benchmarks of the concurrent serving layer: single-shot predict
+//! latency against a published snapshot, snapshot fetch cost, and the
+//! end-to-end short throughput sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlq_bench::throughput::{measure_run, ThroughputConfig};
+use mlq_core::Space;
+use mlq_serve::{ConcurrentEstimator, ServeConfig};
+use mlq_udfs::ExecutionCost;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn trained_service() -> Arc<ConcurrentEstimator> {
+    let space = Space::cube(4, 0.0, 1000.0).expect("valid space");
+    let svc = Arc::new(
+        ConcurrentEstimator::builder(ServeConfig::default())
+            .register("WIN", &space)
+            .expect("register")
+            .build()
+            .expect("build"),
+    );
+    for i in 0..1000u64 {
+        let p = [
+            (i * 13 % 1000) as f64,
+            (i * 29 % 1000) as f64,
+            (i * 7 % 1000) as f64,
+            (i * 3 % 1000) as f64,
+        ];
+        svc.observe("WIN", &p, ExecutionCost { cpu: 50.0 + p[0], io: 2.0, results: 0 })
+            .expect("observe");
+    }
+    svc.flush();
+    svc
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let svc = trained_service();
+    let snapshot = svc.snapshot("WIN").expect("snapshot");
+    let mut group = c.benchmark_group("serve");
+
+    group.bench_function("snapshot_fetch", |b| {
+        b.iter(|| black_box(svc.snapshot(black_box("WIN")).unwrap()))
+    });
+    group.bench_function("snapshot_predict", |b| {
+        b.iter(|| black_box(snapshot.predict(black_box(&[500.0, 500.0, 500.0, 500.0])).unwrap()))
+    });
+    group.bench_function("service_predict", |b| {
+        b.iter(|| {
+            black_box(svc.predict(black_box("WIN"), black_box(&[500.0, 500.0, 500.0, 500.0])))
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+    let short = ThroughputConfig::short();
+    group.bench_function("short_sweep_4_readers", |b| {
+        b.iter(|| {
+            black_box(measure_run(4, Duration::from_millis(short.duration.as_millis() as u64 / 3)))
+        })
+    });
+    group.finish();
+    svc.shutdown();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

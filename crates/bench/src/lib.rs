@@ -9,10 +9,19 @@
 //! * `figures` — one bench per paper figure (8, 9, 10, 11, 12), running
 //!   the same harness code as the `mlq-exp` binary at reduced scale;
 //! * `ablations` — the parameter-sweep harness;
-//! * `optimizer` — predicate-ordering policies end to end.
+//! * `optimizer` — predicate-ordering policies end to end;
+//! * `serve` — concurrent serving-layer predict/observe throughput.
+//!
+//! Beyond the Criterion benches, the crate ships the `mlq-bench` binary:
+//! `mlq-bench --throughput` runs the [`throughput`] harness and writes
+//! `BENCH_serve.json`; `mlq-bench --gate` compares such a report against
+//! the checked-in baseline (the CI regression gate, see [`report`]).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+
+pub mod report;
+pub mod throughput;
 
 use mlq_core::{InsertionStrategy, MemoryLimitedQuadtree, MlqConfig, Space};
 use mlq_synth::{CostSurface, QueryDistribution, SyntheticUdf};

@@ -1,0 +1,170 @@
+//! `mlq-bench` — the serving-layer throughput harness and CI gate.
+//!
+//! ```text
+//! mlq-bench --throughput [--short] [--readers 1,2,4] [--duration-ms N] [--out PATH]
+//! mlq-bench --gate MEASURED.json BASELINE.json [--tolerance 0.2]
+//! ```
+//!
+//! `--throughput` measures predictions/sec, p50/p99 predict latency, and
+//! feedback lag across reader-thread counts, writing `BENCH_serve.json`
+//! (stdout summary included). `--gate` exits nonzero when the measured
+//! report regresses against the baseline — the CI bench-smoke job runs
+//! both back to back.
+
+use mlq_bench::report::{gate, GateConfig, ThroughputReport};
+use mlq_bench::throughput::{measure, ThroughputConfig};
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         mlq-bench --throughput [--short] [--readers 1,2,4] [--duration-ms N] [--out PATH]\n  \
+         mlq-bench --gate MEASURED.json BASELINE.json [--tolerance 0.2]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--throughput") => run_throughput(&args[1..]),
+        Some("--gate") => run_gate(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn run_throughput(args: &[String]) -> ExitCode {
+    let mut short = false;
+    let mut readers: Option<Vec<usize>> = None;
+    let mut duration: Option<Duration> = None;
+    let mut out = String::from("BENCH_serve.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--short" => short = true,
+            "--readers" => {
+                i += 1;
+                let Some(list) = args.get(i) else { return usage() };
+                let parsed: Result<Vec<usize>, _> =
+                    list.split(',').map(str::trim).map(str::parse).collect();
+                match parsed {
+                    Ok(r) if !r.is_empty() && r.iter().all(|&n| n > 0) => readers = Some(r),
+                    _ => {
+                        eprintln!("--readers wants a comma-separated list of positive counts");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--duration-ms" => {
+                i += 1;
+                let Some(ms) = args.get(i).and_then(|s| s.parse::<u64>().ok()) else {
+                    return usage();
+                };
+                duration = Some(Duration::from_millis(ms));
+            }
+            "--out" => {
+                i += 1;
+                let Some(path) = args.get(i) else { return usage() };
+                out = path.clone();
+            }
+            _ => return usage(),
+        }
+        i += 1;
+    }
+    let mut config = if short { ThroughputConfig::short() } else { ThroughputConfig::full() };
+    if let Some(r) = readers {
+        config.readers = r;
+    }
+    if let Some(d) = duration {
+        config.duration = d;
+    }
+
+    eprintln!(
+        "measuring serving throughput: readers {:?}, {} ms/run{}",
+        config.readers,
+        config.duration.as_millis(),
+        if config.short { " (short mode)" } else { "" }
+    );
+    let report = measure(&config);
+    for run in &report.runs {
+        println!(
+            "{} reader(s): {:>12.0} predictions/s   p50 {:>6} ns   p99 {:>6} ns   \
+             feedback applied {}   max lag {}",
+            run.readers,
+            run.predictions_per_sec,
+            run.p50_predict_ns,
+            run.p99_predict_ns,
+            run.feedback_applied,
+            run.max_feedback_lag
+        );
+    }
+    if let Some(scaling) = report.scaling_to(4) {
+        println!("reader scaling 1→4: {scaling:.2}x on {} host CPU(s)", report.host_parallelism);
+    }
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("serializing report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&out, json + "\n") {
+        eprintln!("writing {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out}");
+    ExitCode::SUCCESS
+}
+
+fn load_report(path: &str) -> Result<ThroughputReport, String> {
+    let text =
+        std::fs::read_to_string(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn run_gate(args: &[String]) -> ExitCode {
+    let (Some(measured_path), Some(baseline_path)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let mut config = GateConfig::default();
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<f64>().ok()) {
+                    Some(t) if (0.0..1.0).contains(&t) => config.tolerance = t,
+                    _ => {
+                        eprintln!("--tolerance wants a fraction in [0, 1)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            _ => return usage(),
+        }
+        i += 1;
+    }
+
+    let (measured, baseline) = match (load_report(measured_path), load_report(baseline_path)) {
+        (Ok(m), Ok(b)) => (m, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let verdict = gate(&measured, &baseline, &config);
+    for note in &verdict.notes {
+        println!("  {note}");
+    }
+    if verdict.passed() {
+        println!("bench gate: PASS ({}% tolerance)", (config.tolerance * 100.0).round());
+        ExitCode::SUCCESS
+    } else {
+        for failure in &verdict.failures {
+            eprintln!("bench gate FAILURE: {failure}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,276 @@
+//! Machine-readable throughput reports (`BENCH_serve.json`) and the CI
+//! regression gate that compares a fresh measurement against the
+//! checked-in baseline.
+//!
+//! The report format is deliberately small and stable: CI archives it as
+//! an artifact, and the gate (`mlq-bench --gate`) only ever reads the
+//! fields below. Bump [`SCHEMA_VERSION`] on breaking changes so a stale
+//! baseline fails loudly instead of comparing apples to oranges.
+
+use serde::{Deserialize, Serialize};
+
+/// Report format version; gate refuses to compare across versions.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One measured configuration (a reader-thread count).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Reader threads predicting concurrently.
+    pub readers: usize,
+    /// Total predictions completed across all readers.
+    pub predictions: u64,
+    /// Aggregate prediction throughput.
+    pub predictions_per_sec: f64,
+    /// Median sampled predict latency, nanoseconds.
+    pub p50_predict_ns: u64,
+    /// 99th-percentile sampled predict latency, nanoseconds.
+    pub p99_predict_ns: u64,
+    /// Feedback observations fully applied during the run.
+    pub feedback_applied: u64,
+    /// Peak feedback lag (admitted but not yet republished) observed.
+    pub max_feedback_lag: u64,
+}
+
+/// The whole `BENCH_serve.json` payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// [`SCHEMA_VERSION`] at write time.
+    pub schema_version: u32,
+    /// True for `--short` CI-smoke runs.
+    pub short_mode: bool,
+    /// `std::thread::available_parallelism` on the measuring host. The
+    /// scaling gate only applies when this is ≥ 4 — a 1-CPU runner cannot
+    /// exhibit reader scaling no matter how good the code is.
+    pub host_parallelism: usize,
+    /// Target measurement window per run, milliseconds.
+    pub duration_ms: u64,
+    /// One entry per reader count, ascending.
+    pub runs: Vec<RunReport>,
+}
+
+impl ThroughputReport {
+    /// The run measured at `readers` threads, if present.
+    #[must_use]
+    pub fn run_at(&self, readers: usize) -> Option<&RunReport> {
+        self.runs.iter().find(|r| r.readers == readers)
+    }
+
+    /// Measured throughput scaling from 1 reader to `readers` readers.
+    #[must_use]
+    pub fn scaling_to(&self, readers: usize) -> Option<f64> {
+        let one = self.run_at(1)?.predictions_per_sec;
+        let many = self.run_at(readers)?.predictions_per_sec;
+        (one > 0.0).then(|| many / one)
+    }
+}
+
+/// Gate thresholds. Defaults match the CI contract: ≤ 20% throughput
+/// regression per reader count, ≥ 3× scaling at 4 readers on hosts with
+/// at least 4 CPUs.
+#[derive(Debug, Clone, Copy)]
+pub struct GateConfig {
+    /// Allowed fractional throughput regression (0.2 = 20%).
+    pub tolerance: f64,
+    /// Required 1→`scaling_readers` throughput multiple.
+    pub min_scaling: f64,
+    /// Reader count the scaling requirement is checked at.
+    pub scaling_readers: usize,
+    /// Scaling is only enforced when the measuring host has at least this
+    /// many CPUs.
+    pub scaling_needs_cpus: usize,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig { tolerance: 0.2, min_scaling: 3.0, scaling_readers: 4, scaling_needs_cpus: 4 }
+    }
+}
+
+/// The gate's verdict: human-readable failures and informational notes.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// Why the gate failed; empty means pass.
+    pub failures: Vec<String>,
+    /// Context worth printing either way.
+    pub notes: Vec<String>,
+}
+
+impl GateReport {
+    /// True when no check failed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Compares `measured` against `baseline` under `config`.
+///
+/// Checks, in order: schema compatibility, per-reader-count throughput
+/// regression, and (on capable hosts) reader scaling. A reader count in
+/// the baseline but missing from the measurement is a failure — silently
+/// shrinking coverage must not pass.
+#[must_use]
+pub fn gate(
+    measured: &ThroughputReport,
+    baseline: &ThroughputReport,
+    config: &GateConfig,
+) -> GateReport {
+    let mut report = GateReport::default();
+    if measured.schema_version != baseline.schema_version {
+        report.failures.push(format!(
+            "schema mismatch: measured v{} vs baseline v{} — regenerate the baseline",
+            measured.schema_version, baseline.schema_version
+        ));
+        return report;
+    }
+
+    for base in &baseline.runs {
+        let Some(run) = measured.run_at(base.readers) else {
+            report
+                .failures
+                .push(format!("no measurement at {} readers (baseline has one)", base.readers));
+            continue;
+        };
+        let floor = base.predictions_per_sec * (1.0 - config.tolerance);
+        if run.predictions_per_sec < floor {
+            report.failures.push(format!(
+                "throughput regression at {} readers: {:.0}/s vs baseline {:.0}/s (floor {:.0}/s)",
+                base.readers, run.predictions_per_sec, base.predictions_per_sec, floor
+            ));
+        } else {
+            report.notes.push(format!(
+                "{} readers: {:.0}/s (baseline {:.0}/s)",
+                base.readers, run.predictions_per_sec, base.predictions_per_sec
+            ));
+        }
+    }
+
+    match measured.scaling_to(config.scaling_readers) {
+        Some(scaling) if measured.host_parallelism >= config.scaling_needs_cpus => {
+            if scaling < config.min_scaling {
+                report.failures.push(format!(
+                    "reader scaling 1→{}: {scaling:.2}x, required {:.1}x",
+                    config.scaling_readers, config.min_scaling
+                ));
+            } else {
+                report
+                    .notes
+                    .push(format!("reader scaling 1→{}: {scaling:.2}x", config.scaling_readers));
+            }
+        }
+        Some(scaling) => report.notes.push(format!(
+            "reader scaling 1→{}: {scaling:.2}x (not enforced: host has {} CPU(s), gate needs {})",
+            config.scaling_readers, measured.host_parallelism, config.scaling_needs_cpus
+        )),
+        None => report.notes.push(format!(
+            "reader scaling not measured (needs runs at 1 and {} readers)",
+            config.scaling_readers
+        )),
+    }
+    report
+}
+
+/// The `pct`-th percentile (0–100) of an ascending-sorted sample, by the
+/// nearest-rank method; 0 for an empty sample.
+#[must_use]
+pub fn percentile_ns(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(readers: usize, pps: f64) -> RunReport {
+        RunReport {
+            readers,
+            predictions: (pps as u64) * 2,
+            predictions_per_sec: pps,
+            p50_predict_ns: 500,
+            p99_predict_ns: 2000,
+            feedback_applied: 100,
+            max_feedback_lag: 8,
+        }
+    }
+
+    fn report(host: usize, runs: Vec<RunReport>) -> ThroughputReport {
+        ThroughputReport {
+            schema_version: SCHEMA_VERSION,
+            short_mode: true,
+            host_parallelism: host,
+            duration_ms: 300,
+            runs,
+        }
+    }
+
+    #[test]
+    fn equal_reports_pass() {
+        let base = report(8, vec![run(1, 1.0e6), run(4, 3.5e6)]);
+        let verdict = gate(&base, &base, &GateConfig::default());
+        assert!(verdict.passed(), "{:?}", verdict.failures);
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_fails() {
+        let base = report(8, vec![run(1, 1.0e6)]);
+        let measured = report(8, vec![run(1, 0.79e6)]);
+        assert!(!gate(&measured, &base, &GateConfig::default()).passed());
+        // 20% down exactly is still within tolerance.
+        let measured = report(8, vec![run(1, 0.8e6)]);
+        assert!(gate(&measured, &base, &GateConfig::default()).passed());
+    }
+
+    #[test]
+    fn missing_reader_count_fails() {
+        let base = report(8, vec![run(1, 1.0e6), run(4, 3.5e6)]);
+        let measured = report(8, vec![run(1, 1.0e6)]);
+        let verdict = gate(&measured, &base, &GateConfig::default());
+        assert!(!verdict.passed());
+        assert!(verdict.failures[0].contains("4 readers"));
+    }
+
+    #[test]
+    fn scaling_enforced_only_on_capable_hosts() {
+        let base = report(8, vec![run(1, 1.0e6), run(4, 3.5e6)]);
+        // Flat scaling on an 8-CPU host: fail.
+        let flat = report(8, vec![run(1, 1.0e6), run(4, 1.1e6)]);
+        let verdict = gate(&flat, &base, &GateConfig::default());
+        assert!(verdict.failures.iter().any(|f| f.contains("scaling")));
+        // The same flat numbers on a 1-CPU host: noted, not enforced —
+        // but the per-count throughput floor still applies.
+        let flat_small = report(1, vec![run(1, 1.0e6), run(4, 3.0e6)]);
+        let verdict = gate(&flat_small, &base, &GateConfig::default());
+        assert!(verdict.passed(), "{:?}", verdict.failures);
+        assert!(verdict.notes.iter().any(|n| n.contains("not enforced")));
+    }
+
+    #[test]
+    fn schema_mismatch_fails_closed() {
+        let base = report(8, vec![run(1, 1.0e6)]);
+        let mut measured = base.clone();
+        measured.schema_version = SCHEMA_VERSION + 1;
+        assert!(!gate(&measured, &base, &GateConfig::default()).passed());
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let r = report(4, vec![run(1, 123_456.7), run(4, 400_000.0)]);
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: ThroughputReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        assert_eq!(percentile_ns(&[], 50.0), 0);
+        assert_eq!(percentile_ns(&[7], 99.0), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_ns(&v, 50.0), 50);
+        assert_eq!(percentile_ns(&v, 99.0), 99);
+        assert_eq!(percentile_ns(&v, 100.0), 100);
+    }
+}

@@ -1,0 +1,244 @@
+//! The `mlq-bench --throughput` harness: measures the serving layer's
+//! concurrent prediction throughput, predict latency percentiles, and
+//! feedback lag, producing a [`ThroughputReport`] (`BENCH_serve.json`).
+//!
+//! Each reader count gets a fresh [`ConcurrentEstimator`]: a few UDF
+//! shards pre-trained with a seeded workload, then a timed window where
+//! N reader threads predict flat-out while one writer thread streams
+//! feedback. Readers re-fetch the published snapshot every
+//! [`SNAPSHOT_REFRESH`] predictions — per-predict `Arc` cloning would
+//! benchmark refcount cache-line bouncing, not the estimator — and time
+//! every [`LATENCY_SAMPLE`]-th full prediction (fetch included) for the
+//! latency percentiles.
+
+use crate::report::{percentile_ns, RunReport, ThroughputReport, SCHEMA_VERSION};
+use mlq_serve::{BackpressurePolicy, ConcurrentEstimator, ServeConfig};
+use mlq_udfs::ExecutionCost;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Readers re-fetch the shard snapshot every this many predictions.
+pub const SNAPSHOT_REFRESH: u64 = 256;
+/// Every this many predictions, one is individually timed.
+pub const LATENCY_SAMPLE: u64 = 32;
+
+const SHARDS: usize = 4;
+const DIMS: usize = 4;
+const PRETRAIN: usize = 2000;
+
+/// Harness settings.
+#[derive(Debug, Clone)]
+pub struct ThroughputConfig {
+    /// Reader-thread counts to measure, one run each.
+    pub readers: Vec<usize>,
+    /// Measurement window per run.
+    pub duration: Duration,
+    /// Recorded in the report as `short_mode`.
+    pub short: bool,
+}
+
+impl ThroughputConfig {
+    /// The full local-measurement configuration (~2 s per run).
+    #[must_use]
+    pub fn full() -> Self {
+        ThroughputConfig {
+            readers: vec![1, 2, 4],
+            duration: Duration::from_millis(2000),
+            short: false,
+        }
+    }
+
+    /// The CI-smoke configuration (~300 ms per run).
+    #[must_use]
+    pub fn short() -> Self {
+        ThroughputConfig {
+            readers: vec![1, 2, 4],
+            duration: Duration::from_millis(300),
+            short: true,
+        }
+    }
+}
+
+fn xorshift(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
+}
+
+fn point_from(r: u64) -> [f64; DIMS] {
+    [
+        (r % 1000) as f64,
+        ((r >> 10) % 1000) as f64,
+        ((r >> 20) % 1000) as f64,
+        ((r >> 30) % 1000) as f64,
+    ]
+}
+
+/// A smooth synthetic cost so the guard sees an honest distribution.
+fn cost_at(p: &[f64; DIMS]) -> ExecutionCost {
+    let cpu = 50.0 + p[0] * 0.1 + p[1] * 0.05;
+    let io = 2.0 + p[2] * 0.01;
+    ExecutionCost { cpu, io, results: 0 }
+}
+
+fn shard_names() -> Vec<String> {
+    (0..SHARDS).map(|i| format!("UDF{i}")).collect()
+}
+
+fn build_service() -> Arc<ConcurrentEstimator> {
+    let space = mlq_core::Space::cube(DIMS, 0.0, 1000.0).expect("valid space");
+    let config = ServeConfig {
+        // The writer must never block mid-measurement; bounded lag via
+        // eviction is the right policy for a load generator.
+        backpressure: BackpressurePolicy::DropOldest,
+        ..ServeConfig::default()
+    };
+    let mut builder = ConcurrentEstimator::builder(config);
+    for name in shard_names() {
+        builder = builder.register(&name, &space).expect("register");
+    }
+    let svc = Arc::new(builder.build().expect("build service"));
+    // Pre-train every shard so readers measure informed predictions.
+    let mut seed = 0x5EED_u64;
+    for w in 0..PRETRAIN {
+        let p = point_from(xorshift(&mut seed));
+        svc.observe(&shard_names()[w % SHARDS], &p, cost_at(&p)).expect("pretrain observe");
+    }
+    svc.flush();
+    svc
+}
+
+/// Runs one measurement at `readers` reader threads.
+#[must_use]
+pub fn measure_run(readers: usize, duration: Duration) -> RunReport {
+    let svc = build_service();
+    let names = shard_names();
+    let stop = Arc::new(AtomicBool::new(false));
+    let max_lag = Arc::new(AtomicU64::new(0));
+
+    let writer = {
+        let svc = Arc::clone(&svc);
+        let stop = Arc::clone(&stop);
+        let max_lag = Arc::clone(&max_lag);
+        let names = names.clone();
+        thread::spawn(move || {
+            let mut seed = 0xF00D_u64;
+            let mut i = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let p = point_from(xorshift(&mut seed));
+                let _ = svc.observe(&names[i % SHARDS], &p, cost_at(&p));
+                i += 1;
+                if i.is_multiple_of(64) {
+                    max_lag.fetch_max(svc.feedback_lag(), Ordering::Relaxed);
+                    // A load generator, not a saturation attack: yield so
+                    // readers and the maintainer get scheduled too.
+                    thread::yield_now();
+                }
+            }
+        })
+    };
+
+    let started = Instant::now();
+    let handles: Vec<_> = (0..readers)
+        .map(|r| {
+            let svc = Arc::clone(&svc);
+            let stop = Arc::clone(&stop);
+            let names = names.clone();
+            thread::spawn(move || {
+                let mut seed = (r as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let mut count = 0u64;
+                let mut samples: Vec<u64> = Vec::with_capacity(1 << 14);
+                let mut snapshots: Vec<_> =
+                    names.iter().map(|n| svc.snapshot(n).expect("snapshot")).collect();
+                while !stop.load(Ordering::Relaxed) {
+                    let r = xorshift(&mut seed);
+                    let shard = (r % SHARDS as u64) as usize;
+                    let p = point_from(r);
+                    if count.is_multiple_of(SNAPSHOT_REFRESH) {
+                        snapshots[shard] = svc.snapshot(&names[shard]).expect("snapshot");
+                    }
+                    if count.is_multiple_of(LATENCY_SAMPLE) {
+                        // Time the full serving path: fetch + predict.
+                        let t0 = Instant::now();
+                        let snap = svc.snapshot(&names[shard]).expect("snapshot");
+                        let v = snap.predict(&p).expect("predict");
+                        samples.push(t0.elapsed().as_nanos() as u64);
+                        assert!(v.is_some(), "pre-trained shard must answer");
+                    } else {
+                        let v = snapshots[shard].predict(&p).expect("predict");
+                        debug_assert!(v.is_some());
+                    }
+                    count += 1;
+                }
+                (count, samples)
+            })
+        })
+        .collect();
+
+    thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let mut predictions = 0u64;
+    let mut samples: Vec<u64> = Vec::new();
+    for h in handles {
+        let (count, mut s) = h.join().expect("reader thread");
+        predictions += count;
+        samples.append(&mut s);
+    }
+    let elapsed = started.elapsed();
+    writer.join().expect("writer thread");
+    samples.sort_unstable();
+
+    let report = svc.shutdown().expect("first shutdown");
+    let feedback_applied: u64 = report.shards.iter().map(|(_, c)| c.applied).sum();
+
+    RunReport {
+        readers,
+        predictions,
+        predictions_per_sec: predictions as f64 / elapsed.as_secs_f64(),
+        p50_predict_ns: percentile_ns(&samples, 50.0),
+        p99_predict_ns: percentile_ns(&samples, 99.0),
+        feedback_applied,
+        max_feedback_lag: max_lag.load(Ordering::Relaxed),
+    }
+}
+
+/// Runs the whole sweep and assembles the report.
+#[must_use]
+pub fn measure(config: &ThroughputConfig) -> ThroughputReport {
+    let host_parallelism = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let runs =
+        config.readers.iter().map(|&readers| measure_run(readers, config.duration)).collect();
+    ThroughputReport {
+        schema_version: SCHEMA_VERSION,
+        short_mode: config.short,
+        host_parallelism,
+        duration_ms: u64::try_from(config.duration.as_millis()).unwrap_or(u64::MAX),
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_tiny_run_produces_a_sane_report() {
+        let config = ThroughputConfig {
+            readers: vec![1, 2],
+            duration: Duration::from_millis(50),
+            short: true,
+        };
+        let report = measure(&config);
+        assert_eq!(report.schema_version, SCHEMA_VERSION);
+        assert_eq!(report.runs.len(), 2);
+        for run in &report.runs {
+            assert!(run.predictions > 0, "readers must complete predictions");
+            assert!(run.predictions_per_sec > 0.0);
+            assert!(run.p50_predict_ns <= run.p99_predict_ns);
+            assert!(run.feedback_applied > 0, "the writer must land feedback");
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Immutable, shareable prediction snapshots of a quadtree.
+//!
+//! The live [`MemoryLimitedQuadtree`] is deliberately not `Sync`: its
+//! prediction path updates APC counters through a `Cell`, and its
+//! insertion path restructures the arena. A serving layer that wants many
+//! reader threads therefore publishes a [`FrozenTree`] — a compacted,
+//! read-only copy of the live nodes that answers predictions with the
+//! exact semantics of paper Fig. 3 but carries no interior mutability, so
+//! it is `Send + Sync` and can sit behind an `Arc` shared by any number
+//! of threads while the writer keeps mutating its private live tree.
+//!
+//! Freezing is O(live nodes) in time and space; the node count is bounded
+//! by the model's byte budget, so for the paper's configurations a freeze
+//! copies a few kilobytes. Nodes are re-indexed into one contiguous slab
+//! (dead arena slots are dropped), which also makes the frozen descent
+//! slightly more cache-friendly than the live tree's.
+
+use crate::config::MlqConfig;
+use crate::error::MlqError;
+use crate::node::NIL;
+use crate::summary::Summary;
+use crate::tree::MemoryLimitedQuadtree;
+
+/// One compacted node: the block summary plus re-indexed child slots.
+#[derive(Debug, Clone)]
+struct FrozenNode {
+    summary: Summary,
+    /// Child indices into the frozen slab, `NIL` for empty slots; `None`
+    /// for leaves.
+    children: Option<Box<[u32]>>,
+}
+
+/// A read-only prediction snapshot of a [`MemoryLimitedQuadtree`].
+///
+/// Shares the live tree's prediction semantics ([Fig. 3]: deepest block
+/// on the root-to-leaf path holding at least `β` points, root fallback)
+/// without its interior mutability — `FrozenTree` is `Send + Sync`.
+///
+/// [Fig. 3]: MemoryLimitedQuadtree::predict
+#[derive(Debug, Clone)]
+pub struct FrozenTree {
+    config: MlqConfig,
+    /// Compacted nodes; index 0 is the root.
+    nodes: Box<[FrozenNode]>,
+}
+
+impl FrozenTree {
+    /// Builds a frozen copy of `tree`'s live nodes (root first).
+    pub(crate) fn from_tree(tree: &MemoryLimitedQuadtree) -> Self {
+        // BFS from the root, assigning contiguous indices as nodes are
+        // discovered; children are patched with the new indices.
+        let mut order: Vec<u32> = vec![tree.root];
+        let mut nodes: Vec<FrozenNode> = Vec::with_capacity(tree.node_count());
+        let mut head = 0usize;
+        while head < order.len() {
+            let old = order[head];
+            head += 1;
+            let node = tree.arena.get(old);
+            let children = node.children.as_ref().map(|slots| {
+                slots
+                    .iter()
+                    .map(|&child| {
+                        if child == NIL {
+                            NIL
+                        } else {
+                            order.push(child);
+                            // The child will be frozen at the index it was
+                            // just enqueued under.
+                            u32::try_from(order.len() - 1).expect("arena indices fit u32")
+                        }
+                    })
+                    .collect::<Box<[u32]>>()
+            });
+            nodes.push(FrozenNode { summary: node.summary, children });
+        }
+        FrozenTree { config: tree.config().clone(), nodes: nodes.into_boxed_slice() }
+    }
+
+    /// The configuration of the tree this snapshot was frozen from.
+    #[must_use]
+    pub fn config(&self) -> &MlqConfig {
+        &self.config
+    }
+
+    /// Number of nodes in the snapshot.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Summary of the root block (every point the live tree had seen).
+    #[must_use]
+    pub fn root_summary(&self) -> Summary {
+        self.nodes[0].summary
+    }
+
+    /// True while the snapshot holds no data at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes[0].summary.count == 0
+    }
+
+    /// Predicts the cost at `point` with the configured `β` — the frozen
+    /// equivalent of [`MemoryLimitedQuadtree::predict`]. Out-of-range
+    /// coordinates clamp onto the space boundary, like the live tree.
+    ///
+    /// # Errors
+    ///
+    /// [`MlqError::DimensionMismatch`] or [`MlqError::NonFiniteValue`] for
+    /// malformed query points.
+    pub fn predict(&self, point: &[f64]) -> Result<Option<f64>, MlqError> {
+        self.predict_with_beta(point, self.config.beta)
+    }
+
+    /// [`Self::predict`] with an explicit `β`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::predict`].
+    pub fn predict_with_beta(&self, point: &[f64], beta: u64) -> Result<Option<f64>, MlqError> {
+        let grid = self.config.space.grid_point(point)?;
+        let root = &self.nodes[0];
+        if root.summary.count == 0 {
+            return Ok(None);
+        }
+        let mut best = root.summary;
+        let mut cn = root;
+        let mut depth = 0u32;
+        while cn.summary.count >= beta {
+            best = cn.summary;
+            let slot = grid.child_slot(depth);
+            match cn.children.as_ref().map(|c| c[slot]) {
+                Some(child) if child != NIL => {
+                    cn = &self.nodes[child as usize];
+                    depth += 1;
+                }
+                _ => break,
+            }
+        }
+        Ok(Some(best.avg()))
+    }
+}
+
+impl MemoryLimitedQuadtree {
+    /// Captures an immutable, `Send + Sync` prediction snapshot of the
+    /// current tree (see [`FrozenTree`]). O(live nodes); the live tree is
+    /// untouched and can keep learning while readers share the snapshot.
+    #[must_use]
+    pub fn freeze(&self) -> FrozenTree {
+        FrozenTree::from_tree(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InsertionStrategy, Space};
+
+    fn model(budget: usize) -> MemoryLimitedQuadtree {
+        let space = Space::cube(2, 0.0, 1000.0).unwrap();
+        let config = MlqConfig::builder(space)
+            .memory_budget(budget)
+            .strategy(InsertionStrategy::Eager)
+            .build()
+            .unwrap();
+        MemoryLimitedQuadtree::new(config).unwrap()
+    }
+
+    #[test]
+    fn frozen_tree_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FrozenTree>();
+    }
+
+    #[test]
+    fn empty_freeze_predicts_none() {
+        let f = model(4096).freeze();
+        assert!(f.is_empty());
+        assert_eq!(f.predict(&[1.0, 2.0]).unwrap(), None);
+    }
+
+    #[test]
+    fn freeze_matches_live_predictions_everywhere() {
+        let mut m = model(4096);
+        for i in 0..500u32 {
+            let x = f64::from(i.wrapping_mul(97) % 1000);
+            let y = f64::from(i.wrapping_mul(31) % 1000);
+            m.insert(&[x, y], f64::from(i % 13)).unwrap();
+        }
+        let f = m.freeze();
+        assert_eq!(f.node_count(), m.node_count());
+        assert_eq!(f.root_summary(), m.root_summary());
+        for i in 0..300u32 {
+            let p = [f64::from(i * 37 % 1009) % 1000.0, f64::from(i * 11 % 997) % 1000.0];
+            assert_eq!(f.predict(&p).unwrap(), m.predict(&p).unwrap(), "point {p:?}");
+        }
+        // Explicit-beta predictions agree as well.
+        for beta in [1, 2, 8, 99] {
+            assert_eq!(
+                f.predict_with_beta(&[123.0, 456.0], beta).unwrap(),
+                m.predict_with_beta(&[123.0, 456.0], beta).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn freeze_is_isolated_from_later_inserts() {
+        let mut m = model(1 << 16);
+        m.insert(&[10.0, 10.0], 5.0).unwrap();
+        let f = m.freeze();
+        m.insert(&[10.0, 10.0], 105.0).unwrap();
+        // The live tree moved; the snapshot did not.
+        assert_eq!(f.predict(&[10.0, 10.0]).unwrap(), Some(5.0));
+        assert_eq!(m.predict(&[10.0, 10.0]).unwrap(), Some(55.0));
+    }
+
+    #[test]
+    fn freeze_clamps_out_of_range_queries() {
+        let mut m = model(1 << 16);
+        m.insert(&[0.0, 1000.0], 9.0).unwrap();
+        let f = m.freeze();
+        assert_eq!(f.predict(&[-50.0, 2000.0]).unwrap(), Some(9.0));
+        assert!(f.predict(&[1.0],).is_err());
+        assert!(f.predict(&[f64::NAN, 1.0]).is_err());
+    }
+
+    #[test]
+    fn clone_of_live_tree_diverges_independently() {
+        let mut a = model(1 << 16);
+        a.insert(&[10.0, 10.0], 5.0).unwrap();
+        let mut b = a.clone();
+        b.insert(&[10.0, 10.0], 105.0).unwrap();
+        assert_eq!(a.predict(&[10.0, 10.0]).unwrap(), Some(5.0));
+        assert_eq!(b.predict(&[10.0, 10.0]).unwrap(), Some(55.0));
+    }
+}

@@ -157,7 +157,10 @@ pub struct GuardCounters {
 /// quarantine, and a circuit breaker with a running-average fallback.
 ///
 /// See the [module documentation](self) for the full failure model.
-#[derive(Debug)]
+/// `Clone` (available when the inner model is `Clone`) duplicates the
+/// guard state — window, breaker, counters — alongside the model, so a
+/// maintainer thread can snapshot a guarded model wholesale.
+#[derive(Debug, Clone)]
 pub struct GuardedModel<M: CostModel> {
     inner: M,
     space: Space,

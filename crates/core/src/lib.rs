@@ -55,6 +55,7 @@ mod config;
 mod counters;
 mod detail;
 mod error;
+mod frozen;
 mod guard;
 mod merge;
 mod model;
@@ -75,6 +76,7 @@ pub use config::{InsertionStrategy, MlqConfig, MlqConfigBuilder};
 pub use counters::ModelCounters;
 pub use detail::PredictionDetail;
 pub use error::MlqError;
+pub use frozen::FrozenTree;
 pub use guard::{BreakerState, GuardConfig, GuardCounters, GuardedModel, PointPolicy};
 pub use model::{CostModel, TrainableModel};
 pub use node::NodeView;

@@ -58,7 +58,7 @@ impl Node {
 }
 
 /// Slab of nodes with index recycling.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub(crate) struct Arena {
     nodes: Vec<Node>,
     free: Vec<u32>,

@@ -29,8 +29,11 @@ pub struct InsertOutcome {
 ///
 /// See the [crate-level documentation](crate) for the algorithmic overview
 /// and an example. Not `Sync`: prediction updates internal APC counters
-/// through a `Cell`; use one model per optimizer thread.
-#[derive(Debug)]
+/// through a `Cell`; use one model per optimizer thread, or publish an
+/// immutable [`FrozenTree`](crate::FrozenTree) via [`Self::freeze`] for
+/// shared lock-free reads. `Clone` duplicates the whole arena — cheap in
+/// absolute terms (the arena is bounded by the byte budget) but O(nodes).
+#[derive(Debug, Clone)]
 pub struct MemoryLimitedQuadtree {
     config: MlqConfig,
     pub(crate) arena: Arena,

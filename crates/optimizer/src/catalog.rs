@@ -72,6 +72,22 @@ impl UdfCatalog {
         self.entries.keys().map(String::as_str).collect()
     }
 
+    /// The per-model byte budget this catalog registers models with.
+    #[must_use]
+    pub fn budget_per_model(&self) -> usize {
+        self.budget_per_model
+    }
+
+    /// Consumes the catalog, handing out every UDF's `(name, cpu, io)`
+    /// model pair in name order. This is how a serving layer takes
+    /// ownership of the catalog's learned models to shard them across a
+    /// concurrent estimator: the catalog remains the registration
+    /// authority, the serving layer the runtime owner.
+    #[must_use]
+    pub fn into_models(self) -> Vec<(String, MemoryLimitedQuadtree, MemoryLimitedQuadtree)> {
+        self.entries.into_iter().map(|(name, e)| (name, e.cpu, e.io)).collect()
+    }
+
     /// Predicts one cost component for `name` at `point`.
     ///
     /// # Errors

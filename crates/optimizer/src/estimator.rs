@@ -4,6 +4,39 @@
 use mlq_core::{CostModel, GuardConfig, GuardedModel, MlqError, Space};
 use mlq_udfs::ExecutionCost;
 
+/// The estimator interface the executor plans against: predict a combined
+/// per-tuple cost, feed an observed execution back, and convert an
+/// [`ExecutionCost`] into the same combined unit.
+///
+/// [`CostEstimator`] is the in-process implementation (two models owned
+/// directly); a serving layer can implement this trait to route the same
+/// calls through a shared concurrent estimator instead — the executor is
+/// generic over it, so the Fig. 1 loop is unchanged either way.
+pub trait Estimator {
+    /// Predicted combined (CPU + weighted IO) cost at `point`; `None`
+    /// while the estimator is uninformed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates malformed-point errors.
+    fn predict(&self, point: &[f64]) -> Result<Option<f64>, MlqError>;
+
+    /// Offers an observed execution back to the underlying models.
+    ///
+    /// # Errors
+    ///
+    /// Propagates malformed-input errors; implementations may also report
+    /// quarantined feedback.
+    fn observe(&mut self, point: &[f64], cost: ExecutionCost) -> Result<(), MlqError>;
+
+    /// The combined cost of an observed execution under this estimator's
+    /// weighting.
+    fn combine(&self, cost: ExecutionCost) -> f64;
+
+    /// Display name, e.g. `"MLQ-E+MLQ-E"`.
+    fn name(&self) -> String;
+}
+
 /// The optimizer's per-UDF estimator: "the query optimizer needs to keep
 /// two cost estimators for each UDF in order to model both CPU and disk IO
 /// costs" (paper §1). Predictions combine both components with a
@@ -117,6 +150,24 @@ impl CostEstimator {
     #[must_use]
     pub fn name(&self) -> String {
         format!("{}+{}", self.cpu.name(), self.io.name())
+    }
+}
+
+impl Estimator for CostEstimator {
+    fn predict(&self, point: &[f64]) -> Result<Option<f64>, MlqError> {
+        CostEstimator::predict(self, point)
+    }
+
+    fn observe(&mut self, point: &[f64], cost: ExecutionCost) -> Result<(), MlqError> {
+        CostEstimator::observe(self, point, cost)
+    }
+
+    fn combine(&self, cost: ExecutionCost) -> f64 {
+        CostEstimator::combine(self, cost)
+    }
+
+    fn name(&self) -> String {
+        CostEstimator::name(self)
     }
 }
 

@@ -8,7 +8,7 @@
 //! costs and the *observed* pass rates, then feeds every actual cost back
 //! into the estimators — the full Fig. 1 loop.
 
-use crate::estimator::CostEstimator;
+use crate::estimator::{CostEstimator, Estimator};
 use crate::predicate::RowPredicate;
 use crate::selectivity::SelectivityModel;
 use serde::{Deserialize, Serialize};
@@ -65,9 +65,14 @@ impl SelectivityStats {
 }
 
 /// Executes a conjunction of UDF predicates with cost-model feedback.
-pub struct FeedbackExecutor {
+///
+/// Generic over the estimator backend: the default `E = CostEstimator`
+/// owns its models in-process, while a serving layer can supply handles
+/// into a shared concurrent estimator (any [`Estimator`] implementation)
+/// without changing the execution loop.
+pub struct FeedbackExecutor<E: Estimator = CostEstimator> {
     predicates: Vec<Box<dyn RowPredicate>>,
-    estimators: Vec<CostEstimator>,
+    estimators: Vec<E>,
     stats: Vec<SelectivityStats>,
     selectivity_models: Vec<Option<SelectivityModel>>,
     /// Known selectivities for the oracle policy (`None` entries fall back
@@ -77,14 +82,14 @@ pub struct FeedbackExecutor {
     feedback: bool,
 }
 
-impl FeedbackExecutor {
+impl<E: Estimator> FeedbackExecutor<E> {
     /// Builds the executor; one estimator per predicate.
     ///
     /// # Panics
     ///
     /// Panics when the slices disagree in length or are empty.
     #[must_use]
-    pub fn new(predicates: Vec<Box<dyn RowPredicate>>, estimators: Vec<CostEstimator>) -> Self {
+    pub fn new(predicates: Vec<Box<dyn RowPredicate>>, estimators: Vec<E>) -> Self {
         assert_eq!(predicates.len(), estimators.len(), "one estimator per predicate");
         assert!(!predicates.is_empty(), "need at least one predicate");
         let n = predicates.len();
@@ -121,7 +126,7 @@ impl FeedbackExecutor {
 
     /// Access to an estimator (e.g. to inspect model state after a run).
     #[must_use]
-    pub fn estimator(&self, i: usize) -> &CostEstimator {
+    pub fn estimator(&self, i: usize) -> &E {
         &self.estimators[i]
     }
 

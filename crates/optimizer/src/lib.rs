@@ -64,7 +64,7 @@ mod predicate;
 mod selectivity;
 
 pub use catalog::{CatalogSnapshot, UdfCatalog};
-pub use estimator::CostEstimator;
+pub use estimator::{CostEstimator, Estimator};
 pub use executor::{ExecutionReport, FeedbackExecutor, OrderingPolicy};
 pub use plan::{JoinStats, JoinUdfPlanner, PlanEstimate, PlanShape};
 pub use predicate::{RowPredicate, SyntheticPredicate};

@@ -1,0 +1,482 @@
+//! The concurrent sharded estimator service.
+//!
+//! One [`ConcurrentEstimator`] serves cost estimates for every registered
+//! UDF. Internally it is sharded per UDF — the same keying as the
+//! optimizer's [`UdfCatalog`] — and split across two worlds:
+//!
+//! * **Readers** (any number of threads) fetch the shard's published
+//!   [`ShardSnapshot`] — an `Arc` clone under a briefly held
+//!   `parking_lot::RwLock` read guard — and predict against the immutable
+//!   snapshot. No reader ever touches a live model.
+//! * **The maintainer** (one background thread) owns the live
+//!   [`GuardedModel`]s. Feedback arrives through a bounded MPSC queue
+//!   ([`FeedbackQueue`]), is applied in batches (`observe`, including any
+//!   compression the insert triggers — all off the read path), and every
+//!   touched shard is refrozen and republished.
+//!
+//! Shutdown closes the queue (new feedback is refused), flushes every
+//! queued observation into the models, republishes final snapshots, and
+//! joins the maintainer — nothing admitted is ever dropped by shutdown.
+
+use crate::queue::{BackpressurePolicy, Feedback, FeedbackQueue, PushOutcome, QueueCounters};
+use crate::snapshot::{ComponentSnapshot, ShardCounters, ShardSnapshot};
+use mlq_core::{
+    CostModel, GuardConfig, GuardedModel, InsertionStrategy, MemoryLimitedQuadtree, MlqConfig,
+    MlqError, Space,
+};
+use mlq_optimizer::UdfCatalog;
+use mlq_udfs::ExecutionCost;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Tuning of a [`ConcurrentEstimator`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Bound of the feedback queue, in observations.
+    pub queue_capacity: usize,
+    /// Most observations the maintainer applies before republishing.
+    pub batch_max: usize,
+    /// What producers do when the queue is full.
+    pub backpressure: BackpressurePolicy,
+    /// CPU-unit cost of one page read (see
+    /// [`CostEstimator`](mlq_optimizer::CostEstimator)).
+    pub io_weight: f64,
+    /// Guard settings applied to every shard's CPU and IO models.
+    pub guard: GuardConfig,
+    /// Byte budget per model for UDFs registered through the builder.
+    pub budget_per_model: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 4096,
+            batch_max: 64,
+            backpressure: BackpressurePolicy::Block,
+            io_weight: 100.0,
+            guard: GuardConfig::default(),
+            budget_per_model: 1 << 16,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn validate(&self) -> Result<(), MlqError> {
+        if self.queue_capacity == 0 || self.batch_max == 0 {
+            return Err(MlqError::InvalidConfig {
+                reason: "queue_capacity and batch_max must be nonzero".into(),
+            });
+        }
+        if !self.io_weight.is_finite() || self.io_weight < 0.0 {
+            return Err(MlqError::InvalidConfig {
+                reason: format!(
+                    "io_weight must be finite and non-negative, got {}",
+                    self.io_weight
+                ),
+            });
+        }
+        self.backpressure.validate()
+    }
+}
+
+/// The maintainer's live state for one shard.
+struct ShardModels {
+    name: String,
+    cpu: GuardedModel<MemoryLimitedQuadtree>,
+    io: GuardedModel<MemoryLimitedQuadtree>,
+    applied: u64,
+    apply_errors: u64,
+    version: u64,
+}
+
+impl ShardModels {
+    fn snapshot(&mut self, io_weight: f64) -> ShardSnapshot {
+        self.version += 1;
+        let counters = ShardCounters {
+            version: self.version,
+            applied: self.applied,
+            apply_errors: self.apply_errors,
+            cpu_guard: self.cpu.counters(),
+            io_guard: self.io.counters(),
+            cpu_breaker: self.cpu.state(),
+            io_breaker: self.io.state(),
+        };
+        let cpu = ComponentSnapshot::new(
+            self.cpu.inner().freeze(),
+            self.cpu.is_healthy(),
+            self.cpu.fallback_prediction(),
+        );
+        let io = ComponentSnapshot::new(
+            self.io.inner().freeze(),
+            self.io.is_healthy(),
+            self.io.fallback_prediction(),
+        );
+        ShardSnapshot::new(self.name.clone(), cpu, io, io_weight, counters)
+    }
+
+    /// Applies one observation to both components, mirroring
+    /// [`CostEstimator::observe`](mlq_optimizer::CostEstimator::observe):
+    /// both models are always fed; one component's quarantine must not
+    /// starve the other.
+    fn apply(&mut self, point: &[f64], cost: ExecutionCost) {
+        let cpu = self.cpu.observe(point, cost.cpu);
+        let io = self.io.observe(point, cost.io);
+        let quarantine_only = |r: &Result<(), MlqError>| {
+            matches!(r, Ok(()) | Err(MlqError::FeedbackQuarantined { .. }))
+        };
+        if cpu.is_ok() && io.is_ok() {
+            self.applied += 1;
+        } else if !quarantine_only(&cpu) || !quarantine_only(&io) {
+            // Quarantines are already counted by the guards themselves;
+            // anything else (malformed point that slipped past the
+            // producer, inner-model failure) is an apply error.
+            self.apply_errors += 1;
+        }
+    }
+}
+
+/// Incrementally registers UDF shards, then spawns the service.
+pub struct ConcurrentEstimatorBuilder {
+    config: ServeConfig,
+    models: Vec<(String, MemoryLimitedQuadtree, MemoryLimitedQuadtree)>,
+}
+
+impl ConcurrentEstimatorBuilder {
+    /// Starts a builder with `config`.
+    #[must_use]
+    pub fn new(config: ServeConfig) -> Self {
+        ConcurrentEstimatorBuilder { config, models: Vec::new() }
+    }
+
+    /// Registers a fresh UDF shard over `space`, using the catalog's model
+    /// recipe (`β = 1` CPU, `β = 10` IO, lazy insertion).
+    ///
+    /// # Errors
+    ///
+    /// [`MlqError::InvalidConfig`] for duplicate names; propagates model
+    /// construction failures.
+    pub fn register(self, name: &str, space: &Space) -> Result<Self, MlqError> {
+        let build = |beta: u64| -> Result<MemoryLimitedQuadtree, MlqError> {
+            let floor = MlqConfig::min_budget(space, 6);
+            let config = MlqConfig::builder(space.clone())
+                .memory_budget(self.config.budget_per_model.max(floor))
+                .strategy(InsertionStrategy::Lazy { alpha: 0.05 })
+                .beta(beta)
+                .build()?;
+            MemoryLimitedQuadtree::new(config)
+        };
+        let (cpu, io) = (build(1)?, build(10)?);
+        self.register_models(name, cpu, io)
+    }
+
+    /// Registers a UDF shard seeded with already-learned models (e.g.
+    /// handed over from a [`UdfCatalog`]).
+    ///
+    /// # Errors
+    ///
+    /// [`MlqError::InvalidConfig`] for duplicate names.
+    pub fn register_models(
+        mut self,
+        name: &str,
+        cpu: MemoryLimitedQuadtree,
+        io: MemoryLimitedQuadtree,
+    ) -> Result<Self, MlqError> {
+        if self.models.iter().any(|(n, _, _)| n == name) {
+            return Err(MlqError::InvalidConfig {
+                reason: format!("UDF {name} is already registered"),
+            });
+        }
+        self.models.push((name.to_string(), cpu, io));
+        Ok(self)
+    }
+
+    /// Wraps every model in its guard, publishes initial snapshots, and
+    /// spawns the maintainer thread.
+    ///
+    /// # Errors
+    ///
+    /// [`MlqError::InvalidConfig`] when nothing is registered or the
+    /// configuration is nonsensical.
+    pub fn build(self) -> Result<ConcurrentEstimator, MlqError> {
+        let ConcurrentEstimatorBuilder { config, mut models } = self;
+        config.validate()?;
+        if models.is_empty() {
+            return Err(MlqError::InvalidConfig {
+                reason: "a concurrent estimator needs at least one registered UDF".into(),
+            });
+        }
+        // Shards are ordered by name, like the catalog.
+        models.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut shards = Vec::with_capacity(models.len());
+        let mut names = BTreeMap::new();
+        for (idx, (name, cpu, io)) in models.into_iter().enumerate() {
+            names.insert(name.clone(), idx);
+            shards.push(ShardModels {
+                name,
+                cpu: GuardedModel::for_quadtree(cpu, config.guard)?,
+                io: GuardedModel::for_quadtree(io, config.guard)?,
+                applied: 0,
+                apply_errors: 0,
+                version: 0,
+            });
+        }
+
+        let published: Arc<Vec<RwLock<Arc<ShardSnapshot>>>> = Arc::new(
+            shards
+                .iter_mut()
+                .map(|s| RwLock::new(Arc::new(s.snapshot(config.io_weight))))
+                .collect(),
+        );
+        let queue = Arc::new(FeedbackQueue::new(config.queue_capacity));
+        let processed = Arc::new(AtomicU64::new(0));
+
+        let maintainer = {
+            let queue = Arc::clone(&queue);
+            let published = Arc::clone(&published);
+            let processed = Arc::clone(&processed);
+            let io_weight = config.io_weight;
+            let batch_max = config.batch_max;
+            thread::Builder::new()
+                .name("mlq-serve-maintainer".into())
+                .spawn(move || {
+                    maintain(shards, &queue, &published, &processed, io_weight, batch_max)
+                })
+                .map_err(|e| MlqError::IoFault {
+                    reason: format!("spawning maintainer thread: {e}"),
+                })?
+        };
+
+        Ok(ConcurrentEstimator {
+            names,
+            published,
+            queue,
+            processed,
+            backpressure: config.backpressure,
+            maintainer: Mutex::new(Some(maintainer)),
+        })
+    }
+}
+
+/// The maintainer loop: drain → apply → republish, until the queue is
+/// closed and empty.
+fn maintain(
+    mut shards: Vec<ShardModels>,
+    queue: &FeedbackQueue,
+    published: &[RwLock<Arc<ShardSnapshot>>],
+    processed: &AtomicU64,
+    io_weight: f64,
+    batch_max: usize,
+) {
+    let mut touched = vec![false; shards.len()];
+    loop {
+        let (batch, finished) = queue.drain(batch_max, Duration::from_millis(20));
+        if finished {
+            break;
+        }
+        if batch.is_empty() {
+            continue;
+        }
+        let n = batch.len() as u64;
+        for fb in batch {
+            if let Some(shard) = shards.get_mut(fb.shard) {
+                shard.apply(&fb.point, fb.cost);
+                touched[fb.shard] = true;
+            }
+        }
+        for (idx, flag) in touched.iter_mut().enumerate() {
+            if *flag {
+                *published[idx].write() = Arc::new(shards[idx].snapshot(io_weight));
+                *flag = false;
+            }
+        }
+        // Republish-then-count: once `processed` covers an observation,
+        // its effect is visible to readers (the flush contract).
+        processed.fetch_add(n, Ordering::Release);
+    }
+    // Final publication so shutdown reports the very last counters.
+    for (idx, shard) in shards.iter_mut().enumerate() {
+        *published[idx].write() = Arc::new(shard.snapshot(io_weight));
+    }
+}
+
+/// A sharded, concurrently readable estimator service over every
+/// registered UDF. See the [module documentation](self).
+pub struct ConcurrentEstimator {
+    names: BTreeMap<String, usize>,
+    published: Arc<Vec<RwLock<Arc<ShardSnapshot>>>>,
+    queue: Arc<FeedbackQueue>,
+    /// Observations fully applied and republished by the maintainer.
+    processed: Arc<AtomicU64>,
+    backpressure: BackpressurePolicy,
+    maintainer: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// Final accounting returned by [`ConcurrentEstimator::shutdown`].
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Per-shard counters at shutdown, in name order.
+    pub shards: Vec<(String, ShardCounters)>,
+    /// Queue counters at shutdown.
+    pub queue: QueueCounters,
+}
+
+impl ConcurrentEstimator {
+    /// Shorthand for [`ConcurrentEstimatorBuilder::new`].
+    #[must_use]
+    pub fn builder(config: ServeConfig) -> ConcurrentEstimatorBuilder {
+        ConcurrentEstimatorBuilder::new(config)
+    }
+
+    /// Builds the service from an optimizer catalog, taking ownership of
+    /// its learned per-UDF models — the serving layer's shards are keyed
+    /// exactly like the catalog.
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder errors (e.g. an empty catalog).
+    pub fn from_catalog(catalog: UdfCatalog, config: ServeConfig) -> Result<Self, MlqError> {
+        let mut builder = ConcurrentEstimatorBuilder::new(config);
+        for (name, cpu, io) in catalog.into_models() {
+            builder = builder.register_models(&name, cpu, io)?;
+        }
+        builder.build()
+    }
+
+    /// Registered UDF names, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<&str> {
+        self.names.keys().map(String::as_str).collect()
+    }
+
+    fn shard_index(&self, name: &str) -> Result<usize, MlqError> {
+        self.names.get(name).copied().ok_or_else(|| MlqError::InvalidConfig {
+            reason: format!("no UDF named {name} is registered"),
+        })
+    }
+
+    pub(crate) fn snapshot_at(&self, shard: usize) -> Arc<ShardSnapshot> {
+        Arc::clone(&self.published[shard].read())
+    }
+
+    /// The current published snapshot for `name`. Readers that predict
+    /// many points in a row should fetch once and reuse the `Arc` — the
+    /// snapshot stays internally consistent however long it is held.
+    ///
+    /// # Errors
+    ///
+    /// [`MlqError::InvalidConfig`] for unknown names.
+    pub fn snapshot(&self, name: &str) -> Result<Arc<ShardSnapshot>, MlqError> {
+        Ok(self.snapshot_at(self.shard_index(name)?))
+    }
+
+    /// Predicted combined cost for `name` at `point` from the current
+    /// snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`MlqError::InvalidConfig`] for unknown names; propagates
+    /// malformed-point errors.
+    pub fn predict(&self, name: &str, point: &[f64]) -> Result<Option<f64>, MlqError> {
+        self.snapshot(name)?.predict(point)
+    }
+
+    pub(crate) fn observe_at(
+        &self,
+        shard: usize,
+        point: &[f64],
+        cost: ExecutionCost,
+    ) -> Result<PushOutcome, MlqError> {
+        self.queue.push(Feedback { shard, point: point.to_vec(), cost }, self.backpressure)
+    }
+
+    /// Offers an observed execution of `name` as feedback. Returns
+    /// immediately (or blocks under [`BackpressurePolicy::Block`] while
+    /// the queue is full); the maintainer applies it asynchronously.
+    ///
+    /// # Errors
+    ///
+    /// [`MlqError::InvalidConfig`] for unknown names or after shutdown.
+    pub fn observe(
+        &self,
+        name: &str,
+        point: &[f64],
+        cost: ExecutionCost,
+    ) -> Result<PushOutcome, MlqError> {
+        self.observe_at(self.shard_index(name)?, point, cost)
+    }
+
+    /// Counters snapshot for `name`: guard quarantines, breaker states,
+    /// applied/error totals — everything the asynchronous feedback path
+    /// would otherwise swallow.
+    ///
+    /// # Errors
+    ///
+    /// [`MlqError::InvalidConfig`] for unknown names.
+    pub fn counters(&self, name: &str) -> Result<ShardCounters, MlqError> {
+        Ok(*self.snapshot(name)?.counters())
+    }
+
+    /// Queue accounting (drops, samples, blocks, peak depth).
+    #[must_use]
+    pub fn queue_counters(&self) -> QueueCounters {
+        self.queue.counters()
+    }
+
+    /// Current feedback lag: observations admitted but not yet applied
+    /// and republished.
+    #[must_use]
+    pub fn feedback_lag(&self) -> u64 {
+        self.queue.counters().enqueued - self.processed.load(Ordering::Acquire)
+    }
+
+    /// Blocks until every observation admitted *before this call* has
+    /// been applied and republished.
+    pub fn flush(&self) {
+        let target = self.queue.counters().enqueued;
+        while self.processed.load(Ordering::Acquire) < target {
+            thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Stops the service: refuses new feedback, flushes everything queued
+    /// into the models, republishes final snapshots, and joins the
+    /// maintainer. Idempotent; later calls return `None`.
+    pub fn shutdown(&self) -> Option<ServeReport> {
+        let handle = {
+            let mut guard = self.maintainer.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.take()?
+        };
+        self.queue.close();
+        // A panicked maintainer already surfaced its panic; the report
+        // below still reflects the last published snapshots.
+        let _ = handle.join();
+        Some(ServeReport {
+            shards: self
+                .names
+                .iter()
+                .map(|(name, &idx)| (name.clone(), *self.snapshot_at(idx).counters()))
+                .collect(),
+            queue: self.queue.counters(),
+        })
+    }
+}
+
+impl Drop for ConcurrentEstimator {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for ConcurrentEstimator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConcurrentEstimator")
+            .field("shards", &self.names.len())
+            .field("feedback_lag", &self.feedback_lag())
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,198 @@
+//! Published, immutable per-shard snapshots — what reader threads see.
+//!
+//! The maintainer thread owns the live guarded models; after absorbing a
+//! feedback batch it freezes each touched shard into a [`ShardSnapshot`]
+//! and swaps it behind the shard's `RwLock<Arc<ShardSnapshot>>`. Readers
+//! clone the `Arc` (the lock is held only for the pointer copy) and then
+//! predict against a structure nothing will ever mutate — snapshot
+//! isolation, not read locking.
+//!
+//! The snapshot carries more than the trees: it embeds the guard's
+//! breaker state and counters at publication time. That is the serving
+//! layer's *counters snapshot API* — quarantined feedback and circuit
+//! trips that happen on the maintainer thread surface to any reader
+//! through [`ShardSnapshot::counters`], instead of being swallowed by the
+//! asynchronous feedback path.
+
+use mlq_core::{BreakerState, FrozenTree, GuardCounters, MlqError};
+use mlq_udfs::{CostKind, ExecutionCost};
+
+/// One cost component (CPU or IO) frozen for reading.
+#[derive(Debug, Clone)]
+pub struct ComponentSnapshot {
+    tree: FrozenTree,
+    /// Breaker closed at publication time: predictions come from the tree.
+    healthy: bool,
+    /// The guard's running-average fallback at publication time.
+    fallback: Option<f64>,
+}
+
+impl ComponentSnapshot {
+    pub(crate) fn new(tree: FrozenTree, healthy: bool, fallback: Option<f64>) -> Self {
+        ComponentSnapshot { tree, healthy, fallback }
+    }
+
+    /// Predicts this component's cost, mirroring the guarded model's read
+    /// path: the tree answers while the breaker was closed, the running
+    /// average covers open breakers and uninformed regions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates malformed-point errors.
+    pub fn predict(&self, point: &[f64]) -> Result<Option<f64>, MlqError> {
+        // The tree walk also validates and clamps the point, exactly like
+        // the live prediction path.
+        let learned = self.tree.predict(point)?;
+        if self.healthy {
+            if let Some(v) = learned {
+                return Ok(Some(v));
+            }
+        }
+        Ok(self.fallback)
+    }
+
+    /// The frozen tree backing this component.
+    #[must_use]
+    pub fn tree(&self) -> &FrozenTree {
+        &self.tree
+    }
+
+    /// True when the component's breaker was closed at publication.
+    #[must_use]
+    pub fn is_healthy(&self) -> bool {
+        self.healthy
+    }
+}
+
+/// Guard and feedback accounting for one shard, as of the snapshot's
+/// publication. All counters are monotonic across a shard's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardCounters {
+    /// Publication sequence number (1 = the initial empty snapshot).
+    pub version: u64,
+    /// Feedback observations fully absorbed (both components accepted).
+    pub applied: u64,
+    /// Observations where at least one component returned a
+    /// non-quarantine error.
+    pub apply_errors: u64,
+    /// The CPU guard's own counters (quarantines, trips, probes, ...).
+    pub cpu_guard: GuardCounters,
+    /// The IO guard's own counters.
+    pub io_guard: GuardCounters,
+    /// CPU breaker state at publication.
+    pub cpu_breaker: BreakerState,
+    /// IO breaker state at publication.
+    pub io_breaker: BreakerState,
+}
+
+impl ShardCounters {
+    /// Total quarantined observations across both components.
+    #[must_use]
+    pub fn quarantined(&self) -> u64 {
+        self.cpu_guard.quarantined + self.io_guard.quarantined
+    }
+
+    /// True when both breakers were closed at publication.
+    #[must_use]
+    pub fn is_healthy(&self) -> bool {
+        self.cpu_breaker == BreakerState::Closed && self.io_breaker == BreakerState::Closed
+    }
+}
+
+impl Default for ShardCounters {
+    fn default() -> Self {
+        ShardCounters {
+            version: 0,
+            applied: 0,
+            apply_errors: 0,
+            cpu_guard: GuardCounters::default(),
+            io_guard: GuardCounters::default(),
+            cpu_breaker: BreakerState::Closed,
+            io_breaker: BreakerState::Closed,
+        }
+    }
+}
+
+/// An immutable published view of one UDF's estimator pair.
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    name: String,
+    cpu: ComponentSnapshot,
+    io: ComponentSnapshot,
+    io_weight: f64,
+    counters: ShardCounters,
+}
+
+impl ShardSnapshot {
+    pub(crate) fn new(
+        name: String,
+        cpu: ComponentSnapshot,
+        io: ComponentSnapshot,
+        io_weight: f64,
+        counters: ShardCounters,
+    ) -> Self {
+        ShardSnapshot { name, cpu, io, io_weight, counters }
+    }
+
+    /// Predicted combined cost at `point` (CPU + `io_weight` × IO);
+    /// `None` while both components are uninformed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates malformed-point errors.
+    pub fn predict(&self, point: &[f64]) -> Result<Option<f64>, MlqError> {
+        let cpu = self.cpu.predict(point)?;
+        let io = self.io.predict(point)?;
+        Ok(match (cpu, io) {
+            (None, None) => None,
+            (c, i) => Some(c.unwrap_or(0.0) + self.io_weight * i.unwrap_or(0.0)),
+        })
+    }
+
+    /// Predicts one cost component.
+    ///
+    /// # Errors
+    ///
+    /// Propagates malformed-point errors.
+    pub fn predict_component(
+        &self,
+        point: &[f64],
+        kind: CostKind,
+    ) -> Result<Option<f64>, MlqError> {
+        match kind {
+            CostKind::Cpu => self.cpu.predict(point),
+            CostKind::DiskIo => self.io.predict(point),
+        }
+    }
+
+    /// The combined cost of an observed execution under this shard's
+    /// weighting.
+    #[must_use]
+    pub fn combine(&self, cost: ExecutionCost) -> f64 {
+        cost.cpu + self.io_weight * cost.io
+    }
+
+    /// The UDF this shard serves.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Guard and feedback accounting as of this snapshot's publication.
+    #[must_use]
+    pub fn counters(&self) -> &ShardCounters {
+        &self.counters
+    }
+
+    /// Publication sequence number.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.counters.version
+    }
+
+    /// Component views (CPU, IO).
+    #[must_use]
+    pub fn components(&self) -> (&ComponentSnapshot, &ComponentSnapshot) {
+        (&self.cpu, &self.io)
+    }
+}

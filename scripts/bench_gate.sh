@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Benchmark regression gate: compares a fresh BENCH_serve.json against the
+# checked-in baseline and exits nonzero on regression. All comparison
+# logic lives in `mlq-bench --gate` (crates/bench/src/report.rs), so the
+# thresholds are tested Rust code rather than shell arithmetic; this
+# wrapper only fixes the invocation CI uses.
+#
+# Usage: scripts/bench_gate.sh [MEASURED.json] [BASELINE.json] [TOLERANCE]
+set -eu
+
+MEASURED="${1:-BENCH_serve.json}"
+BASELINE="${2:-BENCH_serve.baseline.json}"
+TOLERANCE="${3:-0.2}"
+
+for f in "$MEASURED" "$BASELINE"; do
+    if [ ! -f "$f" ]; then
+        echo "bench_gate: missing report $f" >&2
+        exit 1
+    fi
+done
+
+exec cargo run -q --release --offline -p mlq-bench -- \
+    --gate "$MEASURED" "$BASELINE" --tolerance "$TOLERANCE"

@@ -360,7 +360,8 @@ mod tests {
     #[test]
     fn question_mark_propagates_failures() {
         let result: Result<(), TestCaseError> = (|| {
-            Err("boom".to_string()).map_err(TestCaseError::fail)?;
+            let failing: Result<(), String> = Err("boom".to_string());
+            failing.map_err(TestCaseError::fail)?;
             Ok(())
         })();
         assert!(matches!(result, Err(TestCaseError::Fail(msg)) if msg == "boom"));

@@ -454,13 +454,13 @@ mod tests {
     fn scalars_roundtrip_through_text() {
         assert_eq!(from_str::<u64>(&to_string(&42u64).unwrap()).unwrap(), 42);
         assert_eq!(from_str::<i64>(&to_string(&-9i64).unwrap()).unwrap(), -9);
-        assert_eq!(from_str::<bool>("true").unwrap(), true);
+        assert!(from_str::<bool>("true").unwrap());
         assert_eq!(from_str::<String>("\"a\\nb\"").unwrap(), "a\nb");
     }
 
     #[test]
     fn floats_roundtrip_exactly() {
-        for f in [0.1f64, 1.0 / 3.0, 2.0, 6.02e23, -0.0, 1e-300, 123456789.123456789] {
+        for f in [0.1f64, 1.0 / 3.0, 2.0, 6.02e23, -0.0, 1e-300, 123_456_789.123_456_79] {
             let text = to_string(&f).unwrap();
             let back: f64 = from_str(&text).unwrap();
             assert_eq!(back.to_bits(), f.to_bits(), "{f} -> {text} -> {back}");

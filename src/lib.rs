@@ -3,8 +3,8 @@
 //! Re-exports the public APIs of the MLQ workspace so applications can
 //! depend on a single crate. See the individual crates for details:
 //! [`mlq_core`] (re-exported as `core`), [`mlq_baselines`], [`mlq_synth`],
-//! [`mlq_storage`], [`mlq_udfs`], [`mlq_metrics`], [`mlq_optimizer`], and
-//! [`mlq_experiments`].
+//! [`mlq_storage`], [`mlq_udfs`], [`mlq_metrics`], [`mlq_optimizer`],
+//! [`mlq_serve`], and [`mlq_experiments`].
 
 //! ```
 //! use mlq::core::{MemoryLimitedQuadtree, MlqConfig, Space};
@@ -23,6 +23,7 @@ pub use mlq_core as core;
 pub use mlq_experiments as experiments;
 pub use mlq_metrics as metrics;
 pub use mlq_optimizer as optimizer;
+pub use mlq_serve as serve;
 pub use mlq_storage as storage;
 pub use mlq_synth as synth;
 pub use mlq_udfs as udfs;
