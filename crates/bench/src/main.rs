@@ -2,17 +2,19 @@
 //!
 //! ```text
 //! mlq-bench --throughput [--short] [--readers 1,2,4] [--duration-ms N] [--out PATH]
+//!           [--metrics-out PATH]
 //! mlq-bench --gate MEASURED.json BASELINE.json [--tolerance 0.2]
 //! ```
 //!
 //! `--throughput` measures predictions/sec, p50/p99 predict latency, and
 //! feedback lag across reader-thread counts, writing `BENCH_serve.json`
-//! (stdout summary included). `--gate` exits nonzero when the measured
-//! report regresses against the baseline — the CI bench-smoke job runs
-//! both back to back.
+//! (stdout summary included); `--metrics-out` additionally writes the
+//! merged registry snapshot of every run as Prometheus-style text
+//! exposition. `--gate` exits nonzero when the measured report regresses
+//! against the baseline — the CI bench-smoke job runs both back to back.
 
 use mlq_bench::report::{gate, GateConfig, ThroughputReport};
-use mlq_bench::throughput::{measure, ThroughputConfig};
+use mlq_bench::throughput::{measure_with_metrics, ThroughputConfig};
 use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -21,6 +23,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          mlq-bench --throughput [--short] [--readers 1,2,4] [--duration-ms N] [--out PATH]\n  \
+         \u{20}                 [--metrics-out PATH]\n  \
          mlq-bench --gate MEASURED.json BASELINE.json [--tolerance 0.2]"
     );
     ExitCode::from(2)
@@ -40,6 +43,7 @@ fn run_throughput(args: &[String]) -> ExitCode {
     let mut readers: Option<Vec<usize>> = None;
     let mut duration: Option<Duration> = None;
     let mut out = String::from("BENCH_serve.json");
+    let mut metrics_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -69,6 +73,11 @@ fn run_throughput(args: &[String]) -> ExitCode {
                 let Some(path) = args.get(i) else { return usage() };
                 out = path.clone();
             }
+            "--metrics-out" => {
+                i += 1;
+                let Some(path) = args.get(i) else { return usage() };
+                metrics_out = Some(path.clone());
+            }
             _ => return usage(),
         }
         i += 1;
@@ -87,7 +96,7 @@ fn run_throughput(args: &[String]) -> ExitCode {
         config.duration.as_millis(),
         if config.short { " (short mode)" } else { "" }
     );
-    let report = measure(&config);
+    let (report, metrics) = measure_with_metrics(&config);
     for run in &report.runs {
         println!(
             "{} reader(s): {:>12.0} predictions/s   p50 {:>6} ns   p99 {:>6} ns   \
@@ -115,6 +124,13 @@ fn run_throughput(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("wrote {out}");
+    if let Some(path) = metrics_out {
+        if let Err(e) = std::fs::write(&path, metrics.to_prometheus_text()) {
+            eprintln!("writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path} ({} metrics)", metrics.len());
+    }
     ExitCode::SUCCESS
 }
 

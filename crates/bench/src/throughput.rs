@@ -12,7 +12,9 @@
 //! latency percentiles.
 
 use crate::report::{percentile_ns, RunReport, ThroughputReport, SCHEMA_VERSION};
+use mlq_obs::{Registry, RegistrySnapshot};
 use mlq_serve::{BackpressurePolicy, ConcurrentEstimator, ServeConfig};
+use mlq_storage::{BufferPool, DiskSim, PageId, PAGE_SIZE};
 use mlq_udfs::ExecutionCost;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -88,7 +90,21 @@ fn shard_names() -> Vec<String> {
     (0..SHARDS).map(|i| format!("UDF{i}")).collect()
 }
 
-fn build_service() -> Arc<ConcurrentEstimator> {
+/// Pages in the writer's simulated store and the pool capacity under it —
+/// capacity is half the working set, so the exposition carries an honest
+/// mix of hits and misses.
+const POOL_PAGES: u64 = 64;
+const POOL_CAPACITY: usize = 32;
+
+fn build_pool() -> (Arc<BufferPool>, Vec<PageId>) {
+    let mut disk = DiskSim::new();
+    let pages: Vec<PageId> = (0..POOL_PAGES)
+        .map(|i| disk.alloc(vec![u8::try_from(i % 251).unwrap_or(0); PAGE_SIZE]))
+        .collect();
+    (Arc::new(BufferPool::new(disk, POOL_CAPACITY)), pages)
+}
+
+fn build_service(registry: &Arc<Registry>) -> Arc<ConcurrentEstimator> {
     let space = mlq_core::Space::cube(DIMS, 0.0, 1000.0).expect("valid space");
     let config = ServeConfig {
         // The writer must never block mid-measurement; bounded lag via
@@ -96,7 +112,7 @@ fn build_service() -> Arc<ConcurrentEstimator> {
         backpressure: BackpressurePolicy::DropOldest,
         ..ServeConfig::default()
     };
-    let mut builder = ConcurrentEstimator::builder(config);
+    let mut builder = ConcurrentEstimator::builder(config).with_registry(Arc::clone(registry));
     for name in shard_names() {
         builder = builder.register(&name, &space).expect("register");
     }
@@ -114,21 +130,38 @@ fn build_service() -> Arc<ConcurrentEstimator> {
 /// Runs one measurement at `readers` reader threads.
 #[must_use]
 pub fn measure_run(readers: usize, duration: Duration) -> RunReport {
-    let svc = build_service();
+    measure_run_with_registry(readers, duration, &Arc::new(Registry::new()))
+}
+
+/// [`measure_run`] recording service metrics into `registry`; the caller
+/// snapshots it afterwards for the metrics exposition.
+#[must_use]
+pub fn measure_run_with_registry(
+    readers: usize,
+    duration: Duration,
+    registry: &Arc<Registry>,
+) -> RunReport {
+    let svc = build_service(registry);
     let names = shard_names();
     let stop = Arc::new(AtomicBool::new(false));
     let max_lag = Arc::new(AtomicU64::new(0));
+    let (pool, pages) = build_pool();
 
     let writer = {
         let svc = Arc::clone(&svc);
         let stop = Arc::clone(&stop);
         let max_lag = Arc::clone(&max_lag);
         let names = names.clone();
+        let pool = Arc::clone(&pool);
         thread::spawn(move || {
             let mut seed = 0xF00D_u64;
             let mut i = 0usize;
             while !stop.load(Ordering::Relaxed) {
-                let p = point_from(xorshift(&mut seed));
+                let r = xorshift(&mut seed);
+                let p = point_from(r);
+                // One paged read per observation: the feedback pipeline's
+                // IO side, so the exposition carries buffer-pool traffic.
+                let _ = pool.read(pages[(r % POOL_PAGES) as usize]);
                 let _ = svc.observe(&names[i % SHARDS], &p, cost_at(&p));
                 i += 1;
                 if i.is_multiple_of(64) {
@@ -191,6 +224,14 @@ pub fn measure_run(readers: usize, duration: Duration) -> RunReport {
     writer.join().expect("writer thread");
     samples.sort_unstable();
 
+    // Off the hot path: fold the sampled latencies into the registry's
+    // histogram and mirror the pool counters, then snapshot at shutdown.
+    let latency = registry.histogram("mlq_bench_predict_latency_ns");
+    for &ns in &samples {
+        latency.record(ns);
+    }
+    pool.export_metrics(registry);
+
     let report = svc.shutdown().expect("first shutdown");
     let feedback_applied: u64 = report.shards.iter().map(|(_, c)| c.applied).sum();
 
@@ -208,16 +249,36 @@ pub fn measure_run(readers: usize, duration: Duration) -> RunReport {
 /// Runs the whole sweep and assembles the report.
 #[must_use]
 pub fn measure(config: &ThroughputConfig) -> ThroughputReport {
+    measure_with_metrics(config).0
+}
+
+/// [`measure`] plus the merged metrics of every run: each run records
+/// into a fresh registry (runs differ in reader count, so their counters
+/// must not blur together), and the per-run snapshots are merged —
+/// counters and histograms add, gauges keep their maximum — into one
+/// exposition-ready [`RegistrySnapshot`].
+#[must_use]
+pub fn measure_with_metrics(config: &ThroughputConfig) -> (ThroughputReport, RegistrySnapshot) {
     let host_parallelism = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    let runs =
-        config.readers.iter().map(|&readers| measure_run(readers, config.duration)).collect();
-    ThroughputReport {
+    let mut merged = RegistrySnapshot::default();
+    let runs = config
+        .readers
+        .iter()
+        .map(|&readers| {
+            let registry = Arc::new(Registry::new());
+            let run = measure_run_with_registry(readers, config.duration, &registry);
+            merged.merge(&registry.snapshot());
+            run
+        })
+        .collect();
+    let report = ThroughputReport {
         schema_version: SCHEMA_VERSION,
         short_mode: config.short,
         host_parallelism,
         duration_ms: u64::try_from(config.duration.as_millis()).unwrap_or(u64::MAX),
         runs,
-    }
+    };
+    (report, merged)
 }
 
 #[cfg(test)]

@@ -61,6 +61,7 @@ impl MemoryLimitedQuadtree {
     /// is exceeded; public so callers can shrink a model eagerly (e.g.
     /// before serializing optimizer metadata).
     pub fn compress(&mut self) -> CompressionReport {
+        let start = std::time::Instant::now();
         let gamma_target =
             (self.config().gamma * self.config().memory_budget as f64).ceil() as usize;
         let budget = self.config().memory_budget;
@@ -107,6 +108,10 @@ impl MemoryLimitedQuadtree {
         // A compression has now happened, whatever triggered it: the lazy
         // strategy's SSE threshold (Eq. 7) is in force from here on.
         self.set_had_compression(true);
+        self.note_compression(
+            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            nodes_freed as u64,
+        );
         CompressionReport { nodes_freed, bytes_freed: freed }
     }
 }

@@ -25,6 +25,19 @@ pub struct ModelCounters {
     pub compressions: u64,
     /// Total nanoseconds spent compressing.
     pub compress_nanos: u64,
+    /// Tree nodes visited across all prediction descents (Fig. 3 walk
+    /// length; `predict_nodes_visited / predictions` is the mean descent
+    /// depth).
+    pub predict_nodes_visited: u64,
+    /// Leaves evicted by SSEG-ordered compression passes (paper Eq. 9).
+    pub sseg_evictions: u64,
+    /// Insertions whose descent the lazy strategy's `th_SSE` threshold cut
+    /// short (paper Eq. 7) — the work the lazy strategy saved.
+    pub lazy_skips: u64,
+    /// Snapshots taken via `freeze()` for the serving layer.
+    pub freezes: u64,
+    /// Total nanoseconds spent freezing.
+    pub freeze_nanos: u64,
 }
 
 impl ModelCounters {
@@ -64,6 +77,11 @@ impl ModelCounters {
         self.insert_nanos += other.insert_nanos;
         self.compressions += other.compressions;
         self.compress_nanos += other.compress_nanos;
+        self.predict_nodes_visited += other.predict_nodes_visited;
+        self.sseg_evictions += other.sseg_evictions;
+        self.lazy_skips += other.lazy_skips;
+        self.freezes += other.freezes;
+        self.freeze_nanos += other.freeze_nanos;
     }
 }
 

@@ -147,7 +147,10 @@ impl MemoryLimitedQuadtree {
     /// untouched and can keep learning while readers share the snapshot.
     #[must_use]
     pub fn freeze(&self) -> FrozenTree {
-        FrozenTree::from_tree(self)
+        let start = std::time::Instant::now();
+        let frozen = FrozenTree::from_tree(self);
+        self.note_freeze(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        frozen
     }
 }
 

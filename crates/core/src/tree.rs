@@ -155,33 +155,38 @@ impl MemoryLimitedQuadtree {
         let grid = self.config.space.grid_point(point)?;
         let start = Instant::now();
 
-        let result = self.predict_inner(&grid, beta);
+        let (result, nodes_visited) = self.predict_inner(&grid, beta);
 
         let mut c = self.counters.get();
         c.predictions += 1;
         c.predict_nanos += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        c.predict_nodes_visited += nodes_visited;
         self.counters.set(c);
         Ok(result)
     }
 
-    fn predict_inner(&self, grid: &GridPoint, beta: u64) -> Option<f64> {
+    fn predict_inner(&self, grid: &GridPoint, beta: u64) -> (Option<f64>, u64) {
         let root = self.arena.get(self.root);
         if root.summary.count == 0 {
-            return None;
+            return (None, 1);
         }
         let mut best = root.summary;
         let mut cn = root;
+        let mut visited = 1u64;
         // Counts are non-increasing along the path, so stop as soon as a
         // block falls below beta.
         while cn.summary.count >= beta {
             best = cn.summary;
             let slot = grid.child_slot(u32::from(cn.depth));
             match cn.child(slot) {
-                Some(child) => cn = self.arena.get(child),
+                Some(child) => {
+                    cn = self.arena.get(child);
+                    visited += 1;
+                }
                 None => break,
             }
         }
-        Some(best.avg())
+        (Some(best.avg()), visited)
     }
 
     /// Inserts the observed actual cost `value` at `point` (paper Fig. 4),
@@ -209,6 +214,7 @@ impl MemoryLimitedQuadtree {
         let mut cn = self.root;
         let mut nodes_created = 0usize;
         let mut depth_reached;
+        let lazy_skip;
         loop {
             let node = self.arena.get(cn);
             depth_reached = node.depth;
@@ -217,6 +223,9 @@ impl MemoryLimitedQuadtree {
             // or the point must be routed into an existing subtree.
             let descend = (node.summary.sse() >= th && depth < lambda) || !node.is_leaf();
             if !descend || depth >= lambda {
+                // A leaf short of λ that th_SSE declined to split is work
+                // the lazy strategy saved (Eq. 7).
+                lazy_skip = !descend && depth < lambda && th > 0.0;
                 break;
             }
             let slot = grid.child_slot(depth);
@@ -234,20 +243,12 @@ impl MemoryLimitedQuadtree {
         let mut c = self.counters.get();
         c.insertions += 1;
         c.insert_nanos += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        c.lazy_skips += u64::from(lazy_skip);
         self.counters.set(c);
 
         // "Compression is triggered when the memory limit is reached."
-        let compression = if self.bytes_used > self.config.memory_budget {
-            let cstart = Instant::now();
-            let report = self.compress();
-            let mut c = self.counters.get();
-            c.compressions += 1;
-            c.compress_nanos += u64::try_from(cstart.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            self.counters.set(c);
-            Some(report)
-        } else {
-            None
-        };
+        // `compress()` accounts its own time and evictions.
+        let compression = (self.bytes_used > self.config.memory_budget).then(|| self.compress());
 
         Ok(InsertOutcome { nodes_created, depth_reached, compression })
     }
@@ -276,6 +277,25 @@ impl MemoryLimitedQuadtree {
     /// Restores the lazy-threshold activation flag (snapshot restore).
     pub(crate) fn set_had_compression(&mut self, value: bool) {
         self.had_compression = value;
+    }
+
+    /// Records one compression pass: wall-clock time and the number of
+    /// leaves evicted in SSEG order. Called by [`crate::compress`].
+    pub(crate) fn note_compression(&self, nanos: u64, nodes_freed: u64) {
+        let mut c = self.counters.get();
+        c.compressions += 1;
+        c.compress_nanos += nanos;
+        c.sseg_evictions += nodes_freed;
+        self.counters.set(c);
+    }
+
+    /// Records one `freeze()` snapshot and its wall-clock time. Called by
+    /// [`crate::frozen`].
+    pub(crate) fn note_freeze(&self, nanos: u64) {
+        let mut c = self.counters.get();
+        c.freezes += 1;
+        c.freeze_nanos += nanos;
+        self.counters.set(c);
     }
 
     fn create_child(&mut self, parent: u32, slot: usize) -> u32 {

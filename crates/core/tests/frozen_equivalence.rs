@@ -1,0 +1,132 @@
+//! Property: freezing is semantically invisible. For arbitrary insert
+//! sequences — eager or lazy, with or without budget-triggered
+//! compression — a [`FrozenTree`](mlq_core::FrozenTree) built by
+//! `freeze()` answers every prediction exactly like the live tree it was
+//! taken from, at the configured β and at arbitrary explicit βs. This is
+//! the contract the serving layer's snapshot isolation stands on: readers
+//! holding a frozen snapshot must see the same estimates the maintainer's
+//! live model would have given at publication time.
+
+use mlq_core::{InsertionStrategy, MemoryLimitedQuadtree, MlqConfig, Space};
+use proptest::prelude::*;
+
+const DIMS: usize = 2;
+const SIDE: f64 = 1000.0;
+
+fn tree(budget: usize, strategy: InsertionStrategy, beta: u64) -> MemoryLimitedQuadtree {
+    let space = Space::cube(DIMS, 0.0, SIDE).unwrap();
+    let floor = MlqConfig::min_budget(&space, 4);
+    let config = MlqConfig::builder(space)
+        .memory_budget(budget.max(floor))
+        .strategy(strategy)
+        .lambda(4)
+        .beta(beta)
+        .build()
+        .unwrap();
+    MemoryLimitedQuadtree::new(config).unwrap()
+}
+
+fn arb_points() -> impl Strategy<Value = Vec<(Vec<f64>, f64)>> {
+    prop::collection::vec((prop::collection::vec(0.0..SIDE, DIMS), 0.0..500.0f64), 1..120)
+}
+
+/// Query points: some are generated independently of the data, so both
+/// informed and uninformed regions get exercised.
+fn arb_queries() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0.0..SIDE, DIMS), 1..40)
+}
+
+fn assert_equivalent(
+    live: &MemoryLimitedQuadtree,
+    queries: &[Vec<f64>],
+    data: &[(Vec<f64>, f64)],
+) -> Result<(), TestCaseError> {
+    let frozen = live.freeze();
+    // Every data point and every independent query, at the configured β
+    // and a spread of explicit ones (β = 1 answers wherever any point
+    // landed; large βs force fallback to shallow blocks or None).
+    for q in queries.iter().chain(data.iter().map(|(p, _)| p)) {
+        prop_assert_eq!(
+            frozen.predict(q).unwrap(),
+            live.predict(q).unwrap(),
+            "configured-β prediction diverged at {:?}",
+            q
+        );
+        for beta in [1, 2, 5, 10, 1000] {
+            prop_assert_eq!(
+                frozen.predict_with_beta(q, beta).unwrap(),
+                live.predict_with_beta(q, beta).unwrap(),
+                "β = {} prediction diverged at {:?}",
+                beta,
+                q
+            );
+        }
+    }
+    prop_assert_eq!(frozen.node_count(), live.node_count());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn freeze_preserves_predictions_eager(
+        data in arb_points(),
+        queries in arb_queries(),
+    ) {
+        let mut live = tree(1 << 20, InsertionStrategy::Eager, 2);
+        for (p, v) in &data {
+            live.insert(p, *v).unwrap();
+        }
+        assert_equivalent(&live, &queries, &data)?;
+    }
+
+    #[test]
+    fn freeze_preserves_predictions_lazy(
+        data in arb_points(),
+        queries in arb_queries(),
+    ) {
+        let mut live = tree(1 << 20, InsertionStrategy::Lazy { alpha: 0.05 }, 2);
+        for (p, v) in &data {
+            live.insert(p, *v).unwrap();
+        }
+        assert_equivalent(&live, &queries, &data)?;
+    }
+
+    #[test]
+    fn freeze_preserves_predictions_under_compression(
+        data in arb_points(),
+        queries in arb_queries(),
+    ) {
+        // A budget at the floor: inserts keep tripping compression, so
+        // the frozen tree is compared against a heavily evicted live one.
+        let mut live = tree(0, InsertionStrategy::Eager, 1);
+        for (p, v) in &data {
+            live.insert(p, *v).unwrap();
+        }
+        live.check_invariants().map_err(TestCaseError::fail)?;
+        assert_equivalent(&live, &queries, &data)?;
+    }
+
+    #[test]
+    fn freeze_is_a_stable_point_in_time_copy(
+        data in arb_points(),
+        later in arb_points(),
+        queries in arb_queries(),
+    ) {
+        let mut live = tree(1 << 20, InsertionStrategy::Eager, 2);
+        for (p, v) in &data {
+            live.insert(p, *v).unwrap();
+        }
+        let frozen = live.freeze();
+        let at_freeze: Vec<_> =
+            queries.iter().map(|q| frozen.predict(q).unwrap()).collect();
+        // Keep mutating the live tree; the frozen copy must not move.
+        for (p, v) in &later {
+            live.insert(p, *v).unwrap();
+        }
+        for (q, expected) in queries.iter().zip(at_freeze) {
+            prop_assert_eq!(frozen.predict(q).unwrap(), expected);
+        }
+    }
+}

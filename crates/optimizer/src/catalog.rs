@@ -151,6 +151,33 @@ impl UdfCatalog {
         self.entries.values().map(|e| e.cpu.bytes_used() + e.io.bytes_used()).sum()
     }
 
+    /// Mirrors every model's cumulative operation counters into `registry`
+    /// as `mlq_core_*{udf="...",component="cpu"|"io"}` series. Exports use
+    /// [`record_total`](mlq_obs::Counter::record_total), so re-exporting
+    /// at any cadence is idempotent.
+    pub fn export_metrics(&self, registry: &mlq_obs::Registry) {
+        for (name, entry) in &self.entries {
+            for (component, model) in [("cpu", &entry.cpu), ("io", &entry.io)] {
+                let labels = [("udf", name.as_str()), ("component", component)];
+                let c = model.counters();
+                let export = |metric: &str, total: u64| {
+                    registry.counter(&mlq_obs::labeled(metric, &labels)).record_total(total);
+                };
+                export("mlq_core_predictions", c.predictions);
+                export("mlq_core_predict_nanos", c.predict_nanos);
+                export("mlq_core_predict_nodes_visited", c.predict_nodes_visited);
+                export("mlq_core_insertions", c.insertions);
+                export("mlq_core_insert_nanos", c.insert_nanos);
+                export("mlq_core_compressions", c.compressions);
+                export("mlq_core_compress_nanos", c.compress_nanos);
+                export("mlq_core_sseg_evictions", c.sseg_evictions);
+                export("mlq_core_lazy_skips", c.lazy_skips);
+                export("mlq_core_freezes", c.freezes);
+                export("mlq_core_freeze_nanos", c.freeze_nanos);
+            }
+        }
+    }
+
     /// Captures the whole catalog for persistence.
     #[must_use]
     pub fn snapshot(&self) -> CatalogSnapshot {

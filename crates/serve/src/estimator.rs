@@ -18,12 +18,15 @@
 //! queued observation into the models, republishes final snapshots, and
 //! joins the maintainer — nothing admitted is ever dropped by shutdown.
 
-use crate::queue::{BackpressurePolicy, Feedback, FeedbackQueue, PushOutcome, QueueCounters};
+use crate::queue::{
+    BackpressurePolicy, Feedback, FeedbackQueue, PushOutcome, QueueCounters, QueueMetrics,
+};
 use crate::snapshot::{ComponentSnapshot, ShardCounters, ShardSnapshot};
 use mlq_core::{
     CostModel, GuardConfig, GuardedModel, InsertionStrategy, MemoryLimitedQuadtree, MlqConfig,
     MlqError, Space,
 };
+use mlq_obs::{labeled, Counter, Histogram, Registry, RegistrySnapshot, TraceRing};
 use mlq_optimizer::UdfCatalog;
 use mlq_udfs::ExecutionCost;
 use parking_lot::RwLock;
@@ -31,7 +34,20 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Who drives the drain → apply → republish loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MaintainerMode {
+    /// A dedicated background thread (production default).
+    #[default]
+    Background,
+    /// No thread: the test or embedding code drives maintenance explicitly
+    /// through [`ConcurrentEstimator::step`]. Feedback application becomes
+    /// fully deterministic — nothing happens between steps — which is what
+    /// the deterministic concurrency harness builds on.
+    Manual,
+}
 
 /// Tuning of a [`ConcurrentEstimator`].
 #[derive(Debug, Clone, Copy)]
@@ -49,6 +65,9 @@ pub struct ServeConfig {
     pub guard: GuardConfig,
     /// Byte budget per model for UDFs registered through the builder.
     pub budget_per_model: usize,
+    /// Whether maintenance runs on a background thread or is stepped
+    /// manually.
+    pub maintainer: MaintainerMode,
 }
 
 impl Default for ServeConfig {
@@ -60,6 +79,7 @@ impl Default for ServeConfig {
             io_weight: 100.0,
             guard: GuardConfig::default(),
             budget_per_model: 1 << 16,
+            maintainer: MaintainerMode::Background,
         }
     }
 }
@@ -83,23 +103,96 @@ impl ServeConfig {
     }
 }
 
-/// The maintainer's live state for one shard.
+/// Cached registry handles mirroring one live model's cumulative
+/// [`ModelCounters`](mlq_core::ModelCounters) (series
+/// `mlq_core_*{udf=...,component=...}`). Handles are resolved once at
+/// shard construction so the per-publish export is pure atomic stores.
+struct ModelObs {
+    predictions: Counter,
+    predict_nanos: Counter,
+    predict_nodes_visited: Counter,
+    insertions: Counter,
+    insert_nanos: Counter,
+    compressions: Counter,
+    compress_nanos: Counter,
+    sseg_evictions: Counter,
+    lazy_skips: Counter,
+    freezes: Counter,
+    freeze_nanos: Counter,
+}
+
+impl ModelObs {
+    fn new(registry: &Registry, udf: &str, component: &str) -> Self {
+        let labels = [("udf", udf), ("component", component)];
+        let handle = |metric: &str| registry.counter(&labeled(metric, &labels));
+        ModelObs {
+            predictions: handle("mlq_core_predictions"),
+            predict_nanos: handle("mlq_core_predict_nanos"),
+            predict_nodes_visited: handle("mlq_core_predict_nodes_visited"),
+            insertions: handle("mlq_core_insertions"),
+            insert_nanos: handle("mlq_core_insert_nanos"),
+            compressions: handle("mlq_core_compressions"),
+            compress_nanos: handle("mlq_core_compress_nanos"),
+            sseg_evictions: handle("mlq_core_sseg_evictions"),
+            lazy_skips: handle("mlq_core_lazy_skips"),
+            freezes: handle("mlq_core_freezes"),
+            freeze_nanos: handle("mlq_core_freeze_nanos"),
+        }
+    }
+
+    fn export(&self, c: &mlq_core::ModelCounters) {
+        self.predictions.record_total(c.predictions);
+        self.predict_nanos.record_total(c.predict_nanos);
+        self.predict_nodes_visited.record_total(c.predict_nodes_visited);
+        self.insertions.record_total(c.insertions);
+        self.insert_nanos.record_total(c.insert_nanos);
+        self.compressions.record_total(c.compressions);
+        self.compress_nanos.record_total(c.compress_nanos);
+        self.sseg_evictions.record_total(c.sseg_evictions);
+        self.lazy_skips.record_total(c.lazy_skips);
+        self.freezes.record_total(c.freezes);
+        self.freeze_nanos.record_total(c.freeze_nanos);
+    }
+}
+
+/// The maintainer's live state for one shard. The apply/version tallies
+/// live in the shared registry (labeled `{udf="<name>"}`); the plain
+/// [`ShardCounters`] struct snapshots them as a view.
 struct ShardModels {
     name: String,
     cpu: GuardedModel<MemoryLimitedQuadtree>,
     io: GuardedModel<MemoryLimitedQuadtree>,
-    applied: u64,
-    apply_errors: u64,
-    version: u64,
+    applied: Counter,
+    apply_errors: Counter,
+    version: Counter,
+    cpu_obs: ModelObs,
+    io_obs: ModelObs,
 }
 
 impl ShardModels {
+    fn new(
+        name: String,
+        cpu: GuardedModel<MemoryLimitedQuadtree>,
+        io: GuardedModel<MemoryLimitedQuadtree>,
+        registry: &Registry,
+    ) -> Self {
+        let shard_counter = |metric: &str| registry.counter(&labeled(metric, &[("udf", &name)]));
+        let applied = shard_counter("mlq_serve_applied");
+        let apply_errors = shard_counter("mlq_serve_apply_errors");
+        let version = shard_counter("mlq_serve_snapshot_version");
+        let cpu_obs = ModelObs::new(registry, &name, "cpu");
+        let io_obs = ModelObs::new(registry, &name, "io");
+        ShardModels { name, cpu, io, applied, apply_errors, version, cpu_obs, io_obs }
+    }
+
     fn snapshot(&mut self, io_weight: f64) -> ShardSnapshot {
-        self.version += 1;
+        self.version.inc();
+        self.cpu_obs.export(&self.cpu.inner().counters());
+        self.io_obs.export(&self.io.inner().counters());
         let counters = ShardCounters {
-            version: self.version,
-            applied: self.applied,
-            apply_errors: self.apply_errors,
+            version: self.version.get(),
+            applied: self.applied.get(),
+            apply_errors: self.apply_errors.get(),
             cpu_guard: self.cpu.counters(),
             io_guard: self.io.counters(),
             cpu_breaker: self.cpu.state(),
@@ -129,12 +222,103 @@ impl ShardModels {
             matches!(r, Ok(()) | Err(MlqError::FeedbackQuarantined { .. }))
         };
         if cpu.is_ok() && io.is_ok() {
-            self.applied += 1;
+            self.applied.inc();
         } else if !quarantine_only(&cpu) || !quarantine_only(&io) {
             // Quarantines are already counted by the guards themselves;
             // anything else (malformed point that slipped past the
             // producer, inner-model failure) is an apply error.
-            self.apply_errors += 1;
+            self.apply_errors.inc();
+        }
+    }
+}
+
+/// Registry handles for the maintainer loop's own metrics.
+struct MaintainerObs {
+    /// Mirror of the `processed` atomic (`mlq_serve_processed`).
+    processed_total: Counter,
+    batch_size: Histogram,
+    batch_nanos: Histogram,
+    publishes: Counter,
+    snapshot_age: Histogram,
+}
+
+impl MaintainerObs {
+    fn new(registry: &Registry) -> Self {
+        MaintainerObs {
+            processed_total: registry.counter("mlq_serve_processed"),
+            batch_size: registry.histogram("mlq_serve_batch_size"),
+            batch_nanos: registry.histogram("mlq_serve_batch_apply_nanos"),
+            publishes: registry.counter("mlq_serve_publishes"),
+            snapshot_age: registry.histogram("mlq_serve_snapshot_age_nanos"),
+        }
+    }
+}
+
+/// Everything one drain → apply → republish step needs. Owned by the
+/// background thread under [`MaintainerMode::Background`], or parked
+/// inside the estimator and driven by [`ConcurrentEstimator::step`] under
+/// [`MaintainerMode::Manual`].
+struct MaintainerCore {
+    shards: Vec<ShardModels>,
+    touched: Vec<bool>,
+    last_publish: Vec<Instant>,
+    io_weight: f64,
+    batch_max: usize,
+    processed: Arc<AtomicU64>,
+    obs: MaintainerObs,
+    trace: Option<Arc<TraceRing>>,
+}
+
+impl MaintainerCore {
+    /// Applies one drained batch and republishes every touched shard.
+    /// Returns the number of observations consumed.
+    fn apply_batch(
+        &mut self,
+        batch: Vec<Feedback>,
+        published: &[RwLock<Arc<ShardSnapshot>>],
+    ) -> usize {
+        if batch.is_empty() {
+            return 0;
+        }
+        let trace = self.trace.clone();
+        let _span = trace.as_ref().map(|ring| ring.span("serve.apply_batch"));
+        let start = Instant::now();
+        let n = batch.len();
+        self.obs.batch_size.record(n as u64);
+        for fb in batch {
+            if let Some(shard) = self.shards.get_mut(fb.shard) {
+                shard.apply(&fb.point, fb.cost);
+                self.touched[fb.shard] = true;
+            }
+        }
+        for idx in 0..self.touched.len() {
+            if self.touched[idx] {
+                self.publish(idx, published);
+                self.touched[idx] = false;
+            }
+        }
+        self.obs.batch_nanos.record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        // Republish-then-count: once `processed` covers an observation,
+        // its effect is visible to readers (the flush contract).
+        let total = self.processed.fetch_add(n as u64, Ordering::Release) + n as u64;
+        self.obs.processed_total.record_total(total);
+        n
+    }
+
+    fn publish(&mut self, idx: usize, published: &[RwLock<Arc<ShardSnapshot>>]) {
+        // How stale the outgoing snapshot had become by the time it was
+        // replaced.
+        let age = self.last_publish[idx].elapsed();
+        *published[idx].write() = Arc::new(self.shards[idx].snapshot(self.io_weight));
+        self.obs.publishes.inc();
+        self.obs.snapshot_age.record(u64::try_from(age.as_nanos()).unwrap_or(u64::MAX));
+        self.last_publish[idx] = Instant::now();
+    }
+
+    /// Final publication so shutdown reports the very last counters.
+    fn final_publish(&mut self, published: &[RwLock<Arc<ShardSnapshot>>]) {
+        for idx in 0..self.shards.len() {
+            self.publish(idx, published);
         }
     }
 }
@@ -143,13 +327,31 @@ impl ShardModels {
 pub struct ConcurrentEstimatorBuilder {
     config: ServeConfig,
     models: Vec<(String, MemoryLimitedQuadtree, MemoryLimitedQuadtree)>,
+    registry: Option<Arc<Registry>>,
+    trace: Option<Arc<TraceRing>>,
 }
 
 impl ConcurrentEstimatorBuilder {
     /// Starts a builder with `config`.
     #[must_use]
     pub fn new(config: ServeConfig) -> Self {
-        ConcurrentEstimatorBuilder { config, models: Vec::new() }
+        ConcurrentEstimatorBuilder { config, models: Vec::new(), registry: None, trace: None }
+    }
+
+    /// Records metrics into `registry` instead of a private one — lets an
+    /// embedding application (or the bench harness) aggregate serving
+    /// metrics with its own in a single exposition.
+    #[must_use]
+    pub fn with_registry(mut self, registry: Arc<Registry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Traces maintainer batches (span `serve.apply_batch`) into `ring`.
+    #[must_use]
+    pub fn with_trace_ring(mut self, ring: Arc<TraceRing>) -> Self {
+        self.trace = Some(ring);
+        self
     }
 
     /// Registers a fresh UDF shard over `space`, using the catalog's model
@@ -202,13 +404,14 @@ impl ConcurrentEstimatorBuilder {
     /// [`MlqError::InvalidConfig`] when nothing is registered or the
     /// configuration is nonsensical.
     pub fn build(self) -> Result<ConcurrentEstimator, MlqError> {
-        let ConcurrentEstimatorBuilder { config, mut models } = self;
+        let ConcurrentEstimatorBuilder { config, mut models, registry, trace } = self;
         config.validate()?;
         if models.is_empty() {
             return Err(MlqError::InvalidConfig {
                 reason: "a concurrent estimator needs at least one registered UDF".into(),
             });
         }
+        let registry = registry.unwrap_or_else(|| Arc::new(Registry::new()));
         // Shards are ordered by name, like the catalog.
         models.sort_by(|a, b| a.0.cmp(&b.0));
 
@@ -216,14 +419,12 @@ impl ConcurrentEstimatorBuilder {
         let mut names = BTreeMap::new();
         for (idx, (name, cpu, io)) in models.into_iter().enumerate() {
             names.insert(name.clone(), idx);
-            shards.push(ShardModels {
+            shards.push(ShardModels::new(
                 name,
-                cpu: GuardedModel::for_quadtree(cpu, config.guard)?,
-                io: GuardedModel::for_quadtree(io, config.guard)?,
-                applied: 0,
-                apply_errors: 0,
-                version: 0,
-            });
+                GuardedModel::for_quadtree(cpu, config.guard)?,
+                GuardedModel::for_quadtree(io, config.guard)?,
+                &registry,
+            ));
         }
 
         let published: Arc<Vec<RwLock<Arc<ShardSnapshot>>>> = Arc::new(
@@ -232,23 +433,47 @@ impl ConcurrentEstimatorBuilder {
                 .map(|s| RwLock::new(Arc::new(s.snapshot(config.io_weight))))
                 .collect(),
         );
-        let queue = Arc::new(FeedbackQueue::new(config.queue_capacity));
+        let queue =
+            Arc::new(FeedbackQueue::new(config.queue_capacity, QueueMetrics::new(&registry)));
         let processed = Arc::new(AtomicU64::new(0));
 
-        let maintainer = {
-            let queue = Arc::clone(&queue);
-            let published = Arc::clone(&published);
-            let processed = Arc::clone(&processed);
-            let io_weight = config.io_weight;
-            let batch_max = config.batch_max;
-            thread::Builder::new()
-                .name("mlq-serve-maintainer".into())
-                .spawn(move || {
-                    maintain(shards, &queue, &published, &processed, io_weight, batch_max)
-                })
-                .map_err(|e| MlqError::IoFault {
-                    reason: format!("spawning maintainer thread: {e}"),
-                })?
+        let shard_count = shards.len();
+        let mut core = MaintainerCore {
+            shards,
+            touched: vec![false; shard_count],
+            last_publish: vec![Instant::now(); shard_count],
+            io_weight: config.io_weight,
+            batch_max: config.batch_max,
+            processed: Arc::clone(&processed),
+            obs: MaintainerObs::new(&registry),
+            trace,
+        };
+        // The initial publications above bypass `core.publish`, so
+        // `mlq_serve_publishes` counts only feedback-driven republications.
+
+        let state = match config.maintainer {
+            MaintainerMode::Background => {
+                let queue = Arc::clone(&queue);
+                let published = Arc::clone(&published);
+                let handle = thread::Builder::new()
+                    .name("mlq-serve-maintainer".into())
+                    .spawn(move || {
+                        loop {
+                            let (batch, finished) =
+                                queue.drain(core.batch_max, Duration::from_millis(20));
+                            if finished {
+                                break;
+                            }
+                            core.apply_batch(batch, &published);
+                        }
+                        core.final_publish(&published);
+                    })
+                    .map_err(|e| MlqError::IoFault {
+                        reason: format!("spawning maintainer thread: {e}"),
+                    })?;
+                MaintainerState::Background(handle)
+            }
+            MaintainerMode::Manual => MaintainerState::Manual(core),
         };
 
         Ok(ConcurrentEstimator {
@@ -257,51 +482,16 @@ impl ConcurrentEstimatorBuilder {
             queue,
             processed,
             backpressure: config.backpressure,
-            maintainer: Mutex::new(Some(maintainer)),
+            registry,
+            maintainer: Mutex::new(Some(state)),
         })
     }
 }
 
-/// The maintainer loop: drain → apply → republish, until the queue is
-/// closed and empty.
-fn maintain(
-    mut shards: Vec<ShardModels>,
-    queue: &FeedbackQueue,
-    published: &[RwLock<Arc<ShardSnapshot>>],
-    processed: &AtomicU64,
-    io_weight: f64,
-    batch_max: usize,
-) {
-    let mut touched = vec![false; shards.len()];
-    loop {
-        let (batch, finished) = queue.drain(batch_max, Duration::from_millis(20));
-        if finished {
-            break;
-        }
-        if batch.is_empty() {
-            continue;
-        }
-        let n = batch.len() as u64;
-        for fb in batch {
-            if let Some(shard) = shards.get_mut(fb.shard) {
-                shard.apply(&fb.point, fb.cost);
-                touched[fb.shard] = true;
-            }
-        }
-        for (idx, flag) in touched.iter_mut().enumerate() {
-            if *flag {
-                *published[idx].write() = Arc::new(shards[idx].snapshot(io_weight));
-                *flag = false;
-            }
-        }
-        // Republish-then-count: once `processed` covers an observation,
-        // its effect is visible to readers (the flush contract).
-        processed.fetch_add(n, Ordering::Release);
-    }
-    // Final publication so shutdown reports the very last counters.
-    for (idx, shard) in shards.iter_mut().enumerate() {
-        *published[idx].write() = Arc::new(shard.snapshot(io_weight));
-    }
+/// Where maintenance runs for a live service.
+enum MaintainerState {
+    Background(JoinHandle<()>),
+    Manual(MaintainerCore),
 }
 
 /// A sharded, concurrently readable estimator service over every
@@ -313,7 +503,8 @@ pub struct ConcurrentEstimator {
     /// Observations fully applied and republished by the maintainer.
     processed: Arc<AtomicU64>,
     backpressure: BackpressurePolicy,
-    maintainer: Mutex<Option<JoinHandle<()>>>,
+    registry: Arc<Registry>,
+    maintainer: Mutex<Option<MaintainerState>>,
 }
 
 /// Final accounting returned by [`ConcurrentEstimator::shutdown`].
@@ -323,6 +514,9 @@ pub struct ServeReport {
     pub shards: Vec<(String, ShardCounters)>,
     /// Queue counters at shutdown.
     pub queue: QueueCounters,
+    /// Full registry snapshot at shutdown — every `mlq_serve_*` metric
+    /// (plus whatever else shares the registry).
+    pub metrics: RegistrySnapshot,
 }
 
 impl ConcurrentEstimator {
@@ -427,19 +621,62 @@ impl ConcurrentEstimator {
         self.queue.counters()
     }
 
+    /// The metrics registry this service records into.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// A point-in-time snapshot of every metric in the registry.
+    #[must_use]
+    pub fn metrics(&self) -> RegistrySnapshot {
+        self.registry.snapshot()
+    }
+
     /// Current feedback lag: observations admitted but not yet applied
     /// and republished.
     #[must_use]
     pub fn feedback_lag(&self) -> u64 {
-        self.queue.counters().enqueued - self.processed.load(Ordering::Acquire)
+        // Read `processed` *before* `enqueued`: both only grow, so this
+        // order can only overstate the lag. The reverse order raced with
+        // concurrent maintenance — an observation admitted and applied
+        // between the two reads underflowed the subtraction.
+        let processed = self.processed.load(Ordering::Acquire);
+        let enqueued = self.queue.counters().enqueued;
+        enqueued.saturating_sub(processed)
+    }
+
+    /// Runs one manual maintenance step: drains up to `max` queued
+    /// observations, applies them, and republishes touched shards on the
+    /// calling thread. Returns how many observations were applied (zero
+    /// when the queue was empty).
+    ///
+    /// # Errors
+    ///
+    /// [`MlqError::InvalidConfig`] unless the service was built with
+    /// [`MaintainerMode::Manual`] and is still live.
+    pub fn step(&self, max: usize) -> Result<usize, MlqError> {
+        let mut guard = self.maintainer.lock().unwrap_or_else(PoisonError::into_inner);
+        match guard.as_mut() {
+            Some(MaintainerState::Manual(core)) => {
+                let (batch, _finished) = self.queue.drain(max.max(1), Duration::ZERO);
+                Ok(core.apply_batch(batch, &self.published))
+            }
+            _ => Err(MlqError::InvalidConfig {
+                reason: "step() requires MaintainerMode::Manual on a live service".into(),
+            }),
+        }
     }
 
     /// Blocks until every observation admitted *before this call* has
-    /// been applied and republished.
+    /// been applied and republished. Under [`MaintainerMode::Manual`] the
+    /// calling thread performs the maintenance itself.
     pub fn flush(&self) {
         let target = self.queue.counters().enqueued;
         while self.processed.load(Ordering::Acquire) < target {
-            thread::sleep(Duration::from_millis(1));
+            if self.step(usize::MAX).is_err() {
+                thread::sleep(Duration::from_millis(1));
+            }
         }
     }
 
@@ -447,14 +684,28 @@ impl ConcurrentEstimator {
     /// into the models, republishes final snapshots, and joins the
     /// maintainer. Idempotent; later calls return `None`.
     pub fn shutdown(&self) -> Option<ServeReport> {
-        let handle = {
+        let state = {
             let mut guard = self.maintainer.lock().unwrap_or_else(PoisonError::into_inner);
             guard.take()?
         };
         self.queue.close();
-        // A panicked maintainer already surfaced its panic; the report
-        // below still reflects the last published snapshots.
-        let _ = handle.join();
+        match state {
+            // A panicked maintainer already surfaced its panic; the report
+            // below still reflects the last published snapshots.
+            MaintainerState::Background(handle) => {
+                let _ = handle.join();
+            }
+            MaintainerState::Manual(mut core) => {
+                loop {
+                    let (batch, finished) = self.queue.drain(core.batch_max, Duration::ZERO);
+                    if finished {
+                        break;
+                    }
+                    core.apply_batch(batch, &self.published);
+                }
+                core.final_publish(&self.published);
+            }
+        }
         Some(ServeReport {
             shards: self
                 .names
@@ -462,6 +713,7 @@ impl ConcurrentEstimator {
                 .map(|(name, &idx)| (name.clone(), *self.snapshot_at(idx).counters()))
                 .collect(),
             queue: self.queue.counters(),
+            metrics: self.registry.snapshot(),
         })
     }
 }

@@ -52,7 +52,9 @@ mod handle;
 mod queue;
 mod snapshot;
 
-pub use estimator::{ConcurrentEstimator, ConcurrentEstimatorBuilder, ServeConfig, ServeReport};
+pub use estimator::{
+    ConcurrentEstimator, ConcurrentEstimatorBuilder, MaintainerMode, ServeConfig, ServeReport,
+};
 pub use handle::EstimatorHandle;
 pub use queue::{BackpressurePolicy, PushOutcome, QueueCounters};
 pub use snapshot::{ComponentSnapshot, ShardCounters, ShardSnapshot};

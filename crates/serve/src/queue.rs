@@ -9,6 +9,7 @@
 //! the serving layer's [`BackpressurePolicy`].
 
 use mlq_core::MlqError;
+use mlq_obs::{Counter, Gauge, Registry};
 use mlq_udfs::ExecutionCost;
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, PoisonError};
@@ -57,6 +58,10 @@ pub enum PushOutcome {
 }
 
 /// Monotonic counters describing the queue's life so far.
+///
+/// Since the observability rework this is a *view* assembled from the
+/// shared [`mlq_obs::Registry`] (metrics `mlq_serve_queue_*`), kept as a
+/// plain struct so call sites and reports keep their shape.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct QueueCounters {
     /// Observations admitted into the queue.
@@ -69,6 +74,44 @@ pub struct QueueCounters {
     pub block_waits: u64,
     /// Deepest the queue has ever been.
     pub max_depth: usize,
+}
+
+/// Registry handles behind the queue's accounting. Every mutation happens
+/// under the queue mutex, so the individual instruments stay mutually
+/// consistent at any quiesce point.
+#[derive(Debug, Clone)]
+pub(crate) struct QueueMetrics {
+    enqueued: Counter,
+    dropped_oldest: Counter,
+    sampled_out: Counter,
+    block_waits: Counter,
+    depth: Gauge,
+    max_depth: Gauge,
+}
+
+impl QueueMetrics {
+    pub(crate) fn new(registry: &Registry) -> Self {
+        QueueMetrics {
+            enqueued: registry.counter("mlq_serve_queue_enqueued"),
+            dropped_oldest: registry.counter("mlq_serve_queue_dropped_oldest"),
+            sampled_out: registry.counter("mlq_serve_queue_sampled_out"),
+            block_waits: registry.counter("mlq_serve_queue_block_waits"),
+            depth: registry.gauge("mlq_serve_queue_depth"),
+            max_depth: registry.gauge("mlq_serve_queue_max_depth"),
+        }
+    }
+
+    /// Assembles the classic [`QueueCounters`] view from the registry
+    /// handles.
+    pub(crate) fn view(&self) -> QueueCounters {
+        QueueCounters {
+            enqueued: self.enqueued.get(),
+            dropped_oldest: self.dropped_oldest.get(),
+            sampled_out: self.sampled_out.get(),
+            block_waits: self.block_waits.get(),
+            max_depth: self.max_depth.get() as usize,
+        }
+    }
 }
 
 /// One queued observation, bound for `shard`.
@@ -85,7 +128,6 @@ struct Inner {
     closed: bool,
     /// Ticks once per overflow decision under `Sample`.
     sample_tick: u64,
-    counters: QueueCounters,
 }
 
 /// Bounded MPSC queue: any number of producers, one maintainer.
@@ -95,6 +137,7 @@ pub(crate) struct FeedbackQueue {
     inner: Mutex<Inner>,
     not_full: Condvar,
     not_empty: Condvar,
+    metrics: QueueMetrics,
 }
 
 fn stopped() -> MlqError {
@@ -102,17 +145,17 @@ fn stopped() -> MlqError {
 }
 
 impl FeedbackQueue {
-    pub(crate) fn new(capacity: usize) -> Self {
+    pub(crate) fn new(capacity: usize, metrics: QueueMetrics) -> Self {
         FeedbackQueue {
             capacity,
             inner: Mutex::new(Inner {
                 items: VecDeque::with_capacity(capacity),
                 closed: false,
                 sample_tick: 0,
-                counters: QueueCounters::default(),
             }),
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
+            metrics,
         }
     }
 
@@ -138,12 +181,12 @@ impl FeedbackQueue {
             }
             match policy {
                 BackpressurePolicy::Block => {
-                    inner.counters.block_waits += 1;
+                    self.metrics.block_waits.inc();
                     inner = self.not_full.wait(inner).unwrap_or_else(PoisonError::into_inner);
                 }
                 BackpressurePolicy::DropOldest => {
                     inner.items.pop_front();
-                    inner.counters.dropped_oldest += 1;
+                    self.metrics.dropped_oldest.inc();
                     outcome = PushOutcome::DroppedOldest;
                     break;
                 }
@@ -151,18 +194,20 @@ impl FeedbackQueue {
                     inner.sample_tick += 1;
                     if inner.sample_tick.is_multiple_of(u64::from(keep_one_in)) {
                         inner.items.pop_front();
-                        inner.counters.dropped_oldest += 1;
+                        self.metrics.dropped_oldest.inc();
                         outcome = PushOutcome::DroppedOldest;
                         break;
                     }
-                    inner.counters.sampled_out += 1;
+                    self.metrics.sampled_out.inc();
                     return Ok(PushOutcome::SampledOut);
                 }
             }
         }
         inner.items.push_back(item);
-        inner.counters.enqueued += 1;
-        inner.counters.max_depth = inner.counters.max_depth.max(inner.items.len());
+        self.metrics.enqueued.inc();
+        let depth = inner.items.len() as f64;
+        self.metrics.depth.set(depth);
+        self.metrics.max_depth.set_max(depth);
         drop(inner);
         self.not_empty.notify_one();
         Ok(outcome)
@@ -187,6 +232,7 @@ impl FeedbackQueue {
         }
         let n = max.min(inner.items.len());
         let batch: Vec<Feedback> = inner.items.drain(..n).collect();
+        self.metrics.depth.set(inner.items.len() as f64);
         drop(inner);
         // Several producers may be blocked; space for `n` opened up.
         self.not_full.notify_all();
@@ -199,9 +245,9 @@ impl FeedbackQueue {
         self.inner.lock().unwrap_or_else(PoisonError::into_inner).items.len()
     }
 
-    /// Counters snapshot.
+    /// Counters snapshot (a view over the shared registry).
     pub(crate) fn counters(&self) -> QueueCounters {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner).counters
+        self.metrics.view()
     }
 
     /// Refuses new feedback and wakes everyone; queued items remain for
@@ -221,9 +267,13 @@ mod tests {
         Feedback { shard, point: vec![1.0, 2.0], cost: ExecutionCost::default() }
     }
 
+    fn queue(capacity: usize) -> FeedbackQueue {
+        FeedbackQueue::new(capacity, QueueMetrics::new(&Registry::new()))
+    }
+
     #[test]
     fn fifo_through_push_and_drain() {
-        let q = FeedbackQueue::new(8);
+        let q = queue(8);
         for i in 0..5 {
             assert_eq!(q.push(fb(i), BackpressurePolicy::Block).unwrap(), PushOutcome::Enqueued);
         }
@@ -236,7 +286,7 @@ mod tests {
 
     #[test]
     fn drop_oldest_evicts_head() {
-        let q = FeedbackQueue::new(2);
+        let q = queue(2);
         q.push(fb(0), BackpressurePolicy::DropOldest).unwrap();
         q.push(fb(1), BackpressurePolicy::DropOldest).unwrap();
         assert_eq!(
@@ -250,7 +300,7 @@ mod tests {
 
     #[test]
     fn sample_thins_overflow_uniformly() {
-        let q = FeedbackQueue::new(1);
+        let q = queue(1);
         let policy = BackpressurePolicy::Sample { keep_one_in: 4 };
         q.push(fb(0), policy).unwrap();
         let mut admitted = 0;
@@ -269,7 +319,7 @@ mod tests {
 
     #[test]
     fn closed_queue_refuses_pushes_and_finishes_drains() {
-        let q = FeedbackQueue::new(4);
+        let q = queue(4);
         q.push(fb(0), BackpressurePolicy::Block).unwrap();
         q.close();
         assert!(q.push(fb(1), BackpressurePolicy::Block).is_err());

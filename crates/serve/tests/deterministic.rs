@@ -1,0 +1,278 @@
+//! Deterministic concurrency harness for the serve/feedback pipeline.
+//!
+//! Built on [`MaintainerMode::Manual`]: no maintainer thread exists, so
+//! nothing happens between explicit [`ConcurrentEstimator::step`] calls —
+//! every drain, apply, and republish is driven by the test itself. That
+//! turns the registry's metrics into exact, scriptable quantities: the
+//! assertions below are equalities, not sleep-and-hope thresholds.
+//!
+//! The multi-writer tests use seeded workloads with the `Block` policy
+//! and a capacity that can never fill, so the final totals are
+//! schedule-independent whatever the OS does with thread interleaving.
+
+use mlq_core::Space;
+use mlq_serve::{
+    BackpressurePolicy, ConcurrentEstimator, MaintainerMode, PushOutcome, ServeConfig,
+};
+use mlq_udfs::ExecutionCost;
+use std::sync::Arc;
+use std::thread;
+
+const SEED_MATRIX: [u64; 4] = [0x5EED, 0xBEEF, 0xC0FFEE, 1];
+
+fn manual_config() -> ServeConfig {
+    ServeConfig { maintainer: MaintainerMode::Manual, ..ServeConfig::default() }
+}
+
+fn service(config: ServeConfig, udfs: &[&str]) -> ConcurrentEstimator {
+    let space = Space::cube(2, 0.0, 100.0).expect("space");
+    let mut builder = ConcurrentEstimator::builder(config);
+    for name in udfs {
+        builder = builder.register(name, &space).expect("register");
+    }
+    builder.build().expect("build")
+}
+
+fn cost(cpu: f64) -> ExecutionCost {
+    ExecutionCost { cpu, io: 1.0, results: 0 }
+}
+
+fn xorshift(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
+}
+
+#[test]
+fn scripted_batches_account_exactly() {
+    let svc = service(manual_config(), &["A", "B"]);
+
+    // Script: 4 observations for A, 3 for B, no maintenance yet.
+    for i in 0..4 {
+        svc.observe("A", &[f64::from(i), 1.0], cost(10.0)).expect("observe A");
+    }
+    for i in 0..3 {
+        svc.observe("B", &[f64::from(i), 2.0], cost(20.0)).expect("observe B");
+    }
+    assert_eq!(svc.feedback_lag(), 7);
+    let m = svc.metrics();
+    assert_eq!(m.counter("mlq_serve_queue_enqueued"), Some(7));
+    assert_eq!(m.counter("mlq_serve_processed"), Some(0));
+    assert_eq!(m.gauge("mlq_serve_queue_depth"), Some(7.0));
+
+    // Drain in scripted batch sizes 3, 3, 1 (FIFO: AAA, AB B, B).
+    assert_eq!(svc.step(3).expect("step"), 3);
+    assert_eq!(svc.step(3).expect("step"), 3);
+    assert_eq!(svc.step(3).expect("step"), 1);
+    assert_eq!(svc.step(3).expect("step"), 0, "queue is empty now");
+    assert_eq!(svc.feedback_lag(), 0);
+
+    let m = svc.metrics();
+    assert_eq!(m.counter("mlq_serve_processed"), Some(7));
+    assert_eq!(m.gauge("mlq_serve_queue_depth"), Some(0.0));
+    assert_eq!(m.gauge("mlq_serve_queue_max_depth"), Some(7.0));
+    assert_eq!(m.counter("mlq_serve_applied{udf=\"A\"}"), Some(4));
+    assert_eq!(m.counter("mlq_serve_applied{udf=\"B\"}"), Some(3));
+    assert_eq!(m.counter("mlq_serve_apply_errors{udf=\"A\"}"), Some(0));
+
+    // Batch-size histogram: exactly three non-empty batches totalling 7.
+    let batches = m.histogram("mlq_serve_batch_size").expect("batch histogram");
+    assert_eq!(batches.count(), 3);
+    assert_eq!(batches.sum, 7);
+
+    // Publish accounting: batch 1 touches A only, batch 2 touches A and
+    // B, batch 3 touches B only — 4 feedback-driven republications.
+    assert_eq!(m.counter("mlq_serve_publishes"), Some(4));
+    // Initial publish + those republications, per shard.
+    assert_eq!(m.counter("mlq_serve_snapshot_version{udf=\"A\"}"), Some(3));
+    assert_eq!(m.counter("mlq_serve_snapshot_version{udf=\"B\"}"), Some(3));
+
+    // The applied feedback is visible to readers after the step.
+    let v = svc.predict("A", &[1.0, 1.0]).expect("predict").expect("trained");
+    assert!((v - 110.0).abs() < 1e-9, "10 cpu + 100 io_weight * 1 io, got {v}");
+}
+
+#[test]
+fn scripted_reader_sees_exactly_the_stepped_state() {
+    let svc = service(manual_config(), &["F"]);
+    let before = svc.snapshot("F").expect("snapshot");
+
+    svc.observe("F", &[5.0, 5.0], cost(40.0)).expect("observe");
+    // Not yet stepped: the published snapshot is unchanged.
+    let held = svc.snapshot("F").expect("snapshot");
+    assert_eq!(held.counters().version, before.counters().version);
+    assert_eq!(held.predict(&[5.0, 5.0]).expect("predict"), None);
+
+    assert_eq!(svc.step(16).expect("step"), 1);
+    // The old snapshot is immutable; a re-fetch sees the new state.
+    assert_eq!(held.predict(&[5.0, 5.0]).expect("predict"), None);
+    let after = svc.snapshot("F").expect("snapshot");
+    assert_eq!(after.counters().version, before.counters().version + 1);
+    assert_eq!(after.counters().applied, 1);
+    assert!(after.predict(&[5.0, 5.0]).expect("predict").is_some());
+}
+
+#[test]
+fn drop_oldest_overflow_accounting_is_exact() {
+    let config = ServeConfig {
+        queue_capacity: 4,
+        backpressure: BackpressurePolicy::DropOldest,
+        ..manual_config()
+    };
+    let svc = service(config, &["F"]);
+
+    let mut dropped = 0;
+    for i in 0..10 {
+        let outcome = svc.observe("F", &[f64::from(i % 7), 0.0], cost(5.0)).expect("observe");
+        if outcome == PushOutcome::DroppedOldest {
+            dropped += 1;
+        }
+    }
+    assert_eq!(dropped, 6, "pushes 5..10 each evict the head");
+
+    let m = svc.metrics();
+    assert_eq!(m.counter("mlq_serve_queue_enqueued"), Some(10));
+    assert_eq!(m.counter("mlq_serve_queue_dropped_oldest"), Some(6));
+    assert_eq!(m.gauge("mlq_serve_queue_depth"), Some(4.0));
+    assert_eq!(m.gauge("mlq_serve_queue_max_depth"), Some(4.0));
+
+    // Only the 4 surviving observations ever reach the model.
+    assert_eq!(svc.step(usize::MAX).expect("step"), 4);
+    let m = svc.metrics();
+    assert_eq!(m.counter("mlq_serve_processed"), Some(4));
+    assert_eq!(m.counter("mlq_serve_applied{udf=\"F\"}"), Some(4));
+}
+
+#[test]
+fn sample_policy_thins_on_a_deterministic_schedule() {
+    let config = ServeConfig {
+        queue_capacity: 2,
+        backpressure: BackpressurePolicy::Sample { keep_one_in: 3 },
+        ..manual_config()
+    };
+    let svc = service(config, &["F"]);
+
+    for i in 0..2 {
+        assert_eq!(
+            svc.observe("F", &[f64::from(i), 0.0], cost(5.0)).expect("observe"),
+            PushOutcome::Enqueued
+        );
+    }
+    // Overflow ticks 1..=7: ticks 3 and 6 admit (evicting the head), the
+    // other five are thinned out.
+    let outcomes: Vec<PushOutcome> = (0..7)
+        .map(|i| svc.observe("F", &[f64::from(i), 1.0], cost(5.0)).expect("observe"))
+        .collect();
+    assert_eq!(outcomes.iter().filter(|&&o| o == PushOutcome::DroppedOldest).count(), 2);
+    assert_eq!(outcomes.iter().filter(|&&o| o == PushOutcome::SampledOut).count(), 5);
+
+    let m = svc.metrics();
+    assert_eq!(m.counter("mlq_serve_queue_enqueued"), Some(4));
+    assert_eq!(m.counter("mlq_serve_queue_dropped_oldest"), Some(2));
+    assert_eq!(m.counter("mlq_serve_queue_sampled_out"), Some(5));
+}
+
+#[test]
+fn seeded_writer_threads_converge_to_schedule_independent_totals() {
+    const WRITERS: usize = 4;
+    const PER_WRITER: usize = 200;
+
+    for seed0 in SEED_MATRIX {
+        // Block + roomy capacity: no observation can ever be dropped, so
+        // the totals below hold for every possible thread interleaving.
+        let config = ServeConfig {
+            queue_capacity: WRITERS * PER_WRITER,
+            backpressure: BackpressurePolicy::Block,
+            ..manual_config()
+        };
+        let svc = Arc::new(service(config, &["A", "B"]));
+
+        thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let svc = Arc::clone(&svc);
+                scope.spawn(move || {
+                    let mut seed = seed0.wrapping_add(w as u64).wrapping_mul(0x9E37_79B9) | 1;
+                    for _ in 0..PER_WRITER {
+                        let r = xorshift(&mut seed);
+                        let name = if r.is_multiple_of(2) { "A" } else { "B" };
+                        let p = [(r % 100) as f64, ((r >> 8) % 100) as f64];
+                        svc.observe(name, &p, cost(5.0 + (r % 10) as f64)).expect("observe");
+                    }
+                });
+            }
+            // The test thread is the maintainer, stepping concurrently
+            // with the writers. Interleaving varies; the totals cannot.
+            let mut applied = 0usize;
+            while applied < WRITERS * PER_WRITER {
+                applied += svc.step(64).expect("step");
+            }
+        });
+
+        let total = (WRITERS * PER_WRITER) as u64;
+        let m = svc.metrics();
+        assert_eq!(m.counter("mlq_serve_queue_enqueued"), Some(total), "seed {seed0:#x}");
+        assert_eq!(m.counter("mlq_serve_processed"), Some(total), "seed {seed0:#x}");
+        assert_eq!(m.counter("mlq_serve_queue_dropped_oldest"), Some(0));
+        assert_eq!(m.counter("mlq_serve_queue_sampled_out"), Some(0));
+        let applied_a = m.counter("mlq_serve_applied{udf=\"A\"}").expect("A applied");
+        let applied_b = m.counter("mlq_serve_applied{udf=\"B\"}").expect("B applied");
+        assert_eq!(applied_a + applied_b, total, "seed {seed0:#x}");
+        assert_eq!(svc.feedback_lag(), 0);
+        // Batch sizes sum to the processed total exactly.
+        let batches = m.histogram("mlq_serve_batch_size").expect("batch histogram");
+        assert_eq!(batches.sum, total, "seed {seed0:#x}");
+    }
+}
+
+#[test]
+fn manual_shutdown_flushes_everything_without_any_steps() {
+    let svc = service(manual_config(), &["F"]);
+    for i in 0..25 {
+        svc.observe("F", &[f64::from(i % 9), 3.0], cost(7.0)).expect("observe");
+    }
+    let report = svc.shutdown().expect("first shutdown");
+    assert_eq!(report.queue.enqueued, 25);
+    assert_eq!(report.shards[0].1.applied, 25);
+    assert_eq!(report.metrics.counter("mlq_serve_processed"), Some(25));
+    assert_eq!(report.metrics.counter("mlq_serve_applied{udf=\"F\"}"), Some(25));
+    assert!(svc.shutdown().is_none(), "shutdown is idempotent");
+    assert!(svc.step(1).is_err(), "no stepping after shutdown");
+}
+
+#[test]
+fn flush_drives_manual_maintenance_on_the_calling_thread() {
+    let svc = service(manual_config(), &["F"]);
+    for i in 0..10 {
+        svc.observe("F", &[f64::from(i), 0.0], cost(3.0)).expect("observe");
+    }
+    svc.flush();
+    assert_eq!(svc.feedback_lag(), 0);
+    assert_eq!(svc.metrics().counter("mlq_serve_processed"), Some(10));
+}
+
+#[test]
+fn step_is_refused_under_background_mode() {
+    let svc = service(ServeConfig::default(), &["F"]);
+    assert!(svc.step(8).is_err());
+    svc.shutdown();
+}
+
+#[test]
+fn registry_snapshot_round_trips_through_prometheus_text() {
+    let svc = service(manual_config(), &["A", "B"]);
+    for i in 0..6 {
+        svc.observe(if i % 2 == 0 { "A" } else { "B" }, &[f64::from(i), 1.0], cost(9.0))
+            .expect("observe");
+    }
+    svc.step(usize::MAX).expect("step");
+    let snap = svc.metrics();
+    let text = snap.to_prometheus_text();
+    let parsed = mlq_obs::RegistrySnapshot::parse_prometheus_text(&text).expect("parse exposition");
+    assert_eq!(parsed.counter("mlq_serve_queue_enqueued"), Some(6));
+    assert_eq!(parsed.counter("mlq_serve_applied{udf=\"A\"}"), Some(3));
+    assert_eq!(
+        parsed.histogram("mlq_serve_batch_size").map(|h| (h.count(), h.sum)),
+        snap.histogram("mlq_serve_batch_size").map(|h| (h.count(), h.sum)),
+    );
+}

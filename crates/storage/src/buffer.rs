@@ -303,6 +303,25 @@ impl BufferPool {
         self.lru.lock().stats
     }
 
+    /// Mirrors the pool's cumulative counters into `registry` under
+    /// `mlq_storage_*`. Counters are exported with
+    /// [`record_total`](mlq_obs::Counter::record_total), so exporting
+    /// repeatedly (or from several quiesce points) is idempotent and never
+    /// double-counts.
+    pub fn export_metrics(&self, registry: &mlq_obs::Registry) {
+        let io = self.stats();
+        registry.counter("mlq_storage_pool_reads").record_total(io.logical_reads);
+        registry.counter("mlq_storage_pool_hits").record_total(io.hits);
+        registry.counter("mlq_storage_pool_misses").record_total(io.misses);
+        if let Some(ratio) = io.hit_ratio() {
+            registry.gauge("mlq_storage_pool_hit_ratio").set(ratio);
+        }
+        let retry = self.retry_stats();
+        registry.counter("mlq_storage_retry_attempts").record_total(retry.retries);
+        registry.counter("mlq_storage_retry_exhausted").record_total(retry.exhausted);
+        registry.counter("mlq_storage_retry_recovered").record_total(retry.recovered);
+    }
+
     /// Empties the cache (cold-start) without resetting counters.
     pub fn clear(&self) {
         let mut lru = self.lru.lock();
