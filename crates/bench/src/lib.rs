@@ -14,12 +14,16 @@
 //!
 //! Beyond the Criterion benches, the crate ships the `mlq-bench` binary:
 //! `mlq-bench --throughput` runs the [`throughput`] harness and writes
-//! `BENCH_serve.json`; `mlq-bench --gate` compares such a report against
-//! the checked-in baseline (the CI regression gate, see [`report`]).
+//! `BENCH_serve.json`; `mlq-bench --predict` runs the [`predict`]
+//! single-vs-batched read-path microbench and writes
+//! `BENCH_predict.json`; `mlq-bench --gate` / `--gate-predict` compare
+//! such reports against the checked-in baselines (the CI regression
+//! gates, see [`report`] and [`predict`]).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod predict;
 pub mod report;
 pub mod throughput;
 

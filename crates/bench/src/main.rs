@@ -3,16 +3,24 @@
 //! ```text
 //! mlq-bench --throughput [--short] [--readers 1,2,4] [--duration-ms N] [--out PATH]
 //!           [--metrics-out PATH]
+//! mlq-bench --predict [--short] [--out PATH]
 //! mlq-bench --gate MEASURED.json BASELINE.json [--tolerance 0.2]
+//! mlq-bench --gate-predict MEASURED.json BASELINE.json [--tolerance 0.2]
 //! ```
 //!
 //! `--throughput` measures predictions/sec, p50/p99 predict latency, and
 //! feedback lag across reader-thread counts, writing `BENCH_serve.json`
 //! (stdout summary included); `--metrics-out` additionally writes the
 //! merged registry snapshot of every run as Prometheus-style text
-//! exposition. `--gate` exits nonzero when the measured report regresses
-//! against the baseline — the CI bench-smoke job runs both back to back.
+//! exposition. `--predict` measures the single-call vs. batched read
+//! path over packed snapshots across dimensionalities and model sizes,
+//! writing `BENCH_predict.json`. `--gate` / `--gate-predict` exit
+//! nonzero when the measured report regresses against the baseline — the
+//! CI bench-smoke job runs measurement and gate back to back.
 
+use mlq_bench::predict::{
+    gate_predict, measure_predict, PredictConfig, PredictGateConfig, PredictReport,
+};
 use mlq_bench::report::{gate, GateConfig, ThroughputReport};
 use mlq_bench::throughput::{measure_with_metrics, ThroughputConfig};
 use std::path::Path;
@@ -24,7 +32,9 @@ fn usage() -> ExitCode {
         "usage:\n  \
          mlq-bench --throughput [--short] [--readers 1,2,4] [--duration-ms N] [--out PATH]\n  \
          \u{20}                 [--metrics-out PATH]\n  \
-         mlq-bench --gate MEASURED.json BASELINE.json [--tolerance 0.2]"
+         mlq-bench --predict [--short] [--out PATH]\n  \
+         mlq-bench --gate MEASURED.json BASELINE.json [--tolerance 0.2]\n  \
+         mlq-bench --gate-predict MEASURED.json BASELINE.json [--tolerance 0.2]"
     );
     ExitCode::from(2)
 }
@@ -33,8 +43,117 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("--throughput") => run_throughput(&args[1..]),
+        Some("--predict") => run_predict(&args[1..]),
         Some("--gate") => run_gate(&args[1..]),
+        Some("--gate-predict") => run_gate_predict(&args[1..]),
         _ => usage(),
+    }
+}
+
+fn run_predict(args: &[String]) -> ExitCode {
+    let mut short = false;
+    let mut out = String::from("BENCH_predict.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--short" => short = true,
+            "--out" => {
+                i += 1;
+                let Some(path) = args.get(i) else { return usage() };
+                out = path.clone();
+            }
+            _ => return usage(),
+        }
+        i += 1;
+    }
+    let config = if short { PredictConfig::short() } else { PredictConfig::full() };
+    eprintln!(
+        "measuring single vs batched predictions: {} rounds/case{}",
+        config.rounds,
+        if config.short { " (short mode)" } else { "" }
+    );
+    let report = measure_predict(&config);
+    for case in &report.cases {
+        println!(
+            "{:>9}: single {:>11.0}/s  p50 {:>5} ns  p99 {:>6} ns   batch {:>11.0}/s   \
+             speedup {:>5.2}x   {:>5} nodes   {:>7} packed bytes",
+            case.label,
+            case.single_pps,
+            case.p50_single_ns,
+            case.p99_single_ns,
+            case.batch_pps,
+            case.batch_speedup,
+            case.nodes,
+            case.packed_bytes
+        );
+    }
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("serializing report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&out, json + "\n") {
+        eprintln!("writing {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out}");
+    ExitCode::SUCCESS
+}
+
+fn load_predict_report(path: &str) -> Result<PredictReport, String> {
+    let text =
+        std::fs::read_to_string(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn run_gate_predict(args: &[String]) -> ExitCode {
+    let (Some(measured_path), Some(baseline_path)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let mut config = PredictGateConfig::default();
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<f64>().ok()) {
+                    Some(t) if (0.0..1.0).contains(&t) => config.tolerance = t,
+                    _ => {
+                        eprintln!("--tolerance wants a fraction in [0, 1)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            _ => return usage(),
+        }
+        i += 1;
+    }
+    let (measured, baseline) =
+        match (load_predict_report(measured_path), load_predict_report(baseline_path)) {
+            (Ok(m), Ok(b)) => (m, b),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    let verdict = gate_predict(&measured, &baseline, &config);
+    for note in &verdict.notes {
+        println!("  {note}");
+    }
+    if verdict.passed() {
+        println!(
+            "predict gate: PASS ({}% tolerance, {:.2}x speedup floor)",
+            (config.tolerance * 100.0).round(),
+            config.min_batch_speedup
+        );
+        ExitCode::SUCCESS
+    } else {
+        for failure in &verdict.failures {
+            eprintln!("predict gate FAILURE: {failure}");
+        }
+        ExitCode::FAILURE
     }
 }
 

@@ -8,6 +8,7 @@
 //! reads them out through [`ModelCounters`].
 
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
 use std::time::Duration;
 
 /// Accumulated operation counts and wall-clock totals for one model.
@@ -85,9 +86,156 @@ impl ModelCounters {
     }
 }
 
+/// The live tree's mutable counter storage: one `Cell<u64>` per field.
+///
+/// The prediction path is the per-query hot path of the optimizer loop;
+/// updating it through a single `Cell<ModelCounters>` meant copying the
+/// whole (88-byte) struct out and back on every call just to bump two or
+/// three fields. Individual cells turn each update into a load/add/store
+/// of exactly the fields touched.
+///
+/// The `observed` flag records whether anyone has ever read the counters
+/// ([`CounterCells::snapshot`]); optional bookkeeping such as freeze
+/// timing is skipped until then, so a model nobody monitors pays nothing
+/// for it.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct CounterCells {
+    predictions: Cell<u64>,
+    predict_nanos: Cell<u64>,
+    insertions: Cell<u64>,
+    insert_nanos: Cell<u64>,
+    compressions: Cell<u64>,
+    compress_nanos: Cell<u64>,
+    predict_nodes_visited: Cell<u64>,
+    sseg_evictions: Cell<u64>,
+    lazy_skips: Cell<u64>,
+    freezes: Cell<u64>,
+    freeze_nanos: Cell<u64>,
+    observed: Cell<bool>,
+}
+
+#[inline]
+fn bump(cell: &Cell<u64>, by: u64) {
+    cell.set(cell.get() + by);
+}
+
+impl CounterCells {
+    /// One prediction: count, wall time, and descent length.
+    #[inline]
+    pub(crate) fn note_predict(&self, nanos: u64, nodes_visited: u64) {
+        bump(&self.predictions, 1);
+        bump(&self.predict_nanos, nanos);
+        bump(&self.predict_nodes_visited, nodes_visited);
+    }
+
+    /// One insertion (compression accounted separately).
+    #[inline]
+    pub(crate) fn note_insert(&self, nanos: u64, lazy_skip: bool) {
+        bump(&self.insertions, 1);
+        bump(&self.insert_nanos, nanos);
+        bump(&self.lazy_skips, u64::from(lazy_skip));
+    }
+
+    /// One compression pass and the leaves it evicted.
+    #[inline]
+    pub(crate) fn note_compression(&self, nanos: u64, nodes_freed: u64) {
+        bump(&self.compressions, 1);
+        bump(&self.compress_nanos, nanos);
+        bump(&self.sseg_evictions, nodes_freed);
+    }
+
+    /// One `freeze()` snapshot; `nanos` is zero when timing was skipped.
+    #[inline]
+    pub(crate) fn note_freeze(&self, nanos: u64) {
+        bump(&self.freezes, 1);
+        bump(&self.freeze_nanos, nanos);
+    }
+
+    /// True once [`Self::snapshot`] has been called since construction or
+    /// the last [`Self::store`] — someone is watching the counters.
+    #[inline]
+    pub(crate) fn is_observed(&self) -> bool {
+        self.observed.get()
+    }
+
+    /// Reads every field into a plain [`ModelCounters`], marking the
+    /// counters as observed.
+    pub(crate) fn snapshot(&self) -> ModelCounters {
+        self.observed.set(true);
+        ModelCounters {
+            predictions: self.predictions.get(),
+            predict_nanos: self.predict_nanos.get(),
+            insertions: self.insertions.get(),
+            insert_nanos: self.insert_nanos.get(),
+            compressions: self.compressions.get(),
+            compress_nanos: self.compress_nanos.get(),
+            predict_nodes_visited: self.predict_nodes_visited.get(),
+            sseg_evictions: self.sseg_evictions.get(),
+            lazy_skips: self.lazy_skips.get(),
+            freezes: self.freezes.get(),
+            freeze_nanos: self.freeze_nanos.get(),
+        }
+    }
+
+    /// Overwrites every field (model reset / snapshot restore). Also
+    /// clears the observed flag: a reset model starts unmonitored.
+    pub(crate) fn store(&self, c: ModelCounters) {
+        self.predictions.set(c.predictions);
+        self.predict_nanos.set(c.predict_nanos);
+        self.insertions.set(c.insertions);
+        self.insert_nanos.set(c.insert_nanos);
+        self.compressions.set(c.compressions);
+        self.compress_nanos.set(c.compress_nanos);
+        self.predict_nodes_visited.set(c.predict_nodes_visited);
+        self.sseg_evictions.set(c.sseg_evictions);
+        self.lazy_skips.set(c.lazy_skips);
+        self.freezes.set(c.freezes);
+        self.freeze_nanos.set(c.freeze_nanos);
+        self.observed.set(false);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cells_accumulate_and_snapshot() {
+        let cells = CounterCells::default();
+        assert!(!cells.is_observed());
+        cells.note_predict(100, 3);
+        cells.note_predict(50, 2);
+        cells.note_insert(10, true);
+        cells.note_compression(7, 4);
+        cells.note_freeze(9);
+        let c = cells.snapshot();
+        assert!(cells.is_observed());
+        assert_eq!(c.predictions, 2);
+        assert_eq!(c.predict_nanos, 150);
+        assert_eq!(c.predict_nodes_visited, 5);
+        assert_eq!(c.insertions, 1);
+        assert_eq!(c.insert_nanos, 10);
+        assert_eq!(c.lazy_skips, 1);
+        assert_eq!(c.compressions, 1);
+        assert_eq!(c.compress_nanos, 7);
+        assert_eq!(c.sseg_evictions, 4);
+        assert_eq!(c.freezes, 1);
+        assert_eq!(c.freeze_nanos, 9);
+    }
+
+    #[test]
+    fn store_resets_fields_and_observed_flag() {
+        let cells = CounterCells::default();
+        cells.note_predict(1, 1);
+        let _ = cells.snapshot();
+        assert!(cells.is_observed());
+        cells.store(ModelCounters::default());
+        assert!(!cells.is_observed());
+        cells.note_freeze(0);
+        let c = cells.snapshot();
+        assert_eq!(c.predictions, 0);
+        assert_eq!(c.freezes, 1);
+    }
 
     #[test]
     fn apc_and_auc_need_predictions() {

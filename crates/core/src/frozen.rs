@@ -1,4 +1,5 @@
-//! Immutable, shareable prediction snapshots of a quadtree.
+//! Immutable, shareable prediction snapshots of a quadtree, in a packed
+//! cache-compact layout.
 //!
 //! The live [`MemoryLimitedQuadtree`] is deliberately not `Sync`: its
 //! prediction path updates APC counters through a `Cell`, and its
@@ -9,28 +10,68 @@
 //! it is `Send + Sync` and can sit behind an `Arc` shared by any number
 //! of threads while the writer keeps mutating its private live tree.
 //!
+//! ## Packed layout
+//!
+//! Prediction only ever needs two facts per node — the point count
+//! (compared against `β`) and the precomputed block average — plus a way
+//! to find the child covering the query point. The snapshot therefore
+//! stores one 32-byte [`PackedNode`] record per node in a single
+//! contiguous slab:
+//!
+//! ```text
+//! PackedNode { count: u64, avg: f64, mask: u64, children_base: u32 }
+//! ```
+//!
+//! Children are **dense**: instead of a heap-boxed `2^d`-slot array full
+//! of `NIL` padding per internal node (the live tree's layout), every
+//! present child's index goes into one shared `u32` slab, and the record
+//! keeps a child-presence bitmask plus the node's base offset into that
+//! slab. The child for slot `s` lives at
+//! `children[children_base + popcount(mask & (1 << s) - 1)]` — a
+//! popcount-rank, one branch and no pointer chase. A root-to-leaf descent
+//! touches one cache line per level (the record) plus one slab word when
+//! it takes a child; there are no per-node allocations at all.
+//!
+//! For spaces with more than 6 dimensions the fanout exceeds the 64 bits
+//! of the inline mask; such trees keep their (multi-word) masks in a
+//! shared overflow slab and the record's `mask` field holds the node's
+//! word offset into it. The paper's experiments use `d ≤ 4`, so the
+//! inline path is the one that matters.
+//!
 //! Freezing is O(live nodes) in time and space; the node count is bounded
 //! by the model's byte budget, so for the paper's configurations a freeze
-//! copies a few kilobytes. Nodes are re-indexed into one contiguous slab
-//! (dead arena slots are dropped), which also makes the frozen descent
-//! slightly more cache-friendly than the live tree's.
+//! copies a few kilobytes. Nodes are re-indexed in BFS order into the
+//! slab (dead arena slots are dropped), so siblings — and the upper
+//! levels every descent shares — sit adjacent in memory.
 
 use crate::config::MlqConfig;
 use crate::error::MlqError;
 use crate::node::NIL;
+use crate::space::GridPoint;
 use crate::summary::Summary;
 use crate::tree::MemoryLimitedQuadtree;
 
-/// One compacted node: the block summary plus re-indexed child slots.
-#[derive(Debug, Clone)]
-struct FrozenNode {
-    summary: Summary,
-    /// Child indices into the frozen slab, `NIL` for empty slots; `None`
-    /// for leaves.
-    children: Option<Box<[u32]>>,
+/// Sentinel in the wide-mask `mask` field marking a childless node.
+const WIDE_LEAF: u64 = u64::MAX;
+
+/// One packed node record: everything a descent reads, in 32 bytes.
+#[derive(Debug, Clone, Copy)]
+#[repr(C)]
+struct PackedNode {
+    /// `C(b)` — compared against `β` at every level.
+    count: u64,
+    /// `AVG(b)`, precomputed at freeze time (0.0 for an empty block).
+    avg: f64,
+    /// Child-presence bitmask for fanout ≤ 64; otherwise the node's word
+    /// offset into the shared wide-mask slab (`WIDE_LEAF` for leaves).
+    mask: u64,
+    /// Offset of this node's first child in the shared child slab.
+    children_base: u32,
 }
 
-/// A read-only prediction snapshot of a [`MemoryLimitedQuadtree`].
+/// A read-only prediction snapshot of a [`MemoryLimitedQuadtree`] in the
+/// packed struct-of-slabs layout described in the
+/// [module documentation](self).
 ///
 /// Shares the live tree's prediction semantics ([Fig. 3]: deepest block
 /// on the root-to-leaf path holding at least `β` points, root fallback)
@@ -40,40 +81,90 @@ struct FrozenNode {
 #[derive(Debug, Clone)]
 pub struct FrozenTree {
     config: MlqConfig,
-    /// Compacted nodes; index 0 is the root.
-    nodes: Box<[FrozenNode]>,
+    /// Full summary of the root block (the packed records only carry
+    /// count and average).
+    root: Summary,
+    /// Packed records; index 0 is the root, BFS order.
+    nodes: Box<[PackedNode]>,
+    /// Dense child indices, shared by every internal node.
+    children: Box<[u32]>,
+    /// Multi-word child masks for fanout > 64; empty otherwise.
+    wide_masks: Box<[u64]>,
+    /// Mask words per internal node (1 means the inline-mask fast path).
+    mask_words: u32,
 }
 
 impl FrozenTree {
-    /// Builds a frozen copy of `tree`'s live nodes (root first).
+    /// Builds a frozen copy of `tree`'s live nodes (root first), reusing
+    /// the tree's scratch BFS queue.
     pub(crate) fn from_tree(tree: &MemoryLimitedQuadtree) -> Self {
+        let fanout = tree.config().space.fanout();
+        let mask_words = fanout.div_ceil(64);
         // BFS from the root, assigning contiguous indices as nodes are
-        // discovered; children are patched with the new indices.
-        let mut order: Vec<u32> = vec![tree.root];
-        let mut nodes: Vec<FrozenNode> = Vec::with_capacity(tree.node_count());
+        // discovered; children are recorded under the new indices. The
+        // queue is borrowed from the tree so repeated freezes reuse its
+        // capacity instead of growing a fresh Vec from empty every time.
+        let mut order = tree.freeze_scratch().borrow_mut();
+        order.clear();
+        order.push(tree.root);
+        let mut nodes: Vec<PackedNode> = Vec::with_capacity(tree.node_count());
+        let mut children: Vec<u32> = Vec::new();
+        let mut wide_masks: Vec<u64> = Vec::new();
         let mut head = 0usize;
         while head < order.len() {
             let old = order[head];
             head += 1;
             let node = tree.arena.get(old);
-            let children = node.children.as_ref().map(|slots| {
-                slots
-                    .iter()
-                    .map(|&child| {
-                        if child == NIL {
-                            NIL
-                        } else {
-                            order.push(child);
-                            // The child will be frozen at the index it was
-                            // just enqueued under.
-                            u32::try_from(order.len() - 1).expect("arena indices fit u32")
+            let children_base = u32::try_from(children.len()).expect("child slab fits u32");
+            let enqueue = |order: &mut Vec<u32>, children: &mut Vec<u32>, child: u32| {
+                order.push(child);
+                children.push(u32::try_from(order.len() - 1).expect("arena indices fit u32"));
+            };
+            let mask = match &node.children {
+                None => {
+                    if mask_words == 1 {
+                        0
+                    } else {
+                        WIDE_LEAF
+                    }
+                }
+                Some(slots) if mask_words == 1 => {
+                    let mut mask = 0u64;
+                    for (slot, &child) in slots.iter().enumerate() {
+                        if child != NIL {
+                            mask |= 1 << slot;
+                            enqueue(&mut order, &mut children, child);
                         }
-                    })
-                    .collect::<Box<[u32]>>()
+                    }
+                    mask
+                }
+                Some(slots) => {
+                    let base = wide_masks.len();
+                    wide_masks.resize(base + mask_words, 0);
+                    for (slot, &child) in slots.iter().enumerate() {
+                        if child != NIL {
+                            wide_masks[base + slot / 64] |= 1 << (slot % 64);
+                            enqueue(&mut order, &mut children, child);
+                        }
+                    }
+                    base as u64
+                }
+            };
+            nodes.push(PackedNode {
+                count: node.summary.count,
+                avg: node.summary.avg(),
+                mask,
+                children_base,
             });
-            nodes.push(FrozenNode { summary: node.summary, children });
         }
-        FrozenTree { config: tree.config().clone(), nodes: nodes.into_boxed_slice() }
+        FrozenTree {
+            config: tree.config().clone(),
+            root: tree.root_summary(),
+            nodes: nodes.into_boxed_slice(),
+            children: children.into_boxed_slice(),
+            wide_masks: wide_masks.into_boxed_slice(),
+            mask_words: u32::try_from(mask_words).expect("mask words fit u32"),
+        }
     }
 
     /// The configuration of the tree this snapshot was frozen from.
@@ -91,13 +182,98 @@ impl FrozenTree {
     /// Summary of the root block (every point the live tree had seen).
     #[must_use]
     pub fn root_summary(&self) -> Summary {
-        self.nodes[0].summary
+        self.root
     }
 
     /// True while the snapshot holds no data at all.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.nodes[0].summary.count == 0
+        self.root.count == 0
+    }
+
+    /// Heap bytes of the packed slabs (records + child slab + any wide
+    /// masks). This is the snapshot's real resident footprint, directly
+    /// comparable with the `NODE_BYTES`-style accounting of the layout it
+    /// replaced: per node a summary plus a boxed `2^d` child-slot array
+    /// dominated by `NIL` padding.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<PackedNode>()
+            + self.children.len() * std::mem::size_of::<u32>()
+            + self.wide_masks.len() * std::mem::size_of::<u64>()
+    }
+
+    /// `(count, avg)` of node `node` (BFS index; 0 is the root). Exposed
+    /// so tests and tools can rebuild reference layouts from a snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is out of range.
+    #[must_use]
+    pub fn node_stats(&self, node: usize) -> (u64, f64) {
+        let n = &self.nodes[node];
+        (n.count, n.avg)
+    }
+
+    /// Index of the child of `node` in child slot `slot`, if present.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is out of range or `slot >= 2^d`.
+    #[must_use]
+    pub fn child_of(&self, node: usize, slot: usize) -> Option<usize> {
+        assert!(slot < self.config.space.fanout(), "slot {slot} out of range");
+        self.child_index(&self.nodes[node], slot).map(|c| c as usize)
+    }
+
+    /// Popcount-rank child lookup (see the [module docs](self)).
+    #[inline]
+    fn child_index(&self, node: &PackedNode, slot: usize) -> Option<u32> {
+        if self.mask_words == 1 {
+            let bit = 1u64 << slot;
+            if node.mask & bit == 0 {
+                return None;
+            }
+            let rank = (node.mask & (bit - 1)).count_ones() as usize;
+            Some(self.children[node.children_base as usize + rank])
+        } else {
+            if node.mask == WIDE_LEAF {
+                return None;
+            }
+            let base = node.mask as usize;
+            let (word, bit) = (slot / 64, (slot % 64) as u32);
+            let w = self.wide_masks[base + word];
+            if w & (1u64 << bit) == 0 {
+                return None;
+            }
+            let mut rank = (w & ((1u64 << bit) - 1)).count_ones() as usize;
+            for i in 0..word {
+                rank += self.wide_masks[base + i].count_ones() as usize;
+            }
+            Some(self.children[node.children_base as usize + rank])
+        }
+    }
+
+    /// The Fig. 3 descent over the packed slab.
+    fn predict_grid(&self, grid: &GridPoint, beta: u64) -> Option<f64> {
+        let mut cn = &self.nodes[0];
+        if cn.count == 0 {
+            return None;
+        }
+        let mut best = cn.avg;
+        let mut depth = 0u32;
+        while cn.count >= beta {
+            best = cn.avg;
+            let slot = grid.child_slot(depth);
+            match self.child_index(cn, slot) {
+                Some(child) => {
+                    cn = &self.nodes[child as usize];
+                    depth += 1;
+                }
+                None => break,
+            }
+        }
+        Some(best)
     }
 
     /// Predicts the cost at `point` with the configured `β` — the frozen
@@ -119,25 +295,60 @@ impl FrozenTree {
     /// Same as [`Self::predict`].
     pub fn predict_with_beta(&self, point: &[f64], beta: u64) -> Result<Option<f64>, MlqError> {
         let grid = self.config.space.grid_point(point)?;
-        let root = &self.nodes[0];
-        if root.summary.count == 0 {
-            return Ok(None);
+        Ok(self.predict_grid(&grid, beta))
+    }
+
+    /// [`Self::predict`] for a pre-quantized query. Lets a caller that
+    /// descends several trees over the same [`Space`](crate::Space) — the
+    /// serving layer walks a CPU and an IO tree per shard — quantize each
+    /// point once and reuse the grid, instead of re-validating and
+    /// re-quantizing per tree.
+    #[must_use]
+    pub fn predict_quantized(&self, grid: &GridPoint) -> Option<f64> {
+        self.predict_grid(grid, self.config.beta)
+    }
+
+    /// Predicts a whole batch of points at the configured `β`, appending
+    /// one result per point to `out` (cleared first).
+    ///
+    /// The batch is quantized in one pass and descended in another, so
+    /// validation branches stay out of the descent loop; the per-call
+    /// overhead of the single-point path is paid once per batch.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first malformed point, before any descent runs; `out`
+    /// is left empty in that case.
+    pub fn predict_batch_into<P: AsRef<[f64]>>(
+        &self,
+        points: &[P],
+        out: &mut Vec<Option<f64>>,
+    ) -> Result<(), MlqError> {
+        out.clear();
+        let mut grids: Vec<GridPoint> = Vec::with_capacity(points.len());
+        for p in points {
+            grids.push(self.config.space.grid_point(p.as_ref())?);
         }
-        let mut best = root.summary;
-        let mut cn = root;
-        let mut depth = 0u32;
-        while cn.summary.count >= beta {
-            best = cn.summary;
-            let slot = grid.child_slot(depth);
-            match cn.children.as_ref().map(|c| c[slot]) {
-                Some(child) if child != NIL => {
-                    cn = &self.nodes[child as usize];
-                    depth += 1;
-                }
-                _ => break,
-            }
+        out.reserve(points.len());
+        let beta = self.config.beta;
+        for grid in &grids {
+            out.push(self.predict_grid(grid, beta));
         }
-        Ok(Some(best.avg()))
+        Ok(())
+    }
+
+    /// [`Self::predict_batch_into`] returning a fresh `Vec`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::predict_batch_into`].
+    pub fn predict_batch<P: AsRef<[f64]>>(
+        &self,
+        points: &[P],
+    ) -> Result<Vec<Option<f64>>, MlqError> {
+        let mut out = Vec::with_capacity(points.len());
+        self.predict_batch_into(points, &mut out)?;
+        Ok(out)
     }
 }
 
@@ -145,28 +356,52 @@ impl MemoryLimitedQuadtree {
     /// Captures an immutable, `Send + Sync` prediction snapshot of the
     /// current tree (see [`FrozenTree`]). O(live nodes); the live tree is
     /// untouched and can keep learning while readers share the snapshot.
+    ///
+    /// The freeze is only wall-clock timed once [`Self::counters`] has
+    /// been read (i.e. something observes the model's counters); an
+    /// unmonitored model skips the clock calls entirely and records the
+    /// freeze with zero nanoseconds.
     #[must_use]
     pub fn freeze(&self) -> FrozenTree {
-        let start = std::time::Instant::now();
-        let frozen = FrozenTree::from_tree(self);
-        self.note_freeze(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
-        frozen
+        if self.counters_observed() {
+            let start = std::time::Instant::now();
+            let frozen = FrozenTree::from_tree(self);
+            self.note_freeze(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            frozen
+        } else {
+            let frozen = FrozenTree::from_tree(self);
+            self.note_freeze(0);
+            frozen
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{InsertionStrategy, Space};
+    use crate::{child_array_bytes, InsertionStrategy, Space, NODE_BYTES};
 
-    fn model(budget: usize) -> MemoryLimitedQuadtree {
-        let space = Space::cube(2, 0.0, 1000.0).unwrap();
+    fn model_d(dims: usize, budget: usize) -> MemoryLimitedQuadtree {
+        let space = Space::cube(dims, 0.0, 1000.0).unwrap();
         let config = MlqConfig::builder(space)
             .memory_budget(budget)
             .strategy(InsertionStrategy::Eager)
             .build()
             .unwrap();
         MemoryLimitedQuadtree::new(config).unwrap()
+    }
+
+    fn model(budget: usize) -> MemoryLimitedQuadtree {
+        model_d(2, budget)
+    }
+
+    fn spread_points(m: &mut MemoryLimitedQuadtree, n: u32) {
+        let dims = m.config().space.dims();
+        for i in 0..n {
+            let p: Vec<f64> =
+                (0..dims).map(|d| f64::from(i.wrapping_mul(97 + d as u32 * 31) % 1000)).collect();
+            m.insert(&p, f64::from(i % 13)).unwrap();
+        }
     }
 
     #[test]
@@ -179,17 +414,44 @@ mod tests {
     fn empty_freeze_predicts_none() {
         let f = model(4096).freeze();
         assert!(f.is_empty());
+        assert_eq!(f.node_count(), 1);
         assert_eq!(f.predict(&[1.0, 2.0]).unwrap(), None);
+        assert_eq!(f.predict_batch(&[vec![1.0, 2.0], vec![9.0, 9.0]]).unwrap(), vec![None, None]);
+    }
+
+    #[test]
+    fn root_only_tree_predicts_root_average_everywhere() {
+        // A tree whose root holds data but never split (as a restored
+        // summary-only model would look): every query answers root avg.
+        let mut m = model(1 << 16);
+        m.arena.get_mut(m.root).summary.add(4.0);
+        m.arena.get_mut(m.root).summary.add(8.0);
+        let f = m.freeze();
+        assert_eq!(f.node_count(), 1);
+        assert_eq!(f.predict(&[500.0, 1.0]).unwrap(), Some(6.0));
+        assert_eq!(f.predict(&[0.0, 999.0]).unwrap(), Some(6.0));
+        assert_eq!(f.predict_with_beta(&[7.0, 7.0], 1).unwrap(), Some(6.0));
+    }
+
+    #[test]
+    fn beta_above_every_count_falls_back_to_root() {
+        let mut m = model(1 << 16);
+        spread_points(&mut m, 50);
+        let f = m.freeze();
+        let root_avg = f.root_summary().avg();
+        for q in [[1.0, 1.0], [999.0, 999.0], [123.0, 456.0]] {
+            assert_eq!(f.predict_with_beta(&q, u64::MAX).unwrap(), Some(root_avg));
+            assert_eq!(
+                f.predict_with_beta(&q, u64::MAX).unwrap(),
+                m.predict_with_beta(&q, u64::MAX).unwrap()
+            );
+        }
     }
 
     #[test]
     fn freeze_matches_live_predictions_everywhere() {
         let mut m = model(4096);
-        for i in 0..500u32 {
-            let x = f64::from(i.wrapping_mul(97) % 1000);
-            let y = f64::from(i.wrapping_mul(31) % 1000);
-            m.insert(&[x, y], f64::from(i % 13)).unwrap();
-        }
+        spread_points(&mut m, 500);
         let f = m.freeze();
         assert_eq!(f.node_count(), m.node_count());
         assert_eq!(f.root_summary(), m.root_summary());
@@ -204,6 +466,38 @@ mod tests {
                 m.predict_with_beta(&[123.0, 456.0], beta).unwrap()
             );
         }
+    }
+
+    #[test]
+    fn predict_batch_matches_single_calls() {
+        let mut m = model(1 << 14);
+        spread_points(&mut m, 300);
+        let f = m.freeze();
+        let queries: Vec<Vec<f64>> = (0..200u32)
+            .map(|i| vec![f64::from(i * 37 % 1009) % 1000.0, f64::from(i * 11 % 997) % 1000.0])
+            .collect();
+        let batch = f.predict_batch(&queries).unwrap();
+        assert_eq!(batch.len(), queries.len());
+        for (q, b) in queries.iter().zip(&batch) {
+            assert_eq!(*b, f.predict(q).unwrap(), "point {q:?}");
+        }
+        // The reusable-buffer form agrees and clears stale contents.
+        let mut out = vec![Some(f64::NAN); 3];
+        f.predict_batch_into(&queries, &mut out).unwrap();
+        assert_eq!(out, batch);
+    }
+
+    #[test]
+    fn predict_batch_fails_fast_on_malformed_points() {
+        let mut m = model(1 << 14);
+        spread_points(&mut m, 50);
+        let f = m.freeze();
+        let mut out = Vec::new();
+        let bad = [vec![1.0, 1.0], vec![f64::NAN, 2.0]];
+        assert!(f.predict_batch_into(&bad, &mut out).is_err());
+        assert!(out.is_empty(), "no partial results on a failed batch");
+        let wrong_dims = [vec![1.0, 1.0], vec![3.0]];
+        assert!(f.predict_batch(&wrong_dims).is_err());
     }
 
     #[test]
@@ -223,8 +517,103 @@ mod tests {
         m.insert(&[0.0, 1000.0], 9.0).unwrap();
         let f = m.freeze();
         assert_eq!(f.predict(&[-50.0, 2000.0]).unwrap(), Some(9.0));
+        assert_eq!(f.predict_batch(&[vec![-50.0, 2000.0]]).unwrap(), vec![Some(9.0)]);
         assert!(f.predict(&[1.0],).is_err());
         assert!(f.predict(&[f64::NAN, 1.0]).is_err());
+    }
+
+    #[test]
+    fn repeated_freezes_reuse_scratch_and_stay_equivalent() {
+        let mut m = model(1 << 14);
+        for round in 0..5u32 {
+            spread_points(&mut m, 100 + round * 17);
+            let f = m.freeze();
+            assert_eq!(f.node_count(), m.node_count(), "round {round}");
+            let q = [f64::from(round * 31 % 1000), 77.0];
+            assert_eq!(f.predict(&q).unwrap(), m.predict(&q).unwrap());
+        }
+        assert_eq!(m.counters().freezes, 5);
+    }
+
+    #[test]
+    fn unobserved_freeze_skips_timing_observed_freeze_may_record_it() {
+        let mut m = model(1 << 16);
+        spread_points(&mut m, 200);
+        let _ = m.freeze(); // nobody has read counters yet
+        let c = m.counters(); // this read turns observation on
+        assert_eq!(c.freezes, 1);
+        assert_eq!(c.freeze_nanos, 0, "unobserved freeze must not be timed");
+        let _ = m.freeze();
+        assert_eq!(m.counters().freezes, 2);
+    }
+
+    #[test]
+    fn packed_layout_is_smaller_than_boxed_slot_arrays() {
+        // The old frozen layout carried, per node, the full summary plus
+        // an Option'd boxed `2^d`-slot child array on every internal
+        // node; `NODE_BYTES`/`child_array_bytes` is the same accounting
+        // the live tree charges itself. The packed layout must beat it
+        // for every d ≥ 2, and the win must grow with d as the slot
+        // arrays fill up with NIL padding.
+        let mut last_ratio = f64::MAX;
+        for dims in [2usize, 3, 4] {
+            let mut m = model_d(dims, 1 << 16);
+            spread_points(&mut m, 600);
+            let f = m.freeze();
+            let internal = m.nodes().iter().filter(|n| n.n_children > 0).count();
+            let boxed_layout = f.node_count() * NODE_BYTES + internal * child_array_bytes(dims);
+            assert!(
+                f.bytes() < boxed_layout,
+                "d={dims}: packed {} must beat boxed {}",
+                f.bytes(),
+                boxed_layout
+            );
+            let ratio = f.bytes() as f64 / boxed_layout as f64;
+            assert!(ratio < last_ratio, "packing must pay more as d grows");
+            last_ratio = ratio;
+        }
+    }
+
+    #[test]
+    fn high_dimension_wide_masks_stay_equivalent() {
+        // d = 7 → fanout 128: the inline 64-bit mask no longer fits and
+        // the wide-mask slab takes over. Same semantics, still far
+        // smaller than 128 boxed slots per internal node.
+        let mut m = model_d(7, 1 << 18);
+        let pts: Vec<Vec<f64>> = (0..120u32)
+            .map(|i| (0..7).map(|d| f64::from(i.wrapping_mul(89 + d) % 1000)).collect())
+            .collect();
+        for (i, p) in pts.iter().enumerate() {
+            m.insert(p, (i % 11) as f64).unwrap();
+        }
+        let f = m.freeze();
+        assert_eq!(f.node_count(), m.node_count());
+        for p in &pts {
+            assert_eq!(f.predict(p).unwrap(), m.predict(p).unwrap(), "point {p:?}");
+            for beta in [1, 3, 50] {
+                assert_eq!(
+                    f.predict_with_beta(p, beta).unwrap(),
+                    m.predict_with_beta(p, beta).unwrap()
+                );
+            }
+        }
+        let internal = m.nodes().iter().filter(|n| n.n_children > 0).count();
+        let boxed_layout = f.node_count() * NODE_BYTES + internal * child_array_bytes(7);
+        assert!(f.bytes() < boxed_layout);
+    }
+
+    #[test]
+    fn structure_accessors_expose_the_tree_shape() {
+        let mut m = model(1 << 16);
+        m.insert(&[1.0, 1.0], 5.0).unwrap();
+        let f = m.freeze();
+        let (count, avg) = f.node_stats(0);
+        assert_eq!(count, 1);
+        assert!((avg - 5.0).abs() < 1e-12);
+        // [1,1] lives in the low quadrant at every level: slot 0 chains.
+        let child = f.child_of(0, 0).expect("root has a low-quadrant child");
+        assert!(f.child_of(0, 1).is_none());
+        assert_eq!(f.node_stats(child).0, 1);
     }
 
     #[test]

@@ -4,13 +4,13 @@
 
 use crate::compress::CompressionReport;
 use crate::config::{InsertionStrategy, MlqConfig};
-use crate::counters::ModelCounters;
+use crate::counters::{CounterCells, ModelCounters};
 use crate::error::MlqError;
 use crate::node::{Arena, Node, NodeView, NIL};
 use crate::space::GridPoint;
 use crate::summary::{ssenc, Summary};
 use crate::{child_array_bytes, NODE_BYTES};
-use std::cell::Cell;
+use std::cell::RefCell;
 use std::time::Instant;
 
 /// What one insertion did to the tree.
@@ -41,7 +41,10 @@ pub struct MemoryLimitedQuadtree {
     pub(crate) fanout: usize,
     pub(crate) bytes_used: usize,
     had_compression: bool,
-    counters: Cell<ModelCounters>,
+    counters: CounterCells,
+    /// BFS work queue reused across [`Self::freeze`] calls so repeated
+    /// snapshots don't regrow it from cold.
+    freeze_scratch: RefCell<Vec<u32>>,
 }
 
 impl MemoryLimitedQuadtree {
@@ -67,7 +70,8 @@ impl MemoryLimitedQuadtree {
             fanout,
             bytes_used: NODE_BYTES,
             had_compression: false,
-            counters: Cell::new(ModelCounters::default()),
+            counters: CounterCells::default(),
+            freeze_scratch: RefCell::new(Vec::new()),
         })
     }
 
@@ -103,9 +107,13 @@ impl MemoryLimitedQuadtree {
     }
 
     /// Operation counts and timings backing APC / AUC (paper Eqs. 1–2).
+    ///
+    /// Reading the counters also marks them *observed*: optional
+    /// bookkeeping such as freeze-duration timing is only paid for once
+    /// something is actually watching (see [`Self::freeze`]).
     #[must_use]
     pub fn counters(&self) -> ModelCounters {
-        self.counters.get()
+        self.counters.snapshot()
     }
 
     /// True once at least one compression pass has run (this is when the
@@ -157,11 +165,10 @@ impl MemoryLimitedQuadtree {
 
         let (result, nodes_visited) = self.predict_inner(&grid, beta);
 
-        let mut c = self.counters.get();
-        c.predictions += 1;
-        c.predict_nanos += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        c.predict_nodes_visited += nodes_visited;
-        self.counters.set(c);
+        self.counters.note_predict(
+            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            nodes_visited,
+        );
         Ok(result)
     }
 
@@ -240,11 +247,8 @@ impl MemoryLimitedQuadtree {
             cn = child;
         }
 
-        let mut c = self.counters.get();
-        c.insertions += 1;
-        c.insert_nanos += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        c.lazy_skips += u64::from(lazy_skip);
-        self.counters.set(c);
+        self.counters
+            .note_insert(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX), lazy_skip);
 
         // "Compression is triggered when the memory limit is reached."
         // `compress()` accounts its own time and evictions.
@@ -282,20 +286,24 @@ impl MemoryLimitedQuadtree {
     /// Records one compression pass: wall-clock time and the number of
     /// leaves evicted in SSEG order. Called by [`crate::compress`].
     pub(crate) fn note_compression(&self, nanos: u64, nodes_freed: u64) {
-        let mut c = self.counters.get();
-        c.compressions += 1;
-        c.compress_nanos += nanos;
-        c.sseg_evictions += nodes_freed;
-        self.counters.set(c);
+        self.counters.note_compression(nanos, nodes_freed);
     }
 
     /// Records one `freeze()` snapshot and its wall-clock time. Called by
     /// [`crate::frozen`].
     pub(crate) fn note_freeze(&self, nanos: u64) {
-        let mut c = self.counters.get();
-        c.freezes += 1;
-        c.freeze_nanos += nanos;
-        self.counters.set(c);
+        self.counters.note_freeze(nanos);
+    }
+
+    /// True once someone has read [`Self::counters`] — freeze timing is
+    /// only worth measuring then. Called by [`crate::frozen`].
+    pub(crate) fn counters_observed(&self) -> bool {
+        self.counters.is_observed()
+    }
+
+    /// The reusable BFS queue backing [`Self::freeze`].
+    pub(crate) fn freeze_scratch(&self) -> &RefCell<Vec<u32>> {
+        &self.freeze_scratch
     }
 
     fn create_child(&mut self, parent: u32, slot: usize) -> u32 {
@@ -352,7 +360,7 @@ impl MemoryLimitedQuadtree {
         self.root = root;
         self.bytes_used = NODE_BYTES;
         self.had_compression = false;
-        self.counters.set(ModelCounters::default());
+        self.counters.store(ModelCounters::default());
     }
 
     /// Total SSENC over all non-full nodes — the paper's optimality

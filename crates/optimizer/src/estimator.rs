@@ -21,6 +21,22 @@ pub trait Estimator {
     /// Propagates malformed-point errors.
     fn predict(&self, point: &[f64]) -> Result<Option<f64>, MlqError>;
 
+    /// Predicts a whole batch of points, one result per point.
+    ///
+    /// The default simply loops over [`Self::predict`]; implementations
+    /// backed by a shared service override it to pay their per-call
+    /// overhead (snapshot load, metrics) once per batch. The executor
+    /// prefers this entry point whenever it knows several points up
+    /// front. Kept object-safe (`&[Vec<f64>]`, not a generic) so
+    /// `dyn Estimator` works.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first malformed point.
+    fn predict_batch(&self, points: &[Vec<f64>]) -> Result<Vec<Option<f64>>, MlqError> {
+        points.iter().map(|p| self.predict(p)).collect()
+    }
+
     /// Offers an observed execution back to the underlying models.
     ///
     /// # Errors

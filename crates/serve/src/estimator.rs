@@ -417,8 +417,10 @@ impl ConcurrentEstimatorBuilder {
 
         let mut shards = Vec::with_capacity(models.len());
         let mut names = BTreeMap::new();
+        let mut reads = Vec::with_capacity(models.len());
         for (idx, (name, cpu, io)) in models.into_iter().enumerate() {
             names.insert(name.clone(), idx);
+            reads.push(registry.counter(&labeled("mlq_serve_reads", &[("udf", &name)])));
             shards.push(ShardModels::new(
                 name,
                 GuardedModel::for_quadtree(cpu, config.guard)?,
@@ -479,6 +481,7 @@ impl ConcurrentEstimatorBuilder {
         Ok(ConcurrentEstimator {
             names,
             published,
+            reads,
             queue,
             processed,
             backpressure: config.backpressure,
@@ -499,6 +502,10 @@ enum MaintainerState {
 pub struct ConcurrentEstimator {
     names: BTreeMap<String, usize>,
     published: Arc<Vec<RwLock<Arc<ShardSnapshot>>>>,
+    /// Per-shard `mlq_serve_reads{udf=...}` counters: predictions served
+    /// from published snapshots. Bumped once per call on the single-point
+    /// path and once per *batch* on the batched path.
+    reads: Vec<Counter>,
     queue: Arc<FeedbackQueue>,
     /// Observations fully applied and republished by the maintainer.
     processed: Arc<AtomicU64>,
@@ -576,7 +583,38 @@ impl ConcurrentEstimator {
     /// [`MlqError::InvalidConfig`] for unknown names; propagates
     /// malformed-point errors.
     pub fn predict(&self, name: &str, point: &[f64]) -> Result<Option<f64>, MlqError> {
-        self.snapshot(name)?.predict(point)
+        let shard = self.shard_index(name)?;
+        self.reads[shard].inc();
+        self.snapshot_at(shard).predict(point)
+    }
+
+    pub(crate) fn predict_batch_at<P: AsRef<[f64]>>(
+        &self,
+        shard: usize,
+        points: &[P],
+    ) -> Result<Vec<Option<f64>>, MlqError> {
+        // One Arc load and one metrics update cover the whole batch —
+        // the per-call overhead the single-point path pays per prediction.
+        self.reads[shard].add(points.len() as u64);
+        self.snapshot_at(shard).predict_batch(points)
+    }
+
+    /// Predicted combined costs for `name` at every point in `points`,
+    /// all answered from one consistent snapshot. The snapshot `Arc` is
+    /// loaded and the read metrics updated once per batch rather than
+    /// once per call, and the packed trees are walked while hot in cache
+    /// — this is the fast path for ranking many candidate plans.
+    ///
+    /// # Errors
+    ///
+    /// [`MlqError::InvalidConfig`] for unknown names; fails on the first
+    /// malformed point.
+    pub fn predict_batch<P: AsRef<[f64]>>(
+        &self,
+        name: &str,
+        points: &[P],
+    ) -> Result<Vec<Option<f64>>, MlqError> {
+        self.predict_batch_at(self.shard_index(name)?, points)
     }
 
     pub(crate) fn observe_at(

@@ -72,6 +72,11 @@ impl Estimator for EstimatorHandle {
         self.snapshot().predict(point)
     }
 
+    fn predict_batch(&self, points: &[Vec<f64>]) -> Result<Vec<Option<f64>>, MlqError> {
+        // One snapshot load and one metrics update for the whole batch.
+        self.service.predict_batch_at(self.shard, points)
+    }
+
     fn observe(&mut self, point: &[f64], cost: ExecutionCost) -> Result<(), MlqError> {
         self.offer(point, cost).map(|_| ())
     }

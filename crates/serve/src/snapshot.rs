@@ -51,6 +51,49 @@ impl ComponentSnapshot {
         Ok(self.fallback)
     }
 
+    /// Batched [`Self::predict`]: one result per point, appended to
+    /// `out` (cleared first). The whole batch runs against the packed
+    /// tree in one pass; the healthy/fallback policy is applied as a
+    /// fix-up afterwards so the descent loop stays branch-light.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first malformed point; `out` is left empty then.
+    pub fn predict_batch_into<P: AsRef<[f64]>>(
+        &self,
+        points: &[P],
+        out: &mut Vec<Option<f64>>,
+    ) -> Result<(), MlqError> {
+        self.tree.predict_batch_into(points, out)?;
+        if self.healthy {
+            if self.fallback.is_some() {
+                for slot in out.iter_mut() {
+                    if slot.is_none() {
+                        *slot = self.fallback;
+                    }
+                }
+            }
+        } else {
+            // Open breaker: the running average covers every query, but
+            // the tree pass above still validated/clamped the points.
+            out.iter_mut().for_each(|slot| *slot = self.fallback);
+        }
+        Ok(())
+    }
+
+    /// [`Self::predict`] for a pre-quantized query: the guarded read
+    /// policy over [`FrozenTree::predict_quantized`]. The shard batch
+    /// path uses this to quantize each point once for both components.
+    #[must_use]
+    pub fn predict_quantized(&self, grid: &mlq_core::GridPoint) -> Option<f64> {
+        if self.healthy {
+            if let Some(v) = self.tree.predict_quantized(grid) {
+                return Some(v);
+            }
+        }
+        self.fallback
+    }
+
     /// The frozen tree backing this component.
     #[must_use]
     pub fn tree(&self) -> &FrozenTree {
@@ -147,6 +190,41 @@ impl ShardSnapshot {
             (None, None) => None,
             (c, i) => Some(c.unwrap_or(0.0) + self.io_weight * i.unwrap_or(0.0)),
         })
+    }
+
+    /// Batched [`Self::predict`]: every point is validated and quantized
+    /// exactly once (both component trees share the shard's space), then
+    /// one pass descends the CPU and IO packed slabs back to back and
+    /// combines in place. Exactly equivalent to calling [`Self::predict`]
+    /// per point, but the per-point overhead — validation, quantization,
+    /// component dispatch, intermediate buffers — is paid once per batch.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first malformed point, before any descent runs.
+    pub fn predict_batch<P: AsRef<[f64]>>(
+        &self,
+        points: &[P],
+    ) -> Result<Vec<Option<f64>>, MlqError> {
+        let space = &self.cpu.tree().config().space;
+        debug_assert!(
+            *space == self.io.tree().config().space,
+            "shard components must share a space"
+        );
+        let mut grids = Vec::with_capacity(points.len());
+        for p in points {
+            grids.push(space.grid_point(p.as_ref())?);
+        }
+        let mut out = Vec::with_capacity(points.len());
+        for grid in &grids {
+            let cpu = self.cpu.predict_quantized(grid);
+            let io = self.io.predict_quantized(grid);
+            out.push(match (cpu, io) {
+                (None, None) => None,
+                (c, i) => Some(c.unwrap_or(0.0) + self.io_weight * i.unwrap_or(0.0)),
+            });
+        }
+        Ok(out)
     }
 
     /// Predicts one cost component.

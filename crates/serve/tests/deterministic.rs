@@ -276,3 +276,74 @@ fn registry_snapshot_round_trips_through_prometheus_text() {
         snap.histogram("mlq_serve_batch_size").map(|h| (h.count(), h.sum)),
     );
 }
+
+#[test]
+fn batched_reads_match_single_reads_and_account_once_per_batch() {
+    let svc = service(manual_config(), &["A"]);
+    let mut seed = 0x5EEDu64;
+    for _ in 0..200 {
+        let p = [(xorshift(&mut seed) % 100) as f64, (xorshift(&mut seed) % 100) as f64];
+        svc.observe("A", &p, cost((xorshift(&mut seed) % 50) as f64)).expect("observe");
+    }
+    svc.flush();
+
+    let queries: Vec<Vec<f64>> = (0..64)
+        .map(|_| vec![(xorshift(&mut seed) % 100) as f64, (xorshift(&mut seed) % 100) as f64])
+        .collect();
+    let batch = svc.predict_batch("A", &queries).expect("batch");
+    assert_eq!(batch.len(), queries.len());
+    for (q, b) in queries.iter().zip(&batch) {
+        assert_eq!(*b, svc.predict("A", q).expect("single"), "point {q:?}");
+    }
+
+    // Read accounting is exact: one batch of 64 plus 64 singles = 128,
+    // all under the same per-UDF series.
+    let m = svc.metrics();
+    assert_eq!(m.counter("mlq_serve_reads{udf=\"A\"}"), Some(128));
+    assert!(svc.predict_batch("missing", &queries).is_err());
+}
+
+#[test]
+fn batched_reads_use_one_snapshot_even_across_republication() {
+    // A snapshot fetched before new feedback keeps answering the batch
+    // from the old state; the service-level batch sees the new state —
+    // both are internally consistent.
+    let svc = service(manual_config(), &["F"]);
+    svc.observe("F", &[5.0, 5.0], cost(40.0)).expect("observe");
+    svc.flush();
+    let held = svc.snapshot("F").expect("snapshot");
+
+    svc.observe("F", &[5.0, 5.0], cost(400.0)).expect("observe");
+    svc.flush();
+
+    let old = held.predict_batch(&[vec![5.0, 5.0]]).expect("held batch");
+    let new = svc.predict_batch("F", &[vec![5.0, 5.0]]).expect("service batch");
+    assert_eq!(old[0], held.predict(&[5.0, 5.0]).expect("held single"));
+    assert_eq!(new[0], svc.predict("F", &[5.0, 5.0]).expect("service single"));
+    assert!(new[0].unwrap() > old[0].unwrap(), "republication moved the estimate");
+}
+
+#[test]
+fn open_breaker_batches_fall_back_like_single_predictions() {
+    use mlq_optimizer::Estimator as _;
+
+    let svc = Arc::new(service(manual_config(), &["G"]));
+    for i in 0..50 {
+        svc.observe("G", &[f64::from(i % 10) * 10.0, 5.0], cost(20.0)).expect("observe");
+    }
+    svc.flush();
+    // Hammer one component with outliers until its breaker opens.
+    for _ in 0..64 {
+        svc.observe("G", &[5.0, 5.0], cost(1e7)).expect("observe outlier");
+        svc.flush();
+        if !svc.counters("G").expect("counters").is_healthy() {
+            break;
+        }
+    }
+    let handle = svc.handle("G").expect("handle");
+    let queries: Vec<Vec<f64>> = (0..20).map(|i| vec![f64::from(i * 5 % 100), 5.0]).collect();
+    let batch = handle.predict_batch(&queries).expect("handle batch");
+    for (q, b) in queries.iter().zip(&batch) {
+        assert_eq!(*b, handle.predict(q).expect("single"), "point {q:?}");
+    }
+}

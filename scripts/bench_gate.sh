@@ -1,16 +1,24 @@
 #!/usr/bin/env sh
-# Benchmark regression gate: compares a fresh BENCH_serve.json against the
-# checked-in baseline and exits nonzero on regression. All comparison
-# logic lives in `mlq-bench --gate` (crates/bench/src/report.rs), so the
-# thresholds are tested Rust code rather than shell arithmetic; this
-# wrapper only fixes the invocation CI uses.
+# Benchmark regression gates: compare fresh BENCH_serve.json /
+# BENCH_predict.json reports against the checked-in baselines and exit
+# nonzero on regression. All comparison logic lives in `mlq-bench --gate`
+# (crates/bench/src/report.rs) and `mlq-bench --gate-predict`
+# (crates/bench/src/predict.rs), so the thresholds are tested Rust code
+# rather than shell arithmetic; this wrapper only fixes the invocations
+# CI uses.
 #
 # Usage: scripts/bench_gate.sh [MEASURED.json] [BASELINE.json] [TOLERANCE]
+#                              [PREDICT_MEASURED.json] [PREDICT_BASELINE.json]
+#
+# The predict gate runs whenever its measured report exists (or was
+# explicitly named), so pre-predict callers keep working unchanged.
 set -eu
 
 MEASURED="${1:-BENCH_serve.json}"
 BASELINE="${2:-BENCH_serve.baseline.json}"
 TOLERANCE="${3:-0.2}"
+PREDICT_MEASURED="${4:-BENCH_predict.json}"
+PREDICT_BASELINE="${5:-BENCH_predict.baseline.json}"
 
 for f in "$MEASURED" "$BASELINE"; do
     if [ ! -f "$f" ]; then
@@ -19,5 +27,22 @@ for f in "$MEASURED" "$BASELINE"; do
     fi
 done
 
-exec cargo run -q --release --offline -p mlq-bench -- \
+cargo run -q --release --offline -p mlq-bench -- \
     --gate "$MEASURED" "$BASELINE" --tolerance "$TOLERANCE"
+
+if [ -f "$PREDICT_MEASURED" ] || [ $# -ge 4 ]; then
+    if [ ! -f "$PREDICT_MEASURED" ] || [ ! -f "$PREDICT_BASELINE" ]; then
+        echo "bench_gate: missing predict report $PREDICT_MEASURED or $PREDICT_BASELINE" >&2
+        exit 1
+    fi
+    # The predict gate keeps its own (looser) default tolerance unless the
+    # caller named one explicitly; its millisecond passes are noisier than
+    # the serve harness's duration-based runs.
+    if [ $# -ge 3 ]; then
+        cargo run -q --release --offline -p mlq-bench -- \
+            --gate-predict "$PREDICT_MEASURED" "$PREDICT_BASELINE" --tolerance "$TOLERANCE"
+    else
+        cargo run -q --release --offline -p mlq-bench -- \
+            --gate-predict "$PREDICT_MEASURED" "$PREDICT_BASELINE"
+    fi
+fi
