@@ -1,8 +1,8 @@
 //! `mlq-bench` — the serving-layer throughput harness and CI gate.
 //!
 //! ```text
-//! mlq-bench --throughput [--short] [--readers 1,2,4] [--duration-ms N] [--out PATH]
-//!           [--metrics-out PATH]
+//! mlq-bench --throughput [--short] [--durable] [--readers 1,2,4] [--duration-ms N]
+//!           [--out PATH] [--metrics-out PATH]
 //! mlq-bench --predict [--short] [--out PATH]
 //! mlq-bench --gate MEASURED.json BASELINE.json [--tolerance 0.2]
 //! mlq-bench --gate-predict MEASURED.json BASELINE.json [--tolerance 0.2]
@@ -12,7 +12,10 @@
 //! feedback lag across reader-thread counts, writing `BENCH_serve.json`
 //! (stdout summary included); `--metrics-out` additionally writes the
 //! merged registry snapshot of every run as Prometheus-style text
-//! exposition. `--predict` measures the single-call vs. batched read
+//! exposition, and `--durable` runs the service with the write-ahead
+//! feedback journal enabled (temp-dir, removed after each run) so the
+//! journaling overhead is visible against a non-durable baseline.
+//! `--predict` measures the single-call vs. batched read
 //! path over packed snapshots across dimensionalities and model sizes,
 //! writing `BENCH_predict.json`. `--gate` / `--gate-predict` exit
 //! nonzero when the measured report regresses against the baseline — the
@@ -30,8 +33,8 @@ use std::time::Duration;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
-         mlq-bench --throughput [--short] [--readers 1,2,4] [--duration-ms N] [--out PATH]\n  \
-         \u{20}                 [--metrics-out PATH]\n  \
+         mlq-bench --throughput [--short] [--durable] [--readers 1,2,4] [--duration-ms N]\n  \
+         \u{20}                 [--out PATH] [--metrics-out PATH]\n  \
          mlq-bench --predict [--short] [--out PATH]\n  \
          mlq-bench --gate MEASURED.json BASELINE.json [--tolerance 0.2]\n  \
          mlq-bench --gate-predict MEASURED.json BASELINE.json [--tolerance 0.2]"
@@ -159,6 +162,7 @@ fn run_gate_predict(args: &[String]) -> ExitCode {
 
 fn run_throughput(args: &[String]) -> ExitCode {
     let mut short = false;
+    let mut durable = false;
     let mut readers: Option<Vec<usize>> = None;
     let mut duration: Option<Duration> = None;
     let mut out = String::from("BENCH_serve.json");
@@ -167,6 +171,7 @@ fn run_throughput(args: &[String]) -> ExitCode {
     while i < args.len() {
         match args[i].as_str() {
             "--short" => short = true,
+            "--durable" => durable = true,
             "--readers" => {
                 i += 1;
                 let Some(list) = args.get(i) else { return usage() };
@@ -202,6 +207,7 @@ fn run_throughput(args: &[String]) -> ExitCode {
         i += 1;
     }
     let mut config = if short { ThroughputConfig::short() } else { ThroughputConfig::full() };
+    config.durable = durable;
     if let Some(r) = readers {
         config.readers = r;
     }
@@ -210,10 +216,11 @@ fn run_throughput(args: &[String]) -> ExitCode {
     }
 
     eprintln!(
-        "measuring serving throughput: readers {:?}, {} ms/run{}",
+        "measuring serving throughput: readers {:?}, {} ms/run{}{}",
         config.readers,
         config.duration.as_millis(),
-        if config.short { " (short mode)" } else { "" }
+        if config.short { " (short mode)" } else { "" },
+        if config.durable { " (durable: temp-dir WAL + checkpoints)" } else { "" }
     );
     let (report, metrics) = measure_with_metrics(&config);
     for run in &report.runs {

@@ -39,6 +39,12 @@ pub struct ThroughputConfig {
     pub duration: Duration,
     /// Recorded in the report as `short_mode`.
     pub short: bool,
+    /// Run the service with the write-ahead feedback journal and
+    /// checkpointing enabled (a throwaway temp directory per run), so the
+    /// measurement carries the durable maintainer path. The report schema
+    /// is unchanged — compare a durable report against a non-durable
+    /// baseline to see the journaling overhead.
+    pub durable: bool,
 }
 
 impl ThroughputConfig {
@@ -49,6 +55,7 @@ impl ThroughputConfig {
             readers: vec![1, 2, 4],
             duration: Duration::from_millis(2000),
             short: false,
+            durable: false,
         }
     }
 
@@ -59,6 +66,7 @@ impl ThroughputConfig {
             readers: vec![1, 2, 4],
             duration: Duration::from_millis(300),
             short: true,
+            durable: false,
         }
     }
 }
@@ -104,7 +112,20 @@ fn build_pool() -> (Arc<BufferPool>, Vec<PageId>) {
     (Arc::new(BufferPool::new(disk, POOL_CAPACITY)), pages)
 }
 
-fn build_service(registry: &Arc<Registry>) -> Arc<ConcurrentEstimator> {
+/// A fresh, collision-free scratch directory for one durable run. Runs
+/// must never recover each other's journals, so every call gets a new
+/// path (pid + a process-wide counter) and the caller removes it after
+/// shutdown.
+fn fresh_durable_dir() -> std::path::PathBuf {
+    static DURABLE_RUN: AtomicU64 = AtomicU64::new(0);
+    let run = DURABLE_RUN.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("mlq_bench_wal_{}_{run}", std::process::id()))
+}
+
+fn build_service(
+    registry: &Arc<Registry>,
+    durable_dir: Option<&std::path::Path>,
+) -> Arc<ConcurrentEstimator> {
     let space = mlq_core::Space::cube(DIMS, 0.0, 1000.0).expect("valid space");
     let config = ServeConfig {
         // The writer must never block mid-measurement; bounded lag via
@@ -113,6 +134,9 @@ fn build_service(registry: &Arc<Registry>) -> Arc<ConcurrentEstimator> {
         ..ServeConfig::default()
     };
     let mut builder = ConcurrentEstimator::builder(config).with_registry(Arc::clone(registry));
+    if let Some(dir) = durable_dir {
+        builder = builder.with_durability(dir);
+    }
     for name in shard_names() {
         builder = builder.register(&name, &space).expect("register");
     }
@@ -130,18 +154,22 @@ fn build_service(registry: &Arc<Registry>) -> Arc<ConcurrentEstimator> {
 /// Runs one measurement at `readers` reader threads.
 #[must_use]
 pub fn measure_run(readers: usize, duration: Duration) -> RunReport {
-    measure_run_with_registry(readers, duration, &Arc::new(Registry::new()))
+    measure_run_with_registry(readers, duration, false, &Arc::new(Registry::new()))
 }
 
 /// [`measure_run`] recording service metrics into `registry`; the caller
-/// snapshots it afterwards for the metrics exposition.
+/// snapshots it afterwards for the metrics exposition. With `durable`
+/// set, the run journals feedback through a throwaway temp-dir WAL and
+/// removes the directory after shutdown.
 #[must_use]
 pub fn measure_run_with_registry(
     readers: usize,
     duration: Duration,
+    durable: bool,
     registry: &Arc<Registry>,
 ) -> RunReport {
-    let svc = build_service(registry);
+    let wal_dir = durable.then(fresh_durable_dir);
+    let svc = build_service(registry, wal_dir.as_deref());
     let names = shard_names();
     let stop = Arc::new(AtomicBool::new(false));
     let max_lag = Arc::new(AtomicU64::new(0));
@@ -234,6 +262,9 @@ pub fn measure_run_with_registry(
 
     let report = svc.shutdown().expect("first shutdown");
     let feedback_applied: u64 = report.shards.iter().map(|(_, c)| c.applied).sum();
+    if let Some(dir) = wal_dir {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 
     RunReport {
         readers,
@@ -266,7 +297,8 @@ pub fn measure_with_metrics(config: &ThroughputConfig) -> (ThroughputReport, Reg
         .iter()
         .map(|&readers| {
             let registry = Arc::new(Registry::new());
-            let run = measure_run_with_registry(readers, config.duration, &registry);
+            let run =
+                measure_run_with_registry(readers, config.duration, config.durable, &registry);
             merged.merge(&registry.snapshot());
             run
         })
@@ -291,6 +323,7 @@ mod tests {
             readers: vec![1, 2],
             duration: Duration::from_millis(50),
             short: true,
+            durable: false,
         };
         let report = measure(&config);
         assert_eq!(report.schema_version, SCHEMA_VERSION);
@@ -301,5 +334,28 @@ mod tests {
             assert!(run.p50_predict_ns <= run.p99_predict_ns);
             assert!(run.feedback_applied > 0, "the writer must land feedback");
         }
+    }
+
+    #[test]
+    fn a_durable_run_journals_and_keeps_the_report_schema() {
+        let config = ThroughputConfig {
+            readers: vec![1],
+            duration: Duration::from_millis(50),
+            short: true,
+            durable: true,
+        };
+        let (report, metrics) = measure_with_metrics(&config);
+        assert_eq!(report.schema_version, SCHEMA_VERSION, "durable mode must not fork the schema");
+        assert_eq!(report.runs.len(), 1);
+        assert!(report.runs[0].predictions > 0);
+        assert!(
+            metrics.counter("mlq_serve_wal_commits").unwrap_or(0) > 0,
+            "durable mode must actually commit journal batches"
+        );
+        assert_eq!(
+            metrics.gauge("mlq_serve_durability_degraded"),
+            Some(0.0),
+            "a healthy temp-dir run must not degrade"
+        );
     }
 }

@@ -30,12 +30,25 @@ pub struct CompressionReport {
     pub bytes_freed: usize,
 }
 
-/// Heap entry ordered by ascending SSEG; ties broken by node index so the
-/// pass is deterministic (the paper breaks ties arbitrarily).
-#[derive(PartialEq)]
+/// Heap entry ordered by ascending SSEG; ties broken by the leaf's root
+/// path so the pass is deterministic (the paper breaks ties arbitrarily).
+///
+/// The tie-break must be *structure-intrinsic*: arena indices are
+/// recycled by eviction and renumbered by a snapshot restore, so two
+/// behaviorally identical trees can disagree on them. The slot path from
+/// the root depends only on which blocks exist — a restored tree evicts
+/// exactly the leaves the live tree would have, which is what the serving
+/// layer's crash-recovery equivalence invariant rests on.
 struct Candidate {
     sseg: f64,
+    path: Vec<u16>,
     node: u32,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
 }
 
 impl Eq for Candidate {}
@@ -50,11 +63,26 @@ impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // SSEG values are finite: summaries only ever hold finite data
         // (inserts reject NaN/inf), so total_cmp is a plain total order.
-        self.sseg.total_cmp(&other.sseg).then(self.node.cmp(&other.node))
+        // Distinct live nodes have distinct paths, so the order is total.
+        self.sseg.total_cmp(&other.sseg).then_with(|| self.path.cmp(&other.path))
     }
 }
 
 impl MemoryLimitedQuadtree {
+    /// The slot path from the root down to `node`, the structure-intrinsic
+    /// identity compression uses to break SSEG ties.
+    fn root_path(&self, node: u32) -> Vec<u16> {
+        let mut path = Vec::new();
+        let mut cur = node;
+        while cur != self.root {
+            let n = self.arena.get(cur);
+            path.push(n.slot_in_parent);
+            cur = n.parent;
+        }
+        path.reverse();
+        path
+    }
+
     /// Runs one compression pass (paper Fig. 6) and reports what was freed.
     ///
     /// Normally invoked automatically by [`Self::insert`] when the budget
@@ -78,7 +106,8 @@ impl MemoryLimitedQuadtree {
             seed.push((idx, node.summary.sseg(parent_avg)));
         }
         for (idx, sseg) in seed {
-            heap.push(Reverse(Candidate { sseg, node: idx }));
+            let path = self.root_path(idx);
+            heap.push(Reverse(Candidate { sseg, path, node: idx }));
         }
 
         let mut freed = 0usize;
@@ -100,7 +129,8 @@ impl MemoryLimitedQuadtree {
                     debug_assert_ne!(grand, NIL);
                     let parent_avg = self.arena.get(grand).summary.avg();
                     let sseg = self.arena.get(parent).summary.sseg(parent_avg);
-                    heap.push(Reverse(Candidate { sseg, node: parent }));
+                    let path = self.root_path(parent);
+                    heap.push(Reverse(Candidate { sseg, path, node: parent }));
                 }
             }
         }
@@ -239,5 +269,32 @@ mod tests {
             views
         };
         assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn tie_breaking_is_stable_across_snapshot_roundtrip() {
+        // A restored tree has renumbered arena indices; the path-based
+        // tie-break must make it evict exactly the leaves the live tree
+        // evicts, or crash recovery would diverge under compression.
+        let mut live = big_model(3);
+        for i in 0..32u32 {
+            let x = f64::from(i % 8) * 125.0 + 1.0;
+            let y = f64::from(i / 8) * 125.0 + 1.0;
+            live.insert(&[x, y], 5.0).unwrap(); // all equal -> all SSEG ties
+        }
+        let mut restored = MemoryLimitedQuadtree::from_snapshot(&live.snapshot()).unwrap();
+        live.compress();
+        restored.compress();
+
+        let structure = |m: &MemoryLimitedQuadtree| {
+            let mut paths: Vec<(Vec<u16>, u64)> = m
+                .arena
+                .iter_live()
+                .map(|(idx, node)| (m.root_path(idx), node.summary.count))
+                .collect();
+            paths.sort_unstable();
+            paths
+        };
+        assert_eq!(structure(&live), structure(&restored));
     }
 }

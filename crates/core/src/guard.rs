@@ -153,6 +153,40 @@ pub struct GuardCounters {
     pub invariant_failures: u64,
 }
 
+/// The complete mutable state of a [`GuardedModel`], detached from the
+/// inner model: breaker position, quarantine window, running-average
+/// fallback, and every counter.
+///
+/// A guard's behavior is a pure function of this state plus the feedback
+/// stream, so exporting it alongside a model snapshot and importing it
+/// after a restart makes the restored guard *bit-identical* in both its
+/// predictions (the fallback average answers uninformed regions) and its
+/// future quarantine/breaker decisions — the property the serving
+/// layer's crash-recovery equivalence tests assert.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardState {
+    /// Breaker position.
+    pub breaker: BreakerState,
+    /// Recently accepted costs, oldest first.
+    pub window: Vec<f64>,
+    /// Running average of every accepted cost (the degraded-mode model).
+    pub fallback: Summary,
+    /// Consecutive inner-model failures toward the trip threshold.
+    pub consecutive_failures: u32,
+    /// Guarded operations seen while the breaker has been open.
+    pub open_ops: u32,
+    /// Consecutive successful probes while half-open.
+    pub half_open_successes: u32,
+    /// Total observations accepted past the quarantine.
+    pub accepted: u64,
+    /// The guard's monotonic counters (without the prediction-path cell).
+    pub counters: GuardCounters,
+    /// Prediction-path failures not yet folded into the breaker.
+    pub pending_predict_failures: u32,
+    /// Predictions answered by the fallback (prediction-path cell).
+    pub fallback_predictions: u64,
+}
+
 /// A [`CostModel`] wrapper adding feedback validation, outlier
 /// quarantine, and a circuit breaker with a running-average fallback.
 ///
@@ -262,6 +296,54 @@ impl<M: CostModel> GuardedModel<M> {
     #[must_use]
     pub fn fallback_prediction(&self) -> Option<f64> {
         (self.fallback.count > 0).then(|| self.fallback.avg())
+    }
+
+    /// Exports the guard's complete mutable state (everything but the
+    /// inner model) for persistence alongside a model snapshot.
+    #[must_use]
+    pub fn export_state(&self) -> GuardState {
+        GuardState {
+            breaker: self.state,
+            window: self.window.iter().copied().collect(),
+            fallback: self.fallback,
+            consecutive_failures: self.consecutive_failures,
+            open_ops: self.open_ops,
+            half_open_successes: self.half_open_successes,
+            accepted: self.accepted,
+            counters: self.counters,
+            pending_predict_failures: self.pending_predict_failures.get(),
+            fallback_predictions: self.fallback_predictions.get(),
+        }
+    }
+
+    /// Restores state previously captured with
+    /// [`export_state`](Self::export_state). If the current configuration
+    /// has a shorter window than the exported one, the newest entries are
+    /// kept — they are the ones quarantine screening consults.
+    pub fn import_state(&mut self, state: GuardState) {
+        let GuardState {
+            breaker,
+            window,
+            fallback,
+            consecutive_failures,
+            open_ops,
+            half_open_successes,
+            accepted,
+            counters,
+            pending_predict_failures,
+            fallback_predictions,
+        } = state;
+        self.state = breaker;
+        let skip = window.len().saturating_sub(self.config.window);
+        self.window = window.into_iter().skip(skip).collect();
+        self.fallback = fallback;
+        self.consecutive_failures = consecutive_failures;
+        self.open_ops = open_ops;
+        self.half_open_successes = half_open_successes;
+        self.accepted = accepted;
+        self.counters = counters;
+        self.pending_predict_failures.set(pending_predict_failures);
+        self.fallback_predictions.set(fallback_predictions);
     }
 
     /// Validates `point`, clamping or rejecting out-of-space coordinates.
@@ -717,5 +799,54 @@ mod tests {
         assert!(g.predict(&[55.0, 55.0]).unwrap().is_some());
         assert!(g.name().starts_with("guarded("));
         assert!(g.memory_used() > g.inner().memory_used());
+    }
+
+    #[test]
+    fn guard_state_roundtrips_exactly() {
+        let space = space2();
+        let config = MlqConfig::builder(space.clone())
+            .memory_budget(1 << 14)
+            .strategy(InsertionStrategy::Lazy { alpha: 0.05 })
+            .build()
+            .unwrap();
+        let tree = MemoryLimitedQuadtree::new(config.clone()).unwrap();
+        let mut original = GuardedModel::for_quadtree(tree, GuardConfig::default()).unwrap();
+        for i in 0..200u32 {
+            let x = f64::from(i % 10) * 10.0;
+            let cost = 5.0 + f64::from(i % 7);
+            let _ = original.observe(&[x, x], cost);
+        }
+        // One hostile outlier so the counters are non-trivial.
+        let _ = original.observe(&[5.0, 5.0], 1e9);
+        assert_eq!(original.counters().quarantined, 1);
+
+        let state = original.export_state();
+        let fresh_tree = MemoryLimitedQuadtree::new(config).unwrap();
+        let mut restored = GuardedModel::for_quadtree(fresh_tree, GuardConfig::default()).unwrap();
+        restored.import_state(state.clone());
+
+        assert_eq!(restored.export_state(), state);
+        assert_eq!(restored.state(), original.state());
+        assert_eq!(restored.counters(), original.counters());
+        assert_eq!(restored.fallback_prediction(), original.fallback_prediction());
+        // Future quarantine decisions match: the same outlier is screened
+        // identically by both guards.
+        let a = original.observe(&[5.0, 5.0], 1e9);
+        let b = restored.observe(&[5.0, 5.0], 1e9);
+        assert!(matches!(a, Err(MlqError::FeedbackQuarantined { .. })));
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn import_state_truncates_oversized_windows_to_newest() {
+        let space = space2();
+        let config = MlqConfig::builder(space.clone()).memory_budget(1 << 14).build().unwrap();
+        let tree = MemoryLimitedQuadtree::new(config).unwrap();
+        let short_window = GuardConfig { window: 4, min_window: 2, ..GuardConfig::default() };
+        let mut g = GuardedModel::for_quadtree(tree, short_window).unwrap();
+        let mut state = g.export_state();
+        state.window = (0..10).map(f64::from).collect();
+        g.import_state(state);
+        assert_eq!(g.export_state().window, vec![6.0, 7.0, 8.0, 9.0]);
     }
 }

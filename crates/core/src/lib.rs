@@ -77,11 +77,14 @@ pub use counters::ModelCounters;
 pub use detail::PredictionDetail;
 pub use error::MlqError;
 pub use frozen::FrozenTree;
-pub use guard::{BreakerState, GuardConfig, GuardCounters, GuardedModel, PointPolicy};
+pub use guard::{BreakerState, GuardConfig, GuardCounters, GuardState, GuardedModel, PointPolicy};
 pub use model::{CostModel, TrainableModel};
 pub use node::NodeView;
 pub use nominal::NominalDimension;
-pub use persist::{RestoreOutcome, TreeSnapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use persist::{
+    crc32_ieee, open_frame, seal_frame, RestoreOutcome, TreeSnapshot, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+};
 pub use space::{GridPoint, Space, GRID_BITS, MAX_DIMS};
 pub use summary::{ssenc, Summary};
 pub use transform::{

@@ -185,9 +185,18 @@ pub const SNAPSHOT_VERSION: u32 = 1;
 /// Envelope header size: magic + version + payload length + checksum.
 const HEADER_LEN: usize = 4 + 4 + 8 + 4;
 
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB8_8320`) over the
+/// concatenation of `chunks`, bytewise. Small and dependency-free;
+/// durable payloads here are a few KiB, so table generation tricks are
+/// not worth their complexity. Public so every durable byte format in
+/// the workspace (snapshot envelopes, the serving layer's feedback
+/// journal and checkpoint metadata) shares one checksum implementation.
+#[must_use]
+pub fn crc32_ieee(chunks: &[&[u8]]) -> u32 {
+    crc32(chunks)
+}
+
 /// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB8_8320`), bytewise.
-/// Small and dependency-free; snapshot payloads are a few KiB, so table
-/// generation tricks are not worth their complexity here.
 fn crc32(chunks: &[&[u8]]) -> u32 {
     let mut crc: u32 = !0;
     for chunk in chunks {
@@ -345,6 +354,71 @@ fn decode_envelope(bytes: &[u8]) -> Result<TreeSnapshot, DecodeFailure> {
     let text = std::str::from_utf8(payload).map_err(|_| corrupt("payload is not UTF-8"))?;
     serde_json::from_str(text)
         .map_err(|e| DecodeFailure::Corrupt(format!("payload does not parse: {e}")))
+}
+
+/// Seals `payload` in the same `magic ‖ version ‖ length ‖ CRC-32 ‖
+/// payload` envelope layout the snapshot format uses, under a caller
+/// chosen magic and version. The checksum covers version, length, and
+/// payload, so header corruption is detected like payload corruption.
+///
+/// [`open_frame`] is the inverse. The serving layer's checkpoint
+/// metadata and journal headers use this so every durable artifact in
+/// the workspace fails loudly — never by restoring garbage.
+#[must_use]
+pub fn seal_frame(magic: [u8; 4], version: u32, payload: &[u8]) -> Vec<u8> {
+    let version_bytes = version.to_le_bytes();
+    let len = (payload.len() as u64).to_le_bytes();
+    let crc = crc32(&[&version_bytes, &len, payload]).to_le_bytes();
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&magic);
+    out.extend_from_slice(&version_bytes);
+    out.extend_from_slice(&len);
+    out.extend_from_slice(&crc);
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Opens a [`seal_frame`] envelope, validating magic, version, length,
+/// and checksum before handing back the payload slice. Never panics,
+/// whatever the bytes.
+///
+/// # Errors
+///
+/// [`MlqError::SnapshotCorrupt`] on any validation failure, including a
+/// version other than `version`.
+pub fn open_frame(magic: [u8; 4], version: u32, bytes: &[u8]) -> Result<&[u8], MlqError> {
+    let corrupt = |reason: String| MlqError::SnapshotCorrupt { reason };
+    if bytes.len() < HEADER_LEN {
+        return Err(corrupt(format!(
+            "truncated frame: {} bytes, header needs {HEADER_LEN}",
+            bytes.len()
+        )));
+    }
+    if bytes[0..4] != magic {
+        return Err(corrupt("bad frame magic".to_string()));
+    }
+    let version_bytes: [u8; 4] = bytes[4..8].try_into().expect("slice length checked");
+    let len_bytes: [u8; 8] = bytes[8..16].try_into().expect("slice length checked");
+    let stored_crc = u32::from_le_bytes(bytes[16..20].try_into().expect("slice length checked"));
+    let payload = &bytes[HEADER_LEN..];
+    let claimed = u64::from_le_bytes(len_bytes);
+    if claimed != payload.len() as u64 {
+        return Err(corrupt(format!(
+            "frame length mismatch: header claims {claimed}, found {}",
+            payload.len()
+        )));
+    }
+    let actual_crc = crc32(&[&version_bytes, &len_bytes, payload]);
+    if actual_crc != stored_crc {
+        return Err(corrupt(format!(
+            "frame checksum mismatch: stored {stored_crc:#010x}, computed {actual_crc:#010x}"
+        )));
+    }
+    let found = u32::from_le_bytes(version_bytes);
+    if found != version {
+        return Err(corrupt(format!("unsupported frame version {found} (expected {version})")));
+    }
+    Ok(payload)
 }
 
 impl MemoryLimitedQuadtree {
@@ -628,6 +702,26 @@ mod tests {
             }
             other => panic!("expected fallback, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn generic_frames_roundtrip_and_reject_corruption() {
+        let payload = b"some durable payload".to_vec();
+        let sealed = seal_frame(*b"MLQX", 7, &payload);
+        assert_eq!(open_frame(*b"MLQX", 7, &sealed).unwrap(), payload.as_slice());
+        // Wrong magic, wrong version, flipped bits, truncation: all loud.
+        assert!(open_frame(*b"XXXX", 7, &sealed).is_err());
+        assert!(open_frame(*b"MLQX", 8, &sealed).is_err());
+        for idx in [0, 5, 12, 17, sealed.len() - 1] {
+            let mut mutated = sealed.clone();
+            mutated[idx] ^= 1;
+            assert!(open_frame(*b"MLQX", 7, &mutated).is_err(), "flip at {idx} opened");
+        }
+        assert!(open_frame(*b"MLQX", 7, &sealed[..sealed.len() - 1]).is_err());
+        assert!(open_frame(*b"MLQX", 7, &[]).is_err());
+        // An empty payload is a valid frame.
+        let empty = seal_frame(*b"MLQX", 1, &[]);
+        assert_eq!(open_frame(*b"MLQX", 1, &empty).unwrap(), &[] as &[u8]);
     }
 
     #[test]

@@ -213,6 +213,15 @@ impl RegistrySnapshot {
         }
     }
 
+    /// A labeled counter's total, composing the series name from `name`
+    /// and `labels` exactly like [`labeled`]; `None` if absent or not a
+    /// counter. Saves callers from hand-formatting
+    /// `name{k="v"}` strings when asserting on labeled series.
+    #[must_use]
+    pub fn counter_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.counter(&labeled(name, labels))
+    }
+
     /// A gauge's value; `None` if absent or not a gauge.
     #[must_use]
     pub fn gauge(&self, name: &str) -> Option<f64> {

@@ -21,16 +21,25 @@
 use crate::queue::{
     BackpressurePolicy, Feedback, FeedbackQueue, PushOutcome, QueueCounters, QueueMetrics,
 };
-use crate::snapshot::{ComponentSnapshot, ShardCounters, ShardSnapshot};
-use mlq_core::{
-    CostModel, GuardConfig, GuardedModel, InsertionStrategy, MemoryLimitedQuadtree, MlqConfig,
-    MlqError, Space,
+use crate::recovery::{
+    prune_generations, recover_dir, wal_path, write_checkpoint, RecoveryReport, RestoreKind,
+    ShardRecovery,
 };
-use mlq_obs::{labeled, Counter, Histogram, Registry, RegistrySnapshot, TraceRing};
+use crate::snapshot::{ComponentSnapshot, ShardCounters, ShardSnapshot};
+use crate::wal::{
+    shard_stem, DurabilityConfig, DurabilityIo, DurabilityShared, DurabilityStatus, WalError,
+    WalRecord, WalWriter,
+};
+use mlq_core::{
+    CostModel, GuardConfig, GuardState, GuardedModel, InsertionStrategy, MemoryLimitedQuadtree,
+    MlqConfig, MlqError, Space,
+};
+use mlq_obs::{labeled, Counter, Gauge, Histogram, Registry, RegistrySnapshot, TraceRing};
 use mlq_optimizer::UdfCatalog;
 use mlq_udfs::ExecutionCost;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::{self, JoinHandle};
@@ -254,6 +263,187 @@ impl MaintainerObs {
     }
 }
 
+/// One shard's durable-side state, index-aligned with
+/// [`MaintainerCore::shards`].
+struct ShardDurability {
+    wal: WalWriter,
+    /// Newest published checkpoint generation.
+    generation: u64,
+    appended: Counter,
+    synced_gauge: Gauge,
+    checkpoints: Counter,
+}
+
+/// The maintainer's durability engine: journals every drained batch
+/// before it is applied, group-commits once per touched shard per batch,
+/// checkpoints on a batch cadence, and trips a circuit breaker into
+/// in-memory-only serving when persistence keeps failing.
+struct DurabilityCore {
+    dir: PathBuf,
+    checkpoint_every: u64,
+    degrade_after: u32,
+    io: DurabilityIo,
+    shards: Vec<ShardDurability>,
+    shared: Arc<DurabilityShared>,
+    commits: Counter,
+    commit_retries: Counter,
+    checkpoint_failures: Counter,
+    degraded_gauge: Gauge,
+    /// Consecutive failed durable operations (commits, checkpoints,
+    /// truncations), each already retried per the [`RetryPolicy`]
+    /// (crate::wal::RetryPolicy). Reset by any success.
+    failure_streak: u32,
+    batches_since_checkpoint: u64,
+}
+
+impl DurabilityCore {
+    /// Whether durable I/O should still be attempted.
+    fn active(&self) -> bool {
+        !self.io.crashed() && self.shared.status() == DurabilityStatus::Active
+    }
+
+    fn degrade(&mut self) {
+        self.shared.set_status(DurabilityStatus::Degraded);
+        self.degraded_gauge.set(1.0);
+    }
+
+    fn crash(&mut self) {
+        self.shared.set_status(DurabilityStatus::Crashed);
+    }
+
+    fn note_failure(&mut self, err: MlqError) {
+        self.shared.set_error(err.to_string());
+        self.failure_streak += 1;
+        if self.failure_streak >= self.degrade_after {
+            self.degrade();
+        }
+    }
+
+    /// Journals one drained batch and group-commits every shard with
+    /// pending frames — one write and one fsync per touched shard, no
+    /// matter how many observations the batch held. Runs *before* the
+    /// records are applied to the models.
+    fn journal(&mut self, batch: &[Feedback]) {
+        if !self.active() {
+            return;
+        }
+        for fb in batch {
+            if let Some(sd) = self.shards.get_mut(fb.shard) {
+                sd.wal.append(&fb.point, fb.cost);
+                sd.appended.inc();
+            }
+        }
+        for idx in 0..self.shards.len() {
+            if !self.active() {
+                return;
+            }
+            if self.shards[idx].wal.has_pending() {
+                self.commit_shard(idx);
+            }
+        }
+    }
+
+    fn commit_shard(&mut self, idx: usize) {
+        let outcome = self.shards[idx].wal.commit(&mut self.io);
+        self.commit_retries.add(self.io.take_retries());
+        match outcome {
+            Ok(()) => {
+                self.commits.inc();
+                self.failure_streak = 0;
+                let seq = self.shards[idx].wal.synced_seq();
+                self.shared.set_synced(idx, seq);
+                self.shards[idx].synced_gauge.set(seq as f64);
+            }
+            Err(WalError::Crashed) => self.crash(),
+            Err(WalError::Io(err)) => self.note_failure(err),
+        }
+    }
+
+    /// Batch-cadence bookkeeping; checkpoints every shard once
+    /// `checkpoint_every` batches have been applied (`0` disables the
+    /// periodic cadence — startup and shutdown still checkpoint).
+    fn after_batch(&mut self, shards: &[ShardModels]) {
+        if self.checkpoint_every == 0 || !self.active() {
+            return;
+        }
+        self.batches_since_checkpoint += 1;
+        if self.batches_since_checkpoint < self.checkpoint_every {
+            return;
+        }
+        self.batches_since_checkpoint = 0;
+        self.checkpoint_all(shards);
+    }
+
+    fn checkpoint_all(&mut self, shards: &[ShardModels]) {
+        for (idx, shard) in shards.iter().enumerate().take(self.shards.len()) {
+            if !self.active() {
+                return;
+            }
+            self.checkpoint_shard(idx, shard);
+        }
+    }
+
+    /// Establishes the recovery baseline at build time: a fresh
+    /// checkpoint per shard followed by journal truncation. The on-disk
+    /// journal stays untouched until the checkpoint covering it has
+    /// published, so a crash mid-startup still recovers from the old
+    /// state. A shard that cannot establish its baseline makes journaling
+    /// unsafe, so any startup failure degrades the layer immediately
+    /// rather than waiting for the runtime streak.
+    fn startup(&mut self, shards: &[ShardModels]) {
+        self.checkpoint_all(shards);
+        if self.failure_streak > 0 && self.shared.status() == DurabilityStatus::Active {
+            self.degrade();
+        }
+    }
+
+    fn checkpoint_shard(&mut self, idx: usize, shard: &ShardModels) {
+        // Anything still buffered must become durable first: a checkpoint
+        // must never claim a sequence number the journal could not.
+        if self.shards[idx].wal.has_pending() {
+            self.commit_shard(idx);
+        }
+        if !self.active() {
+            return;
+        }
+        let wal = &self.shards[idx].wal;
+        if wal.synced_seq() != wal.appended_seq() {
+            return;
+        }
+        let seq = wal.synced_seq();
+        let generation = self.shards[idx].generation + 1;
+        let outcome = write_checkpoint(
+            &mut self.io,
+            &self.dir,
+            &shard.name,
+            generation,
+            seq,
+            shard.cpu.inner(),
+            shard.io.inner(),
+            &shard.cpu.export_state(),
+            &shard.io.export_state(),
+        );
+        self.commit_retries.add(self.io.take_retries());
+        match outcome {
+            Ok(()) => {
+                self.shards[idx].generation = generation;
+                self.shards[idx].checkpoints.inc();
+                self.failure_streak = 0;
+                match self.shards[idx].wal.truncate(&mut self.io) {
+                    Ok(()) => prune_generations(&self.dir, &shard.name, generation),
+                    Err(WalError::Crashed) => self.crash(),
+                    Err(WalError::Io(err)) => self.note_failure(err),
+                }
+            }
+            Err(WalError::Crashed) => self.crash(),
+            Err(WalError::Io(err)) => {
+                self.checkpoint_failures.inc();
+                self.note_failure(err);
+            }
+        }
+    }
+}
+
 /// Everything one drain → apply → republish step needs. Owned by the
 /// background thread under [`MaintainerMode::Background`], or parked
 /// inside the estimator and driven by [`ConcurrentEstimator::step`] under
@@ -267,6 +457,7 @@ struct MaintainerCore {
     processed: Arc<AtomicU64>,
     obs: MaintainerObs,
     trace: Option<Arc<TraceRing>>,
+    durability: Option<DurabilityCore>,
 }
 
 impl MaintainerCore {
@@ -285,6 +476,12 @@ impl MaintainerCore {
         let start = Instant::now();
         let n = batch.len();
         self.obs.batch_size.record(n as u64);
+        // Write-ahead: the batch is journaled and group-committed before
+        // any of it reaches a model. A crash from here on loses only
+        // what the journal never acknowledged.
+        if let Some(dur) = self.durability.as_mut() {
+            dur.journal(&batch);
+        }
         for fb in batch {
             if let Some(shard) = self.shards.get_mut(fb.shard) {
                 shard.apply(&fb.point, fb.cost);
@@ -296,6 +493,9 @@ impl MaintainerCore {
                 self.publish(idx, published);
                 self.touched[idx] = false;
             }
+        }
+        if let Some(dur) = self.durability.as_mut() {
+            dur.after_batch(&self.shards);
         }
         self.obs.batch_nanos.record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
         // Republish-then-count: once `processed` covers an observation,
@@ -315,10 +515,46 @@ impl MaintainerCore {
         self.last_publish[idx] = Instant::now();
     }
 
-    /// Final publication so shutdown reports the very last counters.
+    /// Final publication so shutdown reports the very last counters,
+    /// plus the shutdown checkpoint so a clean restart replays nothing.
     fn final_publish(&mut self, published: &[RwLock<Arc<ShardSnapshot>>]) {
         for idx in 0..self.shards.len() {
             self.publish(idx, published);
+        }
+        if let Some(dur) = self.durability.as_mut() {
+            dur.checkpoint_all(&self.shards);
+        }
+    }
+}
+
+/// A shard about to be built: registered fresh, or reconstructed from
+/// the durability directory.
+struct PendingShard {
+    name: String,
+    cpu: MemoryLimitedQuadtree,
+    io: MemoryLimitedQuadtree,
+    guards: Option<(GuardState, GuardState)>,
+    replay: Vec<WalRecord>,
+    checkpoint_seq: u64,
+    recovered_seq: u64,
+    generation: u64,
+    kind: RestoreKind,
+    detail: String,
+}
+
+impl PendingShard {
+    fn fresh(name: String, cpu: MemoryLimitedQuadtree, io: MemoryLimitedQuadtree) -> Self {
+        PendingShard {
+            name,
+            cpu,
+            io,
+            guards: None,
+            replay: Vec::new(),
+            checkpoint_seq: 0,
+            recovered_seq: 0,
+            generation: 0,
+            kind: RestoreKind::Fresh,
+            detail: String::new(),
         }
     }
 }
@@ -329,13 +565,37 @@ pub struct ConcurrentEstimatorBuilder {
     models: Vec<(String, MemoryLimitedQuadtree, MemoryLimitedQuadtree)>,
     registry: Option<Arc<Registry>>,
     trace: Option<Arc<TraceRing>>,
+    durability: Option<DurabilityConfig>,
 }
 
 impl ConcurrentEstimatorBuilder {
     /// Starts a builder with `config`.
     #[must_use]
     pub fn new(config: ServeConfig) -> Self {
-        ConcurrentEstimatorBuilder { config, models: Vec::new(), registry: None, trace: None }
+        ConcurrentEstimatorBuilder {
+            config,
+            models: Vec::new(),
+            registry: None,
+            trace: None,
+            durability: None,
+        }
+    }
+
+    /// Enables crash-safe serving under `dir` with default
+    /// [`DurabilityConfig`] settings: [`build`](Self::build) recovers
+    /// whatever the directory holds, and the maintainer journals feedback
+    /// and checkpoints from then on.
+    #[must_use]
+    pub fn with_durability(self, dir: impl Into<PathBuf>) -> Self {
+        self.with_durability_config(DurabilityConfig::new(dir))
+    }
+
+    /// Enables crash-safe serving with explicit durability settings
+    /// (checkpoint cadence, retry policy, fault injection, crash hooks).
+    #[must_use]
+    pub fn with_durability_config(mut self, config: DurabilityConfig) -> Self {
+        self.durability = Some(config);
+        self
     }
 
     /// Records metrics into `registry` instead of a private one — lets an
@@ -404,30 +664,159 @@ impl ConcurrentEstimatorBuilder {
     /// [`MlqError::InvalidConfig`] when nothing is registered or the
     /// configuration is nonsensical.
     pub fn build(self) -> Result<ConcurrentEstimator, MlqError> {
-        let ConcurrentEstimatorBuilder { config, mut models, registry, trace } = self;
+        let ConcurrentEstimatorBuilder { config, models, registry, trace, durability } = self;
         config.validate()?;
-        if models.is_empty() {
+        if let Some(dconfig) = &durability {
+            dconfig.validate()?;
+        }
+        let registry = registry.unwrap_or_else(|| Arc::new(Registry::new()));
+
+        let mut pending: Vec<PendingShard> =
+            models.into_iter().map(|(name, cpu, io)| PendingShard::fresh(name, cpu, io)).collect();
+        let mut report = RecoveryReport::default();
+
+        // Recovery: disk state replaces (or adds to) same-name registered
+        // shards; the checkpointed trees carry their own configuration.
+        let mut dur_io = None;
+        if let Some(dconfig) = &durability {
+            std::fs::create_dir_all(&dconfig.dir).map_err(|e| MlqError::IoFault {
+                reason: format!("durability dir create {}: {e}", dconfig.dir.display()),
+            })?;
+            dur_io = Some(DurabilityIo::new(dconfig)?);
+            let recovered = recover_dir(&dconfig.dir)?;
+            for shard in recovered.shards {
+                let replayed = shard.records.len() as u64;
+                let p = PendingShard {
+                    name: shard.name,
+                    cpu: shard.cpu,
+                    io: shard.io,
+                    guards: Some((shard.cpu_guard, shard.io_guard)),
+                    replay: shard.records,
+                    checkpoint_seq: shard.checkpoint_seq,
+                    recovered_seq: shard.checkpoint_seq + replayed,
+                    generation: shard.generation,
+                    kind: shard.kind,
+                    detail: shard.detail,
+                };
+                match pending.iter_mut().find(|e| e.name == p.name) {
+                    Some(existing) => *existing = p,
+                    None => pending.push(p),
+                }
+            }
+            for (stem, reason) in recovered.unreadable {
+                match pending.iter_mut().find(|e| shard_stem(&e.name) == stem) {
+                    Some(existing) => {
+                        existing.kind = RestoreKind::CorruptRecovered;
+                        existing.detail = format!(
+                            "every generation failed verification ({reason}); serving fresh"
+                        );
+                    }
+                    None => report.shards.push(ShardRecovery {
+                        name: stem,
+                        kind: RestoreKind::CorruptRecovered,
+                        checkpoint_seq: 0,
+                        replayed: 0,
+                        recovered_seq: 0,
+                        detail: format!("unreadable and not registered; not serving ({reason})"),
+                    }),
+                }
+            }
+        }
+
+        if pending.is_empty() {
             return Err(MlqError::InvalidConfig {
                 reason: "a concurrent estimator needs at least one registered UDF".into(),
             });
         }
-        let registry = registry.unwrap_or_else(|| Arc::new(Registry::new()));
         // Shards are ordered by name, like the catalog.
-        models.sort_by(|a, b| a.0.cmp(&b.0));
+        pending.sort_by(|a, b| a.name.cmp(&b.name));
 
-        let mut shards = Vec::with_capacity(models.len());
+        let mut shards = Vec::with_capacity(pending.len());
         let mut names = BTreeMap::new();
-        let mut reads = Vec::with_capacity(models.len());
-        for (idx, (name, cpu, io)) in models.into_iter().enumerate() {
-            names.insert(name.clone(), idx);
-            reads.push(registry.counter(&labeled("mlq_serve_reads", &[("udf", &name)])));
-            shards.push(ShardModels::new(
-                name,
-                GuardedModel::for_quadtree(cpu, config.guard)?,
-                GuardedModel::for_quadtree(io, config.guard)?,
-                &registry,
-            ));
+        let mut reads = Vec::with_capacity(pending.len());
+        let mut dur_shards = Vec::new();
+        for (idx, p) in pending.into_iter().enumerate() {
+            names.insert(p.name.clone(), idx);
+            reads.push(registry.counter(&labeled("mlq_serve_reads", &[("udf", &p.name)])));
+            let mut cpu = GuardedModel::for_quadtree(p.cpu, config.guard)?;
+            let mut io = GuardedModel::for_quadtree(p.io, config.guard)?;
+            if let Some((cpu_state, io_state)) = p.guards {
+                cpu.import_state(cpu_state);
+                io.import_state(io_state);
+            }
+            let mut shard = ShardModels::new(p.name.clone(), cpu, io, &registry);
+            // Replay runs through the normal guarded-apply path with the
+            // imported guard states, so every quarantine and breaker
+            // decision repeats exactly as it happened live.
+            for rec in &p.replay {
+                shard.apply(&rec.point, rec.cost);
+            }
+            if let Some(dconfig) = &durability {
+                registry
+                    .counter(&labeled(
+                        "mlq_serve_restore_outcome",
+                        &[("udf", &p.name), ("outcome", p.kind.label())],
+                    ))
+                    .inc();
+                report.shards.push(ShardRecovery {
+                    name: p.name.clone(),
+                    kind: p.kind,
+                    checkpoint_seq: p.checkpoint_seq,
+                    replayed: p.replay.len() as u64,
+                    recovered_seq: p.recovered_seq,
+                    detail: if p.detail.is_empty() {
+                        "no durable state found".to_string()
+                    } else {
+                        p.detail
+                    },
+                });
+                let wal_labels = [("udf", p.name.as_str())];
+                dur_shards.push(ShardDurability {
+                    wal: WalWriter::open_preserving(
+                        wal_path(&dconfig.dir, &p.name),
+                        p.recovered_seq,
+                    )?,
+                    generation: p.generation,
+                    appended: registry
+                        .counter(&labeled("mlq_serve_wal_appended_records", &wal_labels)),
+                    synced_gauge: registry.gauge(&labeled("mlq_serve_wal_synced_seq", &wal_labels)),
+                    checkpoints: registry.counter(&labeled("mlq_serve_checkpoints", &wal_labels)),
+                });
+            }
+            shards.push(shard);
         }
+        report.shards.sort_by(|a, b| a.name.cmp(&b.name));
+
+        let mut shared = None;
+        let durability_core = match (durability, dur_io) {
+            (Some(dconfig), Some(io)) => {
+                let core_shared = Arc::new(DurabilityShared::new(shards.len()));
+                shared = Some(Arc::clone(&core_shared));
+                let degraded_gauge = registry.gauge("mlq_serve_durability_degraded");
+                degraded_gauge.set(0.0);
+                let mut core = DurabilityCore {
+                    dir: dconfig.dir,
+                    checkpoint_every: dconfig.checkpoint_every,
+                    degrade_after: dconfig.degrade_after,
+                    io,
+                    shards: dur_shards,
+                    shared: core_shared,
+                    commits: registry.counter("mlq_serve_wal_commits"),
+                    commit_retries: registry.counter("mlq_serve_wal_commit_retries"),
+                    checkpoint_failures: registry.counter("mlq_serve_checkpoint_failures"),
+                    degraded_gauge,
+                    failure_streak: 0,
+                    batches_since_checkpoint: 0,
+                };
+                for (idx, sd) in core.shards.iter().enumerate() {
+                    core.shared.set_synced(idx, sd.wal.synced_seq());
+                    sd.synced_gauge.set(sd.wal.synced_seq() as f64);
+                }
+                core.startup(&shards);
+                Some(core)
+            }
+            _ => None,
+        };
 
         let published: Arc<Vec<RwLock<Arc<ShardSnapshot>>>> = Arc::new(
             shards
@@ -449,6 +838,7 @@ impl ConcurrentEstimatorBuilder {
             processed: Arc::clone(&processed),
             obs: MaintainerObs::new(&registry),
             trace,
+            durability: durability_core,
         };
         // The initial publications above bypass `core.publish`, so
         // `mlq_serve_publishes` counts only feedback-driven republications.
@@ -475,7 +865,7 @@ impl ConcurrentEstimatorBuilder {
                     })?;
                 MaintainerState::Background(handle)
             }
-            MaintainerMode::Manual => MaintainerState::Manual(core),
+            MaintainerMode::Manual => MaintainerState::Manual(Box::new(core)),
         };
 
         Ok(ConcurrentEstimator {
@@ -487,6 +877,8 @@ impl ConcurrentEstimatorBuilder {
             backpressure: config.backpressure,
             registry,
             maintainer: Mutex::new(Some(state)),
+            durability: shared,
+            recovery: report,
         })
     }
 }
@@ -494,7 +886,7 @@ impl ConcurrentEstimatorBuilder {
 /// Where maintenance runs for a live service.
 enum MaintainerState {
     Background(JoinHandle<()>),
-    Manual(MaintainerCore),
+    Manual(Box<MaintainerCore>),
 }
 
 /// A sharded, concurrently readable estimator service over every
@@ -512,6 +904,10 @@ pub struct ConcurrentEstimator {
     backpressure: BackpressurePolicy,
     registry: Arc<Registry>,
     maintainer: Mutex<Option<MaintainerState>>,
+    /// Shared durability state (`None` when built without durability).
+    durability: Option<Arc<DurabilityShared>>,
+    /// What startup recovery did, per shard (empty without durability).
+    recovery: RecoveryReport,
 }
 
 /// Final accounting returned by [`ConcurrentEstimator::shutdown`].
@@ -546,6 +942,54 @@ impl ConcurrentEstimator {
             builder = builder.register_models(&name, cpu, io)?;
         }
         builder.build()
+    }
+
+    /// Builds a service by recovering everything a durability directory
+    /// holds: per shard, the newest valid checkpoint plus the journal
+    /// tail replayed on top. Shorthand for
+    /// `builder(config).with_durability(dir).build()`; use the builder
+    /// form to also register shards the directory does not know yet.
+    ///
+    /// # Errors
+    ///
+    /// [`MlqError::InvalidConfig`] when the directory yields no shard
+    /// (nothing was ever checkpointed there); propagates I/O errors
+    /// listing the directory. Corrupt content is not an error — it
+    /// surfaces in the [`recovery_report`](Self::recovery_report).
+    pub fn recover(dir: impl Into<PathBuf>, config: ServeConfig) -> Result<Self, MlqError> {
+        Self::builder(config).with_durability(dir).build()
+    }
+
+    /// Health of the durability layer: [`DurabilityStatus::Disabled`]
+    /// when the service was built without one.
+    #[must_use]
+    pub fn durability_status(&self) -> DurabilityStatus {
+        self.durability.as_ref().map_or(DurabilityStatus::Disabled, |s| s.status())
+    }
+
+    /// The most recent persistence failure, if any — what tripped (or is
+    /// about to trip) the durability circuit breaker.
+    #[must_use]
+    pub fn durability_error(&self) -> Option<String> {
+        self.durability.as_ref().and_then(|s| s.error())
+    }
+
+    /// Highest sequence number of `name`'s feedback known durable: every
+    /// observation up to it survives a crash. Always `0` without
+    /// durability.
+    ///
+    /// # Errors
+    ///
+    /// [`MlqError::InvalidConfig`] for unknown names.
+    pub fn durable_seq(&self, name: &str) -> Result<u64, MlqError> {
+        let idx = self.shard_index(name)?;
+        Ok(self.durability.as_ref().map_or(0, |s| s.synced(idx)))
+    }
+
+    /// What startup recovery did, per shard. Empty without durability.
+    #[must_use]
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.recovery
     }
 
     /// Registered UDF names, sorted.

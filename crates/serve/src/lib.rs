@@ -50,11 +50,15 @@
 mod estimator;
 mod handle;
 mod queue;
+mod recovery;
 mod snapshot;
+mod wal;
 
 pub use estimator::{
     ConcurrentEstimator, ConcurrentEstimatorBuilder, MaintainerMode, ServeConfig, ServeReport,
 };
 pub use handle::EstimatorHandle;
 pub use queue::{BackpressurePolicy, PushOutcome, QueueCounters};
+pub use recovery::{RecoveryReport, RestoreKind, ShardRecovery};
 pub use snapshot::{ComponentSnapshot, ShardCounters, ShardSnapshot};
+pub use wal::{CrashOp, CrashPoint, DurabilityConfig, DurabilityStatus, RetryPolicy, CRASH_OPS};

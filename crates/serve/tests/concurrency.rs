@@ -263,3 +263,69 @@ fn handles_route_through_the_shared_service() {
     assert_eq!(svc.predict("B", &[5.0, 5.0]).unwrap(), None);
     svc.shutdown();
 }
+
+/// DropOldest flood accounting: however hard a seeded multi-writer flood
+/// races the maintainer, every admitted observation is either applied or
+/// counted as an eviction — once the queue quiesces,
+/// `enqueued == processed + dropped_oldest` holds exactly. (Quiescing
+/// goes through `shutdown`, not `flush`: under DropOldest the flush
+/// target includes observations that were later evicted.)
+#[test]
+fn drop_oldest_flood_accounting_balances_exactly() {
+    const WRITERS: usize = 4;
+    const PER_WRITER: usize = 3_000;
+
+    let svc = service(
+        ServeConfig {
+            queue_capacity: 32,
+            batch_max: 16,
+            backpressure: BackpressurePolicy::DropOldest,
+            ..ServeConfig::default()
+        },
+        &["FLOOD"],
+    );
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let svc = Arc::clone(&svc);
+            thread::spawn(move || {
+                let mut evictions = 0u64;
+                for i in 0..PER_WRITER {
+                    let x = ((w * PER_WRITER + i) % 100) as f64;
+                    let outcome = svc
+                        .observe(
+                            "FLOOD",
+                            &[x, 50.0],
+                            ExecutionCost { cpu: 2.0, io: 1.0, results: 1 },
+                        )
+                        .unwrap();
+                    match outcome {
+                        PushOutcome::Enqueued => {}
+                        PushOutcome::DroppedOldest => evictions += 1,
+                        PushOutcome::SampledOut => panic!("SampledOut under DropOldest"),
+                    }
+                }
+                evictions
+            })
+        })
+        .collect();
+    let observed_evictions: u64 = writers.into_iter().map(|t| t.join().unwrap()).sum();
+
+    let report = svc.shutdown().expect("first shutdown yields a report");
+    let queue = report.queue;
+    let processed = report.metrics.counter("mlq_serve_processed").unwrap_or(0);
+
+    // Every push was admitted (DropOldest never refuses the new item).
+    assert_eq!(queue.enqueued, (WRITERS * PER_WRITER) as u64);
+    // Producers saw exactly the evictions the queue counted.
+    assert_eq!(queue.dropped_oldest, observed_evictions);
+    // The flood invariant: nothing admitted is unaccounted for.
+    assert_eq!(
+        queue.enqueued,
+        processed + queue.dropped_oldest,
+        "admitted observations must split exactly into applied and evicted"
+    );
+    // And everything processed reached the shard.
+    let (_, counters) = &report.shards[0];
+    assert_eq!(counters.applied + counters.apply_errors, processed);
+    assert!(queue.max_depth <= 32);
+}

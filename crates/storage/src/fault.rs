@@ -39,6 +39,12 @@ pub struct FaultConfig {
     pub torn_write_rate: f64,
     /// Probability a successful read returns a copy with one flipped bit.
     pub bit_flip_rate: f64,
+    /// Probability an fsync fails (data written but durability unknown; a
+    /// retry may succeed). Consulted by [`FaultInjector::on_sync`].
+    pub sync_error_rate: f64,
+    /// Probability an atomic rename fails, leaving both names as they
+    /// were. Consulted by [`FaultInjector::on_rename`].
+    pub rename_error_rate: f64,
 }
 
 impl FaultConfig {
@@ -51,6 +57,8 @@ impl FaultConfig {
             write_error_rate: 0.0,
             torn_write_rate: 0.0,
             bit_flip_rate: 0.0,
+            sync_error_rate: 0.0,
+            rename_error_rate: 0.0,
         }
     }
 
@@ -63,6 +71,8 @@ impl FaultConfig {
             write_error_rate: rate,
             torn_write_rate: rate,
             bit_flip_rate: rate,
+            sync_error_rate: rate,
+            rename_error_rate: rate,
         }
     }
 
@@ -73,8 +83,14 @@ impl FaultConfig {
     /// [`StorageError::InvalidConfig`] when any rate is outside `[0, 1]`
     /// or not finite.
     pub fn validate(&self) -> Result<(), StorageError> {
-        let rates =
-            [self.read_error_rate, self.write_error_rate, self.torn_write_rate, self.bit_flip_rate];
+        let rates = [
+            self.read_error_rate,
+            self.write_error_rate,
+            self.torn_write_rate,
+            self.bit_flip_rate,
+            self.sync_error_rate,
+            self.rename_error_rate,
+        ];
         if rates.iter().any(|r| !r.is_finite() || !(0.0..=1.0).contains(r)) {
             return Err(StorageError::InvalidConfig {
                 reason: "fault rates must be probabilities in [0, 1]",
@@ -99,6 +115,14 @@ pub struct FaultStats {
     pub torn_writes: u64,
     /// Reads that returned a bit-flipped copy.
     pub bit_flips: u64,
+    /// Fsyncs the injector screened.
+    pub syncs_seen: u64,
+    /// Fsyncs failed with an injected error.
+    pub sync_errors: u64,
+    /// Renames the injector screened.
+    pub renames_seen: u64,
+    /// Renames failed with an injected error.
+    pub rename_errors: u64,
 }
 
 /// What the injector decided for one read.
@@ -131,6 +155,16 @@ pub enum WriteFault {
         /// New-image bytes that reached the platter.
         keep: usize,
     },
+}
+
+/// What the injector decided for one metadata operation (fsync, rename).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetaFault {
+    /// Operation proceeds untouched.
+    None,
+    /// Operation fails with [`StorageError::IoFault`]; on-disk state is
+    /// unchanged and a retry may succeed.
+    Error,
 }
 
 /// Seed-driven fault source for [`DiskSim`](crate::DiskSim).
@@ -220,6 +254,29 @@ impl FaultInjector {
         }
         WriteFault::None
     }
+
+    /// Decides the fate of one fsync. An injected failure is transient:
+    /// the written bytes are intact but not known durable, so the caller
+    /// may retry the sync.
+    pub fn on_sync(&mut self) -> MetaFault {
+        self.stats.syncs_seen += 1;
+        if self.next_f64() < self.config.sync_error_rate {
+            self.stats.sync_errors += 1;
+            return MetaFault::Error;
+        }
+        MetaFault::None
+    }
+
+    /// Decides the fate of one atomic rename. An injected failure leaves
+    /// both names exactly as they were, so the caller may retry.
+    pub fn on_rename(&mut self) -> MetaFault {
+        self.stats.renames_seen += 1;
+        if self.next_f64() < self.config.rename_error_rate {
+            self.stats.rename_errors += 1;
+            return MetaFault::Error;
+        }
+        MetaFault::None
+    }
 }
 
 #[cfg(test)]
@@ -242,11 +299,23 @@ mod tests {
         for _ in 0..1000 {
             assert_eq!(inj.on_read(), ReadFault::None);
             assert_eq!(inj.on_write(4096), WriteFault::None);
+            assert_eq!(inj.on_sync(), MetaFault::None);
+            assert_eq!(inj.on_rename(), MetaFault::None);
         }
         let s = inj.stats();
         assert_eq!(s.reads_seen, 1000);
         assert_eq!(s.writes_seen, 1000);
-        assert_eq!(s.read_errors + s.bit_flips + s.write_errors + s.torn_writes, 0);
+        assert_eq!(s.syncs_seen, 1000);
+        assert_eq!(s.renames_seen, 1000);
+        assert_eq!(
+            s.read_errors
+                + s.bit_flips
+                + s.write_errors
+                + s.torn_writes
+                + s.sync_errors
+                + s.rename_errors,
+            0
+        );
     }
 
     #[test]
@@ -275,8 +344,7 @@ mod tests {
             seed: 7,
             read_error_rate: 0.1,
             bit_flip_rate: 0.1,
-            write_error_rate: 0.0,
-            torn_write_rate: 0.0,
+            ..FaultConfig::none()
         };
         let mut inj = FaultInjector::new(config).unwrap();
         for _ in 0..10_000 {
@@ -299,5 +367,27 @@ mod tests {
             }
         }
         assert_eq!(inj.on_write(0), WriteFault::Torn { keep: 0 });
+    }
+
+    #[test]
+    fn sync_and_rename_rates_are_honored() {
+        let config = FaultConfig {
+            seed: 11,
+            sync_error_rate: 0.2,
+            rename_error_rate: 0.2,
+            ..FaultConfig::none()
+        };
+        let mut inj = FaultInjector::new(config).unwrap();
+        for _ in 0..10_000 {
+            inj.on_sync();
+            inj.on_rename();
+        }
+        let s = inj.stats();
+        assert!((1500..2500).contains(&s.sync_errors), "sync errors: {}", s.sync_errors);
+        assert!((1500..2500).contains(&s.rename_errors), "rename errors: {}", s.rename_errors);
+
+        let mut all = FaultInjector::new(FaultConfig::uniform(3, 1.0)).unwrap();
+        assert_eq!(all.on_sync(), MetaFault::Error);
+        assert_eq!(all.on_rename(), MetaFault::Error);
     }
 }

@@ -51,6 +51,6 @@ mod page;
 pub use buffer::{BufferPool, IoStats, RetryPolicy, RetryStats};
 pub use disk::DiskSim;
 pub use error::StorageError;
-pub use fault::{FaultConfig, FaultInjector, FaultStats};
+pub use fault::{FaultConfig, FaultInjector, FaultStats, MetaFault};
 pub use heap::{HeapFile, HeapFileBuilder, RecordId};
 pub use page::{PageId, SlottedPage, PAGE_SIZE};

@@ -20,21 +20,25 @@ TOLERANCE="${3:-0.2}"
 PREDICT_MEASURED="${4:-BENCH_predict.json}"
 PREDICT_BASELINE="${5:-BENCH_predict.baseline.json}"
 
-for f in "$MEASURED" "$BASELINE"; do
-    if [ ! -f "$f" ]; then
-        echo "bench_gate: missing report $f" >&2
+# Fail with a role-and-path message before any gate runs, so a missing
+# file reads as "missing baseline BENCH_serve.baseline.json" instead of
+# a raw jq/parse error from the gate binary.
+require() {
+    if [ ! -f "$2" ]; then
+        echo "bench_gate: missing $1 $2" >&2
         exit 1
     fi
-done
+}
+
+require "measured report" "$MEASURED"
+require "baseline" "$BASELINE"
 
 cargo run -q --release --offline -p mlq-bench -- \
     --gate "$MEASURED" "$BASELINE" --tolerance "$TOLERANCE"
 
 if [ -f "$PREDICT_MEASURED" ] || [ $# -ge 4 ]; then
-    if [ ! -f "$PREDICT_MEASURED" ] || [ ! -f "$PREDICT_BASELINE" ]; then
-        echo "bench_gate: missing predict report $PREDICT_MEASURED or $PREDICT_BASELINE" >&2
-        exit 1
-    fi
+    require "predict measured report" "$PREDICT_MEASURED"
+    require "predict baseline" "$PREDICT_BASELINE"
     # The predict gate keeps its own (looser) default tolerance unless the
     # caller named one explicitly; its millisecond passes are noisier than
     # the serve harness's duration-based runs.
