@@ -1,10 +1,11 @@
 //! `mlq-bench` — the serving-layer throughput harness and CI gate.
 //!
 //! ```text
-//! mlq-bench --throughput [--short] [--durable] [--readers 1,2,4] [--duration-ms N]
-//!           [--out PATH] [--metrics-out PATH]
+//! mlq-bench --throughput [--short] [--durable] [--readers 1,2,4] [--replicas N]
+//!           [--duration-ms N] [--out PATH] [--metrics-out PATH]
 //! mlq-bench --predict [--short] [--out PATH]
 //! mlq-bench --gate MEASURED.json BASELINE.json [--tolerance 0.2]
+//!           [--min-scaling X] [--scaling-readers N]
 //! mlq-bench --gate-predict MEASURED.json BASELINE.json [--tolerance 0.2]
 //! ```
 //!
@@ -33,10 +34,11 @@ use std::time::Duration;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
-         mlq-bench --throughput [--short] [--durable] [--readers 1,2,4] [--duration-ms N]\n  \
-         \u{20}                 [--out PATH] [--metrics-out PATH]\n  \
+         mlq-bench --throughput [--short] [--durable] [--readers 1,2,4] [--replicas N]\n  \
+         \u{20}                 [--duration-ms N] [--out PATH] [--metrics-out PATH]\n  \
          mlq-bench --predict [--short] [--out PATH]\n  \
          mlq-bench --gate MEASURED.json BASELINE.json [--tolerance 0.2]\n  \
+         \u{20}                 [--min-scaling X] [--scaling-readers N]\n  \
          mlq-bench --gate-predict MEASURED.json BASELINE.json [--tolerance 0.2]"
     );
     ExitCode::from(2)
@@ -164,8 +166,9 @@ fn run_throughput(args: &[String]) -> ExitCode {
     let mut short = false;
     let mut durable = false;
     let mut readers: Option<Vec<usize>> = None;
+    let mut replicas: Option<usize> = None;
     let mut duration: Option<Duration> = None;
-    let mut out = String::from("BENCH_serve.json");
+    let mut out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -192,10 +195,20 @@ fn run_throughput(args: &[String]) -> ExitCode {
                 };
                 duration = Some(Duration::from_millis(ms));
             }
+            "--replicas" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => replicas = Some(n),
+                    _ => {
+                        eprintln!("--replicas wants a positive count");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--out" => {
                 i += 1;
                 let Some(path) = args.get(i) else { return usage() };
-                out = path.clone();
+                out = Some(path.clone());
             }
             "--metrics-out" => {
                 i += 1;
@@ -211,23 +224,45 @@ fn run_throughput(args: &[String]) -> ExitCode {
     if let Some(r) = readers {
         config.readers = r;
     }
+    if let Some(n) = replicas {
+        config.replicas = n;
+    }
     if let Some(d) = duration {
         config.duration = d;
     }
+    // Replicated reports gate against their own baseline, so they get
+    // their own default file name.
+    let out = out.unwrap_or_else(|| {
+        if config.replicas > 1 {
+            String::from("BENCH_serve_replicated.json")
+        } else {
+            String::from("BENCH_serve.json")
+        }
+    });
 
-    eprintln!(
-        "measuring serving throughput: readers {:?}, {} ms/run{}{}",
-        config.readers,
-        config.duration.as_millis(),
-        if config.short { " (short mode)" } else { "" },
-        if config.durable { " (durable: temp-dir WAL + checkpoints)" } else { "" }
-    );
+    if config.replicas > 1 {
+        eprintln!(
+            "measuring replicated serving throughput: {} replicas vs 1-reader control, {} ms/run{}",
+            config.replicas,
+            config.duration.as_millis(),
+            if config.short { " (short mode)" } else { "" }
+        );
+    } else {
+        eprintln!(
+            "measuring serving throughput: readers {:?}, {} ms/run{}{}",
+            config.readers,
+            config.duration.as_millis(),
+            if config.short { " (short mode)" } else { "" },
+            if config.durable { " (durable: temp-dir WAL + checkpoints)" } else { "" }
+        );
+    }
     let (report, metrics) = measure_with_metrics(&config);
     for run in &report.runs {
         println!(
-            "{} reader(s): {:>12.0} predictions/s   p50 {:>6} ns   p99 {:>6} ns   \
+            "{} reader(s) x{} replica(s): {:>12.0} predictions/s   p50 {:>6} ns   p99 {:>6} ns   \
              feedback applied {}   max lag {}",
             run.readers,
+            run.replicas,
             run.predictions_per_sec,
             run.p50_predict_ns,
             run.p99_predict_ns,
@@ -235,8 +270,12 @@ fn run_throughput(args: &[String]) -> ExitCode {
             run.max_feedback_lag
         );
     }
-    if let Some(scaling) = report.scaling_to(4) {
-        println!("reader scaling 1→4: {scaling:.2}x on {} host CPU(s)", report.host_parallelism);
+    let scaling_at = if config.replicas > 1 { config.replicas } else { 4 };
+    if let Some(scaling) = report.scaling_to(scaling_at) {
+        println!(
+            "aggregate scaling 1→{scaling_at}: {scaling:.2}x on {} host CPU(s)",
+            report.host_parallelism
+        );
     }
     let json = match serde_json::to_string_pretty(&report) {
         Ok(json) => json,
@@ -280,6 +319,26 @@ fn run_gate(args: &[String]) -> ExitCode {
                     Some(t) if (0.0..1.0).contains(&t) => config.tolerance = t,
                     _ => {
                         eprintln!("--tolerance wants a fraction in [0, 1)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--min-scaling" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<f64>().ok()) {
+                    Some(x) if x >= 1.0 => config.min_scaling = x,
+                    _ => {
+                        eprintln!("--min-scaling wants a multiple >= 1.0");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--scaling-readers" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n > 1 => config.scaling_readers = n,
+                    _ => {
+                        eprintln!("--scaling-readers wants a count > 1");
                         return ExitCode::from(2);
                     }
                 }

@@ -13,10 +13,17 @@ use serde::{Deserialize, Serialize};
 pub const SCHEMA_VERSION: u32 = 1;
 
 /// One measured configuration (a reader-thread count).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct RunReport {
-    /// Reader threads predicting concurrently.
+    /// Reader threads predicting concurrently. In a replicated run this
+    /// is the total across the group (one reader per replica), so the
+    /// existing scaling machinery measures replica scaling unchanged.
     pub readers: usize,
+    /// Writer replicas serving the run. 1 for the classic single-service
+    /// harness (and for baselines written before this field existed —
+    /// the hand-written `Deserialize` below defaults it, keeping the
+    /// report schema at v1).
+    pub replicas: usize,
     /// Total predictions completed across all readers.
     pub predictions: u64,
     /// Aggregate prediction throughput.
@@ -29,6 +36,28 @@ pub struct RunReport {
     pub feedback_applied: u64,
     /// Peak feedback lag (admitted but not yet republished) observed.
     pub max_feedback_lag: u64,
+}
+
+// Hand-written so `replicas` defaults to 1 when absent: baselines written
+// before the replicated tier existed must keep gating without a schema
+// bump. (The offline serde derive shim has no `#[serde(default)]`.)
+impl serde::Deserialize for RunReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let map = v.as_map().ok_or_else(|| {
+            serde::DeError::custom(format!("expected map for RunReport, got {v:?}"))
+        })?;
+        let replicas: Option<usize> = serde::field(map, "replicas")?;
+        Ok(RunReport {
+            readers: serde::field(map, "readers")?,
+            replicas: replicas.unwrap_or(1),
+            predictions: serde::field(map, "predictions")?,
+            predictions_per_sec: serde::field(map, "predictions_per_sec")?,
+            p50_predict_ns: serde::field(map, "p50_predict_ns")?,
+            p99_predict_ns: serde::field(map, "p99_predict_ns")?,
+            feedback_applied: serde::field(map, "feedback_applied")?,
+            max_feedback_lag: serde::field(map, "max_feedback_lag")?,
+        })
+    }
 }
 
 /// The whole `BENCH_serve.json` payload.
@@ -188,6 +217,7 @@ mod tests {
     fn run(readers: usize, pps: f64) -> RunReport {
         RunReport {
             readers,
+            replicas: 1,
             predictions: (pps as u64) * 2,
             predictions_per_sec: pps,
             p50_predict_ns: 500,
@@ -262,6 +292,14 @@ mod tests {
         let json = serde_json::to_string_pretty(&r).unwrap();
         let back: ThroughputReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn baselines_without_replicas_default_to_one() {
+        let json = r#"{"readers":4,"predictions":10,"predictions_per_sec":5.0,
+            "p50_predict_ns":1,"p99_predict_ns":2,"feedback_applied":3,"max_feedback_lag":4}"#;
+        let run: RunReport = serde_json::from_str(json).unwrap();
+        assert_eq!(run.replicas, 1, "pre-replication baselines stay schema v1");
     }
 
     #[test]

@@ -13,7 +13,10 @@
 
 use crate::report::{percentile_ns, RunReport, ThroughputReport, SCHEMA_VERSION};
 use mlq_obs::{Registry, RegistrySnapshot};
-use mlq_serve::{BackpressurePolicy, ConcurrentEstimator, ServeConfig};
+use mlq_serve::{
+    BackpressurePolicy, ConcurrentEstimator, ReplicaGroup, ReplicaGroupConfig, ServeConfig,
+    SyncMode,
+};
 use mlq_storage::{BufferPool, DiskSim, PageId, PAGE_SIZE};
 use mlq_udfs::ExecutionCost;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -45,6 +48,11 @@ pub struct ThroughputConfig {
     /// is unchanged — compare a durable report against a non-durable
     /// baseline to see the journaling overhead.
     pub durable: bool,
+    /// When > 1, measure the replicated tier instead of the reader sweep:
+    /// a single-replica control run (1 reader) followed by a
+    /// [`ReplicaGroup`] of this many replicas, one reader each, with
+    /// background anti-entropy running throughout. `readers` is ignored.
+    pub replicas: usize,
 }
 
 impl ThroughputConfig {
@@ -56,6 +64,7 @@ impl ThroughputConfig {
             duration: Duration::from_millis(2000),
             short: false,
             durable: false,
+            replicas: 1,
         }
     }
 
@@ -67,6 +76,7 @@ impl ThroughputConfig {
             duration: Duration::from_millis(300),
             short: true,
             durable: false,
+            replicas: 1,
         }
     }
 }
@@ -268,6 +278,7 @@ pub fn measure_run_with_registry(
 
     RunReport {
         readers,
+        replicas: 1,
         predictions,
         predictions_per_sec: predictions as f64 / elapsed.as_secs_f64(),
         p50_predict_ns: percentile_ns(&samples, 50.0),
@@ -275,6 +286,150 @@ pub fn measure_run_with_registry(
         feedback_applied,
         max_feedback_lag: max_lag.load(Ordering::Relaxed),
     }
+}
+
+/// Measures a [`ReplicaGroup`] of `replicas` writer replicas, one reader
+/// thread per replica, with background anti-entropy running throughout.
+///
+/// Every replica absorbs its own feedback partition (one writer thread
+/// round-robins observations across the group) while its reader predicts
+/// flat-out against that replica's published snapshots — the scaling
+/// claim the replicated tier makes: readers and writers spread across
+/// replicas, the merge keeps them convergent. The returned
+/// [`RunReport`] records `readers = replicas`, so the classic scaling
+/// gate compares it directly against the 1-reader control run. Also
+/// returns the group's merged metrics view (the `mlq_serve_replica_*`
+/// anti-entropy series plus every replica's registry relabeled with
+/// `{replica="<i>"}`) for the caller's exposition.
+#[must_use]
+pub fn measure_replicated_run(
+    replicas: usize,
+    duration: Duration,
+    registry: &Arc<Registry>,
+) -> (RunReport, RegistrySnapshot) {
+    let space = mlq_core::Space::cube(DIMS, 0.0, 1000.0).expect("valid space");
+    let serve =
+        ServeConfig { backpressure: BackpressurePolicy::DropOldest, ..ServeConfig::default() };
+    let group_config = ReplicaGroupConfig {
+        replicas,
+        serve,
+        sync_interval: Duration::from_millis(100),
+        mode: SyncMode::Background,
+        ..ReplicaGroupConfig::default()
+    };
+    let mut builder = ReplicaGroup::builder(group_config);
+    for name in shard_names() {
+        builder = builder.register(&name, &space).expect("register");
+    }
+    let group = builder.build().expect("build replica group");
+    let names = shard_names();
+
+    // Pre-train through one replica, then run an anti-entropy round so
+    // every replica answers informed predictions from the first probe.
+    let mut seed = 0x5EED_u64;
+    for w in 0..PRETRAIN {
+        let p = point_from(xorshift(&mut seed));
+        group.replica(0).observe(&names[w % SHARDS], &p, cost_at(&p)).expect("pretrain observe");
+    }
+    group.flush();
+    group.sync().expect("pretrain sync");
+
+    let group = Arc::new(group);
+    let stop = Arc::new(AtomicBool::new(false));
+    let max_lag = Arc::new(AtomicU64::new(0));
+
+    let writer = {
+        let group = Arc::clone(&group);
+        let stop = Arc::clone(&stop);
+        let max_lag = Arc::clone(&max_lag);
+        let names = names.clone();
+        thread::spawn(move || {
+            let mut seed = 0xF00D_u64;
+            let mut i = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let r = xorshift(&mut seed);
+                let p = point_from(r);
+                let replica = group.replica(i % group.replica_count());
+                let _ = replica.observe(&names[i % SHARDS], &p, cost_at(&p));
+                i += 1;
+                if i.is_multiple_of(64) {
+                    max_lag.fetch_max(replica.feedback_lag(), Ordering::Relaxed);
+                    thread::yield_now();
+                }
+            }
+        })
+    };
+
+    let started = Instant::now();
+    let handles: Vec<_> = (0..replicas)
+        .map(|r| {
+            let group = Arc::clone(&group);
+            let stop = Arc::clone(&stop);
+            let names = names.clone();
+            thread::spawn(move || {
+                let svc = Arc::clone(group.replica(r));
+                let mut seed = (r as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let mut count = 0u64;
+                let mut samples: Vec<u64> = Vec::with_capacity(1 << 14);
+                let mut snapshots: Vec<_> =
+                    names.iter().map(|n| svc.snapshot(n).expect("snapshot")).collect();
+                while !stop.load(Ordering::Relaxed) {
+                    let r = xorshift(&mut seed);
+                    let shard = (r % SHARDS as u64) as usize;
+                    let p = point_from(r);
+                    if count.is_multiple_of(SNAPSHOT_REFRESH) {
+                        snapshots[shard] = svc.snapshot(&names[shard]).expect("snapshot");
+                    }
+                    if count.is_multiple_of(LATENCY_SAMPLE) {
+                        let t0 = Instant::now();
+                        let snap = svc.snapshot(&names[shard]).expect("snapshot");
+                        let v = snap.predict(&p).expect("predict");
+                        samples.push(t0.elapsed().as_nanos() as u64);
+                        assert!(v.is_some(), "pre-trained shard must answer");
+                    } else {
+                        let v = snapshots[shard].predict(&p).expect("predict");
+                        debug_assert!(v.is_some());
+                    }
+                    count += 1;
+                }
+                (count, samples)
+            })
+        })
+        .collect();
+
+    thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let mut predictions = 0u64;
+    let mut samples: Vec<u64> = Vec::new();
+    for h in handles {
+        let (count, mut s) = h.join().expect("reader thread");
+        predictions += count;
+        samples.append(&mut s);
+    }
+    let elapsed = started.elapsed();
+    writer.join().expect("writer thread");
+    samples.sort_unstable();
+
+    let latency = registry.histogram("mlq_bench_predict_latency_ns");
+    for &ns in &samples {
+        latency.record(ns);
+    }
+
+    let report = group.shutdown().expect("first shutdown");
+    let feedback_applied: u64 =
+        report.replicas.iter().flat_map(|r| r.shards.iter().map(|(_, c)| c.applied)).sum();
+
+    let run = RunReport {
+        readers: replicas,
+        replicas,
+        predictions,
+        predictions_per_sec: predictions as f64 / elapsed.as_secs_f64(),
+        p50_predict_ns: percentile_ns(&samples, 50.0),
+        p99_predict_ns: percentile_ns(&samples, 99.0),
+        feedback_applied,
+        max_feedback_lag: max_lag.load(Ordering::Relaxed),
+    };
+    (run, report.metrics)
 }
 
 /// Runs the whole sweep and assembles the report.
@@ -292,17 +447,32 @@ pub fn measure(config: &ThroughputConfig) -> ThroughputReport {
 pub fn measure_with_metrics(config: &ThroughputConfig) -> (ThroughputReport, RegistrySnapshot) {
     let host_parallelism = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut merged = RegistrySnapshot::default();
-    let runs = config
-        .readers
-        .iter()
-        .map(|&readers| {
-            let registry = Arc::new(Registry::new());
-            let run =
-                measure_run_with_registry(readers, config.duration, config.durable, &registry);
-            merged.merge(&registry.snapshot());
-            run
-        })
-        .collect();
+    let runs = if config.replicas > 1 {
+        // Replicated mode: a 1-reader single-service control run, then
+        // the replica group — same workload shape, so the ratio is the
+        // tier's aggregate scaling.
+        let registry = Arc::new(Registry::new());
+        let control = measure_run_with_registry(1, config.duration, config.durable, &registry);
+        merged.merge(&registry.snapshot());
+        let registry = Arc::new(Registry::new());
+        let (replicated, group_metrics) =
+            measure_replicated_run(config.replicas, config.duration, &registry);
+        merged.merge(&registry.snapshot());
+        merged.merge(&group_metrics);
+        vec![control, replicated]
+    } else {
+        config
+            .readers
+            .iter()
+            .map(|&readers| {
+                let registry = Arc::new(Registry::new());
+                let run =
+                    measure_run_with_registry(readers, config.duration, config.durable, &registry);
+                merged.merge(&registry.snapshot());
+                run
+            })
+            .collect()
+    };
     let report = ThroughputReport {
         schema_version: SCHEMA_VERSION,
         short_mode: config.short,
@@ -324,6 +494,7 @@ mod tests {
             duration: Duration::from_millis(50),
             short: true,
             durable: false,
+            replicas: 1,
         };
         let report = measure(&config);
         assert_eq!(report.schema_version, SCHEMA_VERSION);
@@ -337,12 +508,40 @@ mod tests {
     }
 
     #[test]
+    fn a_replicated_run_measures_control_plus_group() {
+        let config = ThroughputConfig {
+            readers: vec![1, 2, 4], // ignored in replicated mode
+            duration: Duration::from_millis(50),
+            short: true,
+            durable: false,
+            replicas: 2,
+        };
+        let (report, metrics) = measure_with_metrics(&config);
+        assert_eq!(report.runs.len(), 2, "control run plus the replicated run");
+        assert_eq!((report.runs[0].readers, report.runs[0].replicas), (1, 1));
+        assert_eq!((report.runs[1].readers, report.runs[1].replicas), (2, 2));
+        for run in &report.runs {
+            assert!(run.predictions > 0);
+            assert!(run.feedback_applied > 0);
+        }
+        assert!(
+            metrics.counter("mlq_serve_replica_syncs").unwrap_or(0) >= 1,
+            "the group must run at least the pre-train anti-entropy round"
+        );
+        assert!(
+            report.scaling_to(2).is_some(),
+            "the replicated run must be comparable against the control"
+        );
+    }
+
+    #[test]
     fn a_durable_run_journals_and_keeps_the_report_schema() {
         let config = ThroughputConfig {
             readers: vec![1],
             duration: Duration::from_millis(50),
             short: true,
             durable: true,
+            replicas: 1,
         };
         let (report, metrics) = measure_with_metrics(&config);
         assert_eq!(report.schema_version, SCHEMA_VERSION, "durable mode must not fork the schema");

@@ -78,6 +78,7 @@ pub use detail::PredictionDetail;
 pub use error::MlqError;
 pub use frozen::FrozenTree;
 pub use guard::{BreakerState, GuardConfig, GuardCounters, GuardState, GuardedModel, PointPolicy};
+pub use merge::DeltaTracker;
 pub use model::{CostModel, TrainableModel};
 pub use node::NodeView;
 pub use nominal::NominalDimension;

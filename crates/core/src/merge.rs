@@ -13,6 +13,7 @@
 //! compression pass (paper Fig. 6) brings it back.
 
 use crate::compress::CompressionReport;
+use crate::config::{InsertionStrategy, MlqConfig};
 use crate::error::MlqError;
 use crate::node::NIL;
 use crate::tree::MemoryLimitedQuadtree;
@@ -69,6 +70,108 @@ impl MemoryLimitedQuadtree {
             None
         };
         Ok(report)
+    }
+}
+
+/// Records, into a shadow tree, every observation a tracked model absorbed
+/// since the last [`DeltaTracker::take`] — the "delta since last sync" a
+/// replication layer extracts and folds into peer replicas.
+///
+/// The shadow tree always uses [`InsertionStrategy::Eager`] so an
+/// observation descends to full depth regardless of insertion order or
+/// compression history; two deltas over the same stream partition are
+/// therefore structurally identical no matter how the stream interleaved.
+/// Values recorded into a delta are exact sums, so folding deltas with
+/// [`MemoryLimitedQuadtree::merge_from`] reproduces the union stream
+/// bit-for-bit as long as no compression ran (generous budgets).
+#[derive(Debug, Clone)]
+pub struct DeltaTracker {
+    tree: MemoryLimitedQuadtree,
+    observations: u64,
+    compressions: u64,
+}
+
+impl DeltaTracker {
+    /// Builds a tracker whose shadow tree mirrors `model`'s space, depth
+    /// cap, and β, with its own byte budget (floored at the structural
+    /// minimum for the space).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the shadow-tree builder.
+    pub fn for_model(model: &MemoryLimitedQuadtree, budget: usize) -> Result<Self, MlqError> {
+        let cfg = model.config();
+        let floor = MlqConfig::min_budget(&cfg.space, cfg.lambda);
+        let config = MlqConfig::builder(cfg.space.clone())
+            .memory_budget(budget.max(floor))
+            .strategy(InsertionStrategy::Eager)
+            .lambda(cfg.lambda)
+            .beta(cfg.beta)
+            .build()?;
+        Ok(DeltaTracker {
+            tree: MemoryLimitedQuadtree::new(config)?,
+            observations: 0,
+            compressions: 0,
+        })
+    }
+
+    /// Records one absorbed observation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates malformed-point errors from the shadow tree (callers
+    /// recording points the tracked model already accepted will not see
+    /// these).
+    pub fn record(&mut self, point: &[f64], value: f64) -> Result<(), MlqError> {
+        let outcome = self.tree.insert(point, value)?;
+        self.observations += 1;
+        if outcome.compression.is_some() {
+            self.compressions += 1;
+        }
+        Ok(())
+    }
+
+    /// Observations recorded since the last [`Self::take`].
+    #[must_use]
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Compression passes the shadow tree ran since the last
+    /// [`Self::take`]. Nonzero means the delta is an aggregated (still
+    /// statistically exact, but coarser) view of the pending stream, and
+    /// bit-exact merge equivalence no longer holds.
+    #[must_use]
+    pub fn compressions(&self) -> u64 {
+        self.compressions
+    }
+
+    /// True when nothing was recorded since the last [`Self::take`].
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.observations == 0
+    }
+
+    /// The pending delta as a tree, without resetting the tracker.
+    #[must_use]
+    pub fn tree(&self) -> &MemoryLimitedQuadtree {
+        &self.tree
+    }
+
+    /// Extracts the pending delta, leaving the tracker empty. Returns the
+    /// delta tree together with the number of observations it holds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors for the fresh shadow tree (cannot
+    /// fail for a config that already built once).
+    pub fn take(&mut self) -> Result<(MemoryLimitedQuadtree, u64), MlqError> {
+        let fresh = MemoryLimitedQuadtree::new(self.tree.config().clone())?;
+        let taken = std::mem::replace(&mut self.tree, fresh);
+        let observations = self.observations;
+        self.observations = 0;
+        self.compressions = 0;
+        Ok((taken, observations))
     }
 }
 
@@ -179,5 +282,50 @@ mod tests {
         a.merge_from(&empty).unwrap();
         assert_eq!(a.node_count(), before_nodes);
         assert_eq!(a.root_summary(), before_root);
+    }
+
+    #[test]
+    fn delta_tracker_reproduces_recorded_stream() {
+        let tracked = model(1 << 20, 6);
+        let mut tracker = DeltaTracker::for_model(&tracked, 1 << 20).unwrap();
+        let mut reference = model(1 << 20, 6);
+        for (p, v) in shard_a() {
+            tracker.record(&p, v).unwrap();
+            reference.insert(&p, v).unwrap();
+        }
+        assert_eq!(tracker.observations(), 150);
+        assert_eq!(tracker.compressions(), 0);
+        assert!(!tracker.is_empty());
+        let (delta, n) = tracker.take().unwrap();
+        assert_eq!(n, 150);
+        assert!(tracker.is_empty());
+        assert_eq!(tracker.tree().root_summary().count, 0);
+        assert_eq!(delta.root_summary(), reference.root_summary());
+        assert_eq!(delta.node_count(), reference.node_count());
+        for i in 0..100u32 {
+            let p = [f64::from(i * 3 % 1000), f64::from(i * 5 % 1000)];
+            assert_eq!(delta.predict(&p).unwrap(), reference.predict(&p).unwrap());
+        }
+    }
+
+    #[test]
+    fn delta_tracker_take_resets_and_accumulates_fresh() {
+        let tracked = model(1 << 20, 6);
+        let mut tracker = DeltaTracker::for_model(&tracked, 1 << 20).unwrap();
+        for (p, v) in shard_a() {
+            tracker.record(&p, v).unwrap();
+        }
+        tracker.take().unwrap();
+        for (p, v) in shard_b() {
+            tracker.record(&p, v).unwrap();
+        }
+        let (delta, n) = tracker.take().unwrap();
+        assert_eq!(n, 150);
+        let mut b_only = model(1 << 20, 6);
+        for (p, v) in shard_b() {
+            b_only.insert(&p, v).unwrap();
+        }
+        assert_eq!(delta.root_summary(), b_only.root_summary());
+        assert_eq!(delta.node_count(), b_only.node_count());
     }
 }

@@ -297,6 +297,37 @@ impl RegistrySnapshot {
         }
     }
 
+    /// A copy of this snapshot with `extra` labels appended to every
+    /// series (after any labels a series already carries), composing
+    /// names exactly like [`labeled`]. This is how a replicated tier
+    /// exposes per-instance views in one registry: relabel each
+    /// instance's snapshot with `{replica="<i>"}` and [`merge`](Self::merge)
+    /// them — same-named series stay distinct because the label is part
+    /// of the series identity.
+    #[must_use]
+    pub fn with_labels(&self, extra: &[(&str, &str)]) -> RegistrySnapshot {
+        if extra.is_empty() {
+            return self.clone();
+        }
+        let metrics = self
+            .metrics
+            .iter()
+            .map(|(name, value)| {
+                let (base, labels) = split_labels(name);
+                let renamed = if labels.is_empty() {
+                    labeled(base, extra)
+                } else {
+                    let inner = &labels[1..labels.len() - 1];
+                    let appended = labeled(base, extra);
+                    let extra_inner = &appended[base.len() + 1..appended.len() - 1];
+                    format!("{base}{{{inner},{extra_inner}}}")
+                };
+                (renamed, value.clone())
+            })
+            .collect();
+        RegistrySnapshot { metrics }
+    }
+
     /// Renders the snapshot in the Prometheus text exposition format.
     ///
     /// Histograms emit cumulative `_bucket{le="..."}` series (only
@@ -537,6 +568,44 @@ mod tests {
         assert_eq!(ab.gauge("mlq_test_g"), Some(5.0));
         assert_eq!(ab.histogram("mlq_test_h").unwrap().count(), 2);
         assert_eq!(ab.counter("mlq_test_only2"), Some(9));
+    }
+
+    #[test]
+    fn with_labels_relabels_every_series() {
+        let r = Registry::new();
+        r.counter("mlq_test_c").add(4);
+        r.counter(&labeled("mlq_test_lc", &[("udf", "A")])).add(7);
+        r.gauge("mlq_test_g").set(2.5);
+        r.histogram("mlq_test_h").record(11);
+        let view = r.snapshot().with_labels(&[("replica", "3")]);
+        assert_eq!(view.counter_labeled("mlq_test_c", &[("replica", "3")]), Some(4));
+        assert_eq!(
+            view.counter_labeled("mlq_test_lc", &[("udf", "A"), ("replica", "3")]),
+            Some(7),
+            "existing labels keep their position, extras append"
+        );
+        assert_eq!(view.gauge(&labeled("mlq_test_g", &[("replica", "3")])), Some(2.5));
+        assert_eq!(view.histogram(&labeled("mlq_test_h", &[("replica", "3")])).unwrap().count(), 1);
+        assert!(view.counter("mlq_test_c").is_none(), "unlabeled originals are gone");
+        // No labels → verbatim copy.
+        assert_eq!(r.snapshot().with_labels(&[]), r.snapshot());
+    }
+
+    #[test]
+    fn relabeled_views_merge_without_colliding() {
+        let per_replica = |n: u64| {
+            let r = Registry::new();
+            r.counter("mlq_serve_processed").add(n);
+            r.snapshot()
+        };
+        let mut merged = per_replica(10).with_labels(&[("replica", "0")]);
+        merged.merge(&per_replica(32).with_labels(&[("replica", "1")]));
+        assert_eq!(merged.counter_labeled("mlq_serve_processed", &[("replica", "0")]), Some(10));
+        assert_eq!(merged.counter_labeled("mlq_serve_processed", &[("replica", "1")]), Some(32));
+        assert_eq!(merged.sum_counters("mlq_serve_processed"), 42);
+        // The relabeled view still round-trips through the exposition.
+        let text = merged.to_prometheus_text();
+        assert_eq!(RegistrySnapshot::parse_prometheus_text(&text).unwrap(), merged);
     }
 
     #[test]

@@ -31,8 +31,8 @@ use crate::wal::{
     WalRecord, WalWriter,
 };
 use mlq_core::{
-    CostModel, GuardConfig, GuardState, GuardedModel, InsertionStrategy, MemoryLimitedQuadtree,
-    MlqConfig, MlqError, Space,
+    CostModel, DeltaTracker, GuardConfig, GuardState, GuardedModel, InsertionStrategy,
+    MemoryLimitedQuadtree, MlqConfig, MlqError, Space,
 };
 use mlq_obs::{labeled, Counter, Gauge, Histogram, Registry, RegistrySnapshot, TraceRing};
 use mlq_optimizer::UdfCatalog;
@@ -176,6 +176,12 @@ struct ShardModels {
     version: Counter,
     cpu_obs: ModelObs,
     io_obs: ModelObs,
+    /// Replication tee (CPU and IO trackers): every observation the
+    /// guarded models absorb is also recorded here, so an anti-entropy
+    /// round can extract exactly what this shard learned since the last
+    /// sync. `None` unless the service was built with
+    /// [`ConcurrentEstimatorBuilder::with_delta_tracking`].
+    deltas: Option<Box<(DeltaTracker, DeltaTracker)>>,
 }
 
 impl ShardModels {
@@ -191,7 +197,7 @@ impl ShardModels {
         let version = shard_counter("mlq_serve_snapshot_version");
         let cpu_obs = ModelObs::new(registry, &name, "cpu");
         let io_obs = ModelObs::new(registry, &name, "io");
-        ShardModels { name, cpu, io, applied, apply_errors, version, cpu_obs, io_obs }
+        ShardModels { name, cpu, io, applied, apply_errors, version, cpu_obs, io_obs, deltas: None }
     }
 
     fn snapshot(&mut self, io_weight: f64) -> ShardSnapshot {
@@ -225,8 +231,29 @@ impl ShardModels {
     /// both models are always fed; one component's quarantine must not
     /// starve the other.
     fn apply(&mut self, point: &[f64], cost: ExecutionCost) {
+        // Absorption detection for the replication tee: the guard returns
+        // `Ok` even when its breaker swallows the observation, so the only
+        // reliable signal that the inner model was actually fed is its
+        // root count growing.
+        let before = self
+            .deltas
+            .is_some()
+            .then(|| (self.cpu.inner().root_summary().count, self.io.inner().root_summary().count));
         let cpu = self.cpu.observe(point, cost.cpu);
         let io = self.io.observe(point, cost.io);
+        if let (Some((cpu_before, io_before)), Some(trackers)) = (before, self.deltas.as_mut()) {
+            let (cpu_delta, io_delta) = trackers.as_mut();
+            if self.cpu.inner().root_summary().count > cpu_before
+                && cpu_delta.record(point, cost.cpu).is_err()
+            {
+                self.apply_errors.inc();
+            }
+            if self.io.inner().root_summary().count > io_before
+                && io_delta.record(point, cost.io).is_err()
+            {
+                self.apply_errors.inc();
+            }
+        }
         let quarantine_only = |r: &Result<(), MlqError>| {
             matches!(r, Ok(()) | Err(MlqError::FeedbackQuarantined { .. }))
         };
@@ -559,6 +586,25 @@ impl PendingShard {
     }
 }
 
+/// The builder's standard model recipe (`β = 1` CPU, `β = 10` IO, lazy
+/// insertion), shared with the replication layer so a replica group's
+/// merge base is configured identically to its replicas' live models.
+pub(crate) fn catalog_models(
+    space: &Space,
+    budget_per_model: usize,
+) -> Result<(MemoryLimitedQuadtree, MemoryLimitedQuadtree), MlqError> {
+    let build = |beta: u64| -> Result<MemoryLimitedQuadtree, MlqError> {
+        let floor = MlqConfig::min_budget(space, 6);
+        let config = MlqConfig::builder(space.clone())
+            .memory_budget(budget_per_model.max(floor))
+            .strategy(InsertionStrategy::Lazy { alpha: 0.05 })
+            .beta(beta)
+            .build()?;
+        MemoryLimitedQuadtree::new(config)
+    };
+    Ok((build(1)?, build(10)?))
+}
+
 /// Incrementally registers UDF shards, then spawns the service.
 pub struct ConcurrentEstimatorBuilder {
     config: ServeConfig,
@@ -566,6 +612,7 @@ pub struct ConcurrentEstimatorBuilder {
     registry: Option<Arc<Registry>>,
     trace: Option<Arc<TraceRing>>,
     durability: Option<DurabilityConfig>,
+    delta_budget: Option<usize>,
 }
 
 impl ConcurrentEstimatorBuilder {
@@ -578,6 +625,7 @@ impl ConcurrentEstimatorBuilder {
             registry: None,
             trace: None,
             durability: None,
+            delta_budget: None,
         }
     }
 
@@ -614,6 +662,24 @@ impl ConcurrentEstimatorBuilder {
         self
     }
 
+    /// Enables per-shard delta tracking for replication: every absorbed
+    /// observation is also recorded into a shadow
+    /// [`DeltaTracker`] (per component, each with
+    /// `delta_budget` bytes), so an anti-entropy round can extract what
+    /// this service learned since the last sync via
+    /// [`ConcurrentEstimator::take_deltas`] and install merged models via
+    /// [`ConcurrentEstimator::install_models`]. Both require
+    /// [`MaintainerMode::Manual`].
+    ///
+    /// Observations replayed from a durability directory at build time
+    /// are *not* recorded — a recovered replica's pre-crash state counts
+    /// as already synced (see DESIGN.md §12 for the trade-off).
+    #[must_use]
+    pub fn with_delta_tracking(mut self, delta_budget: usize) -> Self {
+        self.delta_budget = Some(delta_budget);
+        self
+    }
+
     /// Registers a fresh UDF shard over `space`, using the catalog's model
     /// recipe (`β = 1` CPU, `β = 10` IO, lazy insertion).
     ///
@@ -622,16 +688,7 @@ impl ConcurrentEstimatorBuilder {
     /// [`MlqError::InvalidConfig`] for duplicate names; propagates model
     /// construction failures.
     pub fn register(self, name: &str, space: &Space) -> Result<Self, MlqError> {
-        let build = |beta: u64| -> Result<MemoryLimitedQuadtree, MlqError> {
-            let floor = MlqConfig::min_budget(space, 6);
-            let config = MlqConfig::builder(space.clone())
-                .memory_budget(self.config.budget_per_model.max(floor))
-                .strategy(InsertionStrategy::Lazy { alpha: 0.05 })
-                .beta(beta)
-                .build()?;
-            MemoryLimitedQuadtree::new(config)
-        };
-        let (cpu, io) = (build(1)?, build(10)?);
+        let (cpu, io) = catalog_models(space, self.config.budget_per_model)?;
         self.register_models(name, cpu, io)
     }
 
@@ -664,7 +721,14 @@ impl ConcurrentEstimatorBuilder {
     /// [`MlqError::InvalidConfig`] when nothing is registered or the
     /// configuration is nonsensical.
     pub fn build(self) -> Result<ConcurrentEstimator, MlqError> {
-        let ConcurrentEstimatorBuilder { config, models, registry, trace, durability } = self;
+        let ConcurrentEstimatorBuilder {
+            config,
+            models,
+            registry,
+            trace,
+            durability,
+            delta_budget,
+        } = self;
         config.validate()?;
         if let Some(dconfig) = &durability {
             dconfig.validate()?;
@@ -750,6 +814,14 @@ impl ConcurrentEstimatorBuilder {
             // decision repeats exactly as it happened live.
             for rec in &p.replay {
                 shard.apply(&rec.point, rec.cost);
+            }
+            // Trackers attach only after replay: recovered observations
+            // count as already synced to the replica group.
+            if let Some(budget) = delta_budget {
+                shard.deltas = Some(Box::new((
+                    DeltaTracker::for_model(shard.cpu.inner(), budget)?,
+                    DeltaTracker::for_model(shard.io.inner(), budget)?,
+                )));
             }
             if let Some(dconfig) = &durability {
                 registry
@@ -908,6 +980,23 @@ pub struct ConcurrentEstimator {
     durability: Option<Arc<DurabilityShared>>,
     /// What startup recovery did, per shard (empty without durability).
     recovery: RecoveryReport,
+}
+
+/// One shard's extracted feedback delta: everything the service absorbed
+/// for that shard since the previous [`ConcurrentEstimator::take_deltas`]
+/// call (or since build). Returned in shard name order.
+#[derive(Debug)]
+pub struct ShardDelta {
+    /// Shard (UDF) name.
+    pub name: String,
+    /// Delta over the CPU component.
+    pub cpu: MemoryLimitedQuadtree,
+    /// Delta over the IO component.
+    pub io: MemoryLimitedQuadtree,
+    /// Observations the delta holds (max over the two components — they
+    /// only diverge when a guard quarantined one component but not the
+    /// other).
+    pub observations: u64,
 }
 
 /// Final accounting returned by [`ConcurrentEstimator::shutdown`].
@@ -1148,6 +1237,98 @@ impl ConcurrentEstimator {
                 reason: "step() requires MaintainerMode::Manual on a live service".into(),
             }),
         }
+    }
+
+    /// Extracts every shard's feedback delta — what this service absorbed
+    /// since the previous extraction — leaving the trackers empty. The
+    /// anti-entropy half-step a [`ReplicaGroup`](crate::ReplicaGroup)
+    /// runs against each replica before folding deltas into its merge
+    /// base.
+    ///
+    /// # Errors
+    ///
+    /// [`MlqError::InvalidConfig`] unless the service was built with
+    /// [`MaintainerMode::Manual`] *and*
+    /// [`ConcurrentEstimatorBuilder::with_delta_tracking`], and is still
+    /// live.
+    pub fn take_deltas(&self) -> Result<Vec<ShardDelta>, MlqError> {
+        let mut guard = self.maintainer.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(MaintainerState::Manual(core)) = guard.as_mut() else {
+            return Err(MlqError::InvalidConfig {
+                reason: "take_deltas() requires MaintainerMode::Manual on a live service".into(),
+            });
+        };
+        let mut out = Vec::with_capacity(core.shards.len());
+        for shard in &mut core.shards {
+            let trackers = shard.deltas.as_mut().ok_or_else(|| MlqError::InvalidConfig {
+                reason: "take_deltas() requires with_delta_tracking() at build time".into(),
+            })?;
+            let (cpu_delta, io_delta) = trackers.as_mut();
+            let (cpu, cpu_n) = cpu_delta.take()?;
+            let (io, io_n) = io_delta.take()?;
+            out.push(ShardDelta {
+                name: shard.name.clone(),
+                cpu,
+                io,
+                observations: cpu_n.max(io_n),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Installs externally merged models as each named shard's new live
+    /// state and republishes its snapshot — the anti-entropy half-step
+    /// that brings a replica up to the group's merged view.
+    ///
+    /// Any feedback this service absorbed *after* the extraction the
+    /// merge was computed from (the pending delta) is folded into the
+    /// incoming models first, so local observations are never lost or
+    /// temporarily un-learned; they simply stay pending until the next
+    /// extraction ships them to peers.
+    ///
+    /// # Errors
+    ///
+    /// [`MlqError::InvalidConfig`] for unknown shard names or unless the
+    /// service was built with [`MaintainerMode::Manual`] and
+    /// [`ConcurrentEstimatorBuilder::with_delta_tracking`]; propagates
+    /// merge errors (mismatched spaces).
+    pub fn install_models(
+        &self,
+        models: Vec<(String, MemoryLimitedQuadtree, MemoryLimitedQuadtree)>,
+    ) -> Result<(), MlqError> {
+        let mut guard = self.maintainer.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(MaintainerState::Manual(core)) = guard.as_mut() else {
+            return Err(MlqError::InvalidConfig {
+                reason: "install_models() requires MaintainerMode::Manual on a live service".into(),
+            });
+        };
+        if core.shards.iter().any(|shard| shard.deltas.is_none()) {
+            return Err(MlqError::InvalidConfig {
+                reason: "install_models() requires with_delta_tracking() at build time".into(),
+            });
+        }
+        for (name, mut cpu, mut io) in models {
+            let idx = *self.names.get(&name).ok_or_else(|| MlqError::InvalidConfig {
+                reason: format!("no UDF named {name} is registered"),
+            })?;
+            {
+                let shard = &mut core.shards[idx];
+                let trackers = shard.deltas.as_ref().ok_or_else(|| MlqError::InvalidConfig {
+                    reason: "install_models() requires with_delta_tracking() at build time".into(),
+                })?;
+                let (cpu_delta, io_delta) = &**trackers;
+                if !cpu_delta.is_empty() {
+                    cpu.merge_from(cpu_delta.tree())?;
+                }
+                if !io_delta.is_empty() {
+                    io.merge_from(io_delta.tree())?;
+                }
+                *shard.cpu.inner_mut() = cpu;
+                *shard.io.inner_mut() = io;
+            }
+            core.publish(idx, &self.published);
+        }
+        Ok(())
     }
 
     /// Blocks until every observation admitted *before this call* has

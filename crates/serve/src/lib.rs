@@ -51,14 +51,19 @@ mod estimator;
 mod handle;
 mod queue;
 mod recovery;
+mod replica;
 mod snapshot;
 mod wal;
 
 pub use estimator::{
     ConcurrentEstimator, ConcurrentEstimatorBuilder, MaintainerMode, ServeConfig, ServeReport,
+    ShardDelta,
 };
 pub use handle::EstimatorHandle;
 pub use queue::{BackpressurePolicy, PushOutcome, QueueCounters};
 pub use recovery::{RecoveryReport, RestoreKind, ShardRecovery};
+pub use replica::{
+    GroupReport, ReplicaGroup, ReplicaGroupBuilder, ReplicaGroupConfig, SyncMode, SyncReport,
+};
 pub use snapshot::{ComponentSnapshot, ShardCounters, ShardSnapshot};
 pub use wal::{CrashOp, CrashPoint, DurabilityConfig, DurabilityStatus, RetryPolicy, CRASH_OPS};

@@ -1,17 +1,23 @@
 #!/usr/bin/env sh
 # Benchmark regression gates: compare fresh BENCH_serve.json /
-# BENCH_predict.json reports against the checked-in baselines and exit
-# nonzero on regression. All comparison logic lives in `mlq-bench --gate`
-# (crates/bench/src/report.rs) and `mlq-bench --gate-predict`
-# (crates/bench/src/predict.rs), so the thresholds are tested Rust code
-# rather than shell arithmetic; this wrapper only fixes the invocations
-# CI uses.
+# BENCH_predict.json / BENCH_serve_replicated.json reports against the
+# checked-in baselines and exit nonzero on regression. All comparison
+# logic lives in `mlq-bench --gate` (crates/bench/src/report.rs) and
+# `mlq-bench --gate-predict` (crates/bench/src/predict.rs), so the
+# thresholds are tested Rust code rather than shell arithmetic; this
+# wrapper only fixes the invocations CI uses.
 #
 # Usage: scripts/bench_gate.sh [MEASURED.json] [BASELINE.json] [TOLERANCE]
 #                              [PREDICT_MEASURED.json] [PREDICT_BASELINE.json]
+#                              [REPLICATED_MEASURED.json] [REPLICATED_BASELINE.json]
 #
-# The predict gate runs whenever its measured report exists (or was
-# explicitly named), so pre-predict callers keep working unchanged.
+# The predict and replicated gates run whenever their measured reports
+# exist (or were explicitly named), so pre-predict callers keep working
+# unchanged. The primary serve gate hard-fails on a missing baseline —
+# that file is committed and losing it must be loud — but secondary
+# roles whose baseline has not been committed yet skip with a notice
+# instead: a freshly introduced bench role must not break CI before its
+# first baseline lands.
 set -eu
 
 MEASURED="${1:-BENCH_serve.json}"
@@ -19,15 +25,33 @@ BASELINE="${2:-BENCH_serve.baseline.json}"
 TOLERANCE="${3:-0.2}"
 PREDICT_MEASURED="${4:-BENCH_predict.json}"
 PREDICT_BASELINE="${5:-BENCH_predict.baseline.json}"
+REPLICATED_MEASURED="${6:-BENCH_serve_replicated.json}"
+REPLICATED_BASELINE="${7:-BENCH_serve_replicated.baseline.json}"
+
+# Aggregate replicated scaling required at REPLICAS replicas vs the
+# 1-reader control run (only enforced on hosts with >= 4 CPUs; the gate
+# binary reads host_parallelism from the measured report).
+REPLICAS="${REPLICAS:-4}"
+MIN_REPLICATED_SCALING="${MIN_REPLICATED_SCALING:-2.0}"
 
 # Fail with a role-and-path message before any gate runs, so a missing
 # file reads as "missing baseline BENCH_serve.baseline.json" instead of
-# a raw jq/parse error from the gate binary.
+# a raw parse error from the gate binary.
 require() {
     if [ ! -f "$2" ]; then
         echo "bench_gate: missing $1 $2" >&2
         exit 1
     fi
+}
+
+# For secondary roles: true (and gate) when the baseline exists, notice
+# and skip when it does not.
+have_baseline() {
+    if [ -f "$2" ]; then
+        return 0
+    fi
+    echo "bench_gate: no baseline for $1 role ($2) — skipping this gate; commit a baseline to enable it" >&2
+    return 1
 }
 
 require "measured report" "$MEASURED"
@@ -38,15 +62,25 @@ cargo run -q --release --offline -p mlq-bench -- \
 
 if [ -f "$PREDICT_MEASURED" ] || [ $# -ge 4 ]; then
     require "predict measured report" "$PREDICT_MEASURED"
-    require "predict baseline" "$PREDICT_BASELINE"
-    # The predict gate keeps its own (looser) default tolerance unless the
-    # caller named one explicitly; its millisecond passes are noisier than
-    # the serve harness's duration-based runs.
-    if [ $# -ge 3 ]; then
+    if have_baseline "predict" "$PREDICT_BASELINE"; then
+        # The predict gate keeps its own (looser) default tolerance unless
+        # the caller named one explicitly; its millisecond passes are
+        # noisier than the serve harness's duration-based runs.
+        if [ $# -ge 3 ]; then
+            cargo run -q --release --offline -p mlq-bench -- \
+                --gate-predict "$PREDICT_MEASURED" "$PREDICT_BASELINE" --tolerance "$TOLERANCE"
+        else
+            cargo run -q --release --offline -p mlq-bench -- \
+                --gate-predict "$PREDICT_MEASURED" "$PREDICT_BASELINE"
+        fi
+    fi
+fi
+
+if [ -f "$REPLICATED_MEASURED" ] || [ $# -ge 6 ]; then
+    require "replicated measured report" "$REPLICATED_MEASURED"
+    if have_baseline "replicated" "$REPLICATED_BASELINE"; then
         cargo run -q --release --offline -p mlq-bench -- \
-            --gate-predict "$PREDICT_MEASURED" "$PREDICT_BASELINE" --tolerance "$TOLERANCE"
-    else
-        cargo run -q --release --offline -p mlq-bench -- \
-            --gate-predict "$PREDICT_MEASURED" "$PREDICT_BASELINE"
+            --gate "$REPLICATED_MEASURED" "$REPLICATED_BASELINE" --tolerance "$TOLERANCE" \
+            --scaling-readers "$REPLICAS" --min-scaling "$MIN_REPLICATED_SCALING"
     fi
 fi
