@@ -47,9 +47,11 @@ mod equiwidth;
 mod global;
 mod grid;
 mod leo;
+mod null;
 
 pub use equiheight::EquiHeightHistogram;
 pub use equiwidth::EquiWidthHistogram;
 pub use global::GlobalAverage;
 pub use grid::{max_intervals_for_budget, BUCKET_BYTES};
 pub use leo::LeoCorrected;
+pub use null::NullModel;

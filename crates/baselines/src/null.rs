@@ -1,0 +1,72 @@
+//! The inert cost model: never informed, never learning, zero bytes.
+
+use mlq_core::{CostModel, MlqError, Space, TrainableModel};
+use serde::{Deserialize, Serialize};
+
+/// A model that validates its inputs and otherwise does nothing.
+///
+/// Used wherever an interface demands a model but the experiment only
+/// exercises one cost component — e.g. the bake-off pairs each
+/// single-surface contender with a `NullModel` IO side inside
+/// `CostEstimator`, so combined predictions equal the contender's own
+/// and `memory_used` charges nothing extra.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NullModel {
+    space: Space,
+}
+
+impl NullModel {
+    /// Creates the inert model over `space`.
+    #[must_use]
+    pub fn new(space: Space) -> Self {
+        NullModel { space }
+    }
+}
+
+impl CostModel for NullModel {
+    fn predict(&self, point: &[f64]) -> Result<Option<f64>, MlqError> {
+        self.space.grid_point(point).map(|_| None)
+    }
+
+    fn observe(&mut self, point: &[f64], actual: f64) -> Result<(), MlqError> {
+        self.space.grid_point(point)?;
+        if !actual.is_finite() {
+            return Err(MlqError::NonFiniteValue { context: "cost value" });
+        }
+        Ok(())
+    }
+
+    fn memory_used(&self) -> usize {
+        0
+    }
+
+    fn name(&self) -> String {
+        "NULL".to_string()
+    }
+}
+
+impl TrainableModel for NullModel {
+    fn fit(&mut self, data: &[(Vec<f64>, f64)]) -> Result<(), MlqError> {
+        for (point, value) in data {
+            self.observe(point, *value)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_uninformed_and_free() {
+        let space = Space::cube(2, 0.0, 100.0).unwrap();
+        let mut null = NullModel::new(space);
+        null.observe(&[1.0, 1.0], 50.0).unwrap();
+        assert_eq!(null.predict(&[1.0, 1.0]).unwrap(), None);
+        assert_eq!(null.memory_used(), 0);
+        assert_eq!(null.name(), "NULL");
+        assert!(null.predict(&[1.0]).is_err());
+        assert!(null.observe(&[1.0, 1.0], f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,87 @@
+//! Microbenchmarks of the bake-off contenders through the [`Estimator`]
+//! seam: single-point predict, batched predict, and observe — the three
+//! operations the bake-off harness times. Covers the learned baselines
+//! (reservoir k-NN, boosted stumps) next to MLQ, so estimator-seam
+//! regressions show up in the bench gate, not just in bake-off numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlq_core::Space;
+use mlq_experiments::bakeoff::{build_contender, BakeoffConfig, Contender, Scenario, CONTENDERS};
+use mlq_optimizer::Estimator;
+use mlq_synth::QueryDistribution;
+use mlq_udfs::ExecutionCost;
+use std::hint::black_box;
+
+fn space() -> Space {
+    Space::cube(4, 0.0, 1000.0).expect("valid dims")
+}
+
+fn config() -> BakeoffConfig {
+    BakeoffConfig { events: 600, ..BakeoffConfig::quick() }
+}
+
+/// One warmed-up estimator per contender, trained the bake-off way.
+fn warmed() -> Vec<(Contender, Box<dyn Estimator>)> {
+    let space = space();
+    let config = config();
+    let data = Scenario::UniformStatic.materialize(&space, &config);
+    CONTENDERS
+        .iter()
+        .map(|&c| {
+            let mut est = build_contender(c, &space, &config, &data.training).unwrap();
+            for e in &data.events {
+                est.observe(&e.point, ExecutionCost { cpu: e.observed, io: 0.0, results: 0 })
+                    .unwrap();
+            }
+            (c, est)
+        })
+        .collect()
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let queries = QueryDistribution::Uniform.generate(&space(), 512, 77);
+    let mut group = c.benchmark_group("bakeoff_predict");
+    for (contender, est) in warmed() {
+        let mut i = 0usize;
+        group.bench_function(contender.label(), |b| {
+            b.iter(|| {
+                i = (i + 1) % queries.len();
+                black_box(est.predict(black_box(&queries[i])).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_predict_batch(c: &mut Criterion) {
+    let queries = QueryDistribution::Uniform.generate(&space(), 256, 78);
+    let mut group = c.benchmark_group("bakeoff_predict_batch_256");
+    for (contender, est) in warmed() {
+        group.bench_function(contender.label(), |b| {
+            b.iter(|| black_box(est.predict_batch(black_box(&queries)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_observe(c: &mut Criterion) {
+    let queries = QueryDistribution::Uniform.generate(&space(), 512, 79);
+    let mut group = c.benchmark_group("bakeoff_observe");
+    for (contender, mut est) in warmed() {
+        let mut i = 0usize;
+        group.bench_function(contender.label(), |b| {
+            b.iter(|| {
+                i = (i + 1) % queries.len();
+                est.observe(
+                    black_box(&queries[i]),
+                    ExecutionCost { cpu: 100.0 + i as f64, io: 0.0, results: 0 },
+                )
+                .unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_predict, bench_predict_batch, bench_observe);
+criterion_main!(benches);

@@ -78,6 +78,17 @@ pub struct GuardConfig {
     /// (0 disables periodic checks; the half-open → closed transition
     /// still checks).
     pub check_every: u64,
+    /// Consecutive quarantined observations treated as a cost-regime
+    /// change rather than outliers: once a streak reaches this length
+    /// the quarantine window is cleared and the triggering observation
+    /// accepted, so screening re-learns the new regime (0 disables the
+    /// escape — sustained drift then stays quarantined forever).
+    ///
+    /// The streak requirement is what separates drift from an
+    /// adversarial flood: drifted feedback is *every* observation, so
+    /// the streak builds immediately, while flooded outliers arrive
+    /// interleaved with honest feedback and keep resetting it.
+    pub quarantine_streak: u32,
 }
 
 impl Default for GuardConfig {
@@ -91,6 +102,7 @@ impl Default for GuardConfig {
             probe_after: 16,
             probe_successes: 3,
             check_every: 64,
+            quarantine_streak: 64,
         }
     }
 }
@@ -151,6 +163,9 @@ pub struct GuardCounters {
     pub fallback_predictions: u64,
     /// Invariant-check failures observed.
     pub invariant_failures: u64,
+    /// Quarantine streaks that ended in a regime reset (window cleared,
+    /// observation accepted) per [`GuardConfig::quarantine_streak`].
+    pub regime_resets: u64,
 }
 
 /// The complete mutable state of a [`GuardedModel`], detached from the
@@ -185,6 +200,9 @@ pub struct GuardState {
     pub pending_predict_failures: u32,
     /// Predictions answered by the fallback (prediction-path cell).
     pub fallback_predictions: u64,
+    /// Consecutive quarantined observations toward the regime-change
+    /// escape ([`GuardConfig::quarantine_streak`]).
+    pub consecutive_quarantined: u32,
 }
 
 /// A [`CostModel`] wrapper adding feedback validation, outlier
@@ -206,6 +224,7 @@ pub struct GuardedModel<M: CostModel> {
     /// Running average of every accepted cost (the degraded-mode model).
     fallback: Summary,
     consecutive_failures: u32,
+    consecutive_quarantined: u32,
     open_ops: u32,
     half_open_successes: u32,
     accepted: u64,
@@ -233,6 +252,7 @@ impl<M: CostModel> GuardedModel<M> {
             window: VecDeque::with_capacity(config.window),
             fallback: Summary::empty(),
             consecutive_failures: 0,
+            consecutive_quarantined: 0,
             open_ops: 0,
             half_open_successes: 0,
             accepted: 0,
@@ -307,6 +327,7 @@ impl<M: CostModel> GuardedModel<M> {
             window: self.window.iter().copied().collect(),
             fallback: self.fallback,
             consecutive_failures: self.consecutive_failures,
+            consecutive_quarantined: self.consecutive_quarantined,
             open_ops: self.open_ops,
             half_open_successes: self.half_open_successes,
             accepted: self.accepted,
@@ -326,6 +347,7 @@ impl<M: CostModel> GuardedModel<M> {
             window,
             fallback,
             consecutive_failures,
+            consecutive_quarantined,
             open_ops,
             half_open_successes,
             accepted,
@@ -338,6 +360,7 @@ impl<M: CostModel> GuardedModel<M> {
         self.window = window.into_iter().skip(skip).collect();
         self.fallback = fallback;
         self.consecutive_failures = consecutive_failures;
+        self.consecutive_quarantined = consecutive_quarantined;
         self.open_ops = open_ops;
         self.half_open_successes = half_open_successes;
         self.accepted = accepted;
@@ -488,9 +511,20 @@ impl<M: CostModel> CostModel for GuardedModel<M> {
             return Err(MlqError::NonFiniteValue { context: "cost value" });
         }
         if let Some(threshold) = self.quarantine_threshold(actual) {
-            self.counters.quarantined += 1;
-            return Err(MlqError::FeedbackQuarantined { cost: actual, threshold });
+            self.consecutive_quarantined = self.consecutive_quarantined.saturating_add(1);
+            let streak = self.config.quarantine_streak;
+            if streak == 0 || self.consecutive_quarantined < streak {
+                self.counters.quarantined += 1;
+                return Err(MlqError::FeedbackQuarantined { cost: actual, threshold });
+            }
+            // A full streak of consecutive "outliers" is not outliers: the
+            // cost regime changed under the model (workload drift, data
+            // growth). Clear the window so screening re-learns the new
+            // regime, and accept this observation.
+            self.window.clear();
+            self.counters.regime_resets += 1;
         }
+        self.consecutive_quarantined = 0;
 
         // Accepted: the fallback learns every cost the guard lets through,
         // so degradation is instant and warm.
@@ -681,6 +715,63 @@ mod tests {
         // Honest feedback is still accepted afterwards.
         g.observe(&[1.0, 1.0], 11.0).unwrap();
         assert_eq!(g.inner().observed, 33);
+    }
+
+    #[test]
+    fn sustained_quarantine_streak_resets_the_regime() {
+        let config = GuardConfig { quarantine_streak: 8, ..GuardConfig::default() };
+        let mut g = guarded_flaky(config);
+        for i in 0..32 {
+            g.observe(&[1.0, 1.0], 10.0 + (i % 3) as f64).unwrap();
+        }
+
+        // The regime shifts: every cost triples. Seven in a row stay
+        // quarantined, the eighth trips the escape — window cleared,
+        // observation accepted.
+        for _ in 0..7 {
+            let err = g.observe(&[1.0, 1.0], 33.0).unwrap_err();
+            assert!(matches!(err, MlqError::FeedbackQuarantined { .. }));
+        }
+        g.observe(&[1.0, 1.0], 33.0).unwrap();
+        assert_eq!(g.counters().regime_resets, 1);
+        assert_eq!(g.counters().quarantined, 7);
+        // The new regime is now the norm: screening re-learns around it.
+        for _ in 0..16 {
+            g.observe(&[1.0, 1.0], 33.0).unwrap();
+        }
+        assert_eq!(g.counters().regime_resets, 1);
+    }
+
+    #[test]
+    fn interleaved_outliers_never_build_a_streak() {
+        // An adversarial flood mixes outliers with honest feedback; the
+        // streak keeps resetting, so the escape never fires and every
+        // outlier stays quarantined.
+        let config = GuardConfig { quarantine_streak: 4, ..GuardConfig::default() };
+        let mut g = guarded_flaky(config);
+        for i in 0..32 {
+            g.observe(&[1.0, 1.0], 10.0 + (i % 3) as f64).unwrap();
+        }
+        for round in 0..20 {
+            assert!(g.observe(&[1.0, 1.0], 1000.0).is_err(), "round {round}");
+            g.observe(&[1.0, 1.0], 11.0).unwrap();
+        }
+        assert_eq!(g.counters().regime_resets, 0);
+        assert_eq!(g.counters().quarantined, 20);
+    }
+
+    #[test]
+    fn zero_streak_disables_the_regime_escape() {
+        let config = GuardConfig { quarantine_streak: 0, ..GuardConfig::default() };
+        let mut g = guarded_flaky(config);
+        for i in 0..32 {
+            g.observe(&[1.0, 1.0], 10.0 + (i % 3) as f64).unwrap();
+        }
+        for _ in 0..100 {
+            assert!(g.observe(&[1.0, 1.0], 1000.0).is_err());
+        }
+        assert_eq!(g.counters().regime_resets, 0);
+        assert_eq!(g.counters().quarantined, 100);
     }
 
     #[test]

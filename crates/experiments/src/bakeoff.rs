@@ -1,0 +1,673 @@
+//! The estimator bake-off: MLQ vs learned baselines vs static
+//! histograms, every contender driven through the same [`Estimator`]
+//! seam over the same scenario streams.
+//!
+//! Six contenders in three families —
+//!
+//! * **mlq**: MLQ-E and MLQ-L behind [`CostEstimator`] (paired with a
+//!   [`NullModel`] IO side so combined predictions equal the model's own
+//!   and memory is not double-charged);
+//! * **histogram**: SH-H and SH-W, fit a priori on the scenario's
+//!   initial honest surface and never retuned;
+//! * **learned**: the reservoir k-NN regressor and the online
+//!   gradient-boosted stump ensemble behind [`CombinedEstimator`] —
+//!
+//! cross four scenarios (uniform-static, env-tax, concept-drift,
+//! adversarial-flood). Each cell reports NAE against ground truth,
+//! post-midpoint tail NAE, bytes of model state, cold-start
+//! feedbacks-to-convergence, and three wall-clock cost measures (APC,
+//! AUC, predictions/sec).
+//!
+//! **Determinism contract.** Everything except the wall-clock measures
+//! is a pure function of [`BakeoffConfig`]: the committed
+//! `results/bakeoff.baseline.json` reproduces bit-identically from the
+//! same config, which is what lets CI gate on it
+//! ([`BakeoffReport::deterministic_fingerprint`], [`gate`]). Timed
+//! fields are reported but never compared.
+
+use crate::{build_model, Method, ResultTable, PAPER_BUDGET, ROOT_SEED, SYNTHETIC_BASE_COST};
+use mlq_baselines::NullModel;
+use mlq_core::{CostModel, MlqError, Space};
+use mlq_learned::{CombinedEstimator, GbStumpEnsemble, KnnRegressor};
+use mlq_metrics::{apc, auc, feedbacks_to_convergence, nae};
+use mlq_optimizer::{CostEstimator, Estimator};
+use mlq_synth::{
+    AdversarialFlood, CostSurface, DriftScenario, EnvTaxSurface, FeedbackEvent, QueryDistribution,
+    SyntheticUdf,
+};
+use mlq_udfs::ExecutionCost;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Schema version stamped into every report; the gate refuses to compare
+/// across versions.
+pub const BAKEOFF_SCHEMA: u32 = 1;
+
+/// Everything a bake-off run depends on. Two runs with equal configs
+/// produce bit-identical deterministic fields.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BakeoffConfig {
+    /// Feedback events per scenario stream.
+    pub events: usize,
+    /// Window size for the convergence measure.
+    pub window: usize,
+    /// Windowed-NAE threshold below which a model counts as converged.
+    pub convergence_nae: f64,
+    /// Per-estimator memory budget in bytes (the paper's 1.8 KB; MLQ's
+    /// dimensional floor may lift its actual footprint — `model_bytes`
+    /// reports what each contender really used).
+    pub budget: usize,
+    /// Root seed; every scenario derives its own stream seed from this.
+    pub seed: u64,
+    /// Probe batch size for the predictions/sec measure.
+    pub throughput_batch: usize,
+    /// Number of probe batches timed.
+    pub throughput_rounds: usize,
+}
+
+impl Default for BakeoffConfig {
+    fn default() -> Self {
+        BakeoffConfig {
+            events: 6000,
+            window: 200,
+            convergence_nae: 0.25,
+            budget: PAPER_BUDGET,
+            seed: ROOT_SEED ^ 0x0BA6_E0FF,
+            throughput_batch: 512,
+            throughput_rounds: 16,
+        }
+    }
+}
+
+impl BakeoffConfig {
+    /// The reduced matrix CI runs (seconds, not minutes). This is also
+    /// the config behind the committed baseline, so the gate compares
+    /// like with like.
+    #[must_use]
+    pub fn quick() -> Self {
+        BakeoffConfig {
+            events: 1500,
+            window: 100,
+            throughput_batch: 256,
+            throughput_rounds: 4,
+            ..BakeoffConfig::default()
+        }
+    }
+}
+
+/// A bake-off contender: the paper's four methods plus the two learned
+/// baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Contender {
+    /// MLQ, eager insertions.
+    MlqE,
+    /// MLQ, lazy insertions.
+    MlqL,
+    /// Static equi-height histogram (a-priori fit).
+    ShH,
+    /// Static equi-width histogram (a-priori fit).
+    ShW,
+    /// Reservoir-bounded k-NN regressor.
+    Knn,
+    /// Online gradient-boosted stump ensemble.
+    GbStump,
+}
+
+/// The full contender roster, in presentation order.
+pub const CONTENDERS: [Contender; 6] = [
+    Contender::MlqE,
+    Contender::MlqL,
+    Contender::ShH,
+    Contender::ShW,
+    Contender::Knn,
+    Contender::GbStump,
+];
+
+impl Contender {
+    /// Display label, matching the underlying model names.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Contender::MlqE => "MLQ-E",
+            Contender::MlqL => "MLQ-L",
+            Contender::ShH => "SH-H",
+            Contender::ShW => "SH-W",
+            Contender::Knn => "KNN-R",
+            Contender::GbStump => "GB-STUMP",
+        }
+    }
+
+    /// Estimator family, the unit of the gate's completeness check.
+    #[must_use]
+    pub fn family(self) -> &'static str {
+        match self {
+            Contender::MlqE | Contender::MlqL => "mlq",
+            Contender::ShH | Contender::ShW => "histogram",
+            Contender::Knn | Contender::GbStump => "learned",
+        }
+    }
+
+    /// False for the statically trained histograms.
+    #[must_use]
+    pub fn is_self_tuning(self) -> bool {
+        !matches!(self, Contender::ShH | Contender::ShW)
+    }
+}
+
+/// A bake-off scenario: what the feedback stream looks like.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scenario {
+    /// Honest feedback over a static bumpy surface, uniform queries.
+    UniformStatic,
+    /// Honest feedback over an [`EnvTaxSurface`]: page-touch staircase
+    /// plus a cache-spill regime multiplier.
+    EnvTax,
+    /// Mid-stream concept drift: the surface is swapped at the stream's
+    /// midpoint, queries keep flowing ([`DriftScenario`]).
+    ConceptDrift,
+    /// An [`AdversarialFlood`]: 15 % of feedback reports wildly wrong
+    /// costs at an attacker-chosen hot spot; error is still charged
+    /// against honest truth.
+    AdversarialFlood,
+}
+
+/// All scenarios, in presentation order.
+pub const SCENARIOS: [Scenario; 4] =
+    [Scenario::UniformStatic, Scenario::EnvTax, Scenario::ConceptDrift, Scenario::AdversarialFlood];
+
+/// A scenario's materialized inputs: the feedback stream every contender
+/// consumes, and the a-priori training set the static histograms fit on.
+pub struct ScenarioData {
+    /// The feedback stream (identical for every contender).
+    pub events: Vec<FeedbackEvent>,
+    /// `(point, truth)` pairs from the scenario's *initial* honest
+    /// surface — what a DBA would have profiled before deployment. For
+    /// the drift scenario this is deliberately the pre-swap surface.
+    pub training: Vec<(Vec<f64>, f64)>,
+}
+
+impl Scenario {
+    /// Display label used in reports and tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Scenario::UniformStatic => "uniform-static",
+            Scenario::EnvTax => "env-tax",
+            Scenario::ConceptDrift => "concept-drift",
+            Scenario::AdversarialFlood => "adversarial-flood",
+        }
+    }
+
+    fn base_surface(space: &Space, seed: u64) -> SyntheticUdf {
+        SyntheticUdf::builder(space.clone())
+            .peaks(20)
+            .base_cost(SYNTHETIC_BASE_COST)
+            .seed(seed)
+            .build()
+    }
+
+    /// Generates the scenario's stream and training set for `config`.
+    #[must_use]
+    pub fn materialize(self, space: &Space, config: &BakeoffConfig) -> ScenarioData {
+        let n = config.events;
+        // Per-scenario seed split so scenarios don't correlate.
+        let seed = config.seed ^ ((self as u64 + 1) << 24);
+        let honest = |surface: &dyn CostSurface, points: Vec<Vec<f64>>| -> Vec<FeedbackEvent> {
+            points
+                .into_iter()
+                .map(|point| {
+                    let cost = surface.cost(&point);
+                    FeedbackEvent { point, observed: cost, truth: cost }
+                })
+                .collect()
+        };
+        let training = |surface: &dyn CostSurface| -> Vec<(Vec<f64>, f64)> {
+            QueryDistribution::Uniform
+                .generate(space, n, seed ^ 0x7EA1)
+                .into_iter()
+                .map(|p| {
+                    let c = surface.cost(&p);
+                    (p, c)
+                })
+                .collect()
+        };
+        match self {
+            Scenario::UniformStatic => {
+                let surface = Self::base_surface(space, seed);
+                let points = QueryDistribution::Uniform.generate(space, n, seed ^ 1);
+                ScenarioData { events: honest(&surface, points), training: training(&surface) }
+            }
+            Scenario::EnvTax => {
+                let surface = EnvTaxSurface::new(Self::base_surface(space, seed));
+                let points = QueryDistribution::Uniform.generate(space, n, seed ^ 1);
+                ScenarioData { events: honest(&surface, points), training: training(&surface) }
+            }
+            Scenario::ConceptDrift => {
+                let before = Self::base_surface(space, seed);
+                // The post-swap surface moves the peaks AND triples the
+                // cost scale — the "underlying data grew" drift of §1.
+                // A statistically similar swap would leave a frozen
+                // histogram's marginal fit intact and hide the drift.
+                let after = SyntheticUdf::builder(space.clone())
+                    .peaks(20)
+                    .base_cost(3.0 * SYNTHETIC_BASE_COST)
+                    .seed(seed ^ 0xD81F7)
+                    .build();
+                // Uniform queries: in 4-d a gaussian-clustered workload
+                // almost never touches the decay peaks, which would make
+                // the swap unobservable (every model scores ~0 NAE).
+                let scenario = DriftScenario::new(
+                    space.clone(),
+                    QueryDistribution::Uniform,
+                    before.clone(),
+                    after,
+                    n / 2,
+                    seed,
+                );
+                ScenarioData { events: scenario.stream(n), training: training(&before) }
+            }
+            Scenario::AdversarialFlood => {
+                let surface = Self::base_surface(space, seed);
+                let flood = AdversarialFlood::new(
+                    space.clone(),
+                    QueryDistribution::Uniform,
+                    surface.clone(),
+                    0.15,
+                    50.0,
+                    seed,
+                );
+                ScenarioData { events: flood.stream(n), training: training(&surface) }
+            }
+        }
+    }
+}
+
+/// Builds one contender as a boxed [`Estimator`] under the config's
+/// budget; static histograms are fit on `training` first.
+///
+/// # Errors
+///
+/// Propagates model-construction and fit failures.
+pub fn build_contender(
+    contender: Contender,
+    space: &Space,
+    config: &BakeoffConfig,
+    training: &[(Vec<f64>, f64)],
+) -> Result<Box<dyn Estimator>, MlqError> {
+    let paired = |method: Method| -> Result<Box<dyn Estimator>, MlqError> {
+        let mut model = build_model(method, space, config.budget, 1)?;
+        if !method.is_self_tuning() {
+            model.fit(training)?;
+        }
+        let cpu: Box<dyn CostModel> = model;
+        let io = Box::new(NullModel::new(space.clone()));
+        Ok(Box::new(CostEstimator::new(cpu, io, 0.0)?))
+    };
+    match contender {
+        Contender::MlqE => paired(Method::MlqE),
+        Contender::MlqL => paired(Method::MlqL),
+        Contender::ShH => paired(Method::ShH),
+        Contender::ShW => paired(Method::ShW),
+        Contender::Knn => {
+            let knn = KnnRegressor::with_budget(space.clone(), 4, config.budget, config.seed)?;
+            Ok(Box::new(CombinedEstimator::new(knn, 0.0)?))
+        }
+        Contender::GbStump => {
+            let gb = GbStumpEnsemble::with_budget(space.clone(), config.budget, 0.3)?;
+            Ok(Box::new(CombinedEstimator::new(gb, 0.0)?))
+        }
+    }
+}
+
+/// One cell of the matrix: a contender's measurements on one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BakeoffCell {
+    /// Contender label ([`Contender::label`]).
+    pub estimator: String,
+    /// Contender family ([`Contender::family`]).
+    pub family: String,
+    /// Scenario label ([`Scenario::label`]).
+    pub scenario: String,
+    /// NAE of predictions against ground truth over the whole stream
+    /// (uninformed predictions count as 0 — cold-start error is charged,
+    /// as in the paper's learning curves).
+    pub nae: Option<f64>,
+    /// NAE over the second half of the stream — post-swap for the drift
+    /// scenario, steady state elsewhere.
+    pub tail_nae: Option<f64>,
+    /// Bytes of model state at end of stream ([`Estimator::memory_used`]).
+    pub model_bytes: usize,
+    /// Cold-start feedbacks-to-convergence
+    /// ([`mlq_metrics::feedbacks_to_convergence`]); `None` = never.
+    pub feedbacks_to_convergence: Option<usize>,
+    /// Average prediction cost (Eq. 1) in wall-clock nanoseconds.
+    /// **Timed — excluded from fingerprint and gate.**
+    pub apc_ns: Option<f64>,
+    /// Average update cost (Eq. 2) in wall-clock nanoseconds.
+    /// **Timed — excluded from fingerprint and gate.**
+    pub auc_ns: Option<f64>,
+    /// Batched prediction throughput via [`Estimator::predict_batch`].
+    /// **Timed — excluded from fingerprint and gate.**
+    pub predictions_per_sec: f64,
+}
+
+/// The full matrix plus the config that produced it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BakeoffReport {
+    /// Report schema version ([`BAKEOFF_SCHEMA`]).
+    pub schema: u32,
+    /// The config the matrix was produced from.
+    pub config: BakeoffConfig,
+    /// One cell per contender × scenario.
+    pub cells: Vec<BakeoffCell>,
+}
+
+impl BakeoffReport {
+    /// A string covering exactly the deterministic fields of every cell,
+    /// floats at bit precision. Two runs of [`run`] with equal configs
+    /// must produce equal fingerprints; the timed fields are excluded by
+    /// construction.
+    #[must_use]
+    pub fn deterministic_fingerprint(&self) -> String {
+        let bits = |v: Option<f64>| match v {
+            Some(x) => format!("{:016x}", x.to_bits()),
+            None => "-".to_string(),
+        };
+        let mut out = String::new();
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{}|{}|nae={}|tail={}|bytes={}|conv={}\n",
+                c.estimator,
+                c.scenario,
+                bits(c.nae),
+                bits(c.tail_nae),
+                c.model_bytes,
+                c.feedbacks_to_convergence.map_or_else(|| "-".to_string(), |v| v.to_string()),
+            ));
+        }
+        out
+    }
+
+    /// Looks up a cell by contender and scenario label.
+    #[must_use]
+    pub fn cell(&self, estimator: &str, scenario: &str) -> Option<&BakeoffCell> {
+        self.cells.iter().find(|c| c.estimator == estimator && c.scenario == scenario)
+    }
+
+    /// Renders the matrix as one [`ResultTable`] per scenario.
+    #[must_use]
+    pub fn to_tables(&self) -> Vec<ResultTable> {
+        SCENARIOS
+            .iter()
+            .map(|s| {
+                let mut t = ResultTable::new(
+                    format!(
+                        "Bake-off — {} ({} events, {} B budget)",
+                        s.label(),
+                        self.config.events,
+                        self.config.budget
+                    ),
+                    "estimator",
+                    ["NAE", "tail NAE", "bytes", "conv@", "APC ns", "AUC ns", "pred/s"]
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect(),
+                );
+                for c in self.cells.iter().filter(|c| c.scenario == s.label()) {
+                    #[allow(clippy::cast_precision_loss)]
+                    t.push_row(
+                        c.estimator.clone(),
+                        vec![
+                            c.nae,
+                            c.tail_nae,
+                            Some(c.model_bytes as f64),
+                            c.feedbacks_to_convergence.map(|v| v as f64),
+                            c.apc_ns,
+                            c.auc_ns,
+                            Some(c.predictions_per_sec),
+                        ],
+                    );
+                }
+                t
+            })
+            .collect()
+    }
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn run_cell(
+    contender: Contender,
+    scenario: Scenario,
+    space: &Space,
+    config: &BakeoffConfig,
+    data: &ScenarioData,
+) -> Result<BakeoffCell, MlqError> {
+    let mut est = build_contender(contender, space, config, &data.training)?;
+
+    // Feedback loop: predict, score against truth, observe what the
+    // executor saw. Per-call wall times feed the paper's APC/AUC ratios.
+    let mut pairs = Vec::with_capacity(data.events.len());
+    let mut predict_ns = Vec::with_capacity(data.events.len());
+    let mut observe_ns = Vec::with_capacity(data.events.len());
+    for e in &data.events {
+        let t0 = Instant::now();
+        let predicted = est.predict(&e.point)?;
+        predict_ns.push(t0.elapsed().as_nanos() as f64);
+        pairs.push((predicted.unwrap_or(0.0), e.truth));
+
+        let t0 = Instant::now();
+        est.observe(&e.point, ExecutionCost { cpu: e.observed, io: 0.0, results: 0 })?;
+        observe_ns.push(t0.elapsed().as_nanos() as f64);
+    }
+
+    // Throughput probe: repeated predict_batch over a fixed point set.
+    let probes =
+        QueryDistribution::Uniform.generate(space, config.throughput_batch, config.seed ^ 0x7410);
+    let t0 = Instant::now();
+    for _ in 0..config.throughput_rounds {
+        std::hint::black_box(est.predict_batch(&probes)?);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let predictions = config.throughput_batch * config.throughput_rounds;
+
+    let half = pairs.len() / 2;
+    Ok(BakeoffCell {
+        estimator: contender.label().to_string(),
+        family: contender.family().to_string(),
+        scenario: scenario.label().to_string(),
+        nae: nae(&pairs),
+        tail_nae: nae(&pairs[half..]),
+        model_bytes: est.memory_used(),
+        feedbacks_to_convergence: feedbacks_to_convergence(
+            &pairs,
+            config.window,
+            config.convergence_nae,
+        ),
+        apc_ns: apc(&predict_ns),
+        auc_ns: auc(&observe_ns, &[], data.events.len() as u64),
+        predictions_per_sec: predictions as f64 / elapsed.max(1e-9),
+    })
+}
+
+/// Runs the full contender × scenario matrix in the paper's 4-d space.
+///
+/// # Errors
+///
+/// Propagates model-construction and feedback failures.
+pub fn run(config: &BakeoffConfig) -> Result<BakeoffReport, MlqError> {
+    let space = Space::cube(4, 0.0, 1000.0)?;
+    let mut cells = Vec::with_capacity(CONTENDERS.len() * SCENARIOS.len());
+    for scenario in SCENARIOS {
+        let data = scenario.materialize(&space, config);
+        for contender in CONTENDERS {
+            cells.push(run_cell(contender, scenario, &space, config, &data)?);
+        }
+    }
+    Ok(BakeoffReport { schema: BAKEOFF_SCHEMA, config: config.clone(), cells })
+}
+
+/// CI gate: validates `measured`'s matrix is complete and that MLQ-E's
+/// accuracy has not regressed more than `tolerance` (fractional, e.g.
+/// 0.10) against `baseline` on any scenario.
+///
+/// Only deterministic fields are compared; wall-clock measures never
+/// fail the gate.
+///
+/// # Errors
+///
+/// A human-readable description of the first violated check.
+pub fn gate(
+    measured: &BakeoffReport,
+    baseline: &BakeoffReport,
+    tolerance: f64,
+) -> Result<(), String> {
+    if measured.schema != baseline.schema {
+        return Err(format!(
+            "schema mismatch: measured v{} vs baseline v{}",
+            measured.schema, baseline.schema
+        ));
+    }
+    if measured.config != baseline.config {
+        return Err(
+            "config mismatch: measured and baseline matrices were produced from different \
+             configs; regenerate the baseline (mlq-exp bakeoff --quick --out \
+             results/bakeoff.baseline.json)"
+                .to_string(),
+        );
+    }
+
+    // Matrix completeness: every family, every scenario, well-formed cells.
+    let families: std::collections::BTreeSet<&str> =
+        measured.cells.iter().map(|c| c.family.as_str()).collect();
+    if families.len() < 3 {
+        return Err(format!("matrix covers {} estimator families, need >= 3", families.len()));
+    }
+    let scenarios: std::collections::BTreeSet<&str> =
+        measured.cells.iter().map(|c| c.scenario.as_str()).collect();
+    if scenarios.len() < 4 {
+        return Err(format!("matrix covers {} scenarios, need >= 4", scenarios.len()));
+    }
+    for s in &SCENARIOS {
+        for c in &CONTENDERS {
+            let Some(cell) = measured.cell(c.label(), s.label()) else {
+                return Err(format!("missing cell: {} on {}", c.label(), s.label()));
+            };
+            match cell.nae {
+                Some(v) if v.is_finite() => {}
+                _ => {
+                    return Err(format!(
+                        "{} on {}: NAE missing or non-finite",
+                        c.label(),
+                        s.label()
+                    ))
+                }
+            }
+            if cell.model_bytes == 0 {
+                return Err(format!("{} on {}: zero model bytes", c.label(), s.label()));
+            }
+        }
+    }
+
+    // Accuracy regression: MLQ-E per scenario.
+    for s in &SCENARIOS {
+        let m = measured.cell("MLQ-E", s.label()).and_then(|c| c.nae);
+        let b = baseline.cell("MLQ-E", s.label()).and_then(|c| c.nae);
+        match (m, b) {
+            (Some(m), Some(b)) => {
+                let bound = b * (1.0 + tolerance) + 1e-12;
+                if m > bound {
+                    return Err(format!(
+                        "MLQ-E NAE regressed on {}: measured {m:.6} > baseline {b:.6} * (1 + \
+                         {tolerance:.2})",
+                        s.label()
+                    ));
+                }
+            }
+            _ => return Err(format!("MLQ-E NAE unavailable on {}", s.label())),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BakeoffConfig {
+        BakeoffConfig {
+            events: 160,
+            window: 40,
+            throughput_batch: 16,
+            throughput_rounds: 2,
+            ..BakeoffConfig::default()
+        }
+    }
+
+    #[test]
+    fn matrix_is_complete_and_deterministic() {
+        let config = tiny();
+        let a = run(&config).unwrap();
+        assert_eq!(a.cells.len(), CONTENDERS.len() * SCENARIOS.len());
+        let b = run(&config).unwrap();
+        assert_eq!(a.deterministic_fingerprint(), b.deterministic_fingerprint());
+        // Self-gate: a run never regresses against itself.
+        gate(&a, &b, 0.10).unwrap();
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let a = run(&tiny()).unwrap();
+        let json = serde_json::to_string_pretty(&a).unwrap();
+        let back: BakeoffReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(a.deterministic_fingerprint(), back.deterministic_fingerprint());
+        assert_eq!(a.config, back.config);
+    }
+
+    #[test]
+    fn gate_rejects_regressions_and_incomplete_matrices() {
+        let a = run(&tiny()).unwrap();
+
+        let mut worse = a.clone();
+        for c in &mut worse.cells {
+            if c.estimator == "MLQ-E" {
+                c.nae = c.nae.map(|v| v * 2.0);
+            }
+        }
+        let err = gate(&worse, &a, 0.10).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+
+        let mut sparse = a.clone();
+        sparse.cells.retain(|c| c.family != "learned");
+        let err = gate(&sparse, &a, 0.10).unwrap_err();
+        assert!(err.contains("families"), "{err}");
+
+        let mut other = a.clone();
+        other.config.seed ^= 1;
+        let err = gate(&other, &a, 0.10).unwrap_err();
+        assert!(err.contains("config mismatch"), "{err}");
+    }
+
+    #[test]
+    fn self_tuning_models_track_drift_better_than_static_histograms() {
+        // The matrix's headline claim, pinned as a test: on the drift
+        // scenario the frozen histograms' tail error exceeds MLQ-E's.
+        let report = run(&BakeoffConfig { events: 800, ..tiny() }).unwrap();
+        let tail = |est: &str| report.cell(est, "concept-drift").unwrap().tail_nae.unwrap();
+        assert!(
+            tail("MLQ-E") < tail("SH-H"),
+            "MLQ-E tail {} vs SH-H tail {}",
+            tail("MLQ-E"),
+            tail("SH-H")
+        );
+    }
+
+    #[test]
+    fn tables_cover_every_scenario() {
+        let report = run(&tiny()).unwrap();
+        let tables = report.to_tables();
+        assert_eq!(tables.len(), SCENARIOS.len());
+        for t in &tables {
+            assert_eq!(t.rows.len(), CONTENDERS.len());
+        }
+    }
+}

@@ -14,6 +14,7 @@
 //! | [`ablations`] | tech report | α, β, γ, λ, and memory-budget sweeps |
 //! | [`drift`] | §1 motivation | workload drift: MLQ vs frozen SH-H vs LEO-corrected SH-H |
 //! | [`optimizer_exp`] | Fig. 1 / §1 | end-to-end predicate-ordering cost with/without feedback |
+//! | [`bakeoff`] | extension | MLQ vs learned vs histogram matrix over 4 scenario streams |
 //!
 //! Every runner takes an explicit query-count scale so the same code backs
 //! the full experiment binaries, the integration tests, and the Criterion
@@ -23,6 +24,7 @@
 #![warn(clippy::all)]
 
 pub mod ablations;
+pub mod bakeoff;
 pub mod drift;
 pub mod fig10;
 pub mod fig11;

@@ -8,7 +8,7 @@
 //! `--json DIR` additionally writes every table as JSON into `DIR`.
 
 use mlq_experiments::{
-    ablations, drift, fig10, fig11, fig12, fig8, fig9, optimizer_exp, ResultTable,
+    ablations, bakeoff, drift, fig10, fig11, fig12, fig8, fig9, optimizer_exp, ResultTable,
 };
 use mlq_experiments::{ROOT_SEED, SYNTHETIC_BASE_COST};
 use std::path::PathBuf;
@@ -19,6 +19,14 @@ struct Options {
     quick: bool,
     json_dir: Option<PathBuf>,
     csv_dir: Option<PathBuf>,
+    /// `bakeoff`: write the full report JSON here.
+    out: Option<PathBuf>,
+    /// `bakeoff`: gate the run against this baseline report.
+    gate: Option<PathBuf>,
+    /// `bakeoff`: allowed fractional MLQ-E NAE regression for the gate.
+    tolerance: f64,
+    /// `bakeoff`: run the matrix twice and fail on any fingerprint drift.
+    check_repro: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -27,6 +35,10 @@ fn parse_args() -> Result<Options, String> {
     let mut quick = false;
     let mut json_dir = None;
     let mut csv_dir = None;
+    let mut out = None;
+    let mut gate = None;
+    let mut tolerance = 0.10;
+    let mut check_repro = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
@@ -38,14 +50,29 @@ fn parse_args() -> Result<Options, String> {
                 let dir = args.next().ok_or("--csv requires a directory".to_string())?;
                 csv_dir = Some(PathBuf::from(dir));
             }
+            "--out" => {
+                let file = args.next().ok_or("--out requires a file".to_string())?;
+                out = Some(PathBuf::from(file));
+            }
+            "--gate" => {
+                let file = args.next().ok_or("--gate requires a baseline file".to_string())?;
+                gate = Some(PathBuf::from(file));
+            }
+            "--tolerance" => {
+                let t = args.next().ok_or("--tolerance requires a value".to_string())?;
+                tolerance = t.parse().map_err(|e| format!("bad --tolerance {t}: {e}"))?;
+            }
+            "--check-repro" => check_repro = true,
             other => return Err(format!("unknown argument: {other}\n{}", usage())),
         }
     }
-    Ok(Options { command, quick, json_dir, csv_dir })
+    Ok(Options { command, quick, json_dir, csv_dir, out, gate, tolerance, check_repro })
 }
 
 fn usage() -> String {
-    "usage: mlq-exp <fig8|fig9|fig10|fig11|fig12|ablations|drift|optimizer|render|all> [--quick] [--json DIR] [--csv DIR]"
+    "usage: mlq-exp <fig8|fig9|fig10|fig11|fig12|ablations|drift|optimizer|render|bakeoff|all> \
+     [--quick] [--json DIR] [--csv DIR]\n       bakeoff extras: [--out FILE] [--gate BASELINE] \
+     [--tolerance FRAC] [--check-repro]"
         .to_string()
 }
 
@@ -134,6 +161,47 @@ fn run_drift(quick: bool) -> Result<Vec<ResultTable>, AnyError> {
     Ok(vec![drift::run(&config)?])
 }
 
+/// `mlq-exp bakeoff`: the estimator bake-off matrix, with optional JSON
+/// report, reproducibility self-check, and baseline gate — the exact
+/// sequence CI runs.
+fn run_bakeoff(opts: &Options) -> Result<Vec<ResultTable>, AnyError> {
+    let config = if opts.quick {
+        bakeoff::BakeoffConfig::quick()
+    } else {
+        bakeoff::BakeoffConfig::default()
+    };
+    let report = bakeoff::run(&config)?;
+
+    if opts.check_repro {
+        let second = bakeoff::run(&config)?;
+        if report.deterministic_fingerprint() != second.deterministic_fingerprint() {
+            return Err("bake-off is not reproducible: two runs under the same config disagree \
+                        on deterministic fields"
+                .into());
+        }
+        eprintln!("repro check: two runs bit-identical on deterministic fields");
+    }
+
+    if let Some(path) = &opts.out {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, serde_json::to_string_pretty(&report)?)?;
+        eprintln!("wrote {}", path.display());
+    }
+
+    if let Some(path) = &opts.gate {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading baseline {}: {e}", path.display()))?;
+        let baseline: bakeoff::BakeoffReport = serde_json::from_str(&text)?;
+        bakeoff::gate(&report, &baseline, opts.tolerance)
+            .map_err(|e| format!("bake-off gate failed: {e}"))?;
+        eprintln!("gate passed vs {} (tolerance {:.0}%)", path.display(), opts.tolerance * 100.0);
+    }
+
+    Ok(report.to_tables())
+}
+
 fn run_optimizer(quick: bool) -> Result<Vec<ResultTable>, AnyError> {
     let config = if quick {
         optimizer_exp::OptimizerExpConfig::quick()
@@ -219,6 +287,7 @@ fn main() -> ExitCode {
             }
         }
         "optimizer" => run_optimizer(opts.quick),
+        "bakeoff" => run_bakeoff(&opts),
         "all" => (|| {
             let mut all = Vec::new();
             all.extend(run_fig8(opts.quick)?);

@@ -1,0 +1,178 @@
+//! Regression test: after a mid-stream concept-drift surface swap, the
+//! guarded MLQ path *recovers* — windowed NAE drops back below a bound
+//! within a bounded number of post-swap feedbacks.
+//!
+//! The swap both moves the cost peaks and triples the cost scale, so the
+//! guard's outlier quarantine initially rejects the new regime wholesale;
+//! recovery therefore exercises the full path the serving tier relies
+//! on: quarantine → consecutive-streak regime reset
+//! ([`GuardConfig::quarantine_streak`]) → re-learning. A frozen
+//! histogram on the same stream stays wrong, which is the bake-off's
+//! headline drift result pinned here as a hard gate.
+//!
+//! Seeds come from `MLQ_DRIFT_SEED`; on failure the windowed-NAE
+//! trajectory is written under `target/drift-diff/` for the CI artifact
+//! upload (same pattern as the serving tier's durability suite).
+
+use mlq_core::{
+    BreakerState, CostModel, GuardConfig, GuardedModel, InsertionStrategy, MemoryLimitedQuadtree,
+    MlqConfig, MlqError, Space,
+};
+use mlq_metrics::{feedbacks_to_convergence, nae};
+use mlq_synth::{DriftScenario, FeedbackEvent, QueryDistribution, SyntheticUdf};
+use std::path::PathBuf;
+
+/// Stream shape: swap at the midpoint of `EVENTS`.
+const EVENTS: usize = 3000;
+const SWAP_AT: usize = EVENTS / 2;
+/// Recovery bound: within this many post-swap feedbacks, some window of
+/// `WINDOW` observations must score NAE at or below `RECOVERY_NAE`.
+const RECOVERY_BOUND: usize = 1000;
+const WINDOW: usize = 100;
+const RECOVERY_NAE: f64 = 0.35;
+
+fn harness_seed() -> u64 {
+    std::env::var("MLQ_DRIFT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0xD21F7)
+}
+
+fn space() -> Space {
+    Space::cube(2, 0.0, 1000.0).unwrap()
+}
+
+fn scenario(seed: u64) -> DriftScenario {
+    let space = space();
+    let before = SyntheticUdf::builder(space.clone()).peaks(20).base_cost(500.0).seed(seed).build();
+    // Peaks move AND the cost scale triples: the post-swap regime is far
+    // enough from the old window median that the quarantine rejects it
+    // until the streak escape fires.
+    let after = SyntheticUdf::builder(space.clone())
+        .peaks(20)
+        .base_cost(1500.0)
+        .seed(seed ^ 0xD81F7)
+        .build();
+    DriftScenario::new(space, QueryDistribution::Uniform, before, after, SWAP_AT, seed)
+}
+
+fn guarded_mlq(seed_budget: usize) -> GuardedModel<MemoryLimitedQuadtree> {
+    let config = MlqConfig::builder(space())
+        .memory_budget(seed_budget)
+        .strategy(InsertionStrategy::Eager)
+        .build()
+        .unwrap();
+    GuardedModel::for_quadtree(MemoryLimitedQuadtree::new(config).unwrap(), GuardConfig::default())
+        .unwrap()
+}
+
+/// Drives `model` through the stream, returning `(predicted, truth)`
+/// pairs. Quarantined feedback is dropped (that is the guard doing its
+/// job); any other observe error fails the test.
+fn drive(
+    model: &mut GuardedModel<MemoryLimitedQuadtree>,
+    events: &[FeedbackEvent],
+) -> Vec<(f64, f64)> {
+    let mut pairs = Vec::with_capacity(events.len());
+    for e in events {
+        let predicted = model.predict(&e.point).unwrap().unwrap_or(0.0);
+        pairs.push((predicted, e.truth));
+        match model.observe(&e.point, e.observed) {
+            Ok(()) | Err(MlqError::FeedbackQuarantined { .. }) => {}
+            Err(other) => panic!("unexpected observe error: {other}"),
+        }
+    }
+    pairs
+}
+
+fn diff_artifact_dir() -> PathBuf {
+    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "../../target".into());
+    PathBuf::from(target).join("drift-diff")
+}
+
+/// Writes the post-swap windowed-NAE trajectory to
+/// `target/drift-diff/<tag>.txt` and panics with the path.
+fn fail_with_trajectory(tag: &str, post: &[(f64, f64)], message: &str) -> ! {
+    let mut diff = format!("drift recovery failure: {tag}\n{message}\n\nwindow  nae\n");
+    for (i, chunk) in post.chunks(WINDOW).enumerate() {
+        diff.push_str(&format!(
+            "{:6}  {}\n",
+            (i + 1) * WINDOW,
+            nae(chunk).map_or_else(|| "-".to_string(), |v| format!("{v:.4}")),
+        ));
+    }
+    let dir = diff_artifact_dir();
+    std::fs::create_dir_all(&dir).ok();
+    let path = dir.join(format!("{tag}.txt"));
+    std::fs::write(&path, &diff).ok();
+    panic!("{message}\n(trajectory written to {})", path.display());
+}
+
+#[test]
+fn guarded_mlq_recovers_from_concept_drift_within_bounded_feedbacks() {
+    let seed = harness_seed();
+    let events = scenario(seed).stream(EVENTS);
+    let mut model = guarded_mlq(4096);
+    let pairs = drive(&mut model, &events);
+    let post = &pairs[SWAP_AT..];
+
+    // The scale shift must actually have hit the quarantine and escaped
+    // through a regime reset — otherwise this test is not exercising the
+    // guard path it claims to cover.
+    let counters = model.counters();
+    if counters.regime_resets == 0 {
+        fail_with_trajectory(
+            "no-regime-reset",
+            post,
+            "the surface swap never triggered the quarantine's regime escape",
+        );
+    }
+    // The breaker never trips: drift is a data change, not a model fault.
+    assert_eq!(model.state(), BreakerState::Closed, "breaker tripped on drift");
+
+    match feedbacks_to_convergence(post, WINDOW, RECOVERY_NAE) {
+        Some(n) if n <= RECOVERY_BOUND => {}
+        verdict => {
+            let msg = format!(
+                "guarded MLQ did not recover to NAE <= {RECOVERY_NAE} within {RECOVERY_BOUND} \
+                 post-swap feedbacks (seed {seed:#x}, convergence: {verdict:?})"
+            );
+            fail_with_trajectory("mlq-recovery", post, &msg);
+        }
+    }
+}
+
+#[test]
+fn frozen_histogram_stays_wrong_after_the_swap() {
+    // The counterfactual that makes recovery meaningful: a static
+    // equi-height histogram fit on the pre-swap surface never recovers.
+    use mlq_core::TrainableModel;
+
+    let seed = harness_seed();
+    let scenario = scenario(seed);
+    let events = scenario.stream(EVENTS);
+
+    let training: Vec<(Vec<f64>, f64)> = QueryDistribution::Uniform
+        .generate(&space(), 2000, seed ^ 0x7EA1)
+        .into_iter()
+        .map(|p| {
+            let c = mlq_synth::CostSurface::cost(scenario.surface_at(0), &p);
+            (p, c)
+        })
+        .collect();
+    let mut hist = mlq_baselines::EquiHeightHistogram::with_budget(space(), 4096).unwrap();
+    hist.fit(&training).unwrap();
+
+    let post: Vec<(f64, f64)> = events[SWAP_AT..]
+        .iter()
+        .map(|e| (hist.predict(&e.point).unwrap().unwrap_or(0.0), e.truth))
+        .collect();
+    let frozen_nae = nae(&post).unwrap();
+    assert!(
+        frozen_nae > RECOVERY_NAE,
+        "frozen histogram unexpectedly tracks the post-swap surface (NAE {frozen_nae:.4}); \
+         the drift scenario has lost its teeth"
+    );
+    assert_eq!(
+        feedbacks_to_convergence(&post, WINDOW, RECOVERY_NAE),
+        None,
+        "frozen histogram converged post-swap"
+    );
+}

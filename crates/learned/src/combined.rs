@@ -1,0 +1,138 @@
+//! Adapter from one [`CostModel`] to the optimizer's [`Estimator`] seam.
+
+use mlq_core::{CostModel, MlqError};
+use mlq_optimizer::Estimator;
+use mlq_udfs::ExecutionCost;
+
+/// Drives a single cost model as a full [`Estimator`] by learning the
+/// *combined* CPU + weighted-IO cost directly.
+///
+/// [`mlq_optimizer::CostEstimator`] keeps two models per UDF (the
+/// paper's design: separate CPU and disk-IO surfaces). A learned
+/// regressor deployed per UDF would instead learn the single quantity
+/// the optimizer actually ranks on — `cpu + io_weight * io` — halving
+/// model state. This adapter is that deployment: `observe` folds the
+/// execution cost into one scalar via [`Estimator::combine`] before
+/// feeding the model, and `predict` returns the model's combined-cost
+/// estimate as-is.
+#[derive(Debug, Clone)]
+pub struct CombinedEstimator<M: CostModel> {
+    model: M,
+    io_weight: f64,
+}
+
+impl<M: CostModel> CombinedEstimator<M> {
+    /// Wraps `model`; `io_weight` converts page reads to CPU units, as
+    /// in [`mlq_optimizer::CostEstimator::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`MlqError::InvalidConfig`] when `io_weight` is negative or
+    /// non-finite.
+    pub fn new(model: M, io_weight: f64) -> Result<Self, MlqError> {
+        if !io_weight.is_finite() || io_weight < 0.0 {
+            return Err(MlqError::InvalidConfig {
+                reason: format!("io_weight must be finite and non-negative, got {io_weight}"),
+            });
+        }
+        Ok(CombinedEstimator { model, io_weight })
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Accounted bytes of the underlying model.
+    #[must_use]
+    pub fn memory_used(&self) -> usize {
+        self.model.memory_used()
+    }
+}
+
+impl<M: CostModel> Estimator for CombinedEstimator<M> {
+    fn predict(&self, point: &[f64]) -> Result<Option<f64>, MlqError> {
+        self.model.predict(point)
+    }
+
+    fn predict_batch(&self, points: &[Vec<f64>]) -> Result<Vec<Option<f64>>, MlqError> {
+        // Same per-point path as `predict` — bit-identical by
+        // construction, with one result allocation for the whole batch
+        // (the estimator-contract suite asserts the equivalence).
+        let mut out = Vec::with_capacity(points.len());
+        for p in points {
+            out.push(self.model.predict(p)?);
+        }
+        Ok(out)
+    }
+
+    fn observe(&mut self, point: &[f64], cost: ExecutionCost) -> Result<(), MlqError> {
+        let combined = self.combine(cost);
+        self.model.observe(point, combined)
+    }
+
+    fn combine(&self, cost: ExecutionCost) -> f64 {
+        cost.cpu + self.io_weight * cost.io
+    }
+
+    fn memory_used(&self) -> usize {
+        self.model.memory_used()
+    }
+
+    fn name(&self) -> String {
+        format!("combined({})", self.model.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GbStumpEnsemble, KnnRegressor};
+    use mlq_core::Space;
+
+    fn space() -> Space {
+        Space::cube(2, 0.0, 1000.0).unwrap()
+    }
+
+    #[test]
+    fn learns_the_combined_cost() {
+        let knn = KnnRegressor::new(space(), 2, 64, 3).unwrap();
+        let mut e = CombinedEstimator::new(knn, 100.0).unwrap();
+        assert_eq!(e.predict(&[1.0, 1.0]).unwrap(), None);
+        e.observe(&[1.0, 1.0], ExecutionCost { cpu: 50.0, io: 2.0, results: 0 }).unwrap();
+        let p = e.predict(&[1.0, 1.0]).unwrap().unwrap();
+        assert!((p - 250.0).abs() < 1e-9, "50 + 100*2 = 250, got {p}");
+        assert!((e.combine(ExecutionCost { cpu: 50.0, io: 2.0, results: 0 }) - 250.0).abs() < 1e-9);
+        assert!(Estimator::memory_used(&e) > 0);
+        assert_eq!(e.name(), "combined(KNN-R)");
+    }
+
+    #[test]
+    fn predict_batch_matches_per_point_bitwise() {
+        let gb = GbStumpEnsemble::new(space(), 12, 0.3).unwrap();
+        let mut e = CombinedEstimator::new(gb, 10.0).unwrap();
+        for i in 0..300 {
+            let p = [f64::from(i % 23) * 43.0, f64::from(i % 7) * 140.0];
+            e.observe(
+                &p,
+                ExecutionCost { cpu: f64::from(i % 50), io: f64::from(i % 3), results: 0 },
+            )
+            .unwrap();
+        }
+        let probes: Vec<Vec<f64>> =
+            (0..50).map(|i| vec![f64::from(i) * 20.0, f64::from(i % 10) * 100.0]).collect();
+        let batch = e.predict_batch(&probes).unwrap();
+        for (probe, b) in probes.iter().zip(&batch) {
+            let single = e.predict(probe).unwrap();
+            assert_eq!(single.map(f64::to_bits), b.map(f64::to_bits));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        for bad in [-1.0, f64::NAN, f64::INFINITY] {
+            let knn = KnnRegressor::new(space(), 2, 8, 0).unwrap();
+            assert!(CombinedEstimator::new(knn, bad).is_err());
+        }
+    }
+}

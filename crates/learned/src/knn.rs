@@ -1,0 +1,266 @@
+//! Incremental k-NN regression over a reservoir-bounded training set.
+
+use mlq_core::{CostModel, MlqError, Space, TrainableModel};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Bytes accounted per stored example beyond its coordinates: the cost
+/// value plus the `Vec` pointer/len/cap triple that holds the point.
+const EXAMPLE_OVERHEAD: usize = 8 + 3 * 8;
+
+/// An online k-nearest-neighbour cost regressor with hard-bounded memory.
+///
+/// Every observation is offered to a fixed-capacity *reservoir* (Vitter's
+/// algorithm R): the first `capacity` examples are kept, after which each
+/// new example replaces a uniformly random slot with probability
+/// `capacity / seen`. The reservoir therefore stays a uniform sample of
+/// the whole feedback stream while memory never grows — the learned
+/// analogue of MLQ's fixed byte budget.
+///
+/// Prediction is inverse-distance-weighted regression over the `k`
+/// nearest stored examples (exact matches short-circuit to their exact
+/// average). Deterministic under a fixed seed: the reservoir's RNG is
+/// seeded, distance ties break by slot index, and prediction itself uses
+/// no randomness.
+#[derive(Debug, Clone)]
+pub struct KnnRegressor {
+    space: Space,
+    k: usize,
+    capacity: usize,
+    points: Vec<Vec<f64>>,
+    costs: Vec<f64>,
+    seen: u64,
+    rng: StdRng,
+}
+
+impl KnnRegressor {
+    /// Creates a regressor over `space` keeping at most `capacity`
+    /// examples and predicting from the `k` nearest.
+    ///
+    /// # Errors
+    ///
+    /// [`MlqError::InvalidConfig`] when `k` or `capacity` is zero.
+    pub fn new(space: Space, k: usize, capacity: usize, seed: u64) -> Result<Self, MlqError> {
+        if k == 0 || capacity == 0 {
+            return Err(MlqError::InvalidConfig {
+                reason: format!(
+                    "k-NN needs k >= 1 and capacity >= 1, got k={k} capacity={capacity}"
+                ),
+            });
+        }
+        Ok(KnnRegressor {
+            space,
+            k,
+            capacity,
+            points: Vec::new(),
+            costs: Vec::new(),
+            seen: 0,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// Creates a regressor whose reservoir capacity is derived from a
+    /// byte budget, memory-fairly with the other estimator families:
+    /// each stored example costs `8 * dims` coordinate bytes plus the
+    /// value and container overhead.
+    ///
+    /// # Errors
+    ///
+    /// [`MlqError::InvalidConfig`] when `k == 0` or the budget cannot
+    /// hold a single example.
+    pub fn with_budget(space: Space, k: usize, budget: usize, seed: u64) -> Result<Self, MlqError> {
+        let per_example = 8 * space.dims() + EXAMPLE_OVERHEAD;
+        let capacity = budget / per_example;
+        if capacity == 0 {
+            return Err(MlqError::InvalidConfig {
+                reason: format!("budget {budget} B cannot hold one {}-d example", space.dims()),
+            });
+        }
+        KnnRegressor::new(space, k, capacity, seed)
+    }
+
+    /// Number of examples currently held in the reservoir.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True while the reservoir is empty (no predictions possible yet).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Reservoir capacity in examples.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn check(&self, point: &[f64]) -> Result<(), MlqError> {
+        self.space.grid_point(point).map(|_| ())
+    }
+}
+
+impl CostModel for KnnRegressor {
+    fn predict(&self, point: &[f64]) -> Result<Option<f64>, MlqError> {
+        self.check(point)?;
+        if self.points.is_empty() {
+            return Ok(None);
+        }
+        // Squared distances to every stored example; k smallest win, ties
+        // broken by slot index (select_nth on (dist, index) is exact).
+        let mut dists: Vec<(f64, usize)> = self
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let d2: f64 = p.iter().zip(point).map(|(a, b)| (a - b) * (a - b)).sum();
+                (d2, i)
+            })
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let nearest = &dists[..k];
+
+        // Exact hits average exactly (inverse-distance weights diverge).
+        let exact: Vec<usize> =
+            nearest.iter().take_while(|(d2, _)| *d2 == 0.0).map(|&(_, i)| i).collect();
+        if !exact.is_empty() {
+            let sum: f64 = exact.iter().map(|&i| self.costs[i]).sum();
+            return Ok(Some(sum / exact.len() as f64));
+        }
+        let mut wsum = 0.0;
+        let mut vsum = 0.0;
+        for &(d2, i) in nearest {
+            let w = 1.0 / d2.sqrt();
+            wsum += w;
+            vsum += w * self.costs[i];
+        }
+        Ok(Some(vsum / wsum))
+    }
+
+    fn observe(&mut self, point: &[f64], actual: f64) -> Result<(), MlqError> {
+        self.check(point)?;
+        if !actual.is_finite() {
+            return Err(MlqError::NonFiniteValue { context: "cost value" });
+        }
+        self.seen += 1;
+        if self.points.len() < self.capacity {
+            self.points.push(point.to_vec());
+            self.costs.push(actual);
+        } else {
+            // Algorithm R: replace a random slot with probability cap/seen.
+            let j = self.rng.random_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.points[j as usize] = point.to_vec();
+                self.costs[j as usize] = actual;
+            }
+        }
+        Ok(())
+    }
+
+    fn memory_used(&self) -> usize {
+        self.points.len() * (8 * self.space.dims() + EXAMPLE_OVERHEAD) + std::mem::size_of::<Self>()
+    }
+
+    fn name(&self) -> String {
+        "KNN-R".to_string()
+    }
+}
+
+impl TrainableModel for KnnRegressor {
+    fn fit(&mut self, data: &[(Vec<f64>, f64)]) -> Result<(), MlqError> {
+        for (point, value) in data {
+            self.observe(point, *value)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> Space {
+        Space::cube(2, 0.0, 1000.0).unwrap()
+    }
+
+    #[test]
+    fn cold_model_predicts_none() {
+        let knn = KnnRegressor::new(space(), 3, 100, 1).unwrap();
+        assert_eq!(knn.predict(&[1.0, 2.0]).unwrap(), None);
+    }
+
+    #[test]
+    fn exact_match_returns_observed_cost() {
+        let mut knn = KnnRegressor::new(space(), 3, 100, 1).unwrap();
+        knn.observe(&[10.0, 10.0], 42.0).unwrap();
+        knn.observe(&[900.0, 900.0], 7.0).unwrap();
+        assert_eq!(knn.predict(&[10.0, 10.0]).unwrap(), Some(42.0));
+    }
+
+    #[test]
+    fn interpolates_between_neighbours() {
+        let mut knn = KnnRegressor::new(space(), 2, 100, 1).unwrap();
+        knn.observe(&[0.0, 0.0], 10.0).unwrap();
+        knn.observe(&[100.0, 0.0], 30.0).unwrap();
+        // Midpoint: equal weights -> mean of the two costs.
+        let p = knn.predict(&[50.0, 0.0]).unwrap().unwrap();
+        assert!((p - 20.0).abs() < 1e-9, "{p}");
+        // Closer to the first point -> pulled toward 10.
+        let p = knn.predict(&[10.0, 0.0]).unwrap().unwrap();
+        assert!(p < 15.0, "{p}");
+    }
+
+    #[test]
+    fn reservoir_never_exceeds_capacity() {
+        let mut knn = KnnRegressor::new(space(), 3, 16, 9).unwrap();
+        for i in 0..1000 {
+            let x = f64::from(i % 100) * 10.0;
+            knn.observe(&[x, x], f64::from(i)).unwrap();
+        }
+        assert_eq!(knn.len(), 16);
+        let cap = knn.memory_used();
+        for i in 0..100 {
+            knn.observe(&[5.0, f64::from(i)], 1.0).unwrap();
+        }
+        assert_eq!(knn.memory_used(), cap, "memory must stay flat after fill");
+    }
+
+    #[test]
+    fn budget_sizing_is_memory_fair() {
+        let knn = KnnRegressor::with_budget(space(), 4, 1800, 1).unwrap();
+        // 2-d example = 16 + 32 = 48 B -> 37 slots from 1800 B.
+        assert_eq!(knn.capacity(), 1800 / 48);
+        assert!(KnnRegressor::with_budget(space(), 4, 10, 1).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let stream: Vec<(Vec<f64>, f64)> = (0..500)
+            .map(|i| (vec![f64::from(i % 37) * 27.0, f64::from(i % 11) * 90.0], f64::from(i)))
+            .collect();
+        let run = |seed: u64| {
+            let mut knn = KnnRegressor::new(space(), 3, 32, seed).unwrap();
+            for (p, c) in &stream {
+                knn.observe(p, *c).unwrap();
+            }
+            (0..20)
+                .map(|i| knn.predict(&[f64::from(i) * 50.0, 500.0]).unwrap().unwrap().to_bits())
+                .collect::<Vec<u64>>()
+        };
+        assert_eq!(run(7), run(7), "same seed must be bit-identical");
+        assert_ne!(run(7), run(8), "different seeds must sample different reservoirs");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        let mut knn = KnnRegressor::new(space(), 3, 10, 1).unwrap();
+        assert!(knn.predict(&[1.0]).is_err());
+        assert!(knn.observe(&[1.0, f64::NAN], 1.0).is_err());
+        assert!(knn.observe(&[1.0, 1.0], f64::INFINITY).is_err());
+        assert!(KnnRegressor::new(space(), 0, 10, 1).is_err());
+        assert!(KnnRegressor::new(space(), 3, 0, 1).is_err());
+    }
+}

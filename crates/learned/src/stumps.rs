@@ -1,0 +1,293 @@
+//! An online gradient-boosted ensemble of decision stumps.
+
+use mlq_core::{CostModel, MlqError, Space, TrainableModel};
+
+/// Accounted bytes per stump: dimension index, threshold, two leaf
+/// values, two leaf counts.
+const STUMP_BYTES: usize = 8 + 8 + 2 * 8 + 2 * 8;
+
+/// One axis-aligned split with a learned value per side.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Stump {
+    dim: usize,
+    threshold: f64,
+    /// Leaf corrections: `[below, at-or-above]` the threshold.
+    leaf: [f64; 2],
+    /// Observations each leaf has absorbed (drives the step-size decay).
+    hits: [u64; 2],
+}
+
+impl Stump {
+    #[inline]
+    fn side(&self, point: &[f64]) -> usize {
+        usize::from(point[self.dim] >= self.threshold)
+    }
+}
+
+/// A small gradient-boosted-stump regressor trained one feedback point at
+/// a time.
+///
+/// The ensemble's structure is fixed up front — deterministic, no RNG:
+/// stump `s` splits dimension `s % dims` at a *dyadic* threshold
+/// (midpoint first, then quarter points, eighths, …), so successive
+/// stumps refine each axis the way successive quadtree levels refine the
+/// model space. Only the leaf values learn.
+///
+/// Training is stage-wise, exactly like batch gradient boosting with a
+/// squared loss: each stump receives the residual left by the stages
+/// before it and moves its active leaf toward that residual with a
+/// per-leaf step size `shrinkage / (1 + hits/relearn)`. The decaying step
+/// keeps early stages stable while `relearn` bounds how slow updates may
+/// become, so the ensemble keeps tracking concept drift instead of
+/// freezing solid.
+#[derive(Debug, Clone)]
+pub struct GbStumpEnsemble {
+    space: Space,
+    stumps: Vec<Stump>,
+    /// Running mean of all observed costs — boosting stage 0.
+    base_sum: f64,
+    base_count: u64,
+    shrinkage: f64,
+    relearn: f64,
+}
+
+impl GbStumpEnsemble {
+    /// Creates an ensemble of `stumps` stumps over `space` with learning
+    /// rate `shrinkage` (0.3 is a robust default for stream learning).
+    ///
+    /// # Errors
+    ///
+    /// [`MlqError::InvalidConfig`] when `stumps == 0` or `shrinkage` is
+    /// not in `(0, 1]`.
+    pub fn new(space: Space, stumps: usize, shrinkage: f64) -> Result<Self, MlqError> {
+        if stumps == 0 {
+            return Err(MlqError::InvalidConfig {
+                reason: "a stump ensemble needs at least one stump".to_string(),
+            });
+        }
+        if !(shrinkage > 0.0 && shrinkage <= 1.0) {
+            return Err(MlqError::InvalidConfig {
+                reason: format!("shrinkage must be in (0, 1], got {shrinkage}"),
+            });
+        }
+        let dims = space.dims();
+        let built = (0..stumps)
+            .map(|s| {
+                let dim = s % dims;
+                let level = s / dims;
+                Stump {
+                    dim,
+                    threshold: dyadic_threshold(space.low(dim), space.high(dim), level),
+                    leaf: [0.0; 2],
+                    hits: [0; 2],
+                }
+            })
+            .collect();
+        Ok(GbStumpEnsemble {
+            space,
+            stumps: built,
+            base_sum: 0.0,
+            base_count: 0,
+            shrinkage,
+            relearn: 64.0,
+        })
+    }
+
+    /// Creates an ensemble sized from a byte budget, memory-fairly with
+    /// the other estimator families.
+    ///
+    /// # Errors
+    ///
+    /// [`MlqError::InvalidConfig`] when the budget cannot hold one stump.
+    pub fn with_budget(space: Space, budget: usize, shrinkage: f64) -> Result<Self, MlqError> {
+        let stumps = budget / STUMP_BYTES;
+        if stumps == 0 {
+            return Err(MlqError::InvalidConfig {
+                reason: format!("budget {budget} B cannot hold one {STUMP_BYTES}-byte stump"),
+            });
+        }
+        GbStumpEnsemble::new(space, stumps, shrinkage)
+    }
+
+    /// Number of stumps in the ensemble.
+    #[must_use]
+    pub fn stump_count(&self) -> usize {
+        self.stumps.len()
+    }
+
+    fn check(&self, point: &[f64]) -> Result<(), MlqError> {
+        self.space.grid_point(point).map(|_| ())
+    }
+
+    fn raw_predict(&self, point: &[f64]) -> f64 {
+        let base = self.base_sum / self.base_count as f64;
+        self.stumps.iter().fold(base, |acc, s| acc + s.leaf[s.side(point)])
+    }
+}
+
+/// The `level`-th dyadic split position inside `[low, high)`: 1/2, then
+/// 1/4, 3/4, then 1/8, 3/8, 5/8, 7/8, …
+fn dyadic_threshold(low: f64, high: f64, level: usize) -> f64 {
+    // Level l belongs to generation g where generation g holds 2^g
+    // thresholds: l = 2^g - 1 + k, numerator (2k+1), denominator 2^(g+1).
+    let generation = usize::BITS - (level + 1).leading_zeros() - 1;
+    let k = level + 1 - (1 << generation);
+    let frac = (2 * k + 1) as f64 / f64::from(1u32 << (generation + 1));
+    low + frac * (high - low)
+}
+
+impl CostModel for GbStumpEnsemble {
+    fn predict(&self, point: &[f64]) -> Result<Option<f64>, MlqError> {
+        self.check(point)?;
+        if self.base_count == 0 {
+            return Ok(None);
+        }
+        // Boosted corrections can overshoot below zero; execution costs
+        // cannot, so the model's output is clamped like MLQ's summaries.
+        Ok(Some(self.raw_predict(point).max(0.0)))
+    }
+
+    fn observe(&mut self, point: &[f64], actual: f64) -> Result<(), MlqError> {
+        self.check(point)?;
+        if !actual.is_finite() {
+            return Err(MlqError::NonFiniteValue { context: "cost value" });
+        }
+        self.base_sum += actual;
+        self.base_count += 1;
+        // Stage-wise residual fitting: each stump corrects what the
+        // prefix before it still gets wrong at this point.
+        let mut partial = self.base_sum / self.base_count as f64;
+        let (shrinkage, relearn) = (self.shrinkage, self.relearn);
+        for stump in &mut self.stumps {
+            let side = stump.side(point);
+            stump.hits[side] += 1;
+            let residual = actual - partial - stump.leaf[side];
+            let rate = shrinkage / (1.0 + stump.hits[side] as f64 / relearn);
+            stump.leaf[side] += rate * residual;
+            partial += stump.leaf[side];
+        }
+        Ok(())
+    }
+
+    fn memory_used(&self) -> usize {
+        self.stumps.len() * STUMP_BYTES + std::mem::size_of::<Self>()
+    }
+
+    fn name(&self) -> String {
+        "GB-STUMP".to_string()
+    }
+}
+
+impl TrainableModel for GbStumpEnsemble {
+    fn fit(&mut self, data: &[(Vec<f64>, f64)]) -> Result<(), MlqError> {
+        for (point, value) in data {
+            self.observe(point, *value)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> Space {
+        Space::cube(2, 0.0, 1000.0).unwrap()
+    }
+
+    #[test]
+    fn dyadic_thresholds_refine_like_tree_levels() {
+        let t: Vec<f64> = (0..7).map(|l| dyadic_threshold(0.0, 1000.0, l)).collect();
+        assert_eq!(t, vec![500.0, 250.0, 750.0, 125.0, 375.0, 625.0, 875.0]);
+    }
+
+    #[test]
+    fn cold_model_predicts_none() {
+        let gb = GbStumpEnsemble::new(space(), 8, 0.3).unwrap();
+        assert_eq!(gb.predict(&[1.0, 1.0]).unwrap(), None);
+    }
+
+    #[test]
+    fn learns_a_step_function() {
+        // Cost 100 on the left half, 900 on the right half of dim 0 — one
+        // midpoint stump expresses this exactly; the ensemble must find it.
+        let mut gb = GbStumpEnsemble::new(space(), 8, 0.3).unwrap();
+        for i in 0..600 {
+            let x = f64::from(i % 20) * 50.0 + 1.0;
+            let y = f64::from(i % 13) * 75.0;
+            let c = if x < 500.0 { 100.0 } else { 900.0 };
+            gb.observe(&[x, y], c).unwrap();
+        }
+        let left = gb.predict(&[200.0, 400.0]).unwrap().unwrap();
+        let right = gb.predict(&[800.0, 400.0]).unwrap().unwrap();
+        assert!((left - 100.0).abs() < 60.0, "left {left}");
+        assert!((right - 900.0).abs() < 60.0, "right {right}");
+    }
+
+    #[test]
+    fn predictions_are_clamped_non_negative() {
+        let mut gb = GbStumpEnsemble::new(space(), 16, 1.0).unwrap();
+        // Aggressive shrinkage + alternating extremes can overshoot; the
+        // clamp keeps the contract.
+        for i in 0..200 {
+            let x = f64::from(i % 2) * 999.0;
+            gb.observe(&[x, x], if i % 2 == 0 { 0.0 } else { 5000.0 }).unwrap();
+        }
+        for probe in 0..20 {
+            let p = gb.predict(&[f64::from(probe) * 50.0, 10.0]).unwrap().unwrap();
+            assert!(p >= 0.0 && p.is_finite(), "{p}");
+        }
+    }
+
+    #[test]
+    fn fully_deterministic_without_seed() {
+        let stream: Vec<(Vec<f64>, f64)> = (0..400)
+            .map(|i| (vec![f64::from(i % 31) * 32.0, f64::from(i % 17) * 58.0], f64::from(i % 97)))
+            .collect();
+        let run = || {
+            let mut gb = GbStumpEnsemble::new(space(), 12, 0.3).unwrap();
+            for (p, c) in &stream {
+                gb.observe(p, *c).unwrap();
+            }
+            (0..20)
+                .map(|i| gb.predict(&[f64::from(i) * 50.0, 333.0]).unwrap().unwrap().to_bits())
+                .collect::<Vec<u64>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn tracks_drift_instead_of_freezing() {
+        let mut gb = GbStumpEnsemble::new(space(), 8, 0.3).unwrap();
+        for _ in 0..2000 {
+            gb.observe(&[250.0, 250.0], 100.0).unwrap();
+        }
+        let before = gb.predict(&[250.0, 250.0]).unwrap().unwrap();
+        assert!((before - 100.0).abs() < 5.0, "{before}");
+        // Regime change at the same point: the bounded step-size decay
+        // must let the model follow within a few hundred feedbacks.
+        for _ in 0..2000 {
+            gb.observe(&[250.0, 250.0], 900.0).unwrap();
+        }
+        let after = gb.predict(&[250.0, 250.0]).unwrap().unwrap();
+        assert!((after - 900.0).abs() < 100.0, "stuck at {after}");
+    }
+
+    #[test]
+    fn budget_sizing_and_bad_configs() {
+        let gb = GbStumpEnsemble::with_budget(space(), 1800, 0.3).unwrap();
+        assert_eq!(gb.stump_count(), 1800 / STUMP_BYTES);
+        assert!(gb.memory_used() >= gb.stump_count() * STUMP_BYTES);
+        assert!(GbStumpEnsemble::with_budget(space(), 10, 0.3).is_err());
+        assert!(GbStumpEnsemble::new(space(), 0, 0.3).is_err());
+        assert!(GbStumpEnsemble::new(space(), 4, 0.0).is_err());
+        assert!(GbStumpEnsemble::new(space(), 4, 1.5).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        let mut gb = GbStumpEnsemble::new(space(), 4, 0.3).unwrap();
+        assert!(gb.predict(&[1.0]).is_err());
+        assert!(gb.observe(&[1.0, 1.0], f64::NAN).is_err());
+    }
+}

@@ -12,7 +12,10 @@
 //! * summary statistics helpers used across the experiment harness.
 //!
 //! APC / AUC (Eqs. 1–2) are recorded by the models themselves (see
-//! `mlq_core::ModelCounters`); this crate turns them into report rows.
+//! `mlq_core::ModelCounters`); this crate turns them into report rows
+//! and exposes the ratios as pure functions ([`apc`], [`auc`]) over any
+//! per-operation cost series, plus the bake-off's cold-start
+//! [`feedbacks_to_convergence`] measure.
 //!
 //! ```
 //! use mlq_metrics::{nae, LearningCurve, OnlineNae};
@@ -38,9 +41,11 @@
 mod alternatives;
 mod learning;
 mod nae;
+mod ops;
 mod stats;
 
 pub use alternatives::{mean_absolute_error, mean_relative_error};
 pub use learning::{LearningCurve, LearningPoint};
 pub use nae::{nae, OnlineNae};
+pub use ops::{apc, auc, feedbacks_to_convergence};
 pub use stats::{mean, percentile, population_std_dev};

@@ -1,0 +1,122 @@
+//! APC / AUC (paper Eqs. 1–2) as pure functions, plus the bake-off's
+//! cold-start convergence measure.
+//!
+//! `mlq_core::ModelCounters` records per-model operation totals; these
+//! helpers compute the paper's ratios from *any* per-operation cost
+//! series — wall-clock nanoseconds, node visits, or unit counts — so
+//! harnesses can report hardware-independent variants next to timed
+//! ones. Wu's operator-level cost-modeling note motivates the third
+//! function: what a production optimizer cares about beyond accuracy is
+//! how many feedbacks a cold model burns before its predictions are
+//! usable.
+
+/// Average prediction cost (Eq. 1): `Σ P(i) / N_P` over one cost entry
+/// per prediction. `None` when no predictions were made.
+#[must_use]
+pub fn apc(prediction_costs: &[f64]) -> Option<f64> {
+    (!prediction_costs.is_empty())
+        .then(|| prediction_costs.iter().sum::<f64>() / prediction_costs.len() as f64)
+}
+
+/// Average model update cost (Eq. 2): `(Σ I(i) + Σ C(i)) / N_P`,
+/// insertion plus compression work amortized over `predictions`
+/// predictions. `None` when `predictions == 0` (the ratio is undefined —
+/// a model nobody queries has no per-prediction overhead).
+#[must_use]
+pub fn auc(insertion_costs: &[f64], compression_costs: &[f64], predictions: u64) -> Option<f64> {
+    (predictions > 0).then(|| {
+        (insertion_costs.iter().sum::<f64>() + compression_costs.iter().sum::<f64>())
+            / predictions as f64
+    })
+}
+
+/// Cold-start feedbacks-to-convergence: the number of feedbacks after
+/// which a model's *windowed* NAE first drops to `threshold` or below.
+///
+/// The stream of `(predicted, actual)` pairs is cut into consecutive
+/// windows of `window` observations; the returned count is the end index
+/// (1-based) of the first window whose NAE is defined and `<= threshold`.
+/// `None` when the model never converges within the stream (including
+/// the trailing partial window).
+///
+/// # Panics
+///
+/// Panics when `window == 0`.
+#[must_use]
+pub fn feedbacks_to_convergence(
+    pairs: &[(f64, f64)],
+    window: usize,
+    threshold: f64,
+) -> Option<usize> {
+    assert!(window > 0, "window must be positive");
+    let mut start = 0;
+    while start < pairs.len() {
+        let end = (start + window).min(pairs.len());
+        let nae = crate::nae(&pairs[start..end]);
+        if nae.is_some_and(|v| v <= threshold) {
+            return Some(end);
+        }
+        start = end;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nae;
+
+    // Hand-computed goldens: tiny fixed inputs, exact expected values.
+
+    #[test]
+    fn golden_nae() {
+        // |9-10| + |3-5| + |6-5| = 4; Σ actual = 20 -> exactly 0.2.
+        let pairs = [(9.0, 10.0), (3.0, 5.0), (6.0, 5.0)];
+        assert_eq!(nae(&pairs), Some(0.2));
+        // Single pair: |7-8| / 8 = 0.125 (exact in binary).
+        assert_eq!(nae(&[(7.0, 8.0)]), Some(0.125));
+    }
+
+    #[test]
+    fn golden_apc() {
+        // (100 + 200 + 300) / 3 = exactly 200.
+        assert_eq!(apc(&[100.0, 200.0, 300.0]), Some(200.0));
+        // One prediction: the ratio is the cost itself.
+        assert_eq!(apc(&[42.0]), Some(42.0));
+        assert_eq!(apc(&[]), None);
+    }
+
+    #[test]
+    fn golden_auc() {
+        // (10 + 20 + 30) / 4 = exactly 15: insertions 10+20, compression
+        // 30, amortized over 4 predictions.
+        assert_eq!(auc(&[10.0, 20.0], &[30.0], 4), Some(15.0));
+        // No update work -> zero AUC, still defined.
+        assert_eq!(auc(&[], &[], 2), Some(0.0));
+        // Undefined before the first prediction.
+        assert_eq!(auc(&[1.0], &[1.0], 0), None);
+    }
+
+    #[test]
+    fn golden_convergence() {
+        // Window 2, threshold 0.25:
+        //   window 1 = (0,10),(5,10): NAE 15/20 = 0.75 — not yet;
+        //   window 2 = (9,10),(11,10): NAE 2/20 = 0.1 — converged at 4.
+        let pairs = [(0.0, 10.0), (5.0, 10.0), (9.0, 10.0), (11.0, 10.0)];
+        assert_eq!(feedbacks_to_convergence(&pairs, 2, 0.25), Some(4));
+        // Never converges within the stream.
+        assert_eq!(feedbacks_to_convergence(&pairs, 2, 0.01), None);
+        // A trailing partial window can converge.
+        let pairs = [(0.0, 10.0), (5.0, 10.0), (10.0, 10.0)];
+        assert_eq!(feedbacks_to_convergence(&pairs, 2, 0.0), Some(3));
+        // A window of zero-cost actuals (undefined NAE) does not count
+        // as converged; the next defined window does.
+        assert_eq!(feedbacks_to_convergence(&[(0.0, 0.0), (1.0, 1.0)], 1, 0.5), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        let _ = feedbacks_to_convergence(&[(1.0, 1.0)], 0, 0.5);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property: AUC measured in *structural* operation costs is invariant
+//! under multiplication of the UDF cost scale.
+//!
+//! The paper's update cost is driven by how much tree work feedback
+//! causes — insertions, compression passes, node visits — and none of
+//! that may depend on whether a UDF reports costs in microseconds or
+//! hours. Scaling every observed cost by a power of two (exact in IEEE
+//! arithmetic) must leave the tree's structural decisions bit-identical:
+//! same insertion count, same compression count, same descent lengths,
+//! hence the same count-based AUC — and every prediction must scale by
+//! exactly the same factor.
+
+use mlq_core::{CostModel, InsertionStrategy, MemoryLimitedQuadtree, MlqConfig, Space};
+use mlq_metrics::{apc, auc};
+use proptest::prelude::*;
+
+fn model(space: &Space) -> MemoryLimitedQuadtree {
+    let config = MlqConfig::builder(space.clone())
+        .memory_budget(1800)
+        .strategy(InsertionStrategy::Eager)
+        .build()
+        .unwrap();
+    MemoryLimitedQuadtree::new(config).unwrap()
+}
+
+/// Drives a model through a deterministic feedback/predict loop over
+/// costs scaled by `scale`, returning (counters, prediction bit patterns).
+fn run(space: &Space, scale: f64, seed: u64) -> (mlq_core::ModelCounters, Vec<Option<u64>>) {
+    let surface = mlq_synth_stream(space, seed);
+    let mut m = model(space);
+    let mut predictions = Vec::new();
+    for (point, cost) in &surface {
+        predictions.push(m.predict(point).unwrap().map(|p| (p / scale).to_bits()));
+        m.observe(point, cost * scale).unwrap();
+    }
+    (m.counters(), predictions)
+}
+
+/// A seeded synthetic feedback stream (kept dependency-free: a small
+/// LCG over a bumpy analytic surface rather than pulling in mlq-synth).
+fn mlq_synth_stream(space: &Space, seed: u64) -> Vec<(Vec<f64>, f64)> {
+    let mut state = seed | 1;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..600)
+        .map(|_| {
+            let p: Vec<f64> = (0..space.dims())
+                .map(|i| space.low(i) + next() * (space.high(i) - space.low(i)))
+                .collect();
+            // Dyadic costs: exact under power-of-two scaling.
+            let c = (p.iter().sum::<f64>() / 64.0).floor() * 0.25 + 2.0;
+            (p, c)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn auc_is_invariant_under_cost_scale_multiplication(
+        seed in 1u64..1_000_000,
+        scale_exp in -4i32..12,
+    ) {
+        let space = Space::cube(2, 0.0, 1000.0).unwrap();
+        let scale = 2f64.powi(scale_exp);
+
+        let (base, preds_base) = run(&space, 1.0, seed);
+        let (scaled, preds_scaled) = run(&space, scale, seed);
+
+        // Structural decisions are identical...
+        prop_assert_eq!(base.insertions, scaled.insertions);
+        prop_assert_eq!(base.compressions, scaled.compressions);
+        prop_assert_eq!(base.predictions, scaled.predictions);
+        prop_assert_eq!(base.predict_nodes_visited, scaled.predict_nodes_visited);
+        prop_assert_eq!(base.sseg_evictions, scaled.sseg_evictions);
+
+        // ...so count-based AUC/APC are exactly equal: one unit of work
+        // per insertion/compression/visit on both sides.
+        let unit = |n: u64| vec![1.0; usize::try_from(n).unwrap()];
+        prop_assert_eq!(
+            auc(&unit(base.insertions), &unit(base.compressions), base.predictions),
+            auc(&unit(scaled.insertions), &unit(scaled.compressions), scaled.predictions)
+        );
+        prop_assert_eq!(
+            apc(&unit(base.predict_nodes_visited)),
+            apc(&unit(scaled.predict_nodes_visited))
+        );
+
+        // And predictions scale by exactly the factor (bit-level, after
+        // dividing the scale back out).
+        prop_assert_eq!(preds_base, preds_scaled);
+    }
+}

@@ -49,6 +49,13 @@ pub trait Estimator {
     /// weighting.
     fn combine(&self, cost: ExecutionCost) -> f64;
 
+    /// Accounted bytes of model state behind this estimator — the
+    /// currency of the paper's memory-fair comparisons. The bake-off
+    /// harness charges every estimator family through this single
+    /// accessor, so implementations must cover *all* learned state (both
+    /// component models, reservoirs, ensembles, …).
+    fn memory_used(&self) -> usize;
+
     /// Display name, e.g. `"MLQ-E+MLQ-E"`.
     fn name(&self) -> String;
 }
@@ -180,6 +187,10 @@ impl Estimator for CostEstimator {
 
     fn combine(&self, cost: ExecutionCost) -> f64 {
         CostEstimator::combine(self, cost)
+    }
+
+    fn memory_used(&self) -> usize {
+        CostEstimator::memory_used(self)
     }
 
     fn name(&self) -> String {

@@ -85,6 +85,14 @@ impl Estimator for EstimatorHandle {
         self.snapshot().combine(cost)
     }
 
+    fn memory_used(&self) -> usize {
+        // The read path serves from the published packed snapshot; its
+        // bytes are the model state a reader actually pays for.
+        let snapshot = self.snapshot();
+        let (cpu, io) = snapshot.components();
+        cpu.tree().bytes() + io.tree().bytes()
+    }
+
     fn name(&self) -> String {
         format!("serve({})", self.name)
     }

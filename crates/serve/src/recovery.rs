@@ -54,7 +54,7 @@ use std::path::{Path, PathBuf};
 const META_MAGIC: [u8; 4] = *b"MLQM";
 
 /// Metadata frame version written by this build.
-const META_VERSION: u32 = 1;
+const META_VERSION: u32 = 2;
 
 /// Sanity bound on the shard-name field of a meta frame.
 const MAX_NAME_LEN: usize = 4096;
@@ -164,11 +164,13 @@ fn encode_guard(out: &mut Vec<u8>, g: &GuardState) {
         g.counters.probes,
         g.counters.fallback_predictions,
         g.counters.invariant_failures,
+        g.counters.regime_resets,
     ] {
         out.extend_from_slice(&c.to_le_bytes());
     }
     out.extend_from_slice(&g.pending_predict_failures.to_le_bytes());
     out.extend_from_slice(&g.fallback_predictions.to_le_bytes());
+    out.extend_from_slice(&g.consecutive_quarantined.to_le_bytes());
 }
 
 /// A panic-free little-endian cursor over untrusted meta bytes.
@@ -240,14 +242,17 @@ fn decode_guard(r: &mut ByteReader<'_>) -> Result<GuardState, String> {
         probes: r.u64()?,
         fallback_predictions: r.u64()?,
         invariant_failures: r.u64()?,
+        regime_resets: r.u64()?,
     };
     let pending_predict_failures = r.u32()?;
     let fallback_predictions = r.u64()?;
+    let consecutive_quarantined = r.u32()?;
     Ok(GuardState {
         breaker,
         window,
         fallback,
         consecutive_failures,
+        consecutive_quarantined,
         open_ops,
         half_open_successes,
         accepted,

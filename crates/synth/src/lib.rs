@@ -12,6 +12,11 @@
 //! * **Noise** — the "noise probability" model of Experiment 3: with
 //!   probability `p` an execution returns a random cost instead of the
 //!   true one. See [`NoisyUdf`].
+//! * **Bake-off scenarios** — environment-dependent nonlinear cost
+//!   surfaces with page-touch/cache-spill "taxes" ([`EnvTaxSurface`]),
+//!   mid-stream concept drift via seeded surface swaps
+//!   ([`DriftScenario`]), and adversarial feedback floods with an exact
+//!   outlier fraction ([`AdversarialFlood`]). See [`FeedbackEvent`].
 //! * **Random variates** — the Zipf and Gaussian samplers these need,
 //!   implemented here (Box–Muller; inverse-CDF Zipf) so the workspace's
 //!   only RNG dependency is `rand` itself. See [`dist`].
@@ -36,9 +41,11 @@ pub mod decay;
 pub mod dist;
 mod noise;
 mod query;
+mod scenario;
 mod surface;
 
 pub use decay::DecayKind;
 pub use noise::NoisyUdf;
 pub use query::QueryDistribution;
+pub use scenario::{AdversarialFlood, DriftScenario, EnvTaxSurface, FeedbackEvent};
 pub use surface::{CostSurface, Peak, SyntheticUdf, SyntheticUdfBuilder};

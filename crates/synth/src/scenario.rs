@@ -1,0 +1,390 @@
+//! Scenario generators for the estimator bake-off: environment-dependent
+//! cost surfaces, mid-stream concept drift, and adversarial feedback
+//! floods.
+//!
+//! Each generator emits a deterministic stream of [`FeedbackEvent`]s —
+//! `(query point, observed cost, true cost)` triples — so harnesses can
+//! train on what a production system would *see* (`observed`) while
+//! charging error against what a prediction *should have been*
+//! (`truth`). Same seed → byte-identical stream; the determinism is
+//! load-bearing (CI reproduces committed bake-off baselines bit for
+//! bit) and tested in `tests/scenario_determinism.rs`.
+
+use crate::surface::{CostSurface, SyntheticUdf};
+use crate::QueryDistribution;
+use mlq_core::Space;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One feedback-loop step of a scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeedbackEvent {
+    /// Query point.
+    pub point: Vec<f64>,
+    /// The cost the executor reports back to the model (what the model
+    /// trains on — possibly adversarial).
+    pub observed: f64,
+    /// The ground-truth cost (what predictions are scored against).
+    pub truth: f64,
+}
+
+impl FeedbackEvent {
+    fn honest(point: Vec<f64>, cost: f64) -> Self {
+        FeedbackEvent { point, observed: cost, truth: cost }
+    }
+}
+
+/// A cost surface with environment-dependent nonlinear "taxes", after
+/// the TEE cost-model pattern: the analytical cost is inflated by a
+/// per-page-touch tax (a staircase in the base cost) and a cache-spill
+/// multiplier that kicks in once the working set outgrows the cache.
+///
+/// Both effects are deterministic functions of the query point, but they
+/// bend the surface in ways no smooth regressor expects: the page tax
+/// adds `tax * ceil(cost / page)` steps, and the spill regime multiplies
+/// everything above the threshold — a regime change inside one surface.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvTaxSurface {
+    base: SyntheticUdf,
+    /// Bytes of state one "page" covers, in cost units: every started
+    /// page of base cost adds one page-touch tax.
+    page: f64,
+    /// Cost added per touched page.
+    page_tax: f64,
+    /// Fraction of the base surface's maximum above which the working
+    /// set spills out of cache.
+    spill_frac: f64,
+    /// Multiplier applied to the taxed cost in the spilled regime.
+    spill_factor: f64,
+}
+
+impl EnvTaxSurface {
+    /// Wraps `base` with the default taxes: 1 page per 5 % of the max
+    /// cost, page tax of 2 % of the max, spill threshold at 60 % with a
+    /// 2.5× penalty.
+    #[must_use]
+    pub fn new(base: SyntheticUdf) -> Self {
+        let max = base.max_cost();
+        EnvTaxSurface {
+            base,
+            page: 0.05 * max,
+            page_tax: 0.02 * max,
+            spill_frac: 0.6,
+            spill_factor: 2.5,
+        }
+    }
+
+    /// Overrides the tax parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `page > 0`, `page_tax >= 0`, `spill_frac` in
+    /// `(0, 1]`, and `spill_factor >= 1`.
+    #[must_use]
+    pub fn with_taxes(
+        mut self,
+        page: f64,
+        page_tax: f64,
+        spill_frac: f64,
+        spill_factor: f64,
+    ) -> Self {
+        assert!(page > 0.0, "page size must be positive");
+        assert!(page_tax >= 0.0, "page tax cannot be negative");
+        assert!(spill_frac > 0.0 && spill_frac <= 1.0, "spill_frac must be in (0, 1]");
+        assert!(spill_factor >= 1.0, "spill penalty cannot shrink cost");
+        self.page = page;
+        self.page_tax = page_tax;
+        self.spill_frac = spill_frac;
+        self.spill_factor = spill_factor;
+        self
+    }
+
+    /// The untaxed base surface.
+    #[must_use]
+    pub fn base(&self) -> &SyntheticUdf {
+        &self.base
+    }
+}
+
+impl CostSurface for EnvTaxSurface {
+    fn space(&self) -> &Space {
+        self.base.space()
+    }
+
+    fn cost(&self, point: &[f64]) -> f64 {
+        let c = self.base.cost(point);
+        let pages = (c / self.page).ceil();
+        let taxed = c + self.page_tax * pages;
+        if c > self.spill_frac * self.base.max_cost() {
+            taxed * self.spill_factor
+        } else {
+            taxed
+        }
+    }
+
+    fn max_cost(&self) -> f64 {
+        let max = self.base.max_cost();
+        (max + self.page_tax * (max / self.page).ceil()) * self.spill_factor
+    }
+}
+
+/// Mid-stream concept drift: the ground-truth surface is swapped for a
+/// differently-seeded one at an exact event index, while the query
+/// distribution stays put — the regime change the guard/breaker path
+/// and every self-tuning model must absorb.
+#[derive(Debug, Clone)]
+pub struct DriftScenario {
+    space: Space,
+    dist: QueryDistribution,
+    before: SyntheticUdf,
+    after: SyntheticUdf,
+    swap_at: usize,
+    seed: u64,
+}
+
+impl DriftScenario {
+    /// A drift scenario over `space`: `before` governs events
+    /// `0..swap_at`, `after` governs the rest. Query points come from
+    /// `dist` seeded by `seed` (one unbroken stream — only the surface
+    /// swaps, never the workload).
+    #[must_use]
+    pub fn new(
+        space: Space,
+        dist: QueryDistribution,
+        before: SyntheticUdf,
+        after: SyntheticUdf,
+        swap_at: usize,
+        seed: u64,
+    ) -> Self {
+        DriftScenario { space, dist, before, after, swap_at, seed }
+    }
+
+    /// The configured swap index.
+    #[must_use]
+    pub fn swap_at(&self) -> usize {
+        self.swap_at
+    }
+
+    /// The surface governing event `i`.
+    #[must_use]
+    pub fn surface_at(&self, i: usize) -> &SyntheticUdf {
+        if i < self.swap_at {
+            &self.before
+        } else {
+            &self.after
+        }
+    }
+
+    /// Generates the first `n` events of the stream.
+    #[must_use]
+    pub fn stream(&self, n: usize) -> Vec<FeedbackEvent> {
+        self.dist
+            .generate(&self.space, n, self.seed)
+            .into_iter()
+            .enumerate()
+            .map(|(i, point)| {
+                let cost = self.surface_at(i).cost(&point);
+                FeedbackEvent::honest(point, cost)
+            })
+            .collect()
+    }
+}
+
+/// An adversarial feedback flood: a fixed fraction of the stream's
+/// events report wildly wrong costs, concentrated on one attacker-chosen
+/// hot spot — the poisoning pattern the guard's quarantine exists for.
+///
+/// The outlier *count* is exact (`floor(fraction * n)`), and outlier
+/// positions are a seeded uniform draw over the stream, so a configured
+/// flood is reproducible and its intensity auditable: an event is an
+/// outlier iff `observed != truth`.
+#[derive(Debug, Clone)]
+pub struct AdversarialFlood {
+    space: Space,
+    dist: QueryDistribution,
+    surface: SyntheticUdf,
+    /// Fraction of events replaced by adversarial feedback.
+    fraction: f64,
+    /// Reported cost of a flooded event, as a multiple of the surface
+    /// maximum.
+    magnitude: f64,
+    seed: u64,
+}
+
+impl AdversarialFlood {
+    /// Floods `fraction` of the feedback over `surface` with costs of
+    /// `magnitude * max_cost`, deterministically in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `fraction` is in `[0, 1]` and `magnitude` is
+    /// positive and finite.
+    #[must_use]
+    pub fn new(
+        space: Space,
+        dist: QueryDistribution,
+        surface: SyntheticUdf,
+        fraction: f64,
+        magnitude: f64,
+        seed: u64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        assert!(magnitude > 0.0 && magnitude.is_finite(), "magnitude must be positive");
+        AdversarialFlood { space, dist, surface, fraction, magnitude, seed }
+    }
+
+    /// The configured outlier fraction.
+    #[must_use]
+    pub fn fraction(&self) -> f64 {
+        self.fraction
+    }
+
+    /// Exact number of outliers a stream of `n` events will contain.
+    #[must_use]
+    #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+    pub fn outliers_in(&self, n: usize) -> usize {
+        (self.fraction * n as f64).floor() as usize
+    }
+
+    /// Generates `n` events, exactly [`Self::outliers_in`] of them
+    /// adversarial. Flooded events keep their honest `truth` but report
+    /// a huge `observed` cost at a point near the attacker's hot spot.
+    #[must_use]
+    pub fn stream(&self, n: usize) -> Vec<FeedbackEvent> {
+        let honest_points = self.dist.generate(&self.space, n, self.seed);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xF100D);
+
+        // The attacker's hot spot and the exact outlier slots: a seeded
+        // partial Fisher-Yates over event indices.
+        let hot: Vec<f64> = (0..self.space.dims())
+            .map(|i| rng.random_range(self.space.low(i)..self.space.high(i)))
+            .collect();
+        let outliers = self.outliers_in(n);
+        let mut indices: Vec<usize> = (0..n).collect();
+        for i in 0..outliers.min(n) {
+            let j = rng.random_range(i..n);
+            indices.swap(i, j);
+        }
+        let mut flooded = vec![false; n];
+        for &i in &indices[..outliers] {
+            flooded[i] = true;
+        }
+
+        honest_points
+            .into_iter()
+            .zip(flooded)
+            .map(|(point, flood)| {
+                if flood {
+                    // Jitter the hot spot so floods don't collapse to one
+                    // literal coordinate (which per-point dedup would
+                    // trivially filter).
+                    let p: Vec<f64> = hot
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &h)| {
+                            let jitter = 0.01 * (self.space.high(i) - self.space.low(i));
+                            (h + rng.random_range(-jitter..jitter))
+                                .clamp(self.space.low(i), self.space.high(i))
+                        })
+                        .collect();
+                    let truth = self.surface.cost(&p);
+                    FeedbackEvent {
+                        point: p,
+                        observed: self.magnitude * self.surface.max_cost(),
+                        truth,
+                    }
+                } else {
+                    let cost = self.surface.cost(&point);
+                    FeedbackEvent::honest(point, cost)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> Space {
+        Space::cube(2, 0.0, 1000.0).unwrap()
+    }
+
+    fn surface(seed: u64) -> SyntheticUdf {
+        SyntheticUdf::builder(space()).peaks(10).base_cost(500.0).seed(seed).build()
+    }
+
+    #[test]
+    fn env_tax_is_nonlinear_but_deterministic() {
+        let env = EnvTaxSurface::new(surface(1));
+        let p = [123.0, 456.0];
+        assert_eq!(env.cost(&p).to_bits(), env.cost(&p).to_bits());
+        // Taxed cost always exceeds base cost, bounded by max_cost.
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let q = [rng.random_range(0.0..1000.0), rng.random_range(0.0..1000.0)];
+            let c = env.cost(&q);
+            assert!(c >= env.base().cost(&q));
+            assert!(c <= env.max_cost());
+        }
+    }
+
+    #[test]
+    fn env_tax_spill_multiplies_the_expensive_regime() {
+        let base = surface(2);
+        let env = EnvTaxSurface::new(base.clone()).with_taxes(1e12, 0.0, 0.6, 3.0);
+        // With an absurd page size and zero tax, only the spill remains:
+        // cheap points unchanged, expensive points tripled.
+        let threshold = 0.6 * base.max_cost();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut saw_spill = false;
+        for _ in 0..500 {
+            let q = [rng.random_range(0.0..1000.0), rng.random_range(0.0..1000.0)];
+            let c = base.cost(&q);
+            if c > threshold {
+                assert!((env.cost(&q) - 3.0 * c).abs() < 1e-9);
+                saw_spill = true;
+            } else {
+                assert!((env.cost(&q) - c).abs() < 1e-9);
+            }
+        }
+        assert!(saw_spill, "workload never hit the spill regime");
+    }
+
+    #[test]
+    fn drift_swaps_surfaces_at_the_exact_index() {
+        let s =
+            DriftScenario::new(space(), QueryDistribution::Uniform, surface(1), surface(2), 100, 7);
+        let events = s.stream(250);
+        assert_eq!(events.len(), 250);
+        for (i, e) in events.iter().enumerate() {
+            let want = s.surface_at(i).cost(&e.point);
+            assert_eq!(e.truth.to_bits(), want.to_bits(), "event {i}");
+            assert_eq!(e.observed.to_bits(), want.to_bits(), "drift feedback is honest");
+        }
+    }
+
+    #[test]
+    fn flood_respects_exact_outlier_fraction() {
+        let f =
+            AdversarialFlood::new(space(), QueryDistribution::Uniform, surface(1), 0.15, 50.0, 11);
+        let events = f.stream(1000);
+        let outliers = events.iter().filter(|e| e.observed != e.truth).count();
+        assert_eq!(outliers, 150);
+        assert_eq!(f.outliers_in(1000), 150);
+        // Flooded observations are enormous; honest ones match truth.
+        for e in &events {
+            if e.observed != e.truth {
+                assert_eq!(e.observed, 50.0 * surface(1).max_cost());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_fraction_means_no_outliers() {
+        let f =
+            AdversarialFlood::new(space(), QueryDistribution::Uniform, surface(1), 0.0, 50.0, 11);
+        assert!(f.stream(500).iter().all(|e| e.observed == e.truth));
+    }
+}

@@ -1,0 +1,118 @@
+//! Seeded-determinism contracts for the bake-off scenario generators.
+//!
+//! The committed bake-off baseline (`results/bakeoff.baseline.json`) is
+//! reproduced bit-identically in CI from a fixed seed; that only works
+//! if every generator is *byte*-deterministic: same seed → identical
+//! points, identical costs, identical outlier placement. These tests pin
+//! that contract at the `f64::to_bits` level, plus the two structural
+//! guarantees the harness leans on — the drift swap lands at the exact
+//! configured index, and the adversarial flood hits its configured
+//! outlier fraction exactly.
+
+use mlq_core::Space;
+use mlq_synth::{
+    AdversarialFlood, CostSurface, DriftScenario, EnvTaxSurface, FeedbackEvent, QueryDistribution,
+    SyntheticUdf,
+};
+
+fn space() -> Space {
+    Space::cube(4, 0.0, 1000.0).unwrap()
+}
+
+fn surface(seed: u64) -> SyntheticUdf {
+    SyntheticUdf::builder(space()).peaks(20).base_cost(500.0).seed(seed).build()
+}
+
+/// Byte-level equality of two event streams.
+fn assert_bit_identical(a: &[FeedbackEvent], b: &[FeedbackEvent]) {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        let px: Vec<u64> = x.point.iter().map(|v| v.to_bits()).collect();
+        let py: Vec<u64> = y.point.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(px, py, "event {i} point");
+        assert_eq!(x.observed.to_bits(), y.observed.to_bits(), "event {i} observed");
+        assert_eq!(x.truth.to_bits(), y.truth.to_bits(), "event {i} truth");
+    }
+}
+
+fn drift(seed: u64, swap_at: usize) -> DriftScenario {
+    DriftScenario::new(
+        space(),
+        QueryDistribution::paper_gaussian_random(),
+        surface(seed),
+        surface(seed ^ 0xD81F7),
+        swap_at,
+        seed,
+    )
+}
+
+fn flood(seed: u64, fraction: f64) -> AdversarialFlood {
+    AdversarialFlood::new(space(), QueryDistribution::Uniform, surface(seed), fraction, 50.0, seed)
+}
+
+#[test]
+fn drift_stream_is_byte_identical_under_same_seed() {
+    assert_bit_identical(&drift(7, 300).stream(900), &drift(7, 300).stream(900));
+    // And a different seed actually changes the stream.
+    let a = drift(7, 300).stream(900);
+    let b = drift(8, 300).stream(900);
+    assert!(
+        a.iter().zip(&b).any(|(x, y)| x.point != y.point || x.truth != y.truth),
+        "different seeds must differ"
+    );
+}
+
+#[test]
+fn flood_stream_is_byte_identical_under_same_seed() {
+    assert_bit_identical(&flood(21, 0.1).stream(1200), &flood(21, 0.1).stream(1200));
+}
+
+#[test]
+fn env_tax_surface_is_pointwise_deterministic() {
+    let env = EnvTaxSurface::new(surface(3));
+    let points = QueryDistribution::Uniform.generate(&space(), 500, 9);
+    for p in &points {
+        assert_eq!(env.cost(p).to_bits(), env.cost(p).to_bits());
+    }
+}
+
+#[test]
+fn drift_swap_happens_at_the_exact_configured_index() {
+    for swap_at in [1, 250, 899] {
+        let scenario = drift(13, swap_at);
+        let events = scenario.stream(900);
+        let (before, after) = (surface(13), surface(13 ^ 0xD81F7));
+        for (i, e) in events.iter().enumerate() {
+            let want = if i < swap_at { before.cost(&e.point) } else { after.cost(&e.point) };
+            assert_eq!(
+                e.truth.to_bits(),
+                want.to_bits(),
+                "event {i} must come from the {} surface (swap_at {swap_at})",
+                if i < swap_at { "pre-swap" } else { "post-swap" },
+            );
+        }
+    }
+}
+
+#[test]
+fn flood_respects_its_configured_outlier_fraction_exactly() {
+    for (fraction, n, expect) in [(0.1, 1000, 100), (0.25, 999, 249), (0.0, 500, 0), (1.0, 64, 64)]
+    {
+        let f = flood(31, fraction);
+        let events = f.stream(n);
+        let outliers = events.iter().filter(|e| e.observed != e.truth).count();
+        assert_eq!(outliers, expect, "fraction {fraction} over {n} events");
+        assert_eq!(f.outliers_in(n), expect);
+    }
+}
+
+#[test]
+fn flood_outliers_report_huge_costs_against_honest_truth() {
+    let f = flood(17, 0.2);
+    let events = f.stream(500);
+    let max = surface(17).max_cost();
+    for e in events.iter().filter(|e| e.observed != e.truth) {
+        assert!(e.observed >= 50.0 * max * 0.999, "flooded observed {}", e.observed);
+        assert!(e.truth <= max, "truth stays on the honest surface");
+    }
+}

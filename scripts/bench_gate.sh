@@ -18,6 +18,12 @@
 # roles whose baseline has not been committed yet skip with a notice
 # instead: a freshly introduced bench role must not break CI before its
 # first baseline lands.
+#
+# Measured BENCH_*.json reports are run outputs and gitignored; only the
+# *.baseline.json references are tracked. Regenerate a measured report
+# with `mlq-bench --throughput` / `--predict` before invoking this gate.
+# (The bake-off accuracy gate is separate: `mlq-exp bakeoff --gate
+# results/bakeoff.baseline.json`.)
 set -eu
 
 MEASURED="${1:-BENCH_serve.json}"
@@ -39,7 +45,7 @@ MIN_REPLICATED_SCALING="${MIN_REPLICATED_SCALING:-2.0}"
 # a raw parse error from the gate binary.
 require() {
     if [ ! -f "$2" ]; then
-        echo "bench_gate: missing $1 $2" >&2
+        echo "bench_gate: missing $1 $2 (measured reports are gitignored run outputs — regenerate with mlq-bench; baselines are committed)" >&2
         exit 1
     fi
 }
