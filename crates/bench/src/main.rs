@@ -36,7 +36,7 @@ fn usage() -> ExitCode {
         "usage:\n  \
          mlq-bench --throughput [--short] [--durable] [--readers 1,2,4] [--replicas N]\n  \
          \u{20}                 [--duration-ms N] [--out PATH] [--metrics-out PATH]\n  \
-         mlq-bench --predict [--short] [--out PATH]\n  \
+         mlq-bench --predict [--short] [--out PATH] [--prior OLD_BASELINE.json]\n  \
          mlq-bench --gate MEASURED.json BASELINE.json [--tolerance 0.2]\n  \
          \u{20}                 [--min-scaling X] [--scaling-readers N]\n  \
          mlq-bench --gate-predict MEASURED.json BASELINE.json [--tolerance 0.2]"
@@ -58,6 +58,7 @@ fn main() -> ExitCode {
 fn run_predict(args: &[String]) -> ExitCode {
     let mut short = false;
     let mut out = String::from("BENCH_predict.json");
+    let mut prior: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -66,6 +67,11 @@ fn run_predict(args: &[String]) -> ExitCode {
                 i += 1;
                 let Some(path) = args.get(i) else { return usage() };
                 out = path.clone();
+            }
+            "--prior" => {
+                i += 1;
+                let Some(path) = args.get(i) else { return usage() };
+                prior = Some(path.clone());
             }
             _ => return usage(),
         }
@@ -77,20 +83,44 @@ fn run_predict(args: &[String]) -> ExitCode {
         config.rounds,
         if config.short { " (short mode)" } else { "" }
     );
-    let report = measure_predict(&config);
+    let mut report = measure_predict(&config);
+    if let Some(path) = prior {
+        // Stamp each case with the superseded baseline's batched
+        // throughput, so the gate can hold the new read path to an
+        // absolute improvement over the layout it replaced — used when
+        // refreshing BENCH_predict.baseline.json.
+        let old = match load_predict_report(&path) {
+            Ok(old) => old,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for case in &mut report.cases {
+            case.prior_batch_pps = old.case(&case.label).map(|c| c.batch_pps);
+        }
+    }
     for case in &report.cases {
         println!(
-            "{:>9}: single {:>11.0}/s  p50 {:>5} ns  p99 {:>6} ns   batch {:>11.0}/s   \
-             speedup {:>5.2}x   {:>5} nodes   {:>7} packed bytes",
+            "{:>9}: single {:>11.0}/s  p50 {:>5} ns  p99 {:>6} ns  p999 {:>6} ns   \
+             batch {:>11.0}/s   speedup {:>5.2}x   {:>5} nodes   {:>7} packed bytes",
             case.label,
             case.single_pps,
             case.p50_single_ns,
             case.p99_single_ns,
+            case.p999_single_ns,
             case.batch_pps,
             case.batch_speedup,
             case.nodes,
             case.packed_bytes
         );
+        let sweep = case
+            .sweep
+            .iter()
+            .map(|p| format!("{}→{:.2}M/s", p.batch, p.pps / 1e6))
+            .collect::<Vec<_>>()
+            .join("  ");
+        println!("{:>9}: sweep {sweep}", case.label);
     }
     let json = match serde_json::to_string_pretty(&report) {
         Ok(json) => json,

@@ -37,6 +37,12 @@ pub const PREDICT_SCHEMA_VERSION: u32 = 1;
 /// Points per `predict_batch` call on the batched path.
 pub const BATCH_SIZE: usize = 256;
 
+/// Batch sizes swept per case (each measured as its own chunked pass),
+/// so the report shows where the multi-lane kernel's amortization kicks
+/// in: 1 is the degenerate single-point batch, 8 one full wave, 64 and
+/// 512 multi-wave batches.
+pub const SWEEP_SIZES: &[usize] = &[1, 8, 64, 512];
+
 /// Every this many queries, one single-path call is individually timed
 /// (in a separate pass, so the throughput numbers carry no clock
 /// overhead).
@@ -87,8 +93,17 @@ impl PredictConfig {
     }
 }
 
-/// One measured case of `BENCH_predict.json`.
+/// Throughput at one swept batch size.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchSweepPoint {
+    /// Points per `predict_batch` call in this pass.
+    pub batch: usize,
+    /// Measured throughput (points per second).
+    pub pps: f64,
+}
+
+/// One measured case of `BENCH_predict.json`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct PredictCase {
     /// Stable case identifier (the gate joins on this).
     pub label: String,
@@ -104,23 +119,87 @@ pub struct PredictCase {
     pub p50_single_ns: u64,
     /// Sampled single-call 99th-percentile latency, nanoseconds.
     pub p99_single_ns: u64,
-    /// Batched path throughput (points per second).
+    /// Sampled single-call 99.9th-percentile latency, nanoseconds.
+    pub p999_single_ns: u64,
+    /// Batched path throughput (points per second), at [`BATCH_SIZE`].
     pub batch_pps: f64,
     /// `batch_pps / single_pps` on the same snapshot.
     pub batch_speedup: f64,
+    /// Throughput at each swept batch size ([`SWEEP_SIZES`]).
+    pub sweep: Vec<BatchSweepPoint>,
+    /// In a *baseline* file: the batched throughput of the baseline this
+    /// one replaced (stamped via `--predict --prior OLD.json`). The gate
+    /// requires a fresh measurement to beat it by
+    /// [`PredictGateConfig::min_prior_speedup`] — the rework's absolute
+    /// improvement claim, not just non-regression. `None` (the default)
+    /// skips that check.
+    pub prior_batch_pps: Option<f64>,
+}
+
+// Hand-written so reports written before the multi-lane rework still
+// gate: `p999_single_ns` falls back to p99, the sweep to empty, and
+// `prior_batch_pps` to None. (The offline serde derive shim has no
+// `#[serde(default)]`.)
+impl serde::Deserialize for PredictCase {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let map = v.as_map().ok_or_else(|| {
+            serde::DeError::custom(format!("expected map for PredictCase, got {v:?}"))
+        })?;
+        let p99_single_ns: u64 = serde::field(map, "p99_single_ns")?;
+        let p999: Option<u64> = serde::field(map, "p999_single_ns")?;
+        let sweep: Option<Vec<BatchSweepPoint>> = serde::field(map, "sweep")?;
+        Ok(PredictCase {
+            label: serde::field(map, "label")?,
+            dims: serde::field(map, "dims")?,
+            nodes: serde::field(map, "nodes")?,
+            packed_bytes: serde::field(map, "packed_bytes")?,
+            single_pps: serde::field(map, "single_pps")?,
+            p50_single_ns: serde::field(map, "p50_single_ns")?,
+            p99_single_ns,
+            p999_single_ns: p999.unwrap_or(p99_single_ns),
+            batch_pps: serde::field(map, "batch_pps")?,
+            batch_speedup: serde::field(map, "batch_speedup")?,
+            sweep: sweep.unwrap_or_default(),
+            prior_batch_pps: serde::field(map, "prior_batch_pps")?,
+        })
+    }
 }
 
 /// The whole `BENCH_predict.json` payload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct PredictReport {
     /// [`PREDICT_SCHEMA_VERSION`] at write time.
     pub schema_version: u32,
     /// True for `--short` CI-smoke runs.
     pub short_mode: bool,
+    /// `std::thread::available_parallelism` on the measuring host. The
+    /// absolute prior-baseline speedup check only applies when this is
+    /// ≥ [`PredictGateConfig::prior_needs_cpus`], matching the serve
+    /// scaling gate's convention for starved CI runners.
+    pub host_parallelism: usize,
     /// Points per batched call at measurement time.
     pub batch_size: usize,
     /// One entry per case, in [`CASES`] order.
     pub cases: Vec<PredictCase>,
+}
+
+// Hand-written for the same reason as [`PredictCase`]: pre-rework
+// reports carry no `host_parallelism`; 0 keeps every parallelism-gated
+// check disabled for them.
+impl serde::Deserialize for PredictReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let map = v.as_map().ok_or_else(|| {
+            serde::DeError::custom(format!("expected map for PredictReport, got {v:?}"))
+        })?;
+        let host_parallelism: Option<usize> = serde::field(map, "host_parallelism")?;
+        Ok(PredictReport {
+            schema_version: serde::field(map, "schema_version")?,
+            short_mode: serde::field(map, "short_mode")?,
+            host_parallelism: host_parallelism.unwrap_or(0),
+            batch_size: serde::field(map, "batch_size")?,
+            cases: serde::field(map, "cases")?,
+        })
+    }
 }
 
 impl PredictReport {
@@ -210,6 +289,25 @@ fn measure_case(spec: &CaseSpec, rounds: usize) -> PredictCase {
         batch_elapsed = batch_elapsed.min(t0.elapsed());
     }
 
+    // The batch-size sweep, one chunked best-of-N pass per size over the
+    // same query stream. Size 1 exercises the kernel's degenerate
+    // single-lane wave (not the single-call path: the per-call service
+    // overhead is still paid once per chunk).
+    let sweep = SWEEP_SIZES
+        .iter()
+        .map(|&batch| {
+            let mut elapsed = Duration::MAX;
+            for _ in 0..PASS_REPEATS {
+                let t0 = Instant::now();
+                for chunk in queries.chunks(batch) {
+                    black_box(svc.predict_batch(TARGET, chunk).expect("predict_batch"));
+                }
+                elapsed = elapsed.min(t0.elapsed());
+            }
+            BatchSweepPoint { batch, pps: queries.len() as f64 / elapsed.as_secs_f64() }
+        })
+        .collect();
+
     // Sampled single-call latencies, in their own pass so the clock reads
     // stay out of the throughput numbers. Each sampled query keeps its
     // minimum over the repeats: a preemption mid-call inflates one
@@ -237,8 +335,11 @@ fn measure_case(spec: &CaseSpec, rounds: usize) -> PredictCase {
         single_pps,
         p50_single_ns: percentile_ns(&samples, 50.0),
         p99_single_ns: percentile_ns(&samples, 99.0),
+        p999_single_ns: percentile_ns(&samples, 99.9),
         batch_pps,
         batch_speedup: batch_pps / single_pps,
+        sweep,
+        prior_batch_pps: None,
     }
 }
 
@@ -248,6 +349,8 @@ pub fn measure_predict(config: &PredictConfig) -> PredictReport {
     PredictReport {
         schema_version: PREDICT_SCHEMA_VERSION,
         short_mode: config.short,
+        host_parallelism: std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get),
         batch_size: BATCH_SIZE,
         cases: CASES.iter().map(|spec| measure_case(spec, config.rounds)).collect(),
     }
@@ -275,12 +378,35 @@ pub struct PredictGateConfig {
     /// case shows in the committed `BENCH_predict.json` to leave room
     /// for the residual contention jitter.
     pub min_batch_speedup: f64,
+    /// Required `batch_pps / prior_batch_pps` for cases whose baseline
+    /// carries a pre-rework reference throughput: the multi-lane kernel
+    /// must beat the layout it replaced by this factor outright.
+    pub min_prior_speedup: f64,
+    /// The prior-speedup check only applies when the *measured* report's
+    /// `host_parallelism` reaches this; a starved 1–2 CPU runner cannot
+    /// be held to an absolute-throughput multiple (same convention as
+    /// the serve scaling gate).
+    pub prior_needs_cpus: usize,
 }
 
 impl Default for PredictGateConfig {
     fn default() -> Self {
-        PredictGateConfig { tolerance: 0.35, latency_tolerance: 1.0, min_batch_speedup: 1.35 }
+        PredictGateConfig {
+            tolerance: 0.35,
+            latency_tolerance: 1.0,
+            min_batch_speedup: 1.35,
+            min_prior_speedup: 2.0,
+            prior_needs_cpus: 4,
+        }
     }
+}
+
+/// `+12.3%` / `-4.5%` of `measured` against `baseline`, for gate notes.
+fn delta_pct(measured: f64, baseline: f64) -> String {
+    if baseline <= 0.0 {
+        return "n/a".to_string();
+    }
+    format!("{:+.1}%", (measured / baseline - 1.0) * 100.0)
 }
 
 /// The gate's verdict over a predict report.
@@ -358,18 +484,61 @@ pub fn gate_predict(
                 base.label, case.batch_speedup, config.min_batch_speedup
             ));
         }
+        if let Some(prior) = base.prior_batch_pps {
+            let ratio = if prior > 0.0 { case.batch_pps / prior } else { f64::INFINITY };
+            if measured.host_parallelism < config.prior_needs_cpus {
+                report.notes.push(format!(
+                    "{}: {:.2}x over the pre-rework baseline's {:.0}/s (not enforced: host has \
+                     {} CPU(s), gate needs {})",
+                    base.label, ratio, prior, measured.host_parallelism, config.prior_needs_cpus
+                ));
+            } else if ratio < config.min_prior_speedup {
+                report.failures.push(format!(
+                    "{}: batch {:.0}/s is only {:.2}x the pre-rework baseline's {:.0}/s \
+                     (required {:.1}x)",
+                    base.label, case.batch_pps, ratio, prior, config.min_prior_speedup
+                ));
+            } else {
+                report.notes.push(format!(
+                    "{}: {:.2}x over the pre-rework baseline's {:.0}/s",
+                    base.label, ratio, prior
+                ));
+            }
+        }
+        // Per-metric measured-vs-baseline deltas, printed pass or fail so
+        // a green gate still shows how far each number moved.
         report.notes.push(format!(
-            "{}: single {:.0}/s (p50 {} ns, p99 {} ns), batch {:.0}/s, speedup {:.2}x, \
-             {} nodes, {} packed bytes",
+            "{}: single {:.0}/s ({} vs baseline), batch {:.0}/s ({} vs baseline), \
+             speedup {:.2}x, {} nodes, {} packed bytes",
             case.label,
             case.single_pps,
-            case.p50_single_ns,
-            case.p99_single_ns,
+            delta_pct(case.single_pps, base.single_pps),
             case.batch_pps,
+            delta_pct(case.batch_pps, base.batch_pps),
             case.batch_speedup,
             case.nodes,
             case.packed_bytes
         ));
+        report.notes.push(format!(
+            "{}: p50 {} ns ({} vs baseline {}), p99 {} ns ({} vs baseline {}), p999 {} ns",
+            case.label,
+            case.p50_single_ns,
+            delta_pct(case.p50_single_ns as f64, base.p50_single_ns as f64),
+            base.p50_single_ns,
+            case.p99_single_ns,
+            delta_pct(case.p99_single_ns as f64, base.p99_single_ns as f64),
+            base.p99_single_ns,
+            case.p999_single_ns,
+        ));
+        if !case.sweep.is_empty() {
+            let sweep = case
+                .sweep
+                .iter()
+                .map(|p| format!("{}→{:.2}M/s", p.batch, p.pps / 1e6))
+                .collect::<Vec<_>>()
+                .join(", ");
+            report.notes.push(format!("{}: batch-size sweep {sweep}", case.label));
+        }
     }
     report
 }
@@ -387,8 +556,11 @@ mod tests {
             single_pps: single,
             p50_single_ns: 300,
             p99_single_ns: 900,
+            p999_single_ns: 1500,
             batch_pps: batch,
             batch_speedup: batch / single,
+            sweep: vec![BatchSweepPoint { batch: 8, pps: batch * 0.8 }],
+            prior_batch_pps: None,
         }
     }
 
@@ -396,6 +568,7 @@ mod tests {
         PredictReport {
             schema_version: PREDICT_SCHEMA_VERSION,
             short_mode: true,
+            host_parallelism: 8,
             batch_size: BATCH_SIZE,
             cases,
         }
@@ -452,10 +625,81 @@ mod tests {
 
     #[test]
     fn report_roundtrips_through_json() {
-        let r = report(vec![case("a", 123.0, 456.0)]);
+        let mut r = report(vec![case("a", 123.0, 456.0)]);
+        r.cases[0].prior_batch_pps = Some(200.0);
         let json = serde_json::to_string_pretty(&r).unwrap();
         let back: PredictReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn pre_rework_reports_still_parse_with_defaults() {
+        // A baseline written before p999/sweep/prior/host_parallelism
+        // existed must keep gating at schema v1.
+        let json = format!(
+            r#"{{"schema_version": {PREDICT_SCHEMA_VERSION}, "short_mode": false,
+                 "batch_size": 256, "cases": [{{
+                 "label": "a", "dims": 2, "nodes": 100, "packed_bytes": 4000,
+                 "single_pps": 1000000.0, "p50_single_ns": 300, "p99_single_ns": 900,
+                 "batch_pps": 2000000.0, "batch_speedup": 2.0}}]}}"#
+        );
+        let old: PredictReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(old.host_parallelism, 0);
+        let c = &old.cases[0];
+        assert_eq!(c.p999_single_ns, c.p99_single_ns, "p999 defaults to p99");
+        assert!(c.sweep.is_empty());
+        assert_eq!(c.prior_batch_pps, None);
+        // And a fresh measurement gates cleanly against it.
+        let verdict = gate_predict(
+            &report(vec![case("a", 1.0e6, 2.0e6)]),
+            &old,
+            &PredictGateConfig::default(),
+        );
+        assert!(verdict.passed(), "{:?}", verdict.failures);
+    }
+
+    #[test]
+    fn prior_speedup_floor_is_enforced_only_on_capable_hosts() {
+        let mut base = report(vec![case("a", 1.0e6, 2.0e6)]);
+        base.cases[0].prior_batch_pps = Some(1.5e6);
+        // 2.0e6 / 1.5e6 = 1.33x < 2x: fails on an 8-CPU host.
+        let measured = report(vec![case("a", 1.0e6, 2.0e6)]);
+        let verdict = gate_predict(&measured, &base, &PredictGateConfig::default());
+        assert!(
+            verdict.failures.iter().any(|f| f.contains("pre-rework")),
+            "{:?}",
+            verdict.failures
+        );
+        // 4.0e6 / 1.5e6 = 2.67x: passes and notes the ratio.
+        let fast = report(vec![case("a", 2.0e6, 4.0e6)]);
+        let verdict = gate_predict(&fast, &base, &PredictGateConfig::default());
+        assert!(verdict.passed(), "{:?}", verdict.failures);
+        assert!(verdict.notes.iter().any(|n| n.contains("pre-rework")));
+        // A starved runner skips the absolute check with a notice.
+        let mut starved = measured.clone();
+        starved.host_parallelism = 2;
+        let verdict = gate_predict(&starved, &base, &PredictGateConfig::default());
+        assert!(verdict.passed(), "{:?}", verdict.failures);
+        assert!(verdict.notes.iter().any(|n| n.contains("not enforced")));
+    }
+
+    #[test]
+    fn passing_gate_notes_carry_per_metric_deltas() {
+        let base = report(vec![case("a", 1.0e6, 2.0e6)]);
+        let measured = report(vec![case("a", 1.1e6, 2.4e6)]);
+        let verdict = gate_predict(&measured, &base, &PredictGateConfig::default());
+        assert!(verdict.passed(), "{:?}", verdict.failures);
+        assert!(
+            verdict.notes.iter().any(|n| n.contains("+10.0% vs baseline")),
+            "single delta missing: {:?}",
+            verdict.notes
+        );
+        assert!(
+            verdict.notes.iter().any(|n| n.contains("+20.0% vs baseline")),
+            "batch delta missing: {:?}",
+            verdict.notes
+        );
+        assert!(verdict.notes.iter().any(|n| n.contains("batch-size sweep")));
     }
 
     #[test]
@@ -463,12 +707,22 @@ mod tests {
         let report = measure_predict(&PredictConfig { rounds: 2, short: true });
         assert_eq!(report.schema_version, PREDICT_SCHEMA_VERSION);
         assert_eq!(report.cases.len(), CASES.len());
+        assert!(report.host_parallelism >= 1);
         for case in &report.cases {
             assert!(case.nodes > 1, "{}: pre-training must grow the tree", case.label);
             assert!(case.packed_bytes > 0);
             assert!(case.single_pps > 0.0);
             assert!(case.batch_pps > 0.0);
             assert!(case.p50_single_ns <= case.p99_single_ns);
+            assert!(case.p99_single_ns <= case.p999_single_ns);
+            assert_eq!(
+                case.sweep.iter().map(|p| p.batch).collect::<Vec<_>>(),
+                SWEEP_SIZES,
+                "{}: sweep covers every size",
+                case.label
+            );
+            assert!(case.sweep.iter().all(|p| p.pps > 0.0));
+            assert_eq!(case.prior_batch_pps, None, "fresh measurements carry no prior");
         }
     }
 }

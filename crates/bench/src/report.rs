@@ -167,9 +167,25 @@ pub fn gate(
                 base.readers, run.predictions_per_sec, base.predictions_per_sec, floor
             ));
         } else {
+            // Passing runs still report how far each metric moved.
+            let delta = if base.predictions_per_sec > 0.0 {
+                format!(
+                    "{:+.1}%",
+                    (run.predictions_per_sec / base.predictions_per_sec - 1.0) * 100.0
+                )
+            } else {
+                "n/a".to_string()
+            };
             report.notes.push(format!(
-                "{} readers: {:.0}/s (baseline {:.0}/s)",
-                base.readers, run.predictions_per_sec, base.predictions_per_sec
+                "{} readers: {:.0}/s ({delta} vs baseline {:.0}/s), p50 {} ns (baseline {}), \
+                 p99 {} ns (baseline {})",
+                base.readers,
+                run.predictions_per_sec,
+                base.predictions_per_sec,
+                run.p50_predict_ns,
+                base.p50_predict_ns,
+                run.p99_predict_ns,
+                base.p99_predict_ns
             ));
         }
     }

@@ -15,8 +15,7 @@
 //! Prediction only ever needs two facts per node — the point count
 //! (compared against `β`) and the precomputed block average — plus a way
 //! to find the child covering the query point. The snapshot therefore
-//! stores one 32-byte [`PackedNode`] record per node in a single
-//! contiguous slab:
+//! stores one 32-byte [`PackedNode`] record per node:
 //!
 //! ```text
 //! PackedNode { count: u64, avg: f64, mask: u64, children_base: u32 }
@@ -43,16 +42,68 @@
 //! copies a few kilobytes. Nodes are re-indexed in BFS order into the
 //! slab (dead arena slots are dropped), so siblings — and the upper
 //! levels every descent shares — sit adjacent in memory.
+//!
+//! ## Descent words
+//!
+//! The child slot taken at depth `t` depends only on the query point's
+//! quantized grid coordinates, never on the tree. Quantization therefore
+//! precomputes a **descent word** per query
+//! ([`GridPoint::descent_word`]): the child slots for depths
+//! `0..packed_levels`, packed `d` bits per level into one `u64`. The hot
+//! descent loop reads its slot with one shift-and-mask instead of
+//! re-deriving it from `d` coordinate bit-tests per level, and because
+//! every slab index was validated once at construction
+//! ([`FrozenTree::validate_slabs`]), the loop indexes records and child
+//! slots without per-step bounds checks.
+//!
+//! ## Multi-lane batches
+//!
+//! [`FrozenTree::predict_batch_into`] descends [`LANES`] queries per
+//! wave in lockstep depth: one pass gathers the packed records of every
+//! live lane (independent loads the CPU overlaps), a second pass does the
+//! β-compare and per-lane advance, issuing a software prefetch for each
+//! lane's next record. Lanes retire independently — a lane whose block
+//! drops under `β` or runs out of children keeps its answer while the
+//! rest of the wave descends. The result is bit-identical to running the
+//! scalar descent per query; trees with multi-word masks (`d ≥ 7`) fall
+//! back to the scalar loop.
+//!
+//! ## Copy-on-write republication
+//!
+//! Records live in fixed-size [`NodeChunk`]s behind `Arc`s, and the child
+//! slabs are `Arc`-shared wholesale. When a maintainer applies a small
+//! guarded batch and republishes, [`MemoryLimitedQuadtree::refreeze`]
+//! patches only the chunks whose summaries actually changed (the live
+//! tree logs dirty nodes between freezes) and shares every other chunk
+//! with the previous snapshot — an O(touched) republication instead of an
+//! O(nodes) rebuild. Any structural change (split, eviction, merge,
+//! restore) or log overflow falls back to a full freeze, so a refrozen
+//! snapshot is always bit-identical to a from-scratch [`freeze`].
+//!
+//! [`freeze`]: MemoryLimitedQuadtree::freeze
+
+use std::cell::RefCell;
+use std::sync::Arc;
 
 use crate::config::MlqConfig;
 use crate::error::MlqError;
 use crate::node::NIL;
-use crate::space::GridPoint;
+use crate::space::{GridPoint, Space, GRID_BITS};
 use crate::summary::Summary;
 use crate::tree::MemoryLimitedQuadtree;
 
 /// Sentinel in the wide-mask `mask` field marking a childless node.
 const WIDE_LEAF: u64 = u64::MAX;
+
+/// Queries descended per wave by the batched kernel.
+const LANES: usize = 16;
+
+/// Records per copy-on-write chunk (2 KiB of 32-byte records — a handful
+/// of cache lines, small enough that patching one node copies little,
+/// large enough that the chunk table stays tiny).
+const CHUNK_NODES: usize = 64;
+const CHUNK_SHIFT: u32 = 6;
+const CHUNK_MASK: u32 = CHUNK_NODES as u32 - 1;
 
 /// One packed node record: everything a descent reads, in 32 bytes.
 #[derive(Debug, Clone, Copy)]
@@ -69,6 +120,108 @@ struct PackedNode {
     children_base: u32,
 }
 
+/// Padding record for the tail of the last chunk; never reachable (every
+/// validated index is below `len`).
+const EMPTY_NODE: PackedNode = PackedNode { count: 0, avg: 0.0, mask: 0, children_base: 0 };
+
+/// A fixed-size block of packed records. Sized (not a slice) so
+/// [`Arc::make_mut`] can clone exactly one chunk on a copy-on-write
+/// patch.
+#[derive(Debug, Clone)]
+struct NodeChunk([PackedNode; CHUNK_NODES]);
+
+/// Which live tree state a snapshot was frozen from, used by
+/// [`MemoryLimitedQuadtree::refreeze`] to decide whether the previous
+/// snapshot can be patched in place of a full rebuild.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Provenance {
+    /// Identity of the producing live tree (0 = detached, e.g. the result
+    /// of [`FrozenTree::merge_with`]).
+    tree_id: u64,
+    /// The tree's freeze sequence number when this snapshot was taken.
+    freeze_seq: u64,
+    /// The tree's structure epoch when this snapshot was taken.
+    epoch: u64,
+}
+
+/// Pre-quantized queries plus their precomputed descent words — the
+/// reusable "plan" half of a batched prediction, split out so callers
+/// descending several trees over the same [`Space`] (the serving layer
+/// walks a CPU and an IO tree per shard) quantize and pack each point
+/// once.
+///
+/// Build with [`BatchPlan::prepare`], run with
+/// [`FrozenTree::predict_planned_into`]. The plan owns its buffers and
+/// reuses their capacity across calls.
+#[derive(Debug, Default)]
+pub struct BatchPlan {
+    grids: Vec<GridPoint>,
+    words: Vec<u64>,
+    levels: u32,
+}
+
+impl BatchPlan {
+    /// An empty plan.
+    #[must_use]
+    pub fn new() -> Self {
+        BatchPlan::default()
+    }
+
+    /// Quantizes `points` against `space` and packs descent words for
+    /// `levels` levels (clamped to what one word / the grid resolution
+    /// can hold). Clears any previous plan; buffers are reused.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first malformed point
+    /// ([`MlqError::DimensionMismatch`] / [`MlqError::NonFiniteValue`]),
+    /// leaving the plan empty.
+    pub fn prepare<P: AsRef<[f64]>>(
+        &mut self,
+        space: &Space,
+        levels: u32,
+        points: &[P],
+    ) -> Result<(), MlqError> {
+        self.grids.clear();
+        self.words.clear();
+        let dims = u32::try_from(space.dims()).expect("dims fit u32");
+        self.levels = levels.min(64 / dims).min(GRID_BITS);
+        self.grids.reserve(points.len());
+        self.words.reserve(points.len());
+        for p in points {
+            let grid = space.grid_point(p.as_ref())?;
+            self.words.push(grid.descent_word(self.levels));
+            self.grids.push(grid);
+        }
+        Ok(())
+    }
+
+    /// Number of planned queries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.grids.len()
+    }
+
+    /// True when the plan holds no queries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.grids.is_empty()
+    }
+
+    /// Levels packed into each descent word.
+    #[must_use]
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+}
+
+thread_local! {
+    /// Per-thread plan backing [`FrozenTree::predict_batch_into`], so the
+    /// quantization scratch survives across calls (the `FrozenTree`
+    /// itself is `Sync` and cannot own mutable scratch).
+    static BATCH_PLAN: RefCell<BatchPlan> = RefCell::new(BatchPlan::new());
+}
+
 /// A read-only prediction snapshot of a [`MemoryLimitedQuadtree`] in the
 /// packed struct-of-slabs layout described in the
 /// [module documentation](self).
@@ -76,6 +229,7 @@ struct PackedNode {
 /// Shares the live tree's prediction semantics ([Fig. 3]: deepest block
 /// on the root-to-leaf path holding at least `β` points, root fallback)
 /// without its interior mutability — `FrozenTree` is `Send + Sync`.
+/// `Clone` is cheap: chunks and slabs are `Arc`-shared.
 ///
 /// [Fig. 3]: MemoryLimitedQuadtree::predict
 #[derive(Debug, Clone)]
@@ -84,19 +238,29 @@ pub struct FrozenTree {
     /// Full summary of the root block (the packed records only carry
     /// count and average).
     root: Summary,
-    /// Packed records; index 0 is the root, BFS order.
-    nodes: Box<[PackedNode]>,
+    /// Number of packed records; index 0 is the root, BFS order.
+    len: u32,
+    /// Packed records in copy-on-write chunks of [`CHUNK_NODES`]; the
+    /// last chunk is padded with [`EMPTY_NODE`].
+    chunks: Vec<Arc<NodeChunk>>,
     /// Dense child indices, shared by every internal node.
-    children: Box<[u32]>,
+    children: Arc<[u32]>,
     /// Multi-word child masks for fanout > 64; empty otherwise.
-    wide_masks: Box<[u64]>,
+    wide_masks: Arc<[u64]>,
     /// Mask words per internal node (1 means the inline-mask fast path).
     mask_words: u32,
+    /// Dimensions of the model space (slot width of a descent word).
+    dims: u32,
+    /// Levels each descent word covers for this tree.
+    packed_levels: u32,
+    /// Which live tree state produced this snapshot.
+    provenance: Provenance,
 }
 
 impl FrozenTree {
     /// Builds a frozen copy of `tree`'s live nodes (root first), reusing
-    /// the tree's scratch BFS queue.
+    /// the tree's scratch BFS queue, and records the arena → slab index
+    /// map that future [`MemoryLimitedQuadtree::refreeze`] patches need.
     pub(crate) fn from_tree(tree: &MemoryLimitedQuadtree) -> Self {
         let fanout = tree.config().space.fanout();
         let mask_words = fanout.div_ceil(64);
@@ -157,14 +321,155 @@ impl FrozenTree {
                 children_base,
             });
         }
-        FrozenTree {
-            config: tree.config().clone(),
-            root: tree.root_summary(),
-            nodes: nodes.into_boxed_slice(),
-            children: children.into_boxed_slice(),
-            wide_masks: wide_masks.into_boxed_slice(),
-            mask_words: u32::try_from(mask_words).expect("mask words fit u32"),
+        // Reset the dirty log and rebuild the arena → slab map: this
+        // snapshot is now the one `refreeze` may patch.
+        let provenance = {
+            let mut state = tree.freeze_state().borrow_mut();
+            state.seq += 1;
+            state.dirty.clear();
+            state.dirty_overflow = false;
+            state.map_epoch = tree.structure_epoch;
+            state.map_built = true;
+            state.bfs_index.clear();
+            state.bfs_index.resize(tree.arena.capacity(), NIL);
+            for (slab, &arena_idx) in order.iter().enumerate() {
+                state.bfs_index[arena_idx as usize] =
+                    u32::try_from(slab).expect("slab indices fit u32");
+            }
+            Provenance { tree_id: tree.tree_id, freeze_seq: state.seq, epoch: tree.structure_epoch }
+        };
+        FrozenTree::assemble(
+            tree.config().clone(),
+            tree.root_summary(),
+            nodes,
+            children,
+            wide_masks,
+            provenance,
+        )
+    }
+
+    /// Chunks the record slab and derives the descent parameters. Every
+    /// construction path funnels through here, so the validation pass
+    /// below is the single place that licenses the unchecked descent.
+    fn assemble(
+        config: MlqConfig,
+        root: Summary,
+        nodes: Vec<PackedNode>,
+        children: Vec<u32>,
+        wide_masks: Vec<u64>,
+        provenance: Provenance,
+    ) -> Self {
+        let fanout = config.space.fanout();
+        let mask_words = fanout.div_ceil(64);
+        let dims = u32::try_from(config.space.dims()).expect("dims fit u32");
+        // One extra level past λ so the word also covers the slot probed
+        // at a depth-λ node (the lookup fails there — λ-nodes are leaves
+        // — but the probe still reads a slot).
+        let packed_levels = (u32::from(config.lambda) + 1).min(64 / dims).min(GRID_BITS);
+        Self::validate_slabs(&nodes, &children, &wide_masks, mask_words, fanout);
+        let len = u32::try_from(nodes.len()).expect("node count fits u32");
+        let mut chunks: Vec<Arc<NodeChunk>> = Vec::with_capacity(nodes.len().div_ceil(CHUNK_NODES));
+        for group in nodes.chunks(CHUNK_NODES) {
+            let mut arr = [EMPTY_NODE; CHUNK_NODES];
+            arr[..group.len()].copy_from_slice(group);
+            chunks.push(Arc::new(NodeChunk(arr)));
         }
+        FrozenTree {
+            config,
+            root,
+            len,
+            chunks,
+            children: children.into(),
+            wide_masks: wide_masks.into(),
+            mask_words: u32::try_from(mask_words).expect("mask words fit u32"),
+            dims,
+            packed_levels,
+            provenance,
+        }
+    }
+
+    /// Checks, once at construction, every invariant the descent loops
+    /// rely on instead of per-step bounds checks: inline masks carry no
+    /// bits at or above the fanout, wide-mask offsets stay inside the
+    /// wide slab, every node's child range stays inside the child slab,
+    /// and every child index refers to a real record.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a slab is malformed — construction bugs must never
+    /// reach the unchecked read path.
+    fn validate_slabs(
+        nodes: &[PackedNode],
+        children: &[u32],
+        wide_masks: &[u64],
+        mask_words: usize,
+        fanout: usize,
+    ) {
+        let len = nodes.len();
+        for node in nodes {
+            let degree = if mask_words == 1 {
+                if fanout < 64 {
+                    assert!(node.mask >> fanout == 0, "mask bits beyond fanout");
+                }
+                node.mask.count_ones() as usize
+            } else if node.mask == WIDE_LEAF {
+                0
+            } else {
+                let base = usize::try_from(node.mask).expect("wide-mask offset fits usize");
+                assert!(base + mask_words <= wide_masks.len(), "wide-mask slab overrun");
+                wide_masks[base..base + mask_words].iter().map(|w| w.count_ones() as usize).sum()
+            };
+            let base = node.children_base as usize;
+            assert!(base + degree <= children.len(), "child slab overrun");
+            for &c in &children[base..base + degree] {
+                assert!((c as usize) < len, "child index out of range");
+            }
+        }
+    }
+
+    /// The record at slab index `idx`, by value (32 bytes — one load the
+    /// optimizer keeps in registers).
+    #[inline(always)]
+    fn node(&self, idx: u32) -> PackedNode {
+        debug_assert!(idx < self.len, "slab index {idx} out of range");
+        // SAFETY: descent starts at index 0 (`len` ≥ 1 for any frozen
+        // tree) and only follows child indices, all of which
+        // `validate_slabs` proved `< len`; the chunk table covers
+        // `ceil(len / CHUNK_NODES)` chunks of exactly `CHUNK_NODES`
+        // records each.
+        unsafe {
+            let chunk = self.chunks.get_unchecked((idx >> CHUNK_SHIFT) as usize);
+            *chunk.0.get_unchecked((idx & CHUNK_MASK) as usize)
+        }
+    }
+
+    /// The child slab entry at `i`.
+    #[inline(always)]
+    fn child_at(&self, i: u32) -> u32 {
+        debug_assert!((i as usize) < self.children.len(), "child slab index out of range");
+        // SAFETY: `validate_slabs` proved `children_base + degree` stays
+        // inside the slab for every node, and the rank passed here is
+        // `< degree` by construction of the popcount.
+        unsafe { *self.children.get_unchecked(i as usize) }
+    }
+
+    /// Prefetches the record at `idx` into cache (advisory; no-op off
+    /// x86_64). Issued as soon as a lane knows its next node so the load
+    /// overlaps the rest of the wave.
+    #[inline(always)]
+    fn prefetch(&self, idx: u32) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the index was produced by `child_at`, so the chunk and
+        // slot are in range (same argument as `Self::node`); prefetch
+        // itself has no memory effects.
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let chunk = self.chunks.get_unchecked((idx >> CHUNK_SHIFT) as usize);
+            let rec = chunk.0.get_unchecked((idx & CHUNK_MASK) as usize);
+            _mm_prefetch::<{ _MM_HINT_T0 }>(std::ptr::from_ref(rec).cast::<i8>());
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = idx;
     }
 
     /// The configuration of the tree this snapshot was frozen from.
@@ -176,7 +481,7 @@ impl FrozenTree {
     /// Number of nodes in the snapshot.
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.len as usize
     }
 
     /// Summary of the root block (every point the live tree had seen).
@@ -191,14 +496,31 @@ impl FrozenTree {
         self.root.count == 0
     }
 
-    /// Heap bytes of the packed slabs (records + child slab + any wide
-    /// masks). This is the snapshot's real resident footprint, directly
-    /// comparable with the `NODE_BYTES`-style accounting of the layout it
-    /// replaced: per node a summary plus a boxed `2^d` child-slot array
-    /// dominated by `NIL` padding.
+    /// Levels each precomputed descent word covers for this tree (λ + 1,
+    /// clamped to what one `u64` and the grid resolution can hold).
+    #[must_use]
+    pub fn packed_levels(&self) -> u32 {
+        self.packed_levels
+    }
+
+    /// Number of record chunks this snapshot shares (by identity) with
+    /// `other` — nonzero after a copy-on-write
+    /// [`MemoryLimitedQuadtree::refreeze`], zero between unrelated
+    /// freezes. Exposed so tests and diagnostics can observe sharing.
+    #[must_use]
+    pub fn shared_chunks(&self, other: &FrozenTree) -> usize {
+        self.chunks.iter().zip(other.chunks.iter()).filter(|(a, b)| Arc::ptr_eq(a, b)).count()
+    }
+
+    /// Heap bytes of the packed slabs (record chunks, including tail
+    /// padding, + child slab + any wide masks). This is the snapshot's
+    /// real resident footprint, directly comparable with the
+    /// `NODE_BYTES`-style accounting of the layout it replaced: per node
+    /// a summary plus a boxed `2^d` child-slot array dominated by `NIL`
+    /// padding.
     #[must_use]
     pub fn bytes(&self) -> usize {
-        self.nodes.len() * std::mem::size_of::<PackedNode>()
+        self.chunks.len() * std::mem::size_of::<NodeChunk>()
             + self.children.len() * std::mem::size_of::<u32>()
             + self.wide_masks.len() * std::mem::size_of::<u64>()
     }
@@ -211,7 +533,8 @@ impl FrozenTree {
     /// Panics when `node` is out of range.
     #[must_use]
     pub fn node_stats(&self, node: usize) -> (u64, f64) {
-        let n = &self.nodes[node];
+        assert!(node < self.len as usize, "node {node} out of range");
+        let n = self.node(u32::try_from(node).expect("validated above"));
         (n.count, n.avg)
     }
 
@@ -223,7 +546,9 @@ impl FrozenTree {
     #[must_use]
     pub fn child_of(&self, node: usize, slot: usize) -> Option<usize> {
         assert!(slot < self.config.space.fanout(), "slot {slot} out of range");
-        self.child_index(&self.nodes[node], slot).map(|c| c as usize)
+        assert!(node < self.len as usize, "node {node} out of range");
+        let rec = self.node(u32::try_from(node).expect("validated above"));
+        self.child_index(&rec, slot).map(|c| c as usize)
     }
 
     /// Popcount-rank child lookup (see the [module docs](self)).
@@ -234,46 +559,160 @@ impl FrozenTree {
             if node.mask & bit == 0 {
                 return None;
             }
-            let rank = (node.mask & (bit - 1)).count_ones() as usize;
-            Some(self.children[node.children_base as usize + rank])
+            let rank = (node.mask & (bit - 1)).count_ones();
+            Some(self.child_at(node.children_base + rank))
         } else {
-            if node.mask == WIDE_LEAF {
-                return None;
-            }
-            let base = node.mask as usize;
-            let (word, bit) = (slot / 64, (slot % 64) as u32);
-            let w = self.wide_masks[base + word];
-            if w & (1u64 << bit) == 0 {
-                return None;
-            }
-            let mut rank = (w & ((1u64 << bit) - 1)).count_ones() as usize;
-            for i in 0..word {
-                rank += self.wide_masks[base + i].count_ones() as usize;
-            }
-            Some(self.children[node.children_base as usize + rank])
+            self.wide_child(node, slot)
         }
     }
 
-    /// The Fig. 3 descent over the packed slab.
-    fn predict_grid(&self, grid: &GridPoint, beta: u64) -> Option<f64> {
-        let mut cn = &self.nodes[0];
+    /// Child lookup through the multi-word mask slab (fanout > 64).
+    fn wide_child(&self, node: &PackedNode, slot: usize) -> Option<u32> {
+        if node.mask == WIDE_LEAF {
+            return None;
+        }
+        let base = node.mask as usize;
+        let (word, bit) = (slot / 64, (slot % 64) as u32);
+        let w = self.wide_masks[base + word];
+        if w & (1u64 << bit) == 0 {
+            return None;
+        }
+        let mut rank = (w & ((1u64 << bit) - 1)).count_ones();
+        for i in 0..word {
+            rank += self.wide_masks[base + i].count_ones();
+        }
+        Some(self.child_at(node.children_base + rank))
+    }
+
+    /// The Fig. 3 descent over the packed slab, reading child slots from
+    /// the precomputed `word` for the first `word_levels` levels and
+    /// falling back to per-level bit extraction beyond it.
+    fn descend(&self, grid: &GridPoint, word: u64, word_levels: u32, beta: u64) -> Option<f64> {
+        let mut cn = self.node(0);
         if cn.count == 0 {
             return None;
         }
         let mut best = cn.avg;
         let mut depth = 0u32;
+        let slot_mask = (1u64 << self.dims) - 1;
         while cn.count >= beta {
             best = cn.avg;
-            let slot = grid.child_slot(depth);
-            match self.child_index(cn, slot) {
+            // Descent words are left-aligned: depth 0 sits in the top
+            // `d` bits (see [`GridPoint::descent_word`]).
+            let slot = if depth < word_levels {
+                ((word >> (64 - (depth + 1) * self.dims)) & slot_mask) as usize
+            } else {
+                grid.child_slot(depth)
+            };
+            let next = if self.mask_words == 1 {
+                let bit = 1u64 << slot;
+                if cn.mask & bit == 0 {
+                    None
+                } else {
+                    let rank = (cn.mask & (bit - 1)).count_ones();
+                    Some(self.child_at(cn.children_base + rank))
+                }
+            } else {
+                self.wide_child(&cn, slot)
+            };
+            match next {
                 Some(child) => {
-                    cn = &self.nodes[child as usize];
+                    cn = self.node(child);
                     depth += 1;
                 }
                 None => break,
             }
         }
         Some(best)
+    }
+
+    /// Scalar single-query descent. Extracts child slots on demand
+    /// rather than packing a descent word first: a single query visits
+    /// each level at most once, so precomputing all `packed_levels`
+    /// slots up front is pure overhead (measurably so — ~25% of the
+    /// single-call budget on shallow trees). Descent words pay off only
+    /// when a [`BatchPlan`] amortizes the packing across every tree
+    /// descended from the same plan.
+    fn predict_grid(&self, grid: &GridPoint, beta: u64) -> Option<f64> {
+        self.descend(grid, 0, 0, beta)
+    }
+
+    /// The multi-lane kernel: descends `grids`/`words` (parallel arrays)
+    /// in waves of [`LANES`], appending one result per query to `out`.
+    /// Bit-identical to calling [`Self::descend`] per query.
+    fn predict_planned_grids(
+        &self,
+        grids: &[GridPoint],
+        words: &[u64],
+        word_levels: u32,
+        beta: u64,
+        out: &mut Vec<Option<f64>>,
+    ) {
+        debug_assert_eq!(grids.len(), words.len());
+        let root = self.node(0);
+        if root.count == 0 {
+            out.extend(std::iter::repeat_n(None, grids.len()));
+            return;
+        }
+        if self.mask_words != 1 {
+            // Wide-mask trees (d ≥ 7) descend scalar: the multi-word rank
+            // walk does not fit the branch-free lane advance.
+            for (grid, &word) in grids.iter().zip(words) {
+                out.push(self.descend(grid, word, word_levels, beta));
+            }
+            return;
+        }
+        let slot_mask = (1u64 << self.dims) - 1;
+        let mut base = 0usize;
+        while base < grids.len() {
+            let n = LANES.min(grids.len() - base);
+            let mut idx = [0u32; LANES];
+            let mut best = [root.avg; LANES];
+            let mut recs = [root; LANES];
+            let mut live: u32 = (1u32 << n) - 1;
+            let mut depth = 0u32;
+            while live != 0 {
+                // Gather pass: load every live lane's record first so the
+                // loads issue back-to-back and overlap in the memory
+                // system before any lane's β-compare consumes them.
+                let mut m = live;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    recs[l] = self.node(idx[l]);
+                }
+                // Advance pass: β-compare and step each live lane,
+                // prefetching the next record the moment it is known.
+                let mut m = live;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let rec = recs[l];
+                    if rec.count < beta {
+                        live &= !(1u32 << l);
+                        continue;
+                    }
+                    best[l] = rec.avg;
+                    let slot = if depth < word_levels {
+                        ((words[base + l] >> (64 - (depth + 1) * self.dims)) & slot_mask) as usize
+                    } else {
+                        grids[base + l].child_slot(depth)
+                    };
+                    let bit = 1u64 << slot;
+                    if rec.mask & bit == 0 {
+                        live &= !(1u32 << l);
+                    } else {
+                        let rank = (rec.mask & (bit - 1)).count_ones();
+                        let child = self.child_at(rec.children_base + rank);
+                        idx[l] = child;
+                        self.prefetch(child);
+                    }
+                }
+                depth += 1;
+            }
+            out.extend(best[..n].iter().map(|&b| Some(b)));
+            base += n;
+        }
     }
 
     /// Predicts the cost at `point` with the configured `β` — the frozen
@@ -299,21 +738,157 @@ impl FrozenTree {
     }
 
     /// [`Self::predict`] for a pre-quantized query. Lets a caller that
-    /// descends several trees over the same [`Space`](crate::Space) — the
-    /// serving layer walks a CPU and an IO tree per shard — quantize each
-    /// point once and reuse the grid, instead of re-validating and
-    /// re-quantizing per tree.
+    /// descends several trees over the same [`Space`] — the serving layer
+    /// walks a CPU and an IO tree per shard — quantize each point once
+    /// and reuse the grid, instead of re-validating and re-quantizing per
+    /// tree.
     #[must_use]
     pub fn predict_quantized(&self, grid: &GridPoint) -> Option<f64> {
         self.predict_grid(grid, self.config.beta)
     }
 
+    /// Runs the multi-lane kernel over a prepared [`BatchPlan`] at the
+    /// configured `β`, appending one result per planned query to `out`
+    /// (cleared first).
+    ///
+    /// The plan must have been prepared over this tree's [`Space`]; the
+    /// descent words are tree-independent, so one plan drives any number
+    /// of trees over the same space.
+    pub fn predict_planned_into(&self, plan: &BatchPlan, out: &mut Vec<Option<f64>>) {
+        debug_assert!(
+            plan.grids.iter().all(|g| g.dims() == self.config.space.dims()),
+            "plan prepared over a different space"
+        );
+        out.clear();
+        out.reserve(plan.len());
+        self.predict_planned_grids(&plan.grids, &plan.words, plan.levels, self.config.beta, out);
+    }
+
+    /// Descends two trees over the same [`Space`] in one fused multi-lane
+    /// pass: each wave carries a lane per query with a cursor into *both*
+    /// slabs, so the plan arrays are read once, the child slot is
+    /// extracted once per lane-level, and the two trees' record loads
+    /// issue together and overlap in the memory system. This is the
+    /// serving layer's shard read path — every shard walks a CPU and an
+    /// IO tree for the same query batch.
+    ///
+    /// Appends one result per planned query to `a_out`/`b_out` (cleared
+    /// first). Bit-identical to running [`Self::predict_planned_into`]
+    /// on each tree separately.
+    pub fn predict_planned_pair_into(
+        a: &FrozenTree,
+        b: &FrozenTree,
+        plan: &BatchPlan,
+        a_out: &mut Vec<Option<f64>>,
+        b_out: &mut Vec<Option<f64>>,
+    ) {
+        debug_assert_eq!(a.config.space, b.config.space, "paired trees must share a space");
+        a_out.clear();
+        b_out.clear();
+        let (grids, words, levels) = (&plan.grids, &plan.words, plan.levels);
+        let root_a = a.node(0);
+        let root_b = b.node(0);
+        if a.mask_words != 1 || b.mask_words != 1 || root_a.count == 0 || root_b.count == 0 {
+            // Wide masks descend scalar, and an empty tree answers
+            // `None` per query — both are what the per-tree kernel
+            // already does, so fall back to it.
+            a.predict_planned_into(plan, a_out);
+            b.predict_planned_into(plan, b_out);
+            return;
+        }
+        a_out.reserve(plan.len());
+        b_out.reserve(plan.len());
+        let (beta_a, beta_b) = (a.config.beta, b.config.beta);
+        let dims = a.dims;
+        let slot_mask = (1u64 << dims) - 1;
+        let mut base = 0usize;
+        while base < grids.len() {
+            let n = LANES.min(grids.len() - base);
+            let mut idx_a = [0u32; LANES];
+            let mut idx_b = [0u32; LANES];
+            let mut best_a = [root_a.avg; LANES];
+            let mut best_b = [root_b.avg; LANES];
+            let mut recs_a = [root_a; LANES];
+            let mut recs_b = [root_b; LANES];
+            let full: u32 = (1u32 << n) - 1;
+            let (mut live_a, mut live_b) = (full, full);
+            let mut depth = 0u32;
+            while live_a | live_b != 0 {
+                // Gather pass over both slabs: all live loads issue
+                // back-to-back before any β-compare consumes them.
+                let mut m = live_a;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    recs_a[l] = a.node(idx_a[l]);
+                }
+                let mut m = live_b;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    recs_b[l] = b.node(idx_b[l]);
+                }
+                // Advance pass: one slot extraction per lane drives both
+                // trees' steps.
+                let mut m = live_a | live_b;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let slot = if depth < levels {
+                        ((words[base + l] >> (64 - (depth + 1) * dims)) & slot_mask) as usize
+                    } else {
+                        grids[base + l].child_slot(depth)
+                    };
+                    let bit = 1u64 << slot;
+                    let lane = 1u32 << l;
+                    if live_a & lane != 0 {
+                        let rec = recs_a[l];
+                        if rec.count < beta_a {
+                            live_a &= !lane;
+                        } else {
+                            best_a[l] = rec.avg;
+                            if rec.mask & bit == 0 {
+                                live_a &= !lane;
+                            } else {
+                                let rank = (rec.mask & (bit - 1)).count_ones();
+                                let child = a.child_at(rec.children_base + rank);
+                                idx_a[l] = child;
+                                a.prefetch(child);
+                            }
+                        }
+                    }
+                    if live_b & lane != 0 {
+                        let rec = recs_b[l];
+                        if rec.count < beta_b {
+                            live_b &= !lane;
+                        } else {
+                            best_b[l] = rec.avg;
+                            if rec.mask & bit == 0 {
+                                live_b &= !lane;
+                            } else {
+                                let rank = (rec.mask & (bit - 1)).count_ones();
+                                let child = b.child_at(rec.children_base + rank);
+                                idx_b[l] = child;
+                                b.prefetch(child);
+                            }
+                        }
+                    }
+                }
+                depth += 1;
+            }
+            a_out.extend(best_a[..n].iter().map(|&v| Some(v)));
+            b_out.extend(best_b[..n].iter().map(|&v| Some(v)));
+            base += n;
+        }
+    }
+
     /// Predicts a whole batch of points at the configured `β`, appending
     /// one result per point to `out` (cleared first).
     ///
-    /// The batch is quantized in one pass and descended in another, so
-    /// validation branches stay out of the descent loop; the per-call
-    /// overhead of the single-point path is paid once per batch.
+    /// The batch is quantized (and its descent words packed) in one pass
+    /// and descended by the multi-lane kernel in another, so validation
+    /// branches stay out of the descent loop. The quantization scratch is
+    /// a per-thread [`BatchPlan`] reused across calls.
     ///
     /// # Errors
     ///
@@ -325,16 +900,19 @@ impl FrozenTree {
         out: &mut Vec<Option<f64>>,
     ) -> Result<(), MlqError> {
         out.clear();
-        let mut grids: Vec<GridPoint> = Vec::with_capacity(points.len());
-        for p in points {
-            grids.push(self.config.space.grid_point(p.as_ref())?);
-        }
-        out.reserve(points.len());
-        let beta = self.config.beta;
-        for grid in &grids {
-            out.push(self.predict_grid(grid, beta));
-        }
-        Ok(())
+        BATCH_PLAN.with(|plan| {
+            let mut plan = plan.borrow_mut();
+            plan.prepare(&self.config.space, self.packed_levels, points)?;
+            out.reserve(plan.len());
+            self.predict_planned_grids(
+                &plan.grids,
+                &plan.words,
+                plan.levels,
+                self.config.beta,
+                out,
+            );
+            Ok(())
+        })
     }
 
     /// [`Self::predict_batch_into`] returning a fresh `Vec`.
@@ -349,6 +927,57 @@ impl FrozenTree {
         let mut out = Vec::with_capacity(points.len());
         self.predict_batch_into(points, &mut out)?;
         Ok(out)
+    }
+
+    /// True when `prev` is the tree's most recent snapshot and nothing
+    /// structural changed since — i.e. the dirty log fully describes the
+    /// difference and [`Self::patched_from`] applies.
+    fn can_patch(tree: &MemoryLimitedQuadtree, prev: &FrozenTree) -> bool {
+        let state = tree.freeze_state().borrow();
+        tree.tree_id != 0
+            && prev.provenance.tree_id == tree.tree_id
+            && prev.provenance.freeze_seq == state.seq
+            && prev.provenance.epoch == tree.structure_epoch
+            && state.map_built
+            && state.map_epoch == tree.structure_epoch
+            && !state.dirty_overflow
+    }
+
+    /// Copy-on-write republication: clones only the chunks holding dirty
+    /// records, re-reads their `(count, avg)` from the live summaries
+    /// (exactly what a full freeze would store — the patch is
+    /// bit-identical), and shares every untouched chunk plus both child
+    /// slabs with `prev`.
+    fn patched_from(tree: &MemoryLimitedQuadtree, prev: &FrozenTree) -> FrozenTree {
+        let mut chunks = prev.chunks.clone();
+        let mut state = tree.freeze_state().borrow_mut();
+        for &arena_idx in &state.dirty {
+            let slab = state.bfs_index[arena_idx as usize];
+            debug_assert_ne!(slab, NIL, "dirty node missing from the slab map");
+            let summary = &tree.arena.get(arena_idx).summary;
+            let chunk = Arc::make_mut(&mut chunks[(slab >> CHUNK_SHIFT) as usize]);
+            let rec = &mut chunk.0[(slab & CHUNK_MASK) as usize];
+            rec.count = summary.count;
+            rec.avg = summary.avg();
+        }
+        state.seq += 1;
+        state.dirty.clear();
+        FrozenTree {
+            config: prev.config.clone(),
+            root: tree.root_summary(),
+            len: prev.len,
+            chunks,
+            children: Arc::clone(&prev.children),
+            wide_masks: Arc::clone(&prev.wide_masks),
+            mask_words: prev.mask_words,
+            dims: prev.dims,
+            packed_levels: prev.packed_levels,
+            provenance: Provenance {
+                tree_id: tree.tree_id,
+                freeze_seq: state.seq,
+                epoch: tree.structure_epoch,
+            },
+        }
     }
 
     /// Merges two packed snapshots into a new one without thawing either
@@ -384,7 +1013,7 @@ impl FrozenTree {
         // exactly like `from_tree`'s discovery order.
         let mut queue: Vec<(Option<u32>, Option<u32>, u8)> = vec![(Some(0), Some(0), 0)];
         let mut nodes: Vec<PackedNode> =
-            Vec::with_capacity(self.nodes.len().max(other.nodes.len()));
+            Vec::with_capacity(self.node_count().max(other.node_count()));
         let mut children: Vec<u32> = Vec::new();
         let mut wide_masks: Vec<u64> = Vec::new();
         let mut present_slots: Vec<usize> = Vec::with_capacity(fanout);
@@ -394,8 +1023,8 @@ impl FrozenTree {
             head += 1;
             let (count, avg) = match (a, b) {
                 (Some(ai), Some(bi)) => {
-                    let na = &self.nodes[ai as usize];
-                    let nb = &other.nodes[bi as usize];
+                    let na = self.node(ai);
+                    let nb = other.node(bi);
                     let count = na.count + nb.count;
                     let avg = if na.count == 0 {
                         nb.avg
@@ -410,11 +1039,11 @@ impl FrozenTree {
                     (count, avg)
                 }
                 (Some(ai), None) => {
-                    let n = &self.nodes[ai as usize];
+                    let n = self.node(ai);
                     (n.count, n.avg)
                 }
                 (None, Some(bi)) => {
-                    let n = &other.nodes[bi as usize];
+                    let n = other.node(bi);
                     (n.count, n.avg)
                 }
                 (None, None) => unreachable!("queue entries always reference at least one input"),
@@ -423,8 +1052,8 @@ impl FrozenTree {
             present_slots.clear();
             if depth < lambda {
                 for slot in 0..fanout {
-                    let ca = a.and_then(|i| self.child_index(&self.nodes[i as usize], slot));
-                    let cb = b.and_then(|i| other.child_index(&other.nodes[i as usize], slot));
+                    let ca = a.and_then(|i| self.child_index(&self.node(i), slot));
+                    let cb = b.and_then(|i| other.child_index(&other.node(i), slot));
                     if ca.is_some() || cb.is_some() {
                         queue.push((ca, cb, depth + 1));
                         children.push(u32::try_from(queue.len() - 1).expect("indices fit u32"));
@@ -446,14 +1075,10 @@ impl FrozenTree {
             };
             nodes.push(PackedNode { count, avg, mask, children_base });
         }
-        Ok(FrozenTree {
-            config: self.config.clone(),
-            root,
-            nodes: nodes.into_boxed_slice(),
-            children: children.into_boxed_slice(),
-            wide_masks: wide_masks.into_boxed_slice(),
-            mask_words: u32::try_from(mask_words).expect("mask words fit u32"),
-        })
+        // A merged snapshot belongs to no live tree: tree_id 0 means it
+        // can never be patched, only rebuilt.
+        let provenance = Provenance { tree_id: 0, freeze_seq: 0, epoch: 0 };
+        Ok(FrozenTree::assemble(self.config.clone(), root, nodes, children, wide_masks, provenance))
     }
 }
 
@@ -468,13 +1093,34 @@ impl MemoryLimitedQuadtree {
     /// freeze with zero nanoseconds.
     #[must_use]
     pub fn freeze(&self) -> FrozenTree {
+        self.freeze_with(None)
+    }
+
+    /// [`Self::freeze`], patching `prev` copy-on-write when possible.
+    ///
+    /// When `prev` is this tree's latest snapshot and only summaries
+    /// changed since (value-only updates: no split, eviction, merge, or
+    /// restore), the new snapshot clones just the record chunks holding
+    /// dirty nodes and shares everything else with `prev` — O(touched)
+    /// instead of O(nodes). Otherwise this is exactly [`Self::freeze`].
+    /// Either way the result is bit-identical to a from-scratch freeze.
+    #[must_use]
+    pub fn refreeze(&self, prev: &FrozenTree) -> FrozenTree {
+        self.freeze_with(Some(prev))
+    }
+
+    fn freeze_with(&self, prev: Option<&FrozenTree>) -> FrozenTree {
+        let build = |tree: &Self| match prev {
+            Some(p) if FrozenTree::can_patch(tree, p) => FrozenTree::patched_from(tree, p),
+            _ => FrozenTree::from_tree(tree),
+        };
         if self.counters_observed() {
             let start = std::time::Instant::now();
-            let frozen = FrozenTree::from_tree(self);
+            let frozen = build(self);
             self.note_freeze(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
             frozen
         } else {
-            let frozen = FrozenTree::from_tree(self);
+            let frozen = build(self);
             self.note_freeze(0);
             frozen
         }
@@ -506,6 +1152,23 @@ mod tests {
             let p: Vec<f64> =
                 (0..dims).map(|d| f64::from(i.wrapping_mul(97 + d as u32 * 31) % 1000)).collect();
             m.insert(&p, f64::from(i % 13)).unwrap();
+        }
+    }
+
+    /// Asserts the two snapshots are bit-identical in content: same
+    /// records, same structure, same root summary.
+    fn assert_bit_identical(a: &FrozenTree, b: &FrozenTree) {
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.root_summary(), b.root_summary());
+        let fanout = a.config().space.fanout();
+        for node in 0..a.node_count() {
+            let (ca, va) = a.node_stats(node);
+            let (cb, vb) = b.node_stats(node);
+            assert_eq!(ca, cb, "count at node {node}");
+            assert_eq!(va.to_bits(), vb.to_bits(), "avg bits at node {node}");
+            for slot in 0..fanout {
+                assert_eq!(a.child_of(node, slot), b.child_of(node, slot), "child at {node}");
+            }
         }
     }
 
@@ -593,6 +1256,33 @@ mod tests {
     }
 
     #[test]
+    fn planned_batches_are_reusable_across_trees() {
+        // One plan over the space drives two different trees, and partial
+        // waves (len not a multiple of LANES) retire correctly.
+        let mut a = model(1 << 14);
+        let mut b = model(1 << 14);
+        spread_points(&mut a, 300);
+        spread_points(&mut b, 77);
+        let (fa, fb) = (a.freeze(), b.freeze());
+        let queries: Vec<Vec<f64>> = (0..(LANES * 3 + 5) as u32)
+            .map(|i| vec![f64::from(i * 37 % 1009) % 1000.0, f64::from(i * 11 % 997) % 1000.0])
+            .collect();
+        let mut plan = BatchPlan::new();
+        plan.prepare(&fa.config().space, fa.packed_levels(), &queries).unwrap();
+        assert_eq!(plan.len(), queries.len());
+        assert!(!plan.is_empty());
+        assert!(plan.levels() > 0);
+        let mut out = vec![Some(f64::NAN)];
+        for f in [&fa, &fb] {
+            f.predict_planned_into(&plan, &mut out);
+            assert_eq!(out.len(), queries.len());
+            for (q, got) in queries.iter().zip(&out) {
+                assert_eq!(*got, f.predict(q).unwrap(), "point {q:?}");
+            }
+        }
+    }
+
+    #[test]
     fn predict_batch_fails_fast_on_malformed_points() {
         let mut m = model(1 << 14);
         spread_points(&mut m, 50);
@@ -653,6 +1343,73 @@ mod tests {
     }
 
     #[test]
+    fn refreeze_patches_value_only_updates_bit_identically() {
+        let mut m = model(1 << 18);
+        spread_points(&mut m, 600);
+        let prev = m.freeze();
+        // Re-inserting already-mapped points updates summaries along
+        // existing paths only — no structural change.
+        let p = [97.0 % 1000.0, 128.0];
+        m.insert(&p, 42.0).unwrap();
+        m.insert(&p, 7.0).unwrap();
+        let patched = m.refreeze(&prev);
+        let fresh = FrozenTree::from_tree(&m);
+        assert_bit_identical(&patched, &fresh);
+        // The patch really was copy-on-write: only the touched path's
+        // chunks were cloned, everything else is shared with `prev`.
+        assert!(patched.chunks.len() > 1, "test needs a multi-chunk tree");
+        assert!(patched.shared_chunks(&prev) > 0, "untouched chunks must be shared");
+        assert_eq!(fresh.shared_chunks(&prev), 0, "full freezes share nothing");
+        // And the republished snapshot serves the new values.
+        assert_eq!(patched.predict(&p).unwrap(), m.predict(&p).unwrap());
+    }
+
+    #[test]
+    fn refreeze_after_structural_change_falls_back_to_full_freeze() {
+        let mut m = model(1 << 18);
+        spread_points(&mut m, 200);
+        let prev = m.freeze();
+        // A point in fresh territory splits new nodes: structure changed.
+        m.insert(&[431.5, 997.25], 3.0).unwrap();
+        let refrozen = m.refreeze(&prev);
+        assert_bit_identical(&refrozen, &FrozenTree::from_tree(&m));
+        assert_eq!(refrozen.node_count(), m.node_count());
+    }
+
+    #[test]
+    fn refreeze_with_foreign_or_stale_snapshot_falls_back() {
+        let mut m = model(1 << 18);
+        let mut other = model(1 << 18);
+        spread_points(&mut m, 150);
+        spread_points(&mut other, 150);
+        let foreign = other.freeze();
+        // A snapshot from another tree never patches.
+        let got = m.refreeze(&foreign);
+        assert_bit_identical(&got, &FrozenTree::from_tree(&m));
+        // A stale snapshot (superseded by a later freeze) never patches:
+        // its dirty log no longer describes the difference.
+        let old = m.freeze();
+        m.insert(&[97.0, 128.0], 1.0).unwrap();
+        let _newer = m.freeze();
+        m.insert(&[97.0, 128.0], 2.0).unwrap();
+        let got = m.refreeze(&old);
+        assert_bit_identical(&got, &FrozenTree::from_tree(&m));
+    }
+
+    #[test]
+    fn refreeze_after_dirty_log_overflow_falls_back() {
+        let mut m = model(1 << 18);
+        spread_points(&mut m, 300);
+        let prev = m.freeze();
+        // Re-insert the same stream twice: value-only updates, but far
+        // more path touches than the dirty log holds.
+        spread_points(&mut m, 300);
+        spread_points(&mut m, 300);
+        let refrozen = m.refreeze(&prev);
+        assert_bit_identical(&refrozen, &FrozenTree::from_tree(&m));
+    }
+
+    #[test]
     fn packed_layout_is_smaller_than_boxed_slot_arrays() {
         // The old frozen layout carried, per node, the full summary plus
         // an Option'd boxed `2^d`-slot child array on every internal
@@ -701,6 +1458,11 @@ mod tests {
                     m.predict_with_beta(p, beta).unwrap()
                 );
             }
+        }
+        // The batch kernel's wide fallback agrees with scalar descents.
+        let batch = f.predict_batch(&pts).unwrap();
+        for (p, got) in pts.iter().zip(&batch) {
+            assert_eq!(*got, f.predict(p).unwrap());
         }
         let internal = m.nodes().iter().filter(|n| n.n_children > 0).count();
         let boxed_layout = f.node_count() * NODE_BYTES + internal * child_array_bytes(7);
@@ -835,5 +1597,22 @@ mod tests {
         b.insert(&[10.0, 10.0], 105.0).unwrap();
         assert_eq!(a.predict(&[10.0, 10.0]).unwrap(), Some(5.0));
         assert_eq!(b.predict(&[10.0, 10.0]).unwrap(), Some(55.0));
+    }
+
+    #[test]
+    fn cloned_live_trees_refreeze_soundly() {
+        // `Clone` copies the freeze state and dirty log along with the
+        // arena, so a clone patching a pre-clone snapshot is still exact.
+        let mut a = model(1 << 18);
+        spread_points(&mut a, 200);
+        let prev = a.freeze();
+        let mut b = a.clone();
+        b.insert(&[97.0, 128.0], 9.0).unwrap(); // existing path: value-only
+        let patched = b.refreeze(&prev);
+        assert_bit_identical(&patched, &FrozenTree::from_tree(&b));
+        // The original tree is unaffected and patches independently.
+        a.insert(&[97.0, 128.0], 4.0).unwrap();
+        let patched_a = a.refreeze(&prev);
+        assert_bit_identical(&patched_a, &FrozenTree::from_tree(&a));
     }
 }

@@ -76,7 +76,7 @@ pub use config::{InsertionStrategy, MlqConfig, MlqConfigBuilder};
 pub use counters::ModelCounters;
 pub use detail::PredictionDetail;
 pub use error::MlqError;
-pub use frozen::FrozenTree;
+pub use frozen::{BatchPlan, FrozenTree};
 pub use guard::{BreakerState, GuardConfig, GuardCounters, GuardState, GuardedModel, PointPolicy};
 pub use merge::DeltaTracker;
 pub use model::{CostModel, TrainableModel};

@@ -42,6 +42,10 @@ impl MemoryLimitedQuadtree {
             });
         }
         let lambda = self.config().lambda;
+        // A merge rewrites summaries across the whole tree without going
+        // through the insert path's dirty log, so any outstanding frozen
+        // snapshot can no longer be patched incrementally.
+        self.bump_structure_epoch();
         // Walk `other` pre-order, tracking the corresponding node in
         // `self` (created on demand).
         let mut stack: Vec<(u32, u32)> = vec![(other.root, self.root)];

@@ -74,6 +74,12 @@ impl Arena {
         self.nodes.len() - self.free.len()
     }
 
+    /// Number of slots ever allocated (live + freed); the index range a
+    /// dense arena-keyed side table must cover.
+    pub(crate) fn capacity(&self) -> usize {
+        self.nodes.len()
+    }
+
     pub(crate) fn alloc(&mut self, node: Node) -> u32 {
         if let Some(idx) = self.free.pop() {
             self.nodes[idx as usize] = node;

@@ -30,10 +30,42 @@ pub const GRID_BITS: u32 = 30;
 /// ranges are given"; `Space` captures those ranges. Points inserted or
 /// queried outside the range are clamped onto the boundary (a UDF cost model
 /// must answer every query the optimizer asks).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Space {
     lows: Vec<f64>,
     highs: Vec<f64>,
+    /// `1 / (high - low)` per dimension, precomputed at construction so
+    /// quantization multiplies instead of dividing (an f64 divide is
+    /// several times the latency of a multiply and sits on the critical
+    /// path of every prediction). Derived state — never serialized; both
+    /// equality and the wire format consider only the bounds.
+    scales: Vec<f64>,
+}
+
+impl PartialEq for Space {
+    fn eq(&self, other: &Self) -> bool {
+        self.lows == other.lows && self.highs == other.highs
+    }
+}
+
+impl Serialize for Space {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("lows".to_string(), self.lows.to_value()),
+            ("highs".to_string(), self.highs.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Space {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let serde::Value::Map(map) = v else {
+            return Err(serde::DeError("Space: expected a map".to_string()));
+        };
+        let lows: Vec<f64> = serde::field(map, "lows")?;
+        let highs: Vec<f64> = serde::field(map, "highs")?;
+        Space::new(lows, highs).map_err(|e| serde::DeError(format!("Space: {e}")))
+    }
 }
 
 impl Space {
@@ -70,7 +102,8 @@ impl Space {
                 });
             }
         }
-        Ok(Space { lows, highs })
+        let scales = lows.iter().zip(&highs).map(|(lo, hi)| 1.0 / (hi - lo)).collect();
+        Ok(Space { lows, highs, scales })
     }
 
     /// The `[0, 1]^d` unit cube.
@@ -144,8 +177,7 @@ impl Space {
                 return Err(MlqError::NonFiniteValue { context: "point coordinate" });
             }
             let lo = self.lows[i];
-            let hi = self.highs[i];
-            let unit = ((x - lo) / (hi - lo)).clamp(0.0, 1.0);
+            let unit = ((x - lo) * self.scales[i]).clamp(0.0, 1.0);
             // `unit == 1.0` maps onto the last cell rather than one past it.
             let cell = ((unit * (1u64 << GRID_BITS) as f64) as u64).min(max_cell);
             coords[i] = cell as u32;
@@ -192,6 +224,91 @@ impl GridPoint {
     pub fn coord(&self, i: usize) -> u32 {
         self.coords[i]
     }
+
+    /// Packs the child slots for depths `0..levels` into one `u64` — the
+    /// *descent word* — so a tree descent reads its slot at depth `t` as
+    /// `(word >> (64 - (t + 1) * d)) & (2^d - 1)` instead of re-deriving
+    /// it bit by bit from every coordinate via [`Self::child_slot`].
+    ///
+    /// The word is *left-aligned*: depth 0 occupies the top `d` bits, so
+    /// the extraction shift depends only on the depth and `d`, never on
+    /// `levels` — any consumer can walk the word without knowing how many
+    /// levels were packed. The word is independent of any tree: any tree
+    /// over the same space can consume it for depths below `levels`
+    /// (deeper descents fall back to [`Self::child_slot`]). Callers clamp
+    /// `levels` so `levels * d <= 64`; a frozen tree packs
+    /// `min(λ + 1, 64 / d)` levels, which covers the whole descent for
+    /// every configuration the paper uses.
+    ///
+    /// Packing is branchless: each coordinate's top `levels` bits are
+    /// spread to stride `d` with mask/shift ladders (the classic Morton
+    /// interleave) for `d ∈ {1, 2, 4}`, or a fixed-trip per-level loop
+    /// otherwise. The earlier per-set-bit walk cost a data-dependent
+    /// branch per one-bit — on random coordinates that misprediction tax
+    /// dominated the whole descent.
+    #[must_use]
+    pub fn descent_word(&self, levels: u32) -> u64 {
+        let d = u32::from(self.dims);
+        debug_assert!(levels * d <= 64, "descent word overflows 64 bits");
+        debug_assert!(levels <= GRID_BITS, "more levels than grid resolution");
+        if levels == 0 {
+            return 0;
+        }
+        // Field of dimension `i`: the coordinate's top `levels` bits,
+        // LSB-first bit `j` holding depth `levels - 1 - j`. Spreading to
+        // stride `d` sends bit `j` to `j * d`, so depth `t` lands in
+        // group `levels - 1 - t`; left-aligning then puts depth `t` at
+        // bits `64 - (t + 1) * d`, independent of `levels`.
+        let field = |i: usize| u64::from(self.coords[i]) >> (GRID_BITS - levels);
+        let mut word = 0u64;
+        match d {
+            1 => word = field(0),
+            2 => {
+                for i in 0..2 {
+                    word |= spread_stride2(field(i)) << i;
+                }
+            }
+            4 => {
+                for i in 0..4 {
+                    word |= spread_stride4(field(i)) << i;
+                }
+            }
+            _ => {
+                let mut shift = (levels - 1) * d;
+                for t in 0..levels {
+                    let bit = GRID_BITS - 1 - t;
+                    let mut slot = 0u64;
+                    for i in 0..self.dims as usize {
+                        slot |= u64::from((self.coords[i] >> bit) & 1) << i;
+                    }
+                    word |= slot << shift;
+                    shift = shift.wrapping_sub(d);
+                }
+            }
+        }
+        word << (64 - levels * d)
+    }
+}
+
+/// Spreads the low 32 bits of `x` so bit `j` moves to bit `2 * j`.
+#[inline(always)]
+fn spread_stride2(mut x: u64) -> u64 {
+    x &= 0xFFFF_FFFF;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    (x | (x << 1)) & 0x5555_5555_5555_5555
+}
+
+/// Spreads the low 16 bits of `x` so bit `j` moves to bit `4 * j`.
+#[inline(always)]
+fn spread_stride4(mut x: u64) -> u64 {
+    x &= 0xFFFF;
+    x = (x | (x << 24)) & 0x0000_00FF_0000_00FF;
+    x = (x | (x << 12)) & 0x000F_000F_000F_000F;
+    x = (x | (x << 6)) & 0x0303_0303_0303_0303;
+    (x | (x << 3)) & 0x1111_1111_1111_1111
 }
 
 #[cfg(test)]
@@ -286,6 +403,39 @@ mod tests {
         let s = Space::unit(1).unwrap();
         let g = s.grid_point(&[0.5]).unwrap();
         assert_eq!(g.child_slot(0), 1);
+    }
+
+    #[test]
+    fn descent_word_matches_child_slot_per_level() {
+        for dims in [1usize, 2, 3, 4, 6, 7] {
+            let s = Space::cube(dims, 0.0, 1000.0).unwrap();
+            let levels = (64 / dims as u32).min(GRID_BITS);
+            let mut r = 0x9e37_79b9_7f4a_7c15u64;
+            for _ in 0..50 {
+                let p: Vec<f64> = (0..dims)
+                    .map(|_| {
+                        r ^= r << 13;
+                        r ^= r >> 7;
+                        r ^= r << 17;
+                        (r % 100_000) as f64 / 100.0
+                    })
+                    .collect();
+                let g = s.grid_point(&p).unwrap();
+                let word = g.descent_word(levels);
+                for depth in 0..levels {
+                    let shift = 64 - (depth + 1) * dims as u32;
+                    let unpacked = ((word >> shift) & ((1 << dims) - 1)) as usize;
+                    assert_eq!(unpacked, g.child_slot(depth), "d={dims} depth={depth} point {p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn descent_word_of_zero_levels_is_empty() {
+        let s = Space::unit(2).unwrap();
+        let g = s.grid_point(&[0.9, 0.9]).unwrap();
+        assert_eq!(g.descent_word(0), 0);
     }
 
     #[test]

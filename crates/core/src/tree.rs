@@ -11,7 +11,44 @@ use crate::space::GridPoint;
 use crate::summary::{ssenc, Summary};
 use crate::{child_array_bytes, NODE_BYTES};
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Source of unique tree identities, used to pair a live tree with the
+/// [`FrozenTree`](crate::FrozenTree)s it produced (see [`FreezeState`]).
+/// Starts at 1 so 0 can mean "no tree" (e.g. merged snapshots).
+static NEXT_TREE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Cap on the summary-dirty log between freezes. Once an inter-freeze
+/// write burst exceeds this many path-node touches the log overflows and
+/// the next [`MemoryLimitedQuadtree::refreeze`] falls back to a full
+/// rebuild — correctness never depends on the log, only the incremental
+/// fast path does. A maintainer batch of 64 observations at the default
+/// `λ = 6` logs at most 64 × 7 entries, far under this.
+const DIRTY_LIMIT: usize = 2048;
+
+/// Bookkeeping that lets [`MemoryLimitedQuadtree::refreeze`] patch the
+/// previous snapshot instead of rebuilding it: which snapshot is current
+/// (`seq`), which arena nodes' summaries changed since it was taken
+/// (`dirty`), and the arena → BFS-slab index map captured at the last
+/// full freeze.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FreezeState {
+    /// Sequence number of the most recent freeze taken from this tree.
+    pub(crate) seq: u64,
+    /// Arena indices whose summaries changed since that freeze
+    /// (duplicates allowed; patching twice is idempotent).
+    pub(crate) dirty: Vec<u32>,
+    /// Set when the log hit [`DIRTY_LIMIT`]; forces a full rebuild.
+    pub(crate) dirty_overflow: bool,
+    /// Arena index → BFS slab index, captured at the last full freeze
+    /// ([`crate::node::NIL`] for slots not in the snapshot).
+    pub(crate) bfs_index: Vec<u32>,
+    /// The `structure_epoch` the map was built at.
+    pub(crate) map_epoch: u64,
+    /// False until the first full freeze builds the map.
+    pub(crate) map_built: bool,
+}
 
 /// What one insertion did to the tree.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,6 +82,15 @@ pub struct MemoryLimitedQuadtree {
     /// BFS work queue reused across [`Self::freeze`] calls so repeated
     /// snapshots don't regrow it from cold.
     freeze_scratch: RefCell<Vec<u32>>,
+    /// Unique identity tying this tree (and its clones, which share the
+    /// cloned freeze state) to the snapshots it froze.
+    pub(crate) tree_id: u64,
+    /// Bumped on every structural change (node created, leaf evicted,
+    /// clear, merge); an unchanged epoch is what licenses the
+    /// copy-on-write [`Self::refreeze`] fast path.
+    pub(crate) structure_epoch: u64,
+    /// Incremental-refreeze bookkeeping (see [`FreezeState`]).
+    freeze_state: RefCell<FreezeState>,
 }
 
 impl MemoryLimitedQuadtree {
@@ -72,6 +118,9 @@ impl MemoryLimitedQuadtree {
             had_compression: false,
             counters: CounterCells::default(),
             freeze_scratch: RefCell::new(Vec::new()),
+            tree_id: NEXT_TREE_ID.fetch_add(1, Ordering::Relaxed),
+            structure_epoch: 0,
+            freeze_state: RefCell::new(FreezeState::default()),
         })
     }
 
@@ -215,6 +264,7 @@ impl MemoryLimitedQuadtree {
         // Line 2 of Fig. 4: update the root, then derive the threshold —
         // the root's SSE reflects the new point.
         self.arena.get_mut(self.root).summary.add(value);
+        self.note_dirty(self.root);
         let th = self.current_threshold();
         let lambda = u32::from(self.config.lambda);
 
@@ -244,6 +294,7 @@ impl MemoryLimitedQuadtree {
                 }
             };
             self.arena.get_mut(child).summary.add(value);
+            self.note_dirty(child);
             cn = child;
         }
 
@@ -306,7 +357,37 @@ impl MemoryLimitedQuadtree {
         &self.freeze_scratch
     }
 
+    /// The incremental-refreeze bookkeeping (see [`FreezeState`]).
+    pub(crate) fn freeze_state(&self) -> &RefCell<FreezeState> {
+        &self.freeze_state
+    }
+
+    /// Logs a summary change on arena node `idx` for the next
+    /// [`Self::refreeze`]. Bounded by [`DIRTY_LIMIT`]; overflow just
+    /// downgrades the next refreeze to a full rebuild.
+    #[inline]
+    fn note_dirty(&self, idx: u32) {
+        let mut state = self.freeze_state.borrow_mut();
+        if state.dirty_overflow {
+            return;
+        }
+        if state.dirty.len() >= DIRTY_LIMIT {
+            state.dirty_overflow = true;
+            state.dirty.clear();
+        } else {
+            state.dirty.push(idx);
+        }
+    }
+
+    /// Declares a structural (or bulk-summary) change that invalidates
+    /// incremental refreezing of any outstanding snapshot. Called by every
+    /// arena mutation that is not a logged single-path summary update.
+    pub(crate) fn bump_structure_epoch(&mut self) {
+        self.structure_epoch += 1;
+    }
+
     fn create_child(&mut self, parent: u32, slot: usize) -> u32 {
+        self.bump_structure_epoch();
         let depth = self.arena.get(parent).depth + 1;
         let child = self.arena.alloc(Node::new(parent, slot as u16, depth));
         self.bytes_used += NODE_BYTES;
@@ -326,6 +407,7 @@ impl MemoryLimitedQuadtree {
     /// Unlinks and frees a leaf, reclaiming its bytes. Returns the bytes
     /// freed and whether the parent became a leaf. Used by compression.
     pub(crate) fn evict_leaf(&mut self, leaf: u32) -> (usize, Option<u32>) {
+        self.bump_structure_epoch();
         let (parent, slot) = {
             let node = self.arena.get(leaf);
             debug_assert!(node.is_leaf(), "evicting an internal node");
@@ -361,6 +443,14 @@ impl MemoryLimitedQuadtree {
         self.bytes_used = NODE_BYTES;
         self.had_compression = false;
         self.counters.store(ModelCounters::default());
+        self.bump_structure_epoch();
+        // Stale arena indices in the dirty log / BFS map would point into
+        // the discarded arena; drop them with it.
+        let mut state = self.freeze_state.borrow_mut();
+        state.dirty.clear();
+        state.dirty_overflow = false;
+        state.map_built = false;
+        state.bfs_index.clear();
     }
 
     /// Total SSENC over all non-full nodes — the paper's optimality

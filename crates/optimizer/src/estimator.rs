@@ -37,6 +37,27 @@ pub trait Estimator {
         points.iter().map(|p| self.predict(p)).collect()
     }
 
+    /// [`Self::predict_batch`] into a caller-owned buffer (cleared
+    /// first), so a driver issuing batch after batch — the executor's
+    /// prefetched loop — reuses one output allocation instead of taking a
+    /// fresh `Vec` per predicate per batch. On error `out` is left empty.
+    ///
+    /// The default routes through [`Self::predict_batch`]; implementations
+    /// with a true buffer-reusing path (the serving layer) override it.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first malformed point.
+    fn predict_batch_into(
+        &self,
+        points: &[Vec<f64>],
+        out: &mut Vec<Option<f64>>,
+    ) -> Result<(), MlqError> {
+        out.clear();
+        out.extend(self.predict_batch(points)?);
+        Ok(())
+    }
+
     /// Offers an observed execution back to the underlying models.
     ///
     /// # Errors

@@ -165,16 +165,23 @@ impl<E: Estimator> FeedbackExecutor<E> {
         let needs_costs =
             matches!(policy, OrderingPolicy::EstimatedRank | OrderingPolicy::LocalSelectivityRank);
         let prefetched: Option<Vec<Vec<Option<f64>>>> = needs_costs.then(|| {
+            // One reusable point buffer serves every predicate: the inner
+            // `Vec`s keep their capacity across iterations, so after the
+            // first predicate the gather loop allocates nothing.
+            let mut points: Vec<Vec<f64>> = Vec::new();
+            points.resize_with(rows.len(), Vec::new);
             (0..n)
                 .map(|i| {
-                    let points: Vec<Vec<f64>> = rows
-                        .iter()
-                        .map(|row| {
-                            assert_eq!(row.len(), n, "one model point per predicate");
-                            row[i].clone()
-                        })
-                        .collect();
-                    self.estimators[i].predict_batch(&points).expect("row points are well-formed")
+                    for (slot, row) in points.iter_mut().zip(rows) {
+                        assert_eq!(row.len(), n, "one model point per predicate");
+                        slot.clear();
+                        slot.extend_from_slice(&row[i]);
+                    }
+                    let mut costs = Vec::with_capacity(rows.len());
+                    self.estimators[i]
+                        .predict_batch_into(&points, &mut costs)
+                        .expect("row points are well-formed");
+                    costs
                 })
                 .collect()
         });

@@ -31,7 +31,7 @@ use crate::wal::{
     WalRecord, WalWriter,
 };
 use mlq_core::{
-    CostModel, DeltaTracker, GuardConfig, GuardState, GuardedModel, InsertionStrategy,
+    CostModel, DeltaTracker, FrozenTree, GuardConfig, GuardState, GuardedModel, InsertionStrategy,
     MemoryLimitedQuadtree, MlqConfig, MlqError, Space,
 };
 use mlq_obs::{labeled, Counter, Gauge, Histogram, Registry, RegistrySnapshot, TraceRing};
@@ -182,6 +182,12 @@ struct ShardModels {
     /// sync. `None` unless the service was built with
     /// [`ConcurrentEstimatorBuilder::with_delta_tracking`].
     deltas: Option<Box<(DeltaTracker, DeltaTracker)>>,
+    /// The previously published frozen trees, kept so the next
+    /// publication can patch them copy-on-write instead of re-freezing
+    /// from scratch. A clone is cheap: the node chunks and child slabs
+    /// are `Arc`-shared with the published snapshot.
+    prev_cpu: Option<FrozenTree>,
+    prev_io: Option<FrozenTree>,
 }
 
 impl ShardModels {
@@ -197,7 +203,19 @@ impl ShardModels {
         let version = shard_counter("mlq_serve_snapshot_version");
         let cpu_obs = ModelObs::new(registry, &name, "cpu");
         let io_obs = ModelObs::new(registry, &name, "io");
-        ShardModels { name, cpu, io, applied, apply_errors, version, cpu_obs, io_obs, deltas: None }
+        ShardModels {
+            name,
+            cpu,
+            io,
+            applied,
+            apply_errors,
+            version,
+            cpu_obs,
+            io_obs,
+            deltas: None,
+            prev_cpu: None,
+            prev_io: None,
+        }
     }
 
     fn snapshot(&mut self, io_weight: f64) -> ShardSnapshot {
@@ -213,16 +231,25 @@ impl ShardModels {
             cpu_breaker: self.cpu.state(),
             io_breaker: self.io.state(),
         };
-        let cpu = ComponentSnapshot::new(
-            self.cpu.inner().freeze(),
-            self.cpu.is_healthy(),
-            self.cpu.fallback_prediction(),
-        );
-        let io = ComponentSnapshot::new(
-            self.io.inner().freeze(),
-            self.io.is_healthy(),
-            self.io.fallback_prediction(),
-        );
+        // Republish copy-on-write when possible: a feedback batch that
+        // only bumped summaries patches the previous frozen tree's
+        // touched chunks instead of re-packing the whole slab. A
+        // structural change (or the first publication) falls back to a
+        // full freeze inside `refreeze`.
+        let cpu_tree = match self.prev_cpu.take() {
+            Some(prev) => self.cpu.inner().refreeze(&prev),
+            None => self.cpu.inner().freeze(),
+        };
+        let io_tree = match self.prev_io.take() {
+            Some(prev) => self.io.inner().refreeze(&prev),
+            None => self.io.inner().freeze(),
+        };
+        self.prev_cpu = Some(cpu_tree.clone());
+        self.prev_io = Some(io_tree.clone());
+        let cpu =
+            ComponentSnapshot::new(cpu_tree, self.cpu.is_healthy(), self.cpu.fallback_prediction());
+        let io =
+            ComponentSnapshot::new(io_tree, self.io.is_healthy(), self.io.fallback_prediction());
         ShardSnapshot::new(self.name.clone(), cpu, io, io_weight, counters)
     }
 
@@ -1150,6 +1177,33 @@ impl ConcurrentEstimator {
         self.predict_batch_at(self.shard_index(name)?, points)
     }
 
+    pub(crate) fn predict_batch_into_at<P: AsRef<[f64]>>(
+        &self,
+        shard: usize,
+        points: &[P],
+        out: &mut Vec<Option<f64>>,
+    ) -> Result<(), MlqError> {
+        self.reads[shard].add(points.len() as u64);
+        self.snapshot_at(shard).predict_batch_into(points, out)
+    }
+
+    /// [`Self::predict_batch`] into a caller-owned buffer (cleared first;
+    /// left empty on error), so a driver issuing batch after batch reuses
+    /// one output allocation per call site.
+    ///
+    /// # Errors
+    ///
+    /// [`MlqError::InvalidConfig`] for unknown names; fails on the first
+    /// malformed point.
+    pub fn predict_batch_into<P: AsRef<[f64]>>(
+        &self,
+        name: &str,
+        points: &[P],
+        out: &mut Vec<Option<f64>>,
+    ) -> Result<(), MlqError> {
+        self.predict_batch_into_at(self.shard_index(name)?, points, out)
+    }
+
     pub(crate) fn observe_at(
         &self,
         shard: usize,
@@ -1325,6 +1379,11 @@ impl ConcurrentEstimator {
                 }
                 *shard.cpu.inner_mut() = cpu;
                 *shard.io.inner_mut() = io;
+                // Fresh trees carry fresh identities, so the previous
+                // frozen snapshots can never be patched against them;
+                // drop them so the next publication freezes from scratch.
+                shard.prev_cpu = None;
+                shard.prev_io = None;
             }
             core.publish(idx, &self.published);
         }

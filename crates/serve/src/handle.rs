@@ -77,6 +77,16 @@ impl Estimator for EstimatorHandle {
         self.service.predict_batch_at(self.shard, points)
     }
 
+    fn predict_batch_into(
+        &self,
+        points: &[Vec<f64>],
+        out: &mut Vec<Option<f64>>,
+    ) -> Result<(), MlqError> {
+        // The true buffer-reusing path: the caller's output buffer plus
+        // the service's per-thread descent scratch, no per-call `Vec`s.
+        self.service.predict_batch_into_at(self.shard, points, out)
+    }
+
     fn observe(&mut self, point: &[f64], cost: ExecutionCost) -> Result<(), MlqError> {
         self.offer(point, cost).map(|_| ())
     }

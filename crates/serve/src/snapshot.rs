@@ -14,8 +14,22 @@
 //! through [`ShardSnapshot::counters`], instead of being swallowed by the
 //! asynchronous feedback path.
 
-use mlq_core::{BreakerState, FrozenTree, GuardCounters, MlqError};
+use std::cell::RefCell;
+
+use mlq_core::{BatchPlan, BreakerState, FrozenTree, GuardCounters, MlqError};
 use mlq_udfs::{CostKind, ExecutionCost};
+
+/// Per-thread scratch for [`ShardSnapshot::predict_batch_into`]: the
+/// quantization plan plus the two component output buffers.
+type ShardScratch = (BatchPlan, Vec<Option<f64>>, Vec<Option<f64>>);
+
+thread_local! {
+    /// Reader threads issuing batch after batch reuse these allocations
+    /// across calls and across snapshots (a plan over a space is valid
+    /// for any tree over that space).
+    static SHARD_SCRATCH: RefCell<ShardScratch> =
+        RefCell::new((BatchPlan::new(), Vec::new(), Vec::new()));
+}
 
 /// One cost component (CPU or IO) frozen for reading.
 #[derive(Debug, Clone)]
@@ -65,6 +79,14 @@ impl ComponentSnapshot {
         out: &mut Vec<Option<f64>>,
     ) -> Result<(), MlqError> {
         self.tree.predict_batch_into(points, out)?;
+        self.apply_policy(out);
+        Ok(())
+    }
+
+    /// The guarded read policy over a batch of raw tree answers: healthy
+    /// components fall back only where the tree was uninformed, an open
+    /// breaker routes every query to the running average.
+    fn apply_policy(&self, out: &mut [Option<f64>]) {
         if self.healthy {
             if self.fallback.is_some() {
                 for slot in out.iter_mut() {
@@ -75,10 +97,9 @@ impl ComponentSnapshot {
             }
         } else {
             // Open breaker: the running average covers every query, but
-            // the tree pass above still validated/clamped the points.
+            // the tree pass already validated/clamped the points.
             out.iter_mut().for_each(|slot| *slot = self.fallback);
         }
-        Ok(())
     }
 
     /// [`Self::predict`] for a pre-quantized query: the guarded read
@@ -206,25 +227,59 @@ impl ShardSnapshot {
         &self,
         points: &[P],
     ) -> Result<Vec<Option<f64>>, MlqError> {
+        let mut out = Vec::with_capacity(points.len());
+        self.predict_batch_into(points, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::predict_batch`] into a caller-owned buffer (cleared first;
+    /// left empty on error). All scratch — the descent plan and both
+    /// component buffers — lives in a per-thread cache, so a reader
+    /// issuing batch after batch allocates nothing in steady state.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first malformed point, before any descent runs.
+    pub fn predict_batch_into<P: AsRef<[f64]>>(
+        &self,
+        points: &[P],
+        out: &mut Vec<Option<f64>>,
+    ) -> Result<(), MlqError> {
+        out.clear();
         let space = &self.cpu.tree().config().space;
         debug_assert!(
             *space == self.io.tree().config().space,
             "shard components must share a space"
         );
-        let mut grids = Vec::with_capacity(points.len());
-        for p in points {
-            grids.push(space.grid_point(p.as_ref())?);
-        }
-        let mut out = Vec::with_capacity(points.len());
-        for grid in &grids {
-            let cpu = self.cpu.predict_quantized(grid);
-            let io = self.io.predict_quantized(grid);
-            out.push(match (cpu, io) {
-                (None, None) => None,
-                (c, i) => Some(c.unwrap_or(0.0) + self.io_weight * i.unwrap_or(0.0)),
-            });
-        }
-        Ok(out)
+        let levels = self.cpu.tree().packed_levels().max(self.io.tree().packed_levels());
+        SHARD_SCRATCH.with(|scratch| {
+            let (plan, cpu_out, io_out) = &mut *scratch.borrow_mut();
+            plan.prepare(space, levels, points)?;
+            // One fused pass walks both component slabs: the plan is read
+            // once and the two trees' record loads overlap in the memory
+            // system.
+            FrozenTree::predict_planned_pair_into(
+                self.cpu.tree(),
+                self.io.tree(),
+                plan,
+                cpu_out,
+                io_out,
+            );
+            // Guarded read policy and CPU + weight × IO combination in a
+            // single pass (same per-component semantics as
+            // `apply_policy`, fused so the batch is touched once).
+            let (cpu_healthy, cpu_fb) = (self.cpu.healthy, self.cpu.fallback);
+            let (io_healthy, io_fb) = (self.io.healthy, self.io.fallback);
+            out.extend(cpu_out.iter().zip(io_out.iter()).map(|(&cpu_raw, &io_raw)| {
+                let cpu = if cpu_healthy { cpu_raw.or(cpu_fb) } else { cpu_fb };
+                let io = if io_healthy { io_raw.or(io_fb) } else { io_fb };
+                match (cpu, io) {
+                    (None, None) => None,
+                    (c, i) => Some(c.unwrap_or(0.0) + self.io_weight * i.unwrap_or(0.0)),
+                }
+            }));
+            Ok(())
+        })
     }
 
     /// Predicts one cost component.

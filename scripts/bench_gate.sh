@@ -10,6 +10,11 @@
 # Usage: scripts/bench_gate.sh [MEASURED.json] [BASELINE.json] [TOLERANCE]
 #                              [PREDICT_MEASURED.json] [PREDICT_BASELINE.json]
 #                              [REPLICATED_MEASURED.json] [REPLICATED_BASELINE.json]
+#        scripts/bench_gate.sh --gate-predict [PREDICT_MEASURED.json] [PREDICT_BASELINE.json]
+#
+# The --gate-predict mode runs only the predict-path gate — the CI
+# predict-perf job measures and gates the read path without requiring a
+# serve throughput report to exist first.
 #
 # The predict and replicated gates run whenever their measured reports
 # exist (or were explicitly named), so pre-predict callers keep working
@@ -25,6 +30,21 @@
 # (The bake-off accuracy gate is separate: `mlq-exp bakeoff --gate
 # results/bakeoff.baseline.json`.)
 set -eu
+
+if [ "${1:-}" = "--gate-predict" ]; then
+    PREDICT_MEASURED="${2:-BENCH_predict.json}"
+    PREDICT_BASELINE="${3:-BENCH_predict.baseline.json}"
+    if [ ! -f "$PREDICT_MEASURED" ]; then
+        echo "bench_gate: missing predict measured report $PREDICT_MEASURED (regenerate with mlq-bench --predict)" >&2
+        exit 1
+    fi
+    if [ ! -f "$PREDICT_BASELINE" ]; then
+        echo "bench_gate: missing predict baseline $PREDICT_BASELINE (it is committed — losing it must be loud)" >&2
+        exit 1
+    fi
+    exec cargo run -q --release --offline -p mlq-bench -- \
+        --gate-predict "$PREDICT_MEASURED" "$PREDICT_BASELINE"
+fi
 
 MEASURED="${1:-BENCH_serve.json}"
 BASELINE="${2:-BENCH_serve.baseline.json}"
