@@ -16,13 +16,16 @@
 //! `mlq-bench --throughput` runs the [`throughput`] harness and writes
 //! `BENCH_serve.json`; `mlq-bench --predict` runs the [`predict`]
 //! single-vs-batched read-path microbench and writes
-//! `BENCH_predict.json`; `mlq-bench --gate` / `--gate-predict` compare
+//! `BENCH_predict.json`; `mlq-bench --fleet` runs the [`fleet`]
+//! budget-arbitration bench and writes `BENCH_fleet.json`;
+//! `mlq-bench --gate` / `--gate-predict` / `--gate-fleet` compare
 //! such reports against the checked-in baselines (the CI regression
-//! gates, see [`report`] and [`predict`]).
+//! gates, see [`report`], [`predict`], and [`fleet`]).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod fleet;
 pub mod predict;
 pub mod report;
 pub mod throughput;

@@ -4,9 +4,11 @@
 //! mlq-bench --throughput [--short] [--durable] [--readers 1,2,4] [--replicas N]
 //!           [--duration-ms N] [--out PATH] [--metrics-out PATH]
 //! mlq-bench --predict [--short] [--out PATH]
+//! mlq-bench --fleet [--short] [--models N] [--out PATH]
 //! mlq-bench --gate MEASURED.json BASELINE.json [--tolerance 0.2]
 //!           [--min-scaling X] [--scaling-readers N]
 //! mlq-bench --gate-predict MEASURED.json BASELINE.json [--tolerance 0.2]
+//! mlq-bench --gate-fleet MEASURED.json BASELINE.json [--tolerance 0.35]
 //! ```
 //!
 //! `--throughput` measures predictions/sec, p50/p99 predict latency, and
@@ -18,10 +20,14 @@
 //! journaling overhead is visible against a non-durable baseline.
 //! `--predict` measures the single-call vs. batched read
 //! path over packed snapshots across dimensionalities and model sizes,
-//! writing `BENCH_predict.json`. `--gate` / `--gate-predict` exit
-//! nonzero when the measured report regresses against the baseline — the
-//! CI bench-smoke job runs measurement and gate back to back.
+//! writing `BENCH_predict.json`. `--fleet` drives a skewed multi-model
+//! workload under one tight global budget through the fleet arbiter,
+//! writing `BENCH_fleet.json`. `--gate` / `--gate-predict` /
+//! `--gate-fleet` exit nonzero when the measured report regresses
+//! against the baseline — the CI bench-smoke job runs measurement and
+//! gate back to back.
 
+use mlq_bench::fleet::{gate_fleet, measure_fleet, FleetBenchConfig, FleetGateConfig, FleetReport};
 use mlq_bench::predict::{
     gate_predict, measure_predict, PredictConfig, PredictGateConfig, PredictReport,
 };
@@ -37,9 +43,11 @@ fn usage() -> ExitCode {
          mlq-bench --throughput [--short] [--durable] [--readers 1,2,4] [--replicas N]\n  \
          \u{20}                 [--duration-ms N] [--out PATH] [--metrics-out PATH]\n  \
          mlq-bench --predict [--short] [--out PATH] [--prior OLD_BASELINE.json]\n  \
+         mlq-bench --fleet [--short] [--models N] [--out PATH]\n  \
          mlq-bench --gate MEASURED.json BASELINE.json [--tolerance 0.2]\n  \
          \u{20}                 [--min-scaling X] [--scaling-readers N]\n  \
-         mlq-bench --gate-predict MEASURED.json BASELINE.json [--tolerance 0.2]"
+         mlq-bench --gate-predict MEASURED.json BASELINE.json [--tolerance 0.2]\n  \
+         mlq-bench --gate-fleet MEASURED.json BASELINE.json [--tolerance 0.35]"
     );
     ExitCode::from(2)
 }
@@ -49,8 +57,10 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("--throughput") => run_throughput(&args[1..]),
         Some("--predict") => run_predict(&args[1..]),
+        Some("--fleet") => run_fleet(&args[1..]),
         Some("--gate") => run_gate(&args[1..]),
         Some("--gate-predict") => run_gate_predict(&args[1..]),
+        Some("--gate-fleet") => run_gate_fleet(&args[1..]),
         _ => usage(),
     }
 }
@@ -135,6 +145,125 @@ fn run_predict(args: &[String]) -> ExitCode {
     }
     eprintln!("wrote {out}");
     ExitCode::SUCCESS
+}
+
+fn run_fleet(args: &[String]) -> ExitCode {
+    let mut short = false;
+    let mut models: Option<usize> = None;
+    let mut out = String::from("BENCH_fleet.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--short" => short = true,
+            "--models" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n >= 2 => models = Some(n),
+                    _ => {
+                        eprintln!("--models wants a fleet of at least 2");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--out" => {
+                i += 1;
+                let Some(path) = args.get(i) else { return usage() };
+                out = path.clone();
+            }
+            _ => return usage(),
+        }
+        i += 1;
+    }
+    let mut config = if short { FleetBenchConfig::short() } else { FleetBenchConfig::full() };
+    if let Some(n) = models {
+        config.models = n;
+        config.hot_models = config.hot_models.min(n - 1).max(1);
+    }
+    eprintln!(
+        "measuring fleet arbitration: {} models ({} hot), {} B global budget, {} mixed events{}",
+        config.models,
+        config.hot_models,
+        config.global_budget,
+        config.events,
+        if config.short { " (short mode)" } else { "" }
+    );
+    let report = measure_fleet(&config);
+    println!(
+        "{} models under {} B: {:>10.0} events/s   evicted {} leaves   \
+         hibernations {}   restores {}   overruns {}   final live {} B",
+        report.models,
+        report.global_budget,
+        report.events_per_sec,
+        report.evicted_leaves,
+        report.hibernations,
+        report.restores,
+        report.budget_overruns,
+        report.live_bytes
+    );
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("serializing report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&out, json + "\n") {
+        eprintln!("writing {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out}");
+    ExitCode::SUCCESS
+}
+
+fn load_fleet_report(path: &str) -> Result<FleetReport, String> {
+    let text =
+        std::fs::read_to_string(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn run_gate_fleet(args: &[String]) -> ExitCode {
+    let (Some(measured_path), Some(baseline_path)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let mut config = FleetGateConfig::default();
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<f64>().ok()) {
+                    Some(t) if (0.0..1.0).contains(&t) => config.tolerance = t,
+                    _ => {
+                        eprintln!("--tolerance wants a fraction in [0, 1)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            _ => return usage(),
+        }
+        i += 1;
+    }
+    let (measured, baseline) =
+        match (load_fleet_report(measured_path), load_fleet_report(baseline_path)) {
+            (Ok(m), Ok(b)) => (m, b),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    let verdict = gate_fleet(&measured, &baseline, &config);
+    for note in &verdict.notes {
+        println!("  {note}");
+    }
+    if verdict.passed() {
+        println!("fleet gate: PASS ({}% tolerance)", (config.tolerance * 100.0).round());
+        ExitCode::SUCCESS
+    } else {
+        for failure in &verdict.failures {
+            eprintln!("fleet gate FAILURE: {failure}");
+        }
+        ExitCode::FAILURE
+    }
 }
 
 fn load_predict_report(path: &str) -> Result<PredictReport, String> {

@@ -70,8 +70,11 @@ impl Ord for Candidate {
 
 impl MemoryLimitedQuadtree {
     /// The slot path from the root down to `node`, the structure-intrinsic
-    /// identity compression uses to break SSEG ties.
-    fn root_path(&self, node: u32) -> Vec<u16> {
+    /// identity compression uses to break SSEG ties. Fleet-level eviction
+    /// ([`crate::fleet`]) reuses the same identity so cross-model passes
+    /// inherit the snapshot-stable determinism proven for single-model
+    /// compression.
+    pub(crate) fn root_path(&self, node: u32) -> Vec<u16> {
         let mut path = Vec::new();
         let mut cur = node;
         while cur != self.root {

@@ -55,6 +55,7 @@ mod config;
 mod counters;
 mod detail;
 mod error;
+mod fleet;
 mod frozen;
 mod guard;
 mod merge;
@@ -76,6 +77,7 @@ pub use config::{InsertionStrategy, MlqConfig, MlqConfigBuilder};
 pub use counters::ModelCounters;
 pub use detail::PredictionDetail;
 pub use error::MlqError;
+pub use fleet::{evict_to_global_budget, FleetEvictionReport, FleetModel, LeafSseg, ModelEviction};
 pub use frozen::{BatchPlan, FrozenTree};
 pub use guard::{BreakerState, GuardConfig, GuardCounters, GuardState, GuardedModel, PointPolicy};
 pub use merge::DeltaTracker;

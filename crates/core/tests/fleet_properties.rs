@@ -1,0 +1,179 @@
+//! Property tests for the fleet arbiter's core invariants
+//! (`mlq_core::evict_to_global_budget`):
+//!
+//! 1. **Deterministic under ties** — all-equal costs make every SSEG
+//!    zero, so every candidate ties on the key; the (weight, model,
+//!    root-path) tie-break must still produce the same eviction set on
+//!    a bit-identical rebuild, and on a snapshot-restored twin whose
+//!    arena indices are renumbered (extending the PR-5 single-model
+//!    guarantee to the cross-model pass).
+//! 2. **Budget respected** — after every arbitration step the fleet's
+//!    summed accounted bytes fit the global budget whenever the budget
+//!    is at or above the one-root-per-model floor.
+//! 3. **Traffic-zero protection** — as long as a traffic-zero model has
+//!    leaves to give, no positively weighted model loses a leaf.
+
+use mlq_core::{
+    evict_to_global_budget, FleetModel, InsertionStrategy, MemoryLimitedQuadtree, MlqConfig, Space,
+    NODE_BYTES,
+};
+use proptest::prelude::*;
+
+fn model() -> MemoryLimitedQuadtree {
+    let config = MlqConfig::builder(Space::cube(2, 0.0, 100.0).unwrap())
+        .memory_budget(1 << 20)
+        .strategy(InsertionStrategy::Eager)
+        .lambda(4)
+        .build()
+        .unwrap();
+    MemoryLimitedQuadtree::new(config).unwrap()
+}
+
+/// (point, cost) observations for one model.
+type Stream = Vec<([f64; 2], f64)>;
+
+fn stream_strategy(max_len: usize) -> impl Strategy<Value = Stream> {
+    prop::collection::vec(
+        ((0.0..100.0f64, 0.0..100.0f64), 0.0..1000.0f64).prop_map(|((x, y), c)| ([x, y], c)),
+        1..max_len,
+    )
+}
+
+/// 2-4 models' streams plus a weight for each.
+fn fleet_strategy() -> impl Strategy<Value = Vec<(Stream, f64)>> {
+    prop::collection::vec((stream_strategy(60), 0.0..10.0f64), 2..5)
+}
+
+fn fed(stream: &Stream) -> MemoryLimitedQuadtree {
+    let mut m = model();
+    for (p, v) in stream {
+        m.insert(p, *v).unwrap();
+    }
+    m
+}
+
+/// Structure-intrinsic image of a fleet: per model, the sorted node
+/// views (arena indices deliberately excluded), the sorted leaf SSEG
+/// identities, and a probe grid's prediction bit patterns.
+#[allow(clippy::type_complexity)]
+fn structure(
+    models: &[MemoryLimitedQuadtree],
+) -> Vec<(Vec<(u8, u16, u16, u64)>, Vec<Vec<u16>>, Vec<Option<u64>>)> {
+    models
+        .iter()
+        .map(|m| {
+            let mut views: Vec<(u8, u16, u16, u64)> = m
+                .nodes()
+                .iter()
+                .map(|v| (v.depth, v.slot_in_parent, v.n_children, v.summary.count))
+                .collect();
+            views.sort_unstable();
+            let leaves: Vec<Vec<u16>> = m.leaf_ssegs().into_iter().map(|l| l.path).collect();
+            let probes: Vec<Option<u64>> = (0..5)
+                .flat_map(|i| (0..5).map(move |j| (i, j)))
+                .map(|(i, j)| {
+                    let p = [4.0 + 19.0 * f64::from(i), 7.0 + 18.5 * f64::from(j)];
+                    m.predict(&p).unwrap().map(f64::to_bits)
+                })
+                .collect();
+            (views, leaves, probes)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn budget_is_respected_after_every_step(fleet in fleet_strategy(), frac in 0.1..1.0f64) {
+        let mut models: Vec<MemoryLimitedQuadtree> =
+            fleet.iter().map(|(s, _)| fed(s)).collect();
+        let floor = NODE_BYTES * models.len();
+        let total: usize = models.iter().map(MemoryLimitedQuadtree::bytes_used).sum();
+        // Any budget at or above the one-root-per-model floor.
+        let budget = floor.max((total as f64 * frac) as usize);
+        let mut fm: Vec<FleetModel<'_>> = models
+            .iter_mut()
+            .zip(fleet.iter())
+            .map(|(m, (_, w))| FleetModel { weight: *w, model: m })
+            .collect();
+        let report = evict_to_global_budget(&mut fm, budget).unwrap();
+        prop_assert!(report.fit);
+        let after: usize = models.iter().map(MemoryLimitedQuadtree::bytes_used).sum();
+        prop_assert!(after <= budget, "fleet holds {after} B over budget {budget} B");
+        for m in &models {
+            m.check_invariants().unwrap();
+        }
+        // Arbitration is idempotent at the same budget: a second step
+        // evicts nothing.
+        let mut fm: Vec<FleetModel<'_>> = models
+            .iter_mut()
+            .zip(fleet.iter())
+            .map(|(m, (_, w))| FleetModel { weight: *w, model: m })
+            .collect();
+        let again = evict_to_global_budget(&mut fm, budget).unwrap();
+        prop_assert_eq!(again.nodes_freed, 0);
+    }
+
+    #[test]
+    fn eviction_order_is_deterministic_under_ties(
+        points in prop::collection::vec((0.0..100.0f64, 0.0..100.0f64), 1..40),
+        n_models in 2usize..4,
+        frac in 0.2..0.9f64,
+    ) {
+        // All-equal costs: every SSEG is zero, every key ties at zero,
+        // so only the (weight, model index, root path) tie-break orders
+        // the pass.
+        let build = || -> Vec<MemoryLimitedQuadtree> {
+            (0..n_models)
+                .map(|_| fed(&points.iter().map(|&(x, y)| ([x, y], 5.0)).collect()))
+                .collect()
+        };
+        let run = |models: &mut Vec<MemoryLimitedQuadtree>| {
+            let total: usize = models.iter().map(MemoryLimitedQuadtree::bytes_used).sum();
+            let budget = (NODE_BYTES * models.len()).max((total as f64 * frac) as usize);
+            let mut fm: Vec<FleetModel<'_>> =
+                models.iter_mut().map(|m| FleetModel { weight: 1.0, model: m }).collect();
+            evict_to_global_budget(&mut fm, budget).unwrap()
+        };
+        let mut a = build();
+        let mut b = build();
+        // A snapshot-restored twin has renumbered arena indices; the
+        // path-based tie-break must make it evict identically.
+        let mut c: Vec<MemoryLimitedQuadtree> = a
+            .iter()
+            .map(|m| MemoryLimitedQuadtree::from_snapshot(&m.snapshot()).unwrap())
+            .collect();
+        let ra = run(&mut a);
+        let rb = run(&mut b);
+        let rc = run(&mut c);
+        prop_assert_eq!(&ra, &rb);
+        prop_assert_eq!(&ra, &rc);
+        prop_assert_eq!(structure(&a), structure(&b));
+        prop_assert_eq!(structure(&a), structure(&c));
+    }
+
+    #[test]
+    fn traffic_zero_model_shields_hot_models(
+        cold_stream in stream_strategy(60),
+        hot_stream in stream_strategy(60),
+        shrink in 0.3..0.95f64,
+    ) {
+        let mut cold = fed(&cold_stream);
+        let mut hot = fed(&hot_stream);
+        let hot_before = structure(std::slice::from_ref(&hot));
+        // Target: the hot model alone plus a shrunk slice of the cold
+        // model — satisfiable without touching the hot model.
+        let budget = hot.bytes_used()
+            + NODE_BYTES.max((cold.bytes_used() as f64 * shrink) as usize);
+        let mut fm = [
+            FleetModel { weight: 0.0, model: &mut cold },
+            FleetModel { weight: 3.5, model: &mut hot },
+        ];
+        let report = evict_to_global_budget(&mut fm, budget).unwrap();
+        prop_assert!(report.fit);
+        prop_assert_eq!(report.per_model[1].nodes_freed, 0,
+            "hot model lost leaves while the cold model had leaves to give");
+        prop_assert_eq!(structure(std::slice::from_ref(&hot)), hot_before);
+    }
+}

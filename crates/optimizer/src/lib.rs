@@ -63,7 +63,7 @@ mod plan;
 mod predicate;
 mod selectivity;
 
-pub use catalog::{CatalogSnapshot, UdfCatalog};
+pub use catalog::{ArbitrationReport, CatalogSnapshot, FleetBudget, UdfCatalog};
 pub use estimator::{CostEstimator, Estimator};
 pub use executor::{ExecutionReport, FeedbackExecutor, OrderingPolicy};
 pub use plan::{JoinStats, JoinUdfPlanner, PlanEstimate, PlanShape};

@@ -31,8 +31,9 @@ use crate::wal::{
     WalRecord, WalWriter,
 };
 use mlq_core::{
-    CostModel, DeltaTracker, FrozenTree, GuardConfig, GuardState, GuardedModel, InsertionStrategy,
-    MemoryLimitedQuadtree, MlqConfig, MlqError, Space,
+    evict_to_global_budget, CostModel, DeltaTracker, FleetModel, FrozenTree, GuardConfig,
+    GuardState, GuardedModel, InsertionStrategy, MemoryLimitedQuadtree, MlqConfig, MlqError, Space,
+    TreeSnapshot, NODE_BYTES,
 };
 use mlq_obs::{labeled, Counter, Gauge, Histogram, Registry, RegistrySnapshot, TraceRing};
 use mlq_optimizer::UdfCatalog;
@@ -40,7 +41,7 @@ use mlq_udfs::ExecutionCost;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -56,6 +57,39 @@ pub enum MaintainerMode {
     /// fully deterministic — nothing happens between steps — which is what
     /// the deterministic concurrency harness builds on.
     Manual,
+}
+
+/// Fleet-level memory arbitration for a [`ConcurrentEstimator`]: one
+/// global byte budget shared by every shard's live models, enforced by
+/// the maintainer after each feedback batch (eviction stays off the
+/// read path, like compression).
+///
+/// Arbitration runs in rounds. Each round snapshots every shard's
+/// `mlq_serve_reads` counter exactly once, turns the deltas since the
+/// previous round into traffic weights, hibernates shards that stayed
+/// cold for [`hibernate_after`](Self::hibernate_after) consecutive
+/// rounds (their models spill to CRC-checked snapshot envelopes and a
+/// stand-in snapshot is published), and — when the remaining live
+/// models exceed [`global_budget`](Self::global_budget) — runs one
+/// cross-model eviction pass that drops the globally smallest
+/// traffic-weighted-SSEG leaves first
+/// ([`evict_to_global_budget`](mlq_core::evict_to_global_budget)).
+/// A prediction against a hibernated shard wakes it: the models are
+/// restored bit-identically from their envelopes and republished before
+/// the prediction is answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Global byte budget across every live shard's CPU and IO models.
+    pub global_budget: usize,
+    /// Consecutive traffic-free arbitration rounds after which a shard
+    /// hibernates. `0` disables hibernation (eviction still runs).
+    pub hibernate_after: u32,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig { global_budget: 1 << 20, hibernate_after: 0 }
+    }
 }
 
 /// Tuning of a [`ConcurrentEstimator`].
@@ -77,6 +111,9 @@ pub struct ServeConfig {
     /// Whether maintenance runs on a background thread or is stepped
     /// manually.
     pub maintainer: MaintainerMode,
+    /// Fleet-level budget arbitration; `None` (the default) serves every
+    /// shard at its own per-model budget with no global coupling.
+    pub fleet: Option<FleetConfig>,
 }
 
 impl Default for ServeConfig {
@@ -89,6 +126,7 @@ impl Default for ServeConfig {
             guard: GuardConfig::default(),
             budget_per_model: 1 << 16,
             maintainer: MaintainerMode::Background,
+            fleet: None,
         }
     }
 }
@@ -107,6 +145,20 @@ impl ServeConfig {
                     self.io_weight
                 ),
             });
+        }
+        if let Some(fleet) = &self.fleet {
+            // Two roots (CPU + IO) per live shard can never be evicted,
+            // so anything below that per shard is unsatisfiable.
+            if fleet.global_budget < 2 * NODE_BYTES {
+                return Err(MlqError::InvalidConfig {
+                    reason: format!(
+                        "fleet.global_budget must hold at least one shard's two roots \
+                         ({} B), got {} B",
+                        2 * NODE_BYTES,
+                        fleet.global_budget
+                    ),
+                });
+            }
         }
         self.backpressure.validate()
     }
@@ -164,6 +216,17 @@ impl ModelObs {
     }
 }
 
+/// A hibernated shard's spilled state: both components as CRC-checked
+/// snapshot envelopes plus the guard states at hibernation time. While
+/// this exists the shard's live `GuardedModel`s hold empty stand-in
+/// trees; a wake restores from here bit-identically.
+struct HibernatedShard {
+    cpu_env: Vec<u8>,
+    io_env: Vec<u8>,
+    cpu_guard: GuardState,
+    io_guard: GuardState,
+}
+
 /// The maintainer's live state for one shard. The apply/version tallies
 /// live in the shared registry (labeled `{udf="<name>"}`); the plain
 /// [`ShardCounters`] struct snapshots them as a view.
@@ -188,6 +251,8 @@ struct ShardModels {
     /// are `Arc`-shared with the published snapshot.
     prev_cpu: Option<FrozenTree>,
     prev_io: Option<FrozenTree>,
+    /// `Some` while this shard is hibernated by fleet arbitration.
+    hibernated: Option<Box<HibernatedShard>>,
 }
 
 impl ShardModels {
@@ -215,6 +280,7 @@ impl ShardModels {
             deltas: None,
             prev_cpu: None,
             prev_io: None,
+            hibernated: None,
         }
     }
 
@@ -250,7 +316,12 @@ impl ShardModels {
             ComponentSnapshot::new(cpu_tree, self.cpu.is_healthy(), self.cpu.fallback_prediction());
         let io =
             ComponentSnapshot::new(io_tree, self.io.is_healthy(), self.io.fallback_prediction());
-        ShardSnapshot::new(self.name.clone(), cpu, io, io_weight, counters)
+        let snap = ShardSnapshot::new(self.name.clone(), cpu, io, io_weight, counters);
+        if self.hibernated.is_some() {
+            snap.mark_hibernated()
+        } else {
+            snap
+        }
     }
 
     /// Applies one observation to both components, mirroring
@@ -452,6 +523,14 @@ impl DurabilityCore {
     }
 
     fn checkpoint_shard(&mut self, idx: usize, shard: &ShardModels) {
+        // A hibernated shard's live trees are empty stand-ins; its real
+        // state is the spilled envelopes. Checkpointing the stand-in
+        // would clobber the durable baseline with an empty model, and
+        // the shard cannot have unjournaled feedback (feedback wakes it
+        // before applying), so skipping is safe.
+        if shard.hibernated.is_some() {
+            return;
+        }
         // Anything still buffered must become durable first: a checkpoint
         // must never claim a sequence number the journal could not.
         if self.shards[idx].wal.has_pending() {
@@ -498,6 +577,85 @@ impl DurabilityCore {
     }
 }
 
+/// Registry handles for the fleet arbiter's `mlq_catalog_*` series —
+/// named after the optimizer-catalog arbiter they mirror, so a fleet
+/// served either way exposes one metric surface.
+struct FleetObs {
+    global_budget: Gauge,
+    live_bytes: Gauge,
+    cold_bytes: Gauge,
+    hibernated_models: Gauge,
+    arbitrations: Counter,
+    evicted_leaves: Counter,
+    evicted_bytes: Counter,
+    hibernations: Counter,
+    restores: Counter,
+    budget_overruns: Counter,
+}
+
+impl FleetObs {
+    fn new(registry: &Registry, global_budget: usize) -> Self {
+        let obs = FleetObs {
+            global_budget: registry.gauge("mlq_catalog_global_budget_bytes"),
+            live_bytes: registry.gauge("mlq_catalog_live_bytes"),
+            cold_bytes: registry.gauge("mlq_catalog_cold_bytes"),
+            hibernated_models: registry.gauge("mlq_catalog_hibernated_models"),
+            arbitrations: registry.counter("mlq_catalog_arbitrations"),
+            evicted_leaves: registry.counter("mlq_catalog_evicted_leaves"),
+            evicted_bytes: registry.counter("mlq_catalog_evicted_bytes"),
+            hibernations: registry.counter("mlq_catalog_hibernations"),
+            restores: registry.counter("mlq_catalog_restores"),
+            budget_overruns: registry.counter("mlq_catalog_budget_overruns"),
+        };
+        obs.global_budget.set(global_budget as f64);
+        obs
+    }
+}
+
+/// What one fleet arbitration round did. Exposed through
+/// [`ConcurrentEstimator::last_arbitration`] so a deterministic harness
+/// can assert the budget invariant after every step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetArbitration {
+    /// Arbitration round number (1 = the first round after build).
+    pub round: u64,
+    /// Per-shard read-counter deltas since the previous round, in shard
+    /// name order — the traffic that weighted this round's eviction.
+    pub traffic: Vec<u64>,
+    /// Sum of [`traffic`](Self::traffic).
+    pub traffic_total: u64,
+    /// Shards hibernated during this round, by name.
+    pub hibernated: Vec<String>,
+    /// Leaves evicted by this round's cross-model pass.
+    pub evicted_leaves: usize,
+    /// Bytes freed by this round's cross-model pass.
+    pub evicted_bytes: usize,
+    /// Summed accounted bytes of all live (non-hibernated) models after
+    /// the round.
+    pub live_bytes: usize,
+    /// Whether `live_bytes <= global_budget` held after the round.
+    pub fit: bool,
+}
+
+/// The maintainer-side state of fleet arbitration.
+struct FleetCore {
+    config: FleetConfig,
+    /// Clones of the service's per-shard `mlq_serve_reads` handles,
+    /// index-aligned with [`MaintainerCore::shards`].
+    reads: Vec<Counter>,
+    /// The previous round's traffic snapshot (read-counter totals).
+    last_reads: Vec<u64>,
+    /// Consecutive traffic-free rounds per shard.
+    cold_rounds: Vec<u32>,
+    /// Reader-side wake requests (set by a predict call that hit a
+    /// hibernated stand-in under [`MaintainerMode::Background`]);
+    /// serviced at the start of every arbitration round.
+    wake: Arc<Vec<AtomicBool>>,
+    round: u64,
+    last: Option<FleetArbitration>,
+    obs: FleetObs,
+}
+
 /// Everything one drain → apply → republish step needs. Owned by the
 /// background thread under [`MaintainerMode::Background`], or parked
 /// inside the estimator and driven by [`ConcurrentEstimator::step`] under
@@ -512,6 +670,7 @@ struct MaintainerCore {
     obs: MaintainerObs,
     trace: Option<Arc<TraceRing>>,
     durability: Option<DurabilityCore>,
+    fleet: Option<FleetCore>,
 }
 
 impl MaintainerCore {
@@ -537,6 +696,12 @@ impl MaintainerCore {
             dur.journal(&batch);
         }
         for fb in batch {
+            // Feedback for a hibernated shard wakes it first: the
+            // stand-in trees must never absorb observations the real
+            // (spilled) models would miss on restore.
+            if self.shards.get(fb.shard).is_some_and(|s| s.hibernated.is_some()) {
+                self.wake_one(fb.shard, published);
+            }
             if let Some(shard) = self.shards.get_mut(fb.shard) {
                 shard.apply(&fb.point, fb.cost);
                 self.touched[fb.shard] = true;
@@ -572,12 +737,240 @@ impl MaintainerCore {
     /// Final publication so shutdown reports the very last counters,
     /// plus the shutdown checkpoint so a clean restart replays nothing.
     fn final_publish(&mut self, published: &[RwLock<Arc<ShardSnapshot>>]) {
+        // Hibernated shards come back first: the final snapshots (and
+        // the shutdown checkpoint) must reflect the real models, not the
+        // stand-ins.
+        for idx in 0..self.shards.len() {
+            self.wake_one(idx, published);
+        }
         for idx in 0..self.shards.len() {
             self.publish(idx, published);
         }
         if let Some(dur) = self.durability.as_mut() {
             dur.checkpoint_all(&self.shards);
         }
+    }
+
+    /// Summed accounted bytes of every live (non-hibernated) shard's
+    /// CPU and IO models — what the global budget constrains.
+    fn live_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| s.hibernated.is_none())
+            .map(|s| s.cpu.inner().bytes_used() + s.io.inner().bytes_used())
+            .sum()
+    }
+
+    /// Summed envelope bytes of every hibernated shard.
+    fn cold_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .filter_map(|s| s.hibernated.as_deref())
+            .map(|h| h.cpu_env.len() + h.io_env.len())
+            .sum()
+    }
+
+    /// Restores shard `idx` from hibernation (no-op when live). Safe to
+    /// call whether or not fleet arbitration is configured.
+    fn wake_one(&mut self, idx: usize, published: &[RwLock<Arc<ShardSnapshot>>]) {
+        let Some(mut fleet) = self.fleet.take() else { return };
+        self.restore_shard(idx, published, &mut fleet);
+        self.fleet = Some(fleet);
+    }
+
+    /// Spills shard `idx`'s models to snapshot envelopes, installs empty
+    /// stand-in trees, and publishes the hibernated stand-in snapshot.
+    fn hibernate_shard(
+        &mut self,
+        idx: usize,
+        published: &[RwLock<Arc<ShardSnapshot>>],
+        fleet: &mut FleetCore,
+    ) {
+        let shard = &mut self.shards[idx];
+        if shard.hibernated.is_some() {
+            return;
+        }
+        let stub = |m: &GuardedModel<MemoryLimitedQuadtree>| {
+            MemoryLimitedQuadtree::new(m.inner().config().clone())
+        };
+        let (Ok(cpu_stub), Ok(io_stub)) = (stub(&shard.cpu), stub(&shard.io)) else {
+            // A live model's config is valid by construction, so this
+            // cannot fail; stay live rather than lose state if it ever
+            // does.
+            shard.apply_errors.inc();
+            return;
+        };
+        shard.hibernated = Some(Box::new(HibernatedShard {
+            cpu_env: shard.cpu.inner().snapshot().to_envelope(),
+            io_env: shard.io.inner().snapshot().to_envelope(),
+            cpu_guard: shard.cpu.export_state(),
+            io_guard: shard.io.export_state(),
+        }));
+        *shard.cpu.inner_mut() = cpu_stub;
+        *shard.io.inner_mut() = io_stub;
+        // The stand-ins carry fresh tree identities: the previous frozen
+        // snapshots can never be patched against them.
+        shard.prev_cpu = None;
+        shard.prev_io = None;
+        fleet.obs.hibernations.inc();
+        self.publish(idx, published);
+    }
+
+    /// Restores shard `idx`'s models bit-identically from its hibernation
+    /// envelopes and republishes a live snapshot. No-op when live.
+    fn restore_shard(
+        &mut self,
+        idx: usize,
+        published: &[RwLock<Arc<ShardSnapshot>>],
+        fleet: &mut FleetCore,
+    ) {
+        let Some(shard) = self.shards.get_mut(idx) else { return };
+        let Some(h) = shard.hibernated.take() else { return };
+        let restore = |bytes: &[u8]| -> Result<MemoryLimitedQuadtree, MlqError> {
+            MemoryLimitedQuadtree::from_snapshot(&TreeSnapshot::from_envelope(bytes)?)
+        };
+        match (restore(&h.cpu_env), restore(&h.io_env)) {
+            (Ok(cpu), Ok(io)) => {
+                *shard.cpu.inner_mut() = cpu;
+                *shard.io.inner_mut() = io;
+                shard.cpu.import_state(h.cpu_guard);
+                shard.io.import_state(h.io_guard);
+                shard.prev_cpu = None;
+                shard.prev_io = None;
+                fleet.cold_rounds[idx] = 0;
+                fleet.obs.restores.inc();
+                self.publish(idx, published);
+            }
+            _ => {
+                // The envelopes were produced by this process from live
+                // models, so decoding cannot fail; should it ever, keep
+                // the envelopes for the next attempt and count the error.
+                shard.hibernated = Some(h);
+                shard.apply_errors.inc();
+            }
+        }
+    }
+
+    /// One fleet arbitration round (no-op without a fleet budget): wake
+    /// requests, a single traffic snapshot, cold-shard hibernation, and
+    /// — if the live models exceed the global budget — one cross-model
+    /// traffic-weighted eviction pass. Runs on the maintainer thread
+    /// after every applied batch, so eviction and hibernation stay off
+    /// the read path.
+    fn arbitrate(&mut self, published: &[RwLock<Arc<ShardSnapshot>>]) {
+        let Some(mut fleet) = self.fleet.take() else { return };
+        fleet.round += 1;
+        // Reader wake requests first, so a woken shard's pending reads
+        // count as this round's traffic below.
+        for idx in 0..self.shards.len() {
+            if fleet.wake[idx].swap(false, Ordering::AcqRel) {
+                self.restore_shard(idx, published, &mut fleet);
+            }
+        }
+        // One consistent traffic snapshot per round. Reading the live
+        // atomics again mid-scan would hand later shards a longer
+        // accounting window than earlier ones (the stale-counter bug
+        // class `feedback_lag` fixed): a burst landing mid-arbitration
+        // could make a genuinely hot shard look cold relative to shards
+        // scanned later. Serve read counters are registry-owned and
+        // monotonic across hibernation, so plain subtraction is exact.
+        let now: Vec<u64> = fleet.reads.iter().map(Counter::get).collect();
+        let traffic: Vec<u64> =
+            now.iter().zip(&fleet.last_reads).map(|(n, l)| n.saturating_sub(*l)).collect();
+        let traffic_total: u64 = traffic.iter().sum();
+        fleet.last_reads = now;
+        // Cold-streak bookkeeping, then hibernation of shards cold for
+        // `hibernate_after` consecutive rounds.
+        let mut hibernated = Vec::new();
+        for (idx, &delta) in traffic.iter().enumerate() {
+            if delta == 0 {
+                fleet.cold_rounds[idx] = fleet.cold_rounds[idx].saturating_add(1);
+            } else {
+                fleet.cold_rounds[idx] = 0;
+            }
+            if fleet.config.hibernate_after > 0
+                && fleet.cold_rounds[idx] >= fleet.config.hibernate_after
+                && self.shards[idx].hibernated.is_none()
+            {
+                self.hibernate_shard(idx, published, &mut fleet);
+                hibernated.push(self.shards[idx].name.clone());
+            }
+        }
+        // Cross-model eviction over whatever is still live.
+        let mut evicted_leaves = 0;
+        let mut evicted_bytes = 0;
+        let mut fit = true;
+        if self.live_bytes() > fleet.config.global_budget {
+            // All-cold rounds fall back to uniform weights: zeroing every
+            // weight would collapse the eviction key and lose the SSEG
+            // ordering entirely.
+            let weight_of = |idx: usize| {
+                if traffic_total == 0 {
+                    1.0
+                } else {
+                    traffic[idx] as f64 / traffic_total as f64
+                }
+            };
+            // Model slot -> shard index, for republication below.
+            let mut slots = Vec::new();
+            let mut models = Vec::new();
+            for (idx, shard) in self.shards.iter_mut().enumerate() {
+                if shard.hibernated.is_some() {
+                    continue;
+                }
+                slots.push(idx);
+                models.push(FleetModel { weight: weight_of(idx), model: shard.cpu.inner_mut() });
+                slots.push(idx);
+                models.push(FleetModel { weight: weight_of(idx), model: shard.io.inner_mut() });
+            }
+            match evict_to_global_budget(&mut models, fleet.config.global_budget) {
+                Ok(report) => {
+                    evicted_leaves = report.nodes_freed;
+                    evicted_bytes = report.bytes_freed;
+                    fit = report.fit;
+                    drop(models);
+                    let mut touched = vec![false; self.shards.len()];
+                    for (slot, pm) in report.per_model.iter().enumerate() {
+                        if pm.nodes_freed > 0 {
+                            touched[slots[slot]] = true;
+                        }
+                    }
+                    for (idx, shrunk) in touched.into_iter().enumerate() {
+                        if shrunk {
+                            self.publish(idx, published);
+                        }
+                    }
+                }
+                // Weights are finite fractions by construction; treat a
+                // rejection as an overrun rather than dropping state.
+                Err(_) => fit = false,
+            }
+        }
+        let live_bytes = self.live_bytes();
+        fit = fit && live_bytes <= fleet.config.global_budget;
+        if !fit {
+            fleet.obs.budget_overruns.inc();
+        }
+        fleet.obs.arbitrations.inc();
+        fleet.obs.evicted_leaves.add(evicted_leaves as u64);
+        fleet.obs.evicted_bytes.add(evicted_bytes as u64);
+        fleet.obs.live_bytes.set(live_bytes as f64);
+        fleet.obs.cold_bytes.set(self.cold_bytes() as f64);
+        fleet
+            .obs
+            .hibernated_models
+            .set(self.shards.iter().filter(|s| s.hibernated.is_some()).count() as f64);
+        fleet.last = Some(FleetArbitration {
+            round: fleet.round,
+            traffic,
+            traffic_total,
+            hibernated,
+            evicted_leaves,
+            evicted_bytes,
+            live_bytes,
+            fit,
+        });
+        self.fleet = Some(fleet);
     }
 }
 
@@ -928,6 +1321,19 @@ impl ConcurrentEstimatorBuilder {
         let processed = Arc::new(AtomicU64::new(0));
 
         let shard_count = shards.len();
+        let wake: Option<Arc<Vec<AtomicBool>>> = config
+            .fleet
+            .map(|_| Arc::new((0..shard_count).map(|_| AtomicBool::new(false)).collect()));
+        let fleet_core = config.fleet.map(|fleet| FleetCore {
+            config: fleet,
+            reads: reads.clone(),
+            last_reads: vec![0; shard_count],
+            cold_rounds: vec![0; shard_count],
+            wake: Arc::clone(wake.as_ref().expect("wake flags exist whenever fleet does")),
+            round: 0,
+            last: None,
+            obs: FleetObs::new(&registry, fleet.global_budget),
+        });
         let mut core = MaintainerCore {
             shards,
             touched: vec![false; shard_count],
@@ -938,6 +1344,7 @@ impl ConcurrentEstimatorBuilder {
             obs: MaintainerObs::new(&registry),
             trace,
             durability: durability_core,
+            fleet: fleet_core,
         };
         // The initial publications above bypass `core.publish`, so
         // `mlq_serve_publishes` counts only feedback-driven republications.
@@ -956,6 +1363,12 @@ impl ConcurrentEstimatorBuilder {
                                 break;
                             }
                             core.apply_batch(batch, &published);
+                            // Arbitration runs every loop iteration, not
+                            // just after non-empty batches: idle rounds
+                            // must tick so cold streaks accumulate and
+                            // reader wake requests are serviced promptly
+                            // (each within one ≤20 ms drain timeout).
+                            core.arbitrate(&published);
                         }
                         core.final_publish(&published);
                     })
@@ -978,6 +1391,7 @@ impl ConcurrentEstimatorBuilder {
             maintainer: Mutex::new(Some(state)),
             durability: shared,
             recovery: report,
+            wake,
         })
     }
 }
@@ -1007,6 +1421,10 @@ pub struct ConcurrentEstimator {
     durability: Option<Arc<DurabilityShared>>,
     /// What startup recovery did, per shard (empty without durability).
     recovery: RecoveryReport,
+    /// Per-shard wake flags (`None` without a fleet budget): a reader
+    /// hitting a hibernated stand-in sets its shard's flag and the
+    /// maintainer restores the shard on its next arbitration round.
+    wake: Option<Arc<Vec<AtomicBool>>>,
 }
 
 /// One shard's extracted feedback delta: everything the service absorbed
@@ -1124,6 +1542,102 @@ impl ConcurrentEstimator {
         Arc::clone(&self.published[shard].read())
     }
 
+    /// [`Self::snapshot_at`], waking the shard first if fleet arbitration
+    /// hibernated it. Callers must bump the shard's read counter *before*
+    /// calling: the wake itself is the traffic signal that keeps the
+    /// restored shard from being counted cold again next round.
+    fn live_snapshot_at(&self, shard: usize) -> Arc<ShardSnapshot> {
+        let snap = self.snapshot_at(shard);
+        if self.wake.is_none() || !snap.is_hibernated() {
+            return snap;
+        }
+        self.wake_shard(shard);
+        self.snapshot_at(shard)
+    }
+
+    /// Blocks until `shard` is restored from hibernation. Under
+    /// [`MaintainerMode::Manual`] the calling thread restores it inline;
+    /// under [`MaintainerMode::Background`] it raises the shard's wake
+    /// flag and waits for the maintainer (which services flags at least
+    /// once per ≤20 ms drain timeout) to republish a live snapshot.
+    fn wake_shard(&self, shard: usize) {
+        loop {
+            {
+                let mut guard = self.maintainer.lock().unwrap_or_else(PoisonError::into_inner);
+                match guard.as_mut() {
+                    Some(MaintainerState::Manual(core)) => {
+                        core.wake_one(shard, &self.published);
+                        return;
+                    }
+                    Some(MaintainerState::Background(_)) => {
+                        if let Some(wake) = &self.wake {
+                            wake[shard].store(true, Ordering::Release);
+                        }
+                    }
+                    // Shut down: final_publish already restored every
+                    // shard, so the published snapshot is live.
+                    None => return,
+                }
+            }
+            if !self.snapshot_at(shard).is_hibernated() {
+                return;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// True when fleet arbitration currently has `name` hibernated.
+    ///
+    /// # Errors
+    ///
+    /// [`MlqError::InvalidConfig`] for unknown names.
+    pub fn is_hibernated(&self, name: &str) -> Result<bool, MlqError> {
+        Ok(self.snapshot_at(self.shard_index(name)?).is_hibernated())
+    }
+
+    /// The most recent fleet arbitration round's report, or `None`
+    /// before the first round.
+    ///
+    /// # Errors
+    ///
+    /// [`MlqError::InvalidConfig`] unless the service was built with
+    /// [`MaintainerMode::Manual`] and a [`FleetConfig`], and is still
+    /// live.
+    pub fn last_arbitration(&self) -> Result<Option<FleetArbitration>, MlqError> {
+        let mut guard = self.maintainer.lock().unwrap_or_else(PoisonError::into_inner);
+        match guard.as_mut() {
+            Some(MaintainerState::Manual(core)) => match &core.fleet {
+                Some(fleet) => Ok(fleet.last.clone()),
+                None => Err(MlqError::InvalidConfig {
+                    reason: "last_arbitration() requires a fleet budget at build time".into(),
+                }),
+            },
+            _ => Err(MlqError::InvalidConfig {
+                reason: "last_arbitration() requires MaintainerMode::Manual on a live service"
+                    .into(),
+            }),
+        }
+    }
+
+    /// Exact summed accounted bytes of every live (non-hibernated)
+    /// shard's models, read under the maintainer lock — the quantity the
+    /// fleet budget constrains.
+    ///
+    /// # Errors
+    ///
+    /// [`MlqError::InvalidConfig`] unless the service was built with
+    /// [`MaintainerMode::Manual`] and is still live.
+    pub fn fleet_live_bytes(&self) -> Result<usize, MlqError> {
+        let mut guard = self.maintainer.lock().unwrap_or_else(PoisonError::into_inner);
+        match guard.as_mut() {
+            Some(MaintainerState::Manual(core)) => Ok(core.live_bytes()),
+            _ => Err(MlqError::InvalidConfig {
+                reason: "fleet_live_bytes() requires MaintainerMode::Manual on a live service"
+                    .into(),
+            }),
+        }
+    }
+
     /// The current published snapshot for `name`. Readers that predict
     /// many points in a row should fetch once and reuse the `Arc` — the
     /// snapshot stays internally consistent however long it is held.
@@ -1145,7 +1659,7 @@ impl ConcurrentEstimator {
     pub fn predict(&self, name: &str, point: &[f64]) -> Result<Option<f64>, MlqError> {
         let shard = self.shard_index(name)?;
         self.reads[shard].inc();
-        self.snapshot_at(shard).predict(point)
+        self.live_snapshot_at(shard).predict(point)
     }
 
     pub(crate) fn predict_batch_at<P: AsRef<[f64]>>(
@@ -1156,7 +1670,7 @@ impl ConcurrentEstimator {
         // One Arc load and one metrics update cover the whole batch —
         // the per-call overhead the single-point path pays per prediction.
         self.reads[shard].add(points.len() as u64);
-        self.snapshot_at(shard).predict_batch(points)
+        self.live_snapshot_at(shard).predict_batch(points)
     }
 
     /// Predicted combined costs for `name` at every point in `points`,
@@ -1184,7 +1698,7 @@ impl ConcurrentEstimator {
         out: &mut Vec<Option<f64>>,
     ) -> Result<(), MlqError> {
         self.reads[shard].add(points.len() as u64);
-        self.snapshot_at(shard).predict_batch_into(points, out)
+        self.live_snapshot_at(shard).predict_batch_into(points, out)
     }
 
     /// [`Self::predict_batch`] into a caller-owned buffer (cleared first;
@@ -1285,7 +1799,11 @@ impl ConcurrentEstimator {
         match guard.as_mut() {
             Some(MaintainerState::Manual(core)) => {
                 let (batch, _finished) = self.queue.drain(max.max(1), Duration::ZERO);
-                Ok(core.apply_batch(batch, &self.published))
+                let n = core.apply_batch(batch, &self.published);
+                // One arbitration round per step, batch or not — manual
+                // mode's deterministic mirror of the background loop.
+                core.arbitrate(&self.published);
+                Ok(n)
             }
             _ => Err(MlqError::InvalidConfig {
                 reason: "step() requires MaintainerMode::Manual on a live service".into(),
@@ -1384,6 +1902,10 @@ impl ConcurrentEstimator {
                 // drop them so the next publication freezes from scratch.
                 shard.prev_cpu = None;
                 shard.prev_io = None;
+                // The merged models supersede whatever was spilled at
+                // hibernation time; dropping the envelopes also makes
+                // the published snapshot live again.
+                shard.hibernated = None;
             }
             core.publish(idx, &self.published);
         }

@@ -56,8 +56,8 @@ mod snapshot;
 mod wal;
 
 pub use estimator::{
-    ConcurrentEstimator, ConcurrentEstimatorBuilder, MaintainerMode, ServeConfig, ServeReport,
-    ShardDelta,
+    ConcurrentEstimator, ConcurrentEstimatorBuilder, FleetArbitration, FleetConfig, MaintainerMode,
+    ServeConfig, ServeReport, ShardDelta,
 };
 pub use handle::EstimatorHandle;
 pub use queue::{BackpressurePolicy, PushOutcome, QueueCounters};

@@ -185,6 +185,12 @@ pub struct ShardSnapshot {
     io: ComponentSnapshot,
     io_weight: f64,
     counters: ShardCounters,
+    /// True when this is the stand-in published for a hibernated shard:
+    /// the live models were spilled to snapshot envelopes by fleet
+    /// arbitration. The service's own predict paths never answer from a
+    /// hibernated stub (they wake the shard first); the flag lets
+    /// callers holding a raw snapshot detect the state.
+    hibernated: bool,
 }
 
 impl ShardSnapshot {
@@ -195,7 +201,21 @@ impl ShardSnapshot {
         io_weight: f64,
         counters: ShardCounters,
     ) -> Self {
-        ShardSnapshot { name, cpu, io, io_weight, counters }
+        ShardSnapshot { name, cpu, io, io_weight, counters, hibernated: false }
+    }
+
+    /// Marks this snapshot as a hibernated shard's stand-in.
+    pub(crate) fn mark_hibernated(mut self) -> Self {
+        self.hibernated = true;
+        self
+    }
+
+    /// True when this snapshot is the stand-in for a hibernated shard
+    /// (see [`FleetConfig`](crate::FleetConfig)). Predictions through
+    /// the service wake the shard instead of answering from the stub.
+    #[must_use]
+    pub fn is_hibernated(&self) -> bool {
+        self.hibernated
     }
 
     /// Predicted combined cost at `point` (CPU + `io_weight` × IO);

@@ -1,0 +1,199 @@
+//! Skewed fleet-traffic generation: one deterministic event stream over
+//! many UDFs with a configurable hot/cold split.
+//!
+//! The fleet arbitration harness needs a workload where a few models
+//! soak up most of the traffic (the canonical 90/10 skew) while the
+//! rest go cold — that is what makes traffic-weighted eviction and
+//! hibernation observable. Each model gets its own [`SyntheticUdf`]
+//! surface (seeded `seed + model`), model selection is a seeded draw
+//! honoring the hot share, and the query points come from one
+//! [`QueryDistribution`] stream. Same seed → byte-identical stream,
+//! like every other generator in this crate.
+
+use crate::surface::{CostSurface, SyntheticUdf};
+use crate::QueryDistribution;
+use mlq_core::Space;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One step of a fleet workload: which model was queried, where, and
+/// what the execution cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetEvent {
+    /// Index of the queried model, `0..n_models`.
+    pub model: usize,
+    /// Query point.
+    pub point: Vec<f64>,
+    /// The surface's cost at `point` — both the feedback the model
+    /// trains on and the truth predictions are scored against.
+    pub cost: f64,
+}
+
+/// A deterministic skewed-traffic workload over a fleet of UDFs.
+///
+/// Models `0..hot_models` are *hot*: together they receive `hot_share`
+/// of the stream (uniformly among themselves). The remaining models
+/// split the other `1 − hot_share` uniformly. `hot_models = 1`,
+/// `hot_share = 0.9` over ten models is the classic 90/10 skew.
+#[derive(Debug, Clone)]
+pub struct FleetScenario {
+    space: Space,
+    dist: QueryDistribution,
+    surfaces: Vec<SyntheticUdf>,
+    hot_models: usize,
+    hot_share: f64,
+    seed: u64,
+}
+
+impl FleetScenario {
+    /// A fleet of `n_models` over `space`, the first `hot_models` of
+    /// them receiving `hot_share` of the traffic, deterministically in
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < hot_models <= n_models` and `hot_share` is in
+    /// `[0, 1]` (with `hot_share < 1` required only when cold models
+    /// exist, so they can be reached at all — a fully hot fleet may use
+    /// `1.0`).
+    #[must_use]
+    pub fn new(
+        space: Space,
+        dist: QueryDistribution,
+        n_models: usize,
+        hot_models: usize,
+        hot_share: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(n_models > 0, "a fleet needs at least one model");
+        assert!(hot_models > 0 && hot_models <= n_models, "hot_models must be in 1..=n_models");
+        assert!((0.0..=1.0).contains(&hot_share), "hot_share must be in [0, 1]");
+        let surfaces = (0..n_models)
+            .map(|m| {
+                SyntheticUdf::builder(space.clone())
+                    .peaks(10)
+                    .base_cost(500.0)
+                    .seed(seed.wrapping_add(m as u64))
+                    .build()
+            })
+            .collect();
+        FleetScenario { space, dist, surfaces, hot_models, hot_share, seed }
+    }
+
+    /// Number of models in the fleet.
+    #[must_use]
+    pub fn n_models(&self) -> usize {
+        self.surfaces.len()
+    }
+
+    /// Number of hot models (indices `0..hot_models`).
+    #[must_use]
+    pub fn hot_models(&self) -> usize {
+        self.hot_models
+    }
+
+    /// The ground-truth surface of model `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `model >= n_models`.
+    #[must_use]
+    pub fn surface(&self, model: usize) -> &SyntheticUdf {
+        &self.surfaces[model]
+    }
+
+    /// The query space.
+    #[must_use]
+    pub fn space(&self) -> &Space {
+        &self.space
+    }
+
+    /// Generates the first `n` events of the stream: one shared point
+    /// stream from the query distribution, a seeded hot/cold model draw
+    /// per event, and each event costed against its model's surface.
+    #[must_use]
+    pub fn stream(&self, n: usize) -> Vec<FleetEvent> {
+        let points = self.dist.generate(&self.space, n, self.seed);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xF1EE7);
+        let n_models = self.surfaces.len();
+        points
+            .into_iter()
+            .map(|point| {
+                let model =
+                    if n_models == self.hot_models || rng.random_range(0.0..1.0) < self.hot_share {
+                        rng.random_range(0..self.hot_models)
+                    } else {
+                        rng.random_range(self.hot_models..n_models)
+                    };
+                let cost = self.surfaces[model].cost(&point);
+                FleetEvent { model, point, cost }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario(seed: u64) -> FleetScenario {
+        FleetScenario::new(
+            Space::cube(2, 0.0, 1000.0).unwrap(),
+            QueryDistribution::Uniform,
+            6,
+            2,
+            0.9,
+            seed,
+        )
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical() {
+        let a = scenario(42).stream(500);
+        let b = scenario(42).stream(500);
+        assert_eq!(a, b);
+        assert_ne!(a, scenario(43).stream(500));
+    }
+
+    #[test]
+    fn hot_models_dominate_the_stream() {
+        let events = scenario(7).stream(4000);
+        let hot = events.iter().filter(|e| e.model < 2).count();
+        let share = hot as f64 / events.len() as f64;
+        assert!((share - 0.9).abs() < 0.03, "hot share {share} strayed from the configured 0.9");
+        // Every model index is in range and every cost matches its own
+        // model's surface (not a shared one).
+        let s = scenario(7);
+        for e in &events {
+            assert!(e.model < 6);
+            assert_eq!(e.cost.to_bits(), s.surface(e.model).cost(&e.point).to_bits());
+        }
+    }
+
+    #[test]
+    fn fully_hot_fleet_reaches_every_model() {
+        let s = FleetScenario::new(
+            Space::cube(2, 0.0, 100.0).unwrap(),
+            QueryDistribution::Uniform,
+            3,
+            3,
+            1.0,
+            5,
+        );
+        let events = s.stream(600);
+        for m in 0..3 {
+            assert!(events.iter().any(|e| e.model == m), "model {m} never queried");
+        }
+    }
+
+    #[test]
+    fn surfaces_differ_across_models() {
+        let s = scenario(9);
+        let p = vec![123.0, 456.0];
+        assert_ne!(
+            s.surface(0).cost(&p).to_bits(),
+            s.surface(1).cost(&p).to_bits(),
+            "per-model seeds must yield distinct surfaces"
+        );
+    }
+}

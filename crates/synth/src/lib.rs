@@ -39,12 +39,14 @@
 
 pub mod decay;
 pub mod dist;
+mod fleet;
 mod noise;
 mod query;
 mod scenario;
 mod surface;
 
 pub use decay::DecayKind;
+pub use fleet::{FleetEvent, FleetScenario};
 pub use noise::NoisyUdf;
 pub use query::QueryDistribution;
 pub use scenario::{AdversarialFlood, DriftScenario, EnvTaxSurface, FeedbackEvent};

@@ -1,16 +1,20 @@
 #!/usr/bin/env sh
 # Benchmark regression gates: compare fresh BENCH_serve.json /
-# BENCH_predict.json / BENCH_serve_replicated.json reports against the
-# checked-in baselines and exit nonzero on regression. All comparison
-# logic lives in `mlq-bench --gate` (crates/bench/src/report.rs) and
-# `mlq-bench --gate-predict` (crates/bench/src/predict.rs), so the
-# thresholds are tested Rust code rather than shell arithmetic; this
-# wrapper only fixes the invocations CI uses.
+# BENCH_predict.json / BENCH_serve_replicated.json / BENCH_fleet.json
+# reports against the checked-in baselines and exit nonzero on
+# regression. All comparison logic lives in `mlq-bench --gate`
+# (crates/bench/src/report.rs), `mlq-bench --gate-predict`
+# (crates/bench/src/predict.rs), and `mlq-bench --gate-fleet`
+# (crates/bench/src/fleet.rs), so the thresholds are tested Rust code
+# rather than shell arithmetic; this wrapper only fixes the invocations
+# CI uses.
 #
 # Usage: scripts/bench_gate.sh [MEASURED.json] [BASELINE.json] [TOLERANCE]
 #                              [PREDICT_MEASURED.json] [PREDICT_BASELINE.json]
 #                              [REPLICATED_MEASURED.json] [REPLICATED_BASELINE.json]
+#                              [FLEET_MEASURED.json] [FLEET_BASELINE.json]
 #        scripts/bench_gate.sh --gate-predict [PREDICT_MEASURED.json] [PREDICT_BASELINE.json]
+#        scripts/bench_gate.sh --gate-fleet [FLEET_MEASURED.json] [FLEET_BASELINE.json]
 #
 # The --gate-predict mode runs only the predict-path gate — the CI
 # predict-perf job measures and gates the read path without requiring a
@@ -46,6 +50,21 @@ if [ "${1:-}" = "--gate-predict" ]; then
         --gate-predict "$PREDICT_MEASURED" "$PREDICT_BASELINE"
 fi
 
+if [ "${1:-}" = "--gate-fleet" ]; then
+    FLEET_MEASURED="${2:-BENCH_fleet.json}"
+    FLEET_BASELINE="${3:-BENCH_fleet.baseline.json}"
+    if [ ! -f "$FLEET_MEASURED" ]; then
+        echo "bench_gate: missing fleet measured report $FLEET_MEASURED (regenerate with mlq-bench --fleet)" >&2
+        exit 1
+    fi
+    if [ ! -f "$FLEET_BASELINE" ]; then
+        echo "bench_gate: no baseline for fleet role ($FLEET_BASELINE) — skipping this gate; commit a baseline to enable it" >&2
+        exit 0
+    fi
+    exec cargo run -q --release --offline -p mlq-bench -- \
+        --gate-fleet "$FLEET_MEASURED" "$FLEET_BASELINE"
+fi
+
 MEASURED="${1:-BENCH_serve.json}"
 BASELINE="${2:-BENCH_serve.baseline.json}"
 TOLERANCE="${3:-0.2}"
@@ -53,6 +72,8 @@ PREDICT_MEASURED="${4:-BENCH_predict.json}"
 PREDICT_BASELINE="${5:-BENCH_predict.baseline.json}"
 REPLICATED_MEASURED="${6:-BENCH_serve_replicated.json}"
 REPLICATED_BASELINE="${7:-BENCH_serve_replicated.baseline.json}"
+FLEET_MEASURED="${8:-BENCH_fleet.json}"
+FLEET_BASELINE="${9:-BENCH_fleet.baseline.json}"
 
 # Aggregate replicated scaling required at REPLICAS replicas vs the
 # 1-reader control run (only enforced on hosts with >= 4 CPUs; the gate
@@ -108,5 +129,13 @@ if [ -f "$REPLICATED_MEASURED" ] || [ $# -ge 6 ]; then
         cargo run -q --release --offline -p mlq-bench -- \
             --gate "$REPLICATED_MEASURED" "$REPLICATED_BASELINE" --tolerance "$TOLERANCE" \
             --scaling-readers "$REPLICAS" --min-scaling "$MIN_REPLICATED_SCALING"
+    fi
+fi
+
+if [ -f "$FLEET_MEASURED" ] || [ $# -ge 8 ]; then
+    require "fleet measured report" "$FLEET_MEASURED"
+    if have_baseline "fleet" "$FLEET_BASELINE"; then
+        cargo run -q --release --offline -p mlq-bench -- \
+            --gate-fleet "$FLEET_MEASURED" "$FLEET_BASELINE"
     fi
 fi
